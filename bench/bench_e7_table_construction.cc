@@ -1,0 +1,155 @@
+// E7: the row/column table ("Mutability in Java").
+//
+// Paper claims: producing the table in XQuery requires "each row and then
+// the table itself ... in its entirety, all at once" -- "a large and
+// somewhat intricate segment of code" -- while the Java version built an
+// empty skeleton, stored the <td>s in a 2-D array, and filled corner, row
+// titles, column titles, and values in four separate loops, "so easy ...
+// that we would not have noticed that it could possibly be harder".
+//
+// Measured: (a) the <table> directive end to end on both engines, and
+// (b) the pure construction strategies in isolation (C++ skeleton-and-fill
+// vs. C++ all-at-once), sweeping table size.
+
+#include <string>
+#include <vector>
+
+#include "awb/builtin_metamodels.h"
+#include "awb/model.h"
+#include "benchmark/benchmark.h"
+#include "docgen/native_engine.h"
+#include "docgen/xq_engine.h"
+#include "xml/node.h"
+
+namespace {
+
+using lll::awb::Metamodel;
+using lll::awb::Model;
+
+// A model with S servers and S programs, fully meshed with `runs` edges on
+// the diagonal.
+Model MeshModel(const Metamodel* mm, int size) {
+  Model model(mm);
+  std::vector<lll::awb::ModelNode*> servers;
+  std::vector<lll::awb::ModelNode*> programs;
+  for (int i = 0; i < size; ++i) {
+    servers.push_back(model.CreateNode(
+        "Server", "s" + std::to_string(1000 + i)));
+    programs.push_back(model.CreateNode(
+        "Program", "p" + std::to_string(1000 + i)));
+  }
+  for (int i = 0; i < size; ++i) {
+    (void)model.Connect("runs", servers[static_cast<size_t>(i)],
+                        programs[static_cast<size_t>(i)]);
+    (void)model.Connect("runs", servers[static_cast<size_t>(i)],
+                        programs[static_cast<size_t>((i + 1) % size)]);
+  }
+  return model;
+}
+
+constexpr char kTableTemplate[] =
+    "<doc><table rows=\"from type:Server; sort label\" "
+    "cols=\"from type:Program; sort label\" relation=\"runs\"/></doc>";
+
+void BM_E7_NativeTableDirective(benchmark::State& state) {
+  static const Metamodel& mm =
+      *new Metamodel(lll::awb::MakeItArchitectureMetamodel());
+  Model model = MeshModel(&mm, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto result = lll::docgen::GenerateNativeFromText(kTableTemplate, model);
+    if (!result.ok()) state.SkipWithError("native failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_E7_NativeTableDirective)->ArgName("size")->Arg(4)->Arg(8)->Arg(16);
+
+void BM_E7_XQueryTableDirective(benchmark::State& state) {
+  static const Metamodel& mm =
+      *new Metamodel(lll::awb::MakeItArchitectureMetamodel());
+  Model model = MeshModel(&mm, static_cast<int>(state.range(0)));
+  for (auto _ : state) {
+    auto result = lll::docgen::GenerateXQueryFromText(kTableTemplate, model);
+    if (!result.ok()) state.SkipWithError("xquery failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_E7_XQueryTableDirective)->ArgName("size")->Arg(4)->Arg(8)->Arg(16);
+
+// Construction-strategy ablation, no interpreters involved.
+
+void BM_E7_CxxSkeletonAndFill(benchmark::State& state) {
+  int size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    lll::xml::Document doc;
+    lll::xml::Node* table = doc.CreateElement("table");
+    (void)doc.root()->AppendChild(table);
+    // Skeleton first, 2-D array of cells.
+    std::vector<std::vector<lll::xml::Node*>> cells(
+        static_cast<size_t>(size + 1));
+    for (int r = 0; r <= size; ++r) {
+      lll::xml::Node* tr = doc.CreateElement("tr");
+      (void)table->AppendChild(tr);
+      for (int c = 0; c <= size; ++c) {
+        lll::xml::Node* td = doc.CreateElement("td");
+        (void)tr->AppendChild(td);
+        cells[static_cast<size_t>(r)].push_back(td);
+      }
+    }
+    // Four separate fill loops.
+    (void)cells[0][0]->AppendChild(doc.CreateText("row\\col"));
+    for (int c = 1; c <= size; ++c) {
+      (void)cells[0][static_cast<size_t>(c)]->AppendChild(
+          doc.CreateText("col" + std::to_string(c)));
+    }
+    for (int r = 1; r <= size; ++r) {
+      (void)cells[static_cast<size_t>(r)][0]->AppendChild(
+          doc.CreateText("row" + std::to_string(r)));
+    }
+    for (int r = 1; r <= size; ++r) {
+      for (int c = 1; c <= size; ++c) {
+        if ((r + c) % 2 == 0) {
+          (void)cells[static_cast<size_t>(r)][static_cast<size_t>(c)]
+              ->AppendChild(doc.CreateText("x"));
+        }
+      }
+    }
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_E7_CxxSkeletonAndFill)->ArgName("size")->Arg(4)->Arg(16)->Arg(64);
+
+void BM_E7_CxxAllAtOnce(benchmark::State& state) {
+  int size = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    lll::xml::Document doc;
+    lll::xml::Node* table = doc.CreateElement("table");
+    (void)doc.root()->AppendChild(table);
+    // Every row computed in full before it is attached (titles and values
+    // mingled), as the functional style forces.
+    for (int r = 0; r <= size; ++r) {
+      lll::xml::Node* tr = doc.CreateElement("tr");
+      for (int c = 0; c <= size; ++c) {
+        lll::xml::Node* td = doc.CreateElement("td");
+        std::string text;
+        if (r == 0 && c == 0) {
+          text = "row\\col";
+        } else if (r == 0) {
+          text = "col" + std::to_string(c);
+        } else if (c == 0) {
+          text = "row" + std::to_string(r);
+        } else if ((r + c) % 2 == 0) {
+          text = "x";
+        }
+        if (!text.empty()) (void)td->AppendChild(doc.CreateText(text));
+        (void)tr->AppendChild(td);
+      }
+      (void)table->AppendChild(tr);
+    }
+    benchmark::DoNotOptimize(table);
+  }
+}
+BENCHMARK(BM_E7_CxxAllAtOnce)->ArgName("size")->Arg(4)->Arg(16)->Arg(64);
+
+}  // namespace
+
+BENCHMARK_MAIN();

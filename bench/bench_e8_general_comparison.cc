@@ -1,0 +1,102 @@
+// E8: general vs. value comparison ("Syntactic Quirks" #4).
+//
+// Paper claims: `=` means "nonempty intersection" -- existential over both
+// operands -- while eq/ne/lt/... are singleton operators that the authors
+// "used almost everywhere". The existential semantics has a cost profile:
+// a failing `=` against an N-item sequence scans all N items; `eq` cannot.
+//
+// Measured: hit (early-exit) and miss (full-scan) general comparisons as
+// the sequence grows, against the per-item value-comparison loop.
+
+#include <string>
+
+#include "benchmark/benchmark.h"
+#include "xdm/compare.h"
+#include "xquery/engine.h"
+
+namespace {
+
+// Query-level: `0 = (1 to N)` is the worst case (full existential scan).
+void BM_E8_GeneralMiss(benchmark::State& state) {
+  std::string query = "0 = (1 to " + std::to_string(state.range(0)) + ")";
+  auto compiled = lll::xq::Compile(query);
+  for (auto _ : state) {
+    auto result = lll::xq::Execute(*compiled);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_E8_GeneralMiss)->ArgName("n")->Arg(10)->Arg(100)->Arg(1000);
+
+// `1 = (1 to N)`: first pair hits; cost should be ~flat in N (the sequence
+// still gets built, so not perfectly flat).
+void BM_E8_GeneralHitFirst(benchmark::State& state) {
+  std::string query = "1 = (1 to " + std::to_string(state.range(0)) + ")";
+  auto compiled = lll::xq::Compile(query);
+  for (auto _ : state) {
+    auto result = lll::xq::Execute(*compiled);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_E8_GeneralHitFirst)->ArgName("n")->Arg(10)->Arg(100)->Arg(1000);
+
+// The explicit singleton-comparison loop the paper's style prefers:
+// some $x in (1 to N) satisfies $x eq 0.
+void BM_E8_QuantifiedValueCompare(benchmark::State& state) {
+  std::string query = "some $x in (1 to " + std::to_string(state.range(0)) +
+                      ") satisfies $x eq 0";
+  auto compiled = lll::xq::Compile(query);
+  for (auto _ : state) {
+    auto result = lll::xq::Execute(*compiled);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_E8_QuantifiedValueCompare)->ArgName("n")->Arg(10)->Arg(100)->Arg(1000);
+
+// Engine-level: GeneralCompare itself, no parser/evaluator in the loop.
+void BM_E8_XdmGeneralCompare(benchmark::State& state) {
+  lll::xdm::Sequence haystack;
+  for (int64_t i = 1; i <= state.range(0); ++i) {
+    haystack.Append(lll::xdm::Item::Integer(i));
+  }
+  lll::xdm::Sequence needle(lll::xdm::Item::Integer(0));
+  for (auto _ : state) {
+    auto result = lll::xdm::GeneralCompare(lll::xdm::CompareOp::kEq, needle,
+                                           haystack);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_E8_XdmGeneralCompare)->ArgName("n")->Arg(10)->Arg(100)->Arg(1000);
+
+// The N x M blowup: (1 to N) = (N+1 to N+M) -- every pair compared.
+void BM_E8_XdmGeneralCompareCross(benchmark::State& state) {
+  int64_t n = state.range(0);
+  lll::xdm::Sequence a, b;
+  for (int64_t i = 1; i <= n; ++i) a.Append(lll::xdm::Item::Integer(i));
+  for (int64_t i = n + 1; i <= 2 * n; ++i) b.Append(lll::xdm::Item::Integer(i));
+  for (auto _ : state) {
+    auto result = lll::xdm::GeneralCompare(lll::xdm::CompareOp::kEq, a, b);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_E8_XdmGeneralCompareCross)->ArgName("n")->Arg(10)->Arg(30)->Arg(100);
+
+// The membership idiom the paper used deliberately: string set containment.
+void BM_E8_StringMembership(benchmark::State& state) {
+  std::string set = "(";
+  for (int i = 0; i < state.range(0); ++i) {
+    if (i) set += ", ";
+    set += "\"key" + std::to_string(i) + "\"";
+  }
+  set += ")";
+  std::string query = "let $set := " + set + " return $set = \"nope\"";
+  auto compiled = lll::xq::Compile(query);
+  for (auto _ : state) {
+    auto result = lll::xq::Execute(*compiled);
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_E8_StringMembership)->ArgName("n")->Arg(10)->Arg(100)->Arg(1000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

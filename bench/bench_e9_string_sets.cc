@@ -1,0 +1,131 @@
+// E9: general-purpose data structures ("Data Structures and Abstractions").
+//
+// Paper claims: a generic set is impossible in XQuery without encoding its
+// members; the workable fallback is a "set of string" represented as a
+// sequence -- and representing collections as XML structures "makes the
+// basic operations several times as expensive". The Java rewrite just used
+// library sets.
+//
+// Measured: build-and-probe workload (N inserts with duplicates, N
+// membership probes) on three representations:
+//   * XQuery sequence-of-strings (recursive add with `=` membership);
+//   * XQuery XML-encoded set (<set><i v=".."/></set> -- the "several times
+//     as expensive" representation);
+//   * native std::set<std::string>.
+
+#include <set>
+#include <string>
+
+#include "benchmark/benchmark.h"
+#include "xquery/engine.h"
+
+namespace {
+
+// N keys cycling through N/2 distinct values, so half the inserts are dups.
+std::string KeyExpr(const char* var) {
+  return std::string("concat(\"k\", string(") + var + " mod ($n idiv 2 + 1)))";
+}
+
+void BM_E9_XQuerySequenceSet(benchmark::State& state) {
+  std::string query =
+      "declare variable $n := " + std::to_string(state.range(0)) + "; "
+      "declare function local:add($set, $v) { "
+      "  if ($set = $v) then $set else ($set, $v) }; "
+      "declare function local:build($set, $i) { "
+      "  if ($i > $n) then $set "
+      "  else local:build(local:add($set, " + KeyExpr("$i") + "), $i + 1) }; "
+      "let $set := local:build((), 1) "
+      "let $hits := count(for $i in 1 to $n "
+      "                   where $set = " + KeyExpr("$i") + " return $i) "
+      "return ($hits, count($set))";
+  auto compiled = lll::xq::Compile(query);
+  if (!compiled.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto result = lll::xq::Execute(*compiled);
+    if (!result.ok()) state.SkipWithError("execute failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_E9_XQuerySequenceSet)->ArgName("n")->Arg(32)->Arg(128)->Arg(256);
+
+// The XML-encoded representation: members are <i v="..."/> children. Every
+// operation rebuilds element structure -- the paper's "several times as
+// expensive".
+void BM_E9_XQueryXmlEncodedSet(benchmark::State& state) {
+  std::string query =
+      "declare variable $n := " + std::to_string(state.range(0)) + "; "
+      "declare function local:has($set, $v) { $set/i/@v = $v }; "
+      "declare function local:add($set, $v) { "
+      "  if (local:has($set, $v)) then $set "
+      "  else <set>{$set/i}<i v=\"{$v}\"/></set> }; "
+      "declare function local:build($set, $i) { "
+      "  if ($i > $n) then $set "
+      "  else local:build(local:add($set, " + KeyExpr("$i") + "), $i + 1) }; "
+      "let $set := local:build(<set/>, 1) "
+      "let $hits := count(for $i in 1 to $n "
+      "                   where local:has($set, " + KeyExpr("$i") + ") "
+      "                   return $i) "
+      "return ($hits, count($set/i))";
+  auto compiled = lll::xq::Compile(query);
+  if (!compiled.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto result = lll::xq::Execute(*compiled);
+    if (!result.ok()) state.SkipWithError("execute failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_E9_XQueryXmlEncodedSet)->ArgName("n")->Arg(32)->Arg(128)->Arg(256);
+
+// The lessons-applied extension (Moral #1): the same workload on the map:
+// module. Still a functional interpreter underneath -- but the membership
+// test is a real lookup, not an `=` scan, and no encoding is needed.
+void BM_E9_XQueryMapExtension(benchmark::State& state) {
+  std::string query =
+      "declare variable $n := " + std::to_string(state.range(0)) + "; "
+      "declare function local:build($m, $i) { "
+      "  if ($i > $n) then $m "
+      "  else local:build(map:put($m, " + KeyExpr("$i") + ", 1), $i + 1) }; "
+      "let $set := local:build(map:new(), 1) "
+      "let $hits := count(for $i in 1 to $n "
+      "                   where map:contains($set, " + KeyExpr("$i") + ") "
+      "                   return $i) "
+      "return ($hits, map:size($set))";
+  auto compiled = lll::xq::Compile(query);
+  if (!compiled.ok()) {
+    state.SkipWithError("compile failed");
+    return;
+  }
+  for (auto _ : state) {
+    auto result = lll::xq::Execute(*compiled);
+    if (!result.ok()) state.SkipWithError("execute failed");
+    benchmark::DoNotOptimize(result);
+  }
+}
+BENCHMARK(BM_E9_XQueryMapExtension)->ArgName("n")->Arg(32)->Arg(128)->Arg(256);
+
+void BM_E9_NativeStdSet(benchmark::State& state) {
+  int64_t n = state.range(0);
+  for (auto _ : state) {
+    std::set<std::string> set;
+    for (int64_t i = 1; i <= n; ++i) {
+      set.insert("k" + std::to_string(i % (n / 2 + 1)));
+    }
+    int64_t hits = 0;
+    for (int64_t i = 1; i <= n; ++i) {
+      if (set.count("k" + std::to_string(i % (n / 2 + 1))) != 0) ++hits;
+    }
+    benchmark::DoNotOptimize(hits);
+    benchmark::DoNotOptimize(set.size());
+  }
+}
+BENCHMARK(BM_E9_NativeStdSet)->ArgName("n")->Arg(32)->Arg(128)->Arg(256);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,262 @@
+// awb_tool: a command-line front end for the whole library -- the utility a
+// downstream user would actually run.
+//
+//   awb_tool generate-model  [--metamodel it|glass] [--seed N] [--users N]
+//                            [--documents N] [--omission-rate PCT] > model.xml
+//   awb_tool validate        --model model.xml [--metamodel it|glass]
+//   awb_tool omissions       --model model.xml [--metamodel it|glass]
+//   awb_tool docgen          --model model.xml --template tpl.xml
+//                            [--engine native|xquery] [--metamodel it|glass]
+//   awb_tool query           --model model.xml [--metamodel it|glass]
+//                            [--backend native|xquery] "from type:User ..."
+//   awb_tool export-metamodel [--metamodel it|glass|meta]
+//
+// Query steps on the command line are ';'-separated:
+//   awb_tool query --model m.xml "from type:User; follow likes>; sort label"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "awb/builtin_metamodels.h"
+#include "awb/generator.h"
+#include "awb/xml_io.h"
+#include "awbql/native.h"
+#include "awbql/query.h"
+#include "awbql/xquery_backend.h"
+#include "core/string_util.h"
+#include "docgen/native_engine.h"
+#include "docgen/xq_engine.h"
+
+namespace {
+
+using lll::awb::Metamodel;
+using lll::awb::Model;
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> flags;
+  std::vector<std::string> positional;
+};
+
+Args ParseArgs(int argc, char** argv) {
+  Args args;
+  if (argc > 1) args.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      std::string key = arg.substr(2);
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        args.flags[key] = argv[++i];
+      } else {
+        args.flags[key] = "true";
+      }
+    } else {
+      args.positional.push_back(arg);
+    }
+  }
+  return args;
+}
+
+std::string Flag(const Args& args, const std::string& key,
+                 const std::string& fallback) {
+  auto it = args.flags.find(key);
+  return it == args.flags.end() ? fallback : it->second;
+}
+
+int64_t IntFlag(const Args& args, const std::string& key, int64_t fallback) {
+  auto it = args.flags.find(key);
+  if (it == args.flags.end()) return fallback;
+  auto parsed = lll::ParseInt(it->second);
+  return parsed ? *parsed : fallback;
+}
+
+Metamodel PickMetamodel(const Args& args) {
+  std::string name = Flag(args, "metamodel", "it");
+  if (name == "glass") return lll::awb::MakeGlassCatalogMetamodel();
+  if (name == "meta") return lll::awb::MakeAwbMetaMetamodel();
+  return lll::awb::MakeItArchitectureMetamodel();
+}
+
+lll::Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return lll::Status::NotFound("cannot open " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+lll::Result<Model> LoadModel(const Args& args, const Metamodel* mm) {
+  std::string path = Flag(args, "model", "");
+  if (path.empty()) return lll::Status::Invalid("--model FILE is required");
+  LLL_ASSIGN_OR_RETURN(std::string xml_text, ReadFile(path));
+  return lll::awb::ImportModelXml(mm, xml_text);
+}
+
+int Fail(const lll::Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdGenerateModel(const Args& args) {
+  Metamodel mm = PickMetamodel(args);
+  if (mm.name() == "glass-catalog") {
+    lll::awb::GlassGeneratorConfig config;
+    config.seed = static_cast<uint64_t>(IntFlag(args, "seed", 7));
+    config.pieces = static_cast<size_t>(IntFlag(args, "pieces", 30));
+    Model model = lll::awb::GenerateGlassModel(&mm, config);
+    std::printf("%s\n", lll::awb::ExportModelXml(model).c_str());
+    return 0;
+  }
+  lll::awb::GeneratorConfig config;
+  config.seed = static_cast<uint64_t>(IntFlag(args, "seed", 42));
+  config.users = static_cast<size_t>(IntFlag(args, "users", 10));
+  config.documents = static_cast<size_t>(IntFlag(args, "documents", 5));
+  config.programs = static_cast<size_t>(IntFlag(args, "programs", 12));
+  config.omission_rate = IntFlag(args, "omission-rate", 25) / 100.0;
+  Model model = lll::awb::GenerateItModel(&mm, config);
+  std::printf("%s\n", lll::awb::ExportModelXml(model).c_str());
+  return 0;
+}
+
+int CmdValidate(const Args& args) {
+  Metamodel mm = PickMetamodel(args);
+  auto model = LoadModel(args, &mm);
+  if (!model.ok()) return Fail(model.status());
+  auto warnings = model->Validate();
+  std::printf("%zu nodes, %zu relations, %zu warnings\n", model->node_count(),
+              model->relation_count(), warnings.size());
+  for (const auto& warning : warnings) {
+    std::printf("  [%s] %s%s%s\n", ModelWarningKindName(warning.kind),
+                warning.subject_id.c_str(),
+                warning.subject_id.empty() ? "" : ": ",
+                warning.message.c_str());
+  }
+  return 0;
+}
+
+int CmdOmissions(const Args& args) {
+  Metamodel mm = PickMetamodel(args);
+  auto model = LoadModel(args, &mm);
+  if (!model.ok()) return Fail(model.status());
+  auto report = lll::awbql::OmissionsReport(*model);
+  if (report.empty()) {
+    std::printf("no omissions\n");
+    return 0;
+  }
+  for (const std::string& line : report) {
+    std::printf("! %s\n", line.c_str());
+  }
+  return 0;
+}
+
+int CmdDocgen(const Args& args) {
+  Metamodel mm = PickMetamodel(args);
+  auto model = LoadModel(args, &mm);
+  if (!model.ok()) return Fail(model.status());
+  std::string template_path = Flag(args, "template", "");
+  if (template_path.empty()) {
+    return Fail(lll::Status::Invalid("--template FILE is required"));
+  }
+  auto template_text = ReadFile(template_path);
+  if (!template_text.ok()) return Fail(template_text.status());
+
+  std::string engine = Flag(args, "engine", "native");
+  lll::Result<lll::docgen::DocGenResult> result =
+      engine == "xquery"
+          ? lll::docgen::GenerateXQueryFromText(*template_text, *model)
+          : lll::docgen::GenerateNativeFromText(*template_text, *model);
+  if (!result.ok()) return Fail(result.status());
+  std::printf("%s\n", result->Serialized(2).c_str());
+  std::fprintf(stderr,
+               "engine=%s visited=%zu toc=%zu omissions=%zu copies=%zu\n",
+               engine.c_str(), result->stats.nodes_visited,
+               result->stats.toc_entries, result->stats.omissions_listed,
+               result->stats.document_copies);
+  return 0;
+}
+
+int CmdQuery(const Args& args) {
+  Metamodel mm = PickMetamodel(args);
+  auto model = LoadModel(args, &mm);
+  if (!model.ok()) return Fail(model.status());
+  if (args.positional.empty()) {
+    return Fail(lll::Status::Invalid("query text is required"));
+  }
+  // ';'-separated steps on the command line.
+  std::string text;
+  for (const std::string& part : lll::Split(args.positional[0], ';')) {
+    std::string trimmed(lll::TrimWhitespace(part));
+    if (!trimmed.empty()) text += trimmed + "\n";
+  }
+  auto query = lll::awbql::ParseQuery(text);
+  if (!query.ok()) return Fail(query.status());
+
+  std::string backend = Flag(args, "backend", "native");
+  lll::Result<std::vector<const lll::awb::ModelNode*>> nodes =
+      lll::Status::Internal("unset");
+  if (backend == "xquery") {
+    lll::awbql::XQueryBackend xq_backend(&*model);
+    nodes = xq_backend.Eval(*query);
+  } else {
+    nodes = lll::awbql::EvalNative(*query, *model);
+  }
+  if (!nodes.ok()) return Fail(nodes.status());
+  for (const auto* node : *nodes) {
+    std::printf("%s\t%s\t%s\n", node->id().c_str(), node->type().c_str(),
+                model->Label(node).c_str());
+  }
+  std::fprintf(stderr, "%zu results (backend=%s)\n", nodes->size(),
+               backend.c_str());
+  return 0;
+}
+
+int CmdExportMetamodel(const Args& args) {
+  Metamodel mm = PickMetamodel(args);
+  std::printf("%s\n", lll::awb::ExportMetamodelXml(mm).c_str());
+  return 0;
+}
+
+int CmdReflect(const Args& args) {
+  // AWB retargeted to itself: emit the chosen metamodel AS AN AWB MODEL over
+  // the awb-meta metamodel.
+  Metamodel described = PickMetamodel(args);
+  static const Metamodel& meta =
+      *new Metamodel(lll::awb::MakeAwbMetaMetamodel());
+  Model reflection = lll::awb::ReflectMetamodel(described, &meta);
+  std::printf("%s\n", lll::awb::ExportModelXml(reflection).c_str());
+  return 0;
+}
+
+void Usage() {
+  std::fprintf(
+      stderr,
+      "usage: awb_tool COMMAND [flags]\n"
+      "  generate-model   [--metamodel it|glass] [--seed N] [--users N]\n"
+      "                   [--documents N] [--omission-rate PCT]\n"
+      "  validate         --model FILE [--metamodel it|glass]\n"
+      "  omissions        --model FILE [--metamodel it|glass]\n"
+      "  docgen           --model FILE --template FILE [--engine native|xquery]\n"
+      "  query            --model FILE [--backend native|xquery] \"QUERY\"\n"
+      "  export-metamodel [--metamodel it|glass|meta]\n"
+      "  reflect          [--metamodel it|glass]  (metamodel as awb-meta model)\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Args args = ParseArgs(argc, argv);
+  if (args.command == "generate-model") return CmdGenerateModel(args);
+  if (args.command == "validate") return CmdValidate(args);
+  if (args.command == "omissions") return CmdOmissions(args);
+  if (args.command == "docgen") return CmdDocgen(args);
+  if (args.command == "query") return CmdQuery(args);
+  if (args.command == "export-metamodel") return CmdExportMetamodel(args);
+  if (args.command == "reflect") return CmdReflect(args);
+  Usage();
+  return args.command.empty() ? 1 : 2;
+}

@@ -1,0 +1,112 @@
+// omissions_ui: the feature that killed the XQuery implementation.
+//
+// "One useful feature of the Workbench is 'Omissions' -- a window listing
+// incomplete parts of the model. ... The Omissions window, as part of the
+// UI, is always visible." The UI re-runs its queries constantly, so query
+// latency is everything -- and "calling XQuery from Java to evaluate queries
+// was preposterously inefficient, and would have made the workbench
+// unusably slow."
+//
+// This example simulates that UI loop: the same omission queries evaluated
+// via the native backend and via the XQuery backend, timed.
+//
+//   ./build/examples/omissions_ui [refresh-count]
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "awb/builtin_metamodels.h"
+#include "awb/generator.h"
+#include "awbql/native.h"
+#include "awbql/query.h"
+#include "awbql/xquery_backend.h"
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double MillisSince(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int refreshes = argc > 1 ? std::atoi(argv[1]) : 25;
+  if (refreshes < 1) refreshes = 1;
+
+  lll::awb::Metamodel metamodel = lll::awb::MakeItArchitectureMetamodel();
+  lll::awb::GeneratorConfig config;
+  config.seed = 7;
+  config.users = 20;
+  config.documents = 15;
+  config.programs = 25;
+  config.omission_rate = 0.3;
+  lll::awb::Model model = lll::awb::GenerateItModel(&metamodel, config);
+  std::printf("model: %zu nodes, %zu relations; simulating %d UI refreshes\n",
+              model.node_count(), model.relation_count(), refreshes);
+
+  // The stock UI queries behind the Omissions window.
+  const std::vector<std::string> query_texts = {
+      "from type:Document\nfilter missing:version\nsort label\n",
+      "from type:System\nfilter missing:version\nsort label\n",
+      "from type:User\nfilter missing:role\nsort label\n",
+  };
+  std::vector<lll::awbql::Query> queries;
+  for (const std::string& text : query_texts) {
+    auto query = lll::awbql::ParseQuery(text);
+    if (!query.ok()) {
+      std::printf("bad query: %s\n", query.status().ToString().c_str());
+      return 1;
+    }
+    queries.push_back(std::move(*query));
+  }
+
+  // The one-time report, human-readable.
+  std::printf("\nOmissions window contents:\n");
+  for (const std::string& line : lll::awbql::OmissionsReport(model)) {
+    std::printf("  ! %s\n", line.c_str());
+  }
+
+  // Native backend loop.
+  auto start = Clock::now();
+  size_t native_hits = 0;
+  for (int refresh = 0; refresh < refreshes; ++refresh) {
+    for (const auto& query : queries) {
+      auto result = lll::awbql::EvalNative(query, model);
+      if (result.ok()) native_hits += result->size();
+    }
+  }
+  double native_ms = MillisSince(start);
+
+  // XQuery backend loop -- the "calling XQuery from Java" architecture.
+  lll::awbql::XQueryBackend backend(&model);
+  start = Clock::now();
+  size_t xquery_hits = 0;
+  for (int refresh = 0; refresh < refreshes; ++refresh) {
+    for (const auto& query : queries) {
+      auto result = backend.Eval(query);
+      if (result.ok()) xquery_hits += result->size();
+    }
+  }
+  double xquery_ms = MillisSince(start);
+
+  if (native_hits != xquery_hits) {
+    std::printf("\nbackends disagree: %zu vs %zu results!\n", native_hits,
+                xquery_hits);
+    return 2;
+  }
+  std::printf("\n%d refreshes x %zu queries, %zu total results per pass\n",
+              refreshes, queries.size(), native_hits / refreshes);
+  std::printf("  native backend:  %8.2f ms total, %7.3f ms per refresh\n",
+              native_ms, native_ms / refreshes);
+  std::printf("  XQuery backend:  %8.2f ms total, %7.3f ms per refresh\n",
+              xquery_ms, xquery_ms / refreshes);
+  std::printf("  slowdown: %.1fx -- \"preposterously inefficient\"\n",
+              xquery_ms / (native_ms > 0 ? native_ms : 1));
+  return 0;
+}

@@ -1,0 +1,101 @@
+// xquery_repl: an interactive XQuery shell over the engine.
+//
+//   ./build/examples/xquery_repl [context.xml]
+//
+// Reads one query per line (a blank line, "quit", or EOF exits). If a
+// context document is given, paths like /a/b and . work against it.
+// Multi-line queries: end a line with '\' to continue.
+//
+// Special commands:
+//   :galax      toggle Galax-style error messages
+//   :noopt      toggle the optimizer (watch trace() reappear)
+//   :trace      toggle recognize_trace in the optimizer
+//   :ast QUERY  print the parsed (and optimized) expression
+
+#include <cstdio>
+#include <iostream>
+#include <memory>
+#include <string>
+
+#include "xml/parser.h"
+#include "xquery/engine.h"
+#include "xquery/parser.h"
+
+int main(int argc, char** argv) {
+  std::unique_ptr<lll::xml::Document> context_doc;
+  if (argc > 1) {
+    auto parsed = lll::xml::ParseFile(argv[1]);
+    if (!parsed.ok()) {
+      std::printf("%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    context_doc = std::move(*parsed);
+    std::printf("context: %s (root <%s>)\n", argv[1],
+                context_doc->DocumentElement()->name().c_str());
+  }
+
+  lll::xq::CompileOptions compile_options;
+  lll::xq::ExecuteOptions exec_options;
+  if (context_doc != nullptr) exec_options.context_node = context_doc->root();
+
+  std::printf("lll xquery repl -- empty line or 'quit' to exit\n");
+  std::string line;
+  while (true) {
+    std::printf("xq> ");
+    std::fflush(stdout);
+    if (!std::getline(std::cin, line)) break;
+    // Continuation lines.
+    while (!line.empty() && line.back() == '\\') {
+      line.pop_back();
+      line.push_back('\n');
+      std::string more;
+      std::printf("..> ");
+      std::fflush(stdout);
+      if (!std::getline(std::cin, more)) break;
+      line += more;
+    }
+    if (line.empty() || line == "quit" || line == "exit") break;
+
+    if (line == ":galax") {
+      exec_options.eval.galax_style_messages =
+          !exec_options.eval.galax_style_messages;
+      std::printf("galax-style messages: %s\n",
+                  exec_options.eval.galax_style_messages ? "on" : "off");
+      continue;
+    }
+    if (line == ":noopt") {
+      compile_options.optimize = !compile_options.optimize;
+      std::printf("optimizer: %s\n", compile_options.optimize ? "on" : "off");
+      continue;
+    }
+    if (line == ":trace") {
+      compile_options.optimizer.recognize_trace =
+          !compile_options.optimizer.recognize_trace;
+      std::printf("recognize_trace: %s\n",
+                  compile_options.optimizer.recognize_trace ? "on" : "off");
+      continue;
+    }
+    if (line.rfind(":ast ", 0) == 0) {
+      auto compiled = lll::xq::Compile(line.substr(5), compile_options);
+      if (!compiled.ok()) {
+        std::printf("%s\n", compiled.status().ToString().c_str());
+      } else {
+        std::printf("%s\n",
+                    lll::xq::ExprToString(*compiled->module().body).c_str());
+      }
+      continue;
+    }
+
+    auto result = lll::xq::Run(line, exec_options, compile_options);
+    if (!result.ok()) {
+      std::printf("%s\n", result.status().ToString().c_str());
+      continue;
+    }
+    for (const std::string& trace : result->trace_output) {
+      std::printf("[trace] %s\n", trace.c_str());
+    }
+    std::printf("%s\n", result->SerializedItems().c_str());
+  }
+  std::printf("\n");
+  return 0;
+}

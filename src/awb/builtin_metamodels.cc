@@ -1,0 +1,191 @@
+#include "awb/builtin_metamodels.h"
+
+#include <map>
+
+namespace lll::awb {
+
+namespace {
+
+PropertyDecl Prop(std::string name,
+                  PropertyType type = PropertyType::kString,
+                  bool recommended = false) {
+  PropertyDecl p;
+  p.name = std::move(name);
+  p.type = type;
+  p.recommended = recommended;
+  return p;
+}
+
+NodeTypeDecl Type(std::string name, std::string parent,
+                  std::vector<PropertyDecl> properties) {
+  NodeTypeDecl decl;
+  decl.name = std::move(name);
+  decl.parent = std::move(parent);
+  decl.properties = std::move(properties);
+  return decl;
+}
+
+RelationTypeDecl Relation(std::string name, std::string parent,
+                          std::vector<RelationEndpointRule> allowed) {
+  RelationTypeDecl decl;
+  decl.name = std::move(name);
+  decl.parent = std::move(parent);
+  decl.allowed = std::move(allowed);
+  return decl;
+}
+
+void MustAdd(Metamodel* mm, NodeTypeDecl decl) {
+  Status st = mm->AddNodeType(std::move(decl));
+  (void)st;  // builtin declarations are statically unique
+}
+
+void MustAdd(Metamodel* mm, RelationTypeDecl decl) {
+  Status st = mm->AddRelationType(std::move(decl));
+  (void)st;
+}
+
+}  // namespace
+
+Metamodel MakeItArchitectureMetamodel() {
+  Metamodel mm("it-architecture");
+
+  MustAdd(&mm, Type("Entity", "", {Prop("name"), Prop("description")}));
+  MustAdd(&mm, Type("Person", "Entity",
+                    {Prop("firstName"), Prop("lastName"),
+                     Prop("birthYear", PropertyType::kInteger),
+                     Prop("biography", PropertyType::kHtml)}));
+  MustAdd(&mm, Type("User", "Person", {Prop("role")}));
+  MustAdd(&mm, Type("Superuser", "User", {}));
+  MustAdd(&mm, Type("System", "Entity",
+                    {Prop("version", PropertyType::kString,
+                          /*recommended=*/true)}));
+  MustAdd(&mm, Type("SystemBeingDesigned", "System", {}));
+  MustAdd(&mm, Type("Server", "Entity",
+                    {Prop("hostname"), Prop("cores", PropertyType::kInteger)}));
+  MustAdd(&mm, Type("Subsystem", "Entity", {}));
+  MustAdd(&mm, Type("Program", "Entity", {Prop("language")}));
+  MustAdd(&mm, Type("Document", "Entity",
+                    {Prop("version", PropertyType::kString,
+                          /*recommended=*/true),
+                     Prop("body", PropertyType::kHtml)}));
+  MustAdd(&mm, Type("Requirement", "Entity",
+                    {Prop("priority", PropertyType::kInteger)}));
+  MustAdd(&mm, Type("PerformanceRequirement", "Requirement",
+                    {Prop("latencyMs", PropertyType::kDouble)}));
+
+  // "The IT architecture system uses the relation `has` in dozens of ways: A
+  // System has Servers, Subsystems, Users, and many other things."
+  MustAdd(&mm, Relation("relates", "", {}));
+  MustAdd(&mm, Relation("has", "relates",
+                        {{"System", "Server"},
+                         {"System", "Subsystem"},
+                         {"System", "User"},
+                         {"System", "Requirement"},
+                         {"System", "Document"},
+                         {"Subsystem", "Program"},
+                         {"Server", "Program"}}));
+  MustAdd(&mm, Relation("uses", "relates",
+                        {{"Person", "System"}, {"System", "Program"}}));
+  MustAdd(&mm, Relation("runs", "relates",
+                        {{"Server", "Program"}, {"System", "Program"}}));
+  // "likes might be a relation connecting Persons, and favors ... a subtype".
+  MustAdd(&mm, Relation("likes", "relates", {{"Person", "Person"}}));
+  MustAdd(&mm, Relation("favors", "likes", {{"Person", "Person"}}));
+  MustAdd(&mm, Relation("documents", "relates", {{"Document", "Entity"}}));
+
+  CardinalityRule rule;
+  rule.node_type = "SystemBeingDesigned";
+  rule.min = 1;
+  rule.max = 1;
+  rule.message =
+      "you might want to ensure that there is exactly one "
+      "SystemBeingDesigned node";
+  mm.AddRule(rule);
+  return mm;
+}
+
+Metamodel MakeGlassCatalogMetamodel() {
+  Metamodel mm("glass-catalog");
+  MustAdd(&mm, Type("Item", "", {Prop("name"), Prop("notes")}));
+  MustAdd(&mm, Type("GlassPiece", "Item",
+                    {Prop("year", PropertyType::kInteger),
+                     Prop("priceDollars", PropertyType::kDouble),
+                     Prop("condition")}));
+  MustAdd(&mm, Type("Goblet", "GlassPiece", {}));
+  MustAdd(&mm, Type("Vase", "GlassPiece", {}));
+  MustAdd(&mm, Type("Paperweight", "GlassPiece", {}));
+  MustAdd(&mm, Type("Maker", "Item", {Prop("country"),
+                                      Prop("founded", PropertyType::kInteger)}));
+  MustAdd(&mm, Type("Style", "Item", {Prop("period")}));
+  MustAdd(&mm, Type("Collector", "Item", {Prop("email")}));
+
+  MustAdd(&mm, Relation("relates", "", {}));
+  MustAdd(&mm, Relation("madeBy", "relates", {{"GlassPiece", "Maker"}}));
+  MustAdd(&mm, Relation("inStyle", "relates", {{"GlassPiece", "Style"}}));
+  MustAdd(&mm, Relation("owns", "relates", {{"Collector", "GlassPiece"}}));
+  MustAdd(&mm, Relation("likes", "relates", {{"Collector", "Style"}}));
+  // Note: deliberately NO SystemBeingDesigned cardinality rule.
+  return mm;
+}
+
+Model ReflectMetamodel(const Metamodel& described,
+                       const Metamodel* meta_metamodel) {
+  Model model(meta_metamodel);
+  std::map<std::string, ModelNode*> type_nodes;
+
+  for (const NodeTypeDecl& type : described.node_types()) {
+    ModelNode* node = model.CreateNode("NodeTypeDef", type.name);
+    if (!type.parent.empty()) node->SetProperty("extends", type.parent);
+    node->SetProperty("documentation",
+                      "node type from metamodel '" + described.name() + "'");
+    type_nodes[type.name] = node;
+    for (const PropertyDecl& prop : type.properties) {
+      ModelNode* prop_node =
+          model.CreateNode("PropertyDef", type.name + "." + prop.name);
+      prop_node->SetProperty("valueType", PropertyTypeName(prop.type));
+      prop_node->SetProperty("recommended",
+                             prop.recommended ? "true" : "false");
+      (void)model.Connect("has", node, prop_node);
+    }
+  }
+  for (const RelationTypeDecl& relation : described.relation_types()) {
+    ModelNode* node = model.CreateNode("RelationTypeDef", relation.name);
+    if (!relation.parent.empty()) {
+      node->SetProperty("extends", relation.parent);
+    }
+    for (const RelationEndpointRule& rule : relation.allowed) {
+      // `connects` edges point at the blessed endpoint types.
+      auto source = type_nodes.find(rule.source_type);
+      auto target = type_nodes.find(rule.target_type);
+      if (source != type_nodes.end()) {
+        (void)model.Connect("connects", node, source->second);
+      }
+      if (target != type_nodes.end()) {
+        (void)model.Connect("connects", node, target->second);
+      }
+    }
+  }
+  return model;
+}
+
+Metamodel MakeAwbMetaMetamodel() {
+  Metamodel mm("awb-meta");
+  MustAdd(&mm, Type("MetaItem", "", {Prop("name"), Prop("documentation")}));
+  MustAdd(&mm, Type("NodeTypeDef", "MetaItem", {Prop("extends")}));
+  MustAdd(&mm, Type("RelationTypeDef", "MetaItem", {Prop("extends")}));
+  MustAdd(&mm, Type("PropertyDef", "MetaItem",
+                    {Prop("valueType"),
+                     Prop("recommended", PropertyType::kBoolean)}));
+  MustAdd(&mm, Type("EditorDef", "MetaItem", {Prop("kind")}));
+
+  MustAdd(&mm, Relation("relates", "", {}));
+  MustAdd(&mm, Relation("has", "relates",
+                        {{"NodeTypeDef", "PropertyDef"},
+                         {"RelationTypeDef", "PropertyDef"}}));
+  MustAdd(&mm, Relation("edits", "relates", {{"EditorDef", "NodeTypeDef"}}));
+  MustAdd(&mm, Relation("connects", "relates",
+                        {{"RelationTypeDef", "NodeTypeDef"}}));
+  return mm;
+}
+
+}  // namespace lll::awb

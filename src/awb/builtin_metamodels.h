@@ -1,0 +1,42 @@
+#ifndef LLL_AWB_BUILTIN_METAMODELS_H_
+#define LLL_AWB_BUILTIN_METAMODELS_H_
+
+#include "awb/metamodel.h"
+#include "awb/model.h"
+
+namespace lll::awb {
+
+// The three retargets the paper mentions. "AWB has retargeted to be a
+// workbench for (1) an antique glass dealer, and (2) itself" -- plus the IT
+// architecture metamodel it shipped with.
+
+// IT architecture: Person/User, System (with SystemBeingDesigned), Server,
+// Subsystem, Program, Document (with recommended `version`), Requirement,
+// and the relations has / uses / runs / likes (favors < likes) / documents.
+// Includes the "exactly one SystemBeingDesigned" recommendation.
+Metamodel MakeItArchitectureMetamodel();
+
+// Antique glass dealer: GlassPiece / Maker / Style / Collector with madeBy /
+// inStyle / owns / likes. Deliberately has NO SystemBeingDesigned rule ("the
+// glass catalog doesn't have a SystemBeingDesigned node at all, nor a
+// warning about it").
+Metamodel MakeGlassCatalogMetamodel();
+
+// AWB retargeted to itself: node types describing node types, relation
+// types, and properties, connected by `has` edges.
+Metamodel MakeAwbMetaMetamodel();
+
+// The reflection that makes the self-retarget real: renders `described` as a
+// MODEL over the awb-meta metamodel -- every node type becomes a NodeTypeDef
+// node, every property a PropertyDef connected by `has`, every relation a
+// RelationTypeDef with `connects` edges to its endpoint types. The result is
+// a perfectly ordinary AWB model: it validates, exports to XML, and feeds
+// the document generator, so AWB can document its own configuration.
+// `meta_metamodel` must be (compatible with) MakeAwbMetaMetamodel() and must
+// outlive the result.
+Model ReflectMetamodel(const Metamodel& described,
+                       const Metamodel* meta_metamodel);
+
+}  // namespace lll::awb
+
+#endif  // LLL_AWB_BUILTIN_METAMODELS_H_

@@ -1,0 +1,219 @@
+#include "awb/generator.h"
+
+#include "core/rng.h"
+
+namespace lll::awb {
+
+namespace {
+
+constexpr const char* kFirstNames[] = {
+    "Ada",   "Grace", "Alan",  "Edsger", "Barbara", "Donald",
+    "John",  "Leslie", "Tony", "Niklaus", "Fran",    "Ken"};
+constexpr const char* kLastNames[] = {
+    "Lovelace", "Hopper",  "Turing",   "Dijkstra", "Liskov", "Knuth",
+    "Backus",   "Lamport", "Hoare",    "Wirth",    "Allen",  "Thompson"};
+constexpr const char* kLanguages[] = {"Java", "C++", "Smalltalk", "OCaml",
+                                      "COBOL"};
+constexpr const char* kRoles[] = {"architect", "operator", "analyst",
+                                  "sponsor"};
+
+template <size_t N>
+const char* Pick(Rng* rng, const char* const (&table)[N]) {
+  return table[rng->Below(N)];
+}
+
+void MaybeAddAdHoc(Rng* rng, double rate, ModelNode* node) {
+  if (!rng->Chance(rate)) return;
+  // "giving Person nodes a middleName property" and friends.
+  switch (rng->Below(3)) {
+    case 0:
+      node->SetProperty("middleName", "Q.");
+      break;
+    case 1:
+      node->SetProperty("color", "teal");
+      break;
+    default:
+      node->SetProperty("reviewed-by", "architect-in-chief");
+      break;
+  }
+}
+
+}  // namespace
+
+Model GenerateItModel(const Metamodel* metamodel,
+                      const GeneratorConfig& config) {
+  Rng rng(config.seed);
+  Model model(metamodel);
+
+  std::vector<ModelNode*> sbd_nodes;
+  if (config.include_system_being_designed) {
+    for (size_t i = 0; i < config.system_being_designed_count; ++i) {
+      ModelNode* sbd = model.CreateNode(
+          "SystemBeingDesigned",
+          i == 0 ? "Orion" : "Orion-" + std::to_string(i + 1));
+      sbd->SetProperty("version", "0." + std::to_string(rng.Range(1, 9)));
+      sbd->SetProperty("description", "the system being designed");
+      sbd_nodes.push_back(sbd);
+    }
+  }
+  ModelNode* sbd = sbd_nodes.empty() ? nullptr : sbd_nodes[0];
+
+  std::vector<ModelNode*> users;
+  for (size_t i = 0; i < config.users; ++i) {
+    const char* type = rng.Chance(0.2) ? "Superuser" : "User";
+    ModelNode* user = model.CreateNode(type);
+    std::string first = Pick(&rng, kFirstNames);
+    std::string last = Pick(&rng, kLastNames);
+    user->SetProperty("name", first + " " + last + " #" + std::to_string(i));
+    user->SetProperty("firstName", first);
+    user->SetProperty("lastName", last);
+    user->SetProperty("birthYear", std::to_string(rng.Range(1940, 1985)));
+    user->SetProperty("role", Pick(&rng, kRoles));
+    MaybeAddAdHoc(&rng, config.adhoc_property_rate, user);
+    users.push_back(user);
+    if (sbd != nullptr) (void)model.Connect("has", sbd, user);
+  }
+
+  std::vector<ModelNode*> servers;
+  for (size_t i = 0; i < config.servers; ++i) {
+    ModelNode* server =
+        model.CreateNode("Server", "srv-" + std::to_string(i + 1));
+    server->SetProperty("hostname", "srv-" + std::to_string(i + 1) +
+                                        ".example.test");
+    server->SetProperty("cores", std::to_string(1 << rng.Range(0, 5)));
+    servers.push_back(server);
+    if (sbd != nullptr) (void)model.Connect("has", sbd, server);
+  }
+
+  std::vector<ModelNode*> subsystems;
+  for (size_t i = 0; i < config.subsystems; ++i) {
+    ModelNode* sub =
+        model.CreateNode("Subsystem", "subsystem-" + std::to_string(i + 1));
+    subsystems.push_back(sub);
+    if (sbd != nullptr) (void)model.Connect("has", sbd, sub);
+  }
+
+  std::vector<ModelNode*> programs;
+  for (size_t i = 0; i < config.programs; ++i) {
+    ModelNode* prog =
+        model.CreateNode("Program", "prog-" + std::to_string(i + 1));
+    prog->SetProperty("language", Pick(&rng, kLanguages));
+    programs.push_back(prog);
+    if (!subsystems.empty()) {
+      (void)model.Connect("has", subsystems[rng.Below(subsystems.size())],
+                          prog);
+    }
+    if (!servers.empty()) {
+      (void)model.Connect("runs", servers[rng.Below(servers.size())], prog);
+    }
+  }
+
+  for (size_t i = 0; i < config.requirements; ++i) {
+    const char* type =
+        rng.Chance(0.3) ? "PerformanceRequirement" : "Requirement";
+    ModelNode* req =
+        model.CreateNode(type, "requirement-" + std::to_string(i + 1));
+    req->SetProperty("priority", std::to_string(rng.Range(1, 5)));
+    if (std::string(type) == "PerformanceRequirement") {
+      req->SetProperty("latencyMs", std::to_string(rng.Range(5, 500)));
+    }
+    if (sbd != nullptr) (void)model.Connect("has", sbd, req);
+  }
+
+  for (size_t i = 0; i < config.documents; ++i) {
+    ModelNode* doc =
+        model.CreateNode("Document", "document-" + std::to_string(i + 1));
+    // Omissions: some documents lack their recommended version property.
+    if (!rng.Chance(config.omission_rate)) {
+      doc->SetProperty("version", "1." + std::to_string(rng.Range(0, 9)));
+    }
+    doc->SetProperty("body", "<p>Lorem ipsum.</p>");
+    if (sbd != nullptr) {
+      (void)model.Connect("has", sbd, doc);
+      (void)model.Connect("documents", doc, sbd);
+    }
+  }
+
+  // The social graph: likes/favors between persons.
+  size_t social_edges =
+      static_cast<size_t>(config.social_degree * static_cast<double>(users.size()));
+  for (size_t i = 0; i < social_edges && users.size() >= 2; ++i) {
+    ModelNode* a = users[rng.Below(users.size())];
+    ModelNode* b = users[rng.Below(users.size())];
+    if (a == b) continue;
+    (void)model.Connect(rng.Chance(0.3) ? "favors" : "likes", a, b);
+  }
+
+  // Users use the system; some use programs directly, against the
+  // metamodel's advice ("the user can make a Person use a Program, even if
+  // the metamodel prefers" otherwise).
+  for (ModelNode* user : users) {
+    if (sbd != nullptr && rng.Chance(0.8)) {
+      (void)model.Connect("uses", user, sbd);
+    }
+    if (!programs.empty() && rng.Chance(config.violation_rate)) {
+      (void)model.Connect("uses", user, programs[rng.Below(programs.size())]);
+    }
+  }
+  return model;
+}
+
+Model GenerateGlassModel(const Metamodel* metamodel,
+                         const GlassGeneratorConfig& config) {
+  Rng rng(config.seed);
+  Model model(metamodel);
+
+  constexpr const char* kPieceTypes[] = {"Goblet", "Vase", "Paperweight"};
+  constexpr const char* kConditions[] = {"mint", "good", "chipped"};
+  constexpr const char* kCountries[] = {"Bohemia", "Venice", "France",
+                                        "England"};
+  constexpr const char* kPeriods[] = {"Baroque", "Art Nouveau", "Victorian",
+                                      "Deco"};
+
+  std::vector<ModelNode*> makers;
+  for (size_t i = 0; i < config.makers; ++i) {
+    ModelNode* maker =
+        model.CreateNode("Maker", "maker-" + std::to_string(i + 1));
+    maker->SetProperty("country", Pick(&rng, kCountries));
+    maker->SetProperty("founded", std::to_string(rng.Range(1650, 1900)));
+    makers.push_back(maker);
+  }
+  std::vector<ModelNode*> styles;
+  for (size_t i = 0; i < config.styles; ++i) {
+    ModelNode* style =
+        model.CreateNode("Style", "style-" + std::to_string(i + 1));
+    style->SetProperty("period", Pick(&rng, kPeriods));
+    styles.push_back(style);
+  }
+  std::vector<ModelNode*> pieces;
+  for (size_t i = 0; i < config.pieces; ++i) {
+    ModelNode* piece = model.CreateNode(Pick(&rng, kPieceTypes),
+                                        "piece-" + std::to_string(i + 1));
+    piece->SetProperty("year", std::to_string(rng.Range(1700, 1950)));
+    piece->SetProperty("priceDollars", std::to_string(rng.Range(50, 5000)));
+    piece->SetProperty("condition", Pick(&rng, kConditions));
+    pieces.push_back(piece);
+    if (!makers.empty()) {
+      (void)model.Connect("madeBy", piece, makers[rng.Below(makers.size())]);
+    }
+    if (!styles.empty()) {
+      (void)model.Connect("inStyle", piece, styles[rng.Below(styles.size())]);
+    }
+  }
+  for (size_t i = 0; i < config.collectors; ++i) {
+    ModelNode* collector =
+        model.CreateNode("Collector", "collector-" + std::to_string(i + 1));
+    collector->SetProperty("email",
+                           "c" + std::to_string(i + 1) + "@glass.test");
+    size_t owned = rng.Below(5);
+    for (size_t j = 0; j < owned && !pieces.empty(); ++j) {
+      (void)model.Connect("owns", collector, pieces[rng.Below(pieces.size())]);
+    }
+    if (!styles.empty() && rng.Chance(0.7)) {
+      (void)model.Connect("likes", collector, styles[rng.Below(styles.size())]);
+    }
+  }
+  return model;
+}
+
+}  // namespace lll::awb

@@ -1,0 +1,57 @@
+#ifndef LLL_AWB_GENERATOR_H_
+#define LLL_AWB_GENERATOR_H_
+
+#include <cstdint>
+
+#include "awb/model.h"
+
+namespace lll::awb {
+
+// Deterministic synthetic model generator. The paper's models (IBM IT
+// architecture engagements) are proprietary; these synthetic models exercise
+// the same shapes: a SystemBeingDesigned with subsystems, servers, programs,
+// users, requirements, and documents, plus a configurable rate of the
+// "user-freedom" phenomena the paper stresses -- advisory violations,
+// ad hoc properties, and omissions (missing recommended properties).
+struct GeneratorConfig {
+  uint64_t seed = 42;
+  size_t users = 10;
+  size_t servers = 4;
+  size_t subsystems = 6;
+  size_t programs = 12;
+  size_t requirements = 8;
+  size_t documents = 5;
+  // Average likes/favors edges per user.
+  double social_degree = 1.5;
+  // Fraction of documents missing their recommended `version` property.
+  double omission_rate = 0.25;
+  // Fraction of relations wired against the metamodel's endpoint advice
+  // ("the user can make a Person use a Program").
+  double violation_rate = 0.1;
+  // Fraction of nodes given a user-invented property (middleName et al.).
+  double adhoc_property_rate = 0.1;
+  // When false, the SystemBeingDesigned node is omitted entirely -- the
+  // misconfiguration the System Context document must survive.
+  bool include_system_being_designed = true;
+  // When > 1, extra SystemBeingDesigned nodes (the "there were two" case).
+  size_t system_being_designed_count = 1;
+};
+
+// Generates an IT-architecture model. `metamodel` must be (compatible with)
+// MakeItArchitectureMetamodel() and must outlive the model.
+Model GenerateItModel(const Metamodel* metamodel, const GeneratorConfig& config);
+
+// Generates a glass-dealer catalog model against MakeGlassCatalogMetamodel().
+struct GlassGeneratorConfig {
+  uint64_t seed = 7;
+  size_t pieces = 30;
+  size_t makers = 6;
+  size_t styles = 4;
+  size_t collectors = 5;
+};
+Model GenerateGlassModel(const Metamodel* metamodel,
+                         const GlassGeneratorConfig& config);
+
+}  // namespace lll::awb
+
+#endif  // LLL_AWB_GENERATOR_H_

@@ -1,0 +1,192 @@
+#include "awb/metamodel.h"
+
+#include "core/string_util.h"
+
+namespace lll::awb {
+
+const char* PropertyTypeName(PropertyType type) {
+  switch (type) {
+    case PropertyType::kString:
+      return "string";
+    case PropertyType::kInteger:
+      return "integer";
+    case PropertyType::kBoolean:
+      return "boolean";
+    case PropertyType::kDouble:
+      return "double";
+    case PropertyType::kHtml:
+      return "html";
+  }
+  return "unknown";
+}
+
+Result<PropertyType> ParsePropertyType(std::string_view name) {
+  if (name == "string") return PropertyType::kString;
+  if (name == "integer") return PropertyType::kInteger;
+  if (name == "boolean") return PropertyType::kBoolean;
+  if (name == "double") return PropertyType::kDouble;
+  if (name == "html") return PropertyType::kHtml;
+  return Status::Invalid("unknown property type '" + std::string(name) + "'");
+}
+
+bool ValueMatchesType(std::string_view value, PropertyType type) {
+  switch (type) {
+    case PropertyType::kString:
+    case PropertyType::kHtml:
+      return true;
+    case PropertyType::kInteger:
+      return ParseInt(value).has_value();
+    case PropertyType::kDouble:
+      return ParseDouble(value).has_value();
+    case PropertyType::kBoolean:
+      return value == "true" || value == "false";
+  }
+  return false;
+}
+
+Status Metamodel::AddNodeType(NodeTypeDecl decl) {
+  if (decl.name.empty()) return Status::Invalid("node type needs a name");
+  if (node_index_.count(decl.name) != 0) {
+    return Status::Invalid("duplicate node type '" + decl.name + "'");
+  }
+  node_index_[decl.name] = node_types_.size();
+  node_types_.push_back(std::move(decl));
+  return Status::Ok();
+}
+
+Status Metamodel::AddRelationType(RelationTypeDecl decl) {
+  if (decl.name.empty()) return Status::Invalid("relation type needs a name");
+  if (relation_index_.count(decl.name) != 0) {
+    return Status::Invalid("duplicate relation type '" + decl.name + "'");
+  }
+  relation_index_[decl.name] = relation_types_.size();
+  relation_types_.push_back(std::move(decl));
+  return Status::Ok();
+}
+
+const NodeTypeDecl* Metamodel::FindNodeType(std::string_view name) const {
+  auto it = node_index_.find(name);
+  return it == node_index_.end() ? nullptr : &node_types_[it->second];
+}
+
+const RelationTypeDecl* Metamodel::FindRelationType(
+    std::string_view name) const {
+  auto it = relation_index_.find(name);
+  return it == relation_index_.end() ? nullptr : &relation_types_[it->second];
+}
+
+bool Metamodel::IsNodeSubtype(std::string_view sub,
+                              std::string_view super) const {
+  const NodeTypeDecl* current = FindNodeType(sub);
+  size_t guard = node_types_.size() + 1;
+  while (current != nullptr && guard-- > 0) {
+    if (current->name == super) return true;
+    if (current->parent.empty()) return false;
+    current = FindNodeType(current->parent);
+  }
+  return false;
+}
+
+bool Metamodel::IsRelationSubtype(std::string_view sub,
+                                  std::string_view super) const {
+  const RelationTypeDecl* current = FindRelationType(sub);
+  size_t guard = relation_types_.size() + 1;
+  while (current != nullptr && guard-- > 0) {
+    if (current->name == super) return true;
+    if (current->parent.empty()) return false;
+    current = FindRelationType(current->parent);
+  }
+  return false;
+}
+
+std::vector<PropertyDecl> Metamodel::AllProperties(
+    std::string_view type) const {
+  // Build the root-to-leaf chain first.
+  std::vector<const NodeTypeDecl*> chain;
+  const NodeTypeDecl* current = FindNodeType(type);
+  size_t guard = node_types_.size() + 1;
+  while (current != nullptr && guard-- > 0) {
+    chain.push_back(current);
+    current = current->parent.empty() ? nullptr : FindNodeType(current->parent);
+  }
+  std::vector<PropertyDecl> out;
+  for (auto it = chain.rbegin(); it != chain.rend(); ++it) {
+    for (const PropertyDecl& p : (*it)->properties) out.push_back(p);
+  }
+  return out;
+}
+
+const PropertyDecl* Metamodel::FindProperty(std::string_view type,
+                                            std::string_view property) const {
+  const NodeTypeDecl* current = FindNodeType(type);
+  size_t guard = node_types_.size() + 1;
+  while (current != nullptr && guard-- > 0) {
+    for (const PropertyDecl& p : current->properties) {
+      if (p.name == property) return &p;
+    }
+    current = current->parent.empty() ? nullptr : FindNodeType(current->parent);
+  }
+  return nullptr;
+}
+
+std::string Metamodel::LabelProperty(std::string_view type) const {
+  const NodeTypeDecl* decl = FindNodeType(type);
+  return decl != nullptr ? decl->label_property : "name";
+}
+
+Status Metamodel::Validate() const {
+  for (const NodeTypeDecl& decl : node_types_) {
+    if (!decl.parent.empty() && FindNodeType(decl.parent) == nullptr) {
+      return Status::NotFound("node type '" + decl.name +
+                              "' has unknown parent '" + decl.parent + "'");
+    }
+    // Cycle check: walk up with a step bound.
+    const NodeTypeDecl* current = &decl;
+    size_t steps = 0;
+    while (!current->parent.empty()) {
+      if (++steps > node_types_.size()) {
+        return Status::Invalid("inheritance cycle at node type '" + decl.name +
+                               "'");
+      }
+      current = FindNodeType(current->parent);
+      if (current == nullptr) break;
+    }
+  }
+  for (const RelationTypeDecl& decl : relation_types_) {
+    if (!decl.parent.empty() && FindRelationType(decl.parent) == nullptr) {
+      return Status::NotFound("relation '" + decl.name +
+                              "' has unknown parent '" + decl.parent + "'");
+    }
+    const RelationTypeDecl* current = &decl;
+    size_t steps = 0;
+    while (!current->parent.empty()) {
+      if (++steps > relation_types_.size()) {
+        return Status::Invalid("inheritance cycle at relation '" + decl.name +
+                               "'");
+      }
+      current = FindRelationType(current->parent);
+      if (current == nullptr) break;
+    }
+    for (const RelationEndpointRule& rule : decl.allowed) {
+      if (FindNodeType(rule.source_type) == nullptr) {
+        return Status::NotFound("relation '" + decl.name +
+                                "' allows unknown source type '" +
+                                rule.source_type + "'");
+      }
+      if (FindNodeType(rule.target_type) == nullptr) {
+        return Status::NotFound("relation '" + decl.name +
+                                "' allows unknown target type '" +
+                                rule.target_type + "'");
+      }
+    }
+  }
+  for (const CardinalityRule& rule : rules_) {
+    if (FindNodeType(rule.node_type) == nullptr) {
+      return Status::NotFound("cardinality rule names unknown type '" +
+                              rule.node_type + "'");
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace lll::awb

@@ -1,0 +1,252 @@
+#include "awb/xml_io.h"
+
+#include "core/string_util.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace lll::awb {
+
+namespace {
+
+void AppendProperties(
+    xml::Document* doc, xml::Node* parent,
+    const std::vector<std::pair<std::string, std::string>>& properties) {
+  for (const auto& [name, value] : properties) {
+    xml::Node* prop = doc->CreateElement("property");
+    prop->SetAttribute("name", name);
+    if (!value.empty()) {
+      (void)prop->AppendChild(doc->CreateText(value));
+    }
+    (void)parent->AppendChild(prop);
+  }
+}
+
+Result<std::vector<std::pair<std::string, std::string>>> ReadProperties(
+    const xml::Node* element) {
+  std::vector<std::pair<std::string, std::string>> out;
+  for (const xml::Node* prop : element->ChildElements("property")) {
+    const std::string* name = prop->AttributeValue("name");
+    if (name == nullptr) {
+      return Status::ParseError("<property> without a name attribute");
+    }
+    out.emplace_back(*name, prop->StringValue());
+  }
+  return out;
+}
+
+}  // namespace
+
+std::unique_ptr<xml::Document> ModelToXml(const Model& model) {
+  auto doc = std::make_unique<xml::Document>();
+  xml::Node* root = doc->CreateElement("awb-model");
+  root->SetAttribute("metamodel", model.metamodel().name());
+  (void)doc->root()->AppendChild(root);
+  for (const ModelNode* node : model.nodes()) {
+    xml::Node* el = doc->CreateElement("node");
+    el->SetAttribute("id", node->id());
+    el->SetAttribute("type", node->type());
+    AppendProperties(doc.get(), el, node->properties());
+    (void)root->AppendChild(el);
+  }
+  for (const RelationObject* rel : model.relations()) {
+    xml::Node* el = doc->CreateElement("relation");
+    el->SetAttribute("id", rel->id());
+    el->SetAttribute("type", rel->relation());
+    el->SetAttribute("source", rel->source_id());
+    el->SetAttribute("target", rel->target_id());
+    AppendProperties(doc.get(), el, rel->properties());
+    (void)root->AppendChild(el);
+  }
+  return doc;
+}
+
+std::string ExportModelXml(const Model& model, int indent) {
+  auto doc = ModelToXml(model);
+  xml::SerializeOptions opts;
+  opts.indent = indent;
+  opts.declaration = true;
+  return xml::Serialize(doc->root(), opts);
+}
+
+Result<Model> ModelFromXml(const Metamodel* metamodel,
+                           const xml::Node* root_element) {
+  if (root_element == nullptr || root_element->name() != "awb-model") {
+    return Status::ParseError("expected an <awb-model> root element");
+  }
+  Model model(metamodel);
+  for (const xml::Node* el : root_element->ChildElements("node")) {
+    const std::string* id = el->AttributeValue("id");
+    const std::string* type = el->AttributeValue("type");
+    if (id == nullptr || type == nullptr) {
+      return Status::ParseError("<node> needs id and type attributes");
+    }
+    LLL_ASSIGN_OR_RETURN(ModelNode * node, model.CreateNodeWithId(*id, *type));
+    LLL_ASSIGN_OR_RETURN(auto properties, ReadProperties(el));
+    for (const auto& [name, value] : properties) {
+      node->SetProperty(name, value);
+    }
+  }
+  for (const xml::Node* el : root_element->ChildElements("relation")) {
+    const std::string* type = el->AttributeValue("type");
+    const std::string* source = el->AttributeValue("source");
+    const std::string* target = el->AttributeValue("target");
+    if (type == nullptr || source == nullptr || target == nullptr) {
+      return Status::ParseError(
+          "<relation> needs type, source, and target attributes");
+    }
+    const std::string* id = el->AttributeValue("id");
+    LLL_ASSIGN_OR_RETURN(
+        RelationObject * rel,
+        model.ConnectIds(*type, *source, *target, id ? *id : ""));
+    LLL_ASSIGN_OR_RETURN(auto properties, ReadProperties(el));
+    for (const auto& [name, value] : properties) {
+      rel->SetProperty(name, value);
+    }
+  }
+  return model;
+}
+
+Result<Model> ImportModelXml(const Metamodel* metamodel,
+                             const std::string& xml_text) {
+  xml::ParseOptions opts;
+  opts.strip_insignificant_whitespace = true;
+  LLL_ASSIGN_OR_RETURN(auto doc, xml::Parse(xml_text, opts));
+  return ModelFromXml(metamodel, doc->DocumentElement());
+}
+
+std::string ExportMetamodelXml(const Metamodel& metamodel, int indent) {
+  xml::Document doc;
+  xml::Node* root = doc.CreateElement("awb-metamodel");
+  root->SetAttribute("name", metamodel.name());
+  (void)doc.root()->AppendChild(root);
+  for (const NodeTypeDecl& type : metamodel.node_types()) {
+    xml::Node* el = doc.CreateElement("node-type");
+    el->SetAttribute("name", type.name);
+    if (!type.parent.empty()) el->SetAttribute("extends", type.parent);
+    if (type.label_property != "name") {
+      el->SetAttribute("label-property", type.label_property);
+    }
+    for (const PropertyDecl& prop : type.properties) {
+      xml::Node* pe = doc.CreateElement("property");
+      pe->SetAttribute("name", prop.name);
+      pe->SetAttribute("type", PropertyTypeName(prop.type));
+      if (prop.recommended) pe->SetAttribute("recommended", "true");
+      if (!prop.default_value.empty()) {
+        pe->SetAttribute("default", prop.default_value);
+      }
+      (void)el->AppendChild(pe);
+    }
+    (void)root->AppendChild(el);
+  }
+  for (const RelationTypeDecl& rel : metamodel.relation_types()) {
+    xml::Node* el = doc.CreateElement("relation-type");
+    el->SetAttribute("name", rel.name);
+    if (!rel.parent.empty()) el->SetAttribute("extends", rel.parent);
+    for (const RelationEndpointRule& rule : rel.allowed) {
+      xml::Node* re = doc.CreateElement("allowed");
+      re->SetAttribute("source", rule.source_type);
+      re->SetAttribute("target", rule.target_type);
+      (void)el->AppendChild(re);
+    }
+    (void)root->AppendChild(el);
+  }
+  for (const CardinalityRule& rule : metamodel.rules()) {
+    xml::Node* el = doc.CreateElement("cardinality");
+    el->SetAttribute("type", rule.node_type);
+    el->SetAttribute("min", std::to_string(rule.min));
+    if (rule.max != SIZE_MAX) el->SetAttribute("max", std::to_string(rule.max));
+    if (!rule.message.empty()) el->SetAttribute("message", rule.message);
+    (void)root->AppendChild(el);
+  }
+  xml::SerializeOptions opts;
+  opts.indent = indent;
+  return xml::Serialize(root, opts);
+}
+
+Result<Metamodel> ImportMetamodelXml(const std::string& xml_text) {
+  xml::ParseOptions popts;
+  popts.strip_insignificant_whitespace = true;
+  LLL_ASSIGN_OR_RETURN(auto doc, xml::Parse(xml_text, popts));
+  const xml::Node* root = doc->DocumentElement();
+  if (root->name() != "awb-metamodel") {
+    return Status::ParseError("expected an <awb-metamodel> root element");
+  }
+  const std::string* name = root->AttributeValue("name");
+  Metamodel metamodel(name != nullptr ? *name : "unnamed");
+  for (const xml::Node* el : root->ChildElements("node-type")) {
+    NodeTypeDecl decl;
+    const std::string* type_name = el->AttributeValue("name");
+    if (type_name == nullptr) {
+      return Status::ParseError("<node-type> without a name");
+    }
+    decl.name = *type_name;
+    if (const std::string* parent = el->AttributeValue("extends")) {
+      decl.parent = *parent;
+    }
+    if (const std::string* lp = el->AttributeValue("label-property")) {
+      decl.label_property = *lp;
+    }
+    for (const xml::Node* pe : el->ChildElements("property")) {
+      PropertyDecl prop;
+      const std::string* prop_name = pe->AttributeValue("name");
+      if (prop_name == nullptr) {
+        return Status::ParseError("<property> without a name");
+      }
+      prop.name = *prop_name;
+      if (const std::string* pt = pe->AttributeValue("type")) {
+        LLL_ASSIGN_OR_RETURN(prop.type, ParsePropertyType(*pt));
+      }
+      const std::string* rec = pe->AttributeValue("recommended");
+      prop.recommended = rec != nullptr && *rec == "true";
+      if (const std::string* dv = pe->AttributeValue("default")) {
+        prop.default_value = *dv;
+      }
+      decl.properties.push_back(std::move(prop));
+    }
+    LLL_RETURN_IF_ERROR(metamodel.AddNodeType(std::move(decl)));
+  }
+  for (const xml::Node* el : root->ChildElements("relation-type")) {
+    RelationTypeDecl decl;
+    const std::string* rel_name = el->AttributeValue("name");
+    if (rel_name == nullptr) {
+      return Status::ParseError("<relation-type> without a name");
+    }
+    decl.name = *rel_name;
+    if (const std::string* parent = el->AttributeValue("extends")) {
+      decl.parent = *parent;
+    }
+    for (const xml::Node* re : el->ChildElements("allowed")) {
+      const std::string* source = re->AttributeValue("source");
+      const std::string* target = re->AttributeValue("target");
+      if (source == nullptr || target == nullptr) {
+        return Status::ParseError("<allowed> needs source and target");
+      }
+      decl.allowed.push_back({*source, *target});
+    }
+    LLL_RETURN_IF_ERROR(metamodel.AddRelationType(std::move(decl)));
+  }
+  for (const xml::Node* el : root->ChildElements("cardinality")) {
+    CardinalityRule rule;
+    const std::string* type = el->AttributeValue("type");
+    if (type == nullptr) return Status::ParseError("<cardinality> needs type");
+    rule.node_type = *type;
+    if (const std::string* min = el->AttributeValue("min")) {
+      auto v = ParseInt(*min);
+      if (!v || *v < 0) return Status::ParseError("bad cardinality min");
+      rule.min = static_cast<size_t>(*v);
+    }
+    if (const std::string* max = el->AttributeValue("max")) {
+      auto v = ParseInt(*max);
+      if (!v || *v < 0) return Status::ParseError("bad cardinality max");
+      rule.max = static_cast<size_t>(*v);
+    }
+    if (const std::string* message = el->AttributeValue("message")) {
+      rule.message = *message;
+    }
+    metamodel.AddRule(std::move(rule));
+  }
+  LLL_RETURN_IF_ERROR(metamodel.Validate());
+  return metamodel;
+}
+
+}  // namespace lll::awb

@@ -1,0 +1,50 @@
+#ifndef LLL_AWB_XML_IO_H_
+#define LLL_AWB_XML_IO_H_
+
+#include <memory>
+#include <string>
+
+#include "awb/model.h"
+#include "core/result.h"
+#include "xml/node.h"
+
+namespace lll::awb {
+
+// "AWB saves its models in a nice, clean XML format" -- this is that format:
+//
+//   <awb-model metamodel="it-architecture">
+//     <node id="N1" type="Person">
+//       <property name="firstName">Ada</property>
+//     </node>
+//     <relation id="R1" type="has" source="N1" target="N2">
+//       <property name="since">2004</property>
+//     </relation>
+//   </awb-model>
+//
+// It is also the document generator's input format (the data-interchange
+// experiment the paper used XQuery for): the in-memory XML tree returned by
+// ModelToXml is exactly what the XQuery programs query.
+
+// Builds the XML document for a model. The returned document owns its nodes.
+std::unique_ptr<xml::Document> ModelToXml(const Model& model);
+
+// Serialized form of ModelToXml (pretty-printed when indent > 0).
+std::string ExportModelXml(const Model& model, int indent = 2);
+
+// Parses a model back from its XML form. `metamodel` must outlive the model.
+Result<Model> ImportModelXml(const Metamodel* metamodel,
+                             const std::string& xml_text);
+
+// Builds a model directly from a parsed XML tree (the <awb-model> element).
+Result<Model> ModelFromXml(const Metamodel* metamodel,
+                           const xml::Node* root_element);
+
+// Serializes a metamodel to XML (the "pile of files" AWB structures are
+// defined in), and reads it back. Together with ModelToXml this makes AWB
+// fully retargetable from data, as the paper describes.
+std::string ExportMetamodelXml(const Metamodel& metamodel, int indent = 2);
+Result<Metamodel> ImportMetamodelXml(const std::string& xml_text);
+
+}  // namespace lll::awb
+
+#endif  // LLL_AWB_XML_IO_H_

@@ -1,0 +1,298 @@
+#include "awbql/query.h"
+
+#include "core/string_util.h"
+
+namespace lll::awbql {
+
+namespace {
+
+// Splits "key:value" at the first ':'; value may itself contain ':'.
+bool SplitKeyValue(std::string_view token, std::string_view* key,
+                   std::string_view* value) {
+  size_t colon = token.find(':');
+  if (colon == std::string_view::npos) return false;
+  *key = token.substr(0, colon);
+  *value = token.substr(colon + 1);
+  return true;
+}
+
+Result<QueryStep> ParseFollow(std::string_view rest, size_t line_number) {
+  // "likes>" forward, "<has" backward, optionally followed by "to:Type".
+  std::vector<std::string> tokens;
+  for (const std::string& t : Split(std::string(rest), ' ')) {
+    if (!t.empty()) tokens.push_back(t);
+  }
+  if (tokens.empty()) {
+    return Status::ParseError("follow needs a relation at line " +
+                              std::to_string(line_number));
+  }
+  QueryStep step;
+  std::string_view rel = tokens[0];
+  if (!rel.empty() && rel.back() == '>') {
+    step.kind = QueryStep::Kind::kFollowForward;
+    rel.remove_suffix(1);
+  } else if (!rel.empty() && rel.front() == '<') {
+    step.kind = QueryStep::Kind::kFollowBackward;
+    rel.remove_prefix(1);
+  } else {
+    return Status::ParseError(
+        "follow needs a direction: 'rel>' (forward) or '<rel' (backward) at "
+        "line " +
+        std::to_string(line_number));
+  }
+  if (rel.empty()) {
+    return Status::ParseError("follow needs a relation name at line " +
+                              std::to_string(line_number));
+  }
+  step.relation = std::string(rel);
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    std::string_view key, value;
+    if (SplitKeyValue(tokens[i], &key, &value) && key == "to") {
+      step.target_type = std::string(value);
+    } else {
+      return Status::ParseError("unexpected follow argument '" + tokens[i] +
+                                "' at line " + std::to_string(line_number));
+    }
+  }
+  return step;
+}
+
+}  // namespace
+
+Result<Query> ParseQuery(std::string_view text) {
+  Query query;
+  bool saw_from = false;
+  size_t line_number = 0;
+  for (const std::string& raw_line : Split(std::string(text), '\n')) {
+    ++line_number;
+    std::string_view line = TrimWhitespace(raw_line);
+    if (line.empty() || line[0] == '#') continue;
+    size_t space = line.find(' ');
+    std::string_view keyword = line.substr(0, space);
+    std::string_view rest =
+        space == std::string_view::npos ? "" : TrimWhitespace(line.substr(space));
+
+    if (keyword == "from") {
+      if (saw_from) {
+        return Status::ParseError("duplicate 'from' at line " +
+                                  std::to_string(line_number));
+      }
+      saw_from = true;
+      if (rest == "all") {
+        query.source_kind = Query::SourceKind::kAll;
+      } else if (rest == "focus") {
+        query.source_kind = Query::SourceKind::kFocus;
+      } else {
+        std::string_view key, value;
+        if (!SplitKeyValue(rest, &key, &value) || value.empty()) {
+          return Status::ParseError(
+              "'from' wants all, type:<T>, or node:<id> at line " +
+              std::to_string(line_number));
+        }
+        if (key == "type") {
+          query.source_kind = Query::SourceKind::kType;
+        } else if (key == "node") {
+          query.source_kind = Query::SourceKind::kNode;
+        } else {
+          return Status::ParseError("unknown 'from' source '" +
+                                    std::string(key) + "' at line " +
+                                    std::to_string(line_number));
+        }
+        query.source_arg = std::string(value);
+      }
+      continue;
+    }
+
+    if (!saw_from) {
+      return Status::ParseError("query must start with 'from' (line " +
+                                std::to_string(line_number) + ")");
+    }
+
+    if (keyword == "follow") {
+      LLL_ASSIGN_OR_RETURN(QueryStep step, ParseFollow(rest, line_number));
+      query.steps.push_back(std::move(step));
+    } else if (keyword == "filter") {
+      QueryStep step;
+      std::string_view key, value;
+      if (!SplitKeyValue(rest, &key, &value)) {
+        return Status::ParseError("filter wants key:value at line " +
+                                  std::to_string(line_number));
+      }
+      if (key == "type") {
+        step.kind = QueryStep::Kind::kFilterType;
+        step.target_type = std::string(value);
+      } else if (key == "has") {
+        step.kind = QueryStep::Kind::kFilterHasProperty;
+        step.property = std::string(value);
+      } else if (key == "missing") {
+        step.kind = QueryStep::Kind::kFilterNotHasProperty;
+        step.property = std::string(value);
+      } else if (key == "prop") {
+        size_t eq = value.find('=');
+        if (eq == std::string_view::npos) {
+          return Status::ParseError(
+              "filter prop:<name>=<value> needs '=' at line " +
+              std::to_string(line_number));
+        }
+        step.kind = QueryStep::Kind::kFilterPropertyEquals;
+        step.property = std::string(value.substr(0, eq));
+        step.value = std::string(value.substr(eq + 1));
+      } else {
+        return Status::ParseError("unknown filter '" + std::string(key) +
+                                  "' at line " + std::to_string(line_number));
+      }
+      query.steps.push_back(std::move(step));
+    } else if (keyword == "sort") {
+      QueryStep step;
+      if (rest == "label" || rest.empty()) {
+        step.kind = QueryStep::Kind::kSortByLabel;
+      } else {
+        std::string_view key, value;
+        if (SplitKeyValue(rest, &key, &value) && key == "prop") {
+          step.kind = QueryStep::Kind::kSortByProperty;
+          step.property = std::string(value);
+        } else {
+          return Status::ParseError("sort wants 'label' or prop:<name> at "
+                                    "line " +
+                                    std::to_string(line_number));
+        }
+      }
+      query.steps.push_back(std::move(step));
+    } else if (keyword == "limit") {
+      auto n = ParseInt(rest);
+      if (!n || *n < 0) {
+        return Status::ParseError("limit wants a count at line " +
+                                  std::to_string(line_number));
+      }
+      QueryStep step;
+      step.kind = QueryStep::Kind::kLimit;
+      step.limit = static_cast<size_t>(*n);
+      query.steps.push_back(std::move(step));
+    } else {
+      return Status::ParseError("unknown query keyword '" +
+                                std::string(keyword) + "' at line " +
+                                std::to_string(line_number));
+    }
+  }
+  if (!saw_from) return Status::ParseError("empty query: no 'from' clause");
+  return query;
+}
+
+Result<Query> ParseQueryXml(const xml::Node* query_element) {
+  if (query_element == nullptr || query_element->name() != "query") {
+    return Status::ParseError("expected a <query> element");
+  }
+  std::string text;
+  for (const xml::Node* child : query_element->children()) {
+    if (!child->is_element()) continue;
+    const std::string& tag = child->name();
+    auto attr = [child](const char* name) -> std::string {
+      const std::string* v = child->AttributeValue(name);
+      return v != nullptr ? *v : std::string();
+    };
+    if (tag == "from") {
+      if (!attr("type").empty()) {
+        text += "from type:" + attr("type") + "\n";
+      } else if (!attr("node").empty()) {
+        text += "from node:" + attr("node") + "\n";
+      } else if (attr("focus") == "true") {
+        text += "from focus\n";
+      } else {
+        text += "from all\n";
+      }
+    } else if (tag == "follow") {
+      std::string direction = attr("direction");
+      std::string rel = attr("relation");
+      if (rel.empty()) return Status::ParseError("<follow> needs relation");
+      text += "follow ";
+      if (direction == "backward") {
+        text += "<" + rel;
+      } else {
+        text += rel + ">";
+      }
+      if (!attr("to").empty()) text += " to:" + attr("to");
+      text += "\n";
+    } else if (tag == "filter") {
+      if (!attr("type").empty()) {
+        text += "filter type:" + attr("type") + "\n";
+      } else if (!attr("has").empty()) {
+        text += "filter has:" + attr("has") + "\n";
+      } else if (!attr("missing").empty()) {
+        text += "filter missing:" + attr("missing") + "\n";
+      } else if (!attr("prop").empty()) {
+        text += "filter prop:" + attr("prop") + "=" + attr("value") + "\n";
+      } else {
+        return Status::ParseError("<filter> needs type/has/missing/prop");
+      }
+    } else if (tag == "sort") {
+      std::string by = attr("by");
+      if (by.empty() || by == "label") {
+        text += "sort label\n";
+      } else {
+        text += "sort prop:" + by + "\n";
+      }
+    } else if (tag == "limit") {
+      text += "limit " + attr("count") + "\n";
+    } else {
+      return Status::ParseError("unknown <query> child <" + tag + ">");
+    }
+  }
+  return ParseQuery(text);
+}
+
+std::string QueryToText(const Query& query) {
+  std::string out = "from ";
+  switch (query.source_kind) {
+    case Query::SourceKind::kAll:
+      out += "all";
+      break;
+    case Query::SourceKind::kType:
+      out += "type:" + query.source_arg;
+      break;
+    case Query::SourceKind::kNode:
+      out += "node:" + query.source_arg;
+      break;
+    case Query::SourceKind::kFocus:
+      out += "focus";
+      break;
+  }
+  out += "\n";
+  for (const QueryStep& step : query.steps) {
+    switch (step.kind) {
+      case QueryStep::Kind::kFollowForward:
+        out += "follow " + step.relation + ">";
+        if (!step.target_type.empty()) out += " to:" + step.target_type;
+        out += "\n";
+        break;
+      case QueryStep::Kind::kFollowBackward:
+        out += "follow <" + step.relation;
+        if (!step.target_type.empty()) out += " to:" + step.target_type;
+        out += "\n";
+        break;
+      case QueryStep::Kind::kFilterType:
+        out += "filter type:" + step.target_type + "\n";
+        break;
+      case QueryStep::Kind::kFilterHasProperty:
+        out += "filter has:" + step.property + "\n";
+        break;
+      case QueryStep::Kind::kFilterNotHasProperty:
+        out += "filter missing:" + step.property + "\n";
+        break;
+      case QueryStep::Kind::kFilterPropertyEquals:
+        out += "filter prop:" + step.property + "=" + step.value + "\n";
+        break;
+      case QueryStep::Kind::kSortByLabel:
+        out += "sort label\n";
+        break;
+      case QueryStep::Kind::kSortByProperty:
+        out += "sort prop:" + step.property + "\n";
+        break;
+      case QueryStep::Kind::kLimit:
+        out += "limit " + std::to_string(step.limit) + "\n";
+        break;
+    }
+  }
+  return out;
+}
+
+}  // namespace lll::awbql

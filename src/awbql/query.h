@@ -1,0 +1,85 @@
+#ifndef LLL_AWBQL_QUERY_H_
+#define LLL_AWBQL_QUERY_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/result.h"
+#include "xml/node.h"
+
+namespace lll::awbql {
+
+// The AWB query calculus -- "a little calculus in which one could say, for
+// example: Start at this user; follow the relation `likes` forwards; follow
+// the relation `uses` but only to computer programs from there; collect the
+// results, sorted by label."
+//
+// Two concrete syntaxes, as in AWB's history: a compact text form for humans
+// and tests, and the XML form used inside document templates and the
+// Omissions window.
+//
+// Text form:
+//   from type:User
+//   follow likes>
+//   follow uses> to:Program
+//   sort label
+//
+// XML form:
+//   <query>
+//     <from type="User"/>
+//     <follow relation="likes" direction="forward"/>
+//     <follow relation="uses" direction="forward" to="Program"/>
+//     <sort by="label"/>
+//   </query>
+//
+// Semantics: the working set is an ordered, duplicate-free set of nodes.
+// `follow rel>` maps the set to the targets of outgoing edges whose relation
+// is (a subtype of) rel; `<rel` follows edges backwards. Filters restrict the
+// set; sorts order it. Relation and type matching honors the metamodel
+// hierarchies (a `favors` edge satisfies `follow likes>`).
+struct QueryStep {
+  enum class Kind {
+    kFollowForward,
+    kFollowBackward,
+    kFilterType,            // keep nodes of (a subtype of) a type
+    kFilterHasProperty,     // keep nodes that have a property
+    kFilterNotHasProperty,  // keep nodes missing a property (omissions!)
+    kFilterPropertyEquals,  // keep nodes where property == value
+    kSortByLabel,
+    kSortByProperty,
+    kLimit,
+  };
+  Kind kind;
+  std::string relation;     // follow steps
+  std::string target_type;  // optional `to:` restriction on follow
+  std::string property;     // filters / sort-by-property
+  std::string value;        // kFilterPropertyEquals
+  size_t limit = 0;         // kLimit
+};
+
+struct Query {
+  enum class SourceKind {
+    kAll,    // every node in the model
+    kType,   // nodes of (a subtype of) a type
+    kNode,   // one node by id
+    kFocus,  // the current focus node (document templates: "Start at this
+             // user"); callers must supply a focus at evaluation time
+  };
+  SourceKind source_kind = SourceKind::kAll;
+  std::string source_arg;
+  std::vector<QueryStep> steps;
+};
+
+// Parses the text form. Errors carry the offending line.
+Result<Query> ParseQuery(std::string_view text);
+
+// Parses the XML form (<query> element).
+Result<Query> ParseQueryXml(const xml::Node* query_element);
+
+// Canonical text rendering (ParseQuery(QueryToText(q)) == q).
+std::string QueryToText(const Query& query);
+
+}  // namespace lll::awbql
+
+#endif  // LLL_AWBQL_QUERY_H_

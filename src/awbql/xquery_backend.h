@@ -1,0 +1,55 @@
+#ifndef LLL_AWBQL_XQUERY_BACKEND_H_
+#define LLL_AWBQL_XQUERY_BACKEND_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "awb/model.h"
+#include "awbql/query.h"
+#include "core/result.h"
+#include "xml/node.h"
+#include "xquery/engine.h"
+
+namespace lll::awbql {
+
+// The original implementation strategy: the AWB query calculus interpreted
+// via XQuery ("This was essentially writing an interpreter in XQuery, which
+// is not a hard exercise"). A Query is compiled to an XQuery program over
+// the model's exported XML plus the metamodel's XML (reached as
+// doc("model") and doc("metamodel")), run on our engine, and the resulting
+// node ids mapped back to ModelNodes.
+//
+// This backend is deliberately faithful to the paper's architecture -- and
+// therefore to its performance: every `follow` scans the whole <relation>
+// table, every subtype test walks the metamodel document. Benchmark E5
+// quantifies "preposterously inefficient" against EvalNative.
+class XQueryBackend {
+ public:
+  // Snapshots the model into XML once (AWB exported, then queried).
+  explicit XQueryBackend(const awb::Model* model);
+
+  XQueryBackend(const XQueryBackend&) = delete;
+  XQueryBackend& operator=(const XQueryBackend&) = delete;
+
+  // Compiles and runs `query`; returns nodes in the same canonical order as
+  // EvalNative. `focus` is required only for `from focus` queries.
+  Result<std::vector<const awb::ModelNode*>> Eval(
+      const Query& query, const awb::ModelNode* focus = nullptr);
+
+  // The generated XQuery program (exposed for tests and the curious).
+  std::string CompileToXQuery(const Query& query) const;
+
+  // Stats from the most recent Eval (evaluation steps, function calls).
+  const xq::EvalStats& last_stats() const { return last_stats_; }
+
+ private:
+  const awb::Model* model_;
+  std::unique_ptr<xml::Document> model_doc_;
+  std::unique_ptr<xml::Document> metamodel_doc_;
+  xq::EvalStats last_stats_;
+};
+
+}  // namespace lll::awbql
+
+#endif  // LLL_AWBQL_XQUERY_BACKEND_H_

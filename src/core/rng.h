@@ -1,0 +1,44 @@
+#ifndef LLL_CORE_RNG_H_
+#define LLL_CORE_RNG_H_
+
+#include <cstdint>
+
+namespace lll {
+
+// Deterministic xorshift64* generator. All synthetic workloads (AWB model
+// generation, benchmark inputs, property-test sweeps) draw from this so runs
+// are reproducible bit-for-bit from a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : state_(seed ? seed : 0x9E3779B97F4A7C15ull) {}
+
+  uint64_t Next() {
+    state_ ^= state_ >> 12;
+    state_ ^= state_ << 25;
+    state_ ^= state_ >> 27;
+    return state_ * 0x2545F4914F6CDD1Dull;
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t Below(uint64_t bound) { return Next() % bound; }
+
+  // Uniform in [lo, hi] inclusive.
+  int64_t Range(int64_t lo, int64_t hi) {
+    return lo + static_cast<int64_t>(Below(static_cast<uint64_t>(hi - lo + 1)));
+  }
+
+  // Uniform in [0, 1).
+  double Uniform() {
+    return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+  }
+
+  // Bernoulli with probability p.
+  bool Chance(double p) { return Uniform() < p; }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace lll
+
+#endif  // LLL_CORE_RNG_H_

@@ -1,0 +1,160 @@
+#include "core/string_util.h"
+
+#include <cctype>
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+
+namespace lll {
+
+bool IsXmlWhitespace(char c) {
+  return c == ' ' || c == '\t' || c == '\r' || c == '\n';
+}
+
+std::string_view TrimWhitespace(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && IsXmlWhitespace(s[b])) ++b;
+  size_t e = s.size();
+  while (e > b && IsXmlWhitespace(s[e - 1])) --e;
+  return s.substr(b, e - b);
+}
+
+std::string NormalizeSpace(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  bool in_space = true;  // leading whitespace is dropped
+  for (char c : s) {
+    if (IsXmlWhitespace(c)) {
+      if (!in_space) {
+        out.push_back(' ');
+        in_space = true;
+      }
+    } else {
+      out.push_back(c);
+      in_space = false;
+    }
+  }
+  if (!out.empty() && out.back() == ' ') out.pop_back();
+  return out;
+}
+
+std::vector<std::string> Split(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  for (size_t i = 0; i <= s.size(); ++i) {
+    if (i == s.size() || s[i] == delim) {
+      out.emplace_back(s.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+bool Contains(std::string_view s, std::string_view needle) {
+  return s.find(needle) != std::string_view::npos;
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to) {
+  if (from.empty()) return std::string(s);
+  std::string out;
+  out.reserve(s.size());
+  size_t pos = 0;
+  while (true) {
+    size_t hit = s.find(from, pos);
+    if (hit == std::string_view::npos) {
+      out.append(s.substr(pos));
+      return out;
+    }
+    out.append(s.substr(pos, hit - pos));
+    out.append(to);
+    pos = hit + from.size();
+  }
+}
+
+std::optional<int64_t> ParseInt(std::string_view s) {
+  s = TrimWhitespace(s);
+  if (s.empty()) return std::nullopt;
+  int64_t value = 0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  if (*begin == '+') ++begin;  // from_chars rejects leading '+'
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::optional<double> ParseDouble(std::string_view s) {
+  s = TrimWhitespace(s);
+  if (s.empty()) return std::nullopt;
+  if (s == "NaN") return std::nan("");
+  if (s == "INF" || s == "+INF") return HUGE_VAL;
+  if (s == "-INF") return -HUGE_VAL;
+  // std::from_chars for double is available in libstdc++ 11+.
+  double value = 0;
+  const char* begin = s.data();
+  const char* end = s.data() + s.size();
+  if (*begin == '+') ++begin;
+  auto [ptr, ec] = std::from_chars(begin, end, value);
+  if (ec != std::errc() || ptr != end) return std::nullopt;
+  return value;
+}
+
+std::string FormatDouble(double d) {
+  if (std::isnan(d)) return "NaN";
+  if (std::isinf(d)) return d > 0 ? "INF" : "-INF";
+  if (d == static_cast<int64_t>(d) && std::fabs(d) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(static_cast<int64_t>(d)));
+    return buf;
+  }
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", d);
+  return buf;
+}
+
+bool IsValidXmlName(std::string_view name) {
+  if (name.empty()) return false;
+  char c0 = name[0];
+  if (!(std::isalpha(static_cast<unsigned char>(c0)) || c0 == '_' || c0 == ':'))
+    return false;
+  for (char c : name.substr(1)) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '-' || c == '.' ||
+          c == '_' || c == ':'))
+      return false;
+  }
+  return true;
+}
+
+}  // namespace lll

@@ -1,0 +1,54 @@
+#ifndef LLL_CORE_STRING_UTIL_H_
+#define LLL_CORE_STRING_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace lll {
+
+// Whitespace per XML: space, tab, CR, LF.
+bool IsXmlWhitespace(char c);
+
+// The paper's `without-leading-or-trailing-spaces($string)` -- one of the
+// utility functions XQuery "chose not to provide".
+std::string_view TrimWhitespace(std::string_view s);
+
+// Collapses runs of whitespace to single spaces and trims (fn:normalize-space).
+std::string NormalizeSpace(std::string_view s);
+
+// Splits on a single-character delimiter; empty fields are preserved.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+// Joins with a separator (fn:string-join).
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+bool Contains(std::string_view s, std::string_view needle);
+
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+// Strict integer / double parsing; nullopt on any trailing garbage.
+std::optional<int64_t> ParseInt(std::string_view s);
+std::optional<double> ParseDouble(std::string_view s);
+
+// Canonical XDM-ish rendering: integers without exponent, doubles trimmed of
+// trailing zeros ("3.14", "2", "0.5"); NaN -> "NaN", infinities -> "INF"/"-INF".
+std::string FormatDouble(double d);
+
+// True if `name` is a valid XML name (letter/underscore/colon start; letters,
+// digits, '-', '.', '_', ':' afterwards). ASCII subset -- sufficient for the
+// workloads in this repository.
+bool IsValidXmlName(std::string_view name);
+
+}  // namespace lll
+
+#endif  // LLL_CORE_STRING_UTIL_H_

@@ -1,0 +1,506 @@
+#include "docgen/xq_programs.h"
+
+namespace lll::docgen {
+
+namespace {
+
+// Shared helper prolog: metamodel subtype walks and labels.
+constexpr char kCommonProlog[] = R"XQ(
+declare function local:is-node-subtype($t, $super) {
+  if ($t eq $super) then true()
+  else
+    let $decl := doc("metamodel")//node-type[@name = $t]
+    return
+      if (empty($decl)) then false()
+      else if (empty($decl/@extends)) then false()
+      else local:is-node-subtype(string($decl/@extends), $super)
+};
+
+declare function local:is-rel-subtype($t, $super) {
+  if ($t eq $super) then true()
+  else
+    let $decl := doc("metamodel")//relation-type[@name = $t]
+    return
+      if (empty($decl)) then false()
+      else if (empty($decl/@extends)) then false()
+      else local:is-rel-subtype(string($decl/@extends), $super)
+};
+
+declare function local:label-prop($t) {
+  let $decl := doc("metamodel")//node-type[@name = $t]
+  return
+    if (empty($decl)) then "name"
+    else if (empty($decl/@label-property)) then "name"
+    else string($decl/@label-property)
+};
+
+declare function local:label($n) {
+  let $lp := local:label-prop(string($n/@type))
+  let $v := $n/property[@name = $lp]
+  return if (empty($v)) then string($n/@id) else string($v[1])
+};
+)XQ";
+
+// The error-as-value discipline: "we wound up with ... an XML structure with
+// root tag 'error', and a few children that explain what went wrong."
+constexpr char kErrorProlog[] = R"XQ(
+declare function local:mk-error($msg, $where) {
+  <error><message>{$msg}</message><location>{$where}</location></error>
+};
+
+declare function local:is-error($v) {
+  some $i in $v satisfies ($i instance of element(error))
+};
+)XQ";
+
+// The AWB-QL interpreter over the XML query form -- "essentially writing an
+// interpreter in XQuery, which is not a hard exercise."
+constexpr char kQueryProlog[] = R"XQ(
+declare function local:eval-follow($set, $step) {
+  let $rels := doc("model")/awb-model/relation
+  let $all-nodes := doc("model")/awb-model/node
+  let $forward := not(string($step/@direction) eq "backward")
+  let $targets :=
+    (for $n in $set
+     for $r in (if ($forward) then $rels[@source = $n/@id]
+                else $rels[@target = $n/@id])
+     where local:is-rel-subtype(string($r/@type), string($step/@relation))
+     return $all-nodes[@id = (if ($forward) then string($r/@target)
+                              else string($r/@source))]) | ()
+  return
+    if (empty($step/@to)) then $targets
+    else $targets[local:is-node-subtype(string(@type), string($step/@to))]
+};
+
+declare function local:eval-filter($set, $step) {
+  if (exists($step/@type)) then
+    $set[local:is-node-subtype(string(@type), string($step/@type))]
+  else if (exists($step/@has)) then
+    $set[exists(property[@name = string($step/@has)])]
+  else if (exists($step/@missing)) then
+    $set[empty(property[@name = string($step/@missing)])]
+  else if (exists($step/@prop)) then
+    $set[property[@name = string($step/@prop)] = string($step/@value)]
+  else $set
+};
+
+declare function local:eval-steps($set, $steps) {
+  if (empty($steps)) then $set
+  else
+    let $step := $steps[1]
+    let $rest := $steps[position() > 1]
+    let $next :=
+      if (name($step) eq "follow") then local:eval-follow($set, $step)
+      else if (name($step) eq "filter") then local:eval-filter($set, $step)
+      else if (name($step) eq "sort") then
+        (if (string($step/@by) eq "label")
+         then (for $n in $set order by local:label($n) return $n)
+         else (for $n in $set
+               order by string($n/property[@name = string($step/@by)][1])
+               return $n))
+      else if (name($step) eq "limit") then
+        subsequence($set, 1, number($step/@count))
+      else $set
+    return local:eval-steps($next, $rest)
+};
+
+declare function local:eval-query($q, $focus) {
+  let $nodes := doc("model")/awb-model/node
+  let $from := $q/from[1]
+  let $src :=
+    if (exists($from/@type)) then
+      $nodes[local:is-node-subtype(string(@type), string($from/@type))]
+    else if (exists($from/@node)) then $nodes[@id = string($from/@node)]
+    else if ($from/@focus = "true") then $focus
+    else $nodes
+  return local:eval-steps($src, $q/*[position() > 1])
+};
+)XQ";
+
+// The identity copy (phases 2-5 are all variations on it). "strictly, it
+// copies everything ... since no mutation happens anywhere."
+constexpr char kCopyContentProlog[] = R"XQ(
+declare function local:copy-content($n) {
+  if ($n instance of element()) then
+    element {name($n)} {
+      $n/attribute::*,
+      for $c in $n/child::node() return local:copy-content($c)
+    }
+  else if ($n instance of text()) then text { string($n) }
+  else ()
+};
+)XQ";
+
+constexpr char kPhase1Body[] = R"XQ(
+declare function local:eval-condition($c, $focus) {
+  let $tag := name($c)
+  return
+  if ($tag eq "focus-is-type") then
+    if (empty($c/@type)) then
+      local:mk-error("<focus-is-type> needs a type attribute", $tag)
+    else if (empty($focus)) then
+      local:mk-error("<focus-is-type> requires a focus node", $tag)
+    else local:is-node-subtype(string($focus/@type), string($c/@type))
+  else if ($tag eq "focus-has-property") then
+    if (empty($c/@name)) then
+      local:mk-error("<focus-has-property> needs a name attribute", $tag)
+    else if (empty($focus)) then
+      local:mk-error("<focus-has-property> requires a focus node", $tag)
+    else exists($focus/property[@name = string($c/@name)])
+  else if ($tag eq "focus-property-equals") then
+    if (empty($c/@name) or empty($c/@value)) then
+      local:mk-error("<focus-property-equals> needs name and value attributes", $tag)
+    else if (empty($focus)) then
+      local:mk-error("<focus-property-equals> requires a focus node", $tag)
+    else ($focus/property[@name = string($c/@name)] = string($c/@value))
+  else if ($tag eq "nonempty") then
+    if (empty($c/query[1])) then
+      local:mk-error("<nonempty> needs a <query> child", $tag)
+    else exists(local:eval-query($c/query[1], $focus))
+  else if ($tag eq "not") then
+    if (empty($c/child::*[1])) then
+      local:mk-error("<not> needs a condition child", $tag)
+    else
+      let $v := local:eval-condition($c/child::*[1], $focus)
+      return if (local:is-error($v)) then $v else not($v)
+  else if ($tag eq "and") then local:eval-all($c/child::*, $focus)
+  else if ($tag eq "or") then local:eval-any($c/child::*, $focus)
+  else local:mk-error(concat("unknown condition <", $tag, ">"), $tag)
+};
+
+declare function local:eval-all($cs, $focus) {
+  if (empty($cs)) then true()
+  else
+    let $v := local:eval-condition($cs[1], $focus)
+    return
+      if (local:is-error($v)) then $v
+      else if (not($v)) then false()
+      else local:eval-all($cs[position() > 1], $focus)
+};
+
+declare function local:eval-any($cs, $focus) {
+  if (empty($cs)) then false()
+  else
+    let $v := local:eval-condition($cs[1], $focus)
+    return
+      if (local:is-error($v)) then $v
+      else if ($v) then true()
+      else local:eval-any($cs[position() > 1], $focus)
+};
+
+declare function local:gen-for($t, $focus, $depth) {
+  let $q := $t/query[1]
+  return
+  if (empty($q)) then local:mk-error("<for> needs a <query> child", "for")
+  else
+    for $n in local:eval-query($q, $focus)
+    return (
+      <INTERNAL-DATA><VISITED node-id="{string($n/@id)}"/></INTERNAL-DATA>,
+      for $c in $t/child::node()
+      return if ($c instance of element(query)) then ()
+             else local:gen($c, $n, $depth)
+    )
+};
+
+declare function local:gen-if($t, $focus, $depth) {
+  let $test := $t/test[1]
+  let $then := $t/then[1]
+  return
+  if (empty($test) or empty($then)) then
+    local:mk-error("<if> needs <test> and <then> children", "if")
+  else
+    let $cond := $test/child::*[1]
+    return
+    if (empty($cond)) then local:mk-error("<test> is empty", "if")
+    else
+      let $v := local:eval-condition($cond, $focus)
+      return
+      if (local:is-error($v)) then $v
+      else if ($v) then
+        (for $c in $then/child::node() return local:gen($c, $focus, $depth))
+      else
+        (for $c in $t/else[1]/child::node() return local:gen($c, $focus, $depth))
+};
+
+declare function local:gen-value-of($t, $focus) {
+  if (empty($t/@property)) then
+    local:mk-error("<value-of> needs a property attribute", "value-of")
+  else if (empty($focus)) then
+    local:mk-error("<value-of> requires a focus node", "value-of")
+  else
+    let $p := $focus/property[@name = string($t/@property)]
+    return
+    if (empty($p)) then
+      if (empty($t/@default)) then
+        local:mk-error(
+          concat("node ", string($focus/@id), " (", local:label($focus),
+                 ") has no property '", string($t/@property), "'"),
+          "value-of")
+      else text { string($t/@default) }
+    else text { string($p[1]) }
+};
+
+declare function local:gen-section($t, $focus, $depth) {
+  if (empty($t/@heading)) then
+    local:mk-error("<section> needs a heading attribute", "section")
+  else
+    let $raw := string($t/@heading)
+    return
+    if (contains($raw, "{label}") and empty($focus)) then
+      local:mk-error("heading uses {label} without a focus", "section")
+    else
+      let $text := if (contains($raw, "{label}"))
+                   then replace($raw, "{label}", local:label($focus))
+                   else $raw
+      let $level := if ($depth + 1 > 6) then 6 else $depth + 1
+      return (
+        <INTERNAL-DATA><TOC-ENTRY depth="{$depth + 1}" text="{$text}"/></INTERNAL-DATA>,
+        <div class="section">{
+          element {concat("h", string($level))} { text { $text } },
+          for $c in $t/child::node() return local:gen($c, $focus, $depth + 1)
+        }</div>
+      )
+};
+
+(: The all-at-once functional table construction of E7: "each row and then
+   the table itself must be produced in its entirety, all at once." :)
+declare function local:gen-table($t, $focus) {
+  let $rowsq := $t/rows-query[1]/query[1]
+  let $colsq := $t/cols-query[1]/query[1]
+  return
+  if (empty($rowsq) or empty($colsq)) then
+    local:mk-error("<table> needs rows and cols queries", "table")
+  else if (empty($t/@relation)) then
+    local:mk-error("<table> needs a relation attribute", "table")
+  else
+    let $rows := local:eval-query($rowsq, $focus)
+    let $cols := local:eval-query($colsq, $focus)
+    let $rel := string($t/@relation)
+    let $corner := if (empty($t/@corner)) then "row\col"
+                   else string($t/@corner)
+    return (
+      (for $n in ($rows, $cols)
+       return <INTERNAL-DATA><VISITED node-id="{string($n/@id)}"/></INTERNAL-DATA>),
+      <table>{
+        <tr>{
+          <td>{ $corner }</td>,
+          for $c in $cols return <td>{ local:label($c) }</td>
+        }</tr>,
+        for $r in $rows return
+          <tr>{
+            <td>{ local:label($r) }</td>,
+            for $c in $cols return
+              <td>{
+                if (exists(doc("model")/awb-model/relation
+                             [@source = $r/@id][@target = $c/@id]
+                             [local:is-rel-subtype(string(@type), $rel)]))
+                then "x" else ()
+              }</td>
+          }</tr>
+      }</table>
+    )
+};
+
+declare function local:gen-rich-text($t, $focus) {
+  if (empty($t/@property)) then
+    local:mk-error("<rich-text> needs a property attribute", "rich-text")
+  else if (empty($focus)) then
+    local:mk-error("<rich-text> requires a focus node", "rich-text")
+  else
+    let $raw := string($focus/property[@name = string($t/@property)][1])
+    let $parsed := parse-xml-fragment($raw)
+    return <div class="rich-text">{
+      if (empty($parsed) and not($raw eq "")) then $raw else $parsed
+    }</div>
+};
+
+declare function local:gen-placeholder($t, $focus, $depth) {
+  if (empty($t/@name)) then
+    local:mk-error("<placeholder> needs a name attribute", "placeholder")
+  else
+    <INTERNAL-DATA><PLACEHOLDER name="{string($t/@name)}">{
+      for $c in $t/child::node()
+      return local:gen($c, $focus, $depth)
+    }</PLACEHOLDER></INTERNAL-DATA>
+};
+
+declare function local:gen-element($t, $focus, $depth) {
+  let $tag := name($t)
+  return
+  if ($tag eq "for") then local:gen-for($t, $focus, $depth)
+  else if ($tag eq "if") then local:gen-if($t, $focus, $depth)
+  else if ($tag eq "label") then
+    (if (empty($focus)) then
+       local:mk-error("<label/> requires a focus node", "label")
+     else text { local:label($focus) })
+  else if ($tag eq "value-of") then local:gen-value-of($t, $focus)
+  else if ($tag eq "section") then local:gen-section($t, $focus, $depth)
+  else if ($tag eq "table-of-contents") then <lll-toc-marker/>
+  else if ($tag eq "table-of-omissions") then
+    <lll-omissions-marker>{$t/@types}</lll-omissions-marker>
+  else if ($tag eq "table") then local:gen-table($t, $focus)
+  else if ($tag eq "rich-text") then local:gen-rich-text($t, $focus)
+  else if ($tag eq "placeholder") then local:gen-placeholder($t, $focus, $depth)
+  else if ($tag eq "query") then ()
+  else
+    element {$tag} {
+      $t/attribute::*,
+      for $c in $t/child::node() return local:gen($c, $focus, $depth)
+    }
+};
+
+(: "The recursive walk was a hundred lines of code, mostly lines of the form
+   if ($tag-name = "for") then generate_for(...)." :)
+declare function local:gen($t, $focus, $depth) {
+  if ($t instance of element()) then local:gen-element($t, $focus, $depth)
+  else if ($t instance of text()) then text { string($t) }
+  else ()
+};
+
+let $t := doc("template")/child::*[1]
+let $focus := if ($initial-focus-id eq "") then ()
+              else doc("model")/awb-model/node[@id = $initial-focus-id]
+return
+  element {name($t)} {
+    $t/attribute::*,
+    (if (empty($focus)) then ()
+     else <INTERNAL-DATA><VISITED node-id="{string($focus/@id)}"/></INTERNAL-DATA>),
+    for $c in $t/child::node() return local:gen($c, $focus, 0)
+  }
+)XQ";
+
+constexpr char kPhase2Body[] = R"XQ(
+declare function local:omissions-list($marker) {
+  let $visited := doc("doc")//VISITED/@node-id
+  let $types := if (empty($marker/@types)) then ()
+                else tokenize(string($marker/@types), ",")
+  return
+  <ul class="omissions">{
+    for $n in doc("model")/awb-model/node
+    where not($visited = string($n/@id))
+      and (empty($types) or
+           (some $ty in $types satisfies
+              local:is-node-subtype(string($n/@type), normalize-space($ty))))
+    return <li>{concat(local:label($n), " (", string($n/@type), ")")}</li>
+  }</ul>
+};
+
+declare function local:copy($n) {
+  if ($n instance of element()) then
+    if (name($n) eq "lll-omissions-marker") then local:omissions-list($n)
+    else
+      element {name($n)} {
+        $n/attribute::*,
+        for $c in $n/child::node() return local:copy($c)
+      }
+  else if ($n instance of text()) then text { string($n) }
+  else ()
+};
+
+local:copy(doc("doc"))
+)XQ";
+
+constexpr char kPhase3Body[] = R"XQ(
+declare function local:toc-list() {
+  <ul class="toc">{
+    for $e in doc("doc")//TOC-ENTRY
+    return <li class="toc-depth-{string($e/@depth)}">{string($e/@text)}</li>
+  }</ul>
+};
+
+declare function local:copy($n) {
+  if ($n instance of element()) then
+    if (name($n) eq "lll-toc-marker") then local:toc-list()
+    else
+      element {name($n)} {
+        $n/attribute::*,
+        for $c in $n/child::node() return local:copy($c)
+      }
+  else if ($n instance of text()) then text { string($n) }
+  else ()
+};
+
+local:copy(doc("doc"))
+)XQ";
+
+constexpr char kPhase4Body[] = R"XQ(
+(: "It will probably be in the middle of an XML Text node" -- split the text
+   functionally: before-part, spliced content, after-part, recursing on both
+   sides so every occurrence of every placeholder is handled. :)
+declare function local:replace-in($s, $phs) {
+  if (empty($phs)) then (if ($s eq "") then () else text { $s })
+  else
+    let $ph := $phs[1]
+    let $token := concat(string($ph/@name), "-GOES-HERE")
+    return
+    if (contains($s, $token)) then (
+      local:replace-in(substring-before($s, $token), $phs),
+      for $c in $ph/child::node() return local:copy-content($c),
+      local:replace-in(substring-after($s, $token), $phs)
+    )
+    else local:replace-in($s, $phs[position() > 1])
+};
+
+declare function local:copy($n) {
+  if ($n instance of element()) then
+    if (name($n) eq "INTERNAL-DATA") then local:copy-content($n)
+    else
+      element {name($n)} {
+        $n/attribute::*,
+        for $c in $n/child::node() return local:copy($c)
+      }
+  else if ($n instance of text()) then
+    local:replace-in(string($n), doc("doc")//PLACEHOLDER)
+  else ()
+};
+
+local:copy(doc("doc"))
+)XQ";
+
+constexpr char kPhase5Body[] = R"XQ(
+declare function local:copy($n) {
+  if ($n instance of element()) then
+    if (name($n) eq "INTERNAL-DATA") then ()
+    else
+      element {name($n)} {
+        $n/attribute::*,
+        for $c in $n/child::node() return local:copy($c)
+      }
+  else if ($n instance of text()) then text { string($n) }
+  else ()
+};
+
+local:copy(doc("doc"))
+)XQ";
+
+}  // namespace
+
+const std::string& Phase1InterpretProgram() {
+  static const std::string& program = *new std::string(
+      std::string(kCommonProlog) + kErrorProlog + kQueryProlog + kPhase1Body);
+  return program;
+}
+
+const std::string& Phase2OmissionsProgram() {
+  static const std::string& program =
+      *new std::string(std::string(kCommonProlog) + kPhase2Body);
+  return program;
+}
+
+const std::string& Phase3TocProgram() {
+  static const std::string& program = *new std::string(kPhase3Body);
+  return program;
+}
+
+const std::string& Phase4PlaceholdersProgram() {
+  static const std::string& program =
+      *new std::string(std::string(kCopyContentProlog) + kPhase4Body);
+  return program;
+}
+
+const std::string& Phase5StripProgram() {
+  static const std::string& program = *new std::string(kPhase5Body);
+  return program;
+}
+
+}  // namespace lll::docgen

@@ -1,0 +1,46 @@
+#ifndef LLL_DOCGEN_XQ_PROGRAMS_H_
+#define LLL_DOCGEN_XQ_PROGRAMS_H_
+
+#include <string>
+
+namespace lll::docgen {
+
+// The document generator AS AN XQUERY PROGRAM -- the paper's original
+// implementation, reconstructed. Five phases, exactly as described in
+// "Mutability vs. Functionality":
+//
+//   Phase 1 interprets the template against the model, producing the whole
+//           document with <INTERNAL-DATA> elements carrying VISITED markers,
+//           TOC-ENTRY records, and PLACEHOLDER content "for use by later
+//           phases in the document".
+//   Phase 2 "constructs the table of omissions. It looks at all the
+//           <VISITED> tags in the document -- which can be nicely phrased in
+//           XQuery as $doc//VISITED ... It then copies the entire document,
+//           sticking the table of omissions in the right place."
+//   Phase 3 "constructs the table of contents, similarly."
+//   Phase 4 performs placeholder replacement (TABLE-1-GOES-HERE), splitting
+//           text nodes functionally.
+//   Phase 5 "walks over the document and destroys all <INTERNAL-DATA> tags
+//           ... (Or, strictly, it copies everything but the <INTERNAL-DATA>
+//           elements, since no mutation happens anywhere.)"
+//
+// Phase 1 is a generic interpreter: "a quite straightforward recursive walk
+// over the XML structure of the template", written in the error-as-value
+// discipline (<error> elements checked with local:is-error at call sites --
+// the six-line pattern of the paper's Error Detection section).
+//
+// Inputs per phase (registered with fn:doc):
+//   phase 1: doc("template") [document node], doc("model"),
+//            doc("metamodel") [document nodes], $initial-focus-id [string]
+//   phases 2-5: doc("doc") [the previous phase's ROOT ELEMENT], plus model
+//            and metamodel where needed.
+
+const std::string& Phase1InterpretProgram();
+const std::string& Phase2OmissionsProgram();
+const std::string& Phase3TocProgram();
+const std::string& Phase4PlaceholdersProgram();
+const std::string& Phase5StripProgram();
+
+}  // namespace lll::docgen
+
+#endif  // LLL_DOCGEN_XQ_PROGRAMS_H_

@@ -1,0 +1,186 @@
+#include "xdm/compare.h"
+
+#include <cmath>
+
+#include "core/string_util.h"
+#include "xml/deep_equal.h"
+
+namespace lll::xdm {
+
+namespace {
+
+bool ApplyOrdering(CompareOp op, int cmp) {
+  switch (op) {
+    case CompareOp::kEq:
+      return cmp == 0;
+    case CompareOp::kNe:
+      return cmp != 0;
+    case CompareOp::kLt:
+      return cmp < 0;
+    case CompareOp::kLe:
+      return cmp <= 0;
+    case CompareOp::kGt:
+      return cmp > 0;
+    case CompareOp::kGe:
+      return cmp >= 0;
+  }
+  return false;
+}
+
+Result<bool> CompareNumbers(CompareOp op, double a, double b) {
+  if (std::isnan(a) || std::isnan(b)) {
+    // NaN compares false to everything except via 'ne'.
+    return op == CompareOp::kNe;
+  }
+  int cmp = a < b ? -1 : (a > b ? 1 : 0);
+  return ApplyOrdering(op, cmp);
+}
+
+Result<bool> CompareStrings(CompareOp op, const std::string& a,
+                            const std::string& b) {
+  int cmp = a.compare(b);
+  cmp = cmp < 0 ? -1 : (cmp > 0 ? 1 : 0);
+  return ApplyOrdering(op, cmp);
+}
+
+// Value-comparison of two ALREADY-ATOMIZED items, with `untyped_as_string`
+// controlling the xs:untypedAtomic rule difference between value and general
+// comparison.
+Result<bool> CompareAtomics(CompareOp op, const Item& a, const Item& b,
+                            bool general) {
+  if (a.is_map() || b.is_map()) {
+    return Status::TypeError("maps cannot be compared with " +
+                             std::string(CompareOpName(op)));
+  }
+  // Boolean only compares with boolean (untyped casts to boolean in general
+  // comparison via the lexical forms "true"/"false"/"1"/"0").
+  auto as_boolean = [](const Item& it) -> Result<bool> {
+    if (it.kind() == ItemKind::kBoolean) return it.boolean_value();
+    const std::string& s = it.string_value();
+    if (s == "true" || s == "1") return true;
+    if (s == "false" || s == "0") return false;
+    return Status::TypeError("cannot cast \"" + s + "\" to xs:boolean");
+  };
+
+  if (a.kind() == ItemKind::kBoolean || b.kind() == ItemKind::kBoolean) {
+    const Item& other = a.kind() == ItemKind::kBoolean ? b : a;
+    if (other.kind() != ItemKind::kBoolean) {
+      if (!general || other.kind() != ItemKind::kUntyped) {
+        return Status::TypeError(std::string("cannot compare xs:boolean with ") +
+                                 ItemKindName(other.kind()));
+      }
+    }
+    LLL_ASSIGN_OR_RETURN(bool ba, as_boolean(a));
+    LLL_ASSIGN_OR_RETURN(bool bb, as_boolean(b));
+    return ApplyOrdering(op, (ba ? 1 : 0) - (bb ? 1 : 0));
+  }
+
+  bool a_num = a.is_numeric();
+  bool b_num = b.is_numeric();
+  if (a_num && b_num) {
+    LLL_ASSIGN_OR_RETURN(double da, a.NumericValue());
+    LLL_ASSIGN_OR_RETURN(double db, b.NumericValue());
+    return CompareNumbers(op, da, db);
+  }
+  if (a_num || b_num) {
+    const Item& other = a_num ? b : a;
+    if (general && other.kind() == ItemKind::kUntyped) {
+      // General comparison: untyped operand is cast to the numeric side.
+      LLL_ASSIGN_OR_RETURN(double da, a.NumericValue());
+      LLL_ASSIGN_OR_RETURN(double db, b.NumericValue());
+      return CompareNumbers(op, da, db);
+    }
+    return Status::TypeError(std::string("cannot compare ") +
+                             ItemKindName(a.kind()) + " with " +
+                             ItemKindName(b.kind()));
+  }
+  // Both string-like (string or untyped).
+  return CompareStrings(op, a.string_value(), b.string_value());
+}
+
+}  // namespace
+
+const char* CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "eq";
+    case CompareOp::kNe:
+      return "ne";
+    case CompareOp::kLt:
+      return "lt";
+    case CompareOp::kLe:
+      return "le";
+    case CompareOp::kGt:
+      return "gt";
+    case CompareOp::kGe:
+      return "ge";
+  }
+  return "?";
+}
+
+Result<bool> ValueCompare(CompareOp op, const Item& a, const Item& b) {
+  return CompareAtomics(op, a.Atomized(), b.Atomized(), /*general=*/false);
+}
+
+Result<bool> GeneralCompare(CompareOp op, const Sequence& a,
+                            const Sequence& b) {
+  Sequence aa = a.Atomized();
+  Sequence bb = b.Atomized();
+  for (const Item& ia : aa.items()) {
+    for (const Item& ib : bb.items()) {
+      LLL_ASSIGN_OR_RETURN(bool hit, CompareAtomics(op, ia, ib, /*general=*/true));
+      if (hit) return true;
+    }
+  }
+  return false;
+}
+
+Result<bool> DeepEqualSequences(const Sequence& a, const Sequence& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const Item& ia = a.at(i);
+    const Item& ib = b.at(i);
+    if (ia.is_node() != ib.is_node()) return false;
+    if (ia.is_node()) {
+      if (!xml::DeepEqual(ia.node(), ib.node())) return false;
+      continue;
+    }
+    // Atomic deep-equal: like 'eq' but NaN = NaN and type errors mean false.
+    if (ia.is_numeric() && ib.is_numeric()) {
+      double da = ia.NumericValue().value_or(std::nan(""));
+      double db = ib.NumericValue().value_or(std::nan(""));
+      if (std::isnan(da) && std::isnan(db)) continue;
+      if (da != db) return false;
+      continue;
+    }
+    auto eq = ValueCompare(CompareOp::kEq, ia, ib);
+    if (!eq.ok() || !*eq) return false;
+  }
+  return true;
+}
+
+Result<Sequence> DistinctValues(const Sequence& seq) {
+  Sequence atomized = seq.Atomized();
+  Sequence out;
+  for (const Item& candidate : atomized.items()) {
+    bool seen = false;
+    for (const Item& kept : out.items()) {
+      // Distinctness uses eq semantics with untyped-as-string; numeric kinds
+      // compare across int/double.
+      Result<bool> eq = ValueCompare(CompareOp::kEq, candidate, kept);
+      if (eq.ok() && *eq) {
+        seen = true;
+        break;
+      }
+      if (!eq.ok() && candidate.kind() == kept.kind() &&
+          candidate.IdenticalTo(kept)) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) out.Append(candidate);
+  }
+  return out;
+}
+
+}  // namespace lll::xdm

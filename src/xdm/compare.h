@@ -1,0 +1,36 @@
+#ifndef LLL_XDM_COMPARE_H_
+#define LLL_XDM_COMPARE_H_
+
+#include "xdm/sequence.h"
+
+namespace lll::xdm {
+
+enum class CompareOp { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* CompareOpName(CompareOp op);
+
+// Value comparison ("eq", "ne", "lt", ...): both operands must atomize to a
+// single item; untyped operands are treated as strings; numeric types
+// promote to double; comparing a string with a number is a type error. This
+// is the family the paper "used almost everywhere".
+Result<bool> ValueCompare(CompareOp op, const Item& a, const Item& b);
+
+// General comparison ("=", "!=", "<", ...): EXISTENTIAL over both atomized
+// sequences -- true iff SOME pair of items compares true. Hence the paper's
+// outlandish-but-memorable facts: 1 = (1,2,3), (1,2,3) = 3, and yet not
+// 1 = 3. An untyped operand is cast to the other operand's type (to double
+// against numbers, compared as string otherwise).
+Result<bool> GeneralCompare(CompareOp op, const Sequence& a, const Sequence& b);
+
+// fn:deep-equal over two sequences: pairwise, atomics by value (NaN equals
+// NaN, per spec), nodes by structural deep-equality.
+Result<bool> DeepEqualSequences(const Sequence& a, const Sequence& b);
+
+// fn:distinct-values: keeps the first occurrence of each distinct atomized
+// value. (Sequence-of-node inputs atomize to strings first, which is exactly
+// the "must encode the values" restriction the paper complains about.)
+Result<Sequence> DistinctValues(const Sequence& seq);
+
+}  // namespace lll::xdm
+
+#endif  // LLL_XDM_COMPARE_H_

@@ -1,0 +1,93 @@
+#include "xdm/item.h"
+
+#include "core/string_util.h"
+#include "xdm/map_value.h"
+
+namespace lll::xdm {
+
+const char* ItemKindName(ItemKind kind) {
+  switch (kind) {
+    case ItemKind::kString:
+      return "xs:string";
+    case ItemKind::kUntyped:
+      return "xs:untypedAtomic";
+    case ItemKind::kBoolean:
+      return "xs:boolean";
+    case ItemKind::kInteger:
+      return "xs:integer";
+    case ItemKind::kDouble:
+      return "xs:double";
+    case ItemKind::kNode:
+      return "node()";
+    case ItemKind::kMap:
+      return "map(*)";
+  }
+  return "unknown";
+}
+
+Result<double> Item::NumericValue() const {
+  switch (kind_) {
+    case ItemKind::kInteger:
+      return static_cast<double>(integer_value());
+    case ItemKind::kDouble:
+      return double_value();
+    case ItemKind::kUntyped: {
+      auto parsed = ParseDouble(string_value());
+      if (!parsed) {
+        return Status::TypeError("cannot cast untyped value \"" +
+                                 string_value() + "\" to a number");
+      }
+      return *parsed;
+    }
+    default:
+      return Status::TypeError(std::string("expected a numeric value, got ") +
+                               ItemKindName(kind_));
+  }
+}
+
+std::string Item::StringForm() const {
+  switch (kind_) {
+    case ItemKind::kString:
+    case ItemKind::kUntyped:
+      return string_value();
+    case ItemKind::kBoolean:
+      return boolean_value() ? "true" : "false";
+    case ItemKind::kInteger:
+      return std::to_string(integer_value());
+    case ItemKind::kDouble:
+      return FormatDouble(double_value());
+    case ItemKind::kNode:
+      return node()->StringValue();
+    case ItemKind::kMap:
+      return "map{" + std::to_string(map_value()->entries.size()) +
+             " entries}";
+  }
+  return {};
+}
+
+Item Item::Atomized() const {
+  if (is_node()) return Item::Untyped(node()->StringValue());
+  return *this;
+}
+
+bool Item::IdenticalTo(const Item& other) const {
+  if (kind_ != other.kind_) return false;
+  switch (kind_) {
+    case ItemKind::kString:
+    case ItemKind::kUntyped:
+      return string_value() == other.string_value();
+    case ItemKind::kBoolean:
+      return boolean_value() == other.boolean_value();
+    case ItemKind::kInteger:
+      return integer_value() == other.integer_value();
+    case ItemKind::kDouble:
+      return double_value() == other.double_value();
+    case ItemKind::kNode:
+      return node() == other.node();
+    case ItemKind::kMap:
+      return map_value() == other.map_value();  // identity, not contents
+  }
+  return false;
+}
+
+}  // namespace lll::xdm

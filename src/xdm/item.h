@@ -1,0 +1,111 @@
+#ifndef LLL_XDM_ITEM_H_
+#define LLL_XDM_ITEM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+
+#include "core/result.h"
+#include "xml/node.h"
+
+namespace lll::xdm {
+
+// An immutable string-keyed map (see map_value.h). Part of the "lessons
+// applied" extension: the paper's Moral #1 says a little language "should
+// provide basic data structures ... Lists and maps may well be enough."
+struct MapValue;
+
+// The atomic/node taxonomy of the XQuery Data Model, reduced to the types the
+// paper actually used: "we never used anything but strings, numbers, and
+// booleans". kUntyped is the xs:untypedAtomic that falls out of atomizing
+// nodes in schema-less ("untyped mode") operation -- the mode the paper ran
+// in -- and it matters because general comparison coerces untyped operands
+// differently depending on the other side.
+enum class ItemKind {
+  kString,
+  kUntyped,  // string payload, but numeric-coercible in comparisons
+  kBoolean,
+  kInteger,
+  kDouble,
+  kNode,
+  kMap,  // extension (Moral #1); not atomizable, not comparable
+};
+
+const char* ItemKindName(ItemKind kind);
+
+// A single XDM item: one atomic value or one reference to an XML node.
+// Items are small values; node items do not own the node (the xml::Document
+// arena does).
+class Item {
+ public:
+  static Item String(std::string s) {
+    return Item(ItemKind::kString, std::move(s));
+  }
+  static Item Untyped(std::string s) {
+    return Item(ItemKind::kUntyped, std::move(s));
+  }
+  static Item Boolean(bool b) { return Item(b); }
+  static Item Integer(int64_t i) { return Item(i); }
+  static Item Double(double d) { return Item(d); }
+  static Item NodeRef(xml::Node* n) { return Item(n); }
+  // Extension: wraps an immutable map (never null).
+  static Item Map(std::shared_ptr<const MapValue> map) {
+    return Item(std::move(map));
+  }
+
+  ItemKind kind() const { return kind_; }
+  bool is_node() const { return kind_ == ItemKind::kNode; }
+  bool is_map() const { return kind_ == ItemKind::kMap; }
+  bool is_atomic() const {
+    return kind_ != ItemKind::kNode && kind_ != ItemKind::kMap;
+  }
+  bool is_numeric() const {
+    return kind_ == ItemKind::kInteger || kind_ == ItemKind::kDouble;
+  }
+  bool is_stringlike() const {
+    return kind_ == ItemKind::kString || kind_ == ItemKind::kUntyped;
+  }
+
+  const std::string& string_value() const { return std::get<std::string>(v_); }
+  bool boolean_value() const { return std::get<bool>(v_); }
+  int64_t integer_value() const { return std::get<int64_t>(v_); }
+  double double_value() const { return std::get<double>(v_); }
+  xml::Node* node() const { return std::get<xml::Node*>(v_); }
+  const std::shared_ptr<const MapValue>& map_value() const {
+    return std::get<std::shared_ptr<const MapValue>>(v_);
+  }
+
+  // Numeric value with integer->double widening; error for non-numerics.
+  Result<double> NumericValue() const;
+
+  // fn:string() semantics: the string form of any item (nodes give their
+  // string-value, numbers their canonical lexical form).
+  std::string StringForm() const;
+
+  // Atomization: nodes become xs:untypedAtomic of their string-value;
+  // atomics pass through.
+  Item Atomized() const;
+
+  // Identity / value equality for use in test assertions: same kind and
+  // payload (node items compare by pointer identity).
+  bool IdenticalTo(const Item& other) const;
+
+ private:
+  Item(ItemKind kind, std::string s) : kind_(kind), v_(std::move(s)) {}
+  explicit Item(bool b) : kind_(ItemKind::kBoolean), v_(b) {}
+  explicit Item(int64_t i) : kind_(ItemKind::kInteger), v_(i) {}
+  explicit Item(double d) : kind_(ItemKind::kDouble), v_(d) {}
+  explicit Item(xml::Node* n) : kind_(ItemKind::kNode), v_(n) {}
+  explicit Item(std::shared_ptr<const MapValue> map)
+      : kind_(ItemKind::kMap), v_(std::move(map)) {}
+
+  ItemKind kind_;
+  std::variant<std::string, bool, int64_t, double, xml::Node*,
+               std::shared_ptr<const MapValue>>
+      v_;
+};
+
+}  // namespace lll::xdm
+
+#endif  // LLL_XDM_ITEM_H_

@@ -1,0 +1,29 @@
+#ifndef LLL_XDM_MAP_VALUE_H_
+#define LLL_XDM_MAP_VALUE_H_
+
+#include <map>
+#include <string>
+
+#include "xdm/sequence.h"
+
+namespace lll::xdm {
+
+// The payload of an ItemKind::kMap item: string keys to arbitrary
+// sequences. Part of the "lessons applied" extension module -- the paper's
+// Moral #1 ("a little language should provide basic data structures ...
+// Lists and maps may well be enough"). XQuery 3.1 eventually grew maps; this
+// is that idea, sized to this engine.
+//
+// Maps are IMMUTABLE values: map:put returns a new map sharing nothing the
+// caller can observe mutating. That keeps the evaluator purely functional
+// (Moral #2 concedes that XQuery has "good reasons for not allowing
+// mutation"); the point of the extension is the abstraction, which is what
+// the paper actually lacked -- sequences flatten and elements encode, but a
+// map HOLDS a sequence value without destroying it.
+struct MapValue {
+  std::map<std::string, Sequence> entries;
+};
+
+}  // namespace lll::xdm
+
+#endif  // LLL_XDM_MAP_VALUE_H_

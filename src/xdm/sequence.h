@@ -1,0 +1,72 @@
+#ifndef LLL_XDM_SEQUENCE_H_
+#define LLL_XDM_SEQUENCE_H_
+
+#include <vector>
+
+#include "xdm/item.h"
+
+namespace lll::xdm {
+
+// The XDM sequence. Sequences are FLAT by construction: a Sequence holds
+// Items and an Item can never be a Sequence, so (1,(2,3),()) is physically
+// (1,2,3) -- "with all of the internal sequence structure washed out", as the
+// paper puts it. Every pathology in the paper's Table (experiment E1) follows
+// from this one representation decision, which is why it is enforced by the
+// type system here rather than by a normalization pass.
+//
+// There is likewise no distinction between an item and a singleton sequence.
+class Sequence {
+ public:
+  Sequence() = default;
+  explicit Sequence(Item item) { items_.push_back(std::move(item)); }
+  explicit Sequence(std::vector<Item> items) : items_(std::move(items)) {}
+
+  static Sequence Empty() { return Sequence(); }
+  static Sequence Singleton(Item item) { return Sequence(std::move(item)); }
+
+  bool empty() const { return items_.empty(); }
+  size_t size() const { return items_.size(); }
+  const Item& at(size_t i) const { return items_[i]; }
+  const std::vector<Item>& items() const { return items_; }
+
+  void Append(Item item) { items_.push_back(std::move(item)); }
+  // Concatenation -- the only way to combine sequences, and it flattens.
+  void AppendSequence(const Sequence& other) {
+    items_.insert(items_.end(), other.items_.begin(), other.items_.end());
+  }
+
+  // True if every item is a node.
+  bool AllNodes() const;
+  // True if any item is a node.
+  bool AnyNode() const;
+
+  // Sorts node items into document order and removes duplicate nodes.
+  // Precondition: AllNodes(). Path steps and `union` produce this form.
+  void SortDocumentOrderAndDedup();
+
+  // fn:data(): atomizes every item.
+  Sequence Atomized() const;
+
+  // Space-joined string forms -- handy for diagnostics and fn:string-join-ish
+  // test assertions.
+  std::string DebugString() const;
+
+ private:
+  std::vector<Item> items_;
+};
+
+// The effective boolean value (XPath 2.0 rules): empty -> false; first item a
+// node -> true; singleton boolean/number/string by value; any other
+// many-item sequence is a type error (err:FORG0006).
+Result<bool> EffectiveBooleanValue(const Sequence& seq);
+
+// Requires a sequence of exactly one item (the paper's "singleton" contract).
+Result<Item> RequireSingleton(const Sequence& seq, const char* what);
+
+// Empty-or-one: empty gives nullopt-like empty Sequence semantics; used for
+// optional arguments.
+Result<Sequence> RequireAtMostOne(const Sequence& seq, const char* what);
+
+}  // namespace lll::xdm
+
+#endif  // LLL_XDM_SEQUENCE_H_

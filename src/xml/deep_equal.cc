@@ -1,0 +1,114 @@
+#include "xml/deep_equal.h"
+
+#include <string>
+#include <vector>
+
+#include "core/string_util.h"
+
+namespace lll::xml {
+
+namespace {
+
+bool IsComparableChild(const Node* n, const DeepEqualOptions& options) {
+  if (options.ignore_comments_and_pis &&
+      (n->kind() == NodeKind::kComment ||
+       n->kind() == NodeKind::kProcessingInstruction)) {
+    return false;
+  }
+  if (options.normalize_text && n->is_text() &&
+      TrimWhitespace(n->value()).empty()) {
+    return false;
+  }
+  return true;
+}
+
+std::vector<const Node*> ComparableChildren(const Node* n,
+                                            const DeepEqualOptions& options) {
+  std::vector<const Node*> out;
+  for (const Node* c : n->children()) {
+    if (IsComparableChild(c, options)) out.push_back(c);
+  }
+  return out;
+}
+
+std::string TextOf(const Node* n, const DeepEqualOptions& options) {
+  return options.normalize_text ? NormalizeSpace(n->value()) : n->value();
+}
+
+// Returns an empty string when equal, otherwise a description of the first
+// mismatch, prefixed with the path to it.
+std::string Compare(const Node* a, const Node* b, const std::string& path,
+                    const DeepEqualOptions& options) {
+  if (a->kind() != b->kind()) {
+    return path + ": node kinds differ: " + NodeKindName(a->kind()) + " vs " +
+           NodeKindName(b->kind());
+  }
+  switch (a->kind()) {
+    case NodeKind::kText:
+    case NodeKind::kComment:
+      if (TextOf(a, options) != TextOf(b, options)) {
+        return path + ": text differs: \"" + a->value() + "\" vs \"" +
+               b->value() + "\"";
+      }
+      return {};
+    case NodeKind::kProcessingInstruction:
+    case NodeKind::kAttribute:
+      if (a->name() != b->name()) {
+        return path + ": names differ: " + a->name() + " vs " + b->name();
+      }
+      if (a->value() != b->value()) {
+        return path + "/@" + a->name() + ": values differ: \"" + a->value() +
+               "\" vs \"" + b->value() + "\"";
+      }
+      return {};
+    case NodeKind::kElement:
+    case NodeKind::kDocument:
+      break;
+  }
+  if (a->name() != b->name()) {
+    return path + ": element names differ: <" + a->name() + "> vs <" +
+           b->name() + ">";
+  }
+  std::string here = path + "/" + (a->is_document() ? "" : a->name());
+  if (a->attributes().size() != b->attributes().size()) {
+    return here + ": attribute counts differ: " +
+           std::to_string(a->attributes().size()) + " vs " +
+           std::to_string(b->attributes().size());
+  }
+  for (const Node* attr : a->attributes()) {
+    const std::string* other = b->AttributeValue(attr->name());
+    if (other == nullptr) {
+      return here + ": attribute '" + attr->name() + "' missing on right";
+    }
+    if (*other != attr->value()) {
+      return here + ": attribute '" + attr->name() + "' differs: \"" +
+             attr->value() + "\" vs \"" + *other + "\"";
+    }
+  }
+  auto ca = ComparableChildren(a, options);
+  auto cb = ComparableChildren(b, options);
+  if (ca.size() != cb.size()) {
+    return here + ": child counts differ: " + std::to_string(ca.size()) +
+           " vs " + std::to_string(cb.size());
+  }
+  for (size_t i = 0; i < ca.size(); ++i) {
+    std::string sub = Compare(ca[i], cb[i],
+                              here + "[" + std::to_string(i + 1) + "]", options);
+    if (!sub.empty()) return sub;
+  }
+  return {};
+}
+
+}  // namespace
+
+bool DeepEqual(const Node* a, const Node* b, const DeepEqualOptions& options) {
+  return Compare(a, b, "", options).empty();
+}
+
+std::string ExplainDifference(const Node* a, const Node* b,
+                              const DeepEqualOptions& options) {
+  std::string diff = Compare(a, b, "", options);
+  return diff.empty() ? "(equal)" : diff;
+}
+
+}  // namespace lll::xml

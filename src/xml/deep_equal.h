@@ -1,0 +1,30 @@
+#ifndef LLL_XML_DEEP_EQUAL_H_
+#define LLL_XML_DEEP_EQUAL_H_
+
+#include "xml/node.h"
+
+namespace lll::xml {
+
+struct DeepEqualOptions {
+  // Ignore comments and processing instructions when comparing children
+  // (fn:deep-equal does).
+  bool ignore_comments_and_pis = true;
+  // Trim and space-normalize text nodes before comparing; pure-whitespace
+  // text nodes are skipped entirely. Useful for comparing pretty-printed
+  // output against compact output.
+  bool normalize_text = false;
+};
+
+// Structural equality: same kind, same name; attributes compared as an
+// unordered name->value set; children compared pairwise in order.
+bool DeepEqual(const Node* a, const Node* b, const DeepEqualOptions& options = {});
+
+// When DeepEqual is false, explains the first difference found ("path /a/b:
+// attribute 'x' differs: \"1\" vs \"2\""). Debugging aid for differential
+// tests between the two docgen engines.
+std::string ExplainDifference(const Node* a, const Node* b,
+                              const DeepEqualOptions& options = {});
+
+}  // namespace lll::xml
+
+#endif  // LLL_XML_DEEP_EQUAL_H_

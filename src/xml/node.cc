@@ -1,0 +1,354 @@
+#include "xml/node.h"
+
+#include <algorithm>
+
+namespace lll::xml {
+
+const char* NodeKindName(NodeKind kind) {
+  switch (kind) {
+    case NodeKind::kDocument:
+      return "document";
+    case NodeKind::kElement:
+      return "element";
+    case NodeKind::kAttribute:
+      return "attribute";
+    case NodeKind::kText:
+      return "text";
+    case NodeKind::kComment:
+      return "comment";
+    case NodeKind::kProcessingInstruction:
+      return "processing-instruction";
+  }
+  return "unknown";
+}
+
+// --- Node -------------------------------------------------------------------
+
+std::string Node::StringValue() const {
+  switch (kind_) {
+    case NodeKind::kText:
+    case NodeKind::kComment:
+    case NodeKind::kAttribute:
+    case NodeKind::kProcessingInstruction:
+      return value_;
+    case NodeKind::kElement:
+    case NodeKind::kDocument: {
+      std::string out;
+      for (const Node* c : children_) {
+        if (c->kind_ == NodeKind::kText) {
+          out += c->value_;
+        } else if (c->kind_ == NodeKind::kElement) {
+          out += c->StringValue();
+        }
+      }
+      return out;
+    }
+  }
+  return {};
+}
+
+Node* Node::FirstChildElement(std::string_view name) const {
+  for (Node* c : children_) {
+    if (c->is_element() && c->name_ == name) return c;
+  }
+  return nullptr;
+}
+
+std::vector<Node*> Node::ChildElements(std::string_view name) const {
+  std::vector<Node*> out;
+  for (Node* c : children_) {
+    if (c->is_element() && (name.empty() || c->name_ == name)) {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::vector<Node*> Node::DescendantElements(std::string_view name) const {
+  std::vector<Node*> out;
+  for (Node* c : children_) {
+    if (c->is_element()) {
+      if (name.empty() || c->name_ == name) out.push_back(c);
+      auto sub = c->DescendantElements(name);
+      out.insert(out.end(), sub.begin(), sub.end());
+    }
+  }
+  return out;
+}
+
+const std::string* Node::AttributeValue(std::string_view name) const {
+  for (const Node* a : attributes_) {
+    if (a->name_ == name) return &a->value_;
+  }
+  return nullptr;
+}
+
+Node* Node::AttributeNode(std::string_view name) const {
+  for (Node* a : attributes_) {
+    if (a->name_ == name) return a;
+  }
+  return nullptr;
+}
+
+size_t Node::IndexInParent() const {
+  if (parent_ == nullptr) return static_cast<size_t>(-1);
+  const auto& sibs =
+      is_attribute() ? parent_->attributes_ : parent_->children_;
+  for (size_t i = 0; i < sibs.size(); ++i) {
+    if (sibs[i] == this) return i;
+  }
+  return static_cast<size_t>(-1);
+}
+
+Node* Node::Root() {
+  Node* n = this;
+  while (n->parent_ != nullptr) n = n->parent_;
+  return n;
+}
+
+Status Node::CheckAdoptable(const Node* child) const {
+  if (child == nullptr) return Status::Invalid("null child");
+  if (child->document_ != document_) {
+    return Status::Invalid("child belongs to a different document; ImportNode it first");
+  }
+  if (child->parent_ != nullptr) {
+    return Status::Invalid("child already has a parent; Detach it first");
+  }
+  if (kind_ != NodeKind::kElement && kind_ != NodeKind::kDocument) {
+    return Status::Invalid(std::string("cannot add children to a ") +
+                           NodeKindName(kind_) + " node");
+  }
+  // Reject cycles: `child` must not be an ancestor of `this`.
+  for (const Node* n = this; n != nullptr; n = n->parent_) {
+    if (n == child) return Status::Invalid("cannot adopt an ancestor");
+  }
+  return Status::Ok();
+}
+
+Status Node::AppendChild(Node* child) {
+  return InsertChildAt(children_.size(), child);
+}
+
+Status Node::InsertChildAt(size_t index, Node* child) {
+  LLL_RETURN_IF_ERROR(CheckAdoptable(child));
+  if (child->is_attribute()) {
+    return Status::Invalid("attribute nodes go through SetAttributeNode");
+  }
+  if (index > children_.size()) {
+    return Status::OutOfRange("child index past end");
+  }
+  children_.insert(children_.begin() + static_cast<ptrdiff_t>(index), child);
+  child->parent_ = this;
+  return Status::Ok();
+}
+
+Status Node::RemoveChild(Node* child) {
+  auto it = std::find(children_.begin(), children_.end(), child);
+  if (it == children_.end()) return Status::NotFound("not a child of this node");
+  children_.erase(it);
+  child->parent_ = nullptr;
+  return Status::Ok();
+}
+
+Status Node::ReplaceChild(Node* old_child,
+                          const std::vector<Node*>& replacement) {
+  auto it = std::find(children_.begin(), children_.end(), old_child);
+  if (it == children_.end()) return Status::NotFound("not a child of this node");
+  size_t index = static_cast<size_t>(it - children_.begin());
+  for (Node* r : replacement) {
+    LLL_RETURN_IF_ERROR(CheckAdoptable(r));
+    if (r->is_attribute()) {
+      return Status::Invalid("attribute nodes cannot replace children");
+    }
+  }
+  children_.erase(it);
+  old_child->parent_ = nullptr;
+  for (size_t i = 0; i < replacement.size(); ++i) {
+    children_.insert(children_.begin() + static_cast<ptrdiff_t>(index + i),
+                     replacement[i]);
+    replacement[i]->parent_ = this;
+  }
+  return Status::Ok();
+}
+
+void Node::SetAttribute(std::string_view name, std::string_view value) {
+  for (Node* a : attributes_) {
+    if (a->name_ == name) {
+      a->value_ = std::string(value);
+      return;
+    }
+  }
+  Node* attr = document_->CreateAttribute(name, value);
+  attr->parent_ = this;
+  attributes_.push_back(attr);
+}
+
+Status Node::SetAttributeNode(Node* attr, bool keep_first) {
+  if (attr == nullptr || !attr->is_attribute()) {
+    return Status::Invalid("SetAttributeNode requires an attribute node");
+  }
+  if (attr->document_ != document_) {
+    return Status::Invalid("attribute belongs to a different document");
+  }
+  if (attr->parent_ != nullptr) {
+    return Status::Invalid("attribute already owned by an element");
+  }
+  if (!is_element()) {
+    return Status::Invalid("attributes can only be set on elements");
+  }
+  for (Node* existing : attributes_) {
+    if (existing->name_ == attr->name_) {
+      if (keep_first) return Status::Ok();  // first writer wins, new one dropped
+      existing->value_ = attr->value_;
+      return Status::Ok();
+    }
+  }
+  attr->parent_ = this;
+  attributes_.push_back(attr);
+  return Status::Ok();
+}
+
+Status Node::ForceAppendDuplicateAttribute(Node* attr) {
+  if (attr == nullptr || !attr->is_attribute()) {
+    return Status::Invalid("requires an attribute node");
+  }
+  if (attr->document_ != document_ || attr->parent_ != nullptr) {
+    return Status::Invalid("attribute must be detached and same-document");
+  }
+  if (!is_element()) return Status::Invalid("attributes only go on elements");
+  attr->parent_ = this;
+  attributes_.push_back(attr);
+  return Status::Ok();
+}
+
+bool Node::RemoveAttribute(std::string_view name) {
+  for (auto it = attributes_.begin(); it != attributes_.end(); ++it) {
+    if ((*it)->name_ == name) {
+      (*it)->parent_ = nullptr;
+      attributes_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+void Node::Detach() {
+  if (parent_ == nullptr) return;
+  if (is_attribute()) {
+    auto& attrs = parent_->attributes_;
+    attrs.erase(std::remove(attrs.begin(), attrs.end(), this), attrs.end());
+  } else {
+    auto& kids = parent_->children_;
+    kids.erase(std::remove(kids.begin(), kids.end(), this), kids.end());
+  }
+  parent_ = nullptr;
+}
+
+// --- Document ---------------------------------------------------------------
+
+Document::Document() : root_(nullptr) {
+  root_ = NewNode(NodeKind::kDocument, "", "");
+}
+
+Node* Document::DocumentElement() const {
+  for (Node* c : root_->children()) {
+    if (c->is_element()) return c;
+  }
+  return nullptr;
+}
+
+Node* Document::NewNode(NodeKind kind, std::string name, std::string value) {
+  nodes_.push_back(std::unique_ptr<Node>(
+      new Node(this, kind, std::move(name), std::move(value))));
+  return nodes_.back().get();
+}
+
+Node* Document::CreateElement(std::string_view name) {
+  return NewNode(NodeKind::kElement, std::string(name), "");
+}
+
+Node* Document::CreateDocumentNode() {
+  return NewNode(NodeKind::kDocument, "", "");
+}
+
+Node* Document::CreateText(std::string_view text) {
+  return NewNode(NodeKind::kText, "", std::string(text));
+}
+
+Node* Document::CreateComment(std::string_view text) {
+  return NewNode(NodeKind::kComment, "", std::string(text));
+}
+
+Node* Document::CreateProcessingInstruction(std::string_view target,
+                                            std::string_view data) {
+  return NewNode(NodeKind::kProcessingInstruction, std::string(target),
+                 std::string(data));
+}
+
+Node* Document::CreateAttribute(std::string_view name, std::string_view value) {
+  return NewNode(NodeKind::kAttribute, std::string(name), std::string(value));
+}
+
+Node* Document::ImportNode(const Node* source) {
+  Node* copy = NewNode(source->kind(), source->name(), source->value());
+  for (const Node* a : source->attributes()) {
+    Node* ac = NewNode(NodeKind::kAttribute, a->name(), a->value());
+    ac->parent_ = copy;
+    copy->attributes_.push_back(ac);
+  }
+  for (const Node* c : source->children()) {
+    Node* cc = ImportNode(c);
+    cc->parent_ = copy;
+    copy->children_.push_back(cc);
+  }
+  return copy;
+}
+
+// --- Document order ---------------------------------------------------------
+
+namespace {
+
+// Ancestor chain from root down to the node itself.
+void AncestorPath(const Node* n, std::vector<const Node*>* out) {
+  out->clear();
+  for (const Node* p = n; p != nullptr; p = p->parent()) out->push_back(p);
+  std::reverse(out->begin(), out->end());
+}
+
+// Position of `child` among the ordered "slots" of `parent`: attributes come
+// right after the element itself, before any children.
+size_t SlotIndex(const Node* parent, const Node* child) {
+  size_t slot = 0;
+  for (const Node* a : parent->attributes()) {
+    if (a == child) return slot;
+    ++slot;
+  }
+  for (const Node* c : parent->children()) {
+    if (c == child) return slot;
+    ++slot;
+  }
+  return static_cast<size_t>(-1);
+}
+
+}  // namespace
+
+int CompareDocumentOrder(const Node* a, const Node* b) {
+  if (a == b) return 0;
+  std::vector<const Node*> pa, pb;
+  AncestorPath(a, &pa);
+  AncestorPath(b, &pb);
+  if (pa[0] != pb[0]) {
+    // Different trees: stable arbitrary order by root pointer.
+    return pa[0] < pb[0] ? -1 : 1;
+  }
+  size_t i = 0;
+  while (i < pa.size() && i < pb.size() && pa[i] == pb[i]) ++i;
+  if (i == pa.size()) return -1;  // a is an ancestor of b: ancestor first
+  if (i == pb.size()) return 1;
+  const Node* common = pa[i - 1];
+  size_t sa = SlotIndex(common, pa[i]);
+  size_t sb = SlotIndex(common, pb[i]);
+  return sa < sb ? -1 : 1;
+}
+
+}  // namespace lll::xml

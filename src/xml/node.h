@@ -1,0 +1,175 @@
+#ifndef LLL_XML_NODE_H_
+#define LLL_XML_NODE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/status.h"
+
+namespace lll::xml {
+
+class Document;
+
+enum class NodeKind {
+  kDocument,
+  kElement,
+  kAttribute,
+  kText,
+  kComment,
+  kProcessingInstruction,
+};
+
+const char* NodeKindName(NodeKind kind);
+
+// One node of the XML infoset. Nodes are created by and owned by a Document
+// (arena ownership); the tree structure itself uses raw non-owning pointers,
+// so structural mutation -- the thing the paper's Java rewrite leaned on --
+// is cheap and never moves memory.
+//
+// Attribute nodes are real nodes (as in XDM): they can exist detached from
+// any element, which is exactly what makes the paper's attribute-folding
+// behavior (E2) expressible.
+class Node {
+ public:
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  NodeKind kind() const { return kind_; }
+  bool is_element() const { return kind_ == NodeKind::kElement; }
+  bool is_attribute() const { return kind_ == NodeKind::kAttribute; }
+  bool is_text() const { return kind_ == NodeKind::kText; }
+  bool is_document() const { return kind_ == NodeKind::kDocument; }
+
+  // Element/attribute/PI name; empty for document/text/comment.
+  const std::string& name() const { return name_; }
+  // Attribute value, text content, comment content, or PI data.
+  const std::string& value() const { return value_; }
+  void set_value(std::string v) { value_ = std::move(v); }
+
+  Node* parent() const { return parent_; }
+  Document* document() const { return document_; }
+
+  // Child nodes (elements, text, comments, PIs) in document order.
+  // Attribute nodes are never in children(); they live in attributes().
+  const std::vector<Node*>& children() const { return children_; }
+  const std::vector<Node*>& attributes() const { return attributes_; }
+
+  // --- Navigation -----------------------------------------------------------
+
+  // Concatenation of all descendant text, XPath string-value semantics.
+  std::string StringValue() const;
+
+  // First child element with the given name, or nullptr.
+  Node* FirstChildElement(std::string_view name) const;
+  // All child elements (any name if `name` is empty).
+  std::vector<Node*> ChildElements(std::string_view name = {}) const;
+  // All descendant elements with the given name, in document order.
+  std::vector<Node*> DescendantElements(std::string_view name) const;
+
+  // Attribute value by name; nullptr if absent.
+  const std::string* AttributeValue(std::string_view name) const;
+  // Attribute node by name; nullptr if absent.
+  Node* AttributeNode(std::string_view name) const;
+
+  // Index of this node within parent()->children(), or npos if detached.
+  size_t IndexInParent() const;
+
+  // Root of the tree this node belongs to (may be a detached subtree root).
+  Node* Root();
+
+  // --- Mutation (element/document nodes) -------------------------------
+
+  // Appends a child node. The child must belong to the same Document and be
+  // detached. Attribute nodes are rejected here; use SetAttributeNode.
+  Status AppendChild(Node* child);
+  Status InsertChildAt(size_t index, Node* child);
+  Status RemoveChild(Node* child);
+  // Replaces `old_child` with the given nodes (all same-document, detached).
+  Status ReplaceChild(Node* old_child, const std::vector<Node*>& replacement);
+
+  // Sets (or overwrites) an attribute by name.
+  void SetAttribute(std::string_view name, std::string_view value);
+  // Attaches an existing detached attribute node. If an attribute with the
+  // same name exists, `keep_first` decides which survives (the paper notes
+  // implementations disagreed; we keep the FIRST by default, deterministic).
+  Status SetAttributeNode(Node* attr, bool keep_first = true);
+  bool RemoveAttribute(std::string_view name);
+
+  // Appends `attr` even if an attribute with the same name already exists,
+  // producing an element that serializes to INVALID XML. Exists solely so
+  // the XQuery engine can reproduce the Galax duplicate-attribute bug the
+  // paper observed (see EvalOptions::galax_duplicate_attributes).
+  Status ForceAppendDuplicateAttribute(Node* attr);
+
+  // Detaches this node from its parent (no-op if already detached).
+  void Detach();
+
+ private:
+  friend class Document;
+  Node(Document* doc, NodeKind kind, std::string name, std::string value)
+      : document_(doc),
+        kind_(kind),
+        name_(std::move(name)),
+        value_(std::move(value)) {}
+
+  Status CheckAdoptable(const Node* child) const;
+
+  Document* document_;
+  NodeKind kind_;
+  std::string name_;
+  std::string value_;
+  Node* parent_ = nullptr;
+  std::vector<Node*> children_;
+  std::vector<Node*> attributes_;
+};
+
+// Arena that owns every Node of one tree (or forest -- detached nodes are
+// fine). Destroying the Document destroys all its nodes.
+class Document {
+ public:
+  Document();
+  Document(const Document&) = delete;
+  Document& operator=(const Document&) = delete;
+
+  // The document node (root of the tree).
+  Node* root() { return root_; }
+  const Node* root() const { return root_; }
+
+  // The single top-level element under the document node, or nullptr.
+  Node* DocumentElement() const;
+
+  Node* CreateElement(std::string_view name);
+  // A detached document node (for XQuery `document { ... }` constructors);
+  // distinct from root().
+  Node* CreateDocumentNode();
+  Node* CreateText(std::string_view text);
+  Node* CreateComment(std::string_view text);
+  Node* CreateProcessingInstruction(std::string_view target,
+                                    std::string_view data);
+  Node* CreateAttribute(std::string_view name, std::string_view value);
+
+  // Deep-copies `source` (which may belong to another Document) into this
+  // document; the returned node is detached.
+  Node* ImportNode(const Node* source);
+
+  // Total number of nodes ever created in this arena (detached included).
+  size_t node_count() const { return nodes_.size(); }
+
+ private:
+  Node* NewNode(NodeKind kind, std::string name, std::string value);
+
+  std::vector<std::unique_ptr<Node>> nodes_;
+  Node* root_;
+};
+
+// Document order: -1 if `a` precedes `b`, 0 if same node, +1 if follows.
+// Attribute nodes order after their owner element and before its children;
+// nodes from different trees compare by tree identity (stable, arbitrary).
+int CompareDocumentOrder(const Node* a, const Node* b);
+
+}  // namespace lll::xml
+
+#endif  // LLL_XML_NODE_H_

@@ -1,0 +1,40 @@
+#ifndef LLL_XML_PARSER_H_
+#define LLL_XML_PARSER_H_
+
+#include <memory>
+#include <string_view>
+
+#include "core/result.h"
+#include "xml/node.h"
+
+namespace lll::xml {
+
+struct ParseOptions {
+  // Drop text nodes that are pure whitespace between elements. Template and
+  // model files are authored indented; data files may want them kept.
+  bool strip_insignificant_whitespace = false;
+  // Keep comments / processing instructions in the tree.
+  bool keep_comments = true;
+  bool keep_processing_instructions = true;
+};
+
+// Parses a complete XML document. Supports: the XML declaration, elements,
+// attributes (single or double quoted), self-closing tags, character data,
+// CDATA sections, comments, processing instructions, the five built-in
+// entities and numeric character references (&#...; / &#x...;). DTDs and
+// namespaces are out of scope (names keep their colons verbatim).
+//
+// Errors carry 1-based line:column positions -- the paper spends a page on
+// how much unlocated errors cost ("It would have been helpful to have a line
+// number in this message").
+Result<std::unique_ptr<Document>> Parse(std::string_view input,
+                                        const ParseOptions& options = {});
+
+// Convenience: parses and returns the single document element.
+// Returns an error if the document has no element root.
+Result<std::unique_ptr<Document>> ParseFile(const std::string& path,
+                                            const ParseOptions& options = {});
+
+}  // namespace lll::xml
+
+#endif  // LLL_XML_PARSER_H_

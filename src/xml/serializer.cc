@@ -1,0 +1,169 @@
+#include "xml/serializer.h"
+
+namespace lll::xml {
+
+std::string EscapeText(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '>':
+        out += "&gt;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string EscapeAttribute(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '&':
+        out += "&amp;";
+        break;
+      case '<':
+        out += "&lt;";
+        break;
+      case '"':
+        out += "&quot;";
+        break;
+      default:
+        out.push_back(c);
+    }
+  }
+  return out;
+}
+
+bool IsHtmlVoidElement(std::string_view name) {
+  // Lowercase comparison: HTML tag names are case-insensitive.
+  std::string lower(name);
+  for (char& c : lower) {
+    if (c >= 'A' && c <= 'Z') c = static_cast<char>(c - 'A' + 'a');
+  }
+  for (const char* v : {"br", "hr", "img", "input", "meta", "link", "area",
+                        "base", "col", "embed", "source", "track", "wbr"}) {
+    if (lower == v) return true;
+  }
+  return false;
+}
+
+namespace {
+
+void SerializeTo(const Node* node, const SerializeOptions& options, int depth,
+                 std::string* out) {
+  auto newline_indent = [&](int d) {
+    if (options.indent > 0) {
+      out->push_back('\n');
+      out->append(static_cast<size_t>(d * options.indent), ' ');
+    }
+  };
+
+  switch (node->kind()) {
+    case NodeKind::kDocument: {
+      if (options.declaration) {
+        out->append("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+        if (options.indent > 0) out->push_back('\n');
+      }
+      bool first = true;
+      for (const Node* c : node->children()) {
+        if (!first && options.indent > 0) out->push_back('\n');
+        SerializeTo(c, options, depth, out);
+        first = false;
+      }
+      return;
+    }
+    case NodeKind::kElement: {
+      out->push_back('<');
+      out->append(node->name());
+      for (const Node* a : node->attributes()) {
+        out->push_back(' ');
+        out->append(a->name());
+        out->append("=\"");
+        out->append(EscapeAttribute(a->value()));
+        out->push_back('"');
+      }
+      if (node->children().empty()) {
+        if (options.html) {
+          out->push_back('>');
+          if (IsHtmlVoidElement(node->name())) return;  // <br> has no close
+          out->append("</");
+          out->append(node->name());
+          out->push_back('>');
+          return;
+        }
+        if (options.self_close_empty) {
+          out->append("/>");
+          return;
+        }
+      }
+      out->push_back('>');
+      // Mixed content (any text child) is serialized inline; element-only
+      // content gets the pretty indentation.
+      bool element_only = true;
+      for (const Node* c : node->children()) {
+        if (c->is_text()) {
+          element_only = false;
+          break;
+        }
+      }
+      if (options.indent > 0 && element_only && !node->children().empty()) {
+        for (const Node* c : node->children()) {
+          newline_indent(depth + 1);
+          SerializeTo(c, options, depth + 1, out);
+        }
+        newline_indent(depth);
+      } else {
+        for (const Node* c : node->children()) {
+          SerializeTo(c, options, depth + 1, out);
+        }
+      }
+      out->append("</");
+      out->append(node->name());
+      out->push_back('>');
+      return;
+    }
+    case NodeKind::kText:
+      out->append(EscapeText(node->value()));
+      return;
+    case NodeKind::kComment:
+      out->append("<!--");
+      out->append(node->value());
+      out->append("-->");
+      return;
+    case NodeKind::kProcessingInstruction:
+      out->append("<?");
+      out->append(node->name());
+      if (!node->value().empty()) {
+        out->push_back(' ');
+        out->append(node->value());
+      }
+      out->append("?>");
+      return;
+    case NodeKind::kAttribute:
+      out->append(node->name());
+      out->append("=\"");
+      out->append(EscapeAttribute(node->value()));
+      out->push_back('"');
+      return;
+  }
+}
+
+}  // namespace
+
+std::string Serialize(const Node* node, const SerializeOptions& options) {
+  std::string out;
+  SerializeTo(node, options, 0, &out);
+  return out;
+}
+
+}  // namespace lll::xml

@@ -1,0 +1,258 @@
+#ifndef LLL_XQUERY_AST_H_
+#define LLL_XQUERY_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "xdm/item.h"
+
+namespace lll::xq {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+// XPath axes. The subset covers everything the paper's document generator
+// used: child::, descendant(-or-self)::, parent:: ("parent::book"), self::,
+// ancestor::, attribute:: (@), and the sibling axes used by table code.
+enum class Axis {
+  kChild,
+  kDescendant,
+  kDescendantOrSelf,
+  kSelf,
+  kParent,
+  kAncestor,
+  kAncestorOrSelf,
+  kAttribute,
+  kFollowingSibling,
+  kPrecedingSibling,
+};
+
+const char* AxisName(Axis axis);
+
+enum class NodeTestKind {
+  kName,     // kid, parent::book
+  kAnyName,  // *
+  kText,     // text()
+  kComment,  // comment()
+  kPi,       // processing-instruction()
+  kAnyNode,  // node()
+};
+
+struct NodeTest {
+  NodeTestKind kind = NodeTestKind::kAnyName;
+  std::string name;  // for kName
+};
+
+struct PathStep {
+  Axis axis = Axis::kChild;
+  NodeTest test;
+  std::vector<ExprPtr> predicates;
+  // A filter step -- `E[pred]` over a primary expression -- applies its
+  // predicates to the WHOLE input sequence (atomics allowed, position counts
+  // across the sequence), unlike an axis step whose predicates count
+  // positions per context item. This is how (1,2,3)[2] yields 2.
+  bool is_filter = false;
+};
+
+enum class BinOp {
+  kOr,
+  kAnd,
+  // General comparisons (existential =, !=, <, <=, >, >=).
+  kGenEq,
+  kGenNe,
+  kGenLt,
+  kGenLe,
+  kGenGt,
+  kGenGe,
+  // Value ("singleton") comparisons eq / ne / lt / le / gt / ge.
+  kValEq,
+  kValNe,
+  kValLt,
+  kValLe,
+  kValGt,
+  kValGe,
+  kIs,  // node identity
+  kAdd,
+  kSub,
+  kMul,
+  kDiv,
+  kIdiv,
+  kMod,
+  kUnion,
+  kIntersect,
+  kExcept,
+  kTo,  // range 1 to n
+};
+
+const char* BinOpName(BinOp op);
+
+enum class ExprKind {
+  kLiteral,       // atomic literal (string/integer/double)
+  kEmptySequence, // ()
+  kSequence,      // (a, b, c) -- children are the members; flattens on eval
+  kVarRef,        // $name
+  kContextItem,   // .
+  kPath,          // steps, possibly rooted; children[0] (optional) = base expr
+  kBinary,        // children[0] op children[1]
+  kUnary,         // -e / +e; children[0]
+  kIf,            // children = {cond, then, else}
+  kFlwor,         // for/let/where/order/return
+  kQuantified,    // some/every $v in e satisfies e
+  kFunctionCall,  // name, children = args
+  kDirectElement, // <name attr="...">...</name>
+  kTextLiteral,   // raw character data inside a direct constructor
+  kCompElement,   // element name {content} / element {nameExpr} {content}
+  kCompAttribute, // attribute name {content} / attribute {nameExpr} {content}
+  kCompText,      // text {content}
+  kCompComment,   // comment {content}
+  kCompDocument,  // document {content}
+  kCastAs,        // e cast as type
+  kCastableAs,    // e castable as type
+  kInstanceOf,    // e instance of type
+  kTryCatch,      // try { e } catch { e } -- the Moral #4 extension
+};
+
+const char* ExprKindName(ExprKind kind);
+
+// SequenceType -- the slice of the "extensive, almost baroque" type system we
+// support for function annotations: an item type plus an occurrence
+// indicator. Enough to reproduce the paper's type-annotation experiment.
+struct SequenceType {
+  enum class ItemType {
+    kItem,
+    kNode,
+    kElement,
+    kAttribute,
+    kTextNode,
+    kDocumentNode,
+    kString,
+    kInteger,
+    kDecimal,  // accepted in source; behaves as double
+    kDouble,
+    kBoolean,
+    kUntyped,
+    kAnyAtomic,
+    kEmpty,  // empty-sequence()
+  };
+  enum class Occurrence {
+    kOne,       // T
+    kOptional,  // T?
+    kStar,      // T*
+    kPlus,      // T+
+  };
+
+  ItemType item_type = ItemType::kItem;
+  Occurrence occurrence = Occurrence::kStar;
+  std::string element_name;  // element(foo) restricts the name; empty = any
+
+  std::string ToString() const;
+};
+
+// One for/let binding in a FLWOR.
+struct FlworClause {
+  enum class Kind { kFor, kLet, kWhere };
+  Kind kind = Kind::kFor;
+  std::string var;       // without '$'
+  std::string pos_var;   // "for $x at $i in ..." ; empty if none
+  ExprPtr expr;          // binding expr, or the where condition
+};
+
+struct OrderSpec {
+  ExprPtr key;
+  bool descending = false;
+};
+
+// Attribute of a direct element constructor: value is a concatenation of raw
+// text pieces and enclosed expressions.
+struct DirectAttribute {
+  std::string name;
+  std::vector<ExprPtr> value_parts;  // kTextLiteral or arbitrary exprs
+};
+
+struct Expr {
+  explicit Expr(ExprKind k) : kind(k) {}
+
+  ExprKind kind;
+
+  // kLiteral payload. Held via the variant-free scheme below to keep Expr
+  // default-constructible: strings in `text`, numbers in `number`/`integer`.
+  enum class LiteralType { kString, kInteger, kDouble } literal_type =
+      LiteralType::kString;
+  std::string text;     // literal string / kTextLiteral raw text
+  int64_t integer = 0;  // integer literal
+  double number = 0;    // double literal
+
+  std::string name;     // variable / function / element / attribute name
+  BinOp op = BinOp::kOr;
+
+  // Generic subexpressions; meaning depends on kind (documented per kind
+  // above). For kPath with a base expression the base is children[0].
+  std::vector<ExprPtr> children;
+
+  // kPath
+  bool has_base = false;  // children[0] is the E in E/step/step
+  bool rooted = false;    // absolute: starts at the context node's root
+  std::vector<PathStep> steps;
+
+  // kFlwor
+  std::vector<FlworClause> clauses;
+  std::vector<OrderSpec> order_by;
+  // return expr is children[0]
+
+  // kQuantified
+  bool quantifier_every = false;  // false = some
+  // children = {binding expr, satisfies expr}; `name` is the variable
+
+  // kDirectElement
+  std::vector<DirectAttribute> attributes;
+  // children = content (kTextLiteral / nested constructors / enclosed exprs)
+
+  // kCompElement / kCompAttribute: if `name` empty, children[0] is the name
+  // expression and children[1] the content; otherwise children[0] is content.
+  bool computed_name = false;
+
+  // kCastAs / kInstanceOf / function signature use.
+  SequenceType type;
+
+  // Source position, 1-based; kept through optimization for diagnostics.
+  size_t line = 0;
+  size_t col = 0;
+};
+
+// A user-defined function: declare function local:name($a as T, $b) as T {..}.
+struct FunctionDecl {
+  std::string name;
+  std::vector<std::string> params;
+  std::vector<SequenceType> param_types;  // parallel; defaults to item()*
+  SequenceType return_type;               // item()* if unannotated
+  bool has_return_type = false;
+  std::vector<bool> has_param_type;
+  ExprPtr body;
+};
+
+// declare variable $name := expr;
+struct VariableDecl {
+  std::string name;
+  ExprPtr expr;
+};
+
+// A parsed main module: prolog declarations plus the body expression.
+struct Module {
+  std::vector<FunctionDecl> functions;
+  std::vector<VariableDecl> variables;
+  ExprPtr body;
+};
+
+// Deep copy (used by the optimizer to build rewritten trees).
+ExprPtr CloneExpr(const Expr& e);
+
+// Number of Expr nodes in the tree -- a code-size metric for E3/E10.
+size_t CountExprNodes(const Expr& e);
+
+// Compact single-line rendering for debugging and golden tests.
+std::string ExprToString(const Expr& e);
+
+}  // namespace lll::xq
+
+#endif  // LLL_XQUERY_AST_H_

@@ -1,0 +1,66 @@
+#include "xquery/engine.h"
+
+#include "xquery/parser.h"
+
+namespace lll::xq {
+
+std::string QueryResult::SerializedItems(
+    const xml::SerializeOptions& options) const {
+  std::string out;
+  bool last_atomic = false;
+  for (const xdm::Item& item : sequence.items()) {
+    if (item.is_node()) {
+      out += xml::Serialize(item.node(), options);
+      last_atomic = false;
+    } else {
+      if (last_atomic) out += " ";
+      out += item.StringForm();
+      last_atomic = true;
+    }
+  }
+  return out;
+}
+
+Result<CompiledQuery> Compile(std::string_view source,
+                              const CompileOptions& options) {
+  LLL_ASSIGN_OR_RETURN(Module module, ParseModule(source));
+  OptimizerStats stats;
+  if (options.optimize) {
+    stats = Optimize(&module, options.optimizer);
+  }
+  return CompiledQuery(std::move(module), stats);
+}
+
+Result<QueryResult> Execute(const CompiledQuery& query,
+                            const ExecuteOptions& options) {
+  DynamicContext context;
+  for (const auto& [name, doc] : options.documents) {
+    context.RegisterDocument(name, doc);
+  }
+  for (const auto& [name, value] : options.variables) {
+    context.BindExternal(name, value);
+  }
+  if (options.context_node != nullptr) {
+    context.SetContextItem(xdm::Item::NodeRef(options.context_node));
+  }
+  Evaluator evaluator(query.module(), &context, options.eval);
+  Result<xdm::Sequence> value = evaluator.Run();
+  if (!value.ok()) {
+    return value.status();
+  }
+  QueryResult result;
+  result.sequence = std::move(*value);
+  result.trace_output = std::move(context.trace_output());
+  result.stats = evaluator.stats();
+  result.arena = context.ReleaseArena();
+  return result;
+}
+
+Result<QueryResult> Run(std::string_view source,
+                        const ExecuteOptions& exec_options,
+                        const CompileOptions& compile_options) {
+  LLL_ASSIGN_OR_RETURN(CompiledQuery query, Compile(source, compile_options));
+  return Execute(query, exec_options);
+}
+
+}  // namespace lll::xq

@@ -1,0 +1,82 @@
+#ifndef LLL_XQUERY_ENGINE_H_
+#define LLL_XQUERY_ENGINE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/result.h"
+#include "xml/serializer.h"
+#include "xquery/ast.h"
+#include "xquery/eval.h"
+#include "xquery/optimizer.h"
+
+namespace lll::xq {
+
+// The public face of the XQuery engine: Compile once, Execute many times.
+//
+//   auto query = xq::Compile("for $u in //user return $u/@name");
+//   xq::ExecuteOptions opts;
+//   opts.context_node = doc->root();
+//   auto result = xq::Execute(*query, opts);
+//   result->SerializedItems();   // -> the answer as XML text
+
+struct CompileOptions {
+  bool optimize = true;
+  OptimizerOptions optimizer;
+};
+
+class CompiledQuery {
+ public:
+  CompiledQuery(Module module, OptimizerStats stats)
+      : module_(std::move(module)), optimizer_stats_(stats) {}
+
+  CompiledQuery(CompiledQuery&&) = default;
+  CompiledQuery& operator=(CompiledQuery&&) = default;
+
+  const Module& module() const { return module_; }
+  const OptimizerStats& optimizer_stats() const { return optimizer_stats_; }
+
+ private:
+  Module module_;
+  OptimizerStats optimizer_stats_;
+};
+
+struct ExecuteOptions {
+  // The initial context item (usually a document node or element).
+  xml::Node* context_node = nullptr;
+  // External variable bindings, visible as $name.
+  std::map<std::string, xdm::Sequence> variables;
+  // Documents reachable via fn:doc("name").
+  std::map<std::string, xml::Node*> documents;
+  EvalOptions eval;
+};
+
+struct QueryResult {
+  xdm::Sequence sequence;
+  // Owns every node constructed during evaluation; node items in `sequence`
+  // may point into it (or into the caller's input documents).
+  std::unique_ptr<xml::Document> arena;
+  std::vector<std::string> trace_output;
+  EvalStats stats;
+
+  // XQuery-style serialization of the result sequence: nodes as XML,
+  // atomics as their string forms, adjacent atomics separated by a space.
+  std::string SerializedItems(const xml::SerializeOptions& options = {}) const;
+};
+
+Result<CompiledQuery> Compile(std::string_view source,
+                              const CompileOptions& options = {});
+
+Result<QueryResult> Execute(const CompiledQuery& query,
+                            const ExecuteOptions& options = {});
+
+// One-shot convenience: compile + execute.
+Result<QueryResult> Run(std::string_view source,
+                        const ExecuteOptions& exec_options = {},
+                        const CompileOptions& compile_options = {});
+
+}  // namespace lll::xq
+
+#endif  // LLL_XQUERY_ENGINE_H_

@@ -1,0 +1,1238 @@
+#include "xquery/eval.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/string_util.h"
+#include "xdm/compare.h"
+
+namespace lll::xq {
+
+using xdm::Item;
+using xdm::Sequence;
+
+// --- DynamicContext -----------------------------------------------------
+
+DynamicContext::DynamicContext() : arena_(std::make_unique<xml::Document>()) {}
+
+void DynamicContext::BindExternal(const std::string& name, Sequence value) {
+  env_.emplace_back(name, std::move(value));
+}
+
+// --- Evaluator ------------------------------------------------------------
+
+Evaluator::Evaluator(const Module& module, DynamicContext* context,
+                     const EvalOptions& options)
+    : module_(module), ctx_(context), options_(options) {
+  for (const FunctionDecl& fn : module.functions) {
+    functions_[{fn.name, fn.params.size()}] = &fn;
+  }
+  if (ctx_->has_context_item_) {
+    focus_.item = ctx_->context_item_;
+    focus_.position = 1;
+    focus_.size = 1;
+    focus_.valid = true;
+  }
+}
+
+const Sequence* Evaluator::EnvLookup(const std::string& name) const {
+  for (auto it = ctx_->env_.rbegin(); it != ctx_->env_.rend(); ++it) {
+    if (it->first == name) return &it->second;
+  }
+  return nullptr;
+}
+
+Result<Evaluator::Focus> Evaluator::RequireFocus(const Expr& e) const {
+  if (focus_.valid) return focus_;
+  if (options_.galax_style_messages) {
+    // The message the paper quotes, verbatim: the compiler-internal name of
+    // the context item surfacing in user-facing diagnostics.
+    return Status::Internal("Internal_Error: Variable '$glx:dot' not found.");
+  }
+  return Status::Invalid("no context item at line " + std::to_string(e.line) +
+                         ", column " + std::to_string(e.col));
+}
+
+Status Evaluator::StepBudget() {
+  ++stats_.steps;
+  if (options_.max_steps != 0 && stats_.steps > options_.max_steps) {
+    return Status::Internal("evaluation step budget exceeded");
+  }
+  return Status::Ok();
+}
+
+Result<Sequence> Evaluator::Run() {
+  for (const VariableDecl& var : module_.variables) {
+    LLL_ASSIGN_OR_RETURN(Sequence value, Eval(*var.expr));
+    EnvBind(var.name, std::move(value));
+  }
+  return Eval(*module_.body);
+}
+
+Result<Sequence> Evaluator::Eval(const Expr& e) {
+  LLL_RETURN_IF_ERROR(StepBudget());
+  switch (e.kind) {
+    case ExprKind::kLiteral:
+      switch (e.literal_type) {
+        case Expr::LiteralType::kString:
+          return Sequence(Item::String(e.text));
+        case Expr::LiteralType::kInteger:
+          return Sequence(Item::Integer(e.integer));
+        case Expr::LiteralType::kDouble:
+          return Sequence(Item::Double(e.number));
+      }
+      return Status::Internal("bad literal");
+    case ExprKind::kTextLiteral:
+      return Sequence(Item::String(e.text));
+    case ExprKind::kEmptySequence:
+      return Sequence();
+    case ExprKind::kSequence: {
+      Sequence out;
+      for (const ExprPtr& c : e.children) {
+        LLL_ASSIGN_OR_RETURN(Sequence part, Eval(*c));
+        out.AppendSequence(part);  // flattening happens here, by construction
+      }
+      return out;
+    }
+    case ExprKind::kVarRef: {
+      const Sequence* bound = EnvLookup(e.name);
+      if (bound == nullptr) {
+        return Status::Invalid("variable '$" + e.name + "' not found at line " +
+                               std::to_string(e.line));
+      }
+      return *bound;
+    }
+    case ExprKind::kContextItem: {
+      LLL_ASSIGN_OR_RETURN(Focus f, RequireFocus(e));
+      return Sequence(f.item);
+    }
+    case ExprKind::kPath:
+      return EvalPath(e);
+    case ExprKind::kBinary:
+      return EvalBinary(e);
+    case ExprKind::kUnary: {
+      LLL_ASSIGN_OR_RETURN(Sequence operand, Eval(*e.children[0]));
+      Sequence atomized = operand.Atomized();
+      if (atomized.empty()) return Sequence();
+      LLL_ASSIGN_OR_RETURN(Item single,
+                           xdm::RequireSingleton(atomized, "unary '-'"));
+      if (single.kind() == xdm::ItemKind::kInteger) {
+        return Sequence(Item::Integer(-single.integer_value()));
+      }
+      LLL_ASSIGN_OR_RETURN(double value, single.NumericValue());
+      return Sequence(Item::Double(-value));
+    }
+    case ExprKind::kIf: {
+      LLL_ASSIGN_OR_RETURN(Sequence cond, Eval(*e.children[0]));
+      LLL_ASSIGN_OR_RETURN(bool truth, xdm::EffectiveBooleanValue(cond));
+      return Eval(truth ? *e.children[1] : *e.children[2]);
+    }
+    case ExprKind::kFlwor:
+      return EvalFlwor(e);
+    case ExprKind::kQuantified:
+      return EvalQuantified(e);
+    case ExprKind::kFunctionCall:
+      return EvalFunctionCall(e);
+    case ExprKind::kDirectElement:
+      return EvalDirectElement(e);
+    case ExprKind::kCompElement:
+    case ExprKind::kCompAttribute:
+    case ExprKind::kCompText:
+    case ExprKind::kCompComment:
+    case ExprKind::kCompDocument:
+      return EvalComputedConstructor(e);
+    case ExprKind::kCastAs:
+      return EvalCast(e);
+    case ExprKind::kCastableAs: {
+      // `e castable as T`: true iff `e cast as T` would succeed. EvalCast
+      // re-evaluates the child, which is fine: the operand is evaluated at
+      // most twice and side effects are limited to trace lines.
+      LLL_ASSIGN_OR_RETURN(Sequence value, Eval(*e.children[0]));
+      Sequence atomized = value.Atomized();
+      if (atomized.size() > 1) return Sequence(Item::Boolean(false));
+      if (atomized.empty()) {
+        return Sequence(Item::Boolean(
+            e.type.occurrence == SequenceType::Occurrence::kOptional));
+      }
+      Expr probe(ExprKind::kCastAs);
+      probe.type = e.type;
+      probe.children.push_back(CloneExpr(*e.children[0]));
+      Result<Sequence> attempt = EvalCast(probe);
+      return Sequence(Item::Boolean(attempt.ok()));
+    }
+    case ExprKind::kInstanceOf:
+      return EvalInstanceOf(e);
+    case ExprKind::kTryCatch: {
+      // The Moral #4 extension: "A little language should provide exception
+      // handling. A very rudimentary form ... will do." Dynamic errors from
+      // the try body are caught; the handler sees $err:description. Internal
+      // resource-limit errors (step budget, recursion depth) are NOT
+      // catchable -- a handler must not mask a runaway query.
+      Result<Sequence> attempt = Eval(*e.children[0]);
+      if (attempt.ok()) return attempt;
+      if (attempt.status().code() == StatusCode::kInternal) {
+        return attempt.status();
+      }
+      size_t mark = EnvMark();
+      EnvBind("err:description",
+              Sequence(Item::String(attempt.status().message())));
+      EnvBind("err:code",
+              Sequence(Item::String(StatusCodeName(attempt.status().code()))));
+      Result<Sequence> handled = Eval(*e.children[1]);
+      EnvRestore(mark);
+      return handled;
+    }
+  }
+  return Status::Internal("unhandled expression kind");
+}
+
+// --- Paths ----------------------------------------------------------------
+
+Result<Sequence> Evaluator::EvalPath(const Expr& e) {
+  Sequence current;
+  if (e.has_base) {
+    LLL_ASSIGN_OR_RETURN(current, Eval(*e.children[0]));
+  } else if (e.rooted) {
+    LLL_ASSIGN_OR_RETURN(Focus f, RequireFocus(e));
+    if (!f.item.is_node()) {
+      return Status::TypeError("'/' requires the context item to be a node");
+    }
+    current = Sequence(Item::NodeRef(f.item.node()->Root()));
+  } else {
+    LLL_ASSIGN_OR_RETURN(Focus f, RequireFocus(e));
+    current = Sequence(f.item);
+  }
+  for (const PathStep& step : e.steps) {
+    LLL_ASSIGN_OR_RETURN(current, EvalStep(step, current));
+    if (current.empty()) return current;
+  }
+  return current;
+}
+
+namespace {
+
+bool MatchesTest(const xml::Node* n, const NodeTest& test, Axis axis) {
+  xml::NodeKind principal = axis == Axis::kAttribute
+                                ? xml::NodeKind::kAttribute
+                                : xml::NodeKind::kElement;
+  switch (test.kind) {
+    case NodeTestKind::kName:
+      return n->kind() == principal && n->name() == test.name;
+    case NodeTestKind::kAnyName:
+      return n->kind() == principal;
+    case NodeTestKind::kText:
+      return n->is_text();
+    case NodeTestKind::kComment:
+      return n->kind() == xml::NodeKind::kComment;
+    case NodeTestKind::kPi:
+      return n->kind() == xml::NodeKind::kProcessingInstruction;
+    case NodeTestKind::kAnyNode:
+      return true;
+  }
+  return false;
+}
+
+void CollectDescendants(xml::Node* n, std::vector<xml::Node*>* out) {
+  for (xml::Node* c : n->children()) {
+    out->push_back(c);
+    CollectDescendants(c, out);
+  }
+}
+
+}  // namespace
+
+Result<Sequence> Evaluator::EvalStep(const PathStep& step,
+                                     const Sequence& input) {
+  if (step.is_filter) {
+    return ApplyPredicates(step.predicates, input);
+  }
+  Sequence result;
+  for (const Item& context : input.items()) {
+    if (!context.is_node()) {
+      return Status::TypeError(
+          "path step applied to an atomic value (err:XPTY0019)");
+    }
+    xml::Node* node = context.node();
+    std::vector<xml::Node*> axis_nodes;
+    switch (step.axis) {
+      case Axis::kChild:
+        axis_nodes.assign(node->children().begin(), node->children().end());
+        break;
+      case Axis::kAttribute:
+        axis_nodes.assign(node->attributes().begin(),
+                          node->attributes().end());
+        break;
+      case Axis::kSelf:
+        axis_nodes.push_back(node);
+        break;
+      case Axis::kDescendant:
+        CollectDescendants(node, &axis_nodes);
+        break;
+      case Axis::kDescendantOrSelf:
+        axis_nodes.push_back(node);
+        CollectDescendants(node, &axis_nodes);
+        break;
+      case Axis::kParent:
+        if (node->parent() != nullptr) axis_nodes.push_back(node->parent());
+        break;
+      case Axis::kAncestor:
+      case Axis::kAncestorOrSelf: {
+        if (step.axis == Axis::kAncestorOrSelf) axis_nodes.push_back(node);
+        for (xml::Node* p = node->parent(); p != nullptr; p = p->parent()) {
+          axis_nodes.push_back(p);  // reverse document order, per the axis
+        }
+        break;
+      }
+      case Axis::kFollowingSibling:
+      case Axis::kPrecedingSibling: {
+        xml::Node* parent = node->parent();
+        if (parent == nullptr || node->is_attribute()) break;
+        const auto& sibs = parent->children();
+        size_t index = node->IndexInParent();
+        if (step.axis == Axis::kFollowingSibling) {
+          for (size_t i = index + 1; i < sibs.size(); ++i) {
+            axis_nodes.push_back(sibs[i]);
+          }
+        } else {
+          for (size_t i = index; i-- > 0;) {
+            axis_nodes.push_back(sibs[i]);  // reverse document order
+          }
+        }
+        break;
+      }
+    }
+    Sequence candidates;
+    for (xml::Node* candidate : axis_nodes) {
+      if (MatchesTest(candidate, step.test, step.axis)) {
+        candidates.Append(Item::NodeRef(candidate));
+      }
+    }
+    LLL_ASSIGN_OR_RETURN(Sequence filtered,
+                         ApplyPredicates(step.predicates, candidates));
+    result.AppendSequence(filtered);
+  }
+  if (result.AllNodes()) result.SortDocumentOrderAndDedup();
+  return result;
+}
+
+Result<Sequence> Evaluator::ApplyPredicates(const std::vector<ExprPtr>& preds,
+                                            Sequence candidates) {
+  for (const ExprPtr& pred : preds) {
+    Sequence kept;
+    Focus saved = focus_;
+    size_t size = candidates.size();
+    for (size_t i = 0; i < size; ++i) {
+      focus_.item = candidates.at(i);
+      focus_.position = i + 1;
+      focus_.size = size;
+      focus_.valid = true;
+      Result<Sequence> value = Eval(*pred);
+      if (!value.ok()) {
+        focus_ = saved;
+        return value.status();
+      }
+      bool keep = false;
+      // A singleton strictly-numeric predicate is a position test.
+      if (value->size() == 1 && value->at(0).is_numeric()) {
+        LLL_ASSIGN_OR_RETURN(double want, value->at(0).NumericValue());
+        keep = static_cast<double>(i + 1) == want;
+      } else {
+        Result<bool> truth = xdm::EffectiveBooleanValue(*value);
+        if (!truth.ok()) {
+          focus_ = saved;
+          return truth.status();
+        }
+        keep = *truth;
+      }
+      if (keep) kept.Append(candidates.at(i));
+    }
+    focus_ = saved;
+    candidates = std::move(kept);
+  }
+  return candidates;
+}
+
+// --- Binary operators ---------------------------------------------------
+
+Result<Sequence> Evaluator::EvalBinary(const Expr& e) {
+  switch (e.op) {
+    case BinOp::kOr:
+    case BinOp::kAnd: {
+      LLL_ASSIGN_OR_RETURN(Sequence lhs, Eval(*e.children[0]));
+      LLL_ASSIGN_OR_RETURN(bool lv, xdm::EffectiveBooleanValue(lhs));
+      if (e.op == BinOp::kOr && lv) return Sequence(Item::Boolean(true));
+      if (e.op == BinOp::kAnd && !lv) return Sequence(Item::Boolean(false));
+      LLL_ASSIGN_OR_RETURN(Sequence rhs, Eval(*e.children[1]));
+      LLL_ASSIGN_OR_RETURN(bool rv, xdm::EffectiveBooleanValue(rhs));
+      return Sequence(Item::Boolean(rv));
+    }
+    case BinOp::kGenEq:
+    case BinOp::kGenNe:
+    case BinOp::kGenLt:
+    case BinOp::kGenLe:
+    case BinOp::kGenGt:
+    case BinOp::kGenGe: {
+      LLL_ASSIGN_OR_RETURN(Sequence lhs, Eval(*e.children[0]));
+      LLL_ASSIGN_OR_RETURN(Sequence rhs, Eval(*e.children[1]));
+      xdm::CompareOp op;
+      switch (e.op) {
+        case BinOp::kGenEq: op = xdm::CompareOp::kEq; break;
+        case BinOp::kGenNe: op = xdm::CompareOp::kNe; break;
+        case BinOp::kGenLt: op = xdm::CompareOp::kLt; break;
+        case BinOp::kGenLe: op = xdm::CompareOp::kLe; break;
+        case BinOp::kGenGt: op = xdm::CompareOp::kGt; break;
+        default: op = xdm::CompareOp::kGe; break;
+      }
+      LLL_ASSIGN_OR_RETURN(bool truth, xdm::GeneralCompare(op, lhs, rhs));
+      return Sequence(Item::Boolean(truth));
+    }
+    case BinOp::kValEq:
+    case BinOp::kValNe:
+    case BinOp::kValLt:
+    case BinOp::kValLe:
+    case BinOp::kValGt:
+    case BinOp::kValGe: {
+      LLL_ASSIGN_OR_RETURN(Sequence lhs, Eval(*e.children[0]));
+      LLL_ASSIGN_OR_RETURN(Sequence rhs, Eval(*e.children[1]));
+      Sequence la = lhs.Atomized();
+      Sequence ra = rhs.Atomized();
+      if (la.empty() || ra.empty()) return Sequence();
+      LLL_ASSIGN_OR_RETURN(Item li, xdm::RequireSingleton(la, BinOpName(e.op)));
+      LLL_ASSIGN_OR_RETURN(Item ri, xdm::RequireSingleton(ra, BinOpName(e.op)));
+      xdm::CompareOp op;
+      switch (e.op) {
+        case BinOp::kValEq: op = xdm::CompareOp::kEq; break;
+        case BinOp::kValNe: op = xdm::CompareOp::kNe; break;
+        case BinOp::kValLt: op = xdm::CompareOp::kLt; break;
+        case BinOp::kValLe: op = xdm::CompareOp::kLe; break;
+        case BinOp::kValGt: op = xdm::CompareOp::kGt; break;
+        default: op = xdm::CompareOp::kGe; break;
+      }
+      LLL_ASSIGN_OR_RETURN(bool truth, xdm::ValueCompare(op, li, ri));
+      return Sequence(Item::Boolean(truth));
+    }
+    case BinOp::kIs: {
+      LLL_ASSIGN_OR_RETURN(Sequence lhs, Eval(*e.children[0]));
+      LLL_ASSIGN_OR_RETURN(Sequence rhs, Eval(*e.children[1]));
+      if (lhs.empty() || rhs.empty()) return Sequence();
+      LLL_ASSIGN_OR_RETURN(Item li, xdm::RequireSingleton(lhs, "is"));
+      LLL_ASSIGN_OR_RETURN(Item ri, xdm::RequireSingleton(rhs, "is"));
+      if (!li.is_node() || !ri.is_node()) {
+        return Status::TypeError("'is' requires node operands");
+      }
+      return Sequence(Item::Boolean(li.node() == ri.node()));
+    }
+    case BinOp::kAdd:
+    case BinOp::kSub:
+    case BinOp::kMul:
+    case BinOp::kDiv:
+    case BinOp::kIdiv:
+    case BinOp::kMod:
+      return EvalArithmetic(e);
+    case BinOp::kUnion:
+    case BinOp::kIntersect:
+    case BinOp::kExcept: {
+      LLL_ASSIGN_OR_RETURN(Sequence lhs, Eval(*e.children[0]));
+      LLL_ASSIGN_OR_RETURN(Sequence rhs, Eval(*e.children[1]));
+      if (!lhs.AllNodes() || !rhs.AllNodes()) {
+        return Status::TypeError(std::string(BinOpName(e.op)) +
+                                 " requires node sequences");
+      }
+      Sequence out;
+      if (e.op == BinOp::kUnion) {
+        out = lhs;
+        out.AppendSequence(rhs);
+      } else {
+        auto contains = [](const Sequence& seq, const xml::Node* n) {
+          for (const Item& it : seq.items()) {
+            if (it.node() == n) return true;
+          }
+          return false;
+        };
+        for (const Item& it : lhs.items()) {
+          bool in_rhs = contains(rhs, it.node());
+          if ((e.op == BinOp::kIntersect) == in_rhs) out.Append(it);
+        }
+      }
+      out.SortDocumentOrderAndDedup();
+      return out;
+    }
+    case BinOp::kTo: {
+      LLL_ASSIGN_OR_RETURN(Sequence lhs, Eval(*e.children[0]));
+      LLL_ASSIGN_OR_RETURN(Sequence rhs, Eval(*e.children[1]));
+      Sequence la = lhs.Atomized();
+      Sequence ra = rhs.Atomized();
+      if (la.empty() || ra.empty()) return Sequence();
+      LLL_ASSIGN_OR_RETURN(Item li, xdm::RequireSingleton(la, "to"));
+      LLL_ASSIGN_OR_RETURN(Item ri, xdm::RequireSingleton(ra, "to"));
+      LLL_ASSIGN_OR_RETURN(double lo_d, li.NumericValue());
+      LLL_ASSIGN_OR_RETURN(double hi_d, ri.NumericValue());
+      int64_t lo = static_cast<int64_t>(lo_d);
+      int64_t hi = static_cast<int64_t>(hi_d);
+      if (lo > hi) return Sequence();
+      if (hi - lo >= (1 << 24)) {
+        return Status::OutOfRange("range 'to' larger than 16M items");
+      }
+      Sequence out;
+      for (int64_t v = lo; v <= hi; ++v) out.Append(Item::Integer(v));
+      return out;
+    }
+  }
+  return Status::Internal("unhandled binary operator");
+}
+
+Result<Sequence> Evaluator::EvalArithmetic(const Expr& e) {
+  LLL_ASSIGN_OR_RETURN(Sequence lhs, Eval(*e.children[0]));
+  LLL_ASSIGN_OR_RETURN(Sequence rhs, Eval(*e.children[1]));
+  Sequence la = lhs.Atomized();
+  Sequence ra = rhs.Atomized();
+  if (la.empty() || ra.empty()) return Sequence();
+  LLL_ASSIGN_OR_RETURN(Item li, xdm::RequireSingleton(la, BinOpName(e.op)));
+  LLL_ASSIGN_OR_RETURN(Item ri, xdm::RequireSingleton(ra, BinOpName(e.op)));
+  bool both_integer = li.kind() == xdm::ItemKind::kInteger &&
+                      ri.kind() == xdm::ItemKind::kInteger;
+  LLL_ASSIGN_OR_RETURN(double a, li.NumericValue());
+  LLL_ASSIGN_OR_RETURN(double b, ri.NumericValue());
+  switch (e.op) {
+    case BinOp::kAdd:
+      if (both_integer) {
+        return Sequence(Item::Integer(li.integer_value() + ri.integer_value()));
+      }
+      return Sequence(Item::Double(a + b));
+    case BinOp::kSub:
+      if (both_integer) {
+        return Sequence(Item::Integer(li.integer_value() - ri.integer_value()));
+      }
+      return Sequence(Item::Double(a - b));
+    case BinOp::kMul:
+      if (both_integer) {
+        return Sequence(Item::Integer(li.integer_value() * ri.integer_value()));
+      }
+      return Sequence(Item::Double(a * b));
+    case BinOp::kDiv:
+      if (both_integer && ri.integer_value() == 0) {
+        return Status::Invalid("division by zero (err:FOAR0001)");
+      }
+      return Sequence(Item::Double(a / b));
+    case BinOp::kIdiv: {
+      if (b == 0) return Status::Invalid("division by zero (err:FOAR0001)");
+      double q = a / b;
+      return Sequence(Item::Integer(static_cast<int64_t>(q)));
+    }
+    case BinOp::kMod: {
+      if (both_integer) {
+        if (ri.integer_value() == 0) {
+          return Status::Invalid("division by zero (err:FOAR0001)");
+        }
+        return Sequence(Item::Integer(li.integer_value() % ri.integer_value()));
+      }
+      return Sequence(Item::Double(std::fmod(a, b)));
+    }
+    default:
+      return Status::Internal("not an arithmetic operator");
+  }
+}
+
+// --- FLWOR ------------------------------------------------------------------
+
+namespace {
+
+// A precomputed, sortable order-by key.
+struct SortKey {
+  enum class Tag { kEmpty, kNumber, kString } tag = Tag::kEmpty;
+  double number = 0;
+  std::string text;
+};
+
+// kEmpty sorts least (the "empty least" default).
+int CompareSortKeys(const SortKey& a, const SortKey& b) {
+  if (a.tag == SortKey::Tag::kEmpty || b.tag == SortKey::Tag::kEmpty) {
+    if (a.tag == b.tag) return 0;
+    return a.tag == SortKey::Tag::kEmpty ? -1 : 1;
+  }
+  if (a.tag == SortKey::Tag::kNumber) {
+    return a.number < b.number ? -1 : (a.number > b.number ? 1 : 0);
+  }
+  int c = a.text.compare(b.text);
+  return c < 0 ? -1 : (c > 0 ? 1 : 0);
+}
+
+}  // namespace
+
+Result<Sequence> Evaluator::EvalFlwor(const Expr& e) {
+  Sequence out;
+  std::vector<std::pair<std::vector<Sequence>, Sequence>> tuples;
+  size_t mark = EnvMark();
+  Status st = EvalFlworClauses(e, 0, e.order_by.empty() ? nullptr : &tuples,
+                               e.order_by.empty() ? &out : nullptr);
+  EnvRestore(mark);
+  LLL_RETURN_IF_ERROR(st);
+  if (e.order_by.empty()) return out;
+
+  // Precompute sort keys and validate column homogeneity.
+  size_t columns = e.order_by.size();
+  std::vector<std::vector<SortKey>> keys(tuples.size());
+  for (size_t t = 0; t < tuples.size(); ++t) {
+    keys[t].resize(columns);
+    for (size_t k = 0; k < columns; ++k) {
+      const Sequence& raw = tuples[t].first[k];
+      if (raw.empty()) continue;
+      const Item& item = raw.at(0);
+      if (item.is_numeric()) {
+        LLL_ASSIGN_OR_RETURN(keys[t][k].number, item.NumericValue());
+        keys[t][k].tag = SortKey::Tag::kNumber;
+      } else if (item.is_stringlike()) {
+        keys[t][k].text = item.string_value();
+        keys[t][k].tag = SortKey::Tag::kString;
+      } else {
+        return Status::TypeError(
+            std::string("unsupported 'order by' key type ") +
+            ItemKindName(item.kind()));
+      }
+    }
+  }
+  for (size_t k = 0; k < columns; ++k) {
+    SortKey::Tag seen = SortKey::Tag::kEmpty;
+    for (size_t t = 0; t < tuples.size(); ++t) {
+      if (keys[t][k].tag == SortKey::Tag::kEmpty) continue;
+      if (seen == SortKey::Tag::kEmpty) {
+        seen = keys[t][k].tag;
+      } else if (seen != keys[t][k].tag) {
+        return Status::TypeError(
+            "'order by' key mixes numbers and strings (err:XPTY0004)");
+      }
+    }
+  }
+  std::vector<size_t> order(tuples.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+  std::stable_sort(order.begin(), order.end(), [&](size_t x, size_t y) {
+    for (size_t k = 0; k < columns; ++k) {
+      int c = CompareSortKeys(keys[x][k], keys[y][k]);
+      if (e.order_by[k].descending) c = -c;
+      if (c != 0) return c < 0;
+    }
+    return false;
+  });
+  for (size_t index : order) out.AppendSequence(tuples[index].second);
+  return out;
+}
+
+Status Evaluator::EvalFlworClauses(
+    const Expr& e, size_t clause_index,
+    std::vector<std::pair<std::vector<Sequence>, Sequence>>* tuples,
+    Sequence* out) {
+  if (clause_index == e.clauses.size()) {
+    if (tuples == nullptr) {
+      LLL_ASSIGN_OR_RETURN(Sequence value, Eval(*e.children[0]));
+      out->AppendSequence(value);
+      return Status::Ok();
+    }
+    std::vector<Sequence> key_values;
+    key_values.reserve(e.order_by.size());
+    for (const OrderSpec& spec : e.order_by) {
+      LLL_ASSIGN_OR_RETURN(Sequence raw, Eval(*spec.key));
+      Sequence atomized = raw.Atomized();
+      LLL_ASSIGN_OR_RETURN(Sequence single,
+                           xdm::RequireAtMostOne(atomized, "order by key"));
+      key_values.push_back(std::move(single));
+    }
+    LLL_ASSIGN_OR_RETURN(Sequence value, Eval(*e.children[0]));
+    tuples->emplace_back(std::move(key_values), std::move(value));
+    return Status::Ok();
+  }
+
+  const FlworClause& clause = e.clauses[clause_index];
+  switch (clause.kind) {
+    case FlworClause::Kind::kLet: {
+      LLL_ASSIGN_OR_RETURN(Sequence value, Eval(*clause.expr));
+      size_t mark = EnvMark();
+      EnvBind(clause.var, std::move(value));
+      Status st = EvalFlworClauses(e, clause_index + 1, tuples, out);
+      EnvRestore(mark);
+      return st;
+    }
+    case FlworClause::Kind::kWhere: {
+      LLL_ASSIGN_OR_RETURN(Sequence cond, Eval(*clause.expr));
+      LLL_ASSIGN_OR_RETURN(bool truth, xdm::EffectiveBooleanValue(cond));
+      if (!truth) return Status::Ok();
+      return EvalFlworClauses(e, clause_index + 1, tuples, out);
+    }
+    case FlworClause::Kind::kFor: {
+      LLL_ASSIGN_OR_RETURN(Sequence domain, Eval(*clause.expr));
+      for (size_t i = 0; i < domain.size(); ++i) {
+        size_t mark = EnvMark();
+        EnvBind(clause.var, Sequence(domain.at(i)));
+        if (!clause.pos_var.empty()) {
+          EnvBind(clause.pos_var,
+                  Sequence(Item::Integer(static_cast<int64_t>(i + 1))));
+        }
+        Status st = EvalFlworClauses(e, clause_index + 1, tuples, out);
+        EnvRestore(mark);
+        LLL_RETURN_IF_ERROR(st);
+      }
+      return Status::Ok();
+    }
+  }
+  return Status::Internal("unhandled FLWOR clause");
+}
+
+Result<Sequence> Evaluator::EvalQuantified(const Expr& e) {
+  LLL_ASSIGN_OR_RETURN(Sequence domain, Eval(*e.children[0]));
+  for (const Item& item : domain.items()) {
+    size_t mark = EnvMark();
+    EnvBind(e.name, Sequence(item));
+    Result<Sequence> cond = Eval(*e.children[1]);
+    EnvRestore(mark);
+    if (!cond.ok()) return cond.status();
+    LLL_ASSIGN_OR_RETURN(bool truth, xdm::EffectiveBooleanValue(*cond));
+    if (e.quantifier_every && !truth) return Sequence(Item::Boolean(false));
+    if (!e.quantifier_every && truth) return Sequence(Item::Boolean(true));
+  }
+  return Sequence(Item::Boolean(e.quantifier_every));
+}
+
+// --- Function calls -----------------------------------------------------
+
+Result<Sequence> Evaluator::EvalFunctionCall(const Expr& e) {
+  std::string name = e.name;
+  if (StartsWith(name, "fn:")) name = name.substr(3);
+
+  // User-defined functions shadow nothing (different namespaces in spirit).
+  auto udf = functions_.find({e.name, e.children.size()});
+  if (udf == functions_.end()) {
+    udf = functions_.find({name, e.children.size()});
+  }
+  if (udf != functions_.end()) {
+    const FunctionDecl& fn = *udf->second;
+    if (++call_depth_ > 512) {
+      --call_depth_;
+      return Status::Internal("recursion too deep in '" + fn.name + "'");
+    }
+    ++stats_.function_calls;
+    std::vector<Sequence> args;
+    args.reserve(e.children.size());
+    for (const ExprPtr& arg : e.children) {
+      Result<Sequence> value = Eval(*arg);
+      if (!value.ok()) {
+        --call_depth_;
+        return value.status();
+      }
+      args.push_back(std::move(*value));
+    }
+    size_t mark = EnvMark();
+    for (size_t i = 0; i < fn.params.size(); ++i) {
+      if (fn.has_param_type[i]) {
+        Sequence converted;
+        Status st = CheckSequenceType(args[i], fn.param_types[i],
+                                      fn.params.size() > i ? fn.params[i].c_str()
+                                                           : "parameter",
+                                      &converted);
+        if (!st.ok()) {
+          EnvRestore(mark);
+          --call_depth_;
+          return st.AddContext("in call to " + fn.name + "()");
+        }
+        EnvBind(fn.params[i], std::move(converted));
+      } else {
+        EnvBind(fn.params[i], std::move(args[i]));
+      }
+    }
+    // Function bodies do not inherit the caller's focus.
+    Focus saved = focus_;
+    focus_ = Focus{};
+    Result<Sequence> body = Eval(*fn.body);
+    focus_ = saved;
+    EnvRestore(mark);
+    --call_depth_;
+    if (!body.ok()) {
+      Status st = body.status();
+      return st.AddContext("in call to " + fn.name + "()");
+    }
+    if (fn.has_return_type) {
+      Sequence converted;
+      Status st =
+          CheckSequenceType(*body, fn.return_type, "return value", &converted);
+      if (!st.ok()) return st.AddContext("returning from " + fn.name + "()");
+      return converted;
+    }
+    return body;
+  }
+
+  const auto& builtins = BuiltinFunctions();
+  auto bi = builtins.find({name, e.children.size()});
+  if (bi == builtins.end()) {
+    bi = builtins.find({name, static_cast<size_t>(-1)});  // variadic
+  }
+  if (bi == builtins.end()) {
+    return Status::NotFound("unknown function " + e.name + "#" +
+                            std::to_string(e.children.size()) + " at line " +
+                            std::to_string(e.line));
+  }
+  std::vector<Sequence> args;
+  args.reserve(e.children.size());
+  for (const ExprPtr& arg : e.children) {
+    LLL_ASSIGN_OR_RETURN(Sequence value, Eval(*arg));
+    args.push_back(std::move(value));
+  }
+  return bi->second(*this, args);
+}
+
+// --- Constructors -------------------------------------------------------
+
+xml::Node* Evaluator::CopyIntoArena(const xml::Node* n) {
+  ++stats_.constructed_nodes;
+  return ctx_->arena_->ImportNode(n);
+}
+
+Status Evaluator::FillElementContent(xml::Node* element,
+                                     const std::vector<const Expr*>& parts) {
+  bool content_started = false;
+  std::string pending;
+  bool has_pending = false;
+  bool last_atomic = false;
+
+  auto append_text = [&](const std::string& text) {
+    if (!element->children().empty() && element->children().back()->is_text()) {
+      xml::Node* prev = element->children().back();
+      prev->set_value(prev->value() + text);
+      return;
+    }
+    xml::Node* tn = ctx_->arena_->CreateText(text);
+    ++stats_.constructed_nodes;
+    (void)element->AppendChild(tn);
+  };
+  auto flush_pending = [&]() {
+    if (!has_pending) return;
+    append_text(pending);
+    pending.clear();
+    has_pending = false;
+    content_started = true;
+  };
+
+  for (const Expr* part : parts) {
+    if (part->kind == ExprKind::kTextLiteral) {
+      flush_pending();
+      append_text(part->text);
+      content_started = true;
+      last_atomic = false;
+      continue;
+    }
+    LLL_ASSIGN_OR_RETURN(Sequence value, Eval(*part));
+    for (const Item& item : value.items()) {
+      if (item.is_node() && item.node()->is_attribute()) {
+        // The paper's E2 behavior: leading attribute items become attributes
+        // of the parent; an attribute after content is an error.
+        if (content_started || has_pending) {
+          return Status::ConstructionError(
+              "attribute node '" + item.node()->name() +
+              "' follows non-attribute content (err:XQTY0024)");
+        }
+        if (!element->is_element()) {
+          return Status::ConstructionError(
+              "attribute node in document constructor content");
+        }
+        xml::Node* attr = ctx_->arena_->CreateAttribute(item.node()->name(),
+                                                        item.node()->value());
+        ++stats_.constructed_nodes;
+        if (options_.galax_duplicate_attributes) {
+          // Reproduce the Galax bug: duplicates are simply kept.
+          attr->Detach();
+          LLL_RETURN_IF_ERROR([&] {
+            // Bypass the duplicate check by uniquifying transparently is NOT
+            // what Galax did; it emitted both. Our arena allows it via a
+            // direct append path: use SetAttributeNode only when unique.
+            if (element->AttributeValue(attr->name()) == nullptr) {
+              return element->SetAttributeNode(attr);
+            }
+            // Force-append a duplicate attribute (invalid XML, as in Galax).
+            return element->ForceAppendDuplicateAttribute(attr);
+          }());
+        } else {
+          LLL_RETURN_IF_ERROR(element->SetAttributeNode(attr,
+                                                        /*keep_first=*/true));
+        }
+        last_atomic = false;
+        continue;
+      }
+      if (item.is_node()) {
+        flush_pending();
+        const xml::Node* source = item.node();
+        if (source->is_document()) {
+          for (const xml::Node* child : source->children()) {
+            xml::Node* copy = CopyIntoArena(child);
+            LLL_RETURN_IF_ERROR(element->AppendChild(copy));
+          }
+        } else {
+          xml::Node* copy = CopyIntoArena(source);
+          LLL_RETURN_IF_ERROR(element->AppendChild(copy));
+        }
+        content_started = true;
+        last_atomic = false;
+        continue;
+      }
+      if (item.is_map()) {
+        return Status::TypeError(
+            "a map cannot appear in element content (err:XQTY0105)");
+      }
+      // Atomic: adjacent atomics are joined with a single space.
+      if (last_atomic) pending += " ";
+      pending += item.StringForm();
+      has_pending = true;
+      last_atomic = true;
+    }
+  }
+  flush_pending();
+  return Status::Ok();
+}
+
+Result<Sequence> Evaluator::EvalDirectElement(const Expr& e) {
+  xml::Node* element = ctx_->arena_->CreateElement(e.name);
+  ++stats_.constructed_nodes;
+  for (const DirectAttribute& attr : e.attributes) {
+    if (element->AttributeValue(attr.name) != nullptr) {
+      return Status::ConstructionError("duplicate attribute '" + attr.name +
+                                       "' (err:XQST0040)");
+    }
+    std::string value;
+    bool last_atomic = false;
+    for (const ExprPtr& part : attr.value_parts) {
+      if (part->kind == ExprKind::kTextLiteral) {
+        value += part->text;
+        last_atomic = false;
+        continue;
+      }
+      LLL_ASSIGN_OR_RETURN(Sequence seq, Eval(*part));
+      Sequence atomized = seq.Atomized();
+      for (size_t i = 0; i < atomized.size(); ++i) {
+        if (i > 0 || last_atomic) value += " ";
+        value += atomized.at(i).StringForm();
+      }
+      last_atomic = !atomized.empty();
+    }
+    element->SetAttribute(attr.name, value);
+  }
+  std::vector<const Expr*> parts;
+  parts.reserve(e.children.size());
+  for (const ExprPtr& c : e.children) parts.push_back(c.get());
+  LLL_RETURN_IF_ERROR(FillElementContent(element, parts));
+  return Sequence(Item::NodeRef(element));
+}
+
+Result<Sequence> Evaluator::EvalComputedConstructor(const Expr& e) {
+  size_t content_index = 0;
+  std::string name = e.name;
+  if (e.computed_name) {
+    LLL_ASSIGN_OR_RETURN(Sequence name_seq, Eval(*e.children[0]));
+    Sequence atomized = name_seq.Atomized();
+    LLL_ASSIGN_OR_RETURN(Item item,
+                         xdm::RequireSingleton(atomized, "computed name"));
+    name = item.StringForm();
+    content_index = 1;
+  }
+  const Expr& content = *e.children[content_index];
+
+  switch (e.kind) {
+    case ExprKind::kCompElement: {
+      if (!IsValidXmlName(name)) {
+        return Status::ConstructionError("invalid element name '" + name +
+                                         "' (err:XQDY0074)");
+      }
+      xml::Node* element = ctx_->arena_->CreateElement(name);
+      ++stats_.constructed_nodes;
+      std::vector<const Expr*> parts{&content};
+      LLL_RETURN_IF_ERROR(FillElementContent(element, parts));
+      return Sequence(Item::NodeRef(element));
+    }
+    case ExprKind::kCompAttribute: {
+      if (!IsValidXmlName(name)) {
+        return Status::ConstructionError("invalid attribute name '" + name +
+                                         "' (err:XQDY0074)");
+      }
+      LLL_ASSIGN_OR_RETURN(Sequence value, Eval(content));
+      Sequence atomized = value.Atomized();
+      std::string text;
+      for (size_t i = 0; i < atomized.size(); ++i) {
+        if (i > 0) text += " ";
+        text += atomized.at(i).StringForm();
+      }
+      xml::Node* attr = ctx_->arena_->CreateAttribute(name, text);
+      ++stats_.constructed_nodes;
+      return Sequence(Item::NodeRef(attr));
+    }
+    case ExprKind::kCompText: {
+      LLL_ASSIGN_OR_RETURN(Sequence value, Eval(content));
+      Sequence atomized = value.Atomized();
+      std::string text;
+      for (size_t i = 0; i < atomized.size(); ++i) {
+        if (i > 0) text += " ";
+        text += atomized.at(i).StringForm();
+      }
+      xml::Node* tn = ctx_->arena_->CreateText(text);
+      ++stats_.constructed_nodes;
+      return Sequence(Item::NodeRef(tn));
+    }
+    case ExprKind::kCompComment: {
+      LLL_ASSIGN_OR_RETURN(Sequence value, Eval(content));
+      Sequence atomized = value.Atomized();
+      std::string text;
+      for (size_t i = 0; i < atomized.size(); ++i) {
+        if (i > 0) text += " ";
+        text += atomized.at(i).StringForm();
+      }
+      xml::Node* cn = ctx_->arena_->CreateComment(text);
+      ++stats_.constructed_nodes;
+      return Sequence(Item::NodeRef(cn));
+    }
+    case ExprKind::kCompDocument: {
+      xml::Node* doc = ctx_->arena_->CreateDocumentNode();
+      ++stats_.constructed_nodes;
+      std::vector<const Expr*> parts{&content};
+      LLL_RETURN_IF_ERROR(FillElementContent(doc, parts));
+      return Sequence(Item::NodeRef(doc));
+    }
+    default:
+      return Status::Internal("not a computed constructor");
+  }
+}
+
+// --- Types ------------------------------------------------------------
+
+Result<Sequence> Evaluator::EvalCast(const Expr& e) {
+  LLL_ASSIGN_OR_RETURN(Sequence value, Eval(*e.children[0]));
+  Sequence atomized = value.Atomized();
+  if (atomized.empty()) {
+    if (e.type.occurrence == SequenceType::Occurrence::kOptional) {
+      return Sequence();
+    }
+    return Status::TypeError("cast of an empty sequence to a non-optional type");
+  }
+  LLL_ASSIGN_OR_RETURN(Item item, xdm::RequireSingleton(atomized, "cast"));
+  using IT = SequenceType::ItemType;
+  switch (e.type.item_type) {
+    case IT::kString:
+      return Sequence(Item::String(item.StringForm()));
+    case IT::kUntyped:
+      return Sequence(Item::Untyped(item.StringForm()));
+    case IT::kInteger: {
+      if (item.kind() == xdm::ItemKind::kInteger) return Sequence(item);
+      if (item.kind() == xdm::ItemKind::kBoolean) {
+        return Sequence(Item::Integer(item.boolean_value() ? 1 : 0));
+      }
+      if (item.kind() == xdm::ItemKind::kDouble) {
+        return Sequence(Item::Integer(static_cast<int64_t>(item.double_value())));
+      }
+      auto parsed = ParseInt(item.string_value());
+      if (!parsed) {
+        return Status::TypeError("cannot cast \"" + item.string_value() +
+                                 "\" to xs:integer");
+      }
+      return Sequence(Item::Integer(*parsed));
+    }
+    case IT::kDouble:
+    case IT::kDecimal: {
+      if (item.kind() == xdm::ItemKind::kBoolean) {
+        return Sequence(Item::Double(item.boolean_value() ? 1 : 0));
+      }
+      LLL_ASSIGN_OR_RETURN(double d, [&]() -> Result<double> {
+        if (item.is_numeric()) return item.NumericValue();
+        auto parsed = ParseDouble(item.StringForm());
+        if (!parsed) {
+          return Status::TypeError("cannot cast \"" + item.StringForm() +
+                                   "\" to xs:double");
+        }
+        return *parsed;
+      }());
+      return Sequence(Item::Double(d));
+    }
+    case IT::kBoolean: {
+      if (item.kind() == xdm::ItemKind::kBoolean) return Sequence(item);
+      if (item.is_numeric()) {
+        LLL_ASSIGN_OR_RETURN(double d, item.NumericValue());
+        return Sequence(Item::Boolean(d != 0 && !std::isnan(d)));
+      }
+      const std::string& s = item.string_value();
+      if (s == "true" || s == "1") return Sequence(Item::Boolean(true));
+      if (s == "false" || s == "0") return Sequence(Item::Boolean(false));
+      return Status::TypeError("cannot cast \"" + s + "\" to xs:boolean");
+    }
+    default:
+      return Status::Unsupported("cast to " + e.type.ToString() +
+                                 " not supported");
+  }
+}
+
+namespace {
+
+bool ItemMatchesType(const Item& item, const SequenceType& type) {
+  using IT = SequenceType::ItemType;
+  switch (type.item_type) {
+    case IT::kItem:
+      return true;
+    case IT::kNode:
+      return item.is_node();
+    case IT::kElement:
+      return item.is_node() && item.node()->is_element() &&
+             (type.element_name.empty() ||
+              item.node()->name() == type.element_name);
+    case IT::kAttribute:
+      return item.is_node() && item.node()->is_attribute();
+    case IT::kTextNode:
+      return item.is_node() && item.node()->is_text();
+    case IT::kDocumentNode:
+      return item.is_node() && item.node()->is_document();
+    case IT::kString:
+      return item.kind() == xdm::ItemKind::kString;
+    case IT::kInteger:
+      return item.kind() == xdm::ItemKind::kInteger;
+    case IT::kDecimal:
+    case IT::kDouble:
+      return item.is_numeric();
+    case IT::kBoolean:
+      return item.kind() == xdm::ItemKind::kBoolean;
+    case IT::kUntyped:
+      return item.kind() == xdm::ItemKind::kUntyped;
+    case IT::kAnyAtomic:
+      return item.is_atomic();
+    case IT::kEmpty:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+Result<Sequence> Evaluator::EvalInstanceOf(const Expr& e) {
+  LLL_ASSIGN_OR_RETURN(Sequence value, Eval(*e.children[0]));
+  // Occurrence check.
+  bool occurrence_ok = true;
+  switch (e.type.occurrence) {
+    case SequenceType::Occurrence::kOne:
+      occurrence_ok = value.size() == 1;
+      break;
+    case SequenceType::Occurrence::kOptional:
+      occurrence_ok = value.size() <= 1;
+      break;
+    case SequenceType::Occurrence::kPlus:
+      occurrence_ok = value.size() >= 1;
+      break;
+    case SequenceType::Occurrence::kStar:
+      break;
+  }
+  if (e.type.item_type == SequenceType::ItemType::kEmpty) {
+    return Sequence(Item::Boolean(value.empty()));
+  }
+  if (!occurrence_ok) return Sequence(Item::Boolean(false));
+  for (const Item& item : value.items()) {
+    if (!ItemMatchesType(item, e.type)) return Sequence(Item::Boolean(false));
+  }
+  return Sequence(Item::Boolean(true));
+}
+
+Status Evaluator::CheckSequenceType(const Sequence& seq,
+                                    const SequenceType& type,
+                                    const char* where, Sequence* converted) {
+  // Function conversion rules (simplified): untyped atomics are cast to the
+  // expected atomic type; integers promote to double. This is where the
+  // paper's "types rapidly metastatize" effect lives -- an annotation on one
+  // function demands casts or annotations at each of its callers.
+  using IT = SequenceType::ItemType;
+  if (type.item_type == IT::kEmpty) {
+    if (!seq.empty()) {
+      return Status::TypeError(std::string(where) +
+                               ": expected empty-sequence()");
+    }
+    *converted = seq;
+    return Status::Ok();
+  }
+  switch (type.occurrence) {
+    case SequenceType::Occurrence::kOne:
+      if (seq.size() != 1) {
+        return Status::CardinalityError(
+            std::string(where) + ": expected exactly one " + type.ToString() +
+            ", got " + std::to_string(seq.size()) + " items");
+      }
+      break;
+    case SequenceType::Occurrence::kOptional:
+      if (seq.size() > 1) {
+        return Status::CardinalityError(std::string(where) +
+                                        ": expected at most one item");
+      }
+      break;
+    case SequenceType::Occurrence::kPlus:
+      if (seq.empty()) {
+        return Status::CardinalityError(std::string(where) +
+                                        ": expected at least one item");
+      }
+      break;
+    case SequenceType::Occurrence::kStar:
+      break;
+  }
+  Sequence out;
+  for (const Item& item : seq.items()) {
+    Item current = item;
+    bool atomic_expected =
+        type.item_type == IT::kString || type.item_type == IT::kInteger ||
+        type.item_type == IT::kDouble || type.item_type == IT::kDecimal ||
+        type.item_type == IT::kBoolean || type.item_type == IT::kUntyped ||
+        type.item_type == IT::kAnyAtomic;
+    if (atomic_expected && current.is_node()) {
+      current = current.Atomized();
+    }
+    if (atomic_expected && current.kind() == xdm::ItemKind::kUntyped &&
+        type.item_type != IT::kUntyped && type.item_type != IT::kAnyAtomic) {
+      // Cast untyped to the expected type.
+      const std::string& s = current.string_value();
+      switch (type.item_type) {
+        case IT::kString:
+          current = Item::String(s);
+          break;
+        case IT::kInteger: {
+          auto parsed = ParseInt(s);
+          if (!parsed) {
+            return Status::TypeError(std::string(where) + ": cannot cast \"" +
+                                     s + "\" to xs:integer");
+          }
+          current = Item::Integer(*parsed);
+          break;
+        }
+        case IT::kDouble:
+        case IT::kDecimal: {
+          auto parsed = ParseDouble(s);
+          if (!parsed) {
+            return Status::TypeError(std::string(where) + ": cannot cast \"" +
+                                     s + "\" to xs:double");
+          }
+          current = Item::Double(*parsed);
+          break;
+        }
+        case IT::kBoolean: {
+          if (s == "true" || s == "1") {
+            current = Item::Boolean(true);
+          } else if (s == "false" || s == "0") {
+            current = Item::Boolean(false);
+          } else {
+            return Status::TypeError(std::string(where) + ": cannot cast \"" +
+                                     s + "\" to xs:boolean");
+          }
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    if ((type.item_type == IT::kDouble || type.item_type == IT::kDecimal) &&
+        current.kind() == xdm::ItemKind::kInteger) {
+      current = Item::Double(static_cast<double>(current.integer_value()));
+    }
+    if (!ItemMatchesType(current, type)) {
+      return Status::TypeError(std::string(where) + ": expected " +
+                               type.ToString() + ", got " +
+                               ItemKindName(current.kind()));
+    }
+    out.Append(std::move(current));
+  }
+  *converted = std::move(out);
+  return Status::Ok();
+}
+
+}  // namespace lll::xq

@@ -1,0 +1,255 @@
+#include "xquery/optimizer.h"
+
+#include <functional>
+
+#include "core/string_util.h"
+#include "xquery/eval.h"
+
+namespace lll::xq {
+
+namespace {
+
+// Visits every subexpression of `e` (including predicates, clauses,
+// constructor parts) except function bodies.
+void ForEachChild(const Expr& e, const std::function<void(const Expr&)>& fn) {
+  for (const ExprPtr& c : e.children) fn(*c);
+  for (const PathStep& s : e.steps) {
+    for (const ExprPtr& p : s.predicates) fn(*p);
+  }
+  for (const FlworClause& c : e.clauses) fn(*c.expr);
+  for (const OrderSpec& o : e.order_by) fn(*o.key);
+  for (const DirectAttribute& a : e.attributes) {
+    for (const ExprPtr& p : a.value_parts) fn(*p);
+  }
+}
+
+bool IsTraceCall(const Expr& e) {
+  return e.kind == ExprKind::kFunctionCall &&
+         (e.name == "trace" || e.name == "fn:trace");
+}
+
+bool IsErrorCall(const Expr& e) {
+  return e.kind == ExprKind::kFunctionCall &&
+         (e.name == "error" || e.name == "fn:error");
+}
+
+}  // namespace
+
+size_t CountTraceCalls(const Expr& e) {
+  size_t n = IsTraceCall(e) ? 1 : 0;
+  ForEachChild(e, [&n](const Expr& c) { n += CountTraceCalls(c); });
+  return n;
+}
+
+size_t CountVariableUses(const Expr& e, const std::string& name) {
+  if (e.kind == ExprKind::kVarRef) return e.name == name ? 1 : 0;
+  if (e.kind == ExprKind::kQuantified) {
+    size_t n = CountVariableUses(*e.children[0], name);
+    if (e.name != name) n += CountVariableUses(*e.children[1], name);
+    return n;
+  }
+  if (e.kind == ExprKind::kFlwor) {
+    size_t n = 0;
+    bool shadowed = false;
+    for (const FlworClause& c : e.clauses) {
+      if (shadowed) break;
+      n += CountVariableUses(*c.expr, name);
+      if (c.kind != FlworClause::Kind::kWhere &&
+          (c.var == name || c.pos_var == name)) {
+        shadowed = true;
+      }
+    }
+    if (!shadowed) {
+      for (const OrderSpec& o : e.order_by) {
+        n += CountVariableUses(*o.key, name);
+      }
+      n += CountVariableUses(*e.children[0], name);
+    }
+    return n;
+  }
+  size_t n = 0;
+  ForEachChild(e, [&](const Expr& c) { n += CountVariableUses(c, name); });
+  return n;
+}
+
+namespace {
+
+// Purity with a memo over user-defined functions; recursive functions are
+// treated optimistically (pure unless their body shows otherwise), which is
+// what an aggressive query optimizer does.
+struct PurityAnalyzer {
+  const Module& module;
+  bool recognize_trace;
+  std::map<std::string, int> function_state;  // 0=analyzing, 1=pure, 2=impure
+
+  bool Pure(const Expr& e) {
+    if (IsErrorCall(e)) return false;  // eliminating error() changes outcomes
+    if (IsTraceCall(e)) {
+      if (recognize_trace) return false;  // the "fixed" optimizer
+      // Galax-era behavior: trace looks pure, so a dead let swallows it.
+    }
+    if (e.kind == ExprKind::kFunctionCall && !IsTraceCall(e)) {
+      std::string name = e.name;
+      if (StartsWith(name, "fn:")) name = name.substr(3);
+      bool builtin = IsBuiltinName(e.name) || IsBuiltinName(name);
+      if (!builtin) {
+        const FunctionDecl* decl = nullptr;
+        for (const FunctionDecl& fn : module.functions) {
+          if (fn.name == e.name && fn.params.size() == e.children.size()) {
+            decl = &fn;
+            break;
+          }
+        }
+        if (decl == nullptr) return false;  // unknown callee: assume impure
+        auto [it, inserted] = function_state.try_emplace(decl->name, 0);
+        if (inserted) {
+          bool body_pure = Pure(*decl->body);
+          it = function_state.find(decl->name);
+          it->second = body_pure ? 1 : 2;
+        }
+        if (it->second == 2) return false;
+        // state 0 (self-recursive) or 1: treat as pure.
+      }
+    }
+    bool pure = true;
+    ForEachChild(e, [&](const Expr& c) {
+      if (pure && !Pure(c)) pure = false;
+    });
+    return pure;
+  }
+};
+
+struct Rewriter {
+  const Module& module;
+  const OptimizerOptions& options;
+  OptimizerStats stats;
+  PurityAnalyzer purity;
+
+  explicit Rewriter(const Module& m, const OptimizerOptions& opts)
+      : module(m), options(opts), purity{m, opts.recognize_trace, {}} {}
+
+  void Rewrite(Expr* e) {
+    // Bottom-up: rewrite children first.
+    for (ExprPtr& c : e->children) Rewrite(c.get());
+    for (PathStep& s : e->steps) {
+      for (ExprPtr& p : s.predicates) Rewrite(p.get());
+    }
+    for (FlworClause& c : e->clauses) Rewrite(c.expr.get());
+    for (OrderSpec& o : e->order_by) Rewrite(o.key.get());
+    for (DirectAttribute& a : e->attributes) {
+      for (ExprPtr& p : a.value_parts) Rewrite(p.get());
+    }
+
+    if (options.dead_let_elimination && e->kind == ExprKind::kFlwor) {
+      EliminateDeadLets(e);
+    }
+    if (options.constant_folding) FoldConstants(e);
+  }
+
+  // Scans a FLWOR for `let $v := E` clauses where $v is unused downstream
+  // and E is pure, and deletes them. Runs to a local fixpoint.
+  void EliminateDeadLets(Expr* flwor) {
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (size_t i = 0; i < flwor->clauses.size(); ++i) {
+        const FlworClause& clause = flwor->clauses[i];
+        if (clause.kind != FlworClause::Kind::kLet) continue;
+        size_t uses = 0;
+        bool shadowed = false;
+        for (size_t j = i + 1; j < flwor->clauses.size() && !shadowed; ++j) {
+          uses += CountVariableUses(*flwor->clauses[j].expr, clause.var);
+          if (flwor->clauses[j].kind != FlworClause::Kind::kWhere &&
+              (flwor->clauses[j].var == clause.var ||
+               flwor->clauses[j].pos_var == clause.var)) {
+            shadowed = true;
+          }
+        }
+        if (!shadowed) {
+          for (const OrderSpec& o : flwor->order_by) {
+            uses += CountVariableUses(*o.key, clause.var);
+          }
+          uses += CountVariableUses(*flwor->children[0], clause.var);
+        }
+        if (uses != 0) continue;
+        if (!purity.Pure(*clause.expr)) continue;
+        stats.eliminated_trace_calls += CountTraceCalls(*clause.expr);
+        ++stats.eliminated_lets;
+        flwor->clauses.erase(flwor->clauses.begin() +
+                             static_cast<ptrdiff_t>(i));
+        changed = true;
+        break;
+      }
+    }
+    // A FLWOR whose every clause was eliminated degenerates to its return
+    // expression.
+    if (flwor->clauses.empty() && flwor->order_by.empty()) {
+      ExprPtr body = std::move(flwor->children[0]);
+      *flwor = std::move(*body);
+    }
+  }
+
+  void FoldConstants(Expr* e) {
+    if (e->kind != ExprKind::kBinary) return;
+    if (e->children.size() != 2) return;
+    const Expr& a = *e->children[0];
+    const Expr& b = *e->children[1];
+    if (a.kind != ExprKind::kLiteral || b.kind != ExprKind::kLiteral) return;
+    if (a.literal_type != Expr::LiteralType::kInteger ||
+        b.literal_type != Expr::LiteralType::kInteger) {
+      return;
+    }
+    int64_t x = a.integer;
+    int64_t y = b.integer;
+    int64_t value = 0;
+    switch (e->op) {
+      case BinOp::kAdd:
+        value = x + y;
+        break;
+      case BinOp::kSub:
+        value = x - y;
+        break;
+      case BinOp::kMul:
+        value = x * y;
+        break;
+      case BinOp::kIdiv:
+        if (y == 0) return;  // leave the runtime error in place
+        value = x / y;
+        break;
+      case BinOp::kMod:
+        if (y == 0) return;
+        value = x % y;
+        break;
+      default:
+        return;
+    }
+    Expr folded(ExprKind::kLiteral);
+    folded.literal_type = Expr::LiteralType::kInteger;
+    folded.integer = value;
+    folded.line = e->line;
+    folded.col = e->col;
+    *e = std::move(folded);
+    ++stats.folded_constants;
+  }
+};
+
+}  // namespace
+
+bool IsPure(const Expr& e, const Module& module, bool recognize_trace) {
+  PurityAnalyzer analyzer{module, recognize_trace, {}};
+  return analyzer.Pure(e);
+}
+
+OptimizerStats Optimize(Module* module, const OptimizerOptions& options) {
+  Rewriter rewriter(*module, options);
+  for (FunctionDecl& fn : module->functions) {
+    rewriter.Rewrite(fn.body.get());
+  }
+  for (VariableDecl& var : module->variables) {
+    rewriter.Rewrite(var.expr.get());
+  }
+  rewriter.Rewrite(module->body.get());
+  return rewriter.stats;
+}
+
+}  // namespace lll::xq

@@ -1,0 +1,46 @@
+#ifndef LLL_XQUERY_OPTIMIZER_H_
+#define LLL_XQUERY_OPTIMIZER_H_
+
+#include "xquery/ast.h"
+
+namespace lll::xq {
+
+// Optimizer switches. The default configuration deliberately reproduces the
+// Galax-era behavior the paper fought with: dead-code analysis is ON and
+// fn:trace is NOT recognized as impure, so
+//
+//     let $dummy := trace("x=", $x)
+//
+// introduces a dead variable that is "helpfully optimized away -- along with
+// the call to trace". Setting recognize_trace = true models "the optimizer
+// would be fixed to recognize trace in the next version".
+struct OptimizerOptions {
+  bool constant_folding = true;
+  bool dead_let_elimination = true;
+  bool recognize_trace = false;
+};
+
+struct OptimizerStats {
+  size_t folded_constants = 0;
+  size_t eliminated_lets = 0;
+  // trace() calls that were inside eliminated lets -- the paper's pathology,
+  // counted so E6 can report exactly how many trace outputs were swallowed.
+  size_t eliminated_trace_calls = 0;
+};
+
+// Optimizes the module in place.
+OptimizerStats Optimize(Module* module, const OptimizerOptions& options);
+
+// True if evaluating `e` can have an observable effect besides its value
+// (under the given trace policy). Used by dead-let elimination.
+bool IsPure(const Expr& e, const Module& module, bool recognize_trace);
+
+// Number of times $name is referenced in `e`, respecting shadowing.
+size_t CountVariableUses(const Expr& e, const std::string& name);
+
+// Number of fn:trace calls in the tree.
+size_t CountTraceCalls(const Expr& e);
+
+}  // namespace lll::xq
+
+#endif  // LLL_XQUERY_OPTIMIZER_H_

@@ -1,0 +1,35 @@
+#ifndef LLL_XQUERY_PARSER_H_
+#define LLL_XQUERY_PARSER_H_
+
+#include <string_view>
+
+#include "core/result.h"
+#include "xquery/ast.h"
+
+namespace lll::xq {
+
+// Parses a main module (prolog + body expression).
+//
+// The grammar is the XQuery 1.0 Working Draft subset exercised by the paper:
+// FLWOR (for/let/where/order by/return, with positional `at` variables),
+// quantified expressions, if/then/else, full binary operator ladder with BOTH
+// comparison families, XPath steps with ten axes and predicates, direct and
+// computed constructors, `cast as` / `instance of` over the simple types, and
+// user-defined functions with optional `as` annotations.
+//
+// Faithfully-reproduced lexical quirks (tested in tests/xquery_quirks_test.cc):
+//   * names may contain '-', so $n-1 is a variable with a three-letter name;
+//   * bare `x` is a child step, not a variable;
+//   * `/` is a path separator; division is spelled `div`;
+//   * `=` is the existential general comparison, `eq` the singleton one.
+Result<Module> ParseModule(std::string_view source);
+
+// Parses a single expression (no prolog). Convenience for tests and the REPL.
+Result<Module> ParseExpression(std::string_view source);
+
+// Parses a SequenceType like "xs:string*" or "element(foo)?".
+Result<SequenceType> ParseSequenceTypeString(std::string_view source);
+
+}  // namespace lll::xq
+
+#endif  // LLL_XQUERY_PARSER_H_

@@ -1,0 +1,420 @@
+#include "xslt/xslt.h"
+
+#include "core/string_util.h"
+#include "xml/parser.h"
+
+namespace lll::xslt {
+
+namespace {
+
+constexpr char kXslPrefix[] = "xsl:";
+
+bool IsXslElement(const xml::Node* n, const std::string& local) {
+  return n->is_element() && n->name() == std::string(kXslPrefix) + local;
+}
+
+}  // namespace
+
+Result<MatchPattern> ParsePattern(const std::string& text) {
+  MatchPattern pattern;
+  std::string_view body = TrimWhitespace(text);
+  if (body.empty()) return Status::ParseError("empty match pattern");
+  if (body == "/") {
+    pattern.rooted = true;
+    MatchPattern::Step root;
+    root.kind = MatchPattern::StepKind::kRoot;
+    pattern.steps.push_back(root);
+    pattern.default_priority = 0.5;
+    return pattern;
+  }
+  if (body.front() == '/') {
+    pattern.rooted = true;
+    body.remove_prefix(1);
+  }
+  for (const std::string& raw : Split(std::string(body), '/')) {
+    std::string_view step_text = TrimWhitespace(raw);
+    if (step_text.empty()) {
+      return Status::ParseError("empty step in match pattern '" + text + "'");
+    }
+    MatchPattern::Step step;
+    if (step_text == "*") {
+      step.kind = MatchPattern::StepKind::kAnyElement;
+    } else if (step_text == "text()") {
+      step.kind = MatchPattern::StepKind::kText;
+    } else if (step_text == "node()") {
+      step.kind = MatchPattern::StepKind::kAnyNode;
+    } else {
+      if (!IsValidXmlName(step_text)) {
+        return Status::ParseError("bad name '" + std::string(step_text) +
+                                  "' in match pattern '" + text + "'");
+      }
+      step.kind = MatchPattern::StepKind::kName;
+      step.name = std::string(step_text);
+    }
+    pattern.steps.push_back(std::move(step));
+  }
+  // Default priorities, XSLT-style: qualified paths beat bare names beat
+  // wildcards.
+  if (pattern.steps.size() > 1 || pattern.rooted) {
+    pattern.default_priority = 0.5;
+  } else if (pattern.steps[0].kind == MatchPattern::StepKind::kName) {
+    pattern.default_priority = 0;
+  } else {
+    pattern.default_priority = -0.5;
+  }
+  return pattern;
+}
+
+namespace {
+
+bool StepMatches(const MatchPattern::Step& step, const xml::Node* node) {
+  switch (step.kind) {
+    case MatchPattern::StepKind::kName:
+      return node->is_element() && node->name() == step.name;
+    case MatchPattern::StepKind::kAnyElement:
+      return node->is_element();
+    case MatchPattern::StepKind::kText:
+      return node->is_text();
+    case MatchPattern::StepKind::kAnyNode:
+      return node->is_element() || node->is_text() ||
+             node->kind() == xml::NodeKind::kComment;
+    case MatchPattern::StepKind::kRoot:
+      return node->is_document();
+  }
+  return false;
+}
+
+}  // namespace
+
+bool Matches(const MatchPattern& pattern, const xml::Node* node) {
+  const xml::Node* current = node;
+  for (size_t i = pattern.steps.size(); i-- > 0;) {
+    if (current == nullptr || !StepMatches(pattern.steps[i], current)) {
+      return false;
+    }
+    current = current->parent();
+  }
+  if (pattern.rooted && pattern.steps[0].kind != MatchPattern::StepKind::kRoot) {
+    return current != nullptr && current->is_document();
+  }
+  return true;
+}
+
+// --- Stylesheet -------------------------------------------------------------
+
+Result<Stylesheet> Stylesheet::Compile(const xml::Node* stylesheet_root) {
+  if (stylesheet_root == nullptr ||
+      !IsXslElement(stylesheet_root, "stylesheet")) {
+    return Status::ParseError("expected an <xsl:stylesheet> root");
+  }
+  Stylesheet sheet;
+  for (const xml::Node* child : stylesheet_root->children()) {
+    if (!child->is_element()) continue;
+    if (!IsXslElement(child, "template")) {
+      return Status::ParseError("unsupported top-level element <" +
+                                child->name() + ">");
+    }
+    const std::string* match = child->AttributeValue("match");
+    if (match == nullptr) {
+      return Status::ParseError("<xsl:template> needs a match attribute");
+    }
+    TemplateRule rule;
+    LLL_ASSIGN_OR_RETURN(rule.pattern, ParsePattern(*match));
+    rule.priority = rule.pattern.default_priority;
+    if (const std::string* p = child->AttributeValue("priority")) {
+      auto parsed = ParseDouble(*p);
+      if (!parsed) return Status::ParseError("bad priority '" + *p + "'");
+      rule.priority = *parsed;
+    }
+    rule.body = child;
+    rule.order = sheet.templates_.size();
+    sheet.templates_.push_back(std::move(rule));
+  }
+  return sheet;
+}
+
+Result<Stylesheet> Stylesheet::CompileText(const std::string& stylesheet_xml) {
+  xml::ParseOptions opts;
+  opts.strip_insignificant_whitespace = true;
+  LLL_ASSIGN_OR_RETURN(auto doc, xml::Parse(stylesheet_xml, opts));
+  LLL_ASSIGN_OR_RETURN(Stylesheet sheet, Compile(doc->DocumentElement()));
+  sheet.owned_source_ = std::move(doc);
+  return sheet;
+}
+
+const Stylesheet::TemplateRule* Stylesheet::FindRule(
+    const xml::Node* node) const {
+  const TemplateRule* best = nullptr;
+  for (const TemplateRule& rule : templates_) {
+    if (!Matches(rule.pattern, node)) continue;
+    if (best == nullptr || rule.priority > best->priority ||
+        (rule.priority == best->priority && rule.order > best->order)) {
+      best = &rule;
+    }
+  }
+  return best;
+}
+
+// --- Transformation -------------------------------------------------------
+
+class Transformer {
+ public:
+  Transformer(const Stylesheet& sheet, xml::Document* out)
+      : sheet_(sheet), out_(out) {}
+
+  Status ProcessNode(const xml::Node* node, xml::Node* out_parent) {
+    const auto* rule = sheet_.FindRule(node);
+    if (rule != nullptr) {
+      return ExecuteBody(rule->body, node, out_parent);
+    }
+    // Built-in rules.
+    if (node->is_document() || node->is_element()) {
+      for (const xml::Node* child : node->children()) {
+        LLL_RETURN_IF_ERROR(ProcessNode(child, out_parent));
+      }
+      return Status::Ok();
+    }
+    if (node->is_text()) {
+      return out_parent->AppendChild(out_->CreateText(node->value()));
+    }
+    return Status::Ok();  // comments/PIs dropped by default
+  }
+
+ private:
+  Status ExecuteBody(const xml::Node* container, const xml::Node* context,
+                     xml::Node* out_parent) {
+    for (const xml::Node* item : container->children()) {
+      LLL_RETURN_IF_ERROR(ExecuteInstruction(item, context, out_parent));
+    }
+    return Status::Ok();
+  }
+
+  Status ExecuteInstruction(const xml::Node* item, const xml::Node* context,
+                            xml::Node* out_parent) {
+    if (item->is_text()) {
+      return out_parent->AppendChild(out_->CreateText(item->value()));
+    }
+    if (!item->is_element()) return Status::Ok();
+    const std::string& name = item->name();
+
+    if (!StartsWith(name, kXslPrefix)) {
+      // Literal result element; attribute values support {XPATH} templates.
+      xml::Node* element = out_->CreateElement(name);
+      LLL_RETURN_IF_ERROR(out_parent->AppendChild(element));
+      for (const xml::Node* attr : item->attributes()) {
+        LLL_ASSIGN_OR_RETURN(std::string value,
+                             ExpandValueTemplate(attr->value(), context));
+        element->SetAttribute(attr->name(), value);
+      }
+      return ExecuteBody(item, context, element);
+    }
+
+    std::string local = name.substr(4);
+    if (local == "apply-templates") {
+      const std::string* select = item->AttributeValue("select");
+      if (select == nullptr) {
+        for (const xml::Node* child : context->children()) {
+          LLL_RETURN_IF_ERROR(ProcessNode(child, out_parent));
+        }
+        return Status::Ok();
+      }
+      LLL_ASSIGN_OR_RETURN(xq::QueryResult selected, Eval(*select, context));
+      for (const xdm::Item& it : selected.sequence.items()) {
+        if (!it.is_node()) {
+          return Status::TypeError(
+              "apply-templates select returned a non-node");
+        }
+        LLL_RETURN_IF_ERROR(ProcessNode(it.node(), out_parent));
+      }
+      return Status::Ok();
+    }
+    if (local == "value-of") {
+      LLL_ASSIGN_OR_RETURN(std::string select, RequiredAttr(item, "select"));
+      LLL_ASSIGN_OR_RETURN(xq::QueryResult value, Eval(select, context));
+      if (!value.sequence.empty()) {
+        std::string text = value.sequence.at(0).StringForm();
+        if (!text.empty()) {
+          LLL_RETURN_IF_ERROR(
+              out_parent->AppendChild(out_->CreateText(text)));
+        }
+      }
+      return Status::Ok();
+    }
+    if (local == "copy-of") {
+      LLL_ASSIGN_OR_RETURN(std::string select, RequiredAttr(item, "select"));
+      LLL_ASSIGN_OR_RETURN(xq::QueryResult value, Eval(select, context));
+      for (const xdm::Item& it : value.sequence.items()) {
+        if (it.is_node()) {
+          LLL_RETURN_IF_ERROR(
+              out_parent->AppendChild(out_->ImportNode(it.node())));
+        } else {
+          LLL_RETURN_IF_ERROR(
+              out_parent->AppendChild(out_->CreateText(it.StringForm())));
+        }
+      }
+      return Status::Ok();
+    }
+    if (local == "for-each") {
+      LLL_ASSIGN_OR_RETURN(std::string select, RequiredAttr(item, "select"));
+      LLL_ASSIGN_OR_RETURN(xq::QueryResult selected, Eval(select, context));
+      for (const xdm::Item& it : selected.sequence.items()) {
+        if (!it.is_node()) {
+          return Status::TypeError("for-each select returned a non-node");
+        }
+        LLL_RETURN_IF_ERROR(ExecuteBody(item, it.node(), out_parent));
+      }
+      return Status::Ok();
+    }
+    if (local == "if") {
+      LLL_ASSIGN_OR_RETURN(std::string test, RequiredAttr(item, "test"));
+      LLL_ASSIGN_OR_RETURN(xq::QueryResult value, Eval(test, context));
+      LLL_ASSIGN_OR_RETURN(bool truth,
+                           xdm::EffectiveBooleanValue(value.sequence));
+      if (truth) return ExecuteBody(item, context, out_parent);
+      return Status::Ok();
+    }
+    if (local == "choose") {
+      for (const xml::Node* branch : item->children()) {
+        if (!branch->is_element()) continue;
+        if (branch->name() == "xsl:when") {
+          LLL_ASSIGN_OR_RETURN(std::string test, RequiredAttr(branch, "test"));
+          LLL_ASSIGN_OR_RETURN(xq::QueryResult value, Eval(test, context));
+          LLL_ASSIGN_OR_RETURN(bool truth,
+                               xdm::EffectiveBooleanValue(value.sequence));
+          if (truth) return ExecuteBody(branch, context, out_parent);
+          continue;
+        }
+        if (branch->name() == "xsl:otherwise") {
+          return ExecuteBody(branch, context, out_parent);
+        }
+        return Status::Invalid("unexpected <" + branch->name() +
+                               "> inside xsl:choose");
+      }
+      return Status::Ok();  // no branch taken
+    }
+    if (local == "element") {
+      LLL_ASSIGN_OR_RETURN(std::string element_name,
+                           RequiredAttr(item, "name"));
+      if (!IsValidXmlName(element_name)) {
+        return Status::Invalid("bad xsl:element name '" + element_name + "'");
+      }
+      xml::Node* element = out_->CreateElement(element_name);
+      LLL_RETURN_IF_ERROR(out_parent->AppendChild(element));
+      return ExecuteBody(item, context, element);
+    }
+    if (local == "attribute") {
+      LLL_ASSIGN_OR_RETURN(std::string attr_name, RequiredAttr(item, "name"));
+      if (!out_parent->is_element()) {
+        return Status::Invalid("xsl:attribute outside an element");
+      }
+      // Execute the body into a scratch element, take its text.
+      xml::Node* scratch = out_->CreateElement("scratch");
+      LLL_RETURN_IF_ERROR(ExecuteBody(item, context, scratch));
+      out_parent->SetAttribute(attr_name, scratch->StringValue());
+      return Status::Ok();
+    }
+    if (local == "text") {
+      return out_parent->AppendChild(out_->CreateText(item->StringValue()));
+    }
+    return Status::Unsupported("unsupported instruction <" + name + ">");
+  }
+
+  Result<std::string> RequiredAttr(const xml::Node* item, const char* name) {
+    const std::string* value = item->AttributeValue(name);
+    if (value == nullptr) {
+      return Status::Invalid("<" + item->name() + "> needs a '" +
+                             std::string(name) + "' attribute");
+    }
+    return *value;
+  }
+
+  Result<std::string> ExpandValueTemplate(const std::string& raw,
+                                          const xml::Node* context) {
+    if (!Contains(raw, "{")) return raw;
+    std::string out;
+    size_t pos = 0;
+    while (pos < raw.size()) {
+      size_t open = raw.find('{', pos);
+      if (open == std::string::npos) {
+        out += raw.substr(pos);
+        break;
+      }
+      out += raw.substr(pos, open - pos);
+      size_t close = raw.find('}', open);
+      if (close == std::string::npos) {
+        return Status::ParseError("unbalanced '{' in attribute value");
+      }
+      std::string expr = raw.substr(open + 1, close - open - 1);
+      LLL_ASSIGN_OR_RETURN(xq::QueryResult value, Eval(expr, context));
+      for (size_t i = 0; i < value.sequence.size(); ++i) {
+        if (i > 0) out += " ";
+        out += value.sequence.at(i).StringForm();
+      }
+      pos = close + 1;
+    }
+    return out;
+  }
+
+  Result<xq::QueryResult> Eval(const std::string& expr,
+                               const xml::Node* context) {
+    auto it = sheet_.compiled_.find(expr);
+    if (it == sheet_.compiled_.end()) {
+      LLL_ASSIGN_OR_RETURN(xq::CompiledQuery compiled, xq::Compile(expr));
+      it = sheet_.compiled_.emplace(expr, std::move(compiled)).first;
+    }
+    xq::ExecuteOptions opts;
+    opts.context_node = const_cast<xml::Node*>(context);
+    return xq::Execute(it->second, opts);
+  }
+
+  const Stylesheet& sheet_;
+  xml::Document* out_;
+};
+
+Result<std::unique_ptr<xml::Document>> Stylesheet::Apply(
+    const xml::Node* source) const {
+  auto out = std::make_unique<xml::Document>();
+  Transformer transformer(*this, out.get());
+  LLL_RETURN_IF_ERROR(transformer.ProcessNode(source, out->root()));
+  return out;
+}
+
+// --- Stream splitting -------------------------------------------------------
+
+Result<std::map<std::string, std::unique_ptr<xml::Document>>> SplitStreams(
+    const xml::Node* combined_root) {
+  if (combined_root == nullptr || !combined_root->is_element()) {
+    return Status::Invalid("SplitStreams needs the combined root element");
+  }
+  // Work on a private copy whose Root() is a document node, so match="/"
+  // patterns behave regardless of where the input element lives.
+  xml::Document working;
+  xml::Node* copy = working.ImportNode(combined_root);
+  LLL_RETURN_IF_ERROR(working.root()->AppendChild(copy));
+
+  std::map<std::string, std::unique_ptr<xml::Document>> streams;
+  for (const xml::Node* stream : copy->ChildElements("stream")) {
+    const std::string* name = stream->AttributeValue("name");
+    if (name == nullptr) {
+      return Status::Invalid("<stream> without a name attribute");
+    }
+    if (streams.count(*name) != 0) {
+      return Status::Invalid("duplicate stream name '" + *name + "'");
+    }
+    // One XSLT pass per stream: the paper's workaround, cost included.
+    std::string stylesheet_text =
+        "<xsl:stylesheet>"
+        "<xsl:template match=\"/\">"
+        "<xsl:copy-of select=\"" +
+        copy->name() + "/stream[@name='" + *name + "']/node()\"/>"
+        "</xsl:template>"
+        "</xsl:stylesheet>";
+    LLL_ASSIGN_OR_RETURN(Stylesheet sheet,
+                         Stylesheet::CompileText(stylesheet_text));
+    LLL_ASSIGN_OR_RETURN(auto result, sheet.Apply(working.root()));
+    streams.emplace(*name, std::move(result));
+  }
+  return streams;
+}
+
+}  // namespace lll::xslt

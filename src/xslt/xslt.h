@@ -1,0 +1,107 @@
+#ifndef LLL_XSLT_XSLT_H_
+#define LLL_XSLT_XSLT_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "xml/node.h"
+#include "xquery/engine.h"
+
+namespace lll::xslt {
+
+// A little XSLT 1.0 subset -- "a bit of XSLT sprinkled in at the end". The
+// paper used it to split the XQuery component's single output stream into
+// several real outputs ("the XQuery component could produce a big XML file
+// with all the output streams as children of the root element, and a little
+// XSLT program could split them apart"); SplitStreams below is exactly that
+// program. Select expressions are XPath and are evaluated by the XQuery
+// engine -- XSLT and XQuery genuinely share their path language.
+//
+// Supported:
+//   <xsl:stylesheet> root (prefix is fixed as "xsl:")
+//   <xsl:template match="PATTERN" [priority="p"]> ... </xsl:template>
+//     PATTERN subset: "name", "a/b/c", "*", "/", "text()", "node()"
+//   Instructions inside template bodies:
+//     <xsl:apply-templates [select="XPATH"]/>
+//     <xsl:value-of select="XPATH"/>
+//     <xsl:copy-of select="XPATH"/>
+//     <xsl:for-each select="XPATH"> body </xsl:for-each>
+//     <xsl:if test="XPATH"> body </xsl:if>
+//     <xsl:element name="N"> body </xsl:element>
+//     <xsl:attribute name="N"> text-producing body </xsl:attribute>
+//     <xsl:text>literal</xsl:text>
+//   Literal result elements/text are copied; attribute values support
+//   {XPATH} value templates.
+//
+// Built-in rules: document/element nodes apply templates to children; text
+// nodes copy themselves.
+
+// One template rule's compiled match pattern.
+struct MatchPattern {
+  enum class StepKind { kName, kAnyElement, kText, kAnyNode, kRoot };
+  struct Step {
+    StepKind kind = StepKind::kAnyElement;
+    std::string name;
+  };
+  // Steps from ancestor to the node itself ("a/b" -> [a, b]).
+  std::vector<Step> steps;
+  bool rooted = false;  // pattern began with '/'
+  double default_priority = 0;
+};
+
+Result<MatchPattern> ParsePattern(const std::string& text);
+
+// True if `node` matches the pattern.
+bool Matches(const MatchPattern& pattern, const xml::Node* node);
+
+class Stylesheet {
+ public:
+  // Compiles a stylesheet. The stylesheet's Document must outlive the
+  // Stylesheet (template bodies are read from it during Apply).
+  static Result<Stylesheet> Compile(const xml::Node* stylesheet_root);
+  // Convenience: parse text, keep the document inside the Stylesheet.
+  static Result<Stylesheet> CompileText(const std::string& stylesheet_xml);
+
+  Stylesheet(Stylesheet&&) = default;
+  Stylesheet& operator=(Stylesheet&&) = default;
+
+  // Transforms `source` (a document or element node); the result document's
+  // root node holds the output (possibly multiple top-level nodes).
+  Result<std::unique_ptr<xml::Document>> Apply(const xml::Node* source) const;
+
+  size_t template_count() const { return templates_.size(); }
+
+ private:
+  struct TemplateRule {
+    MatchPattern pattern;
+    double priority = 0;
+    const xml::Node* body = nullptr;  // the <xsl:template> element
+    size_t order = 0;                 // later rules win ties
+  };
+
+  Stylesheet() = default;
+
+  const TemplateRule* FindRule(const xml::Node* node) const;
+
+  std::unique_ptr<xml::Document> owned_source_;  // for CompileText
+  std::vector<TemplateRule> templates_;
+  // Select/test expressions compiled on first use (cached by text).
+  mutable std::map<std::string, xq::CompiledQuery> compiled_;
+
+  friend class Transformer;
+};
+
+// The paper's stream-splitting workaround (E11): given a combined output
+//   <streams><stream name="document">...</stream>
+//            <stream name="report">...</stream></streams>
+// returns one document per stream name, each produced by an XSLT pass over
+// the combined tree (so the cost of the workaround is measurable).
+Result<std::map<std::string, std::unique_ptr<xml::Document>>> SplitStreams(
+    const xml::Node* combined_root);
+
+}  // namespace lll::xslt
+
+#endif  // LLL_XSLT_XSLT_H_

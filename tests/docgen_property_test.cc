@@ -1,0 +1,129 @@
+// Randomized differential testing of the document generator: generate
+// random (error-free) templates over the directive grammar and random
+// models, run both engines, require deep-equal output and matching stats.
+// This is the capstone oracle: any semantic drift between the native engine
+// and the XQuery interpreter shows up here.
+
+#include <string>
+
+#include "awb/builtin_metamodels.h"
+#include "awb/generator.h"
+#include "core/rng.h"
+#include "docgen/native_engine.h"
+#include "docgen/xq_engine.h"
+#include "gtest/gtest.h"
+#include "xml/deep_equal.h"
+
+namespace lll::docgen {
+namespace {
+
+// --- Random template generator ----------------------------------------
+
+// Queries that are valid against the IT metamodel and never error.
+const char* kQueries[] = {
+    "from type:User; sort label",
+    "from type:Person",
+    "from type:Document; sort label",
+    "from type:Entity; filter has:name; sort label; limit 4",
+    "from type:SystemBeingDesigned",
+    "from focus",
+    "from focus; follow has> to:Person; sort label",
+    "from focus; follow has>; sort label",
+    "from all; filter type:Server",
+};
+
+// Conditions that never error when a focus exists.
+const char* kConditions[] = {
+    "<focus-is-type type=\"Superuser\"/>",
+    "<focus-is-type type=\"Person\"/>",
+    "<focus-has-property name=\"role\"/>",
+    "<focus-has-property name=\"version\"/>",
+    "<focus-property-equals name=\"role\" value=\"architect\"/>",
+};
+
+// Random body content; `has_focus` gates directives that need one.
+std::string RandomBody(Rng* rng, int depth, bool has_focus);
+
+std::string RandomDirective(Rng* rng, int depth, bool has_focus) {
+  switch (rng->Below(has_focus ? 8 : 5)) {
+    case 0: {  // for over a non-focus query (focus queries need a focus)
+      const char* query = kQueries[rng->Below(has_focus ? 9 : 5)];
+      return std::string("<for nodes=\"") + query + "\">" +
+             RandomBody(rng, depth + 1, true) + "</for>";
+    }
+    case 1:
+      return "<section heading=\"S" + std::to_string(rng->Below(100)) + "\">" +
+             RandomBody(rng, depth + 1, has_focus) + "</section>";
+    case 2:
+      return "<p>text " + std::to_string(rng->Below(10)) + "</p>";
+    case 3:
+      return "<table-of-contents/>";
+    case 4:
+      return "<table-of-omissions types=\"Document\"/>";
+    case 5:  // focus-dependent from here down
+      return "<label/>";
+    case 6:
+      return "<value-of property=\"role\" default=\"none\"/>";
+    default: {
+      std::string condition = kConditions[rng->Below(5)];
+      std::string out = std::string("<if><test>") + condition +
+                        "</test><then>" + RandomBody(rng, depth + 1, true) +
+                        "</then>";
+      if (rng->Chance(0.5)) {
+        out += "<else>" + RandomBody(rng, depth + 1, true) + "</else>";
+      }
+      return out + "</if>";
+    }
+  }
+}
+
+std::string RandomBody(Rng* rng, int depth, bool has_focus) {
+  if (depth >= 4) return "leaf";
+  std::string out;
+  size_t pieces = 1 + rng->Below(3);
+  for (size_t i = 0; i < pieces; ++i) {
+    if (rng->Chance(0.3)) {
+      out += "t" + std::to_string(rng->Below(10)) + " ";
+    } else {
+      out += RandomDirective(rng, depth, has_focus);
+    }
+  }
+  return out;
+}
+
+class DocgenDifferentialProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DocgenDifferentialProperty, EnginesAgreeOnRandomTemplates) {
+  awb::Metamodel mm = awb::MakeItArchitectureMetamodel();
+  awb::GeneratorConfig config;
+  config.seed = GetParam() * 17 + 1;
+  config.users = 4;
+  config.documents = 3;
+  config.servers = 2;
+  config.programs = 3;
+  awb::Model model = awb::GenerateItModel(&mm, config);
+
+  Rng rng(GetParam());
+  std::string tpl = "<doc>" + RandomBody(&rng, 0, false) + "</doc>";
+
+  auto native = GenerateNativeFromText(tpl, model);
+  auto xquery = GenerateXQueryFromText(tpl, model);
+  ASSERT_TRUE(native.ok()) << tpl << "\n" << native.status().ToString();
+  ASSERT_TRUE(xquery.ok()) << tpl << "\n" << xquery.status().ToString();
+  EXPECT_TRUE(xml::DeepEqual(native->root, xquery->root))
+      << "template: " << tpl << "\nnative: " << native->Serialized()
+      << "\nxquery: " << xquery->Serialized() << "\ndiff: "
+      << xml::ExplainDifference(native->root, xquery->root);
+  EXPECT_EQ(native->stats.nodes_visited, xquery->stats.nodes_visited) << tpl;
+  EXPECT_EQ(native->stats.toc_entries, xquery->stats.toc_entries) << tpl;
+  EXPECT_EQ(native->stats.omissions_listed, xquery->stats.omissions_listed)
+      << tpl;
+  EXPECT_EQ(native->stats.errors_embedded, 0u) << tpl;
+  EXPECT_EQ(xquery->stats.errors_embedded, 0u) << tpl;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DocgenDifferentialProperty,
+                         ::testing::Range<uint64_t>(1, 31));
+
+}  // namespace
+}  // namespace lll::docgen

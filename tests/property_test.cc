@@ -1,0 +1,377 @@
+// Property tests: randomized invariants over the XML layer, the XQuery
+// engine, the optimizer, and the two awbql backends. All randomness is
+// seeded (lll::Rng) so failures replay exactly.
+
+#include <string>
+#include <vector>
+
+#include "awb/builtin_metamodels.h"
+#include "awb/generator.h"
+#include "awb/xml_io.h"
+#include "awbql/native.h"
+#include "awbql/xquery_backend.h"
+#include "core/rng.h"
+#include "gtest/gtest.h"
+#include "xdm/compare.h"
+#include "xml/deep_equal.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xquery/engine.h"
+
+namespace lll {
+namespace {
+
+// --- Random XML documents ---------------------------------------------------
+
+const char* kNames[] = {"alpha", "b", "c-d", "data.x", "_under", "ns:qual"};
+const char* kTexts[] = {"plain",       "a < b & c > d", "\"quoted\"",
+                        "  spaced  ",  "line\nbreak",   "tab\there",
+                        "unicode \xC3\xA9", "{braces}"};
+
+void BuildRandomElement(Rng* rng, xml::Document* doc, xml::Node* parent,
+                        int depth) {
+  xml::Node* element = doc->CreateElement(kNames[rng->Below(6)]);
+  ASSERT_TRUE(parent->AppendChild(element).ok());
+  size_t attrs = rng->Below(3);
+  for (size_t i = 0; i < attrs; ++i) {
+    element->SetAttribute(std::string(kNames[rng->Below(6)]) +
+                              std::to_string(i),
+                          kTexts[rng->Below(8)]);
+  }
+  size_t children = depth >= 4 ? 0 : rng->Below(4);
+  bool last_was_text = false;  // adjacent text nodes cannot round-trip
+  for (size_t i = 0; i < children; ++i) {
+    switch (rng->Below(4)) {
+      case 0:
+        if (last_was_text) break;
+        ASSERT_TRUE(
+            element->AppendChild(doc->CreateText(kTexts[rng->Below(8)])).ok());
+        last_was_text = true;
+        break;
+      case 1:
+        ASSERT_TRUE(element->AppendChild(doc->CreateComment("note")).ok());
+        last_was_text = false;
+        break;
+      default:
+        BuildRandomElement(rng, doc, element, depth + 1);
+        last_was_text = false;
+        break;
+    }
+  }
+}
+
+class XmlRoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(XmlRoundTripProperty, SerializeParseIsIdentity) {
+  Rng rng(GetParam());
+  xml::Document doc;
+  BuildRandomElement(&rng, &doc, doc.root(), 0);
+  std::string serialized = xml::Serialize(doc.root());
+  auto reparsed = xml::Parse(serialized);
+  ASSERT_TRUE(reparsed.ok()) << serialized << "\n"
+                             << reparsed.status().ToString();
+  xml::DeepEqualOptions strict;
+  strict.ignore_comments_and_pis = false;
+  EXPECT_TRUE(xml::DeepEqual(doc.DocumentElement(),
+                             (*reparsed)->DocumentElement(), strict))
+      << serialized << "\n"
+      << xml::ExplainDifference(doc.DocumentElement(),
+                                (*reparsed)->DocumentElement(), strict);
+}
+
+TEST_P(XmlRoundTripProperty, ReserializationIsStable) {
+  Rng rng(GetParam() ^ 0xABCDEF);
+  xml::Document doc;
+  BuildRandomElement(&rng, &doc, doc.root(), 0);
+  std::string once = xml::Serialize(doc.root());
+  auto reparsed = xml::Parse(once);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(xml::Serialize((*reparsed)->root()), once);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, XmlRoundTripProperty,
+                         ::testing::Range<uint64_t>(1, 21));
+
+// --- Document order is a total order ------------------------------------
+
+TEST(DocumentOrderProperty, TotalOrderOnRandomTree) {
+  Rng rng(77);
+  xml::Document doc;
+  BuildRandomElement(&rng, &doc, doc.root(), 0);
+  // Collect all nodes.
+  std::vector<const xml::Node*> nodes;
+  std::vector<const xml::Node*> stack = {doc.root()};
+  while (!stack.empty()) {
+    const xml::Node* n = stack.back();
+    stack.pop_back();
+    nodes.push_back(n);
+    for (const xml::Node* a : n->attributes()) nodes.push_back(a);
+    for (const xml::Node* c : n->children()) stack.push_back(c);
+  }
+  ASSERT_GE(nodes.size(), 3u);
+  for (const xml::Node* a : nodes) {
+    EXPECT_EQ(xml::CompareDocumentOrder(a, a), 0);
+    for (const xml::Node* b : nodes) {
+      int ab = xml::CompareDocumentOrder(a, b);
+      int ba = xml::CompareDocumentOrder(b, a);
+      EXPECT_EQ(ab, -ba);  // antisymmetry
+      if (a != b) {
+        EXPECT_NE(ab, 0);
+      }
+    }
+  }
+  // Transitivity on a sample.
+  for (size_t i = 0; i + 2 < nodes.size(); i += 3) {
+    const xml::Node* a = nodes[i];
+    const xml::Node* b = nodes[i + 1];
+    const xml::Node* c = nodes[i + 2];
+    if (xml::CompareDocumentOrder(a, b) < 0 &&
+        xml::CompareDocumentOrder(b, c) < 0) {
+      EXPECT_LT(xml::CompareDocumentOrder(a, c), 0);
+    }
+  }
+}
+
+// --- Sequence flattening ---------------------------------------------------
+
+// Builds a random nested sequence expression and the flat list of its
+// integer leaves; evaluation must produce exactly the leaves, in order.
+std::string RandomNestedSequence(Rng* rng, int depth,
+                                 std::vector<int64_t>* leaves) {
+  size_t arity = rng->Below(4);  // 0..3 members
+  std::string out = "(";
+  bool first = true;
+  for (size_t i = 0; i < arity; ++i) {
+    if (!first) out += ", ";
+    first = false;
+    if (depth < 3 && rng->Chance(0.4)) {
+      out += RandomNestedSequence(rng, depth + 1, leaves);
+    } else {
+      int64_t value = rng->Range(0, 99);
+      leaves->push_back(value);
+      out += std::to_string(value);
+    }
+  }
+  out += ")";
+  return out;
+}
+
+class FlatteningProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(FlatteningProperty, NestedSequencesFlattenToLeaves) {
+  Rng rng(GetParam());
+  std::vector<int64_t> leaves;
+  std::string query = RandomNestedSequence(&rng, 0, &leaves);
+  auto result = xq::Run(query);
+  ASSERT_TRUE(result.ok()) << query;
+  ASSERT_EQ(result->sequence.size(), leaves.size()) << query;
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    EXPECT_EQ(result->sequence.at(i).integer_value(), leaves[i]) << query;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FlatteningProperty,
+                         ::testing::Range<uint64_t>(100, 130));
+
+// --- Optimizer soundness -----------------------------------------------
+
+// Random arithmetic/let/if queries; the optimizer must not change values.
+std::string RandomArithExpr(Rng* rng, int depth, int bound_vars);
+
+std::string RandomAtom(Rng* rng, int bound_vars) {
+  if (bound_vars > 0 && rng->Chance(0.4)) {
+    return "$v" + std::to_string(rng->Below(static_cast<uint64_t>(bound_vars)));
+  }
+  return std::to_string(rng->Range(-20, 20));
+}
+
+std::string RandomArithExpr(Rng* rng, int depth, int bound_vars) {
+  if (depth >= 3 || rng->Chance(0.3)) return RandomAtom(rng, bound_vars);
+  switch (rng->Below(5)) {
+    case 0:
+      return "(" + RandomArithExpr(rng, depth + 1, bound_vars) + " + " +
+             RandomArithExpr(rng, depth + 1, bound_vars) + ")";
+    case 1:
+      return "(" + RandomArithExpr(rng, depth + 1, bound_vars) + " - " +
+             RandomArithExpr(rng, depth + 1, bound_vars) + ")";
+    case 2:
+      return "(" + RandomArithExpr(rng, depth + 1, bound_vars) + " * " +
+             RandomArithExpr(rng, depth + 1, bound_vars) + ")";
+    case 3:
+      return "(if (" + RandomArithExpr(rng, depth + 1, bound_vars) +
+             " > 0) then " + RandomArithExpr(rng, depth + 1, bound_vars) +
+             " else " + RandomArithExpr(rng, depth + 1, bound_vars) + ")";
+    default: {
+      // let with a possibly-dead binding, possibly traced.
+      std::string binding = RandomArithExpr(rng, depth + 1, bound_vars);
+      if (rng->Chance(0.3)) binding = "trace(\"t\", " + binding + ")";
+      return "(let $v" + std::to_string(bound_vars) + " := " + binding +
+             " return " + RandomArithExpr(rng, depth + 1, bound_vars + 1) +
+             ")";
+    }
+  }
+}
+
+class OptimizerSoundnessProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(OptimizerSoundnessProperty, SameValueWithAndWithoutOptimizer) {
+  Rng rng(GetParam());
+  std::string query = RandomArithExpr(&rng, 0, 0);
+
+  xq::CompileOptions no_opt;
+  no_opt.optimize = false;
+  auto plain = xq::Run(query, {}, no_opt);
+
+  xq::CompileOptions with_opt;  // default: DCE + folding, trace unrecognized
+  auto optimized = xq::Run(query, {}, with_opt);
+
+  ASSERT_EQ(plain.ok(), optimized.ok()) << query;
+  if (!plain.ok()) return;  // both failed identically (e.g. div by zero)
+  EXPECT_EQ(plain->SerializedItems(), optimized->SerializedItems()) << query;
+  // DCE may only REMOVE trace output, never add.
+  EXPECT_LE(optimized->trace_output.size(), plain->trace_output.size())
+      << query;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OptimizerSoundnessProperty,
+                         ::testing::Range<uint64_t>(200, 240));
+
+// --- General comparison symmetry ------------------------------------------
+
+class ComparisonSymmetryProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ComparisonSymmetryProperty, EqualityIsSymmetric) {
+  Rng rng(GetParam());
+  auto random_sequence = [&rng]() {
+    xdm::Sequence seq;
+    size_t n = rng.Below(5);
+    for (size_t i = 0; i < n; ++i) {
+      switch (rng.Below(3)) {
+        case 0:
+          seq.Append(xdm::Item::Integer(rng.Range(0, 5)));
+          break;
+        case 1:
+          seq.Append(xdm::Item::Double(static_cast<double>(rng.Range(0, 5))));
+          break;
+        default:
+          seq.Append(xdm::Item::Untyped(std::to_string(rng.Range(0, 5))));
+          break;
+      }
+    }
+    return seq;
+  };
+  for (int trial = 0; trial < 50; ++trial) {
+    xdm::Sequence a = random_sequence();
+    xdm::Sequence b = random_sequence();
+    auto ab = xdm::GeneralCompare(xdm::CompareOp::kEq, a, b);
+    auto ba = xdm::GeneralCompare(xdm::CompareOp::kEq, b, a);
+    ASSERT_EQ(ab.ok(), ba.ok());
+    if (ab.ok()) {
+      EXPECT_EQ(*ab, *ba) << a.DebugString() << " vs " << b.DebugString();
+    }
+    // = and != can both be true, but on singletons they are complementary.
+    if (a.size() == 1 && b.size() == 1 && ab.ok()) {
+      auto ne = xdm::GeneralCompare(xdm::CompareOp::kNe, a, b);
+      ASSERT_TRUE(ne.ok());
+      EXPECT_NE(*ab, *ne);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ComparisonSymmetryProperty,
+                         ::testing::Range<uint64_t>(300, 310));
+
+// --- awbql backends agree on random queries -----------------------------
+
+std::string RandomAwbQuery(Rng* rng) {
+  const char* sources[] = {"from all", "from type:User", "from type:Entity",
+                           "from type:Person", "from type:Document"};
+  const char* relations[] = {"likes", "has", "uses", "runs", "relates"};
+  const char* types[] = {"User", "Program", "Person", "Document", "Server"};
+  std::string query = std::string(sources[rng->Below(5)]) + "\n";
+  size_t steps = rng->Below(4);
+  for (size_t i = 0; i < steps; ++i) {
+    switch (rng->Below(5)) {
+      case 0:
+        query += std::string("follow ") + relations[rng->Below(5)] + ">\n";
+        break;
+      case 1:
+        query += std::string("follow <") + relations[rng->Below(5)] + "\n";
+        break;
+      case 2:
+        query += std::string("follow ") + relations[rng->Below(5)] +
+                 "> to:" + types[rng->Below(5)] + "\n";
+        break;
+      case 3:
+        query += std::string("filter type:") + types[rng->Below(5)] + "\n";
+        break;
+      default:
+        query += "filter has:version\n";
+        break;
+    }
+  }
+  if (rng->Chance(0.5)) query += "sort label\n";
+  if (rng->Chance(0.3)) query += "limit " + std::to_string(rng->Below(6)) + "\n";
+  return query;
+}
+
+class AwbqlBackendProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AwbqlBackendProperty, BackendsAgreeOnRandomQueries) {
+  awb::Metamodel mm = awb::MakeItArchitectureMetamodel();
+  awb::GeneratorConfig config;
+  config.seed = GetParam();
+  config.users = 5;
+  config.programs = 6;
+  config.documents = 3;
+  awb::Model model = awb::GenerateItModel(&mm, config);
+  awbql::XQueryBackend backend(&model);
+
+  Rng rng(GetParam() * 31 + 7);
+  for (int trial = 0; trial < 6; ++trial) {
+    std::string text = RandomAwbQuery(&rng);
+    auto query = awbql::ParseQuery(text);
+    ASSERT_TRUE(query.ok()) << text;
+    auto native = awbql::EvalNative(*query, model);
+    auto xquery = backend.Eval(*query);
+    ASSERT_TRUE(native.ok()) << text;
+    ASSERT_TRUE(xquery.ok()) << text << ": " << xquery.status().ToString();
+    std::vector<std::string> native_ids, xquery_ids;
+    for (auto* n : *native) native_ids.push_back(n->id());
+    for (auto* n : *xquery) xquery_ids.push_back(n->id());
+    EXPECT_EQ(native_ids, xquery_ids) << "seed " << GetParam() << "\n" << text;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AwbqlBackendProperty,
+                         ::testing::Range<uint64_t>(400, 410));
+
+// --- Model XML round-trip over many configurations -----------------------
+
+class ModelRoundTripProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ModelRoundTripProperty, ExportImportExportIsStable) {
+  awb::Metamodel mm = awb::MakeItArchitectureMetamodel();
+  Rng rng(GetParam());
+  awb::GeneratorConfig config;
+  config.seed = GetParam();
+  config.users = rng.Below(8);
+  config.documents = rng.Below(5);
+  config.programs = rng.Below(10);
+  config.omission_rate = rng.Uniform();
+  config.violation_rate = rng.Uniform() * 0.5;
+  config.include_system_being_designed = rng.Chance(0.8);
+  awb::Model model = awb::GenerateItModel(&mm, config);
+  std::string exported = awb::ExportModelXml(model);
+  auto imported = awb::ImportModelXml(&mm, exported);
+  ASSERT_TRUE(imported.ok()) << imported.status().ToString();
+  EXPECT_EQ(awb::ExportModelXml(*imported), exported);
+  // Warnings are a function of content, so they round-trip too.
+  EXPECT_EQ(model.Validate().size(), imported->Validate().size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModelRoundTripProperty,
+                         ::testing::Range<uint64_t>(500, 515));
+
+}  // namespace
+}  // namespace lll

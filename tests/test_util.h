@@ -1,0 +1,50 @@
+#ifndef LLL_TESTS_TEST_UTIL_H_
+#define LLL_TESTS_TEST_UTIL_H_
+
+#include <memory>
+#include <string>
+
+#include "gtest/gtest.h"
+#include "xml/parser.h"
+#include "xquery/engine.h"
+
+namespace lll::testing {
+
+// Runs a query with no context and returns the serialized result; fails the
+// current test on any error.
+inline std::string Eval(const std::string& query) {
+  auto result = xq::Run(query);
+  EXPECT_TRUE(result.ok()) << "query: " << query << "\n"
+                           << result.status().ToString();
+  if (!result.ok()) return "<ERROR: " + result.status().ToString() + ">";
+  return result->SerializedItems();
+}
+
+// Runs a query against a context document given as XML text.
+inline std::string EvalWithContext(const std::string& query,
+                                   const std::string& xml) {
+  auto doc = xml::Parse(xml, {.strip_insignificant_whitespace = true});
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  if (!doc.ok()) return "<PARSE ERROR>";
+  xq::ExecuteOptions opts;
+  opts.context_node = (*doc)->root();
+  auto result = xq::Run(query, opts);
+  EXPECT_TRUE(result.ok()) << "query: " << query << "\n"
+                           << result.status().ToString();
+  if (!result.ok()) return "<ERROR: " + result.status().ToString() + ">";
+  return result->SerializedItems();
+}
+
+// Expects the query to fail; returns the status message (empty on
+// unexpected success).
+inline std::string EvalError(const std::string& query) {
+  auto result = xq::Run(query);
+  EXPECT_FALSE(result.ok()) << "query unexpectedly succeeded: " << query
+                            << " -> " << result->SerializedItems();
+  if (result.ok()) return "";
+  return result.status().ToString();
+}
+
+}  // namespace lll::testing
+
+#endif  // LLL_TESTS_TEST_UTIL_H_

@@ -1,0 +1,228 @@
+// Unit tests for the XQuery Data Model: items, flat sequences, EBV,
+// atomization, and the two comparison families.
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "xdm/compare.h"
+#include "xdm/item.h"
+#include "xdm/sequence.h"
+#include "xml/parser.h"
+
+namespace lll::xdm {
+namespace {
+
+TEST(Item, KindsAndAccessors) {
+  EXPECT_EQ(Item::String("s").kind(), ItemKind::kString);
+  EXPECT_EQ(Item::Untyped("u").kind(), ItemKind::kUntyped);
+  EXPECT_EQ(Item::Boolean(true).kind(), ItemKind::kBoolean);
+  EXPECT_EQ(Item::Integer(3).kind(), ItemKind::kInteger);
+  EXPECT_EQ(Item::Double(2.5).kind(), ItemKind::kDouble);
+  EXPECT_TRUE(Item::Integer(3).is_numeric());
+  EXPECT_TRUE(Item::Untyped("x").is_stringlike());
+  EXPECT_FALSE(Item::Boolean(true).is_numeric());
+}
+
+TEST(Item, StringForms) {
+  EXPECT_EQ(Item::String("abc").StringForm(), "abc");
+  EXPECT_EQ(Item::Boolean(true).StringForm(), "true");
+  EXPECT_EQ(Item::Boolean(false).StringForm(), "false");
+  EXPECT_EQ(Item::Integer(-4).StringForm(), "-4");
+  EXPECT_EQ(Item::Double(2.0).StringForm(), "2");
+  EXPECT_EQ(Item::Double(0.25).StringForm(), "0.25");
+}
+
+TEST(Item, NumericValueCoercions) {
+  EXPECT_DOUBLE_EQ(Item::Integer(7).NumericValue().value(), 7.0);
+  EXPECT_DOUBLE_EQ(Item::Double(1.5).NumericValue().value(), 1.5);
+  EXPECT_DOUBLE_EQ(Item::Untyped(" 42 ").NumericValue().value(), 42.0);
+  EXPECT_FALSE(Item::Untyped("forty-two").NumericValue().ok());
+  EXPECT_FALSE(Item::String("42").NumericValue().ok());  // strings don't coerce
+  EXPECT_FALSE(Item::Boolean(true).NumericValue().ok());
+}
+
+TEST(Item, AtomizationOfNodes) {
+  auto doc = xml::Parse("<a>hel<b>lo</b></a>");
+  ASSERT_TRUE(doc.ok());
+  Item node = Item::NodeRef((*doc)->DocumentElement());
+  Item atom = node.Atomized();
+  EXPECT_EQ(atom.kind(), ItemKind::kUntyped);
+  EXPECT_EQ(atom.string_value(), "hello");
+}
+
+TEST(Sequence, FlatteningByConstruction) {
+  // There is no way to express ((a,b),(c)) -- AppendSequence concatenates.
+  Sequence inner1;
+  inner1.Append(Item::Integer(1));
+  inner1.Append(Item::Integer(2));
+  Sequence inner2;
+  inner2.Append(Item::Integer(3));
+  Sequence outer;
+  outer.AppendSequence(inner1);
+  outer.AppendSequence(Sequence());  // () vanishes
+  outer.AppendSequence(inner2);
+  EXPECT_EQ(outer.size(), 3u);
+  EXPECT_EQ(outer.DebugString(), "(1, 2, 3)");
+}
+
+TEST(Sequence, SingletonIsTheValue) {
+  // "(1) being indifferently the value 1, or a singleton sequence".
+  Sequence s = Sequence::Singleton(Item::Integer(1));
+  EXPECT_EQ(s.size(), 1u);
+  EXPECT_TRUE(s.at(0).IdenticalTo(Item::Integer(1)));
+}
+
+TEST(Sequence, DocumentOrderDedup) {
+  auto doc = xml::Parse("<a><b/><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  auto* a = (*doc)->DocumentElement();
+  auto* b = a->children()[0];
+  auto* c = a->children()[1];
+  Sequence s;
+  s.Append(Item::NodeRef(c));
+  s.Append(Item::NodeRef(b));
+  s.Append(Item::NodeRef(c));
+  s.SortDocumentOrderAndDedup();
+  ASSERT_EQ(s.size(), 2u);
+  EXPECT_EQ(s.at(0).node(), b);
+  EXPECT_EQ(s.at(1).node(), c);
+}
+
+TEST(EffectiveBooleanValue, Rules) {
+  auto ebv = [](Sequence s) { return EffectiveBooleanValue(s).value(); };
+  EXPECT_FALSE(ebv(Sequence()));
+  EXPECT_TRUE(ebv(Sequence(Item::Boolean(true))));
+  EXPECT_FALSE(ebv(Sequence(Item::Boolean(false))));
+  EXPECT_FALSE(ebv(Sequence(Item::String(""))));
+  EXPECT_TRUE(ebv(Sequence(Item::String("x"))));
+  EXPECT_FALSE(ebv(Sequence(Item::Integer(0))));
+  EXPECT_TRUE(ebv(Sequence(Item::Integer(-1))));
+  EXPECT_FALSE(ebv(Sequence(Item::Double(std::nan("")))));
+
+  auto doc = xml::Parse("<a/>");
+  ASSERT_TRUE(doc.ok());
+  Sequence nodes(Item::NodeRef((*doc)->DocumentElement()));
+  nodes.Append(Item::Integer(1));
+  EXPECT_TRUE(ebv(nodes));  // first item a node -> true regardless of rest
+
+  Sequence multi;
+  multi.Append(Item::Integer(1));
+  multi.Append(Item::Integer(2));
+  EXPECT_FALSE(EffectiveBooleanValue(multi).ok());  // err:FORG0006
+}
+
+TEST(ValueCompare, NumericPromotionAndStrings) {
+  auto eq = [](Item a, Item b) {
+    return ValueCompare(CompareOp::kEq, a, b).value();
+  };
+  EXPECT_TRUE(eq(Item::Integer(2), Item::Double(2.0)));
+  EXPECT_TRUE(eq(Item::String("a"), Item::String("a")));
+  EXPECT_TRUE(eq(Item::Untyped("a"), Item::String("a")));
+  EXPECT_FALSE(eq(Item::Integer(1), Item::Integer(2)));
+  EXPECT_TRUE(ValueCompare(CompareOp::kLt, Item::String("a"),
+                           Item::String("b")).value());
+  // String vs number: type error.
+  EXPECT_FALSE(ValueCompare(CompareOp::kEq, Item::String("1"),
+                            Item::Integer(1)).ok());
+  // Boolean vs boolean fine; boolean vs string not.
+  EXPECT_TRUE(eq(Item::Boolean(true), Item::Boolean(true)));
+  EXPECT_FALSE(ValueCompare(CompareOp::kEq, Item::Boolean(true),
+                            Item::String("true")).ok());
+}
+
+TEST(ValueCompare, NaNComparesFalseExceptNe) {
+  Item nan = Item::Double(std::nan(""));
+  EXPECT_FALSE(ValueCompare(CompareOp::kEq, nan, nan).value());
+  EXPECT_TRUE(ValueCompare(CompareOp::kNe, nan, nan).value());
+  EXPECT_FALSE(ValueCompare(CompareOp::kLt, nan, Item::Double(1)).value());
+}
+
+TEST(GeneralCompare, Existential) {
+  Sequence s123;
+  s123.Append(Item::Integer(1));
+  s123.Append(Item::Integer(2));
+  s123.Append(Item::Integer(3));
+  Sequence s1(Item::Integer(1));
+  Sequence s9(Item::Integer(9));
+  EXPECT_TRUE(GeneralCompare(CompareOp::kEq, s1, s123).value());
+  EXPECT_TRUE(GeneralCompare(CompareOp::kEq, s123, s1).value());
+  EXPECT_FALSE(GeneralCompare(CompareOp::kEq, s1, s9).value());
+  // (1,2,3) < (1): no pair satisfies <, so false.
+  EXPECT_FALSE(GeneralCompare(CompareOp::kLt, s123, s1).value());
+  // (1,2,3) < (9): every pair satisfies <, so true.
+  EXPECT_TRUE(GeneralCompare(CompareOp::kLt, s123, s9).value());
+  // (1,2,3) is both < and > (2): existential semantics at their weirdest.
+  Sequence s2(Item::Integer(2));
+  EXPECT_TRUE(GeneralCompare(CompareOp::kLt, s123, s2).value());
+  EXPECT_TRUE(GeneralCompare(CompareOp::kGt, s123, s2).value());
+}
+
+TEST(GeneralCompare, UntypedCoercesTowardNumbers) {
+  Sequence untyped(Item::Untyped("5"));
+  Sequence five(Item::Integer(5));
+  Sequence text5(Item::String("5"));
+  EXPECT_TRUE(GeneralCompare(CompareOp::kEq, untyped, five).value());
+  EXPECT_TRUE(GeneralCompare(CompareOp::kEq, untyped, text5).value());
+  // But a plain string against a number stays a type error.
+  EXPECT_FALSE(GeneralCompare(CompareOp::kEq, text5, five).ok());
+}
+
+TEST(GeneralCompare, EmptySequencesAlwaysFalse) {
+  Sequence empty;
+  Sequence one(Item::Integer(1));
+  for (CompareOp op : {CompareOp::kEq, CompareOp::kNe, CompareOp::kLt,
+                       CompareOp::kLe, CompareOp::kGt, CompareOp::kGe}) {
+    EXPECT_FALSE(GeneralCompare(op, empty, one).value());
+    EXPECT_FALSE(GeneralCompare(op, one, empty).value());
+    EXPECT_FALSE(GeneralCompare(op, empty, empty).value());
+  }
+}
+
+TEST(DistinctValues, KeepsFirstOccurrence) {
+  Sequence s;
+  s.Append(Item::Integer(1));
+  s.Append(Item::String("a"));
+  s.Append(Item::Integer(1));
+  s.Append(Item::Double(1.0));  // eq to integer 1
+  s.Append(Item::String("a"));
+  s.Append(Item::String("b"));
+  Sequence d = DistinctValues(s).value();
+  EXPECT_EQ(d.size(), 3u);
+  EXPECT_EQ(d.DebugString(), "(1, a, b)");
+}
+
+TEST(DeepEqualSequences, MixedContent) {
+  auto doc1 = xml::Parse("<a x=\"1\"><b/></a>");
+  auto doc2 = xml::Parse("<a x=\"1\"><b/></a>");
+  ASSERT_TRUE(doc1.ok() && doc2.ok());
+  Sequence s1;
+  s1.Append(Item::Integer(1));
+  s1.Append(Item::NodeRef((*doc1)->DocumentElement()));
+  Sequence s2;
+  s2.Append(Item::Integer(1));
+  s2.Append(Item::NodeRef((*doc2)->DocumentElement()));
+  EXPECT_TRUE(DeepEqualSequences(s1, s2).value());
+  s2.Append(Item::Integer(9));
+  EXPECT_FALSE(DeepEqualSequences(s1, s2).value());  // length mismatch
+}
+
+TEST(DeepEqualSequences, NaNEqualsNaN) {
+  Sequence a(Item::Double(std::nan("")));
+  Sequence b(Item::Double(std::nan("")));
+  EXPECT_TRUE(DeepEqualSequences(a, b).value());
+}
+
+TEST(RequireSingleton, Errors) {
+  Sequence empty;
+  Sequence two;
+  two.Append(Item::Integer(1));
+  two.Append(Item::Integer(2));
+  EXPECT_FALSE(RequireSingleton(empty, "t").ok());
+  EXPECT_FALSE(RequireSingleton(two, "t").ok());
+  EXPECT_TRUE(RequireSingleton(Sequence(Item::Integer(1)), "t").ok());
+  EXPECT_TRUE(RequireAtMostOne(empty, "t").ok());
+  EXPECT_FALSE(RequireAtMostOne(two, "t").ok());
+}
+
+}  // namespace
+}  // namespace lll::xdm

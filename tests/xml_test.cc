@@ -1,0 +1,295 @@
+// Unit tests for the XML infoset, parser, serializer, and deep-equal.
+
+#include "gtest/gtest.h"
+#include "xml/deep_equal.h"
+#include "xml/node.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace lll::xml {
+namespace {
+
+std::unique_ptr<Document> MustParse(const std::string& text,
+                                    const ParseOptions& opts = {}) {
+  auto doc = Parse(text, opts);
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return doc.ok() ? std::move(*doc) : nullptr;
+}
+
+TEST(XmlTree, BuildAndNavigate) {
+  Document doc;
+  Node* root = doc.CreateElement("library");
+  ASSERT_TRUE(doc.root()->AppendChild(root).ok());
+  Node* book = doc.CreateElement("book");
+  book->SetAttribute("year", "1983");
+  ASSERT_TRUE(root->AppendChild(book).ok());
+  ASSERT_TRUE(book->AppendChild(doc.CreateText("Tides")).ok());
+
+  EXPECT_EQ(doc.DocumentElement(), root);
+  EXPECT_EQ(root->FirstChildElement("book"), book);
+  EXPECT_EQ(*book->AttributeValue("year"), "1983");
+  EXPECT_EQ(book->StringValue(), "Tides");
+  EXPECT_EQ(book->parent(), root);
+}
+
+TEST(XmlTree, MutationInsertRemoveReplace) {
+  Document doc;
+  Node* root = doc.CreateElement("r");
+  ASSERT_TRUE(doc.root()->AppendChild(root).ok());
+  Node* a = doc.CreateElement("a");
+  Node* b = doc.CreateElement("b");
+  Node* c = doc.CreateElement("c");
+  ASSERT_TRUE(root->AppendChild(a).ok());
+  ASSERT_TRUE(root->AppendChild(c).ok());
+  ASSERT_TRUE(root->InsertChildAt(1, b).ok());
+  EXPECT_EQ(Serialize(root), "<r><a/><b/><c/></r>");
+
+  ASSERT_TRUE(root->RemoveChild(b).ok());
+  EXPECT_EQ(Serialize(root), "<r><a/><c/></r>");
+  EXPECT_EQ(b->parent(), nullptr);
+
+  // Replace c by (b, new text) -- the "rip the node apart" operation the
+  // paper wanted for TABLE-1-GOES-HERE.
+  Node* t = doc.CreateText("x");
+  ASSERT_TRUE(root->ReplaceChild(c, {b, t}).ok());
+  EXPECT_EQ(Serialize(root), "<r><a/><b/>x</r>");
+}
+
+TEST(XmlTree, MutationErrors) {
+  Document doc1, doc2;
+  Node* r1 = doc1.CreateElement("r");
+  ASSERT_TRUE(doc1.root()->AppendChild(r1).ok());
+  Node* alien = doc2.CreateElement("alien");
+  EXPECT_FALSE(r1->AppendChild(alien).ok());  // cross-document
+  Node* a = doc1.CreateElement("a");
+  ASSERT_TRUE(r1->AppendChild(a).ok());
+  EXPECT_FALSE(r1->AppendChild(a).ok());      // already parented
+  EXPECT_FALSE(a->AppendChild(r1).ok());      // cycle
+  Node* text = doc1.CreateText("t");
+  EXPECT_FALSE(text->AppendChild(doc1.CreateElement("x")).ok());
+  EXPECT_FALSE(r1->InsertChildAt(99, doc1.CreateElement("y")).ok());
+  EXPECT_FALSE(r1->RemoveChild(doc1.CreateElement("z")).ok());
+}
+
+TEST(XmlTree, AttributeNodes) {
+  Document doc;
+  Node* el = doc.CreateElement("e");
+  Node* attr = doc.CreateAttribute("a", "1");
+  ASSERT_TRUE(el->SetAttributeNode(attr).ok());
+  EXPECT_EQ(attr->parent(), el);
+  // keep_first: a second attribute of the same name is dropped.
+  Node* dup = doc.CreateAttribute("a", "2");
+  ASSERT_TRUE(el->SetAttributeNode(dup, /*keep_first=*/true).ok());
+  EXPECT_EQ(*el->AttributeValue("a"), "1");
+  // keep_first=false overwrites the value.
+  Node* dup2 = doc.CreateAttribute("a", "3");
+  ASSERT_TRUE(el->SetAttributeNode(dup2, /*keep_first=*/false).ok());
+  EXPECT_EQ(*el->AttributeValue("a"), "3");
+  EXPECT_TRUE(el->RemoveAttribute("a"));
+  EXPECT_FALSE(el->RemoveAttribute("a"));
+}
+
+TEST(XmlTree, ImportNodeDeepCopies) {
+  Document src;
+  Node* tree = src.CreateElement("a");
+  tree->SetAttribute("k", "v");
+  ASSERT_TRUE(tree->AppendChild(src.CreateText("hi")).ok());
+
+  Document dst;
+  Node* copy = dst.ImportNode(tree);
+  EXPECT_EQ(copy->document(), &dst);
+  EXPECT_TRUE(DeepEqual(tree, copy));
+  // Mutating the copy does not affect the source.
+  copy->SetAttribute("k", "other");
+  EXPECT_EQ(*tree->AttributeValue("k"), "v");
+}
+
+TEST(XmlParser, BasicDocument) {
+  auto doc = MustParse("<a x='1'><b>text</b><c/></a>");
+  Node* a = doc->DocumentElement();
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->name(), "a");
+  EXPECT_EQ(*a->AttributeValue("x"), "1");
+  EXPECT_EQ(a->children().size(), 2u);
+  EXPECT_EQ(a->FirstChildElement("b")->StringValue(), "text");
+}
+
+TEST(XmlParser, DeclarationDoctypeCommentsPis) {
+  auto doc = MustParse(
+      "<?xml version=\"1.0\"?>\n"
+      "<!DOCTYPE a [<!ENTITY junk \"j\">]>\n"
+      "<!-- leading -->\n"
+      "<a><?target some data?><!-- inner --></a>");
+  Node* a = doc->DocumentElement();
+  ASSERT_NE(a, nullptr);
+  ASSERT_EQ(a->children().size(), 2u);
+  EXPECT_EQ(a->children()[0]->kind(), NodeKind::kProcessingInstruction);
+  EXPECT_EQ(a->children()[0]->name(), "target");
+  EXPECT_EQ(a->children()[0]->value(), "some data");
+  EXPECT_EQ(a->children()[1]->kind(), NodeKind::kComment);
+}
+
+TEST(XmlParser, EntitiesAndCharRefs) {
+  auto doc = MustParse("<a t=\"&lt;&amp;&quot;\">&lt;x&gt; &#65;&#x42;</a>");
+  Node* a = doc->DocumentElement();
+  EXPECT_EQ(*a->AttributeValue("t"), "<&\"");
+  EXPECT_EQ(a->StringValue(), "<x> AB");
+}
+
+TEST(XmlParser, Utf8CharRefs) {
+  auto doc = MustParse("<a>&#233;&#x4E2D;</a>");  // é, 中
+  EXPECT_EQ(doc->DocumentElement()->StringValue(), "\xC3\xA9\xE4\xB8\xAD");
+}
+
+TEST(XmlParser, Cdata) {
+  auto doc = MustParse("<a><![CDATA[<raw> & ]]]></a>");
+  EXPECT_EQ(doc->DocumentElement()->StringValue(), "<raw> & ]");
+}
+
+TEST(XmlParser, WhitespaceStripping) {
+  ParseOptions opts;
+  opts.strip_insignificant_whitespace = true;
+  auto doc = MustParse("<a>\n  <b> x </b>\n</a>", opts);
+  // The whitespace-only text between <a> and <b> is gone; the text inside
+  // <b> is preserved verbatim.
+  EXPECT_EQ(doc->DocumentElement()->children().size(), 1u);
+  EXPECT_EQ(doc->DocumentElement()->FirstChildElement("b")->StringValue(),
+            " x ");
+}
+
+struct BadXml {
+  const char* label;
+  const char* text;
+  const char* expect_in_message;
+};
+
+class XmlParserErrorTest : public ::testing::TestWithParam<BadXml> {};
+
+TEST_P(XmlParserErrorTest, RejectsWithLocatedMessage) {
+  auto result = Parse(GetParam().text);
+  ASSERT_FALSE(result.ok()) << GetParam().label;
+  EXPECT_NE(result.status().message().find(GetParam().expect_in_message),
+            std::string::npos)
+      << GetParam().label << ": " << result.status().message();
+  // Every parse error carries a position.
+  EXPECT_NE(result.status().message().find("line"), std::string::npos);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Malformed, XmlParserErrorTest,
+    ::testing::Values(
+        BadXml{"mismatched", "<a><b></a></b>", "mismatched end tag"},
+        BadXml{"unterminated", "<a><b>", "missing end tag"},
+        BadXml{"bad_entity", "<a>&nope;</a>", "unknown entity"},
+        BadXml{"dup_attr", "<a x='1' x='2'/>", "duplicate attribute"},
+        BadXml{"attr_lt", "<a x='<'/>", "'<' not allowed"},
+        BadXml{"no_root", "   ", "no root element"},
+        BadXml{"trailing", "<a/><b/>", "unexpected content"},
+        BadXml{"unquoted_attr", "<a x=1/>", "quoted attribute"}),
+    [](const ::testing::TestParamInfo<BadXml>& info) {
+      return std::string(info.param.label);
+    });
+
+TEST(XmlSerializer, Escaping) {
+  Document doc;
+  Node* el = doc.CreateElement("e");
+  el->SetAttribute("a", "1 < 2 & \"q\"");
+  ASSERT_TRUE(el->AppendChild(doc.CreateText("a < b & c > d")).ok());
+  EXPECT_EQ(Serialize(el),
+            "<e a=\"1 &lt; 2 &amp; &quot;q&quot;\">"
+            "a &lt; b &amp; c &gt; d</e>");
+}
+
+TEST(XmlSerializer, PrettyPrinting) {
+  auto doc = MustParse("<a><b><c/></b></a>");
+  SerializeOptions opts;
+  opts.indent = 2;
+  EXPECT_EQ(Serialize(doc->DocumentElement(), opts),
+            "<a>\n  <b>\n    <c/>\n  </b>\n</a>");
+}
+
+TEST(XmlSerializer, HtmlMode) {
+  auto doc = MustParse("<body><p>a<br/>b</p><div/><img src=\"x\"/></body>");
+  SerializeOptions opts;
+  opts.html = true;
+  EXPECT_EQ(Serialize(doc->DocumentElement(), opts),
+            "<body><p>a<br>b</p><div></div><img src=\"x\"></body>");
+  // Default XML mode keeps self-closing.
+  EXPECT_EQ(Serialize(doc->DocumentElement()),
+            "<body><p>a<br/>b</p><div/><img src=\"x\"/></body>");
+}
+
+TEST(XmlSerializer, VoidElementTable) {
+  EXPECT_TRUE(IsHtmlVoidElement("br"));
+  EXPECT_TRUE(IsHtmlVoidElement("BR"));
+  EXPECT_TRUE(IsHtmlVoidElement("Img"));
+  EXPECT_FALSE(IsHtmlVoidElement("div"));
+  EXPECT_FALSE(IsHtmlVoidElement("table"));
+}
+
+TEST(XmlSerializer, RoundTripPreservesStructure) {
+  const char* text =
+      "<model><node id=\"n1\" type=\"Person\"><prop name=\"firstName\">"
+      "Ada</prop></node><rel from=\"n1\" to=\"n2\"/></model>";
+  auto doc = MustParse(text);
+  std::string serialized = Serialize(doc->DocumentElement());
+  auto doc2 = MustParse(serialized);
+  EXPECT_TRUE(
+      DeepEqual(doc->DocumentElement(), doc2->DocumentElement()))
+      << ExplainDifference(doc->DocumentElement(), doc2->DocumentElement());
+}
+
+TEST(XmlDeepEqual, DetectsDifferences) {
+  auto a = MustParse("<a x=\"1\"><b>t</b></a>");
+  auto b = MustParse("<a x=\"2\"><b>t</b></a>");
+  auto c = MustParse("<a x=\"1\"><b>u</b></a>");
+  auto d = MustParse("<a x=\"1\"><b>t</b><c/></a>");
+  EXPECT_FALSE(DeepEqual(a->DocumentElement(), b->DocumentElement()));
+  EXPECT_FALSE(DeepEqual(a->DocumentElement(), c->DocumentElement()));
+  EXPECT_FALSE(DeepEqual(a->DocumentElement(), d->DocumentElement()));
+  EXPECT_TRUE(DeepEqual(a->DocumentElement(), a->DocumentElement()));
+  EXPECT_NE(ExplainDifference(a->DocumentElement(), b->DocumentElement()),
+            "(equal)");
+}
+
+TEST(XmlDeepEqual, AttributeOrderIgnored) {
+  auto a = MustParse("<a x=\"1\" y=\"2\"/>");
+  auto b = MustParse("<a y=\"2\" x=\"1\"/>");
+  EXPECT_TRUE(DeepEqual(a->DocumentElement(), b->DocumentElement()));
+}
+
+TEST(XmlDeepEqual, CommentsIgnoredByDefault) {
+  auto a = MustParse("<a><!--note--><b/></a>");
+  auto b = MustParse("<a><b/></a>");
+  EXPECT_TRUE(DeepEqual(a->DocumentElement(), b->DocumentElement()));
+  DeepEqualOptions strict;
+  strict.ignore_comments_and_pis = false;
+  EXPECT_FALSE(DeepEqual(a->DocumentElement(), b->DocumentElement(), strict));
+}
+
+TEST(XmlDocumentOrder, OrderAndAttributes) {
+  auto doc = MustParse("<a x=\"1\"><b/><c><d/></c></a>");
+  Node* a = doc->DocumentElement();
+  Node* b = a->children()[0];
+  Node* c = a->children()[1];
+  Node* d = c->children()[0];
+  Node* x = a->attributes()[0];
+  EXPECT_LT(CompareDocumentOrder(a, b), 0);
+  EXPECT_LT(CompareDocumentOrder(b, c), 0);
+  EXPECT_LT(CompareDocumentOrder(c, d), 0);
+  EXPECT_LT(CompareDocumentOrder(b, d), 0);
+  EXPECT_GT(CompareDocumentOrder(d, b), 0);
+  EXPECT_EQ(CompareDocumentOrder(c, c), 0);
+  // Attributes come after their element, before its children.
+  EXPECT_LT(CompareDocumentOrder(a, x), 0);
+  EXPECT_LT(CompareDocumentOrder(x, b), 0);
+}
+
+TEST(XmlParser, ParseFileMissing) {
+  auto result = ParseFile("/nonexistent/path.xml");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace lll::xml

@@ -1,0 +1,170 @@
+// The "lessons applied" extension module: the paper's Moral, implemented.
+//   Moral #1: basic data structures  -> the map: function family
+//   Moral #4: exception handling     -> try { } catch { }
+// These tests show the exact pains of the paper dissolving once the little
+// language grows the missing constructs.
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace lll {
+namespace {
+
+using testing::Eval;
+using testing::EvalError;
+
+// --- try/catch (Moral #4) -------------------------------------------------
+
+TEST(TryCatch, CatchesDynamicErrors) {
+  EXPECT_EQ(Eval("try { 1 idiv 0 } catch { -1 }"), "-1");
+  EXPECT_EQ(Eval("try { 1 + 1 } catch { -1 }"), "2");
+  EXPECT_EQ(Eval("try { error(\"boom\") } catch { \"saved\" }"), "saved");
+  EXPECT_EQ(Eval("try { exactly-one(()) } catch { \"none\" }"), "none");
+}
+
+TEST(TryCatch, HandlerSeesTheErrorDescription) {
+  EXPECT_EQ(Eval("try { error(\"the reactor\") } "
+                 "catch { concat(\"trouble: \", $err:description) }"),
+            "trouble: fn:error: the reactor");
+  EXPECT_EQ(Eval("try { 1 idiv 0 } catch { $err:code }"), "InvalidArgument");
+}
+
+TEST(TryCatch, XQuery30StyleCatchAllMarker) {
+  EXPECT_EQ(Eval("try { error() } catch * { \"ok\" }"), "ok");
+}
+
+TEST(TryCatch, Nests) {
+  EXPECT_EQ(Eval("try { try { error(\"inner\") } catch { error(\"outer\") } }"
+                 " catch { $err:description }"),
+            "fn:error: outer");
+}
+
+TEST(TryCatch, ErrorsInTheHandlerPropagate) {
+  EXPECT_NE(EvalError("try { error(\"a\") } catch { error(\"b\") }")
+                .find("b"),
+            std::string::npos);
+}
+
+TEST(TryCatch, ResourceLimitsAreNotCatchable) {
+  // A handler must not mask a runaway query.
+  xq::ExecuteOptions opts;
+  opts.eval.max_steps = 500;
+  auto result = xq::Run(
+      "try { count(for $i in 1 to 100000 return $i) } catch { -1 }", opts);
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("budget"), std::string::npos);
+
+  auto recursion = xq::Run(
+      "declare function local:loop($n) { local:loop($n + 1) }; "
+      "try { local:loop(0) } catch { -1 }");
+  EXPECT_FALSE(recursion.ok());
+}
+
+TEST(TryCatch, DissolvesThePapersSixLinePattern) {
+  // The paper's required-child pattern, rewritten with the extension: the
+  // utility just errors, intermediate layers do nothing, the top catches.
+  const char* program =
+      "declare function local:required-child($e, $name) { "
+      "  let $c := $e/child::*[name(.) = $name] "
+      "  return if (empty($c)) then "
+      "    error(concat(\"no <\", $name, \"> child\")) else $c[1] }; "
+      "declare function local:middle($e) { "
+      "  local:required-child($e, \"then\") }; "  // no checking here!
+      "try { string(local:middle(<if><test/></if>)) } "
+      "catch { concat(\"report: \", $err:description) }";
+  EXPECT_EQ(Eval(program), "report: fn:error: no <then> child");
+}
+
+TEST(TryCatch, TryIsStillAValidElementAndStepName) {
+  // `try` remains contextual: only `try {` begins the expression.
+  EXPECT_EQ(Eval("<try/>"), "<try/>");
+  EXPECT_EQ(Eval("count(<a><try/></a>/try)"), "1");
+}
+
+// --- map: (Moral #1) ------------------------------------------------------
+
+TEST(Maps, BasicOperations) {
+  EXPECT_EQ(Eval("map:size(map:new())"), "0");
+  EXPECT_EQ(Eval("map:size(map:put(map:new(), \"a\", 1))"), "1");
+  EXPECT_EQ(Eval("map:get(map:put(map:new(), \"a\", 42), \"a\")"), "42");
+  EXPECT_EQ(Eval("map:get(map:new(), \"missing\")"), "");
+  EXPECT_EQ(Eval("map:contains(map:put(map:new(), \"k\", 1), \"k\")"), "true");
+  EXPECT_EQ(Eval("map:contains(map:new(), \"k\")"), "false");
+  EXPECT_EQ(Eval("let $m := map:put(map:put(map:new(), \"a\", 1), \"b\", 2) "
+                 "return string-join(map:keys($m), \",\")"),
+            "a,b");
+  EXPECT_EQ(Eval("map:size(map:remove(map:put(map:new(), \"a\", 1), \"a\"))"),
+            "0");
+}
+
+TEST(Maps, PutOverwrites) {
+  EXPECT_EQ(Eval("map:get(map:put(map:put(map:new(), \"k\", 1), \"k\", 2), "
+                 "\"k\")"),
+            "2");
+}
+
+TEST(Maps, ValuesAreSequencesAndDoNotFlatten) {
+  // THE point: E1's impossibility, possible. A map holds (1,2,3) as a
+  // value; getting it back gives exactly (1,2,3), not a blend.
+  EXPECT_EQ(Eval("let $m := map:put(map:put(map:new(), \"x\", (1,2,3)), "
+                 "                  \"y\", ()) "
+                 "return (count(map:get($m, \"x\")), "
+                 "        count(map:get($m, \"y\")))"),
+            "3 0");
+  // Even attribute nodes survive storage un-folded.
+  EXPECT_EQ(Eval("let $m := map:put(map:new(), \"a\", attribute y {\"w\"}) "
+                 "return string(map:get($m, \"a\"))"),
+            "w");
+}
+
+TEST(Maps, ImmutableValueSemantics) {
+  EXPECT_EQ(Eval("let $m1 := map:put(map:new(), \"a\", 1) "
+                 "let $m2 := map:put($m1, \"b\", 2) "
+                 "return (map:size($m1), map:size($m2))"),
+            "1 2");
+}
+
+TEST(Maps, MapsInSequencesDoNotFlatten) {
+  // Maps are items: a sequence of maps is a sequence of maps.
+  EXPECT_EQ(Eval("count((map:new(), map:new(), map:new()))"), "3");
+  EXPECT_EQ(Eval("let $ms := (map:put(map:new(), \"k\", 1), "
+                 "            map:put(map:new(), \"k\", 2)) "
+                 "return map:get($ms[2], \"k\")"),
+            "2");
+}
+
+TEST(Maps, KeysAtomize) {
+  // Numeric and node keys become their string forms.
+  EXPECT_EQ(Eval("map:get(map:put(map:new(), 42, \"v\"), \"42\")"), "v");
+  EXPECT_EQ(Eval("map:get(map:put(map:new(), <k>a</k>, 1), \"a\")"), "1");
+}
+
+TEST(Maps, TypeErrors) {
+  EXPECT_FALSE(xq::Run("map:get(1, \"k\")").ok());
+  EXPECT_FALSE(xq::Run("map:put((), \"k\", 1)").ok());
+  EXPECT_FALSE(xq::Run("map:size((map:new(), map:new()))").ok());
+  // Maps refuse comparison and element content.
+  EXPECT_FALSE(xq::Run("map:new() = map:new()").ok());
+  EXPECT_FALSE(xq::Run("<a>{map:new()}</a>").ok());
+  EXPECT_FALSE(xq::Run("if (map:new()) then 1 else 2").ok());
+  // A map as a key is rejected.
+  EXPECT_FALSE(xq::Run("map:put(map:new(), map:new(), 1)").ok());
+}
+
+TEST(Maps, WordCountIdiom) {
+  // The workhorse the paper missed: counting occurrences.
+  const char* program =
+      "declare function local:tally($m, $words) { "
+      "  if (empty($words)) then $m "
+      "  else "
+      "    let $w := $words[1] "
+      "    let $n := map:get($m, $w) "
+      "    let $m2 := map:put($m, $w, (if (empty($n)) then 1 else $n + 1)) "
+      "    return local:tally($m2, $words[position() > 1]) }; "
+      "let $m := local:tally(map:new(), tokenize(\"a b a c a b\", \" \")) "
+      "return (map:get($m, \"a\"), map:get($m, \"b\"), map:get($m, \"c\"))";
+  EXPECT_EQ(Eval(program), "3 2 1");
+}
+
+}  // namespace
+}  // namespace lll

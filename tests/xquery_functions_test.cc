@@ -1,0 +1,270 @@
+// Systematic coverage of the fn:/math: builtin library -- every function the
+// paper's document generator could have leaned on, with edge cases.
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace lll {
+namespace {
+
+using testing::Eval;
+using testing::EvalError;
+using testing::EvalWithContext;
+
+// A table-driven sweep: query -> expected serialized result.
+struct Case {
+  const char* query;
+  const char* expected;
+};
+
+class FunctionCaseTest : public ::testing::TestWithParam<Case> {};
+
+TEST_P(FunctionCaseTest, Evaluates) {
+  EXPECT_EQ(Eval(GetParam().query), GetParam().expected) << GetParam().query;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cardinality, FunctionCaseTest,
+    ::testing::Values(
+        Case{"count(())", "0"},
+        Case{"count((1,2,3))", "3"},
+        Case{"empty(())", "true"},
+        Case{"empty((1))", "false"},
+        Case{"exists(())", "false"},
+        Case{"exists(0)", "true"},
+        Case{"not(())", "true"},
+        Case{"not(\"x\")", "false"},
+        Case{"boolean((0))", "false"},
+        Case{"exactly-one(5)", "5"},
+        Case{"zero-or-one(())", ""},
+        Case{"one-or-more((1,2))", "1 2"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    SequenceOps, FunctionCaseTest,
+    ::testing::Values(
+        Case{"reverse((1,2,3))", "3 2 1"},
+        Case{"reverse(())", ""},
+        Case{"subsequence((1,2,3,4,5), 2)", "2 3 4 5"},
+        Case{"subsequence((1,2,3,4,5), 2, 2)", "2 3"},
+        Case{"subsequence((1,2,3), 0)", "1 2 3"},
+        Case{"subsequence((1,2,3), 2.5)", "3"},  // rounds to 3 per spec
+        Case{"insert-before((1,2,3), 2, (9,8))", "1 9 8 2 3"},
+        Case{"insert-before((1,2,3), 99, 0)", "1 2 3 0"},
+        Case{"insert-before((1,2,3), 0, 0)", "0 1 2 3"},
+        Case{"remove((1,2,3), 2)", "1 3"},
+        Case{"remove((1,2,3), 9)", "1 2 3"},
+        Case{"index-of((10,20,10,30), 10)", "1 3"},
+        Case{"index-of((\"a\",\"b\"), \"c\")", ""},
+        Case{"distinct-values((1, 2, 1, 1.0, \"1\"))", "1 2 1"},
+        Case{"string-join((\"a\",\"b\",\"c\"), \"-\")", "a-b-c"},
+        Case{"string-join((), \",\")", ""}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Strings, FunctionCaseTest,
+    ::testing::Values(
+        Case{"concat(\"a\", \"b\", \"c\", \"d\")", "abcd"},
+        Case{"concat(\"x\", (), \"y\")", "xy"},  // empty arg -> ""
+        Case{"concat(\"n=\", 5)", "n=5"},
+        Case{"substring(\"hello\", 2)", "ello"},
+        Case{"substring(\"hello\", 2, 3)", "ell"},
+        Case{"substring(\"hello\", 0)", "hello"},
+        Case{"substring(\"hello\", 1.5, 2.6)", "ell"},  // spec rounding
+        Case{"string-length(\"abc\")", "3"},
+        Case{"string-length(\"\")", "0"},
+        Case{"contains(\"banana\", \"nan\")", "true"},
+        Case{"contains(\"banana\", \"\")", "true"},
+        Case{"starts-with(\"banana\", \"ban\")", "true"},
+        Case{"ends-with(\"banana\", \"ana\")", "true"},
+        Case{"upper-case(\"mIxEd\")", "MIXED"},
+        Case{"lower-case(\"mIxEd\")", "mixed"},
+        Case{"normalize-space(\"  a   b \")", "a b"},
+        Case{"translate(\"abcabc\", \"abc\", \"ABC\")", "ABCABC"},
+        Case{"translate(\"abc\", \"b\", \"\")", "ac"},  // dropped chars
+        Case{"translate(\"abc\", \"\", \"x\")", "abc"},
+        Case{"substring-before(\"key=value\", \"=\")", "key"},
+        Case{"substring-after(\"key=value\", \"=\")", "value"},
+        Case{"substring-before(\"abc\", \"x\")", ""},
+        Case{"substring-after(\"abc\", \"x\")", ""},
+        Case{"string-join(tokenize(\"a,b,,c\", \",\"), \"|\")", "a|b||c"},
+        Case{"count(tokenize(\"abc\", \",\"))", "1"},
+        Case{"replace(\"aXbXc\", \"X\", \"--\")", "a--b--c"},
+        Case{"string(42)", "42"},
+        Case{"string(())", ""},
+        Case{"string(true())", "true"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Numbers, FunctionCaseTest,
+    ::testing::Values(
+        Case{"sum(())", "0"},
+        Case{"sum((1,2,3))", "6"},
+        Case{"sum((1, 2.5))", "3.5"},
+        Case{"avg((2,4,6))", "4"},
+        Case{"avg(())", ""},
+        Case{"max((3,1,2))", "3"},
+        Case{"min((3,1,2))", "1"},
+        Case{"max(())", ""},
+        Case{"max((\"pear\", \"apple\"))", "pear"},
+        Case{"min((\"pear\", \"apple\"))", "apple"},
+        Case{"abs(-5)", "5"},
+        Case{"abs(-2.5)", "2.5"},
+        Case{"abs(())", ""},
+        Case{"floor(2.7)", "2"},
+        Case{"floor(-2.1)", "-3"},
+        Case{"ceiling(2.1)", "3"},
+        Case{"ceiling(-2.7)", "-2"},
+        Case{"round(2.5)", "3"},
+        Case{"round(-2.5)", "-2"},  // round half toward +inf, per spec
+        Case{"round(2.4)", "2"},
+        Case{"number(\"12.5\")", "12.5"},
+        Case{"number(\"oops\")", "NaN"},
+        Case{"number(())", "NaN"},
+        Case{"number(true())", "1"}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Math, FunctionCaseTest,
+    ::testing::Values(
+        Case{"math:sqrt(9)", "3"},
+        Case{"math:pow(2, 10)", "1024"},
+        Case{"math:sin(0)", "0"},
+        Case{"math:cos(0)", "1"},
+        Case{"math:exp(0)", "1"},
+        Case{"math:log(1)", "0"},
+        Case{"math:atan2(0, 1)", "0"},
+        Case{"floor(math:pi() * 100) div 100", "3.14"},
+        // The paper's binary search needed division; its trig needed these.
+        Case{"math:sqrt(()) ", ""}));
+
+INSTANTIATE_TEST_SUITE_P(
+    StringsMore, FunctionCaseTest,
+    ::testing::Values(
+        Case{"compare(\"a\", \"b\")", "-1"},
+        Case{"compare(\"b\", \"a\")", "1"},
+        Case{"compare(\"a\", \"a\")", "0"},
+        Case{"compare((), \"a\")", ""},
+        Case{"matches(\"banana\", \"nan\")", "true"},
+        Case{"matches(\"banana\", \"xyz\")", "false"},
+        Case{"string-to-codepoints(\"AB\")", "65 66"},
+        Case{"string-to-codepoints(\"\")", ""},
+        Case{"codepoints-to-string((72, 105))", "Hi"},
+        Case{"codepoints-to-string(string-to-codepoints(\"round\"))",
+             "round"}));
+
+TEST(Functions, CodepointsRange) {
+  EXPECT_FALSE(xq::Run("codepoints-to-string(0)").ok());
+  EXPECT_FALSE(xq::Run("codepoints-to-string(99999)").ok());
+}
+
+TEST(Functions, DeepEqual) {
+  EXPECT_EQ(Eval("deep-equal((1,2), (1,2))"), "true");
+  EXPECT_EQ(Eval("deep-equal((1,2), (2,1))"), "false");
+  EXPECT_EQ(Eval("deep-equal((), ())"), "true");
+  EXPECT_EQ(Eval("deep-equal(<a x=\"1\"><b/></a>, <a x=\"1\"><b/></a>)"),
+            "true");
+  EXPECT_EQ(Eval("deep-equal(<a x=\"1\"/>, <a x=\"2\"/>)"), "false");
+  EXPECT_EQ(Eval("deep-equal(1, \"1\")"), "false");
+}
+
+TEST(Functions, DataAtomizes) {
+  EXPECT_EQ(Eval("data(<a>text</a>)"), "text");
+  EXPECT_EQ(Eval("data((1, <a>2</a>))"), "1 2");
+  // Atomized node values are untyped: they coerce toward numbers.
+  EXPECT_EQ(Eval("data(<a>2</a>) + 1"), "3");
+}
+
+TEST(Functions, NameAndLocalName) {
+  EXPECT_EQ(Eval("name(<foo/>)"), "foo");
+  EXPECT_EQ(Eval("local-name(<ns:foo/>)"), "foo");
+  EXPECT_EQ(Eval("name(<ns:foo/>)"), "ns:foo");
+  EXPECT_EQ(Eval("name(())"), "");
+  EXPECT_EQ(EvalWithContext("name(/r/@k)", "<r k=\"v\"/>"), "k");
+}
+
+TEST(Functions, RootFunction) {
+  EXPECT_EQ(EvalWithContext("name(root(//c)/child::*[1])", "<a><b><c/></b></a>"),
+            "a");
+}
+
+TEST(Functions, PositionAndLastRequireFocus) {
+  EXPECT_NE(EvalError("position()").find("focus"), std::string::npos);
+  EXPECT_NE(EvalError("last()").find("focus"), std::string::npos);
+}
+
+TEST(Functions, DocRegistryAndErrors) {
+  auto doc = xml::Parse("<data><v>7</v></data>");
+  ASSERT_TRUE(doc.ok());
+  xq::ExecuteOptions opts;
+  opts.documents["data"] = (*doc)->root();
+  auto result = xq::Run("string(doc(\"data\")/data/v)", opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->SerializedItems(), "7");
+
+  auto missing = xq::Run("doc(\"nope\")", opts);
+  ASSERT_FALSE(missing.ok());
+  EXPECT_NE(missing.status().message().find("FODC0002"), std::string::npos);
+}
+
+TEST(Functions, ParseXmlFragmentExtension) {
+  EXPECT_EQ(Eval("count(parse-xml-fragment(\"<a/><b/>\"))"), "2");
+  EXPECT_EQ(Eval("<out>{parse-xml-fragment(\"<p>hi</p>\")}</out>"),
+            "<out><p>hi</p></out>");
+  // Not well-formed: empty sequence, not an error.
+  EXPECT_EQ(Eval("count(parse-xml-fragment(\"<broken\"))"), "0");
+  EXPECT_EQ(Eval("count(parse-xml-fragment(\"\"))"), "0");
+  // Plain text is a text node.
+  EXPECT_EQ(Eval("count(parse-xml-fragment(\"just text\"))"), "1");
+}
+
+TEST(Functions, ErrorFunctionFamilies) {
+  EXPECT_NE(EvalError("error()").find("FOER0000"), std::string::npos);
+  EXPECT_NE(EvalError("error(\"custom\")").find("custom"), std::string::npos);
+  EXPECT_NE(EvalError("error(\"CODE1\", \"details\")").find("CODE1"),
+            std::string::npos);
+}
+
+TEST(Functions, ArityErrors) {
+  EXPECT_NE(EvalError("count()").find("unknown function"), std::string::npos);
+  EXPECT_NE(EvalError("count(1, 2)").find("unknown function"),
+            std::string::npos);
+  EXPECT_NE(EvalError("substring(\"x\")").find("unknown function"),
+            std::string::npos);
+}
+
+TEST(Functions, FnPrefixIsAccepted) {
+  EXPECT_EQ(Eval("fn:count((1,2))"), "2");
+  EXPECT_EQ(Eval("fn:concat(\"a\", \"b\")"), "ab");
+}
+
+TEST(Functions, CardinalityViolationsInArguments) {
+  EXPECT_FALSE(xq::Run("contains((\"a\",\"b\"), \"a\")").ok());
+  EXPECT_FALSE(xq::Run("string((1,2))").ok());
+  EXPECT_FALSE(xq::Run("exactly-one(())").ok());
+  EXPECT_FALSE(xq::Run("exactly-one((1,2))").ok());
+  EXPECT_FALSE(xq::Run("zero-or-one((1,2))").ok());
+  EXPECT_FALSE(xq::Run("one-or-more(())").ok());
+}
+
+TEST(Functions, AggregateTypeErrors) {
+  EXPECT_FALSE(xq::Run("sum((\"a\",\"b\"))").ok());
+  EXPECT_FALSE(xq::Run("avg((1, \"x\"))").ok());
+  EXPECT_FALSE(xq::Run("max((1, \"x\"))").ok());
+}
+
+TEST(Functions, UntypedAggregation) {
+  // Attribute values (untyped) aggregate numerically.
+  EXPECT_EQ(EvalWithContext("sum(//i/@v)", "<r><i v=\"1\"/><i v=\"2\"/></r>"),
+            "3");
+  EXPECT_EQ(EvalWithContext("max(//i/@v)", "<r><i v=\"5\"/><i v=\"2\"/></r>"),
+            "5");
+}
+
+TEST(Functions, StringZeroArgFormsUseFocus) {
+  EXPECT_EQ(EvalWithContext("string(/a/b[string-length() = 2])",
+                            "<a><b>xy</b><b>xyz</b></a>"),
+            "xy");
+  EXPECT_EQ(EvalWithContext("string(/a/b[normalize-space() = \"q\"])",
+                            "<a><b> q </b><b>z</b></a>"),
+            " q ");
+}
+
+}  // namespace
+}  // namespace lll

@@ -1,0 +1,185 @@
+// The optimizer and the trace-swallowing pathology (E6): "Simply adding the
+// trace introduces a dead variable $dummy, which the Galax compiler helpfully
+// optimizes away -- along with the call to trace."
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+#include "xquery/optimizer.h"
+#include "xquery/parser.h"
+
+namespace lll {
+namespace {
+
+// The paper's exact debugging pattern.
+constexpr char kDeadTraceQuery[] =
+    "let $x := 10 "
+    "let $dummy := trace(\"x=\", $x) "
+    "let $y := 20 "
+    "return $x + $y";
+
+// The workaround: "we had to insinuate trace calls into non-dead code".
+constexpr char kInsinuatedTraceQuery[] =
+    "let $x := trace(\"x=\", 10) "
+    "let $y := 20 "
+    "return $x + $y";
+
+TEST(OptimizerE6, GalaxEraDceSwallowsTheTrace) {
+  xq::CompileOptions copts;  // defaults: DCE on, trace NOT recognized
+  auto query = xq::Compile(kDeadTraceQuery, copts);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->optimizer_stats().eliminated_lets, 1u);
+  EXPECT_EQ(query->optimizer_stats().eliminated_trace_calls, 1u);
+
+  auto result = xq::Execute(*query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->SerializedItems(), "30");         // same answer...
+  EXPECT_TRUE(result->trace_output.empty());          // ...but no trace output
+  EXPECT_EQ(result->stats.trace_calls, 0u);
+}
+
+TEST(OptimizerE6, FixedOptimizerRecognizesTrace) {
+  // "The optimizer would be fixed to recognize trace in the next version."
+  xq::CompileOptions copts;
+  copts.optimizer.recognize_trace = true;
+  auto query = xq::Compile(kDeadTraceQuery, copts);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->optimizer_stats().eliminated_trace_calls, 0u);
+
+  auto result = xq::Execute(*query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->SerializedItems(), "30");
+  ASSERT_EQ(result->trace_output.size(), 1u);
+  EXPECT_EQ(result->trace_output[0], "(x=) (10)");
+}
+
+TEST(OptimizerE6, InsinuatedTraceSurvivesDce) {
+  auto query = xq::Compile(kInsinuatedTraceQuery);  // trace NOT recognized
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->optimizer_stats().eliminated_trace_calls, 0u);
+  auto result = xq::Execute(*query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->SerializedItems(), "30");
+  EXPECT_EQ(result->trace_output.size(), 1u);
+}
+
+TEST(OptimizerE6, DisablingOptimizationKeepsEverything) {
+  xq::CompileOptions copts;
+  copts.optimize = false;
+  auto result = xq::Run(kDeadTraceQuery, {}, copts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->trace_output.size(), 1u);
+}
+
+TEST(Optimizer, DeadLetWithUsedVariableIsKept) {
+  auto query = xq::Compile("let $x := 1 let $y := $x + 1 return $y");
+  ASSERT_TRUE(query.ok());
+  // $x is used by $y, $y by return: nothing eliminated.
+  EXPECT_EQ(query->optimizer_stats().eliminated_lets, 0u);
+}
+
+TEST(Optimizer, DeadPureLetIsEliminated) {
+  auto query = xq::Compile("let $dead := (1,2,3) return 42");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->optimizer_stats().eliminated_lets, 1u);
+  auto result = xq::Execute(*query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->SerializedItems(), "42");
+}
+
+TEST(Optimizer, DeadLetWithErrorCallIsKept) {
+  // fn:error is never pure; eliminating it would change program outcomes.
+  auto query = xq::Compile("let $dead := error(\"boom\") return 42");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->optimizer_stats().eliminated_lets, 0u);
+  auto result = xq::Execute(*query);
+  EXPECT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("boom"), std::string::npos);
+}
+
+TEST(Optimizer, ShadowedVariableDoesNotCountAsUse) {
+  // The inner `let $x` shadows; the outer $x is dead.
+  auto query = xq::Compile(
+      "let $x := 1 return (let $x := 2 return $x)");
+  ASSERT_TRUE(query.ok());
+  auto result = xq::Execute(*query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->SerializedItems(), "2");
+}
+
+TEST(Optimizer, DeadLetInsideUserFunctionIsEliminated) {
+  xq::CompileOptions copts;
+  auto query = xq::Compile(
+      "declare function local:f($a) { "
+      "  let $dbg := trace(\"a=\", $a) return $a * 2 }; "
+      "local:f(21)",
+      copts);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->optimizer_stats().eliminated_trace_calls, 1u);
+  auto result = xq::Execute(*query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->SerializedItems(), "42");
+  EXPECT_TRUE(result->trace_output.empty());
+}
+
+TEST(Optimizer, ConstantFolding) {
+  auto query = xq::Compile("1 + 2 * 3");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->optimizer_stats().folded_constants, 2u);
+  EXPECT_EQ(xq::ExprToString(*query->module().body), "7");
+}
+
+TEST(Optimizer, FoldingLeavesDivisionByZeroForRuntime) {
+  auto query = xq::Compile("1 idiv 0");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->optimizer_stats().folded_constants, 0u);
+  EXPECT_FALSE(xq::Execute(*query).ok());
+}
+
+TEST(Optimizer, PurityAnalysisOfUserFunctions) {
+  auto module = xq::ParseModule(
+      "declare function local:pure($x) { $x + 1 }; "
+      "declare function local:impure($x) { trace(\"v\", $x) }; "
+      "1");
+  ASSERT_TRUE(module.ok());
+  auto call_pure = xq::ParseExpression("local:pure(1)");
+  auto call_impure = xq::ParseExpression("local:impure(1)");
+  ASSERT_TRUE(call_pure.ok());
+  ASSERT_TRUE(call_impure.ok());
+  EXPECT_TRUE(
+      xq::IsPure(*call_pure->body, *module, /*recognize_trace=*/true));
+  EXPECT_FALSE(
+      xq::IsPure(*call_impure->body, *module, /*recognize_trace=*/true));
+  // Under the Galax-era policy even the "impure" one looks pure.
+  EXPECT_TRUE(
+      xq::IsPure(*call_impure->body, *module, /*recognize_trace=*/false));
+}
+
+TEST(Optimizer, CountVariableUsesRespectsShadowing) {
+  auto module =
+      xq::ParseExpression("($x, for $x in (1,2) return $x, $x + $x)");
+  ASSERT_TRUE(module.ok());
+  // Outer $x used: once at the head, twice at the tail; the loop's own $x
+  // uses do not count.
+  EXPECT_EQ(xq::CountVariableUses(*module->body, "x"), 3u);
+}
+
+TEST(TraceBehavior, TraceReturnsLastArgument) {
+  // "a function which prints the first argument and returns the value of the
+  // second" -- our variadic trace generalizes this.
+  auto result = xq::Run("trace(\"label\", 1 + 1) * 10");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->SerializedItems(), "20");
+  ASSERT_EQ(result->trace_output.size(), 1u);
+  EXPECT_EQ(result->trace_output[0], "(label) (2)");
+}
+
+TEST(TraceBehavior, ErrorKillsTheProgramAndLogs) {
+  // error($msg) "prints $msg on the console and kills the program" -- the
+  // paper's binary-search debugging tool.
+  auto result = xq::Run("(1, error(\"HERE\"), 2)");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("HERE"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace lll

@@ -1,0 +1,142 @@
+// The paper's "Syntactic Quirks" section, quirk by quirk, plus the Galax
+// diagnostics it quotes. These tests pin the lexical behaviors that made
+// $n-1 a three-letter variable and `=` an existential operator.
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace lll {
+namespace {
+
+using testing::Eval;
+using testing::EvalError;
+using testing::EvalWithContext;
+
+// Quirk 1: "x means 'the children of the current node named x', not 'the
+// variable named x'".
+TEST(Quirks, BareNameIsAChildStepNotAVariable) {
+  EXPECT_EQ(EvalWithContext("string(x)", "<r><x>hello</x></r>"), "");
+  EXPECT_EQ(EvalWithContext("string(r/x)", "<r><x>hello</x></r>"), "hello");
+  // From an element context the bare name selects the child.
+  EXPECT_EQ(EvalWithContext("for $r in r return string($r/x)",
+                            "<r><x>hello</x></r>"),
+            "hello");
+}
+
+TEST(Quirks, MissingContextItemGalaxMessage) {
+  // "Galax' error message is: 'Internal_Error: Variable '$glx:dot' not
+  // found.'" -- reproduced verbatim under galax_style_messages.
+  xq::ExecuteOptions opts;
+  opts.eval.galax_style_messages = true;
+  auto result = xq::Run("x", opts);  // no context item anywhere
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().message(),
+            "Internal_Error: Variable '$glx:dot' not found.");
+}
+
+TEST(Quirks, MissingContextItemDefaultMessageHasALineNumber) {
+  // "It would have been helpful to have a line number in this message."
+  auto result = xq::Run("\n\n  x");
+  ASSERT_FALSE(result.ok());
+  EXPECT_NE(result.status().message().find("line 3"), std::string::npos);
+}
+
+// Quirk 2: "/ means 'go to a child', not division."
+TEST(Quirks, SlashIsAPathNotDivision) {
+  EXPECT_EQ(EvalWithContext("count(a/b)", "<a><b/><b/></a>"), "2");
+  // Division is spelled `div`.
+  EXPECT_EQ(Eval("10 div 4"), "2.5");
+}
+
+// Quirk 3: "- is part of a variable name, not automatically subtraction.
+// $n-1 is a variable with a three-letter name."
+TEST(Quirks, DashesBelongToNames) {
+  // $n-1 really is one variable.
+  EXPECT_EQ(Eval("let $n-1 := 99 return $n-1"), "99");
+  // With $n bound and $n-1 unbound, $n-1 is an undefined-variable error,
+  // NOT $n minus 1.
+  std::string err = EvalError("let $n := 5 return $n-1");
+  EXPECT_NE(err.find("n-1"), std::string::npos);
+  // "In a solution as old as COBOL, subtraction requires syntactic breaks."
+  EXPECT_EQ(Eval("let $n := 5 return $n - 1"), "4");
+  EXPECT_EQ(Eval("let $n := 5 return ($n)-1"), "4");
+  EXPECT_EQ(Eval("let $n := 5 return $n -1"), "4");
+}
+
+TEST(Quirks, DashedFunctionAndElementNamesWork) {
+  EXPECT_EQ(Eval("normalize-space(\"  a  b \")"), "a b");
+  EXPECT_EQ(Eval("<table-of-contents/>"), "<table-of-contents/>");
+  EXPECT_EQ(Eval("declare function local:without-leading-or-trailing-spaces("
+                 "$s) { normalize-space($s) }; "
+                 "local:without-leading-or-trailing-spaces(\" x \")"),
+            "x");
+}
+
+// Quirk 4: "= is true if $x and $y are sequences with at least one element
+// in common: 1 = (1,2,3), and (1,2,3)=3, but ... not ... 1=3."
+TEST(Quirks, GeneralEqualityIsExistential) {
+  EXPECT_EQ(Eval("1 = (1,2,3)"), "true");
+  EXPECT_EQ(Eval("(1,2,3) = 3"), "true");
+  EXPECT_EQ(Eval("1 = 3"), "false");
+  EXPECT_EQ(Eval("(1,2) = (2,9)"), "true");
+  EXPECT_EQ(Eval("(1,2) = (8,9)"), "false");
+  // The membership-test idiom the paper notes using deliberately.
+  EXPECT_EQ(Eval("let $set := (\"a\",\"b\",\"c\") return $set = \"b\""),
+            "true");
+}
+
+TEST(Quirks, ExistentialInequalityIsNotNegatedEquality) {
+  // (1,2) != (1,2) is TRUE (some pair differs) -- the classic trap.
+  EXPECT_EQ(Eval("(1,2) != (1,2)"), "true");
+  EXPECT_EQ(Eval("1 != 1"), "false");
+  // Empty sequences: every general comparison is false.
+  EXPECT_EQ(Eval("() = ()"), "false");
+  EXPECT_EQ(Eval("1 = ()"), "false");
+  EXPECT_EQ(Eval("() != ()"), "false");
+}
+
+TEST(Quirks, SingletonOperatorsRejectSequences) {
+  // "It is not true that 1 eq (1,2,3)" -- in fact it is a type error.
+  EXPECT_EQ(Eval("1 eq 1"), "true");
+  std::string err = EvalError("1 eq (1,2,3)");
+  EXPECT_NE(err.find("exactly one"), std::string::npos);
+  // Empty operand makes the value comparison empty (falsy), not an error.
+  EXPECT_EQ(Eval("if (1 eq ()) then \"t\" else \"f\""), "f");
+}
+
+TEST(Quirks, ValueComparisonFamilies) {
+  EXPECT_EQ(Eval("\"abc\" lt \"abd\""), "true");
+  EXPECT_EQ(Eval("2 ge 2"), "true");
+  EXPECT_EQ(Eval("1 ne 2"), "true");
+  // Comparing a string with a number is a type error for value comparison...
+  std::string err = EvalError("\"1\" eq 1");
+  EXPECT_NE(err.find("cannot compare"), std::string::npos);
+  // ...but untyped data (from attributes) coerces in general comparison.
+  EXPECT_EQ(EvalWithContext("/e/@n = 5", "<e n=\"5\"/>"), "true");
+  EXPECT_EQ(EvalWithContext("/e/@n = \"5\"", "<e n=\"5\"/>"), "true");
+}
+
+TEST(Quirks, AttributePredicateFromThePaper) {
+  // "$x/kid[@year="1983"] -- the children which have an attribute called
+  // 'year' with value '1983'".
+  const char* doc =
+      "<x><kid year=\"1983\">a</kid><kid year=\"1990\">b</kid></x>";
+  EXPECT_EQ(EvalWithContext("string(/x/kid[@year=\"1983\"])", doc), "a");
+}
+
+TEST(Quirks, QuantifierFromThePaper) {
+  // "some $y in $x/kids satisfies count($y//foo) gt count($y//bar)".
+  const char* doc =
+      "<x><kids><foo/><foo/><bar/></kids><kids><bar/></kids></x>";
+  EXPECT_EQ(EvalWithContext(
+                "some $y in /x/kids satisfies count($y//foo) gt count($y//bar)",
+                doc),
+            "true");
+  EXPECT_EQ(EvalWithContext(
+                "every $y in /x/kids satisfies count($y//foo) gt count($y//bar)",
+                doc),
+            "false");
+}
+
+}  // namespace
+}  // namespace lll

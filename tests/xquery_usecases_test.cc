@@ -1,0 +1,234 @@
+// Queries adapted from the W3C "XML Query Use Cases" document the paper
+// cites as [UC] -- "The example XQuery programs from the XQuery use cases
+// are a few tens of lines". These pin the engine against the canonical
+// workloads XQuery was designed for (use case "XMP", the bibliography).
+
+#include "gtest/gtest.h"
+#include "tests/test_util.h"
+
+namespace lll {
+namespace {
+
+using testing::EvalWithContext;
+
+// The classic bib.xml sample data, abridged.
+constexpr char kBib[] = R"(<bib>
+  <book year="1994">
+    <title>TCP/IP Illustrated</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="1992">
+    <title>Advanced Programming in the Unix environment</title>
+    <author><last>Stevens</last><first>W.</first></author>
+    <publisher>Addison-Wesley</publisher>
+    <price>65.95</price>
+  </book>
+  <book year="2000">
+    <title>Data on the Web</title>
+    <author><last>Abiteboul</last><first>Serge</first></author>
+    <author><last>Buneman</last><first>Peter</first></author>
+    <author><last>Suciu</last><first>Dan</first></author>
+    <publisher>Morgan Kaufmann Publishers</publisher>
+    <price>39.95</price>
+  </book>
+  <book year="1999">
+    <title>The Economics of Technology and Content for Digital TV</title>
+    <editor><last>Gerbarg</last><first>Darcy</first></editor>
+    <publisher>Kluwer Academic Publishers</publisher>
+    <price>129.95</price>
+  </book>
+</bib>)";
+
+// Q1: books published by Addison-Wesley after 1991, as <book> elements with
+// year and title.
+TEST(UseCaseXmp, Q1PublisherAndYear) {
+  const char* query = R"(
+    <bib>{
+      for $b in /bib/book
+      where $b/publisher = "Addison-Wesley" and $b/@year > 1991
+      return <book year="{string($b/@year)}">{string($b/title)}</book>
+    }</bib>)";
+  EXPECT_EQ(EvalWithContext(query, kBib),
+            "<bib>"
+            "<book year=\"1994\">TCP/IP Illustrated</book>"
+            "<book year=\"1992\">Advanced Programming in the Unix "
+            "environment</book>"
+            "</bib>");
+}
+
+// Q3: for each book, title and authors grouped in a <result>.
+TEST(UseCaseXmp, Q3TitleAuthorPairs) {
+  const char* query = R"(
+    count(for $b in /bib/book
+          return <result>{$b/title}{$b/author}</result>))";
+  EXPECT_EQ(EvalWithContext(query, kBib), "4");
+  // The grouped third book carries its three authors.
+  const char* third = R"(
+    string-join(
+      for $a in (for $b in /bib/book
+                 return <result>{$b/title}{$b/author}</result>)[3]/author/last
+      return string($a), ","))";
+  EXPECT_EQ(EvalWithContext(third, kBib), "Abiteboul,Buneman,Suciu");
+}
+
+// Q4: for each author, the titles of their books (grouping by value).
+TEST(UseCaseXmp, Q4GroupByAuthor) {
+  const char* query = R"(
+    for $last in distinct-values(/bib/book/author/last)
+    order by $last
+    return
+      <author name="{$last}">{
+        count(/bib/book[author/last = $last])
+      }</author>)";
+  EXPECT_EQ(EvalWithContext(query, kBib),
+            "<author name=\"Abiteboul\">1</author>"
+            "<author name=\"Buneman\">1</author>"
+            "<author name=\"Stevens\">2</author>"
+            "<author name=\"Suciu\">1</author>");
+}
+
+// Q5 flavor: join against a second document (reviews) via fn:doc.
+TEST(UseCaseXmp, Q5JoinWithSecondDocument) {
+  auto bib = xml::Parse(kBib);
+  auto reviews = xml::Parse(
+      "<reviews>"
+      "<entry><title>Data on the Web</title><rating>5</rating></entry>"
+      "<entry><title>TCP/IP Illustrated</title><rating>4</rating></entry>"
+      "</reviews>");
+  ASSERT_TRUE(bib.ok() && reviews.ok());
+  xq::ExecuteOptions opts;
+  opts.context_node = (*bib)->root();
+  opts.documents["reviews"] = (*reviews)->root();
+  auto result = xq::Run(
+      "for $b in /bib/book, $e in doc(\"reviews\")//entry "
+      "where $b/title = $e/title "
+      "order by string($b/title) "
+      "return <rated title=\"{string($b/title)}\" "
+      "rating=\"{string($e/rating)}\"/>",
+      opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->SerializedItems(),
+            "<rated title=\"Data on the Web\" rating=\"5\"/>"
+            "<rated title=\"TCP/IP Illustrated\" rating=\"4\"/>");
+}
+
+// Q6: books with an editor but no author (existence tests).
+TEST(UseCaseXmp, Q6EditorsOnly) {
+  const char* query = R"(
+    for $b in /bib/book
+    where exists($b/editor) and empty($b/author)
+    return string($b/editor/last))";
+  EXPECT_EQ(EvalWithContext(query, kBib), "Gerbarg");
+}
+
+// Q10: prices, min/max/avg summary.
+TEST(UseCaseXmp, Q10PriceSummary) {
+  EXPECT_EQ(EvalWithContext("min(/bib/book/price)", kBib), "39.95");
+  EXPECT_EQ(EvalWithContext("max(/bib/book/price)", kBib), "129.95");
+  EXPECT_EQ(EvalWithContext(
+                "floor(avg(for $p in /bib/book/price return number($p)))",
+                kBib),
+            "75");
+}
+
+// Q11: books priced below the average (nested aggregation).
+TEST(UseCaseXmp, Q11BelowAverage) {
+  const char* query = R"(
+    let $avg := avg(for $p in /bib/book/price return number($p))
+    for $b in /bib/book
+    where number($b/price) < $avg
+    order by string($b/title)
+    return string($b/title))";
+  EXPECT_EQ(EvalWithContext(query, kBib),
+            "Advanced Programming in the Unix environment "
+            "Data on the Web "
+            "TCP/IP Illustrated");
+}
+
+// --- Use case "TREE": queries that preserve hierarchy -------------------
+// The W3C use-case document's TREE scenario is, delightfully, "Preparing a
+// table of contents" -- the exact job the paper's generator struggled with.
+
+constexpr char kBook[] = R"(<book>
+  <title>Data on the Web</title>
+  <section id="intro" difficulty="easy">
+    <title>Introduction</title>
+    <p>text</p>
+    <section><title>Audience</title><p>text</p></section>
+    <section><title>Web Data and the Two Cultures</title>
+      <p>text</p><figure><title>Traditional client/server</title></figure>
+    </section>
+  </section>
+  <section id="syntax" difficulty="medium">
+    <title>A Syntax For Data</title>
+    <p>text</p>
+    <section><title>Base Types</title><p>text</p></section>
+    <section><title>Representing Relational Databases</title>
+      <p>text</p><figure><title>Relational data</title></figure>
+    </section>
+  </section>
+</book>)";
+
+// TREE Q1: a table of contents -- nested sections with only their titles.
+TEST(UseCaseTree, Q1TableOfContents) {
+  const char* query = R"(
+    declare function local:toc($s) {
+      <section>{
+        text { string($s/title[1]) },
+        for $sub in $s/section return local:toc($sub)
+      }</section>
+    };
+    <toc>{ for $s in /book/section return local:toc($s) }</toc>)";
+  std::string out = EvalWithContext(query, kBook);
+  EXPECT_NE(out.find("<toc><section>Introduction<section>Audience</section>"),
+            std::string::npos);
+  EXPECT_NE(out.find("<section>A Syntax For Data"), std::string::npos);
+  // Paragraphs and figures are gone; nesting is preserved.
+  EXPECT_EQ(out.find("<p>"), std::string::npos);
+  EXPECT_EQ(out.find("figure"), std::string::npos);
+}
+
+// TREE Q2: all figure titles, wherever they occur.
+TEST(UseCaseTree, Q2FigureList) {
+  EXPECT_EQ(EvalWithContext(
+                "string-join(for $f in //figure return string($f/title), "
+                "\"; \")",
+                kBook),
+            "Traditional client/server; Relational data");
+}
+
+// TREE Q3/Q4: counting sections and figures in the whole book.
+TEST(UseCaseTree, Q3Q4Counts) {
+  EXPECT_EQ(EvalWithContext("count(//section)", kBook), "6");
+  EXPECT_EQ(EvalWithContext("count(//figure)", kBook), "2");
+}
+
+// TREE Q5: how many top-level sections, and what are their difficulty tags?
+TEST(UseCaseTree, Q5TopSections) {
+  EXPECT_EQ(EvalWithContext("count(/book/section)", kBook), "2");
+  EXPECT_EQ(EvalWithContext(
+                "string-join(for $s in /book/section "
+                "return string($s/@difficulty), \",\")",
+                kBook),
+            "easy,medium");
+}
+
+// The "flatten everything" query from the paper's rationale section:
+// FOR x in some-nodes RETURN children(x) produces one flat list.
+TEST(UseCaseXmp, FlatteningRationale) {
+  // 4 + 4 + 6 + 4 child elements across the four books.
+  EXPECT_EQ(EvalWithContext("count(for $b in /bib/book return $b/child::*)",
+                            kBib),
+            "18");
+  // Nested FORs produce a one-dimensional list too.
+  EXPECT_EQ(EvalWithContext(
+                "count(for $b in /bib/book return "
+                "      for $a in $b/author return $a)",
+                kBib),
+            "5");
+}
+
+}  // namespace
+}  // namespace lll

@@ -1,0 +1,246 @@
+// The mini-XSLT subset: patterns, template rules, instructions, built-in
+// rules, and the stream splitter of E11.
+
+#include "gtest/gtest.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xslt/xslt.h"
+
+namespace lll::xslt {
+namespace {
+
+std::unique_ptr<xml::Document> MustParse(const std::string& text) {
+  auto doc = xml::Parse(text, {.strip_insignificant_whitespace = true});
+  EXPECT_TRUE(doc.ok()) << doc.status().ToString();
+  return std::move(*doc);
+}
+
+std::string Transform(const std::string& stylesheet, const std::string& input) {
+  auto sheet = Stylesheet::CompileText(stylesheet);
+  EXPECT_TRUE(sheet.ok()) << sheet.status().ToString();
+  if (!sheet.ok()) return "<COMPILE FAILED>";
+  auto doc = MustParse(input);
+  auto out = sheet->Apply(doc->root());
+  EXPECT_TRUE(out.ok()) << out.status().ToString();
+  if (!out.ok()) return "<APPLY FAILED>";
+  return xml::Serialize((*out)->root());
+}
+
+TEST(Pattern, Parsing) {
+  EXPECT_TRUE(ParsePattern("book").ok());
+  EXPECT_TRUE(ParsePattern("a/b/c").ok());
+  EXPECT_TRUE(ParsePattern("*").ok());
+  EXPECT_TRUE(ParsePattern("/").ok());
+  EXPECT_TRUE(ParsePattern("text()").ok());
+  EXPECT_FALSE(ParsePattern("").ok());
+  EXPECT_FALSE(ParsePattern("a//b").ok());
+  EXPECT_FALSE(ParsePattern("1bad").ok());
+}
+
+TEST(Pattern, Matching) {
+  auto doc = MustParse("<a><b><c>t</c></b><d/></a>");
+  const xml::Node* a = doc->DocumentElement();
+  const xml::Node* b = a->children()[0];
+  const xml::Node* c = b->children()[0];
+  const xml::Node* t = c->children()[0];
+
+  EXPECT_TRUE(Matches(*ParsePattern("c"), c));
+  EXPECT_FALSE(Matches(*ParsePattern("c"), b));
+  EXPECT_TRUE(Matches(*ParsePattern("b/c"), c));
+  EXPECT_FALSE(Matches(*ParsePattern("d/c"), c));
+  EXPECT_TRUE(Matches(*ParsePattern("a/b/c"), c));
+  EXPECT_TRUE(Matches(*ParsePattern("*"), c));
+  EXPECT_FALSE(Matches(*ParsePattern("*"), t));
+  EXPECT_TRUE(Matches(*ParsePattern("text()"), t));
+  EXPECT_TRUE(Matches(*ParsePattern("/"), doc->root()));
+  EXPECT_FALSE(Matches(*ParsePattern("/"), a));
+  // Rooted name pattern: /a matches only the document element.
+  EXPECT_TRUE(Matches(*ParsePattern("/a"), a));
+  EXPECT_FALSE(Matches(*ParsePattern("/b"), b));
+}
+
+TEST(Xslt, IdentityIshTransform) {
+  // Template for the root element that copies it wholesale.
+  std::string out = Transform(
+      "<xsl:stylesheet><xsl:template match=\"/\">"
+      "<xsl:copy-of select=\"doc\"/></xsl:template></xsl:stylesheet>",
+      "<doc><a x=\"1\">t</a></doc>");
+  EXPECT_EQ(out, "<doc><a x=\"1\">t</a></doc>");
+}
+
+TEST(Xslt, BuiltInRulesCopyTextOnly) {
+  // No templates at all: elements recurse, text copies.
+  std::string out = Transform("<xsl:stylesheet></xsl:stylesheet>",
+                              "<doc><a>hello </a><b>world</b></doc>");
+  EXPECT_EQ(out, "hello world");
+}
+
+TEST(Xslt, TemplateDispatchByName) {
+  std::string out = Transform(
+      "<xsl:stylesheet>"
+      "<xsl:template match=\"item\"><li><xsl:apply-templates/></li>"
+      "</xsl:template>"
+      "<xsl:template match=\"list\"><ul><xsl:apply-templates/></ul>"
+      "</xsl:template>"
+      "</xsl:stylesheet>",
+      "<list><item>a</item><item>b</item></list>");
+  EXPECT_EQ(out, "<ul><li>a</li><li>b</li></ul>");
+}
+
+TEST(Xslt, PriorityAndSpecificity) {
+  // The path pattern beats the bare name; explicit priority beats both.
+  std::string out = Transform(
+      "<xsl:stylesheet>"
+      "<xsl:template match=\"b\"><plain/></xsl:template>"
+      "<xsl:template match=\"a/b\"><qualified/></xsl:template>"
+      "</xsl:stylesheet>",
+      "<a><b/></a>");
+  EXPECT_EQ(out, "<qualified/>");
+
+  out = Transform(
+      "<xsl:stylesheet>"
+      "<xsl:template match=\"b\" priority=\"10\"><boosted/></xsl:template>"
+      "<xsl:template match=\"a/b\"><qualified/></xsl:template>"
+      "</xsl:stylesheet>",
+      "<a><b/></a>");
+  EXPECT_EQ(out, "<boosted/>");
+}
+
+TEST(Xslt, ValueOfAndForEach) {
+  std::string out = Transform(
+      "<xsl:stylesheet><xsl:template match=\"/\">"
+      "<names><xsl:for-each select=\"people/person\">"
+      "<n><xsl:value-of select=\"@name\"/></n>"
+      "</xsl:for-each></names>"
+      "</xsl:template></xsl:stylesheet>",
+      "<people><person name=\"Ada\"/><person name=\"Alan\"/></people>");
+  EXPECT_EQ(out, "<names><n>Ada</n><n>Alan</n></names>");
+}
+
+TEST(Xslt, IfInstruction) {
+  std::string out = Transform(
+      "<xsl:stylesheet><xsl:template match=\"p\">"
+      "<xsl:if test=\"@keep = 'yes'\"><kept><xsl:apply-templates/></kept>"
+      "</xsl:if></xsl:template></xsl:stylesheet>",
+      "<doc><p keep=\"yes\">a</p><p keep=\"no\">b</p></doc>");
+  EXPECT_EQ(out, "<kept>a</kept>");
+}
+
+TEST(Xslt, ElementAttributeText) {
+  std::string out = Transform(
+      "<xsl:stylesheet><xsl:template match=\"/\">"
+      "<xsl:element name=\"made\">"
+      "<xsl:attribute name=\"from\"><xsl:value-of select=\"doc/@id\"/>"
+      "</xsl:attribute>"
+      "<xsl:text>body</xsl:text>"
+      "</xsl:element></xsl:template></xsl:stylesheet>",
+      "<doc id=\"d7\"/>");
+  EXPECT_EQ(out, "<made from=\"d7\">body</made>");
+}
+
+TEST(Xslt, AttributeValueTemplates) {
+  std::string out = Transform(
+      "<xsl:stylesheet><xsl:template match=\"person\">"
+      "<a href=\"/people/{@id}\"><xsl:value-of select=\"@name\"/></a>"
+      "</xsl:template></xsl:stylesheet>",
+      "<people><person id=\"p1\" name=\"Ada\"/></people>");
+  EXPECT_EQ(out, "<a href=\"/people/p1\">Ada</a>");
+}
+
+TEST(Xslt, XPathSelectsArePoweredByTheXQueryEngine) {
+  // count(), predicates, descendant axis -- the full path language.
+  std::string out = Transform(
+      "<xsl:stylesheet><xsl:template match=\"/\">"
+      "<stats n=\"{count(//item)}\">"
+      "<xsl:value-of select=\"(//item)[2]/@v\"/></stats>"
+      "</xsl:template></xsl:stylesheet>",
+      "<doc><item v=\"a\"/><group><item v=\"b\"/></group></doc>");
+  EXPECT_EQ(out, "<stats n=\"2\">b</stats>");
+}
+
+TEST(Xslt, ChooseWhenOtherwise) {
+  const char* sheet =
+      "<xsl:stylesheet><xsl:template match=\"p\">"
+      "<xsl:choose>"
+      "<xsl:when test=\"@k = 'a'\"><aa/></xsl:when>"
+      "<xsl:when test=\"@k = 'b'\"><bb/></xsl:when>"
+      "<xsl:otherwise><other v=\"{@k}\"/></xsl:otherwise>"
+      "</xsl:choose>"
+      "</xsl:template></xsl:stylesheet>";
+  EXPECT_EQ(Transform(sheet, "<d><p k=\"a\"/><p k=\"b\"/><p k=\"z\"/></d>"),
+            "<aa/><bb/><other v=\"z\"/>");
+}
+
+TEST(Xslt, ChooseWithoutMatchingBranchEmitsNothing) {
+  const char* sheet =
+      "<xsl:stylesheet><xsl:template match=\"p\">"
+      "<xsl:choose><xsl:when test=\"@k = 'a'\"><aa/></xsl:when></xsl:choose>"
+      "</xsl:template></xsl:stylesheet>";
+  EXPECT_EQ(Transform(sheet, "<d><p k=\"z\"/></d>"), "");
+}
+
+TEST(Xslt, ChooseRejectsStrayChildren) {
+  auto sheet = Stylesheet::CompileText(
+      "<xsl:stylesheet><xsl:template match=\"/\">"
+      "<xsl:choose><bogus/></xsl:choose>"
+      "</xsl:template></xsl:stylesheet>");
+  ASSERT_TRUE(sheet.ok());
+  auto doc = MustParse("<d/>");
+  EXPECT_FALSE(sheet->Apply(doc->root()).ok());
+}
+
+TEST(Xslt, CompileErrors) {
+  EXPECT_FALSE(Stylesheet::CompileText("<wrong/>").ok());
+  EXPECT_FALSE(
+      Stylesheet::CompileText(
+          "<xsl:stylesheet><xsl:template/></xsl:stylesheet>")
+          .ok());
+  EXPECT_FALSE(Stylesheet::CompileText(
+                   "<xsl:stylesheet><xsl:other match=\"x\"/></xsl:stylesheet>")
+                   .ok());
+}
+
+TEST(Xslt, RuntimeErrors) {
+  auto sheet = Stylesheet::CompileText(
+      "<xsl:stylesheet><xsl:template match=\"/\">"
+      "<xsl:value-of/></xsl:template></xsl:stylesheet>");
+  ASSERT_TRUE(sheet.ok());
+  auto doc = MustParse("<doc/>");
+  EXPECT_FALSE(sheet->Apply(doc->root()).ok());
+
+  auto unsupported = Stylesheet::CompileText(
+      "<xsl:stylesheet><xsl:template match=\"/\">"
+      "<xsl:call-template name=\"x\"/></xsl:template></xsl:stylesheet>");
+  ASSERT_TRUE(unsupported.ok());
+  EXPECT_FALSE(unsupported->Apply(doc->root()).ok());
+}
+
+TEST(StreamSplitting, ThePaperWorkaround) {
+  // "the XQuery component could produce a big XML file with all the output
+  // streams as children of the root element, and a little XSLT program could
+  // split them apart."
+  auto combined = MustParse(
+      "<streams>"
+      "<stream name=\"document\"><html><body>doc</body></html></stream>"
+      "<stream name=\"report\"><report><warning>w1</warning></report></stream>"
+      "</streams>");
+  auto streams = SplitStreams(combined->DocumentElement());
+  ASSERT_TRUE(streams.ok()) << streams.status().ToString();
+  ASSERT_EQ(streams->size(), 2u);
+  EXPECT_EQ(xml::Serialize(streams->at("document")->root()),
+            "<html><body>doc</body></html>");
+  EXPECT_EQ(xml::Serialize(streams->at("report")->root()),
+            "<report><warning>w1</warning></report>");
+}
+
+TEST(StreamSplitting, Errors) {
+  auto bad = MustParse("<streams><stream/></streams>");
+  EXPECT_FALSE(SplitStreams(bad->DocumentElement()).ok());
+  auto dup = MustParse(
+      "<streams><stream name=\"a\"/><stream name=\"a\"/></streams>");
+  EXPECT_FALSE(SplitStreams(dup->DocumentElement()).ok());
+  EXPECT_FALSE(SplitStreams(nullptr).ok());
+}
+
+}  // namespace
+}  // namespace lll::xslt
