@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_dissection.dir/bench_e10_dissection.cc.o"
+  "CMakeFiles/bench_e10_dissection.dir/bench_e10_dissection.cc.o.d"
+  "bench_e10_dissection"
+  "bench_e10_dissection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_dissection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

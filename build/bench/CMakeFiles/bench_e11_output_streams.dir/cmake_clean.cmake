@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e11_output_streams.dir/bench_e11_output_streams.cc.o"
+  "CMakeFiles/bench_e11_output_streams.dir/bench_e11_output_streams.cc.o.d"
+  "bench_e11_output_streams"
+  "bench_e11_output_streams.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e11_output_streams.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

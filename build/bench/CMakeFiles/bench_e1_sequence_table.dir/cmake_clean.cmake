@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e1_sequence_table.dir/bench_e1_sequence_table.cc.o"
+  "CMakeFiles/bench_e1_sequence_table.dir/bench_e1_sequence_table.cc.o.d"
+  "bench_e1_sequence_table"
+  "bench_e1_sequence_table.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e1_sequence_table.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

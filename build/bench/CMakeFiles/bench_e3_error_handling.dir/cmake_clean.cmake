@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e3_error_handling.dir/bench_e3_error_handling.cc.o"
+  "CMakeFiles/bench_e3_error_handling.dir/bench_e3_error_handling.cc.o.d"
+  "bench_e3_error_handling"
+  "bench_e3_error_handling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e3_error_handling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

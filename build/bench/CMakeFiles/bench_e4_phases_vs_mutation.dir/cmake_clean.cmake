@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e4_phases_vs_mutation.dir/bench_e4_phases_vs_mutation.cc.o"
+  "CMakeFiles/bench_e4_phases_vs_mutation.dir/bench_e4_phases_vs_mutation.cc.o.d"
+  "bench_e4_phases_vs_mutation"
+  "bench_e4_phases_vs_mutation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e4_phases_vs_mutation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e4_phases_vs_mutation.
+# This may be replaced when dependencies are built.

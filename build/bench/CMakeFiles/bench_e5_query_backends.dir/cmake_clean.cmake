@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e5_query_backends.dir/bench_e5_query_backends.cc.o"
+  "CMakeFiles/bench_e5_query_backends.dir/bench_e5_query_backends.cc.o.d"
+  "bench_e5_query_backends"
+  "bench_e5_query_backends.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e5_query_backends.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e6_trace_dce.dir/bench_e6_trace_dce.cc.o"
+  "CMakeFiles/bench_e6_trace_dce.dir/bench_e6_trace_dce.cc.o.d"
+  "bench_e6_trace_dce"
+  "bench_e6_trace_dce.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e6_trace_dce.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

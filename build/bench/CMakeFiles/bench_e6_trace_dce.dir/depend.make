@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_e6_trace_dce.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e8_general_comparison.dir/bench_e8_general_comparison.cc.o"
+  "CMakeFiles/bench_e8_general_comparison.dir/bench_e8_general_comparison.cc.o.d"
+  "bench_e8_general_comparison"
+  "bench_e8_general_comparison.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e8_general_comparison.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awb_tool.dir/awb_tool.cpp.o"
+  "CMakeFiles/awb_tool.dir/awb_tool.cpp.o.d"
+  "awb_tool"
+  "awb_tool.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awb_tool.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

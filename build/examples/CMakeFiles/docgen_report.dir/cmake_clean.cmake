@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docgen_report.dir/docgen_report.cpp.o"
+  "CMakeFiles/docgen_report.dir/docgen_report.cpp.o.d"
+  "docgen_report"
+  "docgen_report.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docgen_report.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

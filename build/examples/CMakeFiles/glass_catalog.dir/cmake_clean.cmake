@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/glass_catalog.dir/glass_catalog.cpp.o"
+  "CMakeFiles/glass_catalog.dir/glass_catalog.cpp.o.d"
+  "glass_catalog"
+  "glass_catalog.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/glass_catalog.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

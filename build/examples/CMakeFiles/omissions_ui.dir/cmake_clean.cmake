@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/omissions_ui.dir/omissions_ui.cpp.o"
+  "CMakeFiles/omissions_ui.dir/omissions_ui.cpp.o.d"
+  "omissions_ui"
+  "omissions_ui.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/omissions_ui.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

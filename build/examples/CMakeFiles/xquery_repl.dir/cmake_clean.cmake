@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xquery_repl.dir/xquery_repl.cpp.o"
+  "CMakeFiles/xquery_repl.dir/xquery_repl.cpp.o.d"
+  "xquery_repl"
+  "xquery_repl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xquery_repl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

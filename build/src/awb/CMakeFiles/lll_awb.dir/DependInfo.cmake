@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/awb/builtin_metamodels.cc" "src/awb/CMakeFiles/lll_awb.dir/builtin_metamodels.cc.o" "gcc" "src/awb/CMakeFiles/lll_awb.dir/builtin_metamodels.cc.o.d"
+  "/root/repo/src/awb/generator.cc" "src/awb/CMakeFiles/lll_awb.dir/generator.cc.o" "gcc" "src/awb/CMakeFiles/lll_awb.dir/generator.cc.o.d"
+  "/root/repo/src/awb/metamodel.cc" "src/awb/CMakeFiles/lll_awb.dir/metamodel.cc.o" "gcc" "src/awb/CMakeFiles/lll_awb.dir/metamodel.cc.o.d"
+  "/root/repo/src/awb/model.cc" "src/awb/CMakeFiles/lll_awb.dir/model.cc.o" "gcc" "src/awb/CMakeFiles/lll_awb.dir/model.cc.o.d"
+  "/root/repo/src/awb/xml_io.cc" "src/awb/CMakeFiles/lll_awb.dir/xml_io.cc.o" "gcc" "src/awb/CMakeFiles/lll_awb.dir/xml_io.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lll_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/lll_xml.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lll_awb.dir/builtin_metamodels.cc.o"
+  "CMakeFiles/lll_awb.dir/builtin_metamodels.cc.o.d"
+  "CMakeFiles/lll_awb.dir/generator.cc.o"
+  "CMakeFiles/lll_awb.dir/generator.cc.o.d"
+  "CMakeFiles/lll_awb.dir/metamodel.cc.o"
+  "CMakeFiles/lll_awb.dir/metamodel.cc.o.d"
+  "CMakeFiles/lll_awb.dir/model.cc.o"
+  "CMakeFiles/lll_awb.dir/model.cc.o.d"
+  "CMakeFiles/lll_awb.dir/xml_io.cc.o"
+  "CMakeFiles/lll_awb.dir/xml_io.cc.o.d"
+  "liblll_awb.a"
+  "liblll_awb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lll_awb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

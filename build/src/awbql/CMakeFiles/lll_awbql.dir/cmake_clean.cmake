@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lll_awbql.dir/native.cc.o"
+  "CMakeFiles/lll_awbql.dir/native.cc.o.d"
+  "CMakeFiles/lll_awbql.dir/query.cc.o"
+  "CMakeFiles/lll_awbql.dir/query.cc.o.d"
+  "CMakeFiles/lll_awbql.dir/xquery_backend.cc.o"
+  "CMakeFiles/lll_awbql.dir/xquery_backend.cc.o.d"
+  "liblll_awbql.a"
+  "liblll_awbql.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lll_awbql.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lll_core.dir/status.cc.o"
+  "CMakeFiles/lll_core.dir/status.cc.o.d"
+  "CMakeFiles/lll_core.dir/string_util.cc.o"
+  "CMakeFiles/lll_core.dir/string_util.cc.o.d"
+  "liblll_core.a"
+  "liblll_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lll_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/docgen/docgen.cc" "src/docgen/CMakeFiles/lll_docgen.dir/docgen.cc.o" "gcc" "src/docgen/CMakeFiles/lll_docgen.dir/docgen.cc.o.d"
+  "/root/repo/src/docgen/native_engine.cc" "src/docgen/CMakeFiles/lll_docgen.dir/native_engine.cc.o" "gcc" "src/docgen/CMakeFiles/lll_docgen.dir/native_engine.cc.o.d"
+  "/root/repo/src/docgen/xq_engine.cc" "src/docgen/CMakeFiles/lll_docgen.dir/xq_engine.cc.o" "gcc" "src/docgen/CMakeFiles/lll_docgen.dir/xq_engine.cc.o.d"
+  "/root/repo/src/docgen/xq_programs.cc" "src/docgen/CMakeFiles/lll_docgen.dir/xq_programs.cc.o" "gcc" "src/docgen/CMakeFiles/lll_docgen.dir/xq_programs.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/awb/CMakeFiles/lll_awb.dir/DependInfo.cmake"
+  "/root/repo/build/src/awbql/CMakeFiles/lll_awbql.dir/DependInfo.cmake"
+  "/root/repo/build/src/xquery/CMakeFiles/lll_xquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdm/CMakeFiles/lll_xdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/lll_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/lll_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

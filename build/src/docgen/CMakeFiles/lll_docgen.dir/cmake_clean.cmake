@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lll_docgen.dir/docgen.cc.o"
+  "CMakeFiles/lll_docgen.dir/docgen.cc.o.d"
+  "CMakeFiles/lll_docgen.dir/native_engine.cc.o"
+  "CMakeFiles/lll_docgen.dir/native_engine.cc.o.d"
+  "CMakeFiles/lll_docgen.dir/xq_engine.cc.o"
+  "CMakeFiles/lll_docgen.dir/xq_engine.cc.o.d"
+  "CMakeFiles/lll_docgen.dir/xq_programs.cc.o"
+  "CMakeFiles/lll_docgen.dir/xq_programs.cc.o.d"
+  "liblll_docgen.a"
+  "liblll_docgen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lll_docgen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lll_xdm.dir/compare.cc.o"
+  "CMakeFiles/lll_xdm.dir/compare.cc.o.d"
+  "CMakeFiles/lll_xdm.dir/item.cc.o"
+  "CMakeFiles/lll_xdm.dir/item.cc.o.d"
+  "CMakeFiles/lll_xdm.dir/sequence.cc.o"
+  "CMakeFiles/lll_xdm.dir/sequence.cc.o.d"
+  "liblll_xdm.a"
+  "liblll_xdm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lll_xdm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lll_xml.dir/deep_equal.cc.o"
+  "CMakeFiles/lll_xml.dir/deep_equal.cc.o.d"
+  "CMakeFiles/lll_xml.dir/node.cc.o"
+  "CMakeFiles/lll_xml.dir/node.cc.o.d"
+  "CMakeFiles/lll_xml.dir/parser.cc.o"
+  "CMakeFiles/lll_xml.dir/parser.cc.o.d"
+  "CMakeFiles/lll_xml.dir/serializer.cc.o"
+  "CMakeFiles/lll_xml.dir/serializer.cc.o.d"
+  "liblll_xml.a"
+  "liblll_xml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lll_xml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/xquery/ast.cc" "src/xquery/CMakeFiles/lll_xquery.dir/ast.cc.o" "gcc" "src/xquery/CMakeFiles/lll_xquery.dir/ast.cc.o.d"
+  "/root/repo/src/xquery/engine.cc" "src/xquery/CMakeFiles/lll_xquery.dir/engine.cc.o" "gcc" "src/xquery/CMakeFiles/lll_xquery.dir/engine.cc.o.d"
+  "/root/repo/src/xquery/eval.cc" "src/xquery/CMakeFiles/lll_xquery.dir/eval.cc.o" "gcc" "src/xquery/CMakeFiles/lll_xquery.dir/eval.cc.o.d"
+  "/root/repo/src/xquery/functions.cc" "src/xquery/CMakeFiles/lll_xquery.dir/functions.cc.o" "gcc" "src/xquery/CMakeFiles/lll_xquery.dir/functions.cc.o.d"
+  "/root/repo/src/xquery/optimizer.cc" "src/xquery/CMakeFiles/lll_xquery.dir/optimizer.cc.o" "gcc" "src/xquery/CMakeFiles/lll_xquery.dir/optimizer.cc.o.d"
+  "/root/repo/src/xquery/parser.cc" "src/xquery/CMakeFiles/lll_xquery.dir/parser.cc.o" "gcc" "src/xquery/CMakeFiles/lll_xquery.dir/parser.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lll_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/lll_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdm/CMakeFiles/lll_xdm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lll_xquery.dir/ast.cc.o"
+  "CMakeFiles/lll_xquery.dir/ast.cc.o.d"
+  "CMakeFiles/lll_xquery.dir/engine.cc.o"
+  "CMakeFiles/lll_xquery.dir/engine.cc.o.d"
+  "CMakeFiles/lll_xquery.dir/eval.cc.o"
+  "CMakeFiles/lll_xquery.dir/eval.cc.o.d"
+  "CMakeFiles/lll_xquery.dir/functions.cc.o"
+  "CMakeFiles/lll_xquery.dir/functions.cc.o.d"
+  "CMakeFiles/lll_xquery.dir/optimizer.cc.o"
+  "CMakeFiles/lll_xquery.dir/optimizer.cc.o.d"
+  "CMakeFiles/lll_xquery.dir/parser.cc.o"
+  "CMakeFiles/lll_xquery.dir/parser.cc.o.d"
+  "liblll_xquery.a"
+  "liblll_xquery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lll_xquery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lll_xslt.dir/xslt.cc.o"
+  "CMakeFiles/lll_xslt.dir/xslt.cc.o.d"
+  "liblll_xslt.a"
+  "liblll_xslt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lll_xslt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awb_test.dir/awb_test.cc.o"
+  "CMakeFiles/awb_test.dir/awb_test.cc.o.d"
+  "awb_test"
+  "awb_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awb_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

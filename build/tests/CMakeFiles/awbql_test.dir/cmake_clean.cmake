@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/awbql_test.dir/awbql_test.cc.o"
+  "CMakeFiles/awbql_test.dir/awbql_test.cc.o.d"
+  "awbql_test"
+  "awbql_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/awbql_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

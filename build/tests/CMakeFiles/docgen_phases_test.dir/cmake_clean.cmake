@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/docgen_phases_test.dir/docgen_phases_test.cc.o"
+  "CMakeFiles/docgen_phases_test.dir/docgen_phases_test.cc.o.d"
+  "docgen_phases_test"
+  "docgen_phases_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/docgen_phases_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

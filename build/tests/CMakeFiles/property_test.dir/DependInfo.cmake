@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/property_test.cc" "tests/CMakeFiles/property_test.dir/property_test.cc.o" "gcc" "tests/CMakeFiles/property_test.dir/property_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/lll_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/xml/CMakeFiles/lll_xml.dir/DependInfo.cmake"
+  "/root/repo/build/src/xdm/CMakeFiles/lll_xdm.dir/DependInfo.cmake"
+  "/root/repo/build/src/xquery/CMakeFiles/lll_xquery.dir/DependInfo.cmake"
+  "/root/repo/build/src/awb/CMakeFiles/lll_awb.dir/DependInfo.cmake"
+  "/root/repo/build/src/awbql/CMakeFiles/lll_awbql.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

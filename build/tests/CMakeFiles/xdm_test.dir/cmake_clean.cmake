@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xdm_test.dir/xdm_test.cc.o"
+  "CMakeFiles/xdm_test.dir/xdm_test.cc.o.d"
+  "xdm_test"
+  "xdm_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xdm_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

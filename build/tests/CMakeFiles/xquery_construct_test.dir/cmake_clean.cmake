@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xquery_construct_test.dir/xquery_construct_test.cc.o"
+  "CMakeFiles/xquery_construct_test.dir/xquery_construct_test.cc.o.d"
+  "xquery_construct_test"
+  "xquery_construct_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xquery_construct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xquery_extensions_test.dir/xquery_extensions_test.cc.o"
+  "CMakeFiles/xquery_extensions_test.dir/xquery_extensions_test.cc.o.d"
+  "xquery_extensions_test"
+  "xquery_extensions_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xquery_extensions_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xquery_path_test.dir/xquery_path_test.cc.o"
+  "CMakeFiles/xquery_path_test.dir/xquery_path_test.cc.o.d"
+  "xquery_path_test"
+  "xquery_path_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xquery_path_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

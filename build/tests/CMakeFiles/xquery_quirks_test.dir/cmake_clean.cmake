@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/xquery_quirks_test.dir/xquery_quirks_test.cc.o"
+  "CMakeFiles/xquery_quirks_test.dir/xquery_quirks_test.cc.o.d"
+  "xquery_quirks_test"
+  "xquery_quirks_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/xquery_quirks_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
