@@ -226,4 +226,9 @@ bench/CMakeFiles/bench_e11_output_streams.dir/bench_e11_output_streams.cc.o: \
  /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
  /usr/include/c++/12/bits/hashtable_policy.h \
  /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
- /root/repo/src/xdm/sequence.h /root/repo/src/xquery/optimizer.h
+ /root/repo/src/xdm/sequence.h /root/repo/src/xquery/optimizer.h \
+ /root/repo/src/xquery/query_cache.h /root/repo/src/core/lru_cache.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/ctime /usr/include/c++/12/bits/unique_lock.h

@@ -178,8 +178,7 @@ examples/CMakeFiles/omissions_ui.dir/omissions_ui.cpp.o: \
  /usr/include/c++/12/deque /usr/include/c++/12/bits/stl_deque.h \
  /usr/include/c++/12/bits/deque.tcc /root/repo/src/awb/generator.h \
  /root/repo/src/awbql/native.h /root/repo/src/awbql/query.h \
- /root/repo/src/xml/node.h /usr/include/c++/12/memory \
- /usr/include/c++/12/bits/stl_tempbuf.h \
+ /usr/include/c++/12/memory /usr/include/c++/12/bits/stl_tempbuf.h \
  /usr/include/c++/12/bits/stl_raw_storage_iter.h \
  /usr/include/c++/12/bits/align.h /usr/include/c++/12/bit \
  /usr/include/c++/12/bits/unique_ptr.h \
@@ -217,16 +216,20 @@ examples/CMakeFiles/omissions_ui.dir/omissions_ui.cpp.o: \
  /usr/include/c++/12/bits/uses_allocator_args.h \
  /usr/include/c++/12/pstl/glue_memory_defs.h \
  /usr/include/c++/12/pstl/execution_defs.h \
+ /root/repo/src/core/lru_cache.h /usr/include/c++/12/list \
+ /usr/include/c++/12/bits/stl_list.h /usr/include/c++/12/bits/list.tcc \
+ /usr/include/c++/12/mutex /usr/include/c++/12/bits/unique_lock.h \
+ /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h /root/repo/src/xml/node.h \
  /root/repo/src/awbql/xquery_backend.h /root/repo/src/xquery/engine.h \
  /root/repo/src/xml/serializer.h /root/repo/src/xquery/ast.h \
  /root/repo/src/xdm/item.h /usr/include/c++/12/variant \
  /root/repo/src/xquery/eval.h /usr/include/c++/12/functional \
- /usr/include/c++/12/bits/std_function.h \
- /usr/include/c++/12/unordered_map /usr/include/c++/12/bits/hashtable.h \
- /usr/include/c++/12/bits/hashtable_policy.h \
- /usr/include/c++/12/bits/unordered_map.h /usr/include/c++/12/array \
+ /usr/include/c++/12/bits/std_function.h /usr/include/c++/12/array \
  /usr/include/c++/12/bits/stl_algo.h \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/xdm/sequence.h /root/repo/src/xquery/optimizer.h
+ /root/repo/src/xdm/sequence.h /root/repo/src/xquery/optimizer.h \
+ /root/repo/src/xquery/query_cache.h

@@ -10,6 +10,7 @@ set(CMAKE_DEPENDS_LANGUAGES
 set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/core/status.cc" "src/core/CMakeFiles/lll_core.dir/status.cc.o" "gcc" "src/core/CMakeFiles/lll_core.dir/status.cc.o.d"
   "/root/repo/src/core/string_util.cc" "src/core/CMakeFiles/lll_core.dir/string_util.cc.o" "gcc" "src/core/CMakeFiles/lll_core.dir/string_util.cc.o.d"
+  "/root/repo/src/core/thread_pool.cc" "src/core/CMakeFiles/lll_core.dir/thread_pool.cc.o" "gcc" "src/core/CMakeFiles/lll_core.dir/thread_pool.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -3,6 +3,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/lll_core.dir/status.cc.o.d"
   "CMakeFiles/lll_core.dir/string_util.cc.o"
   "CMakeFiles/lll_core.dir/string_util.cc.o.d"
+  "CMakeFiles/lll_core.dir/thread_pool.cc.o"
+  "CMakeFiles/lll_core.dir/thread_pool.cc.o.d"
   "liblll_core.a"
   "liblll_core.pdb"
 )

@@ -209,5 +209,15 @@ src/docgen/CMakeFiles/lll_docgen.dir/docgen.cc.o: \
  /usr/include/c++/12/bits/enable_special_members.h \
  /usr/include/c++/12/utility /usr/include/c++/12/bits/stl_relops.h \
  /root/repo/src/core/status.h /root/repo/src/xml/node.h \
- /root/repo/src/awbql/query.h /root/repo/src/core/string_util.h \
- /root/repo/src/xml/parser.h /root/repo/src/xml/serializer.h
+ /root/repo/src/awbql/query.h /root/repo/src/core/lru_cache.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/parse_numbers.h \
+ /usr/include/c++/12/bits/unique_lock.h /usr/include/c++/12/unordered_map \
+ /usr/include/c++/12/bits/hashtable.h \
+ /usr/include/c++/12/bits/hashtable_policy.h \
+ /usr/include/c++/12/bits/unordered_map.h \
+ /root/repo/src/core/string_util.h /root/repo/src/xml/parser.h \
+ /root/repo/src/xml/serializer.h

@@ -222,4 +222,10 @@ src/docgen/CMakeFiles/lll_docgen.dir/xq_engine.cc.o: \
  /usr/include/c++/12/bits/algorithmfwd.h \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
- /root/repo/src/xdm/sequence.h /root/repo/src/xquery/optimizer.h
+ /root/repo/src/xdm/sequence.h /root/repo/src/xquery/optimizer.h \
+ /root/repo/src/xquery/query_cache.h /root/repo/src/core/lru_cache.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h

@@ -14,6 +14,7 @@ set(CMAKE_DEPENDS_DEPENDENCY_FILES
   "/root/repo/src/xquery/functions.cc" "src/xquery/CMakeFiles/lll_xquery.dir/functions.cc.o" "gcc" "src/xquery/CMakeFiles/lll_xquery.dir/functions.cc.o.d"
   "/root/repo/src/xquery/optimizer.cc" "src/xquery/CMakeFiles/lll_xquery.dir/optimizer.cc.o" "gcc" "src/xquery/CMakeFiles/lll_xquery.dir/optimizer.cc.o.d"
   "/root/repo/src/xquery/parser.cc" "src/xquery/CMakeFiles/lll_xquery.dir/parser.cc.o" "gcc" "src/xquery/CMakeFiles/lll_xquery.dir/parser.cc.o.d"
+  "/root/repo/src/xquery/query_cache.cc" "src/xquery/CMakeFiles/lll_xquery.dir/query_cache.cc.o" "gcc" "src/xquery/CMakeFiles/lll_xquery.dir/query_cache.cc.o.d"
   )
 
 # Targets to which this target links.

@@ -11,6 +11,8 @@ file(REMOVE_RECURSE
   "CMakeFiles/lll_xquery.dir/optimizer.cc.o.d"
   "CMakeFiles/lll_xquery.dir/parser.cc.o"
   "CMakeFiles/lll_xquery.dir/parser.cc.o.d"
+  "CMakeFiles/lll_xquery.dir/query_cache.cc.o"
+  "CMakeFiles/lll_xquery.dir/query_cache.cc.o.d"
   "liblll_xquery.a"
   "liblll_xquery.pdb"
 )

@@ -218,4 +218,10 @@ src/xslt/CMakeFiles/lll_xslt.dir/xslt.cc.o: /root/repo/src/xslt/xslt.cc \
  /usr/include/c++/12/bits/stl_heap.h \
  /usr/include/c++/12/bits/uniform_int_dist.h \
  /root/repo/src/xdm/sequence.h /root/repo/src/xquery/optimizer.h \
- /root/repo/src/core/string_util.h /root/repo/src/xml/parser.h
+ /root/repo/src/xquery/query_cache.h /root/repo/src/core/lru_cache.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/limits /usr/include/c++/12/ctime \
+ /usr/include/c++/12/bits/unique_lock.h /root/repo/src/core/string_util.h \
+ /root/repo/src/xml/parser.h

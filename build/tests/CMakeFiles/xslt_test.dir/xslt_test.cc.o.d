@@ -298,4 +298,9 @@ tests/CMakeFiles/xslt_test.dir/xslt_test.cc.o: \
  /root/repo/src/xml/serializer.h /root/repo/src/xslt/xslt.h \
  /root/repo/src/xquery/engine.h /root/repo/src/xquery/ast.h \
  /root/repo/src/xdm/item.h /root/repo/src/xquery/eval.h \
- /root/repo/src/xdm/sequence.h /root/repo/src/xquery/optimizer.h
+ /root/repo/src/xdm/sequence.h /root/repo/src/xquery/optimizer.h \
+ /root/repo/src/xquery/query_cache.h /root/repo/src/core/lru_cache.h \
+ /usr/include/c++/12/list /usr/include/c++/12/bits/stl_list.h \
+ /usr/include/c++/12/bits/list.tcc /usr/include/c++/12/mutex \
+ /usr/include/c++/12/bits/chrono.h /usr/include/c++/12/ratio \
+ /usr/include/c++/12/bits/unique_lock.h

@@ -295,4 +295,19 @@ std::string QueryToText(const Query& query) {
   return out;
 }
 
+Result<std::shared_ptr<const Query>> QueryParseCache::GetOrParse(
+    std::string_view text) {
+  std::string key(text);
+  if (std::shared_ptr<const Query> hit = cache_.Get(key)) return hit;
+  LLL_ASSIGN_OR_RETURN(Query query, ParseQuery(text));
+  auto handle = std::make_shared<const Query>(std::move(query));
+  cache_.Put(key, handle);
+  return handle;
+}
+
+QueryParseCache& SharedQueryParseCache() {
+  static QueryParseCache& cache = *new QueryParseCache(256);
+  return cache;
+}
+
 }  // namespace lll::awbql

@@ -1,10 +1,12 @@
 #ifndef LLL_AWBQL_QUERY_H_
 #define LLL_AWBQL_QUERY_H_
 
+#include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "core/lru_cache.h"
 #include "core/result.h"
 #include "xml/node.h"
 
@@ -79,6 +81,30 @@ Result<Query> ParseQueryXml(const xml::Node* query_element);
 
 // Canonical text rendering (ParseQuery(QueryToText(q)) == q).
 std::string QueryToText(const Query& query);
+
+// Thread-safe LRU cache of parsed text-form queries -- the native backend's
+// half of the "stop recompiling" story. Docgen expands the same directive
+// (and therefore re-parses the same query text) once per focus node; with
+// the cache, repeated texts cost one hash lookup. Parsed queries are handed
+// out as shared immutable values, safe to evaluate from many threads.
+// Parse errors are not cached. Capacity 0 = passthrough (always parse).
+class QueryParseCache {
+ public:
+  explicit QueryParseCache(size_t capacity = 256) : cache_(capacity) {}
+
+  Result<std::shared_ptr<const Query>> GetOrParse(std::string_view text);
+
+  CacheStats stats() const { return cache_.stats(); }
+  size_t capacity() const { return cache_.capacity(); }
+  size_t size() const { return cache_.size(); }
+  void Clear() { cache_.Clear(); }
+
+ private:
+  LruCache<Query> cache_;
+};
+
+// The process-wide parse cache used by docgen's native engine.
+QueryParseCache& SharedQueryParseCache();
 
 }  // namespace lll::awbql
 

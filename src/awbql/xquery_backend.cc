@@ -63,7 +63,9 @@ declare function local:label($n) {
 
 }  // namespace
 
-XQueryBackend::XQueryBackend(const awb::Model* model) : model_(model) {
+XQueryBackend::XQueryBackend(const awb::Model* model,
+                             size_t compile_cache_capacity)
+    : model_(model), compile_cache_(compile_cache_capacity) {
   model_doc_ = awb::ModelToXml(*model);
   // The metamodel travels as XML too -- AWB structures "are defined in a pile
   // of files", and the XQuery programs read them back.
@@ -166,6 +168,13 @@ Result<std::vector<const awb::ModelNode*>> XQueryBackend::Eval(
   if (query.source_kind == Query::SourceKind::kFocus && focus == nullptr) {
     return Status::Invalid("query starts 'from focus' but no focus is set");
   }
+  // Match EvalNative: an unknown start node is an error, not an empty result.
+  // (The generated XQuery program would just select nothing; differential
+  // testing flushed this divergence out.)
+  if (query.source_kind == Query::SourceKind::kNode &&
+      model_->FindNode(query.source_arg) == nullptr) {
+    return Status::NotFound("no node with id '" + query.source_arg + "'");
+  }
   std::string program = CompileToXQuery(query);
   xq::ExecuteOptions opts;
   opts.documents["model"] = model_doc_->root();
@@ -174,7 +183,9 @@ Result<std::vector<const awb::ModelNode*>> XQueryBackend::Eval(
     opts.variables["focus-id"] =
         xdm::Sequence(xdm::Item::String(focus->id()));
   }
-  LLL_ASSIGN_OR_RETURN(xq::QueryResult result, xq::Run(program, opts));
+  LLL_ASSIGN_OR_RETURN(std::shared_ptr<const xq::CompiledQuery> compiled,
+                       compile_cache_.GetOrCompile(program));
+  LLL_ASSIGN_OR_RETURN(xq::QueryResult result, xq::Execute(*compiled, opts));
   last_stats_ = result.stats;
   std::vector<const awb::ModelNode*> nodes;
   nodes.reserve(result.sequence.size());

@@ -10,6 +10,7 @@
 #include "core/result.h"
 #include "xml/node.h"
 #include "xquery/engine.h"
+#include "xquery/query_cache.h"
 
 namespace lll::awbql {
 
@@ -27,13 +28,21 @@ namespace lll::awbql {
 class XQueryBackend {
  public:
   // Snapshots the model into XML once (AWB exported, then queried).
-  explicit XQueryBackend(const awb::Model* model);
+  // `compile_cache_capacity` sizes the compiled-query cache: repeated Evals
+  // of the same calculus query reuse the compiled XQuery program instead of
+  // re-parsing and re-optimizing it every time. 0 disables caching (the
+  // original always-recompile behavior, kept for differential testing).
+  explicit XQueryBackend(const awb::Model* model,
+                         size_t compile_cache_capacity = 64);
 
   XQueryBackend(const XQueryBackend&) = delete;
   XQueryBackend& operator=(const XQueryBackend&) = delete;
 
   // Compiles and runs `query`; returns nodes in the same canonical order as
   // EvalNative. `focus` is required only for `from focus` queries.
+  // NOT thread-safe (last_stats_ and the model snapshot are per-backend);
+  // use one XQueryBackend per thread, or share a CompiledQuery via
+  // xq::QueryCache and Execute it directly.
   Result<std::vector<const awb::ModelNode*>> Eval(
       const Query& query, const awb::ModelNode* focus = nullptr);
 
@@ -43,10 +52,14 @@ class XQueryBackend {
   // Stats from the most recent Eval (evaluation steps, function calls).
   const xq::EvalStats& last_stats() const { return last_stats_; }
 
+  // Compile-cache counters (hits mean an Eval skipped recompilation).
+  CacheStats cache_stats() const { return compile_cache_.stats(); }
+
  private:
   const awb::Model* model_;
   std::unique_ptr<xml::Document> model_doc_;
   std::unique_ptr<xml::Document> metamodel_doc_;
+  xq::QueryCache compile_cache_;
   xq::EvalStats last_stats_;
 };
 

@@ -1,6 +1,7 @@
 #include "docgen/native_engine.h"
 
 #include <map>
+#include <memory>
 #include <set>
 #include <vector>
 
@@ -21,47 +22,31 @@ struct TocEntry {
   std::string text;
 };
 
+void CopyAttributes(const xml::Node* from, xml::Node* to) {
+  for (const xml::Node* attr : from->attributes()) {
+    to->SetAttribute(attr->name(), attr->value());
+  }
+}
+
+// The generation engine, split into two separable halves so the batch mode
+// can run many walks concurrently and patch once:
+//
+//   * the WALK (Gen and the directive handlers): a pure function of
+//     (template, model, focus) that appends output nodes to a parent in the
+//     `out` document and feeds the private accumulators;
+//   * the PATCH phase (PatchAll): resolves table-of-contents and omissions
+//     markers and substitutes placeholders over a finished tree, using the
+//     accumulated state.
+//
+// One Generator is confined to one thread; concurrency happens by giving
+// every worker its own Generator (own document, own accumulators) and
+// merging the accumulators afterwards -- see GenerateNativeParallel.
 class Generator {
  public:
-  Generator(const Model& model, const GenerateOptions& options)
-      : model_(model), options_(options) {}
+  Generator(const Model& model, const GenerateOptions& options,
+            xml::Document* out)
+      : model_(model), options_(options), out_(out) {}
 
-  Result<DocGenResult> Run(const xml::Node* template_root) {
-    DocGenResult result;
-    result.document = std::make_unique<xml::Document>();
-    out_ = result.document.get();
-
-    const ModelNode* focus = nullptr;
-    if (!options_.initial_focus_id.empty()) {
-      focus = model_.FindNode(options_.initial_focus_id);
-      if (focus == nullptr) {
-        return Status::NotFound("initial focus node '" +
-                                options_.initial_focus_id + "' not found");
-      }
-      Visit(focus);
-    }
-
-    xml::Node* root = out_->CreateElement(template_root->name());
-    CopyAttributes(template_root, root);
-    LLL_RETURN_IF_ERROR(out_->root()->AppendChild(root));
-    for (const xml::Node* child : template_root->children()) {
-      LLL_RETURN_IF_ERROR(Gen(child, root, focus, /*depth=*/0));
-    }
-
-    // Phase 2, the "very modest second phase": patch markers in place.
-    LLL_RETURN_IF_ERROR(PatchTableOfContents());
-    LLL_RETURN_IF_ERROR(PatchOmissions());
-    LLL_RETURN_IF_ERROR(PatchPlaceholders(root));
-    NormalizeTextNodes(root);
-
-    result.root = root;
-    result.stats = stats_;
-    result.stats.nodes_visited = visited_.size();
-    result.stats.toc_entries = toc_.size();
-    return result;
-  }
-
- private:
   // --- The recursive walk ---------------------------------------------------
 
   // "The heart of the document generator is a quite straightforward
@@ -104,6 +89,51 @@ class Generator {
     return Status::Ok();
   }
 
+  // --- Accumulator access (for the batch merge) ---------------------------
+
+  DocGenStats& stats() { return stats_; }
+  std::set<std::string>& visited() { return visited_; }
+  std::vector<TocEntry>& toc() { return toc_; }
+  std::map<std::string, xml::Node*>& placeholders() { return placeholders_; }
+
+  void Visit(const ModelNode* node) { visited_.insert(node->id()); }
+
+  // Evaluates the query attached to a directive: a <query> child (normalized
+  // form) or a `nodes` text attribute. Public so the batch driver can expand
+  // a top-level <for> into per-iteration work items.
+  Result<std::vector<const ModelNode*>> EvalQueryOn(const xml::Node* t,
+                                                    const ModelNode* focus) {
+    const xml::Node* query_element = t->FirstChildElement("query");
+    if (query_element != nullptr) {
+      LLL_ASSIGN_OR_RETURN(const awbql::Query* query,
+                           ParsedXmlQuery(query_element));
+      return awbql::EvalNative(*query, model_, focus);
+    }
+    const std::string* nodes_attr = t->AttributeValue("nodes");
+    if (nodes_attr == nullptr) {
+      return Status::Invalid("<" + t->name() +
+                             "> needs a nodes attribute or <query> child");
+    }
+    LLL_ASSIGN_OR_RETURN(std::shared_ptr<const awbql::Query> query,
+                         awbql::SharedQueryParseCache().GetOrParse(
+                             NodesAttributeToQueryText(*nodes_attr)));
+    return awbql::EvalNative(*query, model_, focus);
+  }
+
+  // --- Patch phase ------------------------------------------------------
+
+  // Phase 2, the "very modest second phase": patch markers in place. Markers
+  // are found by scanning the finished tree (and any detached placeholder
+  // bodies), so this works identically on a sequentially generated document
+  // and on one merged from parallel chunks.
+  Status PatchAll(xml::Node* root) {
+    LLL_RETURN_IF_ERROR(PatchTableOfContents(root));
+    LLL_RETURN_IF_ERROR(PatchOmissions(root));
+    LLL_RETURN_IF_ERROR(PatchPlaceholders(root));
+    return Status::Ok();
+  }
+
+ private:
   // --- Directives --------------------------------------------------------
 
   Status GenerateFor(const xml::Node* t, xml::Node* parent,
@@ -306,9 +336,7 @@ class Generator {
 
   Status GenerateTocMarker(xml::Node* parent) {
     ++stats_.directives_processed;
-    xml::Node* marker = out_->CreateElement("lll-toc-marker");
-    toc_markers_.push_back(marker);
-    return parent->AppendChild(marker);
+    return parent->AppendChild(out_->CreateElement("lll-toc-marker"));
   }
 
   Status GenerateOmissionsMarker(const xml::Node* t, xml::Node* parent) {
@@ -316,7 +344,6 @@ class Generator {
     xml::Node* marker = out_->CreateElement("lll-omissions-marker");
     const std::string* types = t->AttributeValue("types");
     if (types != nullptr) marker->SetAttribute("types", *types);
-    omission_markers_.push_back(marker);
     return parent->AppendChild(marker);
   }
 
@@ -448,8 +475,22 @@ class Generator {
 
   // --- Patch phase ------------------------------------------------------
 
-  Status PatchTableOfContents() {
-    for (xml::Node* marker : toc_markers_) {
+  // Collects markers named `name` in document order, in the finished tree
+  // AND in detached placeholder bodies (a <table-of-contents/> inside a
+  // placeholder must be expanded before the placeholder is spliced in).
+  std::vector<xml::Node*> CollectMarkers(xml::Node* root,
+                                         std::string_view name) {
+    std::vector<xml::Node*> markers = root->DescendantElements(name);
+    for (const auto& [placeholder_name, holder] : placeholders_) {
+      (void)placeholder_name;
+      std::vector<xml::Node*> inner = holder->DescendantElements(name);
+      markers.insert(markers.end(), inner.begin(), inner.end());
+    }
+    return markers;
+  }
+
+  Status PatchTableOfContents(xml::Node* root) {
+    for (xml::Node* marker : CollectMarkers(root, "lll-toc-marker")) {
       xml::Node* list = out_->CreateElement("ul");
       list->SetAttribute("class", "toc");
       for (const TocEntry& entry : toc_) {
@@ -463,8 +504,8 @@ class Generator {
     return Status::Ok();
   }
 
-  Status PatchOmissions() {
-    for (xml::Node* marker : omission_markers_) {
+  Status PatchOmissions(xml::Node* root) {
+    for (xml::Node* marker : CollectMarkers(root, "lll-omissions-marker")) {
       std::vector<std::string> wanted_types;
       if (const std::string* types = marker->AttributeValue("types")) {
         for (const std::string& type : Split(*types, ',')) {
@@ -545,39 +586,33 @@ class Generator {
 
   // --- Helpers ------------------------------------------------------------
 
-  void Visit(const ModelNode* node) { visited_.insert(node->id()); }
-
-  void CopyAttributes(const xml::Node* from, xml::Node* to) {
-    for (const xml::Node* attr : from->attributes()) {
-      to->SetAttribute(attr->name(), attr->value());
+  // Converts a '; '-separated `nodes` attribute into the newline text form
+  // (the canonical key of the shared parse cache).
+  static std::string NodesAttributeToQueryText(const std::string& attr) {
+    std::string text;
+    for (const std::string& part : Split(attr, ';')) {
+      std::string_view trimmed = TrimWhitespace(part);
+      if (!trimmed.empty()) {
+        text.append(trimmed);
+        text.push_back('\n');
+      }
     }
+    return text;
   }
 
-  // Evaluates the query attached to a directive: a <query> child (normalized
-  // form) or a `nodes` text attribute.
-  Result<std::vector<const ModelNode*>> EvalQueryOn(const xml::Node* t,
-                                                    const ModelNode* focus) {
-    const xml::Node* query_element = t->FirstChildElement("query");
-    awbql::Query query;
-    if (query_element != nullptr) {
-      LLL_ASSIGN_OR_RETURN(query, awbql::ParseQueryXml(query_element));
-    } else {
-      const std::string* nodes_attr = t->AttributeValue("nodes");
-      if (nodes_attr == nullptr) {
-        return Status::Invalid("<" + t->name() +
-                               "> needs a nodes attribute or <query> child");
-      }
-      std::string text;
-      for (const std::string& part : Split(*nodes_attr, ';')) {
-        std::string_view trimmed = TrimWhitespace(part);
-        if (!trimmed.empty()) {
-          text.append(trimmed);
-          text.push_back('\n');
-        }
-      }
-      LLL_ASSIGN_OR_RETURN(query, awbql::ParseQuery(text));
-    }
-    return awbql::EvalNative(query, model_, focus);
+  // XML-form queries are memoized per template element: a <for> body that
+  // expands once per focus node parses its <query> child exactly once per
+  // generation instead of once per iteration. The memo is confined to this
+  // Generator (and thus to one thread).
+  Result<const awbql::Query*> ParsedXmlQuery(const xml::Node* query_element) {
+    auto it = xml_query_memo_.find(query_element);
+    if (it != xml_query_memo_.end()) return it->second.get();
+    LLL_ASSIGN_OR_RETURN(awbql::Query query,
+                         awbql::ParseQueryXml(query_element));
+    auto handle = std::make_unique<const awbql::Query>(std::move(query));
+    const awbql::Query* raw = handle.get();
+    xml_query_memo_[query_element] = std::move(handle);
+    return raw;
   }
 
   Result<std::vector<const ModelNode*>> EvalTableQuery(
@@ -589,24 +624,18 @@ class Generator {
       if (query_element == nullptr) {
         return Status::Invalid("<" + which + "-query> without a <query>");
       }
-      LLL_ASSIGN_OR_RETURN(awbql::Query query,
-                           awbql::ParseQueryXml(query_element));
-      return awbql::EvalNative(query, model_, focus);
+      LLL_ASSIGN_OR_RETURN(const awbql::Query* query,
+                           ParsedXmlQuery(query_element));
+      return awbql::EvalNative(*query, model_, focus);
     }
     const std::string* attr = t->AttributeValue(which);
     if (attr == nullptr) {
       return Status::Invalid("<table> needs a '" + which + "' query");
     }
-    std::string text;
-    for (const std::string& part : Split(*attr, ';')) {
-      std::string_view trimmed = TrimWhitespace(part);
-      if (!trimmed.empty()) {
-        text.append(trimmed);
-        text.push_back('\n');
-      }
-    }
-    LLL_ASSIGN_OR_RETURN(awbql::Query query, awbql::ParseQuery(text));
-    return awbql::EvalNative(query, model_, focus);
+    LLL_ASSIGN_OR_RETURN(std::shared_ptr<const awbql::Query> query,
+                         awbql::SharedQueryParseCache().GetOrParse(
+                             NodesAttributeToQueryText(*attr)));
+    return awbql::EvalNative(*query, model_, focus);
   }
 
   // Error handling: under kPropagate, attach GenTrouble context and bubble
@@ -643,10 +672,23 @@ class Generator {
   // Mutable accumulators -- the whole point of the Java rewrite.
   std::set<std::string> visited_;
   std::vector<TocEntry> toc_;
-  std::vector<xml::Node*> toc_markers_;
-  std::vector<xml::Node*> omission_markers_;
   std::map<std::string, xml::Node*> placeholders_;
+  std::map<const xml::Node*, std::unique_ptr<const awbql::Query>>
+      xml_query_memo_;
 };
+
+Result<const ModelNode*> ResolveInitialFocus(const Model& model,
+                                             const GenerateOptions& options) {
+  if (options.initial_focus_id.empty()) {
+    return static_cast<const ModelNode*>(nullptr);
+  }
+  const ModelNode* focus = model.FindNode(options.initial_focus_id);
+  if (focus == nullptr) {
+    return Status::NotFound("initial focus node '" + options.initial_focus_id +
+                            "' not found");
+  }
+  return focus;
+}
 
 }  // namespace
 
@@ -656,8 +698,146 @@ Result<DocGenResult> GenerateNative(const xml::Node* template_root,
   if (template_root == nullptr || !template_root->is_element()) {
     return Status::Invalid("template root must be an element");
   }
-  Generator generator(model, options);
-  return generator.Run(template_root);
+  DocGenResult result;
+  result.document = std::make_unique<xml::Document>();
+  Generator generator(model, options, result.document.get());
+
+  LLL_ASSIGN_OR_RETURN(const ModelNode* focus,
+                       ResolveInitialFocus(model, options));
+  if (focus != nullptr) generator.Visit(focus);
+
+  xml::Node* root = result.document->CreateElement(template_root->name());
+  CopyAttributes(template_root, root);
+  LLL_RETURN_IF_ERROR(result.document->root()->AppendChild(root));
+  for (const xml::Node* child : template_root->children()) {
+    LLL_RETURN_IF_ERROR(generator.Gen(child, root, focus, /*depth=*/0));
+  }
+
+  LLL_RETURN_IF_ERROR(generator.PatchAll(root));
+  NormalizeTextNodes(root);
+
+  result.root = root;
+  result.stats = generator.stats();
+  result.stats.nodes_visited = generator.visited().size();
+  result.stats.toc_entries = generator.toc().size();
+  return result;
+}
+
+Result<DocGenResult> GenerateNativeParallel(const xml::Node* template_root,
+                                            const awb::Model& model,
+                                            const GenerateOptions& options,
+                                            ThreadPool* pool) {
+  if (template_root == nullptr || !template_root->is_element()) {
+    return Status::Invalid("template root must be an element");
+  }
+  DocGenResult result;
+  result.document = std::make_unique<xml::Document>();
+  xml::Document* out = result.document.get();
+  Generator main_gen(model, options, out);
+
+  LLL_ASSIGN_OR_RETURN(const ModelNode* focus,
+                       ResolveInitialFocus(model, options));
+  if (focus != nullptr) main_gen.Visit(focus);
+
+  xml::Node* root = out->CreateElement(template_root->name());
+  CopyAttributes(template_root, root);
+  LLL_RETURN_IF_ERROR(out->root()->AppendChild(root));
+
+  // One work item per independent top-level unit, in document order. A
+  // top-level <for> whose query evaluates cleanly is split into one item per
+  // iteration (the per-focus-node fan-out the paper's docgen workload is
+  // made of); everything else -- and any <for> whose query fails, so the
+  // error surfaces exactly as in the sequential walk -- is one item.
+  struct WorkItem {
+    std::vector<const xml::Node*> template_nodes;
+    const ModelNode* focus = nullptr;
+    // Filled in by the worker:
+    std::unique_ptr<xml::Document> doc;
+    xml::Node* chunk_root = nullptr;
+    Status status;
+    DocGenStats stats;
+    std::set<std::string> visited;
+    std::vector<TocEntry> toc;
+    std::map<std::string, xml::Node*> placeholders;
+  };
+  std::vector<WorkItem> items;
+  for (const xml::Node* child : template_root->children()) {
+    if (child->is_element() && child->name() == "for") {
+      auto nodes = main_gen.EvalQueryOn(child, focus);
+      if (nodes.ok()) {
+        ++main_gen.stats().directives_processed;
+        std::vector<const xml::Node*> body;
+        for (const xml::Node* c : child->children()) {
+          if (c->is_element() && c->name() == "query") continue;
+          body.push_back(c);
+        }
+        for (const ModelNode* node : *nodes) {
+          main_gen.Visit(node);
+          WorkItem item;
+          item.template_nodes = body;
+          item.focus = node;
+          items.push_back(std::move(item));
+        }
+        continue;
+      }
+    }
+    WorkItem item;
+    item.template_nodes.push_back(child);
+    item.focus = focus;
+    items.push_back(std::move(item));
+  }
+
+  auto run_item = [&model, &options, &items](size_t i) {
+    WorkItem& item = items[i];
+    item.doc = std::make_unique<xml::Document>();
+    Generator g(model, options, item.doc.get());
+    item.chunk_root = item.doc->CreateElement("lll-chunk");
+    item.status = item.doc->root()->AppendChild(item.chunk_root);
+    for (const xml::Node* t : item.template_nodes) {
+      if (!item.status.ok()) break;
+      item.status = g.Gen(t, item.chunk_root, item.focus, /*depth=*/0);
+    }
+    item.stats = g.stats();
+    item.visited = std::move(g.visited());
+    item.toc = std::move(g.toc());
+    item.placeholders = std::move(g.placeholders());
+  };
+  if (pool != nullptr) {
+    pool->ParallelFor(items.size(), run_item);
+  } else {
+    for (size_t i = 0; i < items.size(); ++i) run_item(i);
+  }
+
+  // Deterministic merge, strictly in document order.
+  auto add = [](size_t& into, size_t from) { into += from; };
+  for (WorkItem& item : items) {
+    if (!item.status.ok()) return item.status;
+    for (const xml::Node* chunk_child : item.chunk_root->children()) {
+      LLL_RETURN_IF_ERROR(root->AppendChild(out->ImportNode(chunk_child)));
+    }
+    DocGenStats& total = main_gen.stats();
+    add(total.directives_processed, item.stats.directives_processed);
+    add(total.placeholders_defined, item.stats.placeholders_defined);
+    add(total.errors_embedded, item.stats.errors_embedded);
+    add(total.document_copies, item.stats.document_copies);
+    add(total.eval_steps, item.stats.eval_steps);
+    main_gen.visited().insert(item.visited.begin(), item.visited.end());
+    main_gen.toc().insert(main_gen.toc().end(), item.toc.begin(),
+                          item.toc.end());
+    for (const auto& [name, holder] : item.placeholders) {
+      // Later definitions win, as in the sequential walk.
+      main_gen.placeholders()[name] = out->ImportNode(holder);
+    }
+  }
+
+  LLL_RETURN_IF_ERROR(main_gen.PatchAll(root));
+  NormalizeTextNodes(root);
+
+  result.root = root;
+  result.stats = main_gen.stats();
+  result.stats.nodes_visited = main_gen.visited().size();
+  result.stats.toc_entries = main_gen.toc().size();
+  return result;
 }
 
 Result<DocGenResult> GenerateNativeFromText(const std::string& template_xml,

@@ -1,6 +1,7 @@
 #ifndef LLL_DOCGEN_NATIVE_ENGINE_H_
 #define LLL_DOCGEN_NATIVE_ENGINE_H_
 
+#include "core/thread_pool.h"
 #include "docgen/docgen.h"
 
 namespace lll::docgen {
@@ -28,6 +29,30 @@ Result<DocGenResult> GenerateNative(const xml::Node* template_root,
 Result<DocGenResult> GenerateNativeFromText(const std::string& template_xml,
                                             const awb::Model& model,
                                             const GenerateOptions& options = {});
+
+// Batch mode: same semantics -- and byte-identical output -- as
+// GenerateNative, but the independent top-level units of the template (each
+// top-level child of the template root; each iteration of a top-level <for>)
+// expand concurrently on `pool`, each into its own private document with its
+// own accumulators. The chunks are then merged strictly in document order
+// (output subtrees concatenated, visited sets unioned, table-of-contents
+// lists spliced in order, placeholder definitions merged with
+// last-definition-wins), and the patch phase -- table of contents, table of
+// omissions, placeholder substitution -- runs once over the merged document,
+// exactly as in the sequential engine. Determinism therefore does not depend
+// on thread scheduling. Under ErrorPolicy::kPropagate the error returned is
+// the first one in document order, matching the sequential engine.
+//
+// `pool` may be nullptr or empty (0 threads): the batch machinery then runs
+// on the calling thread, still through the chunk/merge path.
+//
+// Thread-safety requirements (audited): the Model and template are only read
+// during generation; awbql::EvalNative and the shared query parse cache are
+// safe for concurrent use.
+Result<DocGenResult> GenerateNativeParallel(const xml::Node* template_root,
+                                            const awb::Model& model,
+                                            const GenerateOptions& options,
+                                            ThreadPool* pool);
 
 }  // namespace lll::docgen
 

@@ -6,10 +6,26 @@
 #include "docgen/xq_programs.h"
 #include "xml/parser.h"
 #include "xquery/engine.h"
+#include "xquery/query_cache.h"
 
 namespace lll::docgen {
 
 namespace {
+
+// The five phase programs are fixed strings, so every generation after the
+// first reuses their compiled form. Process-wide and thread-safe; leaked on
+// purpose (immortal, like the builtin registry).
+xq::QueryCache& PhaseProgramCache() {
+  static xq::QueryCache& cache = *new xq::QueryCache(/*capacity=*/8);
+  return cache;
+}
+
+Result<xq::QueryResult> RunCached(const std::string& program,
+                                  const xq::ExecuteOptions& opts) {
+  LLL_ASSIGN_OR_RETURN(std::shared_ptr<const xq::CompiledQuery> compiled,
+                       PhaseProgramCache().GetOrCompile(program));
+  return xq::Execute(*compiled, opts);
+}
 
 // Counts descendant elements with a given name (stats extraction from the
 // intermediate INTERNAL-DATA markers).
@@ -65,7 +81,8 @@ Result<DocGenResult> GenerateXQuery(const xml::Node* template_root,
   phase1.documents["metamodel"] = metamodel_doc->root();
   phase1.variables["initial-focus-id"] =
       xdm::Sequence(xdm::Item::String(options.initial_focus_id));
-  LLL_ASSIGN_OR_RETURN(xq::QueryResult r1, xq::Run(Phase1InterpretProgram(), phase1));
+  LLL_ASSIGN_OR_RETURN(xq::QueryResult r1,
+                       RunCached(Phase1InterpretProgram(), phase1));
   if (r1.sequence.size() != 1 || !r1.sequence.at(0).is_node()) {
     return Status::Internal("phase 1 did not produce a single root element");
   }
@@ -85,14 +102,14 @@ Result<DocGenResult> GenerateXQuery(const xml::Node* template_root,
   // (the paper's observability complaint, live and well). Leave it at 0.
 
   struct Phase {
-    const char* program;
+    const std::string* program;
     bool needs_model;
   };
   const Phase phases[] = {
-      {Phase2OmissionsProgram().c_str(), true},
-      {Phase3TocProgram().c_str(), false},
-      {Phase4PlaceholdersProgram().c_str(), false},
-      {Phase5StripProgram().c_str(), false},
+      {&Phase2OmissionsProgram(), true},
+      {&Phase3TocProgram(), false},
+      {&Phase4PlaceholdersProgram(), false},
+      {&Phase5StripProgram(), false},
   };
   for (const Phase& phase : phases) {
     xq::ExecuteOptions opts;
@@ -101,7 +118,7 @@ Result<DocGenResult> GenerateXQuery(const xml::Node* template_root,
       opts.documents["model"] = model_doc->root();
       opts.documents["metamodel"] = metamodel_doc->root();
     }
-    LLL_ASSIGN_OR_RETURN(xq::QueryResult r, xq::Run(phase.program, opts));
+    LLL_ASSIGN_OR_RETURN(xq::QueryResult r, RunCached(*phase.program, opts));
     if (r.sequence.size() != 1 || !r.sequence.at(0).is_node()) {
       return Status::Internal("a docgen phase did not produce a single root");
     }

@@ -21,6 +21,25 @@ namespace lll::xq {
 //   opts.context_node = doc->root();
 //   auto result = xq::Execute(*query, opts);
 //   result->SerializedItems();   // -> the answer as XML text
+//
+// Concurrency contract (audited; exercised by tests/concurrency_test.cc
+// under ThreadSanitizer):
+//
+//   * A CompiledQuery is immutable after Compile. Execute() only READS the
+//     module -- the evaluator never mutates the AST, and all construction
+//     happens in a per-execution arena owned by the DynamicContext it
+//     creates. Many threads may Execute() the SAME CompiledQuery at once.
+//   * ExecuteOptions documents and the context node are read-only during
+//     execution; node items in results reference either the per-execution
+//     arena (moved into the QueryResult) or the caller's input documents.
+//     Sharing input documents across concurrent executions is safe as long
+//     as no thread mutates them.
+//   * Each Execute() gets its own DynamicContext, EvalStats, and trace
+//     buffer; nothing is shared between executions. The builtin-function
+//     registry is a function-local static, initialized once (thread-safe
+//     under C++11 magic statics) and immutable afterwards.
+//   * Compile() itself is stateless and may run from any thread. Use
+//     xq::QueryCache (query_cache.h) to share compilations across threads.
 
 struct CompileOptions {
   bool optimize = true;

@@ -1,0 +1,34 @@
+#include "xquery/query_cache.h"
+
+namespace lll::xq {
+
+std::string QueryCache::MakeKey(std::string_view source,
+                                const CompileOptions& options) {
+  // Every switch that changes the compiled form is part of the key; two
+  // option sets that differ in any bit must never share an entry.
+  std::string key;
+  key.reserve(source.size() + 8);
+  key.push_back(options.optimize ? '1' : '0');
+  key.push_back(options.optimizer.constant_folding ? '1' : '0');
+  key.push_back(options.optimizer.dead_let_elimination ? '1' : '0');
+  key.push_back(options.optimizer.recognize_trace ? '1' : '0');
+  key.push_back('|');
+  key.append(source);
+  return key;
+}
+
+Result<std::shared_ptr<const CompiledQuery>> QueryCache::GetOrCompile(
+    std::string_view source, const CompileOptions& options) {
+  std::string key = MakeKey(source, options);
+  if (std::shared_ptr<const CompiledQuery> hit = cache_.Get(key)) {
+    return hit;
+  }
+  // Compile outside the cache lock: concurrent misses of distinct queries
+  // compile in parallel instead of serializing behind one another.
+  LLL_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(source, options));
+  auto handle = std::make_shared<const CompiledQuery>(std::move(compiled));
+  cache_.Put(key, handle);
+  return handle;
+}
+
+}  // namespace lll::xq

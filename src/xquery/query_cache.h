@@ -1,0 +1,55 @@
+#ifndef LLL_XQUERY_QUERY_CACHE_H_
+#define LLL_XQUERY_QUERY_CACHE_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "core/lru_cache.h"
+#include "core/result.h"
+#include "xquery/engine.h"
+
+namespace lll::xq {
+
+// A thread-safe LRU cache of compiled queries, keyed on (query text,
+// CompileOptions). This is the "compile once, execute many" piece of the
+// paper's workload made explicit: AWB's docgen re-runs the same query
+// programs over every node of the model, and without a cache every run pays
+// the parse + optimize cost again.
+//
+// Entries are shared immutable handles: a CompiledQuery obtained here may be
+// Execute()d concurrently from any number of threads (see the concurrency
+// notes in engine.h), and a handle stays valid after its entry is evicted.
+//
+// Compile errors are NOT cached; each failing lookup recompiles and returns
+// the fresh error (failing queries are rare and cheap to keep out of the
+// bookkeeping).
+//
+// capacity 0 is a passthrough cache: every lookup compiles, nothing is
+// stored -- the "cache off" arm of differential tests and benchmarks.
+class QueryCache {
+ public:
+  explicit QueryCache(size_t capacity = 128) : cache_(capacity) {}
+
+  // Returns the cached compilation of (source, options), compiling and
+  // inserting on miss. On a racing miss of the same key, both threads
+  // compile and the later Put wins; both handles are equivalent and valid.
+  Result<std::shared_ptr<const CompiledQuery>> GetOrCompile(
+      std::string_view source, const CompileOptions& options = {});
+
+  CacheStats stats() const { return cache_.stats(); }
+  size_t capacity() const { return cache_.capacity(); }
+  size_t size() const { return cache_.size(); }
+  void Clear() { cache_.Clear(); }
+
+  // The exact key used internally (exposed for tests).
+  static std::string MakeKey(std::string_view source,
+                             const CompileOptions& options);
+
+ private:
+  LruCache<CompiledQuery> cache_;
+};
+
+}  // namespace lll::xq
+
+#endif  // LLL_XQUERY_QUERY_CACHE_H_

@@ -108,6 +108,7 @@ Result<Stylesheet> Stylesheet::Compile(const xml::Node* stylesheet_root) {
     return Status::ParseError("expected an <xsl:stylesheet> root");
   }
   Stylesheet sheet;
+  sheet.compiled_ = std::make_unique<xq::QueryCache>(/*capacity=*/1024);
   for (const xml::Node* child : stylesheet_root->children()) {
     if (!child->is_element()) continue;
     if (!IsXslElement(child, "template")) {
@@ -357,14 +358,11 @@ class Transformer {
 
   Result<xq::QueryResult> Eval(const std::string& expr,
                                const xml::Node* context) {
-    auto it = sheet_.compiled_.find(expr);
-    if (it == sheet_.compiled_.end()) {
-      LLL_ASSIGN_OR_RETURN(xq::CompiledQuery compiled, xq::Compile(expr));
-      it = sheet_.compiled_.emplace(expr, std::move(compiled)).first;
-    }
+    LLL_ASSIGN_OR_RETURN(std::shared_ptr<const xq::CompiledQuery> compiled,
+                         sheet_.compiled_->GetOrCompile(expr));
     xq::ExecuteOptions opts;
     opts.context_node = const_cast<xml::Node*>(context);
-    return xq::Execute(it->second, opts);
+    return xq::Execute(*compiled, opts);
   }
 
   const Stylesheet& sheet_;

@@ -9,6 +9,7 @@
 #include "core/result.h"
 #include "xml/node.h"
 #include "xquery/engine.h"
+#include "xquery/query_cache.h"
 
 namespace lll::xslt {
 
@@ -70,6 +71,9 @@ class Stylesheet {
 
   // Transforms `source` (a document or element node); the result document's
   // root node holds the output (possibly multiple top-level nodes).
+  // Thread-safe: a compiled Stylesheet may be Applied from many threads
+  // concurrently (the lazily compiled select/test expressions live in an
+  // internally synchronized cache; everything else is read-only).
   Result<std::unique_ptr<xml::Document>> Apply(const xml::Node* source) const;
 
   size_t template_count() const { return templates_.size(); }
@@ -88,8 +92,13 @@ class Stylesheet {
 
   std::unique_ptr<xml::Document> owned_source_;  // for CompileText
   std::vector<TemplateRule> templates_;
-  // Select/test expressions compiled on first use (cached by text).
-  mutable std::map<std::string, xq::CompiledQuery> compiled_;
+  // Select/test expressions compiled on first use. A QueryCache rather than
+  // a bare map so that concurrent Apply() calls on one Stylesheet are safe:
+  // this is the only state Apply mutates, and it is internally locked.
+  // (unique_ptr keeps the Stylesheet movable; the cache itself holds a
+  // mutex.) Sized generously -- a stylesheet has a fixed, small set of
+  // select/test expressions, so nothing should ever be evicted.
+  mutable std::unique_ptr<xq::QueryCache> compiled_;
 
   friend class Transformer;
 };

@@ -1,0 +1,229 @@
+// The differential backend harness: ~200 seeded-random AWB-QL queries over a
+// seeded-random model, every one evaluated three ways -- the native
+// evaluator, the XQuery backend with its compile cache on, and the XQuery
+// backend with the cache off (capacity 0, the original always-recompile
+// behavior) -- and all three answers required to be identical, node for node,
+// in order. This is the harness that makes "the two implementation
+// strategies agree" an enforced property instead of a hope.
+
+#include <string>
+#include <vector>
+
+#include "awb/builtin_metamodels.h"
+#include "awb/generator.h"
+#include "awbql/native.h"
+#include "awbql/query.h"
+#include "awbql/xquery_backend.h"
+#include "core/rng.h"
+#include "gtest/gtest.h"
+
+namespace lll::awbql {
+namespace {
+
+using awb::ModelNode;
+
+// Vocabulary drawn from MakeItArchitectureMetamodel and GenerateItModel:
+// real types, relations, and properties, plus a few that exist in the
+// metamodel but are rare or absent in generated models (Superuser,
+// PerformanceRequirement, documents>) so empty results get exercised too.
+const char* const kTypes[] = {
+    "Entity",   "Person",     "User",     "Superuser",
+    "System",   "SystemBeingDesigned",    "Server",
+    "Subsystem", "Program",   "Document", "Requirement",
+    "PerformanceRequirement",
+};
+const char* const kRelations[] = {
+    "relates", "has", "uses", "runs", "likes", "favors", "documents",
+};
+const char* const kProperties[] = {
+    "name",     "description", "firstName", "lastName", "birthYear",
+    "role",     "version",     "hostname",  "cores",    "language",
+    "priority", "latencyMs",   "middleName",
+};
+const char* const kPropertyValues[] = {
+    "1.0", "java", "cobol", "architect", "srv-1.example.com", "3", "",
+};
+
+template <typename T, size_t N>
+const T& Pick(Rng* rng, const T (&arr)[N]) {
+  return arr[rng->Below(N)];
+}
+
+// Builds a random query in the text syntax: a random source and 0-3 random
+// steps. Going through the text form means the parser is part of the
+// differential loop as well.
+std::string RandomQueryText(Rng* rng, const awb::Model& model) {
+  std::string text = "from ";
+  switch (rng->Below(4)) {
+    case 0:
+      text += "all";
+      break;
+    case 1:
+      text += std::string("type:") + Pick(rng, kTypes);
+      break;
+    case 2: {
+      // A real node id (or a nonexistent one, 1 in 8 times).
+      if (rng->Chance(0.125) || model.nodes().empty()) {
+        text += "node:no-such-node";
+      } else {
+        text += "node:" + model.nodes()[rng->Below(model.nodes().size())]->id();
+      }
+      break;
+    }
+    default:
+      text += "focus";
+      break;
+  }
+  text += "\n";
+
+  size_t steps = rng->Below(4);
+  for (size_t i = 0; i < steps; ++i) {
+    switch (rng->Below(8)) {
+      case 0: {
+        text += std::string("follow ") + Pick(rng, kRelations) + ">";
+        if (rng->Chance(0.4)) text += std::string(" to:") + Pick(rng, kTypes);
+        text += "\n";
+        break;
+      }
+      case 1: {
+        text += std::string("follow <") + Pick(rng, kRelations);
+        if (rng->Chance(0.4)) text += std::string(" to:") + Pick(rng, kTypes);
+        text += "\n";
+        break;
+      }
+      case 2:
+        text += std::string("filter type:") + Pick(rng, kTypes) + "\n";
+        break;
+      case 3:
+        text += std::string("filter has:") + Pick(rng, kProperties) + "\n";
+        break;
+      case 4:
+        text += std::string("filter missing:") + Pick(rng, kProperties) + "\n";
+        break;
+      case 5:
+        text += std::string("filter prop:") + Pick(rng, kProperties) + "=" +
+                Pick(rng, kPropertyValues) + "\n";
+        break;
+      case 6:
+        if (rng->Chance(0.5)) {
+          text += "sort label\n";
+        } else {
+          text += std::string("sort prop:") + Pick(rng, kProperties) + "\n";
+        }
+        break;
+      default:
+        text += "limit " + std::to_string(rng->Below(6)) + "\n";
+        break;
+    }
+  }
+  return text;
+}
+
+std::vector<std::string> Ids(const std::vector<const ModelNode*>& nodes) {
+  std::vector<std::string> ids;
+  ids.reserve(nodes.size());
+  for (const ModelNode* n : nodes) ids.push_back(n->id());
+  return ids;
+}
+
+TEST(AwbqlDifferentialTest, NativeAndXQueryBackendsAgreeOnRandomQueries) {
+  awb::Metamodel mm = awb::MakeItArchitectureMetamodel();
+  awb::GeneratorConfig config;
+  config.seed = 0xD1FFu;
+  config.users = 5;
+  config.servers = 2;
+  config.subsystems = 3;
+  config.programs = 6;
+  config.requirements = 4;
+  config.documents = 3;
+  config.violation_rate = 0.15;   // off-advice edges must round-trip too
+  config.adhoc_property_rate = 0.2;
+  awb::Model model = awb::GenerateItModel(&mm, config);
+  ASSERT_FALSE(model.nodes().empty());
+
+  XQueryBackend cached(&model, /*compile_cache_capacity=*/64);
+  XQueryBackend uncached(&model, /*compile_cache_capacity=*/0);
+
+  Rng rng(0xA5EED5EEDull);
+  constexpr int kQueries = 200;
+  int nonempty_results = 0;
+  for (int i = 0; i < kQueries; ++i) {
+    std::string text = RandomQueryText(&rng, model);
+    SCOPED_TRACE("query #" + std::to_string(i) + ":\n" + text);
+    auto query = ParseQuery(text);
+    ASSERT_TRUE(query.ok()) << query.status().ToString();
+
+    // Random focus node (queries that don't start 'from focus' ignore it).
+    const ModelNode* focus =
+        model.nodes()[rng.Below(model.nodes().size())];
+
+    auto native = EvalNative(*query, model, focus);
+    auto via_cached = cached.Eval(*query, focus);
+    auto via_uncached = uncached.Eval(*query, focus);
+
+    // The backends must agree on whether the query succeeds...
+    ASSERT_EQ(native.ok(), via_cached.ok())
+        << "native: " << native.status().ToString()
+        << "\nxquery(cached): " << via_cached.status().ToString();
+    ASSERT_EQ(native.ok(), via_uncached.ok())
+        << "native: " << native.status().ToString()
+        << "\nxquery(uncached): " << via_uncached.status().ToString();
+    if (!native.ok()) continue;
+
+    // ...and on the exact node set, in the exact canonical order.
+    std::vector<std::string> want = Ids(*native);
+    EXPECT_EQ(Ids(*via_cached), want);
+    EXPECT_EQ(Ids(*via_uncached), want);
+    if (!want.empty()) ++nonempty_results;
+  }
+
+  // The sweep must not have degenerated into all-empty answers.
+  EXPECT_GT(nonempty_results, kQueries / 4);
+
+  // Cache sanity: the uncached backend stored nothing; the cached one did
+  // all its lookups through the cache and kept the counters coherent.
+  EXPECT_EQ(uncached.cache_stats().hits, 0u);
+  CacheStats s = cached.cache_stats();
+  EXPECT_EQ(s.hits + s.misses, s.lookups);
+  // Most queries reach the compile step (a few fail Eval's preconditions --
+  // unknown start node, missing focus -- before touching the cache).
+  EXPECT_GE(s.lookups, static_cast<uint64_t>(kQueries) * 9 / 10);
+  EXPECT_LE(s.lookups, static_cast<uint64_t>(kQueries));
+}
+
+// Re-running the same queries must hit the cache and still agree with the
+// native evaluator -- i.e. a cached compile is not a stale compile.
+TEST(AwbqlDifferentialTest, CacheHitsReturnTheSameAnswers) {
+  awb::Metamodel mm = awb::MakeItArchitectureMetamodel();
+  awb::GeneratorConfig config;
+  config.seed = 99;
+  config.users = 4;
+  config.programs = 5;
+  config.documents = 2;
+  awb::Model model = awb::GenerateItModel(&mm, config);
+
+  XQueryBackend backend(&model, /*compile_cache_capacity=*/64);
+  Rng rng(424242);
+  std::vector<std::string> texts;
+  for (int i = 0; i < 20; ++i) texts.push_back(RandomQueryText(&rng, model));
+
+  for (int round = 0; round < 3; ++round) {
+    for (const std::string& text : texts) {
+      SCOPED_TRACE("round " + std::to_string(round) + ":\n" + text);
+      auto query = ParseQuery(text);
+      ASSERT_TRUE(query.ok());
+      const ModelNode* focus = model.nodes().front();
+      auto native = EvalNative(*query, model, focus);
+      auto xquery = backend.Eval(*query, focus);
+      ASSERT_EQ(native.ok(), xquery.ok());
+      if (native.ok()) EXPECT_EQ(Ids(*xquery), Ids(*native));
+    }
+  }
+  // Rounds 2 and 3 were pure hits.
+  CacheStats s = backend.cache_stats();
+  EXPECT_GE(s.hits, s.misses);
+  EXPECT_EQ(s.hits + s.misses, s.lookups);
+}
+
+}  // namespace
+}  // namespace lll::awbql

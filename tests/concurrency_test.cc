@@ -1,0 +1,294 @@
+// Concurrency stress tests, labeled `concurrency` so they can be run under
+// ThreadSanitizer (-DLLL_SANITIZE=thread) in isolation. The common pattern:
+// compute a single-threaded oracle first, hammer the same work from many
+// threads, and require byte-for-byte identical answers.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "awb/builtin_metamodels.h"
+#include "awb/generator.h"
+#include "core/thread_pool.h"
+#include "docgen/native_engine.h"
+#include "gtest/gtest.h"
+#include "xml/parser.h"
+#include "xquery/engine.h"
+#include "xquery/query_cache.h"
+
+namespace lll {
+namespace {
+
+// --- ThreadPool -------------------------------------------------------------
+
+TEST(ThreadPoolTest, ParallelForCoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> counts(kN);
+  pool.ParallelFor(kN, [&](size_t i) { counts[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(counts[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, ParallelForIsReusable) {
+  ThreadPool pool(3);
+  for (int round = 0; round < 20; ++round) {
+    std::atomic<size_t> sum{0};
+    pool.ParallelFor(100, [&](size_t i) { sum.fetch_add(i); });
+    EXPECT_EQ(sum.load(), 4950u);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroThreadPoolRunsInline) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.thread_count(), 0u);
+  std::vector<size_t> order;  // no atomics needed: everything is inline
+  pool.ParallelFor(5, [&](size_t i) { order.push_back(i); });
+  EXPECT_EQ(order, (std::vector<size_t>{0, 1, 2, 3, 4}));
+}
+
+TEST(ThreadPoolTest, SubmittedTasksAllRunBeforeDestruction) {
+  std::atomic<int> ran{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&] { ran.fetch_add(1); });
+    }
+  }  // destructor drains the queue
+  EXPECT_EQ(ran.load(), 50);
+}
+
+// --- Shared CompiledQuery, many executors -----------------------------------
+
+// The engine.h concurrency contract, enforced: one CompiledQuery, many
+// threads calling Execute, every result identical to the single-threaded one.
+TEST(SharedCompiledQueryTest, ManyThreadsManyExecutionsMatchOracle) {
+  // A query with real moving parts: construction, FLWOR, sorting, and a
+  // recursive user function -- enough to touch most evaluator state.
+  const char* kQuery = R"XQ(
+declare function local:fib($n) {
+  if ($n < 2) then $n else local:fib($n - 1) + local:fib($n - 2)
+};
+let $items := for $i in 1 to 8 order by -$i return <n v="{$i}">{local:fib($i)}</n>
+return <out>{$items}</out>
+)XQ";
+  auto compiled_result = xq::Compile(kQuery);
+  ASSERT_TRUE(compiled_result.ok()) << compiled_result.status().ToString();
+  const xq::CompiledQuery compiled = std::move(*compiled_result);
+
+  auto oracle_result = xq::Execute(compiled);
+  ASSERT_TRUE(oracle_result.ok());
+  const std::string oracle = oracle_result->SerializedItems();
+  ASSERT_FALSE(oracle.empty());
+
+  constexpr int kThreads = 8;
+  constexpr int kExecutionsPerThread = 25;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&compiled, &oracle, &failures, t] {
+      for (int i = 0; i < kExecutionsPerThread; ++i) {
+        auto r = xq::Execute(compiled);
+        if (!r.ok()) {
+          failures[t] = r.status().ToString();
+          return;
+        }
+        if (r->SerializedItems() != oracle) {
+          failures[t] = "result diverged from oracle";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], "") << "thread " << t;
+  }
+}
+
+// --- QueryCache under contention --------------------------------------------
+
+// Tiny capacity + more distinct queries than slots: every thread keeps
+// forcing evictions while the others hold live handles to evicted entries.
+TEST(QueryCacheConcurrencyTest, TinyCacheManyThreadsStaysCoherent) {
+  xq::QueryCache cache(/*capacity=*/4);
+  constexpr int kDistinctQueries = 16;
+  constexpr int kThreads = 8;
+  constexpr int kLookupsPerThread = 100;
+
+  // Query i must evaluate to i; precompute the texts.
+  std::vector<std::string> queries;
+  for (int i = 0; i < kDistinctQueries; ++i) {
+    queries.push_back("sum(1 to " + std::to_string(i) + ")");
+  }
+  std::vector<std::string> expected;
+  for (int i = 0; i < kDistinctQueries; ++i) {
+    expected.push_back(std::to_string(i * (i + 1) / 2));
+  }
+
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      // Each thread walks the query list at its own stride, so threads are
+      // always asking for different entries at the same instant.
+      for (int i = 0; i < kLookupsPerThread; ++i) {
+        int q = (i * (t + 1) + t) % kDistinctQueries;
+        auto compiled = cache.GetOrCompile(queries[q]);
+        if (!compiled.ok()) {
+          failures[t] = compiled.status().ToString();
+          return;
+        }
+        auto result = xq::Execute(**compiled);
+        if (!result.ok()) {
+          failures[t] = result.status().ToString();
+          return;
+        }
+        if (result->SerializedItems() != expected[q]) {
+          failures[t] = "query " + queries[q] + " produced " +
+                        result->SerializedItems() + ", want " + expected[q];
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], "") << "thread " << t;
+  }
+
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.lookups, uint64_t{kThreads} * kLookupsPerThread);
+  EXPECT_EQ(s.hits + s.misses, s.lookups);
+  EXPECT_LE(cache.size(), 4u);
+  EXPECT_GT(s.evictions, 0u);  // 16 queries through 4 slots must evict
+}
+
+// --- Parallel docgen --------------------------------------------------------
+
+class ParallelDocgenTest : public ::testing::Test {
+ protected:
+  ParallelDocgenTest() : mm_(awb::MakeItArchitectureMetamodel()) {
+    awb::GeneratorConfig config;
+    config.seed = 20260806;
+    config.users = 8;
+    config.servers = 3;
+    config.subsystems = 4;
+    config.programs = 10;
+    config.requirements = 6;
+    config.documents = 4;
+    model_ = std::make_unique<awb::Model>(
+        awb::GenerateItModel(&mm_, config));
+  }
+
+  awb::Metamodel mm_;
+  std::unique_ptr<awb::Model> model_;
+};
+
+// A template with one of everything the merge has to get right: multiple
+// top-level sections (toc entries from different chunks), a fan-out <for>,
+// a table of contents *before* the sections it lists, a placeholder defined
+// in one chunk and used in another, and a table of omissions at the end.
+const char kBatchTemplate[] = R"(<doc>
+<table-of-contents/>
+<placeholder name="SERVER-TABLE"><table rows="from type:Server; sort label"
+  cols="from type:Program; sort label" relation="runs" corner="server\prog"/></placeholder>
+<section heading="Users"><p>SERVER-TABLE-GOES-HERE</p></section>
+<for nodes="from type:User; sort label">
+  <section heading="About {label}"><label/>
+    <for nodes="from focus; follow likes>; sort label"><p>likes <label/></p></for>
+  </section>
+</for>
+<section heading="Programs">
+  <for nodes="from type:Program; sort label"><p><value-of property="language" default="?"/></p></for>
+</section>
+<table-of-omissions types="Document"/>
+</doc>)";
+
+TEST_F(ParallelDocgenTest, ParallelOutputIsByteIdenticalToSequential) {
+  auto doc = docgen::ParseTemplate(kBatchTemplate);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const xml::Node* root = (*doc)->DocumentElement();
+
+  auto sequential = docgen::GenerateNative(root, *model_);
+  ASSERT_TRUE(sequential.ok()) << sequential.status().ToString();
+  const std::string want = sequential->Serialized(2);
+  ASSERT_FALSE(want.empty());
+
+  // Several pool shapes, including 0 workers (inline) and more workers than
+  // a single core can run at once.
+  for (size_t workers : {size_t{0}, size_t{1}, size_t{4}, size_t{8}}) {
+    ThreadPool pool(workers);
+    auto parallel =
+        docgen::GenerateNativeParallel(root, *model_, {}, &pool);
+    ASSERT_TRUE(parallel.ok())
+        << workers << " workers: " << parallel.status().ToString();
+    EXPECT_EQ(parallel->Serialized(2), want) << workers << " workers";
+    EXPECT_EQ(parallel->stats.nodes_visited, sequential->stats.nodes_visited);
+    EXPECT_EQ(parallel->stats.toc_entries, sequential->stats.toc_entries);
+    EXPECT_EQ(parallel->stats.directives_processed,
+              sequential->stats.directives_processed);
+    EXPECT_EQ(parallel->stats.omissions_listed,
+              sequential->stats.omissions_listed);
+    EXPECT_EQ(parallel->stats.placeholders_defined,
+              sequential->stats.placeholders_defined);
+    EXPECT_EQ(parallel->stats.placeholder_replacements,
+              sequential->stats.placeholder_replacements);
+  }
+
+  // A null pool must work too (pure inline batch path).
+  auto inline_run = docgen::GenerateNativeParallel(root, *model_, {}, nullptr);
+  ASSERT_TRUE(inline_run.ok());
+  EXPECT_EQ(inline_run->Serialized(2), want);
+}
+
+TEST_F(ParallelDocgenTest, ErrorPolicyEmbedMatchesSequentially) {
+  // Missing `version` on some Documents (omission_rate > 0) plus no default
+  // makes <value-of> embed errors; the embedded errors must land in the same
+  // places in parallel mode.
+  const char* tmpl =
+      "<doc><for nodes=\"from type:Document; sort label\">"
+      "<p><value-of property=\"version\"/></p></for></doc>";
+  auto doc = docgen::ParseTemplate(tmpl);
+  ASSERT_TRUE(doc.ok());
+  docgen::GenerateOptions options;
+  options.error_policy = docgen::GenerateOptions::ErrorPolicy::kEmbed;
+
+  auto sequential =
+      docgen::GenerateNative((*doc)->DocumentElement(), *model_, options);
+  ASSERT_TRUE(sequential.ok());
+
+  ThreadPool pool(4);
+  auto parallel = docgen::GenerateNativeParallel((*doc)->DocumentElement(),
+                                                 *model_, options, &pool);
+  ASSERT_TRUE(parallel.ok());
+  EXPECT_EQ(parallel->Serialized(2), sequential->Serialized(2));
+  EXPECT_EQ(parallel->stats.errors_embedded, sequential->stats.errors_embedded);
+}
+
+TEST_F(ParallelDocgenTest, ErrorPolicyPropagateReturnsFirstErrorInOrder) {
+  // Two failing directives; the parallel engine must report the first one in
+  // document order no matter which chunk finishes first.
+  const char* tmpl =
+      "<doc><p><value-of property=\"x\"/></p>"
+      "<p><label/></p></doc>";  // both fail: no focus
+  auto doc = docgen::ParseTemplate(tmpl);
+  ASSERT_TRUE(doc.ok());
+
+  auto sequential = docgen::GenerateNative((*doc)->DocumentElement(), *model_);
+  ASSERT_FALSE(sequential.ok());
+
+  ThreadPool pool(4);
+  for (int round = 0; round < 10; ++round) {
+    auto parallel = docgen::GenerateNativeParallel((*doc)->DocumentElement(),
+                                                   *model_, {}, &pool);
+    ASSERT_FALSE(parallel.ok());
+    EXPECT_EQ(parallel.status().ToString(), sequential.status().ToString());
+  }
+}
+
+}  // namespace
+}  // namespace lll

@@ -1,0 +1,188 @@
+// The caching layer, bottom up: the generic LruCache, the compiled-XQuery
+// QueryCache, and the AWB-QL parse cache. Concurrency is exercised
+// separately in concurrency_test.cc; these tests pin down the single-thread
+// semantics -- recency order, eviction, the capacity-0 passthrough mode, and
+// the counter invariants the stats report.
+
+#include <list>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "awbql/query.h"
+#include "core/lru_cache.h"
+#include "gtest/gtest.h"
+#include "xquery/query_cache.h"
+
+namespace lll {
+namespace {
+
+std::shared_ptr<const int> Boxed(int v) {
+  return std::make_shared<const int>(v);
+}
+
+TEST(LruCacheTest, GetReturnsWhatPutStored) {
+  LruCache<int> cache(4);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  cache.Put("a", Boxed(1));
+  auto hit = cache.Get("a");
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(*hit, 1);
+  EXPECT_EQ(cache.size(), 1u);
+}
+
+TEST(LruCacheTest, EvictsLeastRecentlyUsedFirst) {
+  LruCache<int> cache(3);
+  cache.Put("a", Boxed(1));
+  cache.Put("b", Boxed(2));
+  cache.Put("c", Boxed(3));
+  // Touch "a" so "b" becomes the LRU entry.
+  ASSERT_NE(cache.Get("a"), nullptr);
+  cache.Put("d", Boxed(4));  // evicts "b"
+
+  EXPECT_EQ(cache.Get("b"), nullptr);
+  EXPECT_NE(cache.Get("a"), nullptr);
+  EXPECT_NE(cache.Get("c"), nullptr);
+  EXPECT_NE(cache.Get("d"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(LruCacheTest, KeysByRecencyTracksTouchOrder) {
+  LruCache<int> cache(3);
+  cache.Put("a", Boxed(1));
+  cache.Put("b", Boxed(2));
+  cache.Put("c", Boxed(3));
+  ASSERT_NE(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.KeysByRecency(), (std::list<std::string>{"a", "c", "b"}));
+  cache.Put("b", Boxed(20));  // overwrite refreshes recency too
+  EXPECT_EQ(cache.KeysByRecency(), (std::list<std::string>{"b", "a", "c"}));
+}
+
+TEST(LruCacheTest, HandleSurvivesEviction) {
+  LruCache<int> cache(1);
+  cache.Put("a", Boxed(7));
+  auto handle = cache.Get("a");
+  ASSERT_NE(handle, nullptr);
+  cache.Put("b", Boxed(8));  // evicts "a"
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(*handle, 7);  // still valid: eviction only drops the cache's ref
+}
+
+TEST(LruCacheTest, CapacityZeroIsPassthrough) {
+  LruCache<int> cache(0);
+  cache.Put("a", Boxed(1));
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  // Nothing stored, so nothing was ever evicted either.
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+TEST(LruCacheTest, StatsInvariantHolds) {
+  LruCache<int> cache(2);
+  cache.Put("a", Boxed(1));
+  (void)cache.Get("a");     // hit
+  (void)cache.Get("b");     // miss
+  (void)cache.Get("a");     // hit
+  (void)cache.Get("zzz");   // miss
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.lookups, 4u);
+  EXPECT_EQ(s.hits, 2u);
+  EXPECT_EQ(s.misses, 2u);
+  EXPECT_EQ(s.hits + s.misses, s.lookups);
+}
+
+TEST(LruCacheTest, ClearEmptiesWithoutCountingEvictions) {
+  LruCache<int> cache(4);
+  cache.Put("a", Boxed(1));
+  cache.Put("b", Boxed(2));
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.Get("a"), nullptr);
+  EXPECT_EQ(cache.stats().evictions, 0u);
+}
+
+// --- xq::QueryCache ---------------------------------------------------------
+
+TEST(QueryCacheTest, HitReturnsTheSameCompiledHandle) {
+  xq::QueryCache cache(8);
+  auto first = cache.GetOrCompile("1 + 2");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  auto second = cache.GetOrCompile("1 + 2");
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get());  // literally the same object
+  CacheStats s = cache.stats();
+  EXPECT_EQ(s.lookups, 2u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+}
+
+TEST(QueryCacheTest, DistinctCompileOptionsGetDistinctEntries) {
+  xq::QueryCache cache(8);
+  xq::CompileOptions optimized;   // defaults: optimize = true
+  xq::CompileOptions plain;
+  plain.optimize = false;
+  auto a = cache.GetOrCompile("1 to 5", optimized);
+  auto b = cache.GetOrCompile("1 to 5", plain);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->get(), b->get());
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_NE(xq::QueryCache::MakeKey("1 to 5", optimized),
+            xq::QueryCache::MakeKey("1 to 5", plain));
+}
+
+TEST(QueryCacheTest, CapacityZeroAlwaysRecompiles) {
+  xq::QueryCache cache(0);
+  auto a = cache.GetOrCompile("2 * 3");
+  auto b = cache.GetOrCompile("2 * 3");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NE(a->get(), b->get());  // fresh compile each time
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.stats().hits, 0u);
+  EXPECT_EQ(cache.stats().misses, 2u);
+}
+
+TEST(QueryCacheTest, CompileErrorsAreReportedAndNotCached) {
+  xq::QueryCache cache(8);
+  auto bad = cache.GetOrCompile("let $x := ");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_EQ(cache.size(), 0u);
+  // And the error is stable on retry (nothing poisoned).
+  EXPECT_FALSE(cache.GetOrCompile("let $x := ").ok());
+}
+
+TEST(QueryCacheTest, LruEvictionAcrossQueries) {
+  xq::QueryCache cache(2);
+  ASSERT_TRUE(cache.GetOrCompile("1").ok());
+  ASSERT_TRUE(cache.GetOrCompile("2").ok());
+  ASSERT_TRUE(cache.GetOrCompile("3").ok());  // evicts "1"
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  // "1" is gone: looking it up again is a miss (then a recompile).
+  uint64_t misses_before = cache.stats().misses;
+  ASSERT_TRUE(cache.GetOrCompile("1").ok());
+  EXPECT_EQ(cache.stats().misses, misses_before + 1);
+}
+
+// --- awbql::QueryParseCache -------------------------------------------------
+
+TEST(QueryParseCacheTest, ParsesOnceAndShares) {
+  awbql::QueryParseCache cache(8);
+  auto a = cache.GetOrParse("from type:User\nsort label\n");
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  auto b = cache.GetOrParse("from type:User\nsort label\n");
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->get(), b->get());
+  EXPECT_EQ((*a)->source_kind, awbql::Query::SourceKind::kType);
+  ASSERT_EQ((*a)->steps.size(), 1u);
+}
+
+TEST(QueryParseCacheTest, ParseErrorsAreNotCached) {
+  awbql::QueryParseCache cache(8);
+  EXPECT_FALSE(cache.GetOrParse("follow likes>\n").ok());  // no 'from'
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+}  // namespace
+}  // namespace lll
