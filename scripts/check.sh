@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# The one-stop pre-merge gate:
+#   1. tier-1: configure + build + full ctest in ./build
+#   2. concurrency: ThreadSanitizer build + the `concurrency`-labeled tests
+#
+# Usage: scripts/check.sh [-jN]   (default -j2)
+#
+# An AddressSanitizer preset also exists for deeper sweeps (not run here, it
+# roughly doubles the wall time):
+#   cmake --preset asan && cmake --build --preset asan -j2 && ctest --preset asan
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+JOBS="${1:--j2}"
+
+echo "== tier-1: build + full test suite (build/) =="
+cmake -B build -S . >/dev/null
+cmake --build build "${JOBS}"
+ctest --test-dir build --output-on-failure "${JOBS}"
+
+echo
+echo "== concurrency: ThreadSanitizer build + -L concurrency (build-tsan/) =="
+cmake -B build-tsan -S . -DLLL_SANITIZE=thread >/dev/null
+cmake --build build-tsan "${JOBS}"
+ctest --test-dir build-tsan -L concurrency --output-on-failure
+
+echo
+echo "All checks passed."

@@ -84,6 +84,11 @@ struct DocGenStats {
   size_t document_copies = 0;
   // XQuery engine only: evaluator steps across all phases.
   size_t eval_steps = 0;
+  // XQuery engine only: document-order normalizations across all phases --
+  // sorts actually performed vs. proven unnecessary (statically by the
+  // optimizer's order analysis or dynamically by the evaluator).
+  size_t sorts_performed = 0;
+  size_t sorts_skipped = 0;
 };
 
 struct DocGenResult {

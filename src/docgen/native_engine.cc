@@ -821,6 +821,8 @@ Result<DocGenResult> GenerateNativeParallel(const xml::Node* template_root,
     add(total.errors_embedded, item.stats.errors_embedded);
     add(total.document_copies, item.stats.document_copies);
     add(total.eval_steps, item.stats.eval_steps);
+    add(total.sorts_performed, item.stats.sorts_performed);
+    add(total.sorts_skipped, item.stats.sorts_skipped);
     main_gen.visited().insert(item.visited.begin(), item.visited.end());
     main_gen.toc().insert(main_gen.toc().end(), item.toc.begin(),
                           item.toc.end());

@@ -87,6 +87,8 @@ Result<DocGenResult> GenerateXQuery(const xml::Node* template_root,
     return Status::Internal("phase 1 did not produce a single root element");
   }
   stats.eval_steps += r1.stats.steps;
+  stats.sorts_performed += r1.stats.sorts_performed;
+  stats.sorts_skipped += r1.stats.sorts_skipped;
 
   // The intermediate arenas must outlive the phases that read them.
   std::vector<std::unique_ptr<xml::Document>> arenas;
@@ -123,6 +125,8 @@ Result<DocGenResult> GenerateXQuery(const xml::Node* template_root,
       return Status::Internal("a docgen phase did not produce a single root");
     }
     stats.eval_steps += r.stats.steps;
+    stats.sorts_performed += r.stats.sorts_performed;
+    stats.sorts_skipped += r.stats.sorts_skipped;
     // Each phase copies the entire document -- the E4 cost, counted.
     ++stats.document_copies;
     current = r.sequence.at(0).node();

@@ -18,9 +18,14 @@ bool Sequence::AnyNode() const {
   return false;
 }
 
-void Sequence::SortDocumentOrderAndDedup() {
+bool Sequence::SortDocumentOrderAndDedup(size_t* compare_count) {
+  if (ordered_deduped_ || items_.size() <= 1) {
+    ordered_deduped_ = true;
+    return false;
+  }
   std::stable_sort(items_.begin(), items_.end(),
-                   [](const Item& a, const Item& b) {
+                   [compare_count](const Item& a, const Item& b) {
+                     if (compare_count != nullptr) ++*compare_count;
                      return xml::CompareDocumentOrder(a.node(), b.node()) < 0;
                    });
   items_.erase(std::unique(items_.begin(), items_.end(),
@@ -28,6 +33,8 @@ void Sequence::SortDocumentOrderAndDedup() {
                              return a.node() == b.node();
                            }),
                items_.end());
+  ordered_deduped_ = true;
+  return true;
 }
 
 Sequence Sequence::Atomized() const {

@@ -29,10 +29,32 @@ class Sequence {
   const Item& at(size_t i) const { return items_[i]; }
   const std::vector<Item>& items() const { return items_; }
 
-  void Append(Item item) { items_.push_back(std::move(item)); }
+  void Append(Item item) {
+    items_.push_back(std::move(item));
+    ordered_deduped_ = false;
+  }
   // Concatenation -- the only way to combine sequences, and it flattens.
+  // Appending to an empty sequence preserves the other's order invariant;
+  // any other concatenation invalidates it.
   void AppendSequence(const Sequence& other) {
+    if (other.items_.empty()) return;
+    ordered_deduped_ = items_.empty() && other.ordered_deduped_;
     items_.insert(items_.end(), other.items_.begin(), other.items_.end());
+  }
+  // Move-aware overload for the path/FLWOR hot loops: steals the other
+  // sequence's storage instead of copying every Item.
+  void AppendSequence(Sequence&& other) {
+    if (other.items_.empty()) return;
+    if (items_.empty()) {
+      *this = std::move(other);
+    } else {
+      ordered_deduped_ = false;
+      items_.insert(items_.end(),
+                    std::make_move_iterator(other.items_.begin()),
+                    std::make_move_iterator(other.items_.end()));
+    }
+    other.items_.clear();
+    other.ordered_deduped_ = false;
   }
 
   // True if every item is a node.
@@ -40,9 +62,20 @@ class Sequence {
   // True if any item is a node.
   bool AnyNode() const;
 
+  // The order invariant: true means "if this is a node sequence, it is in
+  // document order with no duplicate nodes". Set by sorting (or by an
+  // evaluator that can prove the invariant statically); cleared by any
+  // mutation that could break it. Lets already-sorted sequences skip the
+  // re-sort that the flat XDM otherwise forces after every path step.
+  bool ordered_deduped() const { return ordered_deduped_; }
+  void MarkOrderedDeduped() { ordered_deduped_ = true; }
+
   // Sorts node items into document order and removes duplicate nodes.
   // Precondition: AllNodes(). Path steps and `union` produce this form.
-  void SortDocumentOrderAndDedup();
+  // No-op (returns false) when the sequence is already known-ordered or has
+  // at most one item; returns true if a sort pass actually ran. When
+  // `compare_count` is non-null it is incremented once per comparator call.
+  bool SortDocumentOrderAndDedup(size_t* compare_count = nullptr);
 
   // fn:data(): atomizes every item.
   Sequence Atomized() const;
@@ -53,6 +86,7 @@ class Sequence {
 
  private:
   std::vector<Item> items_;
+  bool ordered_deduped_ = false;
 };
 
 // The effective boolean value (XPath 2.0 rules): empty -> false; first item a

@@ -139,6 +139,7 @@ Status Node::InsertChildAt(size_t index, Node* child) {
   }
   children_.insert(children_.begin() + static_cast<ptrdiff_t>(index), child);
   child->parent_ = this;
+  document_->InvalidateOrderIndex();
   return Status::Ok();
 }
 
@@ -147,6 +148,7 @@ Status Node::RemoveChild(Node* child) {
   if (it == children_.end()) return Status::NotFound("not a child of this node");
   children_.erase(it);
   child->parent_ = nullptr;
+  document_->InvalidateOrderIndex();
   return Status::Ok();
 }
 
@@ -168,6 +170,7 @@ Status Node::ReplaceChild(Node* old_child,
                      replacement[i]);
     replacement[i]->parent_ = this;
   }
+  document_->InvalidateOrderIndex();
   return Status::Ok();
 }
 
@@ -181,6 +184,7 @@ void Node::SetAttribute(std::string_view name, std::string_view value) {
   Node* attr = document_->CreateAttribute(name, value);
   attr->parent_ = this;
   attributes_.push_back(attr);
+  document_->InvalidateOrderIndex();
 }
 
 Status Node::SetAttributeNode(Node* attr, bool keep_first) {
@@ -205,6 +209,7 @@ Status Node::SetAttributeNode(Node* attr, bool keep_first) {
   }
   attr->parent_ = this;
   attributes_.push_back(attr);
+  document_->InvalidateOrderIndex();
   return Status::Ok();
 }
 
@@ -218,6 +223,7 @@ Status Node::ForceAppendDuplicateAttribute(Node* attr) {
   if (!is_element()) return Status::Invalid("attributes only go on elements");
   attr->parent_ = this;
   attributes_.push_back(attr);
+  document_->InvalidateOrderIndex();
   return Status::Ok();
 }
 
@@ -226,6 +232,7 @@ bool Node::RemoveAttribute(std::string_view name) {
     if ((*it)->name_ == name) {
       (*it)->parent_ = nullptr;
       attributes_.erase(it);
+      document_->InvalidateOrderIndex();
       return true;
     }
   }
@@ -242,6 +249,7 @@ void Node::Detach() {
     kids.erase(std::remove(kids.begin(), kids.end(), this), kids.end());
   }
   parent_ = nullptr;
+  document_->InvalidateOrderIndex();
 }
 
 // --- Document ---------------------------------------------------------------
@@ -260,6 +268,8 @@ Node* Document::DocumentElement() const {
 Node* Document::NewNode(NodeKind kind, std::string name, std::string value) {
   nodes_.push_back(std::unique_ptr<Node>(
       new Node(this, kind, std::move(name), std::move(value))));
+  // A fresh node is a new (detached) tree root; it needs an order key too.
+  InvalidateOrderIndex();
   return nodes_.back().get();
 }
 
@@ -306,6 +316,60 @@ Node* Document::ImportNode(const Node* source) {
 
 // --- Document order ---------------------------------------------------------
 
+void Document::EnsureOrderIndex() const {
+  uint64_t version = structure_version_.load(std::memory_order_acquire);
+  if (order_index_version_.load(std::memory_order_acquire) == version) return;
+
+  std::lock_guard<std::mutex> lock(order_index_mutex_);
+  // Re-read both under the lock: another reader may have rebuilt while we
+  // waited, and (single-writer contract) the structure cannot have moved.
+  version = structure_version_.load(std::memory_order_acquire);
+  if (order_index_version_.load(std::memory_order_relaxed) == version) return;
+
+  // Stamp every tree of the forest -- the document tree plus any detached
+  // subtrees -- in root-pointer order, so intra-document cross-tree compares
+  // keep the historical "stable arbitrary order by root identity" contract.
+  std::vector<const Node*> roots;
+  for (const auto& n : nodes_) {
+    if (n->parent_ == nullptr) roots.push_back(n.get());
+  }
+  std::sort(roots.begin(), roots.end());
+
+  // Iterative preorder walk (deep trees must not exhaust the call stack):
+  // the node itself, then its attributes, then its children.
+  uint64_t next = 1;
+  std::vector<const Node*> stack;
+  for (const Node* root : roots) {
+    stack.push_back(root);
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      n->order_key_ = next++;
+      for (const Node* a : n->attributes_) a->order_key_ = next++;
+      for (auto it = n->children_.rbegin(); it != n->children_.rend(); ++it) {
+        stack.push_back(*it);
+      }
+    }
+  }
+  order_index_version_.store(version, std::memory_order_release);
+}
+
+int CompareDocumentOrder(const Node* a, const Node* b) {
+  if (a == b) return 0;
+  const Document* doc = a->document();
+  if (doc == b->document()) {
+    doc->EnsureOrderIndex();
+    return a->order_key_ < b->order_key_ ? -1 : 1;  // keys are unique
+  }
+  // Different documents: stable arbitrary order by root pointer, matching
+  // the structural comparator.
+  const Node* ra = a;
+  while (ra->parent() != nullptr) ra = ra->parent();
+  const Node* rb = b;
+  while (rb->parent() != nullptr) rb = rb->parent();
+  return ra < rb ? -1 : 1;
+}
+
 namespace {
 
 // Ancestor chain from root down to the node itself.
@@ -332,7 +396,7 @@ size_t SlotIndex(const Node* parent, const Node* child) {
 
 }  // namespace
 
-int CompareDocumentOrder(const Node* a, const Node* b) {
+int CompareDocumentOrderStructural(const Node* a, const Node* b) {
   if (a == b) return 0;
   std::vector<const Node*> pa, pb;
   AncestorPath(a, &pa);

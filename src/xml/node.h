@@ -1,8 +1,10 @@
 #ifndef LLL_XML_NODE_H_
 #define LLL_XML_NODE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
@@ -109,6 +111,7 @@ class Node {
 
  private:
   friend class Document;
+  friend int CompareDocumentOrder(const Node* a, const Node* b);
   Node(Document* doc, NodeKind kind, std::string name, std::string value)
       : document_(doc),
         kind_(kind),
@@ -124,6 +127,10 @@ class Node {
   Node* parent_ = nullptr;
   std::vector<Node*> children_;
   std::vector<Node*> attributes_;
+  // Document-order stamp, valid only while the owning Document's order index
+  // is fresh (see Document::EnsureOrderIndex). Written during index rebuilds;
+  // readers synchronize through the index version atomics.
+  mutable uint64_t order_key_ = 0;
 };
 
 // Arena that owns every Node of one tree (or forest -- detached nodes are
@@ -158,17 +165,62 @@ class Document {
   // Total number of nodes ever created in this arena (detached included).
   size_t node_count() const { return nodes_.size(); }
 
+  // --- Document-order index -------------------------------------------------
+  //
+  // Every node of the arena (detached subtrees included) carries a uint64
+  // order key: a preorder stamp with attributes slotted right after their
+  // owner element, before its children. Trees are stamped in root-pointer
+  // order, so cross-tree compares within one document keep the historical
+  // "stable arbitrary order by root identity" contract. The index is built
+  // lazily and invalidated wholesale by any structural mutation (child or
+  // attribute insertion/removal, node creation); CompareDocumentOrder is then
+  // one staleness check plus an integer compare.
+  //
+  // Thread safety: concurrent read-only users (e.g. parallel query
+  // evaluations sharing one model document) may race to build the index; the
+  // rebuild is mutex-guarded and published with release/acquire ordering, so
+  // that race is benign and TSan-clean. Mutating the document concurrently
+  // with readers is NOT safe -- same contract as for the tree itself.
+  void EnsureOrderIndex() const;
+
+  // Bumped by every structural mutation; the order index is fresh iff it was
+  // built at the current version. Exposed for tests and diagnostics.
+  uint64_t structure_version() const {
+    return structure_version_.load(std::memory_order_acquire);
+  }
+  bool order_index_fresh() const {
+    return order_index_version_.load(std::memory_order_acquire) ==
+           structure_version();
+  }
+
  private:
+  friend class Node;
   Node* NewNode(NodeKind kind, std::string name, std::string value);
+
+  void InvalidateOrderIndex() {
+    structure_version_.fetch_add(1, std::memory_order_acq_rel);
+  }
 
   std::vector<std::unique_ptr<Node>> nodes_;
   Node* root_;
+
+  std::atomic<uint64_t> structure_version_{1};
+  mutable std::atomic<uint64_t> order_index_version_{0};
+  mutable std::mutex order_index_mutex_;
 };
 
 // Document order: -1 if `a` precedes `b`, 0 if same node, +1 if follows.
 // Attribute nodes order after their owner element and before its children;
 // nodes from different trees compare by tree identity (stable, arbitrary).
+// Same-document compares go through the document's lazy order-key index
+// (amortized O(1)); cross-document compares fall back to root identity.
 int CompareDocumentOrder(const Node* a, const Node* b);
+
+// The pre-index structural comparator: an ancestor-path walk plus a linear
+// scan of the common parent's slots -- O(depth * fanout) per compare.
+// Retained as the oracle for property tests and as the benchmark baseline
+// (bench_e12); agrees with CompareDocumentOrder on every pair.
+int CompareDocumentOrderStructural(const Node* a, const Node* b);
 
 }  // namespace lll::xml
 

@@ -30,6 +30,52 @@ const char* AxisName(Axis axis) {
   return "?";
 }
 
+OrderProp MeetOrder(OrderProp a, OrderProp b) {
+  return static_cast<int>(a) < static_cast<int>(b) ? a : b;
+}
+
+OrderProp TransferOrder(OrderProp input, Axis axis) {
+  if (input == OrderProp::kNone) return OrderProp::kNone;
+  switch (axis) {
+    case Axis::kSelf:
+      // self::test filters the context node itself: a subset, in place.
+      return input;
+    case Axis::kChild:
+    case Axis::kAttribute:
+      // Disjoint ascending contexts yield disjoint ascending sibling (or
+      // attribute) groups; the results are again ancestor-free. From a
+      // merely-ordered (nested) context set, sibling groups interleave.
+      return (input == OrderProp::kSingleton ||
+              input == OrderProp::kOrderedDisjoint)
+                 ? OrderProp::kOrderedDisjoint
+                 : OrderProp::kNone;
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf:
+      // Disjoint ascending subtrees flatten to one ascending, duplicate-free
+      // run -- but the result itself is nested, so disjointness is lost.
+      return (input == OrderProp::kSingleton ||
+              input == OrderProp::kOrderedDisjoint)
+                 ? OrderProp::kOrdered
+                 : OrderProp::kNone;
+    case Axis::kFollowingSibling:
+      // Following siblings of one node are ascending and ancestor-free;
+      // sibling runs from two distinct contexts can overlap (duplicates).
+      return input == OrderProp::kSingleton ? OrderProp::kOrderedDisjoint
+                                            : OrderProp::kNone;
+    case Axis::kParent:
+      // The parent of one node is at most one node; distinct ordered
+      // contexts can share parents (duplicates) and invert order.
+      return input == OrderProp::kSingleton ? OrderProp::kSingleton
+                                            : OrderProp::kNone;
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf:
+    case Axis::kPrecedingSibling:
+      // Reverse axes: collected in reverse document order by design.
+      return OrderProp::kNone;
+  }
+  return OrderProp::kNone;
+}
+
 const char* BinOpName(BinOp op) {
   switch (op) {
     case BinOp::kOr: return "or";
@@ -140,6 +186,7 @@ ExprPtr CloneExpr(const Expr& e) {
     sc.axis = s.axis;
     sc.test = s.test;
     sc.is_filter = s.is_filter;
+    sc.statically_ordered = s.statically_ordered;
     for (const ExprPtr& p : s.predicates) sc.predicates.push_back(CloneExpr(*p));
     out->steps.push_back(std::move(sc));
   }

@@ -44,6 +44,37 @@ struct NodeTest {
   std::string name;  // for kName
 };
 
+// Static document-order property of a (node) sequence, used by the
+// optimizer's order analysis and mirrored dynamically by the evaluator. A
+// chain: each level implies everything below it.
+//
+//   kSingleton        at most one node (trivially ordered, deduped, and
+//                     ancestor-free)
+//   kOrderedDisjoint  document order, duplicate-free, and no member is an
+//                     ancestor of another (subtrees are disjoint intervals)
+//   kOrdered          document order and duplicate-free
+//   kNone             nothing proven
+//
+// The disjointness bit is what makes step-wise proofs compose: child::x from
+// an ordered-but-nested context set interleaves sibling groups out of order,
+// while from a disjoint set every context's results occupy disjoint,
+// ascending intervals.
+enum class OrderProp {
+  kNone,
+  kOrdered,
+  kOrderedDisjoint,
+  kSingleton,
+};
+
+// Property of one axis step's (concatenated, per-context-deduped) result
+// given the property of its input sequence. Reverse axes always return
+// kNone: the evaluator collects them in reverse document order and relies on
+// the normalizing sort.
+OrderProp TransferOrder(OrderProp input, Axis axis);
+
+// min() on the OrderProp chain.
+OrderProp MeetOrder(OrderProp a, OrderProp b);
+
 struct PathStep {
   Axis axis = Axis::kChild;
   NodeTest test;
@@ -53,6 +84,10 @@ struct PathStep {
   // across the sequence), unlike an axis step whose predicates count
   // positions per context item. This is how (1,2,3)[2] yields 2.
   bool is_filter = false;
+  // Set by the optimizer's order analysis: this step's result is provably in
+  // document order (and duplicate-free) when the path is evaluated step-wise
+  // with inter-step dedup, so the evaluator may skip the normalizing sort.
+  bool statically_ordered = false;
 };
 
 enum class BinOp {

@@ -90,7 +90,8 @@ Result<Sequence> Evaluator::Eval(const Expr& e) {
       Sequence out;
       for (const ExprPtr& c : e.children) {
         LLL_ASSIGN_OR_RETURN(Sequence part, Eval(*c));
-        out.AppendSequence(part);  // flattening happens here, by construction
+        // Flattening happens here, by construction.
+        out.AppendSequence(std::move(part));
       }
       return out;
     }
@@ -188,6 +189,24 @@ Result<Sequence> Evaluator::Eval(const Expr& e) {
 
 // --- Paths ----------------------------------------------------------------
 
+void Evaluator::SortDedup(Sequence* seq, bool provably_ordered) {
+  if (provably_ordered || seq->ordered_deduped() || seq->size() <= 1) {
+    seq->MarkOrderedDeduped();
+    ++stats_.sorts_skipped;
+    return;
+  }
+  seq->SortDocumentOrderAndDedup(&stats_.order_compares);
+  ++stats_.sorts_performed;
+}
+
+// Step-wise evaluation with inter-step normalization: after each axis step
+// the intermediate sequence is brought back to document order without
+// duplicates, which is exactly the precondition under which the optimizer's
+// static proof (PathStep::statically_ordered) and the dynamic OrderProp
+// tracking below are sound. The static annotation covers whole-path proofs
+// from a known source; the dynamic side upgrades on runtime evidence the
+// optimizer cannot see (singleton intermediates, sequences that already
+// carry the ordered_deduped bit).
 Result<Sequence> Evaluator::EvalPath(const Expr& e) {
   Sequence current;
   if (e.has_base) {
@@ -202,8 +221,37 @@ Result<Sequence> Evaluator::EvalPath(const Expr& e) {
     LLL_ASSIGN_OR_RETURN(Focus f, RequireFocus(e));
     current = Sequence(f.item);
   }
+  const bool tracking = options_.order_tracking;
+  OrderProp prop = OrderProp::kNone;
   for (const PathStep& step : e.steps) {
+    // Dynamic upgrades, checked against the CURRENT sequence before the step.
+    if (tracking) {
+      if (current.size() <= 1) {
+        prop = OrderProp::kSingleton;
+      } else if (prop == OrderProp::kNone && current.ordered_deduped()) {
+        prop = OrderProp::kOrdered;
+      }
+    }
+    if (step.is_filter) {
+      // Predicates select a subsequence, preserving order/dedup/disjointness.
+      LLL_ASSIGN_OR_RETURN(current,
+                           ApplyPredicates(step.predicates, current));
+      if (prop != OrderProp::kNone && current.AllNodes()) {
+        current.MarkOrderedDeduped();
+      }
+      if (current.empty()) return current;
+      continue;
+    }
     LLL_ASSIGN_OR_RETURN(current, EvalStep(step, current));
+    prop = TransferOrder(prop, step.axis);
+    if (tracking && prop == OrderProp::kNone && step.statically_ordered) {
+      prop = OrderProp::kOrdered;
+    }
+    if (current.AllNodes()) {
+      SortDedup(&current, tracking && prop != OrderProp::kNone);
+    } else {
+      prop = OrderProp::kNone;  // atomics (e.g. data-producing last step)
+    }
     if (current.empty()) return current;
   }
   return current;
@@ -309,9 +357,11 @@ Result<Sequence> Evaluator::EvalStep(const PathStep& step,
     }
     LLL_ASSIGN_OR_RETURN(Sequence filtered,
                          ApplyPredicates(step.predicates, candidates));
-    result.AppendSequence(filtered);
+    result.AppendSequence(std::move(filtered));
   }
-  if (result.AllNodes()) result.SortDocumentOrderAndDedup();
+  // Normalization (sort + dedup) happens in EvalPath, where the order
+  // analysis can prove it unnecessary; EvalStep returns the raw
+  // per-context concatenation.
   return result;
 }
 
@@ -440,9 +490,10 @@ Result<Sequence> Evaluator::EvalBinary(const Expr& e) {
       }
       Sequence out;
       if (e.op == BinOp::kUnion) {
-        out = lhs;
-        out.AppendSequence(rhs);
+        out = std::move(lhs);
+        out.AppendSequence(std::move(rhs));
       } else {
+        bool lhs_ordered = lhs.ordered_deduped();
         auto contains = [](const Sequence& seq, const xml::Node* n) {
           for (const Item& it : seq.items()) {
             if (it.node() == n) return true;
@@ -453,8 +504,10 @@ Result<Sequence> Evaluator::EvalBinary(const Expr& e) {
           bool in_rhs = contains(rhs, it.node());
           if ((e.op == BinOp::kIntersect) == in_rhs) out.Append(it);
         }
+        // Filtering an ordered-deduped lhs preserves order and dedup.
+        if (lhs_ordered) out.MarkOrderedDeduped();
       }
-      out.SortDocumentOrderAndDedup();
+      SortDedup(&out, false);
       return out;
     }
     case BinOp::kTo: {
@@ -613,7 +666,9 @@ Result<Sequence> Evaluator::EvalFlwor(const Expr& e) {
     }
     return false;
   });
-  for (size_t index : order) out.AppendSequence(tuples[index].second);
+  for (size_t index : order) {
+    out.AppendSequence(std::move(tuples[index].second));
+  }
   return out;
 }
 
@@ -624,7 +679,7 @@ Status Evaluator::EvalFlworClauses(
   if (clause_index == e.clauses.size()) {
     if (tuples == nullptr) {
       LLL_ASSIGN_OR_RETURN(Sequence value, Eval(*e.children[0]));
-      out->AppendSequence(value);
+      out->AppendSequence(std::move(value));
       return Status::Ok();
     }
     std::vector<Sequence> key_values;

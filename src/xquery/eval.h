@@ -31,6 +31,12 @@ struct EvalOptions {
   // Evaluation step budget (0 = unlimited); guards runaway recursion in
   // property tests.
   size_t max_steps = 0;
+  // Document-order tracking: when on (default), the evaluator skips the
+  // normalizing sort after a path step or set operator whenever the static
+  // order analysis or dynamic evidence (singleton input, ordered_deduped
+  // bit) proves the result already normalized. Off = sort after every step,
+  // the pre-index behavior; kept as a benchmark baseline (bench_e12).
+  bool order_tracking = true;
 };
 
 // Statistics collected during one evaluation.
@@ -39,6 +45,15 @@ struct EvalStats {
   size_t constructed_nodes = 0;  // nodes created by constructors
   size_t trace_calls = 0;        // fn:trace invocations actually executed
   size_t function_calls = 0;     // user-defined function invocations
+  // Document-order bookkeeping: path steps and set operators must yield
+  // ordered, deduplicated node sequences. `sorts_performed` counts actual
+  // sort passes; `sorts_skipped` counts normalizations proven unnecessary
+  // (statically by the optimizer's order analysis, or dynamically via the
+  // sequence's ordered_deduped bit / singleton inputs); `order_compares`
+  // counts document-order comparator calls inside performed sorts.
+  size_t sorts_performed = 0;
+  size_t sorts_skipped = 0;
+  size_t order_compares = 0;
 };
 
 // A builtin function: receives evaluated arguments.
@@ -132,6 +147,10 @@ class Evaluator {
   Result<xdm::Sequence> EvalPath(const Expr& e);
   Result<xdm::Sequence> EvalStep(const PathStep& step,
                                  const xdm::Sequence& input);
+  // Normalizes `seq` to document order without duplicates, skipping the sort
+  // (and counting the skip) when `provably_ordered` or the sequence already
+  // carries the ordered_deduped bit or is trivially small.
+  void SortDedup(xdm::Sequence* seq, bool provably_ordered);
   Result<xdm::Sequence> ApplyPredicates(const std::vector<ExprPtr>& preds,
                                         xdm::Sequence candidates);
   Result<xdm::Sequence> EvalBinary(const Expr& e);

@@ -233,7 +233,143 @@ struct Rewriter {
   }
 };
 
+// --- Order analysis ---------------------------------------------------------
+
+// True if a call to `name` with `arity` args resolves to a builtin whose
+// result is at most one item. A user-defined function of the same name/arity
+// shadows the builtin in EvalFunctionCall, so it must not exist.
+bool IsSingletonBuiltin(const Expr& e, const Module& module) {
+  std::string name = e.name;
+  if (StartsWith(name, "fn:")) name = name.substr(3);
+  if (name != "doc" && name != "root" && name != "exactly-one" &&
+      name != "zero-or-one") {
+    return false;
+  }
+  for (const FunctionDecl& fn : module.functions) {
+    if ((fn.name == e.name || fn.name == name) &&
+        fn.params.size() == e.children.size()) {
+      return false;  // shadowed by a user function of unknown cardinality
+    }
+  }
+  return true;
+}
+
+struct OrderAnalyzer {
+  const Module& module;
+  size_t annotated = 0;
+
+  OrderProp Analyze(Expr* e) {
+    switch (e->kind) {
+      case ExprKind::kLiteral:
+      case ExprKind::kTextLiteral:
+      case ExprKind::kEmptySequence:
+      case ExprKind::kContextItem:
+        // The focus is a single item by definition; literals are singletons.
+        return OrderProp::kSingleton;
+      case ExprKind::kPath:
+        return AnalyzePath(e);
+      case ExprKind::kSequence: {
+        if (e->children.size() == 1) return Analyze(e->children[0].get());
+        for (ExprPtr& c : e->children) Analyze(c.get());
+        return OrderProp::kNone;
+      }
+      case ExprKind::kIf: {
+        Analyze(e->children[0].get());
+        OrderProp then_prop = Analyze(e->children[1].get());
+        OrderProp else_prop = Analyze(e->children[2].get());
+        return MeetOrder(then_prop, else_prop);
+      }
+      case ExprKind::kTryCatch: {
+        OrderProp body = Analyze(e->children[0].get());
+        OrderProp handler = Analyze(e->children[1].get());
+        return MeetOrder(body, handler);
+      }
+      case ExprKind::kFlwor: {
+        bool iterates = false;
+        for (FlworClause& c : e->clauses) {
+          Analyze(c.expr.get());
+          if (c.kind == FlworClause::Kind::kFor) iterates = true;
+        }
+        for (OrderSpec& o : e->order_by) Analyze(o.key.get());
+        OrderProp body = Analyze(e->children[0].get());
+        // A let/where-only FLWOR evaluates its return at most once, so the
+        // body's property survives; a for-loop concatenates tuples.
+        if (!iterates && e->order_by.empty()) return body;
+        return OrderProp::kNone;
+      }
+      case ExprKind::kFunctionCall: {
+        for (ExprPtr& c : e->children) Analyze(c.get());
+        return IsSingletonBuiltin(*e, module) ? OrderProp::kSingleton
+                                              : OrderProp::kNone;
+      }
+      case ExprKind::kBinary: {
+        Analyze(e->children[0].get());
+        Analyze(e->children[1].get());
+        switch (e->op) {
+          case BinOp::kUnion:
+          case BinOp::kIntersect:
+          case BinOp::kExcept:
+            // The evaluator normalizes set-operator results.
+            return OrderProp::kOrdered;
+          case BinOp::kTo:
+            return OrderProp::kNone;  // many atomics; node order is moot
+          default:
+            return OrderProp::kSingleton;  // comparisons/arithmetic: <= 1 item
+        }
+      }
+      case ExprKind::kUnary:
+      case ExprKind::kQuantified:
+      case ExprKind::kCastAs:
+      case ExprKind::kCastableAs:
+      case ExprKind::kInstanceOf:
+      case ExprKind::kDirectElement:
+      case ExprKind::kCompElement:
+      case ExprKind::kCompAttribute:
+      case ExprKind::kCompText:
+      case ExprKind::kCompComment:
+      case ExprKind::kCompDocument: {
+        for (ExprPtr& c : e->children) Analyze(c.get());
+        for (DirectAttribute& a : e->attributes) {
+          for (ExprPtr& p : a.value_parts) Analyze(p.get());
+        }
+        return OrderProp::kSingleton;
+      }
+      case ExprKind::kVarRef:
+        // No environment tracking; the evaluator's dynamic ordered_deduped
+        // bit covers variables bound to already-normalized sequences.
+        return OrderProp::kNone;
+    }
+    return OrderProp::kNone;
+  }
+
+  OrderProp AnalyzePath(Expr* e) {
+    OrderProp prop;
+    if (e->has_base) {
+      prop = Analyze(e->children[0].get());
+    } else {
+      // Rooted paths start at the context root; relative paths start at the
+      // focus item. Either way: one node.
+      prop = OrderProp::kSingleton;
+    }
+    for (PathStep& step : e->steps) {
+      for (ExprPtr& p : step.predicates) Analyze(p.get());
+      if (step.is_filter) continue;  // a subset preserves every property
+      prop = TransferOrder(prop, step.axis);
+      step.statically_ordered = prop != OrderProp::kNone;
+      if (step.statically_ordered) ++annotated;
+    }
+    return prop;
+  }
+};
+
 }  // namespace
+
+OrderProp AnalyzeOrder(Expr* e, const Module& module, size_t* annotated) {
+  OrderAnalyzer analyzer{module};
+  OrderProp prop = analyzer.Analyze(e);
+  if (annotated != nullptr) *annotated += analyzer.annotated;
+  return prop;
+}
 
 bool IsPure(const Expr& e, const Module& module, bool recognize_trace) {
   PurityAnalyzer analyzer{module, recognize_trace, {}};
@@ -249,6 +385,19 @@ OptimizerStats Optimize(Module* module, const OptimizerOptions& options) {
     rewriter.Rewrite(var.expr.get());
   }
   rewriter.Rewrite(module->body.get());
+  if (options.order_analysis) {
+    // After rewriting: dead-let elimination can degenerate FLWORs into their
+    // bodies, which makes more paths statically analyzable.
+    for (FunctionDecl& fn : module->functions) {
+      AnalyzeOrder(fn.body.get(), *module, &rewriter.stats.ordered_steps_annotated);
+    }
+    for (VariableDecl& var : module->variables) {
+      AnalyzeOrder(var.expr.get(), *module,
+                   &rewriter.stats.ordered_steps_annotated);
+    }
+    AnalyzeOrder(module->body.get(), *module,
+                 &rewriter.stats.ordered_steps_annotated);
+  }
   return rewriter.stats;
 }
 

@@ -18,6 +18,11 @@ struct OptimizerOptions {
   bool constant_folding = true;
   bool dead_let_elimination = true;
   bool recognize_trace = false;
+  // Order analysis: annotate path steps whose results are provably in
+  // document order under step-wise evaluation (forward axes from a singleton
+  // or ordered-disjoint input), so the evaluator can skip the normalizing
+  // sort the flat XDM otherwise forces after every step.
+  bool order_analysis = true;
 };
 
 struct OptimizerStats {
@@ -26,6 +31,8 @@ struct OptimizerStats {
   // trace() calls that were inside eliminated lets -- the paper's pathology,
   // counted so E6 can report exactly how many trace outputs were swallowed.
   size_t eliminated_trace_calls = 0;
+  // Path steps proven order-preserving by the order analysis.
+  size_t ordered_steps_annotated = 0;
 };
 
 // Optimizes the module in place.
@@ -40,6 +47,16 @@ size_t CountVariableUses(const Expr& e, const std::string& name);
 
 // Number of fn:trace calls in the tree.
 size_t CountTraceCalls(const Expr& e);
+
+// The order-analysis pass, run by Optimize() when order_analysis is on.
+// Annotates PathStep::statically_ordered throughout `e` and returns the
+// static order property of e's own result. `annotated` (optional) counts the
+// steps proven ordered. Conservative: only sources whose cardinality is
+// statically known (context item, rooted paths, literals, constructors,
+// fn:doc/fn:root calls, let-only FLWORs, if/else joins) seed the proof;
+// everything else starts at kNone and the evaluator's dynamic tracking picks
+// up the slack at run time.
+OrderProp AnalyzeOrder(Expr* e, const Module& module, size_t* annotated);
 
 }  // namespace lll::xq
 

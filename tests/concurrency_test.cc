@@ -167,6 +167,107 @@ TEST(QueryCacheConcurrencyTest, TinyCacheManyThreadsStaysCoherent) {
   EXPECT_GT(s.evictions, 0u);  // 16 queries through 4 slots must evict
 }
 
+// --- Shared document-order index ---------------------------------------------
+
+// Many threads share one input document whose order-key index starts STALE;
+// every `//` query forces document-order sorts, so the threads race to
+// (re)build the index. The mutex-guarded rebuild plus release/acquire version
+// publication must make this TSan-clean and the answers identical.
+TEST(SharedDocumentOrderIndexTest, ConcurrentQueriesRebuildOnce) {
+  // A bushy document: enough nodes that sorts actually compare things.
+  std::string text = "<root>";
+  for (int i = 0; i < 40; ++i) {
+    text += "<group id='" + std::to_string(i) + "'>";
+    for (int j = 0; j < 5; ++j) text += "<leaf/>";
+    text += "</group>";
+  }
+  text += "</root>";
+  auto doc = xml::Parse(text);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+
+  // Parsing mutates structure, so the index is stale at this point.
+  ASSERT_FALSE((*doc)->order_index_fresh());
+
+  auto compiled = xq::Compile("count(//leaf) + count(//group)");
+  ASSERT_TRUE(compiled.ok()) << compiled.status().ToString();
+
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 20;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kRounds; ++i) {
+        xq::ExecuteOptions opts;
+        opts.context_node = (*doc)->root();
+        auto r = xq::Execute(*compiled, opts);
+        if (!r.ok()) {
+          failures[t] = r.status().ToString();
+          return;
+        }
+        if (r->SerializedItems() != "240") {
+          failures[t] = "got " + r->SerializedItems() + ", want 240";
+          return;
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[t], "") << "thread " << t;
+  }
+  EXPECT_TRUE((*doc)->order_index_fresh());
+}
+
+// Raw comparator hammering: threads compare random-ish node pairs directly
+// while the index is initially stale. Checksums must match a single-threaded
+// oracle pass.
+TEST(SharedDocumentOrderIndexTest, ConcurrentDirectComparesMatchOracle) {
+  xml::Document doc;
+  xml::Node* root = doc.CreateElement("r");
+  ASSERT_TRUE(doc.root()->AppendChild(root).ok());
+  std::vector<xml::Node*> nodes;
+  std::vector<xml::Node*> elems;
+  for (int i = 0; i < 64; ++i) {
+    xml::Node* e = doc.CreateElement("e");
+    xml::Node* parent =
+        (i % 3 == 0 || elems.empty()) ? root : elems[static_cast<size_t>(i / 2)];
+    ASSERT_TRUE(parent->AppendChild(e).ok());
+    e->SetAttribute("k", std::to_string(i));
+    elems.push_back(e);
+    nodes.push_back(e);
+    nodes.push_back(e->AttributeNode("k"));
+  }
+
+  auto checksum = [&nodes] {
+    long sum = 0;
+    for (size_t a = 0; a < nodes.size(); ++a) {
+      for (size_t b = a + 1; b < nodes.size(); ++b) {
+        sum += xml::CompareDocumentOrder(nodes[a], nodes[b]);
+      }
+    }
+    return sum;
+  };
+  const long oracle = checksum();
+
+  // Invalidate the index without disturbing the relative order of `nodes`:
+  // creating a (detached) node bumps the structure version but only shifts
+  // existing keys uniformly. The threads below race to rebuild.
+  doc.CreateElement("spare");
+  ASSERT_FALSE(doc.order_index_fresh());
+
+  constexpr int kThreads = 8;
+  std::vector<long> sums(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] { sums[static_cast<size_t>(t)] = checksum(); });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(sums[static_cast<size_t>(t)], oracle) << "thread " << t;
+  }
+}
+
 // --- Parallel docgen --------------------------------------------------------
 
 class ParallelDocgenTest : public ::testing::Test {

@@ -333,6 +333,18 @@ TEST_F(DocgenTest, XQueryEngineCountsPhaseCopies) {
   EXPECT_GT(result->stats.eval_steps, 0u);
 }
 
+TEST_F(DocgenTest, XQueryEngineSkipsProvenDocumentOrderSorts) {
+  // The phase programs are path-heavy (doc("...")//x chains from singleton
+  // sources); the order analysis plus dynamic tracking must prove a healthy
+  // share of their normalizing sorts unnecessary.
+  auto result = GenerateXQueryFromText(
+      "<doc><for nodes=\"from type:User; sort label\"><p><label/></p></for>"
+      "<table-of-omissions/></doc>",
+      model_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_GT(result->stats.sorts_skipped, 0u);
+}
+
 TEST_F(DocgenTest, XQueryEngineEmbedsErrorsAsValues) {
   auto result = GenerateXQueryFromText(
       "<doc><for nodes=\"from node:" + doc2_->id() + "\">"

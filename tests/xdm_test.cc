@@ -88,6 +88,78 @@ TEST(Sequence, DocumentOrderDedup) {
   EXPECT_EQ(s.at(1).node(), c);
 }
 
+TEST(Sequence, OrderedDedupedBitTracksSortState) {
+  auto doc = xml::Parse("<a><b/><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  auto* a = (*doc)->DocumentElement();
+  auto* b = a->children()[0];
+  auto* c = a->children()[1];
+
+  Sequence s;
+  s.Append(Item::NodeRef(c));
+  s.Append(Item::NodeRef(b));
+  EXPECT_FALSE(s.ordered_deduped());
+  size_t compares = 0;
+  EXPECT_TRUE(s.SortDocumentOrderAndDedup(&compares));
+  EXPECT_TRUE(s.ordered_deduped());
+  EXPECT_GT(compares, 0u);
+
+  // Second normalization is a no-op: the bit short-circuits it.
+  compares = 0;
+  EXPECT_FALSE(s.SortDocumentOrderAndDedup(&compares));
+  EXPECT_EQ(compares, 0u);
+
+  // Any append invalidates the invariant.
+  s.Append(Item::NodeRef(b));
+  EXPECT_FALSE(s.ordered_deduped());
+}
+
+TEST(Sequence, AppendSequencePropagatesOrderBitOnlyIntoEmpty) {
+  auto doc = xml::Parse("<a><b/><c/></a>");
+  ASSERT_TRUE(doc.ok());
+  auto* a = (*doc)->DocumentElement();
+
+  Sequence sorted;
+  sorted.Append(Item::NodeRef(a->children()[1]));
+  sorted.Append(Item::NodeRef(a->children()[0]));
+  sorted.SortDocumentOrderAndDedup();
+  ASSERT_TRUE(sorted.ordered_deduped());
+
+  // empty += sorted keeps the invariant (copy and move forms).
+  Sequence into_empty;
+  into_empty.AppendSequence(sorted);
+  EXPECT_TRUE(into_empty.ordered_deduped());
+
+  Sequence into_empty_mv;
+  Sequence src = sorted;
+  into_empty_mv.AppendSequence(std::move(src));
+  EXPECT_TRUE(into_empty_mv.ordered_deduped());
+  EXPECT_EQ(into_empty_mv.size(), 2u);
+
+  // nonempty += nonempty drops it.
+  Sequence both = sorted;
+  both.AppendSequence(sorted);
+  EXPECT_FALSE(both.ordered_deduped());
+  EXPECT_EQ(both.size(), 4u);
+
+  // anything += empty is a no-op and keeps it.
+  Sequence keep = sorted;
+  keep.AppendSequence(Sequence());
+  EXPECT_TRUE(keep.ordered_deduped());
+}
+
+TEST(Sequence, MoveAppendTransfersItems) {
+  Sequence dst;
+  dst.Append(Item::Integer(1));
+  Sequence src;
+  src.Append(Item::Integer(2));
+  src.Append(Item::Integer(3));
+  dst.AppendSequence(std::move(src));
+  ASSERT_EQ(dst.size(), 3u);
+  EXPECT_EQ(dst.at(2).integer_value(), 3);
+  EXPECT_TRUE(src.empty());  // moved-from source is drained
+}
+
 TEST(EffectiveBooleanValue, Rules) {
   auto ebv = [](Sequence s) { return EffectiveBooleanValue(s).value(); };
   EXPECT_FALSE(ebv(Sequence()));

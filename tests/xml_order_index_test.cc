@@ -1,0 +1,249 @@
+// Property tests for the document-order key index (Document::EnsureOrderIndex
+// + CompareDocumentOrder). The retained structural comparator
+// (CompareDocumentOrderStructural) is the oracle: the two must agree on EVERY
+// pair -- elements, text, attributes, detached subtrees, cross-document --
+// across random trees and random structural mutations, with the index going
+// stale and rebuilding mid-stream.
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "gtest/gtest.h"
+#include "xml/node.h"
+
+namespace lll::xml {
+namespace {
+
+// Every node ever created in one Document, tracked by the test (the arena
+// does not expose its node list).
+struct Forest {
+  std::unique_ptr<Document> doc = std::make_unique<Document>();
+  std::vector<Node*> all;       // every node, attached or not
+  std::vector<Node*> elements;  // elements only (mutation targets)
+
+  Forest() {
+    all.push_back(doc->root());
+  }
+
+  Node* AddElement(Rng& rng) {
+    Node* e = doc->CreateElement("e" + std::to_string(all.size()));
+    all.push_back(e);
+    elements.push_back(e);
+    AttachSomewhere(e, rng);
+    return e;
+  }
+
+  void AddText(Rng& rng) {
+    Node* t = doc->CreateText("t" + std::to_string(all.size()));
+    all.push_back(t);
+    AttachSomewhere(t, rng);
+  }
+
+  void AddAttribute(Rng& rng) {
+    if (elements.empty()) return;
+    Node* owner = elements[rng.Below(elements.size())];
+    Node* a = doc->CreateAttribute("a" + std::to_string(all.size()), "v");
+    all.push_back(a);
+    if (rng.Chance(0.8)) {
+      ASSERT_TRUE(owner->SetAttributeNode(a).ok());
+    }  // else: stays detached -- attribute nodes may live outside any element
+  }
+
+  // Attaches `n` under a random element (or the document root), or leaves it
+  // detached with some probability -- detached subtrees are first-class here.
+  void AttachSomewhere(Node* n, Rng& rng) {
+    if (rng.Chance(0.15)) return;  // detached
+    Node* parent = rng.Chance(0.1) || elements.empty()
+                       ? doc->root()
+                       : elements[rng.Below(elements.size())];
+    if (parent == n) return;
+    size_t slot = parent->children().empty()
+                      ? 0
+                      : rng.Below(parent->children().size() + 1);
+    ASSERT_TRUE(parent->InsertChildAt(slot, n).ok());
+  }
+
+  // One random structural mutation.
+  void Mutate(Rng& rng) {
+    switch (rng.Below(5)) {
+      case 0:
+        AddElement(rng);
+        break;
+      case 1:
+        AddText(rng);
+        break;
+      case 2:
+        AddAttribute(rng);
+        break;
+      case 3: {  // detach a random attached element (subtree becomes a root)
+        if (elements.empty()) break;
+        Node* victim = elements[rng.Below(elements.size())];
+        if (victim->parent() != nullptr && !victim->is_attribute()) {
+          victim->Detach();
+        }
+        break;
+      }
+      case 4: {  // re-attach a detached element under a new parent
+        std::vector<Node*> detached;
+        for (Node* e : elements) {
+          if (e->parent() == nullptr) detached.push_back(e);
+        }
+        if (detached.empty()) break;
+        Node* n = detached[rng.Below(detached.size())];
+        // Avoid creating a cycle: only attach under the document root.
+        ASSERT_TRUE(doc->root()->AppendChild(n).ok());
+        break;
+      }
+    }
+  }
+};
+
+void ExpectAllPairsAgree(const Forest& f, const std::string& where) {
+  for (Node* a : f.all) {
+    for (Node* b : f.all) {
+      int want = CompareDocumentOrderStructural(a, b);
+      int got = CompareDocumentOrder(a, b);
+      ASSERT_EQ(got, want)
+          << where << ": key comparator disagrees with structural oracle for "
+          << NodeKindName(a->kind()) << " '" << a->name() << "' vs "
+          << NodeKindName(b->kind()) << " '" << b->name() << "'";
+      // Antisymmetry holds for both by construction of the check above, but
+      // assert it explicitly once so a broken oracle cannot hide a broken key.
+      ASSERT_EQ(got, -CompareDocumentOrder(b, a)) << where;
+    }
+  }
+}
+
+TEST(OrderIndexProperty, AgreesWithStructuralOracleUnderRandomMutation) {
+  for (uint64_t seed : {1u, 7u, 20260806u, 424242u}) {
+    Rng rng(seed);
+    Forest f;
+    // Grow an initial random forest.
+    for (int i = 0; i < 60; ++i) f.Mutate(rng);
+    ExpectAllPairsAgree(f, "seed " + std::to_string(seed) + " initial");
+    // Interleave comparisons (which build the index) with mutations (which
+    // invalidate it) -- the rebuild-if-stale path must stay correct.
+    for (int round = 0; round < 8; ++round) {
+      for (int i = 0; i < 6; ++i) f.Mutate(rng);
+      ExpectAllPairsAgree(f, "seed " + std::to_string(seed) + " round " +
+                                 std::to_string(round));
+    }
+  }
+}
+
+TEST(OrderIndexProperty, AttributesSlotAfterOwnerBeforeChildren) {
+  Document doc;
+  Node* root = doc.CreateElement("r");
+  ASSERT_TRUE(doc.root()->AppendChild(root).ok());
+  root->SetAttribute("a", "1");
+  root->SetAttribute("b", "2");
+  Node* child = doc.CreateElement("c");
+  ASSERT_TRUE(root->AppendChild(child).ok());
+
+  Node* attr_a = root->AttributeNode("a");
+  Node* attr_b = root->AttributeNode("b");
+  ASSERT_NE(attr_a, nullptr);
+  ASSERT_NE(attr_b, nullptr);
+  EXPECT_EQ(CompareDocumentOrder(root, attr_a), -1);
+  EXPECT_EQ(CompareDocumentOrder(attr_a, attr_b), -1);  // insertion order
+  EXPECT_EQ(CompareDocumentOrder(attr_b, child), -1);
+  EXPECT_EQ(CompareDocumentOrder(attr_a, attr_a), 0);
+}
+
+TEST(OrderIndexProperty, DetachedSubtreeKeepsInternalOrder) {
+  Document doc;
+  Node* root = doc.CreateElement("r");
+  ASSERT_TRUE(doc.root()->AppendChild(root).ok());
+  Node* sub = doc.CreateElement("sub");
+  ASSERT_TRUE(root->AppendChild(sub).ok());
+  Node* x = doc.CreateElement("x");
+  Node* y = doc.CreateElement("y");
+  ASSERT_TRUE(sub->AppendChild(x).ok());
+  ASSERT_TRUE(sub->AppendChild(y).ok());
+
+  sub->Detach();
+  // Within the detached tree, order is still structural preorder.
+  EXPECT_EQ(CompareDocumentOrder(sub, x), -1);
+  EXPECT_EQ(CompareDocumentOrder(x, y), -1);
+  // Across trees of one document, both comparators give the same stable
+  // arbitrary answer.
+  EXPECT_EQ(CompareDocumentOrder(root, sub),
+            CompareDocumentOrderStructural(root, sub));
+  EXPECT_EQ(CompareDocumentOrder(root, y),
+            CompareDocumentOrderStructural(root, y));
+}
+
+TEST(OrderIndexProperty, CrossDocumentCompareIsStableAndAntisymmetric) {
+  Document d1, d2;
+  Node* a = d1.CreateElement("a");
+  ASSERT_TRUE(d1.root()->AppendChild(a).ok());
+  Node* b = d2.CreateElement("b");
+  ASSERT_TRUE(d2.root()->AppendChild(b).ok());
+
+  int first = CompareDocumentOrder(a, b);
+  EXPECT_NE(first, 0);
+  EXPECT_EQ(CompareDocumentOrder(b, a), -first);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(CompareDocumentOrder(a, b), first);  // stable
+  }
+  EXPECT_EQ(first, CompareDocumentOrderStructural(a, b));
+}
+
+TEST(OrderIndexProperty, MutationInvalidatesAndRebuildGivesFreshKeys) {
+  Document doc;
+  Node* root = doc.CreateElement("r");
+  ASSERT_TRUE(doc.root()->AppendChild(root).ok());
+  Node* first = doc.CreateElement("first");
+  Node* last = doc.CreateElement("last");
+  ASSERT_TRUE(root->AppendChild(first).ok());
+  ASSERT_TRUE(root->AppendChild(last).ok());
+
+  // A compare builds the index.
+  EXPECT_EQ(CompareDocumentOrder(first, last), -1);
+  EXPECT_TRUE(doc.order_index_fresh());
+
+  // Structural mutation invalidates it...
+  uint64_t version_before = doc.structure_version();
+  Node* newcomer = doc.CreateElement("newcomer");
+  ASSERT_TRUE(root->InsertChildAt(0, newcomer).ok());
+  EXPECT_FALSE(doc.order_index_fresh());
+  EXPECT_GT(doc.structure_version(), version_before);
+
+  // ...and the next compare sees the post-mutation order.
+  EXPECT_EQ(CompareDocumentOrder(newcomer, first), -1);
+  EXPECT_EQ(CompareDocumentOrder(newcomer, last), -1);
+  EXPECT_TRUE(doc.order_index_fresh());
+
+  // Moving a node mid-stream flips an already-computed answer.
+  last->Detach();
+  ASSERT_TRUE(root->InsertChildAt(0, last).ok());
+  EXPECT_EQ(CompareDocumentOrder(first, last), 1);
+}
+
+TEST(OrderIndexProperty, EveryMutationKindBumpsStructureVersion) {
+  Document doc;
+  Node* root = doc.CreateElement("r");
+  ASSERT_TRUE(doc.root()->AppendChild(root).ok());
+
+  auto bumped = [&doc](auto&& mutate) {
+    uint64_t before = doc.structure_version();
+    mutate();
+    return doc.structure_version() > before;
+  };
+
+  Node* child = nullptr;
+  EXPECT_TRUE(bumped([&] { child = doc.CreateElement("c"); }));
+  EXPECT_TRUE(bumped([&] { ASSERT_TRUE(root->AppendChild(child).ok()); }));
+  EXPECT_TRUE(bumped([&] { root->SetAttribute("k", "v"); }));
+  EXPECT_TRUE(bumped([&] { root->RemoveAttribute("k"); }));
+  EXPECT_TRUE(bumped([&] { child->Detach(); }));
+  // Pure value mutation does NOT invalidate: order is structural.
+  uint64_t before = doc.structure_version();
+  root->set_value("ignored");
+  EXPECT_EQ(doc.structure_version(), before);
+}
+
+}  // namespace
+}  // namespace lll::xml

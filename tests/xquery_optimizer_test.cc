@@ -163,6 +163,141 @@ TEST(Optimizer, CountVariableUsesRespectsShadowing) {
   EXPECT_EQ(xq::CountVariableUses(*module->body, "x"), 3u);
 }
 
+// --- Order analysis ---------------------------------------------------------
+
+TEST(OrderAnalysis, TransferOrderLattice) {
+  using xq::Axis;
+  using xq::OrderProp;
+  // Forward step-wise proofs: child/attribute keep disjointness, descendant
+  // axes lose it (a descendant set can nest), reverse axes prove nothing.
+  EXPECT_EQ(xq::TransferOrder(OrderProp::kSingleton, Axis::kChild),
+            OrderProp::kOrderedDisjoint);
+  EXPECT_EQ(xq::TransferOrder(OrderProp::kOrderedDisjoint, Axis::kChild),
+            OrderProp::kOrderedDisjoint);
+  EXPECT_EQ(xq::TransferOrder(OrderProp::kOrderedDisjoint, Axis::kAttribute),
+            OrderProp::kOrderedDisjoint);
+  EXPECT_EQ(xq::TransferOrder(OrderProp::kSingleton, Axis::kDescendant),
+            OrderProp::kOrdered);
+  EXPECT_EQ(
+      xq::TransferOrder(OrderProp::kOrderedDisjoint, Axis::kDescendantOrSelf),
+      OrderProp::kOrdered);
+  // Ordered-but-possibly-nested input proves nothing for child::—sibling
+  // groups of nested contexts interleave.
+  EXPECT_EQ(xq::TransferOrder(OrderProp::kOrdered, Axis::kChild),
+            OrderProp::kNone);
+  EXPECT_EQ(xq::TransferOrder(OrderProp::kOrdered, Axis::kDescendant),
+            OrderProp::kNone);
+  // self:: preserves whatever the input had.
+  EXPECT_EQ(xq::TransferOrder(OrderProp::kOrdered, Axis::kSelf),
+            OrderProp::kOrdered);
+  // following-sibling only composes from a singleton.
+  EXPECT_EQ(xq::TransferOrder(OrderProp::kSingleton, Axis::kFollowingSibling),
+            OrderProp::kOrderedDisjoint);
+  EXPECT_EQ(
+      xq::TransferOrder(OrderProp::kOrderedDisjoint, Axis::kFollowingSibling),
+      OrderProp::kNone);
+  // parent:: from a singleton stays a singleton.
+  EXPECT_EQ(xq::TransferOrder(OrderProp::kSingleton, Axis::kParent),
+            OrderProp::kSingleton);
+  // Reverse axes are collected in reverse document order: never proven.
+  EXPECT_EQ(xq::TransferOrder(OrderProp::kSingleton, Axis::kAncestor),
+            OrderProp::kNone);
+  EXPECT_EQ(xq::TransferOrder(OrderProp::kSingleton, Axis::kPrecedingSibling),
+            OrderProp::kNone);
+
+  EXPECT_EQ(xq::MeetOrder(OrderProp::kSingleton, OrderProp::kOrdered),
+            OrderProp::kOrdered);
+  EXPECT_EQ(xq::MeetOrder(OrderProp::kNone, OrderProp::kSingleton),
+            OrderProp::kNone);
+}
+
+TEST(OrderAnalysis, RootedChildChainIsFullyAnnotated) {
+  auto query = xq::Compile("/r/a/b");
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->optimizer_stats().ordered_steps_annotated, 3u);
+  const xq::Expr& body = *query->module().body;
+  ASSERT_EQ(body.kind, xq::ExprKind::kPath);
+  for (const xq::PathStep& s : body.steps) {
+    EXPECT_TRUE(s.statically_ordered) << xq::AxisName(s.axis);
+  }
+}
+
+TEST(OrderAnalysis, DescendantLosesDisjointnessForLaterSteps) {
+  // //x == /descendant-or-self::node()/child::x. The first step is provably
+  // ordered (singleton source) but yields a NESTED set, so the child step
+  // cannot be proven and keeps its normalizing sort.
+  auto query = xq::Compile("//x");
+  ASSERT_TRUE(query.ok());
+  const xq::Expr& body = *query->module().body;
+  ASSERT_EQ(body.kind, xq::ExprKind::kPath);
+  ASSERT_EQ(body.steps.size(), 2u);
+  EXPECT_TRUE(body.steps[0].statically_ordered);
+  EXPECT_FALSE(body.steps[1].statically_ordered);
+  EXPECT_EQ(query->optimizer_stats().ordered_steps_annotated, 1u);
+}
+
+TEST(OrderAnalysis, DisablingTheAnalysisDropsAnnotationsNotAnswers) {
+  xq::CompileOptions off;
+  off.optimizer.order_analysis = false;
+  auto query = xq::Compile("/r/a/b", off);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->optimizer_stats().ordered_steps_annotated, 0u);
+  for (const xq::PathStep& s : query->module().body->steps) {
+    EXPECT_FALSE(s.statically_ordered);
+  }
+}
+
+TEST(OrderAnalysis, EvaluatorSkipsProvenSortsAndCountsThem) {
+  auto doc = xml::Parse(
+      "<r><a><b/><b/></a><a><b/><b/></a><x/><a><b/><x/></a></r>");
+  ASSERT_TRUE(doc.ok());
+  xq::ExecuteOptions opts;
+  opts.context_node = (*doc)->root();
+
+  // Fully proven chain: every step's normalization is skipped.
+  auto query = xq::Compile("/r/a/b");
+  ASSERT_TRUE(query.ok());
+  auto r = xq::Execute(*query, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->sequence.size(), 5u);
+  EXPECT_GT(r->stats.sorts_skipped, 0u);
+  EXPECT_EQ(r->stats.sorts_performed, 0u);
+
+  // //b: the child step off the nested descendant set must really sort.
+  auto unproven = xq::Compile("//b");
+  ASSERT_TRUE(unproven.ok());
+  auto r2 = xq::Execute(*unproven, opts);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->sequence.size(), 5u);
+  EXPECT_GT(r2->stats.sorts_performed, 0u);
+  EXPECT_GT(r2->stats.order_compares, 0u);
+
+  // Same answers with the analysis off -- the sorts come back, the result
+  // sequence does not change.
+  xq::CompileOptions off;
+  off.optimizer.order_analysis = false;
+  auto baseline = xq::Compile("/r/a/b", off);
+  ASSERT_TRUE(baseline.ok());
+  auto r3 = xq::Execute(*baseline, opts);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->SerializedItems(), r->SerializedItems());
+}
+
+TEST(OrderAnalysis, UnionOfOverlappingPathsStillNormalizes) {
+  auto doc = xml::Parse("<r><a/><b/><a/><b/></r>");
+  ASSERT_TRUE(doc.ok());
+  xq::ExecuteOptions opts;
+  opts.context_node = (*doc)->root();
+  auto r = xq::Run("(//b | //a)", opts);
+  ASSERT_TRUE(r.ok());
+  // Document order restored across the two branches...
+  ASSERT_EQ(r->sequence.size(), 4u);
+  EXPECT_EQ(r->sequence.at(0).node()->name(), "a");
+  EXPECT_EQ(r->sequence.at(1).node()->name(), "b");
+  // ...which takes an actual sort.
+  EXPECT_GT(r->stats.sorts_performed, 0u);
+}
+
 TEST(TraceBehavior, TraceReturnsLastArgument) {
   // "a function which prints the first argument and returns the value of the
   // second" -- our variadic trace generalizes this.
