@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "awb/builtin_metamodels.h"
+#include "bench_util.h"
 #include "awb/generator.h"
 #include "awbql/native.h"
 #include "awbql/query.h"
@@ -205,27 +206,4 @@ BENCHMARK(BM_E5_DocgenBatch)
 
 }  // namespace
 
-// Custom main instead of BENCHMARK_MAIN(): report to the console as usual
-// AND record the full run as JSON in BENCH_e5.json (cwd), by defaulting
-// --benchmark_out if the caller didn't pass their own.
-int main(int argc, char** argv) {
-  std::vector<char*> args(argv, argv + argc);
-  std::string out_flag = "--benchmark_out=BENCH_e5.json";
-  std::string format_flag = "--benchmark_out_format=json";
-  bool has_out = false;
-  for (int i = 1; i < argc; ++i) {
-    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
-  }
-  if (!has_out) {
-    args.push_back(out_flag.data());
-    args.push_back(format_flag.data());
-  }
-  int args_count = static_cast<int>(args.size());
-  benchmark::Initialize(&args_count, args.data());
-  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
-    return 1;
-  }
-  benchmark::RunSpecifiedBenchmarks();
-  benchmark::Shutdown();
-  return 0;
-}
+LLL_BENCH_MAIN("e5")

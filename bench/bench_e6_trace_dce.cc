@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench_util.h"
 #include "benchmark/benchmark.h"
 #include "xquery/engine.h"
 
@@ -96,7 +97,5 @@ int main(int argc, char** argv) {
       "the Galax-default configuration emits 0 (the paper's pathology); the\n"
       "fixed optimizer and the no-optimizer runs emit traces*200; the\n"
       "insinuated workaround survives DCE at extra runtime cost.\n\n");
-  benchmark::Initialize(&argc, argv);
-  benchmark::RunSpecifiedBenchmarks();
-  return 0;
+  return lll::bench::RunBenchmarks("e6", argc, argv);
 }

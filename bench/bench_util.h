@@ -1,0 +1,65 @@
+#ifndef LLL_BENCH_BENCH_UTIL_H_
+#define LLL_BENCH_BENCH_UTIL_H_
+
+// Shared benchmark entry point. Replaces the per-bench hand-rolled mains
+// that all existed to do the same two things.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+
+namespace lll::bench {
+
+// Runs the registered benchmarks like BENCHMARK_MAIN(), with two additions:
+//
+//   * defaults --benchmark_out=BENCH_<name>.json (JSON format, in the cwd)
+//     so every bench leaves a machine-readable record without the caller
+//     remembering the flags; a caller-provided --benchmark_out still wins;
+//   * afterwards writes BENCH_<name>.metrics.json next to it: the global
+//     MetricsRegistry snapshot, so engine-internal counters (cache hits,
+//     sorts skipped, evaluator steps, ...) ride along with the timings.
+inline int RunBenchmarks(const std::string& name, int argc, char** argv) {
+  std::vector<char*> args(argv, argv + argc);
+  std::string out_flag = "--benchmark_out=BENCH_" + name + ".json";
+  std::string format_flag = "--benchmark_out_format=json";
+  bool has_out = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::string(argv[i]).rfind("--benchmark_out=", 0) == 0) has_out = true;
+  }
+  if (!has_out) {
+    args.push_back(out_flag.data());
+    args.push_back(format_flag.data());
+  }
+  int args_count = static_cast<int>(args.size());
+  benchmark::Initialize(&args_count, args.data());
+  if (benchmark::ReportUnrecognizedArguments(args_count, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+
+  const std::string metrics_path = "BENCH_" + name + ".metrics.json";
+  std::ofstream metrics_out(metrics_path);
+  if (metrics_out) {
+    metrics_out << GlobalMetrics().ToJson() << "\n";
+  } else {
+    std::fprintf(stderr, "bench_util: could not write %s\n",
+                 metrics_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace lll::bench
+
+// For benches with nothing to print before the run.
+#define LLL_BENCH_MAIN(name)                               \
+  int main(int argc, char** argv) {                        \
+    return lll::bench::RunBenchmarks(name, argc, argv);    \
+  }
+
+#endif  // LLL_BENCH_BENCH_UTIL_H_

@@ -5,10 +5,17 @@
 // engines -- the XQuery multi-phase pipeline and the native (Java-rewrite)
 // engine -- verifies they agree, and prints the cost comparison.
 //
-//   ./build/examples/docgen_report [output-prefix]
+//   ./build/examples/docgen_report [--explain] [--profile] [output-prefix]
 //
 // writes <prefix>-native.html and <prefix>-xquery.html (default prefix
 // "/tmp/awb-report").
+//
+//   --explain   after generation, EXPLAIN all five XQuery phase programs:
+//               optimized plans plus every rewrite decision (including the
+//               phase-2 trace() call the optimizer silently deletes) and
+//               compile-cache provenance.
+//   --profile   per-expression hot-spot report for each phase, generator
+//               trace events, and a JSON metrics snapshot.
 
 #include <cstdio>
 #include <fstream>
@@ -16,8 +23,10 @@
 
 #include "awb/builtin_metamodels.h"
 #include "awb/generator.h"
+#include "core/metrics.h"
 #include "docgen/native_engine.h"
 #include "docgen/xq_engine.h"
+#include "obs/trace_sink.h"
 #include "xml/deep_equal.h"
 
 namespace {
@@ -73,7 +82,23 @@ bool WriteFile(const std::string& path, const std::string& content) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string prefix = argc > 1 ? argv[1] : "/tmp/awb-report";
+  std::string prefix = "/tmp/awb-report";
+  bool explain = false;
+  bool profile = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--explain") {
+      explain = true;
+    } else if (arg == "--profile") {
+      profile = true;
+    } else {
+      prefix = arg;
+    }
+  }
+
+  // Generation progress and fn:trace events land here instead of a printf
+  // buffer; replayed at the end under --profile.
+  lll::obs::RingBufferTraceSink trace_sink(/*capacity=*/256);
 
   lll::awb::Metamodel metamodel = lll::awb::MakeItArchitectureMetamodel();
   lll::awb::GeneratorConfig config;
@@ -81,19 +106,27 @@ int main(int argc, char** argv) {
   config.users = 8;
   config.documents = 5;
   config.omission_rate = 0.4;
+  if (profile) config.trace_sink = &trace_sink;
   lll::awb::Model model = lll::awb::GenerateItModel(&metamodel, config);
   std::printf("model: %zu nodes, %zu relations\n", model.node_count(),
               model.relation_count());
 
-  auto native =
-      lll::docgen::GenerateNativeFromText(kSystemContextTemplate, model);
+  lll::docgen::GenerateOptions gen_options;
+  if (profile) {
+    gen_options.profile = true;
+    gen_options.trace_sink = &trace_sink;
+    gen_options.metrics = &lll::GlobalMetrics();
+  }
+
+  auto native = lll::docgen::GenerateNativeFromText(kSystemContextTemplate,
+                                                    model, gen_options);
   if (!native.ok()) {
     std::printf("native engine failed: %s\n",
                 native.status().ToString().c_str());
     return 1;
   }
-  auto xquery =
-      lll::docgen::GenerateXQueryFromText(kSystemContextTemplate, model);
+  auto xquery = lll::docgen::GenerateXQueryFromText(kSystemContextTemplate,
+                                                    model, gen_options);
   if (!xquery.ok()) {
     std::printf("xquery engine failed: %s\n",
                 xquery.status().ToString().c_str());
@@ -118,6 +151,30 @@ int main(int argc, char** argv) {
               native->stats.document_copies, xquery->stats.document_copies);
   std::printf("%-28s %12s %12zu\n", "evaluator steps", "-",
               xquery->stats.eval_steps);
+
+  if (explain) {
+    auto explained = lll::docgen::ExplainXQueryPhases();
+    if (!explained.ok()) {
+      std::printf("explain failed: %s\n",
+                  explained.status().ToString().c_str());
+      return 1;
+    }
+    std::printf("\n%s", explained->c_str());
+  }
+
+  if (profile) {
+    for (const std::string& report : xquery->phase_profiles) {
+      std::printf("\n%s", report.c_str());
+    }
+    auto events = trace_sink.Snapshot();
+    std::printf("\n== trace events (%zu, %zu dropped) ==\n", events.size(),
+                trace_sink.dropped());
+    for (const auto& event : events) {
+      std::printf("%s\n", lll::obs::FormatTraceEvent(event).c_str());
+    }
+    std::printf("\n== metrics ==\n%s\n",
+                lll::GlobalMetrics().ToJson().c_str());
+  }
 
   std::string native_path = prefix + "-native.html";
   std::string xquery_path = prefix + "-xquery.html";

@@ -7,16 +7,22 @@
 // Multi-line queries: end a line with '\' to continue.
 //
 // Special commands:
-//   :galax      toggle Galax-style error messages
-//   :noopt      toggle the optimizer (watch trace() reappear)
-//   :trace      toggle recognize_trace in the optimizer
-//   :ast QUERY  print the parsed (and optimized) expression
+//   :galax          toggle Galax-style error messages
+//   :noopt          toggle the optimizer (watch trace() reappear)
+//   :trace          toggle recognize_trace in the optimizer
+//   :ast QUERY      print the parsed (and optimized) expression
+//   :explain QUERY  EXPLAIN: optimized plan + every rewrite decision
+//   :profile        toggle the per-expression profiler (hot-spot report
+//                   after each query)
+//   :metrics        print the global metrics registry as JSON
 
 #include <cstdio>
 #include <iostream>
 #include <memory>
 #include <string>
 
+#include "core/metrics.h"
+#include "obs/explain.h"
 #include "xml/parser.h"
 #include "xquery/engine.h"
 #include "xquery/parser.h"
@@ -37,6 +43,8 @@ int main(int argc, char** argv) {
   lll::xq::CompileOptions compile_options;
   lll::xq::ExecuteOptions exec_options;
   if (context_doc != nullptr) exec_options.context_node = context_doc->root();
+  // Feed the global registry so :metrics has something to show.
+  exec_options.metrics = &lll::GlobalMetrics();
 
   std::printf("lll xquery repl -- empty line or 'quit' to exit\n");
   std::string line;
@@ -85,6 +93,27 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (line.rfind(":explain ", 0) == 0) {
+      auto compiled = lll::xq::Compile(line.substr(9), compile_options);
+      if (!compiled.ok()) {
+        std::printf("%s\n", compiled.status().ToString().c_str());
+      } else {
+        lll::obs::ExplainOptions eo;
+        eo.provenance =
+            compile_options.optimize ? "repl, optimized" : "repl, unoptimized";
+        std::printf("%s", lll::obs::Explain(*compiled, eo).c_str());
+      }
+      continue;
+    }
+    if (line == ":profile") {
+      exec_options.eval.profile = !exec_options.eval.profile;
+      std::printf("profiler: %s\n", exec_options.eval.profile ? "on" : "off");
+      continue;
+    }
+    if (line == ":metrics") {
+      std::printf("%s\n", lll::GlobalMetrics().ToJson().c_str());
+      continue;
+    }
 
     auto result = lll::xq::Run(line, exec_options, compile_options);
     if (!result.ok()) {
@@ -95,6 +124,9 @@ int main(int argc, char** argv) {
       std::printf("[trace] %s\n", trace.c_str());
     }
     std::printf("%s\n", result->SerializedItems().c_str());
+    if (result->profile != nullptr) {
+      std::printf("%s", result->profile->Render().c_str());
+    }
   }
   std::printf("\n");
   return 0;

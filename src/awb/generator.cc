@@ -40,10 +40,30 @@ void MaybeAddAdHoc(Rng* rng, double rate, ModelNode* node) {
 
 }  // namespace
 
+namespace {
+
+// Generation progress as structured events -- visible through any TraceSink
+// instead of printf lines that vanish into a buffer.
+void EmitGen(obs::TraceSink* sink, const std::string& message) {
+  if (sink == nullptr) return;
+  obs::TraceEvent event;
+  event.kind = obs::TraceEvent::Kind::kGenerator;
+  event.source = "awb.generator";
+  event.message = message;
+  sink->Emit(std::move(event));
+}
+
+}  // namespace
+
 Model GenerateItModel(const Metamodel* metamodel,
                       const GeneratorConfig& config) {
   Rng rng(config.seed);
   Model model(metamodel);
+  EmitGen(config.trace_sink,
+          "it-model: seed=" + std::to_string(config.seed) + " users=" +
+              std::to_string(config.users) + " servers=" +
+              std::to_string(config.servers) + " programs=" +
+              std::to_string(config.programs));
 
   std::vector<ModelNode*> sbd_nodes;
   if (config.include_system_being_designed) {
@@ -57,6 +77,14 @@ Model GenerateItModel(const Metamodel* metamodel,
     }
   }
   ModelNode* sbd = sbd_nodes.empty() ? nullptr : sbd_nodes[0];
+  if (sbd_nodes.empty()) {
+    EmitGen(config.trace_sink,
+            "it-model: SystemBeingDesigned omitted (misconfiguration case)");
+  } else if (sbd_nodes.size() > 1) {
+    EmitGen(config.trace_sink,
+            "it-model: " + std::to_string(sbd_nodes.size()) +
+                " SystemBeingDesigned nodes (the 'there were two' case)");
+  }
 
   std::vector<ModelNode*> users;
   for (size_t i = 0; i < config.users; ++i) {
@@ -155,6 +183,10 @@ Model GenerateItModel(const Metamodel* metamodel,
       (void)model.Connect("uses", user, programs[rng.Below(programs.size())]);
     }
   }
+  EmitGen(config.trace_sink,
+          "it-model: done, " + std::to_string(model.nodes().size()) +
+              " nodes, " + std::to_string(model.relations().size()) +
+              " relations");
   return model;
 }
 
@@ -213,6 +245,10 @@ Model GenerateGlassModel(const Metamodel* metamodel,
       (void)model.Connect("likes", collector, styles[rng.Below(styles.size())]);
     }
   }
+  EmitGen(config.trace_sink,
+          "glass-model: done, " + std::to_string(model.nodes().size()) +
+              " nodes, " + std::to_string(model.relations().size()) +
+              " relations");
   return model;
 }
 

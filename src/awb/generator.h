@@ -4,6 +4,7 @@
 #include <cstdint>
 
 #include "awb/model.h"
+#include "obs/trace_sink.h"
 
 namespace lll::awb {
 
@@ -35,6 +36,10 @@ struct GeneratorConfig {
   bool include_system_being_designed = true;
   // When > 1, extra SystemBeingDesigned nodes (the "there were two" case).
   size_t system_being_designed_count = 1;
+  // Structured progress events (kind kGenerator, source "awb.generator") are
+  // emitted here when set: one per generation phase plus a final summary.
+  // Borrowed; must outlive the call.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 // Generates an IT-architecture model. `metamodel` must be (compatible with)
@@ -48,6 +53,8 @@ struct GlassGeneratorConfig {
   size_t makers = 6;
   size_t styles = 4;
   size_t collectors = 5;
+  // As in GeneratorConfig: generation progress events, when set.
+  obs::TraceSink* trace_sink = nullptr;
 };
 Model GenerateGlassModel(const Metamodel* metamodel,
                          const GlassGeneratorConfig& config);

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "core/metrics.h"
+
 namespace lll::awbql {
 
 using awb::Model;
@@ -12,6 +14,10 @@ using awb::RelationObject;
 Result<std::vector<const ModelNode*>> EvalNative(const Query& query,
                                                  const Model& model,
                                                  const ModelNode* focus) {
+  // Static handle: the registry's name lookup happens once, every eval pays
+  // one relaxed atomic add.
+  static Counter& evals = GlobalMetrics().counter("awbql.native.evals");
+  evals.Increment();
   std::vector<const ModelNode*> current;
 
   switch (query.source_kind) {

@@ -2,6 +2,7 @@
 
 #include "awb/xml_io.h"
 #include "core/string_util.h"
+#include "obs/explain.h"
 #include "xml/parser.h"
 
 namespace lll::awbql {
@@ -160,6 +161,19 @@ std::string XQueryBackend::CompileToXQuery(const Query& query) const {
   return out;
 }
 
+Result<std::string> XQueryBackend::Explain(const Query& query) {
+  std::string program = CompileToXQuery(query);
+  bool cache_hit = false;
+  LLL_ASSIGN_OR_RETURN(std::shared_ptr<const xq::CompiledQuery> compiled,
+                       compile_cache_.GetOrCompile(program, {}, &cache_hit));
+  obs::ExplainOptions explain_opts;
+  explain_opts.provenance =
+      cache_hit ? "compile cache hit" : "compile cache miss (compiled)";
+  std::string out = "-- calculus: " + QueryToText(query) + "\n";
+  out += obs::Explain(*compiled, explain_opts);
+  return out;
+}
+
 Result<std::vector<const awb::ModelNode*>> XQueryBackend::Eval(
     const Query& query, const awb::ModelNode* focus) {
   if (metamodel_doc_ == nullptr) {
@@ -183,10 +197,19 @@ Result<std::vector<const awb::ModelNode*>> XQueryBackend::Eval(
     opts.variables["focus-id"] =
         xdm::Sequence(xdm::Item::String(focus->id()));
   }
+  bool cache_hit = false;
   LLL_ASSIGN_OR_RETURN(std::shared_ptr<const xq::CompiledQuery> compiled,
-                       compile_cache_.GetOrCompile(program));
+                       compile_cache_.GetOrCompile(program, {}, &cache_hit));
+  opts.metrics = metrics_;
   LLL_ASSIGN_OR_RETURN(xq::QueryResult result, xq::Execute(*compiled, opts));
   last_stats_ = result.stats;
+  if (metrics_ != nullptr) {
+    metrics_->counter("awbql.xquery.evals").Increment();
+    metrics_->counter(cache_hit ? "awbql.xquery.compile_cache_hits"
+                                : "awbql.xquery.compile_cache_misses")
+        .Increment();
+    compile_cache_.ExportTo(metrics_, "awbql.xquery.cache");
+  }
   std::vector<const awb::ModelNode*> nodes;
   nodes.reserve(result.sequence.size());
   for (const xdm::Item& item : result.sequence.items()) {

@@ -49,11 +49,20 @@ class XQueryBackend {
   // The generated XQuery program (exposed for tests and the curious).
   std::string CompileToXQuery(const Query& query) const;
 
+  // EXPLAIN for a calculus query: compiles it (through the cache) and
+  // renders the optimized XQuery plan with rewrite annotations and cache
+  // provenance (obs::Explain).
+  Result<std::string> Explain(const Query& query);
+
   // Stats from the most recent Eval (evaluation steps, function calls).
   const xq::EvalStats& last_stats() const { return last_stats_; }
 
   // Compile-cache counters (hits mean an Eval skipped recompilation).
   CacheStats cache_stats() const { return compile_cache_.stats(); }
+
+  // When set, every Eval records counters/timings under "awbql.xquery." and
+  // the compile cache exports its hit/miss gauges. Borrowed.
+  void set_metrics(MetricsRegistry* metrics) { metrics_ = metrics; }
 
  private:
   const awb::Model* model_;
@@ -61,6 +70,7 @@ class XQueryBackend {
   std::unique_ptr<xml::Document> metamodel_doc_;
   xq::QueryCache compile_cache_;
   xq::EvalStats last_stats_;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace lll::awbql

@@ -6,7 +6,9 @@
 #include <vector>
 
 #include "awb/model.h"
+#include "core/metrics.h"
 #include "core/result.h"
+#include "obs/trace_sink.h"
 #include "xml/node.h"
 
 namespace lll::docgen {
@@ -67,6 +69,16 @@ struct GenerateOptions {
   ErrorPolicy error_policy = ErrorPolicy::kPropagate;
   // Initial focus node id (optional; "" = no focus until the first <for>).
   std::string initial_focus_id;
+  // XQuery engine: per-expression profiling of every phase program; the
+  // reports land in DocGenResult::phase_profiles.
+  bool profile = false;
+  // XQuery engine: fn:trace events from the phase programs go here (in
+  // addition to each phase's trace_output buffer). Borrowed.
+  obs::TraceSink* trace_sink = nullptr;
+  // Both engines: generation counters and phase wall-time histograms are
+  // recorded here when set (metric names under "docgen."). Borrowed;
+  // typically &GlobalMetrics().
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct DocGenStats {
@@ -89,6 +101,9 @@ struct DocGenStats {
   // optimizer's order analysis or dynamically by the evaluator).
   size_t sorts_performed = 0;
   size_t sorts_skipped = 0;
+  // XQuery engine only: wall time per phase (microseconds), phases in run
+  // order. Empty for the native engine (it has no phases).
+  std::vector<uint64_t> phase_us;
 };
 
 struct DocGenResult {
@@ -97,6 +112,9 @@ struct DocGenResult {
   // The produced root element (inside `document`).
   xml::Node* root = nullptr;
   DocGenStats stats;
+  // Rendered hot-spot reports, one per phase, when GenerateOptions::profile
+  // was set (XQuery engine only).
+  std::vector<std::string> phase_profiles;
 
   std::string Serialized(int indent = 0) const;
 };

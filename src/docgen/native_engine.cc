@@ -698,6 +698,9 @@ Result<DocGenResult> GenerateNative(const xml::Node* template_root,
   if (template_root == nullptr || !template_root->is_element()) {
     return Status::Invalid("template root must be an element");
   }
+  if (options.metrics != nullptr) {
+    options.metrics->counter("docgen.native.generations").Increment();
+  }
   DocGenResult result;
   result.document = std::make_unique<xml::Document>();
   Generator generator(model, options, result.document.get());

@@ -1,9 +1,11 @@
 #include "docgen/xq_engine.h"
 
+#include <chrono>
 #include <vector>
 
 #include "awb/xml_io.h"
 #include "docgen/xq_programs.h"
+#include "obs/explain.h"
 #include "xml/parser.h"
 #include "xquery/engine.h"
 #include "xquery/query_cache.h"
@@ -20,11 +22,17 @@ xq::QueryCache& PhaseProgramCache() {
   return cache;
 }
 
-Result<xq::QueryResult> RunCached(const std::string& program,
-                                  const xq::ExecuteOptions& opts) {
-  LLL_ASSIGN_OR_RETURN(std::shared_ptr<const xq::CompiledQuery> compiled,
-                       PhaseProgramCache().GetOrCompile(program));
-  return xq::Execute(*compiled, opts);
+struct PhaseSpec {
+  const char* name;
+  const std::string* program;
+};
+
+std::vector<PhaseSpec> AllPhases() {
+  return {{"phase1-interpret", &Phase1InterpretProgram()},
+          {"phase2-omissions", &Phase2OmissionsProgram()},
+          {"phase3-toc", &Phase3TocProgram()},
+          {"phase4-placeholders", &Phase4PlaceholdersProgram()},
+          {"phase5-strip", &Phase5StripProgram()}};
 }
 
 // Counts descendant elements with a given name (stats extraction from the
@@ -73,6 +81,37 @@ Result<DocGenResult> GenerateXQuery(const xml::Node* template_root,
                  {.strip_insignificant_whitespace = true}));
 
   DocGenStats stats;
+  std::vector<std::string> phase_profiles;
+
+  // Compiles (cached) and runs one phase, timing it and routing the caller's
+  // observability options (profiler, trace sink, metrics) into the engine.
+  auto run_phase = [&](const char* name, const std::string& program,
+                       xq::ExecuteOptions& opts) -> Result<xq::QueryResult> {
+    opts.eval.profile = options.profile;
+    opts.eval.trace_sink = options.trace_sink;
+    opts.metrics = options.metrics;
+    const auto started = std::chrono::steady_clock::now();
+    LLL_ASSIGN_OR_RETURN(std::shared_ptr<const xq::CompiledQuery> compiled,
+                         PhaseProgramCache().GetOrCompile(program));
+    LLL_ASSIGN_OR_RETURN(xq::QueryResult r, xq::Execute(*compiled, opts));
+    const uint64_t us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - started)
+            .count());
+    stats.phase_us.push_back(us);
+    if (options.metrics != nullptr) {
+      options.metrics
+          ->histogram(std::string("docgen.xq.phase_us.") + name)
+          .Observe(us);
+    }
+    if (options.profile && r.profile != nullptr) {
+      phase_profiles.push_back(std::string("== ") + name + " ==\n" +
+                               r.profile->Render());
+    }
+    return r;
+  };
+
+  const std::vector<PhaseSpec> phases = AllPhases();
 
   // Phase 1: interpret the template.
   xq::ExecuteOptions phase1;
@@ -81,8 +120,9 @@ Result<DocGenResult> GenerateXQuery(const xml::Node* template_root,
   phase1.documents["metamodel"] = metamodel_doc->root();
   phase1.variables["initial-focus-id"] =
       xdm::Sequence(xdm::Item::String(options.initial_focus_id));
-  LLL_ASSIGN_OR_RETURN(xq::QueryResult r1,
-                       RunCached(Phase1InterpretProgram(), phase1));
+  LLL_ASSIGN_OR_RETURN(
+      xq::QueryResult r1,
+      run_phase(phases[0].name, *phases[0].program, phase1));
   if (r1.sequence.size() != 1 || !r1.sequence.at(0).is_node()) {
     return Status::Internal("phase 1 did not produce a single root element");
   }
@@ -103,24 +143,17 @@ Result<DocGenResult> GenerateXQuery(const xml::Node* template_root,
   // count lives in the interpreter, which has no side channel to report it
   // (the paper's observability complaint, live and well). Leave it at 0.
 
-  struct Phase {
-    const std::string* program;
-    bool needs_model;
-  };
-  const Phase phases[] = {
-      {&Phase2OmissionsProgram(), true},
-      {&Phase3TocProgram(), false},
-      {&Phase4PlaceholdersProgram(), false},
-      {&Phase5StripProgram(), false},
-  };
-  for (const Phase& phase : phases) {
+  for (size_t i = 1; i < phases.size(); ++i) {
+    // Only phase 2 (omissions) reads the model and metamodel again.
+    const bool needs_model = (i == 1);
     xq::ExecuteOptions opts;
     opts.documents["doc"] = current;
-    if (phase.needs_model) {
+    if (needs_model) {
       opts.documents["model"] = model_doc->root();
       opts.documents["metamodel"] = metamodel_doc->root();
     }
-    LLL_ASSIGN_OR_RETURN(xq::QueryResult r, RunCached(*phase.program, opts));
+    LLL_ASSIGN_OR_RETURN(xq::QueryResult r,
+                         run_phase(phases[i].name, *phases[i].program, opts));
     if (r.sequence.size() != 1 || !r.sequence.at(0).is_node()) {
       return Status::Internal("a docgen phase did not produce a single root");
     }
@@ -141,6 +174,11 @@ Result<DocGenResult> GenerateXQuery(const xml::Node* template_root,
     }
   }
 
+  if (options.metrics != nullptr) {
+    options.metrics->counter("docgen.xq.generations").Increment();
+    PhaseProgramCache().ExportTo(options.metrics, "docgen.xq.cache");
+  }
+
   DocGenResult result;
   // Keep only the final arena alive: re-import the finished tree into a
   // fresh document so the intermediate arenas (and their whole-document
@@ -151,6 +189,7 @@ Result<DocGenResult> GenerateXQuery(const xml::Node* template_root,
   NormalizeTextNodes(root);
   result.root = root;
   result.stats = stats;
+  result.phase_profiles = std::move(phase_profiles);
   return result;
 }
 
@@ -159,6 +198,22 @@ Result<DocGenResult> GenerateXQueryFromText(const std::string& template_xml,
                                             const GenerateOptions& options) {
   LLL_ASSIGN_OR_RETURN(auto doc, ParseTemplate(template_xml));
   return GenerateXQuery(doc->DocumentElement(), model, options);
+}
+
+Result<std::string> ExplainXQueryPhases() {
+  std::string out;
+  for (const PhaseSpec& phase : AllPhases()) {
+    bool cache_hit = false;
+    LLL_ASSIGN_OR_RETURN(
+        std::shared_ptr<const xq::CompiledQuery> compiled,
+        PhaseProgramCache().GetOrCompile(*phase.program, {}, &cache_hit));
+    obs::ExplainOptions eo;
+    eo.provenance = std::string(phase.name) + ", " +
+                    (cache_hit ? "compile cache hit" : "compiled fresh");
+    out += obs::Explain(*compiled, eo);
+    out += "\n";
+  }
+  return out;
 }
 
 }  // namespace lll::docgen

@@ -28,6 +28,14 @@ Result<DocGenResult> GenerateXQueryFromText(const std::string& template_xml,
                                             const awb::Model& model,
                                             const GenerateOptions& options = {});
 
+// EXPLAINs all five phase programs: compiles each through the shared phase
+// cache and renders its optimized plan with every rewrite decision annotated
+// (dead-let eliminations, swallowed trace() calls, order-analysis verdicts)
+// and compile-cache provenance. Phase 2 is the interesting one: it contains a
+// deliberately dead `let $dbg := trace(...)` that the default optimizer
+// deletes -- the paper's vanished-printf pathology, made visible.
+Result<std::string> ExplainXQueryPhases();
+
 }  // namespace lll::docgen
 
 #endif  // LLL_DOCGEN_XQ_ENGINE_H_

@@ -369,9 +369,17 @@ return
   }
 )XQ";
 
+// The $dbg trace let below is the paper's pathology, planted in production
+// code on purpose: it is dead (unused, "pure" to the default optimizer), so
+// Galax-style DCE deletes it -- and the trace call with it. EXPLAIN on this
+// phase shows the removal; compiling with recognize_trace=true delivers the
+// event instead. The phase output is identical either way (trace returns its
+// last argument, which nothing consumes), so differential tests are
+// unaffected.
 constexpr char kPhase2Body[] = R"XQ(
 declare function local:omissions-list($marker) {
   let $visited := doc("doc")//VISITED/@node-id
+  let $dbg := trace("omissions-list: visited =", count($visited))
   let $types := if (empty($marker/@types)) then ()
                 else tokenize(string($marker/@types), ",")
   return

@@ -1,0 +1,37 @@
+#ifndef LLL_OBS_EXPLAIN_H_
+#define LLL_OBS_EXPLAIN_H_
+
+#include <string>
+
+#include "xquery/engine.h"
+
+namespace lll::obs {
+
+// EXPLAIN: pretty-print a compiled query's optimized plan with every rewrite
+// decision annotated. The paper's users had no way to learn that the
+// optimizer had deleted their trace() calls or why a query re-sorted after
+// every step; this renders exactly that information:
+//
+//   == plan ==            indented optimized AST; path steps the order
+//                         analysis proved sort-free carry [ordered]
+//   == rewrites ==        one line per optimizer decision (constant folds,
+//                         dead lets, swallowed traces, ordered steps), each
+//                         with its source line:col
+//   == summary ==         aggregate optimizer stats
+struct ExplainOptions {
+  // Where the compiled query came from, shown in the header when nonempty:
+  // e.g. "cache hit" / "cache miss (compiled)".
+  std::string provenance;
+  // Cap on rendered plan depth; deeper subtrees elide to "...".
+  size_t max_depth = 32;
+};
+
+std::string Explain(const xq::CompiledQuery& query,
+                    const ExplainOptions& options = {});
+
+// Renders just the plan tree of one expression (test hook / REPL :ast).
+std::string ExplainExpr(const xq::Expr& expr, size_t max_depth = 32);
+
+}  // namespace lll::obs
+
+#endif  // LLL_OBS_EXPLAIN_H_

@@ -1,0 +1,96 @@
+#include "obs/profiler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace lll::obs {
+
+void Profiler::Enter(const void* site,
+                     const std::function<std::string()>& label) {
+  auto [it, inserted] = sites_.try_emplace(site);
+  if (inserted && label) it->second.label = label();
+  ++it->second.active;
+  stack_.push_back(Frame{&it->second, std::chrono::steady_clock::now(), 0});
+}
+
+void Profiler::Exit(uint64_t items) {
+  Frame frame = stack_.back();
+  stack_.pop_back();
+  uint64_t total = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - frame.start)
+          .count());
+  SiteStats* s = frame.site;
+  ++s->calls;
+  s->items += items;
+  --s->active;
+  // Only the outermost frame of a recursive site charges inclusive time;
+  // inner frames would double-count it.
+  if (s->active == 0) s->total_ns += total;
+  uint64_t self = total > frame.child_ns ? total - frame.child_ns : 0;
+  s->self_ns += self;
+  if (!stack_.empty()) {
+    stack_.back().child_ns += total;
+  } else {
+    wall_ns_ += total;
+  }
+}
+
+ProfileReport Profiler::TakeReport() {
+  ProfileReport report;
+  report.wall_ns = wall_ns_;
+  report.entries.reserve(sites_.size());
+  for (auto& [site, s] : sites_) {
+    (void)site;
+    ProfileEntry e;
+    e.label = std::move(s.label);
+    e.calls = s.calls;
+    e.total_ns = s.total_ns;
+    e.self_ns = s.self_ns;
+    e.items = s.items;
+    report.entries.push_back(std::move(e));
+  }
+  std::sort(report.entries.begin(), report.entries.end(),
+            [](const ProfileEntry& a, const ProfileEntry& b) {
+              return a.self_ns > b.self_ns;
+            });
+  sites_.clear();
+  wall_ns_ = 0;
+  return report;
+}
+
+double ProfileReport::Coverage() const {
+  if (wall_ns == 0) return 0.0;
+  uint64_t self_sum = 0;
+  for (const ProfileEntry& e : entries) self_sum += e.self_ns;
+  return static_cast<double>(self_sum) / static_cast<double>(wall_ns);
+}
+
+std::string ProfileReport::Render(size_t top_n) const {
+  std::string out;
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "profile: wall %.3f ms, %zu sites, self-time coverage %.1f%%\n",
+                static_cast<double>(wall_ns) / 1e6, entries.size(),
+                Coverage() * 100.0);
+  out += buf;
+  out += "  self(ms)  total(ms)      calls      items  site\n";
+  size_t shown = 0;
+  for (const ProfileEntry& e : entries) {
+    if (shown++ >= top_n) {
+      std::snprintf(buf, sizeof(buf), "  ... %zu more sites\n",
+                    entries.size() - top_n);
+      out += buf;
+      break;
+    }
+    std::snprintf(buf, sizeof(buf), "  %8.3f  %9.3f %10llu %10llu  %s\n",
+                  static_cast<double>(e.self_ns) / 1e6,
+                  static_cast<double>(e.total_ns) / 1e6,
+                  static_cast<unsigned long long>(e.calls),
+                  static_cast<unsigned long long>(e.items), e.label.c_str());
+    out += buf;
+  }
+  return out;
+}
+
+}  // namespace lll::obs

@@ -1,5 +1,7 @@
 #include "xquery/engine.h"
 
+#include <chrono>
+
 #include "xquery/parser.h"
 
 namespace lll::xq {
@@ -44,7 +46,36 @@ Result<QueryResult> Execute(const CompiledQuery& query,
     context.SetContextItem(xdm::Item::NodeRef(options.context_node));
   }
   Evaluator evaluator(query.module(), &context, options.eval);
+  // Profiling and metrics both need a clock; the plain path takes neither.
+  const bool timed = options.eval.profile || options.metrics != nullptr;
+  obs::Profiler profiler;
+  if (options.eval.profile) evaluator.set_profiler(&profiler);
+  std::chrono::steady_clock::time_point start;
+  if (timed) start = std::chrono::steady_clock::now();
   Result<xdm::Sequence> value = evaluator.Run();
+  if (options.metrics != nullptr) {
+    uint64_t us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    const EvalStats& stats = evaluator.stats();
+    options.metrics->counter("xq.executions").Increment();
+    options.metrics->histogram("xq.execute_us").Observe(us);
+    options.metrics->counter("xq.eval.steps").Increment(stats.steps);
+    options.metrics->counter("xq.eval.constructed_nodes")
+        .Increment(stats.constructed_nodes);
+    options.metrics->counter("xq.eval.trace_calls")
+        .Increment(stats.trace_calls);
+    options.metrics->counter("xq.eval.function_calls")
+        .Increment(stats.function_calls);
+    options.metrics->counter("xq.eval.sorts_performed")
+        .Increment(stats.sorts_performed);
+    options.metrics->counter("xq.eval.sorts_skipped")
+        .Increment(stats.sorts_skipped);
+    options.metrics->counter("xq.eval.order_compares")
+        .Increment(stats.order_compares);
+    if (!value.ok()) options.metrics->counter("xq.errors").Increment();
+  }
   if (!value.ok()) {
     return value.status();
   }
@@ -53,6 +84,10 @@ Result<QueryResult> Execute(const CompiledQuery& query,
   result.trace_output = std::move(context.trace_output());
   result.stats = evaluator.stats();
   result.arena = context.ReleaseArena();
+  if (options.eval.profile) {
+    result.profile =
+        std::make_unique<obs::ProfileReport>(profiler.TakeReport());
+  }
   return result;
 }
 

@@ -6,7 +6,9 @@
 #include <string>
 #include <string_view>
 
+#include "core/metrics.h"
 #include "core/result.h"
+#include "obs/profiler.h"
 #include "xml/serializer.h"
 #include "xquery/ast.h"
 #include "xquery/eval.h"
@@ -70,6 +72,9 @@ struct ExecuteOptions {
   // Documents reachable via fn:doc("name").
   std::map<std::string, xml::Node*> documents;
   EvalOptions eval;
+  // When set, Execute() records execution counters and wall-time histograms
+  // here (metric names under "xq."). Borrowed; typically &GlobalMetrics().
+  MetricsRegistry* metrics = nullptr;
 };
 
 struct QueryResult {
@@ -79,6 +84,8 @@ struct QueryResult {
   std::unique_ptr<xml::Document> arena;
   std::vector<std::string> trace_output;
   EvalStats stats;
+  // Hot-spot report, present iff ExecuteOptions::eval.profile was set.
+  std::unique_ptr<obs::ProfileReport> profile;
 
   // XQuery-style serialization of the result sequence: nodes as XML,
   // atomics as their string forms, adjacent atomics separated by a space.

@@ -4,12 +4,64 @@
 #include <cmath>
 
 #include "core/string_util.h"
+#include "obs/profiler.h"
+#include "obs/trace_sink.h"
 #include "xdm/compare.h"
 
 namespace lll::xq {
 
 using xdm::Item;
 using xdm::Sequence;
+
+namespace {
+
+// Where an error/trace/profile record points: " at line L, column C", or
+// nothing when the parser had no position (synthesized expressions).
+std::string LocationSuffix(const Expr& e) {
+  if (e.line == 0) return std::string();
+  return " at line " + std::to_string(e.line) + ", column " +
+         std::to_string(e.col);
+}
+
+// Profiler site label: kind, salient detail, source position.
+std::string DescribeSite(const Expr& e) {
+  std::string out = ExprKindName(e.kind);
+  switch (e.kind) {
+    case ExprKind::kFunctionCall:
+      out += " " + e.name;
+      break;
+    case ExprKind::kVarRef:
+      out += " $" + e.name;
+      break;
+    case ExprKind::kBinary:
+      out += std::string(" ") + BinOpName(e.op);
+      break;
+    case ExprKind::kPath:
+      if (!e.steps.empty()) {
+        out += " ";
+        for (size_t i = 0; i < e.steps.size() && i < 3; ++i) {
+          out += "/";
+          out += e.steps[i].test.kind == NodeTestKind::kName
+                     ? e.steps[i].test.name
+                     : "*";
+        }
+        if (e.steps.size() > 3) out += "/...";
+      }
+      break;
+    case ExprKind::kDirectElement:
+    case ExprKind::kCompElement:
+      if (!e.name.empty()) out += " <" + e.name + ">";
+      break;
+    default:
+      break;
+  }
+  if (e.line != 0) {
+    out += " (" + std::to_string(e.line) + ":" + std::to_string(e.col) + ")";
+  }
+  return out;
+}
+
+}  // namespace
 
 // --- DynamicContext -----------------------------------------------------
 
@@ -69,7 +121,33 @@ Result<Sequence> Evaluator::Run() {
   return Eval(*module_.body);
 }
 
+void Evaluator::Trace(std::string line) {
+  ++stats_.trace_calls;
+  if (options_.trace_sink != nullptr) {
+    obs::TraceEvent event;
+    event.kind = obs::TraceEvent::Kind::kTrace;
+    event.source = "fn:trace";
+    event.message = line;
+    if (builtin_call_site_ != nullptr) {
+      event.line = builtin_call_site_->line;
+      event.col = builtin_call_site_->col;
+    }
+    options_.trace_sink->Emit(std::move(event));
+  }
+  ctx_->trace_output_.push_back(std::move(line));
+}
+
 Result<Sequence> Evaluator::Eval(const Expr& e) {
+  // The profile=false hot path must stay one pointer test away from the raw
+  // dispatch -- bench_e5/e12 guard this.
+  if (profiler_ == nullptr) return EvalInner(e);
+  obs::Profiler::Scope scope(profiler_, &e, [&e] { return DescribeSite(e); });
+  Result<Sequence> result = EvalInner(e);
+  if (result.ok()) scope.set_items(result->size());
+  return result;
+}
+
+Result<Sequence> Evaluator::EvalInner(const Expr& e) {
   LLL_RETURN_IF_ERROR(StepBudget());
   switch (e.kind) {
     case ExprKind::kLiteral:
@@ -242,7 +320,12 @@ Result<Sequence> Evaluator::EvalPath(const Expr& e) {
       if (current.empty()) return current;
       continue;
     }
-    LLL_ASSIGN_OR_RETURN(current, EvalStep(step, current));
+    Result<Sequence> stepped = EvalStep(step, current);
+    if (!stepped.ok()) {
+      Status st = stepped.status();
+      return st.AddContext("in path expression" + LocationSuffix(e));
+    }
+    current = std::move(*stepped);
     prop = TransferOrder(prop, step.axis);
     if (tracking && prop == OrderProp::kNone && step.statically_ordered) {
       prop = OrderProp::kOrdered;
@@ -564,18 +647,23 @@ Result<Sequence> Evaluator::EvalArithmetic(const Expr& e) {
       return Sequence(Item::Double(a * b));
     case BinOp::kDiv:
       if (both_integer && ri.integer_value() == 0) {
-        return Status::Invalid("division by zero (err:FOAR0001)");
+        return Status::Invalid("division by zero (err:FOAR0001)" +
+                               LocationSuffix(e));
       }
       return Sequence(Item::Double(a / b));
     case BinOp::kIdiv: {
-      if (b == 0) return Status::Invalid("division by zero (err:FOAR0001)");
+      if (b == 0) {
+        return Status::Invalid("division by zero (err:FOAR0001)" +
+                               LocationSuffix(e));
+      }
       double q = a / b;
       return Sequence(Item::Integer(static_cast<int64_t>(q)));
     }
     case BinOp::kMod: {
       if (both_integer) {
         if (ri.integer_value() == 0) {
-          return Status::Invalid("division by zero (err:FOAR0001)");
+          return Status::Invalid("division by zero (err:FOAR0001)" +
+                                 LocationSuffix(e));
         }
         return Sequence(Item::Integer(li.integer_value() % ri.integer_value()));
       }
@@ -829,7 +917,18 @@ Result<Sequence> Evaluator::EvalFunctionCall(const Expr& e) {
     LLL_ASSIGN_OR_RETURN(Sequence value, Eval(*arg));
     args.push_back(std::move(value));
   }
-  return bi->second(*this, args);
+  // Let the builtin (fn:trace, fn:error) see its own call site so trace
+  // events and diagnostics carry a source position. Saved/restored because
+  // builtins like trace re-enter Eval.
+  const Expr* saved_site = builtin_call_site_;
+  builtin_call_site_ = &e;
+  Result<Sequence> out = bi->second(*this, args);
+  builtin_call_site_ = saved_site;
+  if (!out.ok()) {
+    Status st = out.status();
+    return st.AddContext("in call to " + name + "()" + LocationSuffix(e));
+  }
+  return out;
 }
 
 // --- Constructors -------------------------------------------------------

@@ -12,6 +12,11 @@
 #include "xml/node.h"
 #include "xquery/ast.h"
 
+namespace lll::obs {
+class Profiler;
+class TraceSink;
+}  // namespace lll::obs
+
 namespace lll::xq {
 
 class Evaluator;
@@ -37,6 +42,14 @@ struct EvalOptions {
   // bit) proves the result already normalized. Off = sort after every step,
   // the pre-index behavior; kept as a benchmark baseline (bench_e12).
   bool order_tracking = true;
+  // Per-expression profiling (obs/profiler.h): attribute wall time, eval
+  // counts, and result sizes to AST nodes. Off = one null-pointer test per
+  // expression, nothing more.
+  bool profile = false;
+  // Structured trace events (fn:trace, fn:error, located dynamic errors) are
+  // mirrored to this sink when set, in addition to the per-query
+  // trace_output buffer. Borrowed; must outlive the evaluation.
+  obs::TraceSink* trace_sink = nullptr;
 };
 
 // Statistics collected during one evaluation.
@@ -114,18 +127,26 @@ class Evaluator {
   Result<xdm::Sequence> Run();
 
   // Evaluates a single expression against the current context (used by Run
-  // and by builtins like fn:trace that re-enter).
+  // and by builtins like fn:trace that re-enter). When a profiler is
+  // attached this wraps the dispatch in a timing frame.
   Result<xdm::Sequence> Eval(const Expr& e);
 
   const EvalStats& stats() const { return stats_; }
   DynamicContext* context() { return ctx_; }
   const EvalOptions& options() const { return options_; }
 
-  // Records one trace line (fn:trace / fn:error diagnostics).
-  void Trace(std::string line) {
-    ++stats_.trace_calls;
-    ctx_->trace_output_.push_back(std::move(line));
-  }
+  // Attaches a per-expression profiler for the lifetime of the evaluation
+  // (owned by the caller; see EvalOptions::profile and engine.cc).
+  void set_profiler(obs::Profiler* profiler) { profiler_ = profiler; }
+
+  // Records one trace line (fn:trace / fn:error diagnostics), mirroring a
+  // structured event to EvalOptions::trace_sink when one is attached.
+  void Trace(std::string line);
+
+  // The call expression of the builtin currently being invoked (set around
+  // builtin dispatch); lets variadic builtins like fn:trace report their own
+  // source position. Null outside builtin calls.
+  const Expr* builtin_call_site() const { return builtin_call_site_; }
 
   // Focus accessors for builtins (fn:position, fn:last, fn:name#0, ...).
   bool has_focus() const { return focus_.valid; }
@@ -143,6 +164,9 @@ class Evaluator {
     size_t size = 0;
     bool valid = false;
   };
+
+  // The actual dispatch switch behind Eval().
+  Result<xdm::Sequence> EvalInner(const Expr& e);
 
   Result<xdm::Sequence> EvalPath(const Expr& e);
   Result<xdm::Sequence> EvalStep(const PathStep& step,
@@ -197,6 +221,8 @@ class Evaluator {
   Focus focus_;
   std::map<std::pair<std::string, size_t>, const FunctionDecl*> functions_;
   int call_depth_ = 0;
+  obs::Profiler* profiler_ = nullptr;
+  const Expr* builtin_call_site_ = nullptr;
 
   friend struct BuiltinRegistry;
 };

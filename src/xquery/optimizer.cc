@@ -33,7 +33,54 @@ bool IsErrorCall(const Expr& e) {
          (e.name == "error" || e.name == "fn:error");
 }
 
+// Collects pointers to every trace() call in the tree, for the swallowed-
+// trace rewrite notes (the count alone can't say WHERE the calls were).
+void CollectTraceCalls(const Expr& e, std::vector<const Expr*>* out) {
+  if (IsTraceCall(e)) out->push_back(&e);
+  ForEachChild(e, [out](const Expr& c) { CollectTraceCalls(c, out); });
+}
+
+std::string DescribeStep(const PathStep& step) {
+  std::string out = AxisName(step.axis);
+  out += "::";
+  switch (step.test.kind) {
+    case NodeTestKind::kName:
+      out += step.test.name;
+      break;
+    case NodeTestKind::kAnyName:
+      out += "*";
+      break;
+    case NodeTestKind::kText:
+      out += "text()";
+      break;
+    case NodeTestKind::kComment:
+      out += "comment()";
+      break;
+    case NodeTestKind::kPi:
+      out += "processing-instruction()";
+      break;
+    case NodeTestKind::kAnyNode:
+      out += "node()";
+      break;
+  }
+  return out;
+}
+
 }  // namespace
+
+const char* RewriteNoteKindName(RewriteNote::Kind kind) {
+  switch (kind) {
+    case RewriteNote::Kind::kConstantFolded:
+      return "constant-folded";
+    case RewriteNote::Kind::kDeadLetEliminated:
+      return "dead-let-eliminated";
+    case RewriteNote::Kind::kTraceSwallowed:
+      return "trace-swallowed";
+    case RewriteNote::Kind::kOrderedStep:
+      return "ordered-step";
+  }
+  return "unknown";
+}
 
 size_t CountTraceCalls(const Expr& e) {
   size_t n = IsTraceCall(e) ? 1 : 0;
@@ -173,8 +220,21 @@ struct Rewriter {
         }
         if (uses != 0) continue;
         if (!purity.Pure(*clause.expr)) continue;
-        stats.eliminated_trace_calls += CountTraceCalls(*clause.expr);
+        std::vector<const Expr*> traces;
+        CollectTraceCalls(*clause.expr, &traces);
+        stats.eliminated_trace_calls += traces.size();
         ++stats.eliminated_lets;
+        stats.notes.push_back(
+            {RewriteNote::Kind::kDeadLetEliminated,
+             "let $" + clause.var + " := ... is unused and pure; removed",
+             clause.expr->line, clause.expr->col});
+        for (const Expr* t : traces) {
+          stats.notes.push_back(
+              {RewriteNote::Kind::kTraceSwallowed,
+               "trace() inside dead let $" + clause.var +
+                   " was deleted with it; its output will never appear",
+               t->line, t->col});
+        }
         flwor->clauses.erase(flwor->clauses.begin() +
                              static_cast<ptrdiff_t>(i));
         changed = true;
@@ -228,6 +288,11 @@ struct Rewriter {
     folded.integer = value;
     folded.line = e->line;
     folded.col = e->col;
+    stats.notes.push_back({RewriteNote::Kind::kConstantFolded,
+                           std::to_string(x) + " " + BinOpName(e->op) + " " +
+                               std::to_string(y) + " folded to " +
+                               std::to_string(value),
+                           e->line, e->col});
     *e = std::move(folded);
     ++stats.folded_constants;
   }
@@ -257,6 +322,7 @@ bool IsSingletonBuiltin(const Expr& e, const Module& module) {
 struct OrderAnalyzer {
   const Module& module;
   size_t annotated = 0;
+  std::vector<RewriteNote>* notes = nullptr;  // optional EXPLAIN feed
 
   OrderProp Analyze(Expr* e) {
     switch (e->kind) {
@@ -356,7 +422,16 @@ struct OrderAnalyzer {
       if (step.is_filter) continue;  // a subset preserves every property
       prop = TransferOrder(prop, step.axis);
       step.statically_ordered = prop != OrderProp::kNone;
-      if (step.statically_ordered) ++annotated;
+      if (step.statically_ordered) {
+        ++annotated;
+        if (notes != nullptr) {
+          notes->push_back({RewriteNote::Kind::kOrderedStep,
+                            "step " + DescribeStep(step) +
+                                " proven document-ordered; normalizing sort "
+                                "skipped",
+                            e->line, e->col});
+        }
+      }
     }
     return prop;
   }
@@ -370,6 +445,16 @@ OrderProp AnalyzeOrder(Expr* e, const Module& module, size_t* annotated) {
   if (annotated != nullptr) *annotated += analyzer.annotated;
   return prop;
 }
+
+namespace {
+
+void AnalyzeOrderNoted(Expr* e, const Module& module, OptimizerStats* stats) {
+  OrderAnalyzer analyzer{module, 0, &stats->notes};
+  analyzer.Analyze(e);
+  stats->ordered_steps_annotated += analyzer.annotated;
+}
+
+}  // namespace
 
 bool IsPure(const Expr& e, const Module& module, bool recognize_trace) {
   PurityAnalyzer analyzer{module, recognize_trace, {}};
@@ -389,14 +474,12 @@ OptimizerStats Optimize(Module* module, const OptimizerOptions& options) {
     // After rewriting: dead-let elimination can degenerate FLWORs into their
     // bodies, which makes more paths statically analyzable.
     for (FunctionDecl& fn : module->functions) {
-      AnalyzeOrder(fn.body.get(), *module, &rewriter.stats.ordered_steps_annotated);
+      AnalyzeOrderNoted(fn.body.get(), *module, &rewriter.stats);
     }
     for (VariableDecl& var : module->variables) {
-      AnalyzeOrder(var.expr.get(), *module,
-                   &rewriter.stats.ordered_steps_annotated);
+      AnalyzeOrderNoted(var.expr.get(), *module, &rewriter.stats);
     }
-    AnalyzeOrder(module->body.get(), *module,
-                 &rewriter.stats.ordered_steps_annotated);
+    AnalyzeOrderNoted(module->body.get(), *module, &rewriter.stats);
   }
   return rewriter.stats;
 }

@@ -1,6 +1,9 @@
 #ifndef LLL_XQUERY_OPTIMIZER_H_
 #define LLL_XQUERY_OPTIMIZER_H_
 
+#include <string>
+#include <vector>
+
 #include "xquery/ast.h"
 
 namespace lll::xq {
@@ -25,6 +28,25 @@ struct OptimizerOptions {
   bool order_analysis = true;
 };
 
+// One rewrite decision, recorded for EXPLAIN. Where the rewrite deleted
+// code (dead lets, swallowed trace calls) the note is the only remaining
+// evidence it ever existed -- which is exactly what the paper's users were
+// missing when their trace output silently vanished.
+struct RewriteNote {
+  enum class Kind {
+    kConstantFolded,     // subtree replaced by its literal value
+    kDeadLetEliminated,  // unused pure let binding removed
+    kTraceSwallowed,     // a trace() call went down with a dead let
+    kOrderedStep,        // order analysis proved a step sort-free
+  };
+  Kind kind;
+  std::string detail;  // human-readable: what, and what it became
+  size_t line = 0;     // source position of the rewritten expression
+  size_t col = 0;
+};
+
+const char* RewriteNoteKindName(RewriteNote::Kind kind);
+
 struct OptimizerStats {
   size_t folded_constants = 0;
   size_t eliminated_lets = 0;
@@ -33,6 +55,8 @@ struct OptimizerStats {
   size_t eliminated_trace_calls = 0;
   // Path steps proven order-preserving by the order analysis.
   size_t ordered_steps_annotated = 0;
+  // Every individual rewrite decision, in application order.
+  std::vector<RewriteNote> notes;
 };
 
 // Optimizes the module in place.

@@ -165,6 +165,17 @@ class Parser {
     return e;
   }
 
+  // Stamps the node with a SAVED position -- the start of the construct --
+  // instead of wherever the cursor drifted to by the time the node is built.
+  // Diagnostics and profiler labels point at what the user wrote, not at the
+  // token after it.
+  ExprPtr MakeExprAt(ExprKind kind, const Mark& at) {
+    auto e = std::make_unique<Expr>(kind);
+    e->line = at.line;
+    e->col = at.col;
+    return e;
+  }
+
   // --- Prolog ---------------------------------------------------------------
 
   Status ParseProlog(Module* module) {
@@ -549,6 +560,8 @@ class Parser {
   }
 
   Result<ExprPtr> ParseIf() {
+    SkipWs();
+    Mark start = Save();
     if (!ConsumeKeyword("if")) return Err("expected 'if'");
     if (!ConsumeTok("(")) return Err("expected '(' after 'if'");
     LLL_ASSIGN_OR_RETURN(ExprPtr cond, ParseExpr());
@@ -557,7 +570,7 @@ class Parser {
     LLL_ASSIGN_OR_RETURN(ExprPtr then_branch, ParseExprSingle());
     if (!ConsumeKeyword("else")) return Err("expected 'else'");
     LLL_ASSIGN_OR_RETURN(ExprPtr else_branch, ParseExprSingle());
-    auto e = MakeExpr(ExprKind::kIf);
+    auto e = MakeExprAt(ExprKind::kIf, start);
     e->children.push_back(std::move(cond));
     e->children.push_back(std::move(then_branch));
     e->children.push_back(std::move(else_branch));
@@ -567,6 +580,11 @@ class Parser {
   ExprPtr MakeBinary(BinOp op, ExprPtr lhs, ExprPtr rhs) {
     auto e = MakeExpr(ExprKind::kBinary);
     e->op = op;
+    // The whole expression starts where its left operand does.
+    if (lhs->line != 0) {
+      e->line = lhs->line;
+      e->col = lhs->col;
+    }
     e->children.push_back(std::move(lhs));
     e->children.push_back(std::move(rhs));
     return e;
@@ -714,14 +732,24 @@ class Parser {
     }
   }
 
+  // Stamps a wrapper node (cast/instance-of) at its operand's position.
+  ExprPtr MakeWrapper(ExprKind kind, ExprPtr operand) {
+    auto e = MakeExpr(kind);
+    if (operand->line != 0) {
+      e->line = operand->line;
+      e->col = operand->col;
+    }
+    e->children.push_back(std::move(operand));
+    return e;
+  }
+
   Result<ExprPtr> ParseInstanceOf() {
     LLL_ASSIGN_OR_RETURN(ExprPtr lhs, ParseCast());
     if (ConsumeKeyword("instance")) {
       if (!ConsumeKeyword("of")) return Err("expected 'of' after 'instance'");
       LLL_ASSIGN_OR_RETURN(SequenceType t, ParseSequenceType());
-      auto e = MakeExpr(ExprKind::kInstanceOf);
+      auto e = MakeWrapper(ExprKind::kInstanceOf, std::move(lhs));
       e->type = t;
-      e->children.push_back(std::move(lhs));
       return e;
     }
     return lhs;
@@ -732,17 +760,15 @@ class Parser {
     if (ConsumeKeyword("castable")) {
       if (!ConsumeKeyword("as")) return Err("expected 'as' after 'castable'");
       LLL_ASSIGN_OR_RETURN(SequenceType t, ParseSequenceType());
-      auto e = MakeExpr(ExprKind::kCastableAs);
+      auto e = MakeWrapper(ExprKind::kCastableAs, std::move(lhs));
       e->type = t;
-      e->children.push_back(std::move(lhs));
       return e;
     }
     if (ConsumeKeyword("cast")) {
       if (!ConsumeKeyword("as")) return Err("expected 'as' after 'cast'");
       LLL_ASSIGN_OR_RETURN(SequenceType t, ParseSequenceType());
-      auto e = MakeExpr(ExprKind::kCastAs);
+      auto e = MakeWrapper(ExprKind::kCastAs, std::move(lhs));
       e->type = t;
-      e->children.push_back(std::move(lhs));
       return e;
     }
     return lhs;
@@ -1024,6 +1050,7 @@ class Parser {
 
   Result<ExprPtr> ParsePrimary() {
     SkipWs();
+    Mark start = Save();
     char c = Peek();
     if (c == '(') {
       Advance();
@@ -1039,7 +1066,7 @@ class Parser {
     }
     if (c == '"' || c == '\'') {
       LLL_ASSIGN_OR_RETURN(std::string s, LexStringLiteral());
-      auto lit = MakeExpr(ExprKind::kLiteral);
+      auto lit = MakeExprAt(ExprKind::kLiteral, start);
       lit->literal_type = Expr::LiteralType::kString;
       lit->text = std::move(s);
       return ApplyFilterPredicates(std::move(lit));
@@ -1047,7 +1074,7 @@ class Parser {
     if (c == '$') {
       Advance();
       LLL_ASSIGN_OR_RETURN(std::string name, ExpectName("variable name"));
-      auto var = MakeExpr(ExprKind::kVarRef);
+      auto var = MakeExprAt(ExprKind::kVarRef, start);
       var->name = std::move(name);
       return ApplyFilterPredicates(std::move(var));
     }
@@ -1063,7 +1090,7 @@ class Parser {
     SkipWs();
     if (Peek() != '(') return Err("unexpected name '" + name + "'");
     Advance();
-    auto call = MakeExpr(ExprKind::kFunctionCall);
+    auto call = MakeExprAt(ExprKind::kFunctionCall, start);
     call->name = std::move(name);
     SkipWs();
     if (Peek() != ')') {
@@ -1096,6 +1123,8 @@ class Parser {
   }
 
   Result<ExprPtr> ParseNumber() {
+    SkipWs();
+    Mark start = Save();
     std::string digits;
     while (!AtEnd() && std::isdigit(static_cast<unsigned char>(Peek()))) {
       digits.push_back(Advance());
@@ -1120,7 +1149,7 @@ class Parser {
         }
       }
     }
-    auto lit = MakeExpr(ExprKind::kLiteral);
+    auto lit = MakeExprAt(ExprKind::kLiteral, start);
     if (is_double) {
       auto d = ParseDouble(digits);
       if (!d) return Err("bad numeric literal '" + digits + "'");

@@ -12,23 +12,36 @@ std::string QueryCache::MakeKey(std::string_view source,
   key.push_back(options.optimizer.constant_folding ? '1' : '0');
   key.push_back(options.optimizer.dead_let_elimination ? '1' : '0');
   key.push_back(options.optimizer.recognize_trace ? '1' : '0');
+  key.push_back(options.optimizer.order_analysis ? '1' : '0');
   key.push_back('|');
   key.append(source);
   return key;
 }
 
 Result<std::shared_ptr<const CompiledQuery>> QueryCache::GetOrCompile(
-    std::string_view source, const CompileOptions& options) {
+    std::string_view source, const CompileOptions& options, bool* cache_hit) {
   std::string key = MakeKey(source, options);
   if (std::shared_ptr<const CompiledQuery> hit = cache_.Get(key)) {
+    if (cache_hit != nullptr) *cache_hit = true;
     return hit;
   }
+  if (cache_hit != nullptr) *cache_hit = false;
   // Compile outside the cache lock: concurrent misses of distinct queries
   // compile in parallel instead of serializing behind one another.
   LLL_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(source, options));
   auto handle = std::make_shared<const CompiledQuery>(std::move(compiled));
   cache_.Put(key, handle);
   return handle;
+}
+
+void QueryCache::ExportTo(MetricsRegistry* metrics,
+                          const std::string& prefix) const {
+  CacheStats s = stats();
+  metrics->gauge(prefix + ".lookups").Set(static_cast<int64_t>(s.lookups));
+  metrics->gauge(prefix + ".hits").Set(static_cast<int64_t>(s.hits));
+  metrics->gauge(prefix + ".misses").Set(static_cast<int64_t>(s.misses));
+  metrics->gauge(prefix + ".evictions").Set(static_cast<int64_t>(s.evictions));
+  metrics->gauge(prefix + ".size").Set(static_cast<int64_t>(size()));
 }
 
 }  // namespace lll::xq

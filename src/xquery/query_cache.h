@@ -34,10 +34,19 @@ class QueryCache {
   // Returns the cached compilation of (source, options), compiling and
   // inserting on miss. On a racing miss of the same key, both threads
   // compile and the later Put wins; both handles are equivalent and valid.
+  // `cache_hit` (optional) reports the provenance of the returned handle,
+  // for EXPLAIN output.
   Result<std::shared_ptr<const CompiledQuery>> GetOrCompile(
-      std::string_view source, const CompileOptions& options = {});
+      std::string_view source, const CompileOptions& options = {},
+      bool* cache_hit = nullptr);
 
   CacheStats stats() const { return cache_.stats(); }
+
+  // Publishes this cache's hit/miss/eviction counters as gauges named
+  // "<prefix>.lookups" etc. (gauges, not counters: the LruCache already
+  // accumulates totals, so each export overwrites the last snapshot instead
+  // of double-counting).
+  void ExportTo(MetricsRegistry* metrics, const std::string& prefix) const;
   size_t capacity() const { return cache_.capacity(); }
   size_t size() const { return cache_.size(); }
   void Clear() { cache_.Clear(); }

@@ -1,0 +1,104 @@
+// EXPLAIN: the facility that finally answers "what did the optimizer do to
+// my query?". Golden-substring tests over the rendered output: section
+// structure, provenance, and one note per rewrite family (constant folds,
+// dead lets, swallowed traces, order-analysis verdicts).
+
+#include <string>
+
+#include "gtest/gtest.h"
+#include "obs/explain.h"
+#include "xquery/engine.h"
+
+namespace lll {
+namespace {
+
+std::string ExplainQuery(const std::string& source,
+                         const xq::CompileOptions& copts = {},
+                         const obs::ExplainOptions& eopts = {}) {
+  auto compiled = xq::Compile(source, copts);
+  EXPECT_TRUE(compiled.ok()) << compiled.status().ToString();
+  return obs::Explain(*compiled, eopts);
+}
+
+TEST(ExplainTest, SectionsAndProvenanceHeader) {
+  obs::ExplainOptions eo;
+  eo.provenance = "compile cache miss (compiled)";
+  std::string out = ExplainQuery("1 + 2", {}, eo);
+  EXPECT_NE(out.find("EXPLAIN"), std::string::npos) << out;
+  EXPECT_NE(out.find("compile cache miss (compiled)"), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("== plan =="), std::string::npos) << out;
+  EXPECT_NE(out.find("== rewrites =="), std::string::npos) << out;
+  EXPECT_NE(out.find("== summary =="), std::string::npos) << out;
+}
+
+TEST(ExplainTest, ConstantFoldIsAnnotated) {
+  std::string out = ExplainQuery("1 + 2");
+  EXPECT_NE(out.find("constant-folded"), std::string::npos) << out;
+  // The plan shows the folded literal, not the original addition.
+  EXPECT_NE(out.find("3"), std::string::npos) << out;
+}
+
+TEST(ExplainTest, DeadLetAndSwallowedTraceAreAnnotatedWithLocation) {
+  std::string out = ExplainQuery(
+      "let $dbg := trace(\"gone\", 1)\n"
+      "return 7");
+  EXPECT_NE(out.find("dead-let-eliminated"), std::string::npos) << out;
+  EXPECT_NE(out.find("trace-swallowed"), std::string::npos) << out;
+  EXPECT_NE(out.find("$dbg"), std::string::npos) << out;
+  // Every note carries its source position; the let sits on line 1.
+  EXPECT_NE(out.find("1:"), std::string::npos) << out;
+}
+
+TEST(ExplainTest, RecognizeTraceLeavesNoSwallowNote) {
+  xq::CompileOptions copts;
+  copts.optimizer.recognize_trace = true;
+  std::string out = ExplainQuery(
+      "let $dbg := trace(\"kept\", 1)\n"
+      "return 7",
+      copts);
+  EXPECT_EQ(out.find("trace-swallowed"), std::string::npos) << out;
+}
+
+TEST(ExplainTest, OrderAnalysisVerdictShowsInPlanAndNotes) {
+  std::string out = ExplainQuery("/library/book/title");
+  // PR 2's order analysis proves forward child chains document-ordered;
+  // EXPLAIN surfaces both the [ordered] plan annotation and the note.
+  EXPECT_NE(out.find("[ordered]"), std::string::npos) << out;
+  EXPECT_NE(out.find("ordered-step"), std::string::npos) << out;
+  EXPECT_NE(out.find("sort skipped"), std::string::npos) << out;
+}
+
+TEST(ExplainTest, UnoptimizedCompileHasNoRewrites) {
+  xq::CompileOptions copts;
+  copts.optimize = false;
+  std::string out = ExplainQuery("1 + 2", copts);
+  // The plan shows the raw addition and the rewrite log is empty.
+  EXPECT_EQ(out.find("constant-folded"), std::string::npos) << out;
+  EXPECT_NE(out.find("+"), std::string::npos) << out;
+}
+
+TEST(ExplainTest, FunctionsAndVariablesGetTheirOwnSections) {
+  std::string out = ExplainQuery(
+      "declare function local:twice($x) { $x * 2 };\n"
+      "declare variable $base := 10;\n"
+      "local:twice($base)");
+  EXPECT_NE(out.find("== function local:twice#1 =="), std::string::npos)
+      << out;
+  EXPECT_NE(out.find("== variable $base =="), std::string::npos) << out;
+}
+
+TEST(ExplainExprTest, DepthCapElides) {
+  xq::CompileOptions copts;
+  copts.optimize = false;
+  auto compiled = xq::Compile("((((1))))+(2+(3+(4+(5+6))))", copts);
+  ASSERT_TRUE(compiled.ok());
+  std::string shallow =
+      obs::ExplainExpr(*compiled->module().body, /*max_depth=*/1);
+  EXPECT_NE(shallow.find("..."), std::string::npos) << shallow;
+  std::string deep = obs::ExplainExpr(*compiled->module().body);
+  EXPECT_EQ(deep.find("..."), std::string::npos) << deep;
+}
+
+}  // namespace
+}  // namespace lll

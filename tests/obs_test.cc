@@ -1,0 +1,254 @@
+// The observability subsystem: trace sinks (unit + concurrency; run under
+// ThreadSanitizer via the `concurrency` ctest label), the per-expression
+// profiler, and the paper's trace-vs-DCE pathology pinned as a regression
+// test in both directions.
+
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/profiler.h"
+#include "obs/trace_sink.h"
+#include "xml/parser.h"
+#include "xquery/engine.h"
+
+namespace lll {
+namespace {
+
+obs::TraceEvent Event(const std::string& message) {
+  obs::TraceEvent e;
+  e.kind = obs::TraceEvent::Kind::kEngine;
+  e.source = "test";
+  e.message = message;
+  return e;
+}
+
+// --- Sinks ------------------------------------------------------------------
+
+TEST(TraceSinkTest, CollectingSinkStoresEverythingInOrder) {
+  obs::CollectingTraceSink sink;
+  sink.Emit(Event("one"));
+  sink.Emit(Event("two"));
+  ASSERT_EQ(sink.size(), 2u);
+  std::vector<obs::TraceEvent> events = sink.Events();
+  EXPECT_EQ(events[0].message, "one");
+  EXPECT_EQ(events[1].message, "two");
+  EXPECT_LT(events[0].seq, events[1].seq);
+  EXPECT_EQ(sink.JoinedMessages(), "one\ntwo");
+  EXPECT_EQ(sink.emitted(), 2u);
+
+  std::vector<obs::TraceEvent> taken = sink.TakeEvents();
+  EXPECT_EQ(taken.size(), 2u);
+  EXPECT_EQ(sink.size(), 0u);
+}
+
+TEST(TraceSinkTest, FormatIncludesKindSourceAndLocation) {
+  obs::TraceEvent e = Event("boom");
+  e.kind = obs::TraceEvent::Kind::kTrace;
+  e.source = "fn:trace";
+  e.line = 3;
+  e.col = 7;
+  std::string line = obs::FormatTraceEvent(e);
+  EXPECT_NE(line.find("trace"), std::string::npos) << line;
+  EXPECT_NE(line.find("fn:trace"), std::string::npos) << line;
+  EXPECT_NE(line.find("3:7"), std::string::npos) << line;
+  EXPECT_NE(line.find("boom"), std::string::npos) << line;
+}
+
+TEST(TraceSinkTest, RingBufferKeepsNewestAndCountsDropped) {
+  obs::RingBufferTraceSink sink(/*capacity=*/3);
+  for (int i = 0; i < 5; ++i) sink.Emit(Event("m" + std::to_string(i)));
+  std::vector<obs::TraceEvent> snapshot = sink.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].message, "m2");
+  EXPECT_EQ(snapshot[2].message, "m4");
+  EXPECT_EQ(sink.dropped(), 2u);
+  EXPECT_EQ(sink.emitted(), 5u);
+}
+
+TEST(TraceSinkTest, TeeFansOutToBothSinks) {
+  obs::CollectingTraceSink a;
+  obs::CollectingTraceSink b;
+  obs::TeeTraceSink tee(&a, &b);
+  tee.Emit(Event("x"));
+  EXPECT_EQ(a.size(), 1u);
+  EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(TraceSinkConcurrencyTest, ParallelEmittersLoseNothing) {
+  obs::CollectingTraceSink collect;
+  obs::RingBufferTraceSink ring(/*capacity=*/64);
+  obs::TeeTraceSink tee(&collect, &ring);
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&tee, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        tee.Emit(Event("t" + std::to_string(t) + ":" + std::to_string(i)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  constexpr uint64_t kTotal = uint64_t{kThreads} * kPerThread;
+  EXPECT_EQ(collect.size(), kTotal);
+  EXPECT_EQ(ring.Snapshot().size(), 64u);
+  EXPECT_EQ(ring.dropped(), kTotal - 64);
+  // Sequence numbers are unique: the max seen must be kTotal - 1.
+  uint64_t max_seq = 0;
+  for (const obs::TraceEvent& e : collect.Events()) {
+    max_seq = std::max(max_seq, e.seq);
+  }
+  EXPECT_EQ(max_seq, kTotal - 1);
+}
+
+// --- Profiler ---------------------------------------------------------------
+
+TEST(ProfilerTest, AttributesSelfAndTotalTime) {
+  obs::Profiler p;
+  int outer = 0, inner = 0;
+  {
+    obs::Profiler::Scope a(&p, &outer, [] { return std::string("outer"); });
+    obs::Profiler::Scope b(&p, &inner, [] { return std::string("inner"); });
+  }
+  obs::ProfileReport report = p.TakeReport();
+  ASSERT_EQ(report.entries.size(), 2u);
+  uint64_t outer_total = 0, inner_total = 0;
+  for (const obs::ProfileEntry& e : report.entries) {
+    if (e.label == "outer") outer_total = e.total_ns;
+    if (e.label == "inner") inner_total = e.total_ns;
+    EXPECT_EQ(e.calls, 1u);
+  }
+  // The outer frame's inclusive time covers the inner frame's.
+  EXPECT_GE(outer_total, inner_total);
+  EXPECT_GE(report.wall_ns, outer_total);
+}
+
+TEST(ProfilerTest, RecursionChargesTotalOnceAndCallsEveryTime) {
+  obs::Profiler p;
+  int site = 0;
+  std::function<void(int)> recurse = [&](int depth) {
+    obs::Profiler::Scope s(&p, &site, [] { return std::string("rec"); });
+    if (depth > 0) recurse(depth - 1);
+  };
+  recurse(5);
+  obs::ProfileReport report = p.TakeReport();
+  ASSERT_EQ(report.entries.size(), 1u);
+  EXPECT_EQ(report.entries[0].calls, 6u);
+  // Inclusive time is charged only on the outermost frame, so it cannot
+  // exceed the evaluation's wall time (the naive scheme multiplies it by
+  // the recursion depth).
+  EXPECT_LE(report.entries[0].total_ns, report.wall_ns);
+}
+
+TEST(ProfilerTest, RealQueryCoverageAtLeastNinetyPercent) {
+  auto doc = xml::Parse(
+      "<lib>"
+      "<book year=\"2001\"><pages>100</pages></book>"
+      "<book year=\"1999\"><pages>250</pages></book>"
+      "<book year=\"2010\"><pages>75</pages></book>"
+      "</lib>");
+  ASSERT_TRUE(doc.ok());
+  xq::ExecuteOptions opts;
+  opts.context_node = (*doc)->root();
+  opts.eval.profile = true;
+  auto result = xq::Run(
+      "sum(for $i in (1 to 500) return "
+      "  count(//book[number(@year) < 2000 + ($i mod 3)]/pages))",
+      opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_NE(result->profile, nullptr);
+  // The acceptance bar: per-site self time accounts for >=90% of the
+  // evaluation's wall time -- no big anonymous gaps.
+  EXPECT_GE(result->profile->Coverage(), 0.9)
+      << result->profile->Render();
+  EXPECT_GT(result->profile->entries.size(), 3u);
+  // The report renders with labels and a wall-time line.
+  std::string rendered = result->profile->Render();
+  EXPECT_NE(rendered.find("wall"), std::string::npos) << rendered;
+}
+
+TEST(ProfilerTest, ProfileAbsentWhenNotRequested) {
+  auto result = xq::Run("1 + 1");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->profile, nullptr);
+}
+
+// --- fn:trace through the sink ---------------------------------------------
+
+TEST(TraceThroughSinkTest, LiveTraceReachesSinkWithLocation) {
+  obs::CollectingTraceSink sink;
+  xq::ExecuteOptions opts;
+  opts.eval.trace_sink = &sink;
+  auto result = xq::Run("\n  trace(\"hello\", 42)", opts);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(sink.size(), 1u);
+  obs::TraceEvent event = sink.Events()[0];
+  EXPECT_EQ(event.kind, obs::TraceEvent::Kind::kTrace);
+  EXPECT_EQ(event.source, "fn:trace");
+  EXPECT_NE(event.message.find("hello"), std::string::npos);
+  EXPECT_NE(event.message.find("42"), std::string::npos);
+  // The satellite: events carry the source position of the trace() call.
+  EXPECT_EQ(event.line, 2u);
+  EXPECT_GT(event.col, 0u);
+  // And the classic path still works.
+  ASSERT_EQ(result->trace_output.size(), 1u);
+}
+
+// --- The paper's pathology, pinned ------------------------------------------
+//
+// "My demands that the optimizer be fixed to know about the special nature
+// of the trace function fell on deaf ears" -- a trace() inside a dead let
+// vanishes with it. Pin both directions so neither regresses silently.
+
+constexpr char kDeadTraceQuery[] =
+    "let $dbg := trace(\"you will not see this\", 1)\n"
+    "return 7";
+
+TEST(TraceDcePathologyTest, DefaultOptimizerSwallowsTraceVisibly) {
+  obs::CollectingTraceSink sink;
+  xq::CompileOptions copts;  // recognize_trace defaults to false: Galax mode
+  auto compiled = xq::Compile(kDeadTraceQuery, copts);
+  ASSERT_TRUE(compiled.ok());
+  // The deletion happened...
+  EXPECT_GT(compiled->optimizer_stats().eliminated_trace_calls, 0u);
+  // ...and is no longer silent: the rewrite notes record it for EXPLAIN.
+  bool noted = false;
+  for (const auto& note : compiled->optimizer_stats().notes) {
+    if (note.kind == xq::RewriteNote::Kind::kTraceSwallowed) noted = true;
+  }
+  EXPECT_TRUE(noted);
+
+  xq::ExecuteOptions opts;
+  opts.eval.trace_sink = &sink;
+  auto result = xq::Execute(*compiled, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->SerializedItems(), "7");
+  EXPECT_EQ(sink.size(), 0u);  // the pathology: no event, anywhere
+  EXPECT_TRUE(result->trace_output.empty());
+}
+
+TEST(TraceDcePathologyTest, RecognizeTraceDeliversTheEvent) {
+  obs::CollectingTraceSink sink;
+  xq::CompileOptions copts;
+  copts.optimizer.recognize_trace = true;  // the fix Bloom asked for
+  auto compiled = xq::Compile(kDeadTraceQuery, copts);
+  ASSERT_TRUE(compiled.ok());
+  EXPECT_EQ(compiled->optimizer_stats().eliminated_trace_calls, 0u);
+
+  xq::ExecuteOptions opts;
+  opts.eval.trace_sink = &sink;
+  auto result = xq::Execute(*compiled, opts);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->SerializedItems(), "7");
+  ASSERT_EQ(sink.size(), 1u);
+  obs::TraceEvent event = sink.Events()[0];
+  EXPECT_NE(event.message.find("you will not see this"), std::string::npos);
+  EXPECT_EQ(event.line, 1u);
+  EXPECT_GT(event.col, 0u);
+}
+
+}  // namespace
+}  // namespace lll
