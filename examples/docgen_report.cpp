@@ -151,6 +151,16 @@ int main(int argc, char** argv) {
               native->stats.document_copies, xquery->stats.document_copies);
   std::printf("%-28s %12s %12zu\n", "evaluator steps", "-",
               xquery->stats.eval_steps);
+  std::printf("%-28s %12s %12zu\n", "nodes pulled (streamed)", "-",
+              xquery->stats.nodes_pulled);
+  std::printf("%-28s %12s %12zu\n", "nodes skipped (early exit)", "-",
+              xquery->stats.nodes_skipped_early_exit);
+  std::printf("%-28s %12s %12zu\n", "nodeset cache hits", "-",
+              xquery->stats.nodeset_cache_hits);
+  std::printf("%-28s %12s %12zu\n", "nodeset cache misses", "-",
+              xquery->stats.nodeset_cache_misses);
+  std::printf("%-28s %12s %12zu\n", "nodeset cache invalidations", "-",
+              xquery->stats.nodeset_cache_invalidations);
 
   if (explain) {
     auto explained = lll::docgen::ExplainXQueryPhases();

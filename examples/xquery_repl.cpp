@@ -25,6 +25,7 @@
 #include "obs/explain.h"
 #include "xml/parser.h"
 #include "xquery/engine.h"
+#include "xquery/nodeset_cache.h"
 #include "xquery/parser.h"
 
 int main(int argc, char** argv) {
@@ -45,6 +46,12 @@ int main(int argc, char** argv) {
   if (context_doc != nullptr) exec_options.context_node = context_doc->root();
   // Feed the global registry so :metrics has something to show.
   exec_options.metrics = &lll::GlobalMetrics();
+  // Session-scoped interning: repeated queries over the context document
+  // reuse their rooted step chains (:metrics shows the
+  // xq.eval.nodeset_cache_* counters move). Declared after context_doc so
+  // cached node pointers never outlive the document they point into.
+  lll::xq::NodeSetCache nodeset_cache;
+  exec_options.eval.nodeset_cache = &nodeset_cache;
 
   std::printf("lll xquery repl -- empty line or 'quit' to exit\n");
   std::string line;

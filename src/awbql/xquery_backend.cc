@@ -201,6 +201,10 @@ Result<std::vector<const awb::ModelNode*>> XQueryBackend::Eval(
   LLL_ASSIGN_OR_RETURN(std::shared_ptr<const xq::CompiledQuery> compiled,
                        compile_cache_.GetOrCompile(program, {}, &cache_hit));
   opts.metrics = metrics_;
+  // The snapshots never mutate after construction, so interned node sets
+  // (doc("model")/relation chains, metamodel subtype walks) stay valid for
+  // the backend's whole lifetime.
+  opts.eval.nodeset_cache = &nodeset_cache_;
   LLL_ASSIGN_OR_RETURN(xq::QueryResult result, xq::Execute(*compiled, opts));
   last_stats_ = result.stats;
   if (metrics_ != nullptr) {
@@ -209,6 +213,7 @@ Result<std::vector<const awb::ModelNode*>> XQueryBackend::Eval(
                                 : "awbql.xquery.compile_cache_misses")
         .Increment();
     compile_cache_.ExportTo(metrics_, "awbql.xquery.cache");
+    nodeset_cache_.ExportTo(metrics_, "awbql.xquery.nodeset");
   }
   std::vector<const awb::ModelNode*> nodes;
   nodes.reserve(result.sequence.size());

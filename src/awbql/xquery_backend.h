@@ -10,6 +10,7 @@
 #include "core/result.h"
 #include "xml/node.h"
 #include "xquery/engine.h"
+#include "xquery/nodeset_cache.h"
 #include "xquery/query_cache.h"
 
 namespace lll::awbql {
@@ -69,6 +70,10 @@ class XQueryBackend {
   std::unique_ptr<xml::Document> model_doc_;
   std::unique_ptr<xml::Document> metamodel_doc_;
   xq::QueryCache compile_cache_;
+  // Interned node sets over the (immutable) model/metamodel snapshots.
+  // Declared after the documents so it is destroyed before them -- cached
+  // sequences hold raw node pointers into those snapshots.
+  xq::NodeSetCache nodeset_cache_{/*capacity=*/128};
   xq::EvalStats last_stats_;
   MetricsRegistry* metrics_ = nullptr;
 };

@@ -101,6 +101,16 @@ struct DocGenStats {
   // optimizer's order analysis or dynamically by the evaluator).
   size_t sorts_performed = 0;
   size_t sorts_skipped = 0;
+  // XQuery engine only: streaming pipeline traffic across all phases --
+  // axis candidates examined lazily, and a lower bound on candidates never
+  // examined because a consumer stopped pulling early.
+  size_t nodes_pulled = 0;
+  size_t nodes_skipped_early_exit = 0;
+  // XQuery engine only: node-set interning cache traffic across all phases
+  // (the cache itself is scoped to one generation).
+  size_t nodeset_cache_hits = 0;
+  size_t nodeset_cache_misses = 0;
+  size_t nodeset_cache_invalidations = 0;
   // XQuery engine only: wall time per phase (microseconds), phases in run
   // order. Empty for the native engine (it has no phases).
   std::vector<uint64_t> phase_us;

@@ -94,6 +94,7 @@ class Generator {
   DocGenStats& stats() { return stats_; }
   std::set<std::string>& visited() { return visited_; }
   std::vector<TocEntry>& toc() { return toc_; }
+  const awbql::NativeQueryMemo& native_memo() const { return native_memo_; }
   std::map<std::string, xml::Node*>& placeholders() { return placeholders_; }
 
   void Visit(const ModelNode* node) { visited_.insert(node->id()); }
@@ -107,7 +108,7 @@ class Generator {
     if (query_element != nullptr) {
       LLL_ASSIGN_OR_RETURN(const awbql::Query* query,
                            ParsedXmlQuery(query_element));
-      return awbql::EvalNative(*query, model_, focus);
+      return awbql::EvalNativeCached(*query, model_, &native_memo_, focus);
     }
     const std::string* nodes_attr = t->AttributeValue("nodes");
     if (nodes_attr == nullptr) {
@@ -117,7 +118,7 @@ class Generator {
     LLL_ASSIGN_OR_RETURN(std::shared_ptr<const awbql::Query> query,
                          awbql::SharedQueryParseCache().GetOrParse(
                              NodesAttributeToQueryText(*nodes_attr)));
-    return awbql::EvalNative(*query, model_, focus);
+    return awbql::EvalNativeCached(*query, model_, &native_memo_, focus);
   }
 
   // --- Patch phase ------------------------------------------------------
@@ -626,7 +627,7 @@ class Generator {
       }
       LLL_ASSIGN_OR_RETURN(const awbql::Query* query,
                            ParsedXmlQuery(query_element));
-      return awbql::EvalNative(*query, model_, focus);
+      return awbql::EvalNativeCached(*query, model_, &native_memo_, focus);
     }
     const std::string* attr = t->AttributeValue(which);
     if (attr == nullptr) {
@@ -635,7 +636,7 @@ class Generator {
     LLL_ASSIGN_OR_RETURN(std::shared_ptr<const awbql::Query> query,
                          awbql::SharedQueryParseCache().GetOrParse(
                              NodesAttributeToQueryText(*attr)));
-    return awbql::EvalNative(*query, model_, focus);
+    return awbql::EvalNativeCached(*query, model_, &native_memo_, focus);
   }
 
   // Error handling: under kPropagate, attach GenTrouble context and bubble
@@ -675,6 +676,10 @@ class Generator {
   std::map<std::string, xml::Node*> placeholders_;
   std::map<const xml::Node*, std::unique_ptr<const awbql::Query>>
       xml_query_memo_;
+  // Query-result memo for this generation: the model is constant while a
+  // document is generated, which is exactly the scope the memo's manual
+  // invalidation contract requires (see awbql::NativeQueryMemo).
+  awbql::NativeQueryMemo native_memo_;
 };
 
 Result<const ModelNode*> ResolveInitialFocus(const Model& model,
@@ -723,6 +728,12 @@ Result<DocGenResult> GenerateNative(const xml::Node* template_root,
   result.stats = generator.stats();
   result.stats.nodes_visited = generator.visited().size();
   result.stats.toc_entries = generator.toc().size();
+  if (options.metrics != nullptr) {
+    options.metrics->gauge("docgen.native.query_memo.hits")
+        .Set(static_cast<int64_t>(generator.native_memo().hits()));
+    options.metrics->gauge("docgen.native.query_memo.misses")
+        .Set(static_cast<int64_t>(generator.native_memo().misses()));
+  }
   return result;
 }
 

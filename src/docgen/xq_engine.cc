@@ -8,6 +8,7 @@
 #include "obs/explain.h"
 #include "xml/parser.h"
 #include "xquery/engine.h"
+#include "xquery/nodeset_cache.h"
 #include "xquery/query_cache.h"
 
 namespace lll::docgen {
@@ -83,12 +84,19 @@ Result<DocGenResult> GenerateXQuery(const xml::Node* template_root,
   DocGenStats stats;
   std::vector<std::string> phase_profiles;
 
+  // One node-set interning cache per generation: the repeated-directive
+  // phases re-walk the same model/metamodel chains many times, and the
+  // generation scope bounds the cached raw node pointers' lifetime to the
+  // documents above (which outlive every phase).
+  xq::NodeSetCache nodeset_cache(/*capacity=*/128);
+
   // Compiles (cached) and runs one phase, timing it and routing the caller's
   // observability options (profiler, trace sink, metrics) into the engine.
   auto run_phase = [&](const char* name, const std::string& program,
                        xq::ExecuteOptions& opts) -> Result<xq::QueryResult> {
     opts.eval.profile = options.profile;
     opts.eval.trace_sink = options.trace_sink;
+    opts.eval.nodeset_cache = &nodeset_cache;
     opts.metrics = options.metrics;
     const auto started = std::chrono::steady_clock::now();
     LLL_ASSIGN_OR_RETURN(std::shared_ptr<const xq::CompiledQuery> compiled,
@@ -126,9 +134,17 @@ Result<DocGenResult> GenerateXQuery(const xml::Node* template_root,
   if (r1.sequence.size() != 1 || !r1.sequence.at(0).is_node()) {
     return Status::Internal("phase 1 did not produce a single root element");
   }
-  stats.eval_steps += r1.stats.steps;
-  stats.sorts_performed += r1.stats.sorts_performed;
-  stats.sorts_skipped += r1.stats.sorts_skipped;
+  auto accumulate_eval_stats = [&stats](const xq::EvalStats& s) {
+    stats.eval_steps += s.steps;
+    stats.sorts_performed += s.sorts_performed;
+    stats.sorts_skipped += s.sorts_skipped;
+    stats.nodes_pulled += s.nodes_pulled;
+    stats.nodes_skipped_early_exit += s.nodes_skipped_early_exit;
+    stats.nodeset_cache_hits += s.nodeset_cache_hits;
+    stats.nodeset_cache_misses += s.nodeset_cache_misses;
+    stats.nodeset_cache_invalidations += s.nodeset_cache_invalidations;
+  };
+  accumulate_eval_stats(r1.stats);
 
   // The intermediate arenas must outlive the phases that read them.
   std::vector<std::unique_ptr<xml::Document>> arenas;
@@ -157,9 +173,7 @@ Result<DocGenResult> GenerateXQuery(const xml::Node* template_root,
     if (r.sequence.size() != 1 || !r.sequence.at(0).is_node()) {
       return Status::Internal("a docgen phase did not produce a single root");
     }
-    stats.eval_steps += r.stats.steps;
-    stats.sorts_performed += r.stats.sorts_performed;
-    stats.sorts_skipped += r.stats.sorts_skipped;
+    accumulate_eval_stats(r.stats);
     // Each phase copies the entire document -- the E4 cost, counted.
     ++stats.document_copies;
     current = r.sequence.at(0).node();
@@ -177,6 +191,7 @@ Result<DocGenResult> GenerateXQuery(const xml::Node* template_root,
   if (options.metrics != nullptr) {
     options.metrics->counter("docgen.xq.generations").Increment();
     PhaseProgramCache().ExportTo(options.metrics, "docgen.xq.cache");
+    nodeset_cache.ExportTo(options.metrics, "docgen.xq.nodeset");
   }
 
   DocGenResult result;

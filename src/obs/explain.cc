@@ -109,6 +109,8 @@ struct PlanPrinter {
                             : std::string("step ") + xq::AxisName(step.axis) +
                                   "::" + NodeTestText(step);
         if (step.statically_ordered) s += " [ordered]";
+        if (step.statically_streamable) s += " [streamed]";
+        if (step.statically_internable) s += " [interned]";
         Line(depth + 1, s);
         for (const auto& pred : step.predicates) {
           Line(depth + 2, "predicate:");

@@ -118,9 +118,14 @@ Status Node::CheckAdoptable(const Node* child) const {
     return Status::Invalid(std::string("cannot add children to a ") +
                            NodeKindName(kind_) + " node");
   }
-  // Reject cycles: `child` must not be an ancestor of `this`.
-  for (const Node* n = this; n != nullptr; n = n->parent_) {
-    if (n == child) return Status::Invalid("cannot adopt an ancestor");
+  // Reject cycles: `child` must not be an ancestor of `this`. A childless
+  // node cannot be on anyone's ancestor chain, so the common build pattern
+  // (append a freshly created node) skips the O(depth) walk.
+  if (child == this) return Status::Invalid("cannot adopt an ancestor");
+  if (!child->children_.empty()) {
+    for (const Node* n = this; n != nullptr; n = n->parent_) {
+      if (n == child) return Status::Invalid("cannot adopt an ancestor");
+    }
   }
   return Status::Ok();
 }

@@ -109,6 +109,14 @@ class Node {
   // Detaches this node from its parent (no-op if already detached).
   void Detach();
 
+  // The document-order stamp assigned by the owning Document's order index
+  // (see Document::EnsureOrderIndex). Callers must have called
+  // EnsureOrderIndex() on the owning document at least once; afterwards the
+  // keys of pre-existing nodes keep their RELATIVE order across rebuilds
+  // (trees are stamped in root-pointer order), so comparisons between fresh
+  // reads stay valid even if a mutation has invalidated the index since.
+  uint64_t order_key() const { return order_key_; }
+
  private:
   friend class Document;
   friend int CompareDocumentOrder(const Node* a, const Node* b);

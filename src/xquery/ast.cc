@@ -34,6 +34,51 @@ OrderProp MeetOrder(OrderProp a, OrderProp b) {
   return static_cast<int>(a) < static_cast<int>(b) ? a : b;
 }
 
+bool IsStreamableAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kChild:
+    case Axis::kAttribute:
+    case Axis::kSelf:
+    case Axis::kDescendant:
+    case Axis::kDescendantOrSelf:
+    case Axis::kFollowingSibling:
+      return true;
+    case Axis::kParent:
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf:
+    case Axis::kPrecedingSibling:
+      return false;
+  }
+  return false;
+}
+
+bool ContainsLastCall(const Expr& e) {
+  if (e.kind == ExprKind::kFunctionCall &&
+      (e.name == "last" || e.name == "fn:last")) {
+    return true;
+  }
+  for (const ExprPtr& c : e.children) {
+    if (c != nullptr && ContainsLastCall(*c)) return true;
+  }
+  for (const PathStep& s : e.steps) {
+    for (const ExprPtr& p : s.predicates) {
+      if (p != nullptr && ContainsLastCall(*p)) return true;
+    }
+  }
+  for (const FlworClause& c : e.clauses) {
+    if (c.expr != nullptr && ContainsLastCall(*c.expr)) return true;
+  }
+  for (const OrderSpec& o : e.order_by) {
+    if (o.key != nullptr && ContainsLastCall(*o.key)) return true;
+  }
+  for (const DirectAttribute& a : e.attributes) {
+    for (const ExprPtr& p : a.value_parts) {
+      if (p != nullptr && ContainsLastCall(*p)) return true;
+    }
+  }
+  return false;
+}
+
 OrderProp TransferOrder(OrderProp input, Axis axis) {
   if (input == OrderProp::kNone) return OrderProp::kNone;
   switch (axis) {

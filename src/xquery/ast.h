@@ -75,6 +75,18 @@ OrderProp TransferOrder(OrderProp input, Axis axis);
 // min() on the OrderProp chain.
 OrderProp MeetOrder(OrderProp a, OrderProp b);
 
+// True for the forward axes the streaming pipeline can enumerate lazily in
+// document order. Reverse axes yield per-context results backwards and stay
+// on the materializing normalize-after-step path.
+bool IsStreamableAxis(Axis axis);
+
+// Conservative scan for calls that observe the focus size: true if any
+// subexpression is a function call named last / fn:last. Streaming counts
+// positions exactly but never knows the final count, so such a predicate
+// disqualifies its step. Nested predicates get their own focus but are
+// included anyway; the over-approximation only costs a fallback.
+bool ContainsLastCall(const Expr& e);
+
 struct PathStep {
   Axis axis = Axis::kChild;
   NodeTest test;
@@ -88,6 +100,17 @@ struct PathStep {
   // document order (and duplicate-free) when the path is evaluated step-wise
   // with inter-step dedup, so the evaluator may skip the normalizing sort.
   bool statically_ordered = false;
+  // Set by the optimizer: this step is syntactically eligible for the
+  // pull-based streaming pipeline (a forward axis whose predicates never
+  // call fn:last()). EXPLAIN renders it as [streamed]. Advisory only -- the
+  // evaluator recomputes eligibility per call, because the CompiledQuery may
+  // be shared across threads and dynamic conditions (single-document input,
+  // EvalOptions::streaming) cannot be known at compile time.
+  bool statically_streamable = false;
+  // Set by the optimizer: this step belongs to the leading predicate-free
+  // chain of a document-rooted path, the shape the node-set interning cache
+  // memoizes. EXPLAIN renders it as [interned]. Advisory, like the above.
+  bool statically_internable = false;
 };
 
 enum class BinOp {

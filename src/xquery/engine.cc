@@ -74,6 +74,16 @@ Result<QueryResult> Execute(const CompiledQuery& query,
         .Increment(stats.sorts_skipped);
     options.metrics->counter("xq.eval.order_compares")
         .Increment(stats.order_compares);
+    options.metrics->counter("xq.eval.nodes_pulled")
+        .Increment(stats.nodes_pulled);
+    options.metrics->counter("xq.eval.nodes_skipped_early_exit")
+        .Increment(stats.nodes_skipped_early_exit);
+    options.metrics->counter("xq.eval.nodeset_cache_hits")
+        .Increment(stats.nodeset_cache_hits);
+    options.metrics->counter("xq.eval.nodeset_cache_misses")
+        .Increment(stats.nodeset_cache_misses);
+    options.metrics->counter("xq.eval.nodeset_cache_invalidations")
+        .Increment(stats.nodeset_cache_invalidations);
     if (!value.ok()) options.metrics->counter("xq.errors").Increment();
   }
   if (!value.ok()) {

@@ -2,8 +2,12 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
+#include <utility>
+#include <vector>
 
 #include "core/string_util.h"
+#include "xquery/nodeset_cache.h"
 #include "obs/profiler.h"
 #include "obs/trace_sink.h"
 #include "xdm/compare.h"
@@ -59,6 +63,82 @@ std::string DescribeSite(const Expr& e) {
     out += " (" + std::to_string(e.line) + ":" + std::to_string(e.col) + ")";
   }
   return out;
+}
+
+bool MatchesTest(const xml::Node* n, const NodeTest& test, Axis axis) {
+  xml::NodeKind principal = axis == Axis::kAttribute
+                                ? xml::NodeKind::kAttribute
+                                : xml::NodeKind::kElement;
+  switch (test.kind) {
+    case NodeTestKind::kName:
+      return n->kind() == principal && n->name() == test.name;
+    case NodeTestKind::kAnyName:
+      return n->kind() == principal;
+    case NodeTestKind::kText:
+      return n->is_text();
+    case NodeTestKind::kComment:
+      return n->kind() == xml::NodeKind::kComment;
+    case NodeTestKind::kPi:
+      return n->kind() == xml::NodeKind::kProcessingInstruction;
+    case NodeTestKind::kAnyNode:
+      return true;
+  }
+  return false;
+}
+
+// Preorder walk with an explicit stack: descendant axes over degenerate
+// (deep-chain) documents must not be bounded by the C++ call stack. Each
+// frame is (node, index of the next child to visit).
+void CollectDescendants(xml::Node* n, std::vector<xml::Node*>* out) {
+  std::vector<std::pair<xml::Node*, size_t>> stack;
+  stack.emplace_back(n, 0);
+  while (!stack.empty()) {
+    auto& frame = stack.back();
+    if (frame.second >= frame.first->children().size()) {
+      stack.pop_back();
+      continue;
+    }
+    xml::Node* child = frame.first->children()[frame.second++];
+    out->push_back(child);
+    stack.emplace_back(child, 0);
+  }
+}
+
+// Streamability of one step at evaluation time; IsStreamableAxis and
+// ContainsLastCall (ast.cc) are shared with the optimizer's advisory
+// statically_streamable annotation.
+bool StepStreamable(const PathStep& step) {
+  if (step.is_filter || !IsStreamableAxis(step.axis)) return false;
+  for (const ExprPtr& p : step.predicates) {
+    if (ContainsLastCall(*p)) return false;
+  }
+  return true;
+}
+
+// A path whose last step is an axis step: every item of its result is a
+// node, so emptiness / effective boolean value / predicate truth are all
+// decided by the first node pulled (a node sequence is never a numeric
+// singleton position test).
+bool IsNodePathShape(const Expr& e) {
+  return e.kind == ExprKind::kPath && !e.steps.empty() &&
+         !e.steps.back().is_filter;
+}
+
+// The one document every node of `seq` belongs to, or nullptr (empty
+// sequence, atomics present, detached nodes, or nodes of several documents).
+xml::Document* SingleDocumentOf(const Sequence& seq) {
+  xml::Document* doc = nullptr;
+  for (const Item& item : seq.items()) {
+    if (!item.is_node()) return nullptr;
+    xml::Document* d = item.node()->document();
+    if (d == nullptr) return nullptr;
+    if (doc == nullptr) {
+      doc = d;
+    } else if (doc != d) {
+      return nullptr;
+    }
+  }
+  return doc;
 }
 
 }  // namespace
@@ -202,8 +282,7 @@ Result<Sequence> Evaluator::EvalInner(const Expr& e) {
       return Sequence(Item::Double(-value));
     }
     case ExprKind::kIf: {
-      LLL_ASSIGN_OR_RETURN(Sequence cond, Eval(*e.children[0]));
-      LLL_ASSIGN_OR_RETURN(bool truth, xdm::EffectiveBooleanValue(cond));
+      LLL_ASSIGN_OR_RETURN(bool truth, EvalEffectiveBoolean(*e.children[0]));
       return Eval(truth ? *e.children[1] : *e.children[2]);
     }
     case ExprKind::kFlwor:
@@ -277,18 +356,325 @@ void Evaluator::SortDedup(Sequence* seq, bool provably_ordered) {
   ++stats_.sorts_performed;
 }
 
-// Step-wise evaluation with inter-step normalization: after each axis step
-// the intermediate sequence is brought back to document order without
-// duplicates, which is exactly the precondition under which the optimizer's
-// static proof (PathStep::statically_ordered) and the dynamic OrderProp
-// tracking below are sound. The static annotation covers whole-path proofs
-// from a known source; the dynamic side upgrades on runtime evidence the
-// optimizer cannot see (singleton intermediates, sequences that already
-// carry the ordered_deduped bit).
+// --- Streaming pipeline ---------------------------------------------------
+//
+// A streamable step chain is evaluated as a pull pipeline: one StreamStage
+// per axis step, each exposing its (document-ordered, deduplicated) result a
+// node at a time. An axis stage lazily merges per-context "runs" -- one lazy
+// axis enumeration per context node -- on a min-heap keyed by the order-key
+// index (PR 2). Forward axes guarantee every result's key >= its context's
+// key, so upstream contexts are activated only while they could still beat
+// the heap minimum; the pipeline therefore buffers O(active runs), not
+// O(intermediate result), and a consumer that stops pulling (positional
+// predicate satisfied, fn:exists answered, boolean context decided) leaves
+// the remaining work undone.
+
+// One lazily-enumerated forward-axis run from a single context node: yields,
+// in document order, the axis candidates that pass the node test and the
+// step's predicate chain. Positional predicates count per run -- exactly the
+// per-context counting the materializing EvalStep does eagerly -- and a
+// literal-integer predicate [N] exhausts the run the moment its counter
+// reaches N, because no later candidate can ever pass that stage again.
+class Evaluator::StreamRun {
+ public:
+  StreamRun(Evaluator* ev, const PathStep* step, xml::Node* context)
+      : ev_(ev), step_(step) {
+    switch (step->axis) {
+      case Axis::kChild:
+        vec_ = &context->children();
+        break;
+      case Axis::kAttribute:
+        vec_ = &context->attributes();
+        break;
+      case Axis::kSelf:
+        self_ = context;
+        break;
+      case Axis::kDescendant:
+        stack_.emplace_back(context, 0);
+        break;
+      case Axis::kDescendantOrSelf:
+        self_ = context;
+        stack_.emplace_back(context, 0);
+        break;
+      case Axis::kFollowingSibling:
+        if (context->parent() != nullptr && !context->is_attribute()) {
+          vec_ = &context->parent()->children();
+          cursor_ = context->IndexInParent() + 1;
+        }
+        break;
+      default:
+        break;  // reverse axes never reach the pipeline (StepStreamable)
+    }
+    positions_.assign(step->predicates.size(), 0);
+  }
+
+  // The current passing candidate; nullptr once exhausted.
+  xml::Node* front() const { return front_; }
+
+  // Moves front() to the next passing candidate (or exhausts the run).
+  Status Advance() {
+    if (exhaust_after_front_) {
+      AccountAbandoned();  // the candidates the spent [N] will never examine
+      done_ = true;
+    }
+    front_ = nullptr;
+    if (done_) return Status::Ok();
+    for (;;) {
+      xml::Node* candidate = NextCandidate();
+      if (candidate == nullptr) {
+        done_ = true;
+        return Status::Ok();
+      }
+      ++ev_->stats_.nodes_pulled;
+      if (!MatchesTest(candidate, step_->test, step_->axis)) continue;
+      bool keep = true;
+      bool spent = false;  // some literal [N] stage just consumed its N-th
+      for (size_t j = 0; j < step_->predicates.size() && keep; ++j) {
+        const Expr& pred = *step_->predicates[j];
+        size_t pos = ++positions_[j];
+        LLL_ASSIGN_OR_RETURN(
+            keep, ev_->PredicateKeep(pred, Item::NodeRef(candidate), pos,
+                                     /*size=*/pos));
+        if (pred.kind == ExprKind::kLiteral &&
+            pred.literal_type == Expr::LiteralType::kInteger &&
+            static_cast<int64_t>(pos) >= pred.integer) {
+          spent = true;
+        }
+      }
+      if (keep) {
+        front_ = candidate;
+        exhaust_after_front_ = spent;
+        return Status::Ok();
+      }
+      if (spent) {
+        AccountAbandoned();
+        done_ = true;
+        return Status::Ok();
+      }
+    }
+  }
+
+  // Lower bound on axis candidates this run will now never examine, charged
+  // to nodes_skipped_early_exit. For descendant stacks only the immediate
+  // unvisited children of each frame are counted -- a cheap floor, not the
+  // full subtree size.
+  void AccountAbandoned() {
+    size_t n = 0;
+    if (self_ != nullptr) ++n;
+    if (vec_ != nullptr) n += vec_->size() - cursor_;
+    for (const auto& frame : stack_) {
+      n += frame.first->children().size() - frame.second;
+    }
+    ev_->stats_.nodes_skipped_early_exit += n;
+    self_ = nullptr;
+    vec_ = nullptr;
+    stack_.clear();
+  }
+
+ private:
+  // The next axis candidate in document order, unfiltered.
+  xml::Node* NextCandidate() {
+    if (self_ != nullptr) {
+      xml::Node* s = self_;
+      self_ = nullptr;
+      return s;
+    }
+    if (vec_ != nullptr) {
+      return cursor_ < vec_->size() ? (*vec_)[cursor_++] : nullptr;
+    }
+    while (!stack_.empty()) {
+      auto& frame = stack_.back();
+      if (frame.second >= frame.first->children().size()) {
+        stack_.pop_back();
+        continue;
+      }
+      xml::Node* child = frame.first->children()[frame.second++];
+      stack_.emplace_back(child, 0);
+      return child;
+    }
+    return nullptr;
+  }
+
+  Evaluator* ev_;
+  const PathStep* step_;
+  xml::Node* front_ = nullptr;
+  bool done_ = false;
+  bool exhaust_after_front_ = false;
+  // Enumeration state; at most one of self_/vec_/stack_ is live at a time
+  // (descendant-or-self drains self_ first, then the stack).
+  xml::Node* self_ = nullptr;
+  const std::vector<xml::Node*>* vec_ = nullptr;
+  size_t cursor_ = 0;
+  std::vector<std::pair<xml::Node*, size_t>> stack_;
+  std::vector<size_t> positions_;  // 1-based per-predicate counters
+};
+
+// Pull interface of one pipeline stage: a document-ordered, duplicate-free
+// node stream.
+class Evaluator::StreamStage {
+ public:
+  virtual ~StreamStage() = default;
+  // The current front node; nullptr = exhausted. Idempotent until Pop().
+  virtual Result<xml::Node*> Front() = 0;
+  virtual Status Pop() = 0;
+  // The consumer stopped early: fold a lower bound of the never-visited
+  // work into nodes_skipped_early_exit, recursively upstream.
+  virtual void Abandon() = 0;
+};
+
+// The materialized context sequence feeding the first axis stage.
+class Evaluator::StreamBaseStage : public StreamStage {
+ public:
+  StreamBaseStage(Evaluator* ev, const Sequence* base) : ev_(ev), base_(base) {}
+  Result<xml::Node*> Front() override {
+    return index_ < base_->size() ? base_->at(index_).node() : nullptr;
+  }
+  Status Pop() override {
+    ++index_;
+    return Status::Ok();
+  }
+  void Abandon() override {
+    ev_->stats_.nodes_skipped_early_exit += base_->size() - index_;
+    index_ = base_->size();
+  }
+
+ private:
+  Evaluator* ev_;
+  const Sequence* base_;
+  size_t index_ = 0;
+};
+
+// One axis step: a lazy k-way merge of per-context StreamRuns.
+class Evaluator::StreamAxisStage : public StreamStage {
+ public:
+  StreamAxisStage(Evaluator* ev, const PathStep* step, StreamStage* upstream)
+      : ev_(ev), step_(step), upstream_(upstream) {}
+
+  Result<xml::Node*> Front() override {
+    LLL_RETURN_IF_ERROR(Settle());
+    return heap_.empty() ? nullptr : heap_.front()->front();
+  }
+
+  Status Pop() override {
+    LLL_RETURN_IF_ERROR(Settle());
+    if (heap_.empty()) return Status::Ok();
+    last_emitted_ = heap_.front()->front();
+    return AdvanceMin();
+  }
+
+  void Abandon() override {
+    for (StreamRun* run : heap_) run->AccountAbandoned();
+    heap_.clear();
+    upstream_->Abandon();
+  }
+
+ private:
+  // Min-heap order, reading order keys FRESH at every comparison: a nested
+  // evaluation (a predicate that sorts, a constructor) may rebuild the
+  // order index mid-stream, but rebuilds preserve the relative order of
+  // pre-existing nodes (trees are stamped in root-pointer order), so
+  // comparisons between fresh reads stay correct where cached key values
+  // would not.
+  static bool HeapAfter(const StreamRun* a, const StreamRun* b) {
+    return a->front()->order_key() > b->front()->order_key();
+  }
+
+  // Restores the two invariants behind Front(): (1) every upstream context
+  // that could still produce the globally-next node has been activated --
+  // forward-axis results have keys >= their context's key, so activation
+  // stops once the next context's key exceeds the heap minimum; (2) the
+  // heap minimum is not a duplicate of the last emitted node (overlapping
+  // descendant runs yield the same node only at adjacent heap minima,
+  // because emission is non-decreasing in key and keys identify nodes).
+  Status Settle() {
+    for (;;) {
+      while (!upstream_done_) {
+        LLL_ASSIGN_OR_RETURN(xml::Node* context, upstream_->Front());
+        if (context == nullptr) {
+          upstream_done_ = true;
+          break;
+        }
+        if (!heap_.empty() &&
+            context->order_key() > heap_.front()->front()->order_key()) {
+          break;
+        }
+        LLL_RETURN_IF_ERROR(upstream_->Pop());
+        runs_.emplace_back(ev_, step_, context);
+        StreamRun& run = runs_.back();
+        LLL_RETURN_IF_ERROR(run.Advance());
+        if (run.front() != nullptr) {
+          heap_.push_back(&run);
+          std::push_heap(heap_.begin(), heap_.end(), HeapAfter);
+        }
+      }
+      if (heap_.empty() || heap_.front()->front() != last_emitted_) {
+        return Status::Ok();
+      }
+      LLL_RETURN_IF_ERROR(AdvanceMin());
+    }
+  }
+
+  Status AdvanceMin() {
+    std::pop_heap(heap_.begin(), heap_.end(), HeapAfter);
+    StreamRun* run = heap_.back();
+    heap_.pop_back();
+    LLL_RETURN_IF_ERROR(run->Advance());
+    if (run->front() != nullptr) {
+      heap_.push_back(run);
+      std::push_heap(heap_.begin(), heap_.end(), HeapAfter);
+    }
+    return Status::Ok();
+  }
+
+  Evaluator* ev_;
+  const PathStep* step_;
+  StreamStage* upstream_;
+  std::deque<StreamRun> runs_;    // deque: stable addresses for heap_
+  std::vector<StreamRun*> heap_;  // min-heap by front()->order_key()
+  xml::Node* last_emitted_ = nullptr;
+  bool upstream_done_ = false;
+};
+
+// --- Path dispatch --------------------------------------------------------
+
 Result<Sequence> Evaluator::EvalPath(const Expr& e) {
+  return EvalPathImpl(e, kNoLimit);
+}
+
+Result<Sequence> Evaluator::EvalPathLimited(const Expr& e, size_t limit) {
+  LLL_RETURN_IF_ERROR(StepBudget());
+  if (profiler_ == nullptr) return EvalPathImpl(e, limit);
+  obs::Profiler::Scope scope(profiler_, &e, [&e] { return DescribeSite(e); });
+  Result<Sequence> result = EvalPathImpl(e, limit);
+  if (result.ok()) scope.set_items(result->size());
+  return result;
+}
+
+Result<Sequence> Evaluator::EvalPathImpl(const Expr& e, size_t limit) {
   Sequence current;
   if (e.has_base) {
-    LLL_ASSIGN_OR_RETURN(current, Eval(*e.children[0]));
+    const Expr& base = *e.children[0];
+    // (BASE)[N] push-down: when the first step is a filter whose single
+    // predicate is a positive integer literal, only the first N items of
+    // BASE can matter -- stream BASE with that cap. Sound only because the
+    // filter step has no other predicate (a second predicate would see a
+    // truncated focus size) and both evaluation modes return node results
+    // normalized, so "first N" is the same set either way.
+    size_t base_limit = kNoLimit;
+    if (options_.streaming && base.kind == ExprKind::kPath &&
+        !e.steps.empty() && e.steps[0].is_filter &&
+        e.steps[0].predicates.size() == 1) {
+      const Expr& p = *e.steps[0].predicates[0];
+      if (p.kind == ExprKind::kLiteral &&
+          p.literal_type == Expr::LiteralType::kInteger && p.integer >= 1) {
+        base_limit = static_cast<size_t>(p.integer);
+      }
+    }
+    if (base_limit != kNoLimit) {
+      LLL_ASSIGN_OR_RETURN(current, EvalPathLimited(base, base_limit));
+    } else {
+      LLL_ASSIGN_OR_RETURN(current, Eval(base));
+    }
   } else if (e.rooted) {
     LLL_ASSIGN_OR_RETURN(Focus f, RequireFocus(e));
     if (!f.item.is_node()) {
@@ -299,9 +685,126 @@ Result<Sequence> Evaluator::EvalPath(const Expr& e) {
     LLL_ASSIGN_OR_RETURN(Focus f, RequireFocus(e));
     current = Sequence(f.item);
   }
+  size_t first = 0;
+  if (limit == kNoLimit) {
+    LLL_ASSIGN_OR_RETURN(first, InternPrefix(e, &current));
+  }
+  return EvalStepsRange(e, first, e.steps.size(), std::move(current), limit);
+}
+
+Result<size_t> Evaluator::InternPrefix(const Expr& e, Sequence* current) {
+  NodeSetCache* cache = options_.nodeset_cache;
+  if (cache == nullptr || e.steps.empty()) return 0;
+  if (current->size() != 1 || !current->at(0).is_node()) return 0;
+  xml::Node* base = current->at(0).node();
+  if (!base->is_document() || base->document() == nullptr) return 0;
+
+  // The internable prefix: leading predicate-free axis steps. Predicates are
+  // excluded because their evaluation can depend on the dynamic context
+  // (variables, trace side effects), while axis steps + node tests are pure
+  // functions of the tree.
+  size_t prefix = 0;
+  std::string fingerprint;
+  for (const PathStep& step : e.steps) {
+    if (step.is_filter || !step.predicates.empty()) break;
+    fingerprint += AxisName(step.axis);
+    fingerprint += "::";
+    switch (step.test.kind) {
+      case NodeTestKind::kName:
+        fingerprint += step.test.name;
+        break;
+      case NodeTestKind::kAnyName:
+        fingerprint += "*";
+        break;
+      case NodeTestKind::kText:
+        fingerprint += "text()";
+        break;
+      case NodeTestKind::kComment:
+        fingerprint += "comment()";
+        break;
+      case NodeTestKind::kPi:
+        fingerprint += "processing-instruction()";
+        break;
+      case NodeTestKind::kAnyNode:
+        fingerprint += "node()";
+        break;
+    }
+    fingerprint += "/";
+    ++prefix;
+  }
+  if (prefix == 0) return 0;
+
+  xml::Document* doc = base->document();
+  std::string key = NodeSetCache::MakeKey(base, fingerprint);
+  NodeSetCache::Outcome outcome = NodeSetCache::Outcome::kMiss;
+  if (std::shared_ptr<const CachedNodeSet> hit =
+          cache->Get(doc, key, &outcome)) {
+    ++stats_.nodeset_cache_hits;
+    *current = hit->nodes;  // copy of a normalized sequence; bit carries over
+    return prefix;
+  }
+  if (outcome == NodeSetCache::Outcome::kStale) {
+    ++stats_.nodeset_cache_invalidations;
+  } else {
+    ++stats_.nodeset_cache_misses;
+  }
+
+  // Read the version BEFORE computing, so an entry can only ever be stamped
+  // too old (a harmless re-miss), never too new.
+  uint64_t version = doc->structure_version();
+  LLL_ASSIGN_OR_RETURN(
+      Sequence computed,
+      EvalStepsRange(e, 0, prefix, std::move(*current), kNoLimit));
+  if (computed.empty() || SingleDocumentOf(computed) == doc) {
+    cache->Put(key, version, computed);
+  }
+  *current = std::move(computed);
+  return prefix;
+}
+
+Result<Sequence> Evaluator::EvalStepsRange(const Expr& e, size_t first,
+                                           size_t last, Sequence current,
+                                           size_t limit) {
+  if (first >= last) return current;
+  bool streamable = options_.streaming && !current.empty();
+  if (streamable) {
+    for (size_t i = first; i < last; ++i) {
+      if (!StepStreamable(e.steps[i])) {
+        streamable = false;
+        break;
+      }
+    }
+  }
+  if (streamable && SingleDocumentOf(current) != nullptr) {
+    // The pipeline needs its context runs activated in document order.
+    SortDedup(&current, false);
+    Result<Sequence> streamed =
+        EvalStepsStreamed(e, first, last, std::move(current), limit);
+    if (!streamed.ok()) {
+      Status st = streamed.status();
+      return st.AddContext("in path expression" + LocationSuffix(e));
+    }
+    return streamed;
+  }
+  return EvalStepsMaterialized(e, first, last, std::move(current));
+}
+
+// Step-wise evaluation with inter-step normalization: after each axis step
+// the intermediate sequence is brought back to document order without
+// duplicates, which is exactly the precondition under which the optimizer's
+// static proof (PathStep::statically_ordered) and the dynamic OrderProp
+// tracking below are sound. The static annotation covers whole-path proofs
+// from a known source; the dynamic side upgrades on runtime evidence the
+// optimizer cannot see (singleton intermediates, sequences that already
+// carry the ordered_deduped bit). This loop is also the streaming=false
+// baseline, byte-identical to the pre-streaming evaluator.
+Result<Sequence> Evaluator::EvalStepsMaterialized(const Expr& e, size_t first,
+                                                  size_t last,
+                                                  Sequence current) {
   const bool tracking = options_.order_tracking;
   OrderProp prop = OrderProp::kNone;
-  for (const PathStep& step : e.steps) {
+  for (size_t step_index = first; step_index < last; ++step_index) {
+    const PathStep& step = e.steps[step_index];
     // Dynamic upgrades, checked against the CURRENT sequence before the step.
     if (tracking) {
       if (current.size() <= 1) {
@@ -340,37 +843,55 @@ Result<Sequence> Evaluator::EvalPath(const Expr& e) {
   return current;
 }
 
-namespace {
-
-bool MatchesTest(const xml::Node* n, const NodeTest& test, Axis axis) {
-  xml::NodeKind principal = axis == Axis::kAttribute
-                                ? xml::NodeKind::kAttribute
-                                : xml::NodeKind::kElement;
-  switch (test.kind) {
-    case NodeTestKind::kName:
-      return n->kind() == principal && n->name() == test.name;
-    case NodeTestKind::kAnyName:
-      return n->kind() == principal;
-    case NodeTestKind::kText:
-      return n->is_text();
-    case NodeTestKind::kComment:
-      return n->kind() == xml::NodeKind::kComment;
-    case NodeTestKind::kPi:
-      return n->kind() == xml::NodeKind::kProcessingInstruction;
-    case NodeTestKind::kAnyNode:
-      return true;
+Result<Sequence> Evaluator::EvalStepsStreamed(const Expr& e, size_t first,
+                                              size_t last, Sequence current,
+                                              size_t limit) {
+  // Preconditions (enforced by EvalStepsRange): nonempty, all nodes of one
+  // document, steps [first, last) all pass StepStreamable. One index build
+  // up front covers the whole pull -- rebuild-on-mutation keeps relative
+  // keys stable (see HeapAfter).
+  current.at(0).node()->document()->EnsureOrderIndex();
+  StreamBaseStage base(this, &current);
+  std::deque<StreamAxisStage> stages;
+  StreamStage* top = &base;
+  for (size_t i = first; i < last; ++i) {
+    stages.emplace_back(this, &e.steps[i], top);
+    top = &stages.back();
   }
-  return false;
+  // Predicate evaluation inside runs sets the focus; restore around the
+  // whole pull (PredicateKeep leaves it dirty by contract).
+  Focus saved = focus_;
+  Sequence out;
+  Status failure;
+  while (out.size() < limit) {
+    Result<xml::Node*> front = top->Front();
+    if (!front.ok()) {
+      failure = front.status();
+      break;
+    }
+    if (*front == nullptr) break;
+    out.Append(Item::NodeRef(*front));
+    Status popped = top->Pop();
+    if (!popped.ok()) {
+      failure = popped;
+      break;
+    }
+  }
+  focus_ = saved;
+  LLL_RETURN_IF_ERROR(failure);
+  if (out.size() >= limit) top->Abandon();
+  out.MarkOrderedDeduped();  // Append clears the bit; emission order proves it
+  return out;
 }
 
-void CollectDescendants(xml::Node* n, std::vector<xml::Node*>* out) {
-  for (xml::Node* c : n->children()) {
-    out->push_back(c);
-    CollectDescendants(c, out);
+Result<bool> Evaluator::EvalEffectiveBoolean(const Expr& e) {
+  if (options_.streaming && IsNodePathShape(e)) {
+    LLL_ASSIGN_OR_RETURN(Sequence probe, EvalPathLimited(e, 1));
+    return !probe.empty();
   }
+  LLL_ASSIGN_OR_RETURN(Sequence value, Eval(e));
+  return xdm::EffectiveBooleanValue(value);
 }
-
-}  // namespace
 
 Result<Sequence> Evaluator::EvalStep(const PathStep& step,
                                      const Sequence& input) {
@@ -455,34 +976,46 @@ Result<Sequence> Evaluator::ApplyPredicates(const std::vector<ExprPtr>& preds,
     Focus saved = focus_;
     size_t size = candidates.size();
     for (size_t i = 0; i < size; ++i) {
-      focus_.item = candidates.at(i);
-      focus_.position = i + 1;
-      focus_.size = size;
-      focus_.valid = true;
-      Result<Sequence> value = Eval(*pred);
-      if (!value.ok()) {
+      Result<bool> keep = PredicateKeep(*pred, candidates.at(i), i + 1, size);
+      if (!keep.ok()) {
         focus_ = saved;
-        return value.status();
+        return keep.status();
       }
-      bool keep = false;
-      // A singleton strictly-numeric predicate is a position test.
-      if (value->size() == 1 && value->at(0).is_numeric()) {
-        LLL_ASSIGN_OR_RETURN(double want, value->at(0).NumericValue());
-        keep = static_cast<double>(i + 1) == want;
-      } else {
-        Result<bool> truth = xdm::EffectiveBooleanValue(*value);
-        if (!truth.ok()) {
-          focus_ = saved;
-          return truth.status();
-        }
-        keep = *truth;
-      }
-      if (keep) kept.Append(candidates.at(i));
+      if (*keep) kept.Append(candidates.at(i));
     }
     focus_ = saved;
     candidates = std::move(kept);
   }
   return candidates;
+}
+
+Result<bool> Evaluator::PredicateKeep(const Expr& pred, const Item& item,
+                                      size_t position, size_t size) {
+  // A literal integer predicate is a pure position test: skip the Eval.
+  // Gated on the streaming knob so streaming=false reproduces the baseline
+  // evaluator's work (and step counts) exactly.
+  if (options_.streaming && pred.kind == ExprKind::kLiteral &&
+      pred.literal_type == Expr::LiteralType::kInteger) {
+    return static_cast<double>(position) == static_cast<double>(pred.integer);
+  }
+  focus_.item = item;
+  focus_.position = position;
+  focus_.size = size;
+  focus_.valid = true;
+  // A predicate that is itself a node-producing path can only be judged by
+  // (non-)emptiness -- a node sequence is never a numeric singleton -- so
+  // one pulled node decides it.
+  if (options_.streaming && IsNodePathShape(pred)) {
+    LLL_ASSIGN_OR_RETURN(Sequence probe, EvalPathLimited(pred, 1));
+    return !probe.empty();
+  }
+  LLL_ASSIGN_OR_RETURN(Sequence value, Eval(pred));
+  // A singleton strictly-numeric predicate is a position test.
+  if (value.size() == 1 && value.at(0).is_numeric()) {
+    LLL_ASSIGN_OR_RETURN(double want, value.at(0).NumericValue());
+    return static_cast<double>(position) == want;
+  }
+  return xdm::EffectiveBooleanValue(value);
 }
 
 // --- Binary operators ---------------------------------------------------
@@ -491,12 +1024,10 @@ Result<Sequence> Evaluator::EvalBinary(const Expr& e) {
   switch (e.op) {
     case BinOp::kOr:
     case BinOp::kAnd: {
-      LLL_ASSIGN_OR_RETURN(Sequence lhs, Eval(*e.children[0]));
-      LLL_ASSIGN_OR_RETURN(bool lv, xdm::EffectiveBooleanValue(lhs));
+      LLL_ASSIGN_OR_RETURN(bool lv, EvalEffectiveBoolean(*e.children[0]));
       if (e.op == BinOp::kOr && lv) return Sequence(Item::Boolean(true));
       if (e.op == BinOp::kAnd && !lv) return Sequence(Item::Boolean(false));
-      LLL_ASSIGN_OR_RETURN(Sequence rhs, Eval(*e.children[1]));
-      LLL_ASSIGN_OR_RETURN(bool rv, xdm::EffectiveBooleanValue(rhs));
+      LLL_ASSIGN_OR_RETURN(bool rv, EvalEffectiveBoolean(*e.children[1]));
       return Sequence(Item::Boolean(rv));
     }
     case BinOp::kGenEq:
@@ -795,8 +1326,7 @@ Status Evaluator::EvalFlworClauses(
       return st;
     }
     case FlworClause::Kind::kWhere: {
-      LLL_ASSIGN_OR_RETURN(Sequence cond, Eval(*clause.expr));
-      LLL_ASSIGN_OR_RETURN(bool truth, xdm::EffectiveBooleanValue(cond));
+      LLL_ASSIGN_OR_RETURN(bool truth, EvalEffectiveBoolean(*clause.expr));
       if (!truth) return Status::Ok();
       return EvalFlworClauses(e, clause_index + 1, tuples, out);
     }
@@ -824,12 +1354,11 @@ Result<Sequence> Evaluator::EvalQuantified(const Expr& e) {
   for (const Item& item : domain.items()) {
     size_t mark = EnvMark();
     EnvBind(e.name, Sequence(item));
-    Result<Sequence> cond = Eval(*e.children[1]);
+    Result<bool> truth = EvalEffectiveBoolean(*e.children[1]);
     EnvRestore(mark);
-    if (!cond.ok()) return cond.status();
-    LLL_ASSIGN_OR_RETURN(bool truth, xdm::EffectiveBooleanValue(*cond));
-    if (e.quantifier_every && !truth) return Sequence(Item::Boolean(false));
-    if (!e.quantifier_every && truth) return Sequence(Item::Boolean(true));
+    if (!truth.ok()) return truth.status();
+    if (e.quantifier_every && !*truth) return Sequence(Item::Boolean(false));
+    if (!e.quantifier_every && *truth) return Sequence(Item::Boolean(true));
   }
   return Sequence(Item::Boolean(e.quantifier_every));
 }
@@ -899,6 +1428,17 @@ Result<Sequence> Evaluator::EvalFunctionCall(const Expr& e) {
       return converted;
     }
     return body;
+  }
+
+  // fn:exists / fn:empty over a path argument: emptiness is decided by the
+  // first node, so pull at most one instead of materializing the set. Placed
+  // after the UDF lookup so a user-declared exists/empty still wins.
+  if (options_.streaming && e.children.size() == 1 &&
+      (name == "exists" || name == "empty") &&
+      IsNodePathShape(*e.children[0])) {
+    LLL_ASSIGN_OR_RETURN(Sequence probe, EvalPathLimited(*e.children[0], 1));
+    bool is_empty = probe.empty();
+    return Sequence(Item::Boolean(name == "empty" ? is_empty : !is_empty));
   }
 
   const auto& builtins = BuiltinFunctions();

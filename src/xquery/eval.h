@@ -20,6 +20,7 @@ class TraceSink;
 namespace lll::xq {
 
 class Evaluator;
+class NodeSetCache;
 
 // Options for one evaluation. The two "galax_" switches reproduce the
 // behaviors of the Galax prototype the paper debugged against (see DESIGN.md
@@ -42,6 +43,21 @@ struct EvalOptions {
   // bit) proves the result already normalized. Off = sort after every step,
   // the pre-index behavior; kept as a benchmark baseline (bench_e12).
   bool order_tracking = true;
+  // Streaming path pipelines: when on (default), eligible axis-step chains
+  // (forward axes, predicates free of fn:last(), single-document input) are
+  // evaluated through a pull-based merge of per-context runs instead of
+  // materializing every intermediate sequence, and early-exit consumers
+  // (positional predicates like [1], fn:exists/fn:empty, boolean contexts)
+  // stop pulling once the answer is determined. Off = the pre-streaming
+  // materializing evaluator, kept byte-identical as a differential baseline
+  // and benchmark arm (bench_e13), mirroring order_tracking.
+  bool streaming = true;
+  // Node-set interning: memoizes the leading predicate-free step chain of
+  // document-rooted paths as (document, step-chain fingerprint) -> Sequence,
+  // invalidated by the document's structure-version counter. Borrowed; must
+  // outlive the evaluation AND be scoped to the documents' owner (cached
+  // sequences hold raw Node pointers). nullptr = no interning.
+  NodeSetCache* nodeset_cache = nullptr;
   // Per-expression profiling (obs/profiler.h): attribute wall time, eval
   // counts, and result sizes to AST nodes. Off = one null-pointer test per
   // expression, nothing more.
@@ -67,6 +83,18 @@ struct EvalStats {
   size_t sorts_performed = 0;
   size_t sorts_skipped = 0;
   size_t order_compares = 0;
+  // Streaming pipeline bookkeeping: `nodes_pulled` counts axis candidates
+  // actually examined by streamed steps; `nodes_skipped_early_exit` is a
+  // lower bound on candidates an early-exiting consumer (positional
+  // predicate, fn:exists, boolean context) never had to visit.
+  size_t nodes_pulled = 0;
+  size_t nodes_skipped_early_exit = 0;
+  // Node-set interning cache traffic attributable to this evaluation. An
+  // invalidation is a lookup that found an entry stamped with a stale
+  // document structure version.
+  size_t nodeset_cache_hits = 0;
+  size_t nodeset_cache_misses = 0;
+  size_t nodeset_cache_invalidations = 0;
 };
 
 // A builtin function: receives evaluated arguments.
@@ -165,10 +193,59 @@ class Evaluator {
     bool valid = false;
   };
 
+  // Streaming pipeline internals (defined in eval.cc).
+  class StreamRun;
+  class StreamStage;
+  class StreamBaseStage;
+  class StreamAxisStage;
+
+  // "No result cap" for EvalPathImpl/EvalPathLimited.
+  static constexpr size_t kNoLimit = static_cast<size_t>(-1);
+
   // The actual dispatch switch behind Eval().
   Result<xdm::Sequence> EvalInner(const Expr& e);
 
   Result<xdm::Sequence> EvalPath(const Expr& e);
+  // Path evaluation with an optional result cap. `limit` is an optimization
+  // hint, not a contract: when the step chain streams, at most `limit` nodes
+  // are produced (and they are exactly the first `limit` of the full
+  // result); when it falls back to materializing, the full result comes
+  // back. Callers may rely on the first min(limit, full size) items only.
+  Result<xdm::Sequence> EvalPathImpl(const Expr& e, size_t limit);
+  // Entry point for early-exit consumers reaching a path WITHOUT going
+  // through Eval(): replicates Eval's step-budget charge and profiler frame
+  // so capped paths stay visible to max_steps and hot-spot reports.
+  Result<xdm::Sequence> EvalPathLimited(const Expr& e, size_t limit);
+  // Evaluates steps [first, last) of a path against `current`, streaming
+  // when eligible, otherwise via the materializing step loop.
+  Result<xdm::Sequence> EvalStepsRange(const Expr& e, size_t first,
+                                       size_t last, xdm::Sequence current,
+                                       size_t limit);
+  // The materializing step loop (the pre-streaming evaluator, also the
+  // streaming=false baseline).
+  Result<xdm::Sequence> EvalStepsMaterialized(const Expr& e, size_t first,
+                                              size_t last,
+                                              xdm::Sequence current);
+  // The pull-based pipeline over steps [first, last): `current` must be all
+  // nodes of one document, sorted and deduplicated.
+  Result<xdm::Sequence> EvalStepsStreamed(const Expr& e, size_t first,
+                                          size_t last, xdm::Sequence current,
+                                          size_t limit);
+  // Effective boolean value with early exit: a node-producing path condition
+  // pulls one node instead of materializing its whole result.
+  Result<bool> EvalEffectiveBoolean(const Expr& e);
+  // One predicate decision for the candidate at `position` (1-based) out of
+  // `size`: literal-integer predicates are pure position tests (no Eval),
+  // singleton-numeric results compare against position, everything else
+  // takes its effective boolean value. Sets and leaves the focus; callers
+  // save/restore around the batch.
+  Result<bool> PredicateKeep(const Expr& pred, const xdm::Item& item,
+                             size_t position, size_t size);
+  // Consults / fills the node-set interning cache for the leading
+  // predicate-free step chain of a document-rooted path. On success returns
+  // the number of steps consumed and replaces *current with the (shared)
+  // prefix result; returns 0 when interning does not apply.
+  Result<size_t> InternPrefix(const Expr& e, xdm::Sequence* current);
   Result<xdm::Sequence> EvalStep(const PathStep& step,
                                  const xdm::Sequence& input);
   // Normalizes `seq` to document order without duplicates, skipping the sort

@@ -1,0 +1,50 @@
+#include "xquery/nodeset_cache.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace lll::xq {
+
+std::string NodeSetCache::MakeKey(const xml::Node* base,
+                                  const std::string& fingerprint) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%p|", static_cast<const void*>(base));
+  return std::string(buf) + fingerprint;
+}
+
+std::shared_ptr<const CachedNodeSet> NodeSetCache::Get(
+    const xml::Document* doc, const std::string& key, Outcome* outcome) {
+  std::shared_ptr<const CachedNodeSet> entry = cache_.Get(key);
+  if (entry == nullptr) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (outcome != nullptr) *outcome = Outcome::kMiss;
+    return nullptr;
+  }
+  if (entry->structure_version != doc->structure_version()) {
+    invalidations_.fetch_add(1, std::memory_order_relaxed);
+    if (outcome != nullptr) *outcome = Outcome::kStale;
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (outcome != nullptr) *outcome = Outcome::kHit;
+  return entry;
+}
+
+void NodeSetCache::Put(const std::string& key, uint64_t version,
+                       xdm::Sequence nodes) {
+  auto entry = std::make_shared<CachedNodeSet>();
+  entry->structure_version = version;
+  entry->nodes = std::move(nodes);
+  cache_.Put(key, std::move(entry));
+}
+
+void NodeSetCache::ExportTo(MetricsRegistry* metrics,
+                            const std::string& prefix) const {
+  metrics->gauge(prefix + ".hits").Set(static_cast<int64_t>(hits()));
+  metrics->gauge(prefix + ".misses").Set(static_cast<int64_t>(misses()));
+  metrics->gauge(prefix + ".invalidations")
+      .Set(static_cast<int64_t>(invalidations()));
+  metrics->gauge(prefix + ".size").Set(static_cast<int64_t>(size()));
+}
+
+}  // namespace lll::xq

@@ -1,0 +1,98 @@
+#ifndef LLL_XQUERY_NODESET_CACHE_H_
+#define LLL_XQUERY_NODESET_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "core/lru_cache.h"
+#include "core/metrics.h"
+#include "xdm/sequence.h"
+#include "xml/node.h"
+
+namespace lll::xq {
+
+// One interned node set: the materialized, normalized (document order, no
+// duplicates) result of a predicate-free step chain from one document node,
+// stamped with the structure version of the owning document at computation
+// time. The stamp -- not the key -- carries the version, so a lookup that
+// finds an entry from a since-mutated document is observable as an
+// invalidation instead of a plain miss, and stale entries cannot pile up
+// under distinct keys.
+struct CachedNodeSet {
+  uint64_t structure_version = 0;
+  xdm::Sequence nodes;
+};
+
+// A thread-safe interning cache for document-rooted node sets, keyed on
+// (base document node, step-chain fingerprint) and invalidated by the
+// document's atomic structure-version counter (the same counter that
+// invalidates the order-key index -- any structural mutation bumps it).
+//
+// Ownership contract: cached Sequences hold raw xml::Node pointers into the
+// documents they were computed from. A NodeSetCache must therefore be scoped
+// to the owner of those documents and destroyed (or Clear()ed) no later than
+// them -- e.g. a member of awbql::XQueryBackend next to its model/metamodel
+// snapshots, or a local spanning one docgen generation. It must never be a
+// process-wide singleton.
+//
+// Concurrency: Get/Put are safe from any number of threads (the underlying
+// LruCache serializes bookkeeping; values are shared immutable handles), and
+// the version check reads an atomic. Mutating a document concurrently with
+// evaluations over it is NOT safe -- the same contract as the tree itself.
+//
+// Stats: the LruCache's own CacheStats would count a stale hit as a hit, so
+// this class keeps its own hit/miss/invalidation counters (relaxed atomics).
+class NodeSetCache {
+ public:
+  enum class Outcome { kHit, kMiss, kStale };
+
+  // capacity 0 = passthrough (every lookup misses, nothing stored).
+  explicit NodeSetCache(size_t capacity = 128) : cache_(capacity) {}
+
+  NodeSetCache(const NodeSetCache&) = delete;
+  NodeSetCache& operator=(const NodeSetCache&) = delete;
+
+  // Returns the entry for `key` iff it was computed at `doc`'s current
+  // structure version; nullptr on miss or staleness. `outcome` (optional)
+  // distinguishes the two.
+  std::shared_ptr<const CachedNodeSet> Get(const xml::Document* doc,
+                                           const std::string& key,
+                                           Outcome* outcome = nullptr);
+
+  // Stores the node set computed at `version` (read the document's
+  // structure_version() BEFORE computing). Overwrites stale entries.
+  void Put(const std::string& key, uint64_t version, xdm::Sequence nodes);
+
+  // The key for a step chain hanging off `base`: the base node's identity
+  // (distinct document nodes in one arena intern separately) plus the
+  // caller-built chain fingerprint.
+  static std::string MakeKey(const xml::Node* base,
+                             const std::string& fingerprint);
+
+  uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  uint64_t invalidations() const {
+    return invalidations_.load(std::memory_order_relaxed);
+  }
+
+  size_t capacity() const { return cache_.capacity(); }
+  size_t size() const { return cache_.size(); }
+  void Clear() { cache_.Clear(); }
+
+  // Publishes the counters as gauges named "<prefix>.hits" etc. (gauges, not
+  // counters: this cache accumulates totals, so each export overwrites the
+  // last snapshot instead of double-counting -- same scheme as QueryCache).
+  void ExportTo(MetricsRegistry* metrics, const std::string& prefix) const;
+
+ private:
+  LruCache<CachedNodeSet> cache_;
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> invalidations_{0};
+};
+
+}  // namespace lll::xq
+
+#endif  // LLL_XQUERY_NODESET_CACHE_H_

@@ -417,9 +417,31 @@ struct OrderAnalyzer {
       // focus item. Either way: one node.
       prop = OrderProp::kSingleton;
     }
+    // Interning applies to the leading predicate-free chain of a path whose
+    // base is a lone document node: the rooted form, or fn:doc(...).
+    bool internable =
+        (!e->has_base && e->rooted) ||
+        (e->has_base && e->children[0]->kind == ExprKind::kFunctionCall &&
+         (e->children[0]->name == "doc" || e->children[0]->name == "fn:doc"));
     for (PathStep& step : e->steps) {
       for (ExprPtr& p : step.predicates) Analyze(p.get());
-      if (step.is_filter) continue;  // a subset preserves every property
+      if (step.is_filter) {
+        internable = false;
+        continue;  // a subset preserves every property
+      }
+      // Advisory streaming/interning annotations (rendered by EXPLAIN); the
+      // evaluator re-derives both per call from dynamic conditions.
+      step.statically_streamable = IsStreamableAxis(step.axis);
+      if (step.statically_streamable) {
+        for (const ExprPtr& p : step.predicates) {
+          if (ContainsLastCall(*p)) {
+            step.statically_streamable = false;
+            break;
+          }
+        }
+      }
+      internable = internable && step.predicates.empty();
+      step.statically_internable = internable;
       prop = TransferOrder(prop, step.axis);
       step.statically_ordered = prop != OrderProp::kNone;
       if (step.statically_ordered) {

@@ -1,0 +1,210 @@
+// Tests for the versioned node-set interning cache: unit behavior of
+// NodeSetCache itself, end-to-end interning through the evaluator,
+// invalidation under document mutation, and a shared-cache concurrency test
+// (run under ThreadSanitizer via the "concurrency" ctest label).
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "xml/parser.h"
+#include "xquery/engine.h"
+#include "xquery/nodeset_cache.h"
+
+namespace lll {
+namespace {
+
+constexpr char kDoc[] =
+    "<lib><shelf><book id=\"1\"/><book id=\"2\"/></shelf>"
+    "<shelf><book id=\"3\"/></shelf></lib>";
+
+TEST(NodeSetCache, HitMissAndStaleOutcomes) {
+  auto doc = xml::Parse(kDoc, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(doc.ok());
+  xml::Document* d = doc->get();
+  xq::NodeSetCache cache(8);
+  std::string key = xq::NodeSetCache::MakeKey(d->root(), "child::lib/");
+
+  xq::NodeSetCache::Outcome outcome;
+  EXPECT_EQ(cache.Get(d, key, &outcome), nullptr);
+  EXPECT_EQ(outcome, xq::NodeSetCache::Outcome::kMiss);
+  EXPECT_EQ(cache.misses(), 1u);
+
+  uint64_t version = d->structure_version();
+  xdm::Sequence nodes(xdm::Item::NodeRef(d->DocumentElement()));
+  cache.Put(key, version, std::move(nodes));
+
+  auto entry = cache.Get(d, key, &outcome);
+  ASSERT_NE(entry, nullptr);
+  EXPECT_EQ(outcome, xq::NodeSetCache::Outcome::kHit);
+  EXPECT_EQ(entry->structure_version, version);
+  EXPECT_EQ(entry->nodes.size(), 1u);
+  EXPECT_EQ(cache.hits(), 1u);
+
+  // Mutate the document: the entry is still stored, but the version stamp
+  // no longer matches, so the lookup reports a (countable) invalidation.
+  ASSERT_TRUE(
+      d->DocumentElement()->AppendChild(d->CreateElement("shelf")).ok());
+  EXPECT_GT(d->structure_version(), version);
+  EXPECT_EQ(cache.Get(d, key, &outcome), nullptr);
+  EXPECT_EQ(outcome, xq::NodeSetCache::Outcome::kStale);
+  EXPECT_EQ(cache.invalidations(), 1u);
+}
+
+TEST(NodeSetCache, ZeroCapacityIsPassthrough) {
+  auto doc = xml::Parse(kDoc, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(doc.ok());
+  xml::Document* d = doc->get();
+  xq::NodeSetCache cache(0);
+  std::string key = xq::NodeSetCache::MakeKey(d->root(), "x");
+  cache.Put(key, d->structure_version(), xdm::Sequence());
+  EXPECT_EQ(cache.Get(d, key), nullptr);
+  EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(NodeSetCache, DistinctBaseNodesInternSeparately) {
+  auto doc1 = xml::Parse(kDoc, {.strip_insignificant_whitespace = true});
+  auto doc2 = xml::Parse(kDoc, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(doc1.ok() && doc2.ok());
+  EXPECT_NE(xq::NodeSetCache::MakeKey((*doc1)->root(), "child::lib/"),
+            xq::NodeSetCache::MakeKey((*doc2)->root(), "child::lib/"));
+}
+
+// End-to-end: repeated evaluations of the same rooted, predicate-free step
+// chain through one shared cache hit on the second run.
+TEST(NodeSetCacheIntegration, RepeatedQueriesHit) {
+  auto doc = xml::Parse(kDoc, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(doc.ok());
+  xq::NodeSetCache cache;
+  auto query = xq::Compile("//book");
+  ASSERT_TRUE(query.ok());
+  xq::ExecuteOptions opts;
+  opts.context_node = (*doc)->root();
+  opts.eval.nodeset_cache = &cache;
+
+  auto r1 = xq::Execute(*query, opts);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->sequence.size(), 3u);
+  EXPECT_GT(r1->stats.nodeset_cache_misses, 0u);
+  EXPECT_EQ(r1->stats.nodeset_cache_hits, 0u);
+
+  auto r2 = xq::Execute(*query, opts);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GT(r2->stats.nodeset_cache_hits, 0u);
+  EXPECT_EQ(r2->SerializedItems(), r1->SerializedItems());
+
+  // A different chain over the same document is its own entry.
+  auto other = xq::Compile("//shelf");
+  ASSERT_TRUE(other.ok());
+  auto r3 = xq::Execute(*other, opts);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_GT(r3->stats.nodeset_cache_misses, 0u);
+  EXPECT_EQ(r3->sequence.size(), 2u);
+}
+
+TEST(NodeSetCacheIntegration, MutationInvalidatesAndRecomputes) {
+  auto doc = xml::Parse(kDoc, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(doc.ok());
+  xml::Document* d = doc->get();
+  xq::NodeSetCache cache;
+  auto query = xq::Compile("count(//book)");
+  ASSERT_TRUE(query.ok());
+  xq::ExecuteOptions opts;
+  opts.context_node = d->root();
+  opts.eval.nodeset_cache = &cache;
+
+  auto r1 = xq::Execute(*query, opts);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->SerializedItems(), "3");
+  auto warm = xq::Execute(*query, opts);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_GT(warm->stats.nodeset_cache_hits, 0u);
+
+  // Grow the document: the warm entry must NOT be served again.
+  xml::Node* shelf = d->DocumentElement()->children().front();
+  xml::Node* book = d->CreateElement("book");
+  book->SetAttribute("id", "4");
+  ASSERT_TRUE(shelf->AppendChild(book).ok());
+
+  auto r2 = xq::Execute(*query, opts);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(r2->SerializedItems(), "4");
+  EXPECT_GT(r2->stats.nodeset_cache_invalidations, 0u);
+  EXPECT_EQ(r2->stats.nodeset_cache_hits, 0u);
+
+  // And the recomputed entry is served at the new version.
+  auto r3 = xq::Execute(*query, opts);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->SerializedItems(), "4");
+  EXPECT_GT(r3->stats.nodeset_cache_hits, 0u);
+}
+
+TEST(NodeSetCacheIntegration, LimitedProbesAreNotInterned) {
+  // exists() probes pull a 1-item prefix; interning that truncated set
+  // would poison later full evaluations. Verify the full query still sees
+  // everything after a probe primed (or rather, did not prime) the cache.
+  auto doc = xml::Parse(kDoc, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(doc.ok());
+  xq::NodeSetCache cache;
+  xq::ExecuteOptions opts;
+  opts.context_node = (*doc)->root();
+  opts.eval.nodeset_cache = &cache;
+
+  auto probe = xq::Compile("exists(//book)");
+  ASSERT_TRUE(probe.ok());
+  auto p = xq::Execute(*probe, opts);
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->SerializedItems(), "true");
+
+  auto full = xq::Compile("count(//book)");
+  ASSERT_TRUE(full.ok());
+  auto f = xq::Execute(*full, opts);
+  ASSERT_TRUE(f.ok());
+  EXPECT_EQ(f->SerializedItems(), "3");
+}
+
+// Many threads evaluating through ONE shared cache over ONE read-only
+// document. Carries the "concurrency" ctest label so the TSan preset
+// exercises the Get/Put and counter paths under contention.
+TEST(NodeSetCacheConcurrency, SharedCacheParallelEvaluations) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 50; ++i) {
+    xml += "<s><book id=\"" + std::to_string(i) + "\"/></s>";
+  }
+  xml += "</r>";
+  auto doc = xml::Parse(xml, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(doc.ok());
+  (*doc)->EnsureOrderIndex();  // pre-build: mutations are off the table now
+
+  xq::NodeSetCache cache(32);
+  auto by_books = xq::Compile("count(//book)");
+  auto by_shelves = xq::Compile("count(//s)");
+  ASSERT_TRUE(by_books.ok() && by_shelves.ok());
+
+  constexpr int kThreads = 8;
+  constexpr int kIterations = 25;
+  std::vector<std::thread> threads;
+  std::vector<int> failures(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kIterations; ++i) {
+        const xq::CompiledQuery& q =
+            (i + t) % 2 == 0 ? *by_books : *by_shelves;
+        const char* want = (i + t) % 2 == 0 ? "50" : "50";
+        xq::ExecuteOptions opts;
+        opts.context_node = (*doc)->root();
+        opts.eval.nodeset_cache = &cache;
+        auto r = xq::Execute(q, opts);
+        if (!r.ok() || r->SerializedItems() != want) ++failures[t];
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << t;
+  // Everyone after the first computation should have hit.
+  EXPECT_GT(cache.hits(), 0u);
+}
+
+}  // namespace
+}  // namespace lll
