@@ -138,10 +138,16 @@ Result<std::vector<const ModelNode*>> EvalNativeCached(
   if (memo == nullptr) return EvalNative(query, model, focus);
   // The canonical text round-trips the query exactly, so it is a sound
   // identity; the focus id distinguishes per-focus results of `from focus`
-  // queries.
+  // queries. The marker byte keeps "no focus" distinct from a focus whose
+  // id happens to be the empty string.
   std::string key = QueryToText(query);
   key += '\n';
-  if (focus != nullptr) key += focus->id();
+  if (focus != nullptr) {
+    key += '#';
+    key += focus->id();
+  } else {
+    key += '-';
+  }
   if (auto cached = memo->cache_.Get(key)) {
     memo->hits_.fetch_add(1, std::memory_order_relaxed);
     return *cached;

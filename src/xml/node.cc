@@ -260,6 +260,8 @@ void Node::Detach() {
 // --- Document ---------------------------------------------------------------
 
 Document::Document() : root_(nullptr) {
+  static std::atomic<uint64_t> next_doc_id{1};
+  doc_id_ = next_doc_id.fetch_add(1, std::memory_order_relaxed);
   root_ = NewNode(NodeKind::kDocument, "", "");
 }
 

@@ -201,6 +201,13 @@ class Document {
            structure_version();
   }
 
+  // Process-unique, monotonically increasing id assigned at construction.
+  // Unlike an address, an id is never reused after the Document dies, so
+  // caches that key on a Document (or its nodes) by address must also
+  // validate this id -- a recycled allocation can otherwise impersonate the
+  // dead document, structure_version and all.
+  uint64_t doc_id() const { return doc_id_; }
+
  private:
   friend class Node;
   Node* NewNode(NodeKind kind, std::string name, std::string value);
@@ -211,6 +218,7 @@ class Document {
 
   std::vector<std::unique_ptr<Node>> nodes_;
   Node* root_;
+  uint64_t doc_id_ = 0;
 
   std::atomic<uint64_t> structure_version_{1};
   mutable std::atomic<uint64_t> order_index_version_{0};

@@ -698,6 +698,12 @@ Result<size_t> Evaluator::InternPrefix(const Expr& e, Sequence* current) {
   if (current->size() != 1 || !current->at(0).is_node()) return 0;
   xml::Node* base = current->at(0).node();
   if (!base->is_document() || base->document() == nullptr) return 0;
+  // Never intern sets rooted in this execution's construction arena (e.g.
+  // `document { ... }` results): the arena dies with the query, while the
+  // cache (session- or backend-scoped) lives on, and the next execution's
+  // arena is likely reallocated at the same address -- the stamp alone
+  // cannot make raw pointers into a freed arena safe to hand out.
+  if (base->document() == ctx_->construction_arena()) return 0;
 
   // The internable prefix: leading predicate-free axis steps. Predicates are
   // excluded because their evaluation can depend on the dynamic context
@@ -756,7 +762,7 @@ Result<size_t> Evaluator::InternPrefix(const Expr& e, Sequence* current) {
       Sequence computed,
       EvalStepsRange(e, 0, prefix, std::move(*current), kNoLimit));
   if (computed.empty() || SingleDocumentOf(computed) == doc) {
-    cache->Put(key, version, computed);
+    cache->Put(key, doc->doc_id(), version, computed);
   }
   *current = std::move(computed);
   return prefix;

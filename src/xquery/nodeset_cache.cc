@@ -20,7 +20,8 @@ std::shared_ptr<const CachedNodeSet> NodeSetCache::Get(
     if (outcome != nullptr) *outcome = Outcome::kMiss;
     return nullptr;
   }
-  if (entry->structure_version != doc->structure_version()) {
+  if (entry->doc_id != doc->doc_id() ||
+      entry->structure_version != doc->structure_version()) {
     invalidations_.fetch_add(1, std::memory_order_relaxed);
     if (outcome != nullptr) *outcome = Outcome::kStale;
     return nullptr;
@@ -30,9 +31,10 @@ std::shared_ptr<const CachedNodeSet> NodeSetCache::Get(
   return entry;
 }
 
-void NodeSetCache::Put(const std::string& key, uint64_t version,
-                       xdm::Sequence nodes) {
+void NodeSetCache::Put(const std::string& key, uint64_t doc_id,
+                       uint64_t version, xdm::Sequence nodes) {
   auto entry = std::make_shared<CachedNodeSet>();
+  entry->doc_id = doc_id;
   entry->structure_version = version;
   entry->nodes = std::move(nodes);
   cache_.Put(key, std::move(entry));

@@ -15,12 +15,16 @@ namespace lll::xq {
 
 // One interned node set: the materialized, normalized (document order, no
 // duplicates) result of a predicate-free step chain from one document node,
-// stamped with the structure version of the owning document at computation
-// time. The stamp -- not the key -- carries the version, so a lookup that
-// finds an entry from a since-mutated document is observable as an
-// invalidation instead of a plain miss, and stale entries cannot pile up
-// under distinct keys.
+// stamped with the identity (doc_id) and structure version of the owning
+// document at computation time. The stamps -- not the key -- carry both, so
+// a lookup that finds an entry from a since-mutated document is observable
+// as an invalidation instead of a plain miss, and stale entries cannot pile
+// up under distinct keys. The doc_id stamp guards against address reuse:
+// the key embeds the base node's address, and a later Document allocated at
+// a recycled address (same pointer, possibly same structure_version) must
+// not validate an entry whose Sequence points into the freed arena.
 struct CachedNodeSet {
+  uint64_t doc_id = 0;
   uint64_t structure_version = 0;
   xdm::Sequence nodes;
 };
@@ -54,16 +58,20 @@ class NodeSetCache {
   NodeSetCache(const NodeSetCache&) = delete;
   NodeSetCache& operator=(const NodeSetCache&) = delete;
 
-  // Returns the entry for `key` iff it was computed at `doc`'s current
-  // structure version; nullptr on miss or staleness. `outcome` (optional)
-  // distinguishes the two.
+  // Returns the entry for `key` iff it was computed from this very `doc`
+  // (doc_id match -- an entry from a dead document whose address was
+  // recycled reports as stale) at `doc`'s current structure version;
+  // nullptr on miss or staleness. `outcome` (optional) distinguishes the
+  // two.
   std::shared_ptr<const CachedNodeSet> Get(const xml::Document* doc,
                                            const std::string& key,
                                            Outcome* outcome = nullptr);
 
-  // Stores the node set computed at `version` (read the document's
-  // structure_version() BEFORE computing). Overwrites stale entries.
-  void Put(const std::string& key, uint64_t version, xdm::Sequence nodes);
+  // Stores the node set computed from the document identified by `doc_id`
+  // at `version` (read the document's structure_version() BEFORE
+  // computing). Overwrites stale entries.
+  void Put(const std::string& key, uint64_t doc_id, uint64_t version,
+           xdm::Sequence nodes);
 
   // The key for a step chain hanging off `base`: the base node's identity
   // (distinct document nodes in one arena intern separately) plus the

@@ -33,7 +33,7 @@ TEST(NodeSetCache, HitMissAndStaleOutcomes) {
 
   uint64_t version = d->structure_version();
   xdm::Sequence nodes(xdm::Item::NodeRef(d->DocumentElement()));
-  cache.Put(key, version, std::move(nodes));
+  cache.Put(key, d->doc_id(), version, std::move(nodes));
 
   auto entry = cache.Get(d, key, &outcome);
   ASSERT_NE(entry, nullptr);
@@ -58,9 +58,36 @@ TEST(NodeSetCache, ZeroCapacityIsPassthrough) {
   xml::Document* d = doc->get();
   xq::NodeSetCache cache(0);
   std::string key = xq::NodeSetCache::MakeKey(d->root(), "x");
-  cache.Put(key, d->structure_version(), xdm::Sequence());
+  cache.Put(key, d->doc_id(), d->structure_version(), xdm::Sequence());
   EXPECT_EQ(cache.Get(d, key), nullptr);
   EXPECT_EQ(cache.hits(), 0u);
+}
+
+TEST(NodeSetCache, ForeignDocIdReportsStaleNotHit) {
+  // An entry stamped with another document's id must never validate, even
+  // when the structure versions happen to agree. This is the guard against
+  // allocator address reuse: the key embeds the base node's address, so a
+  // new Document at a recycled address could otherwise serve a dead
+  // document's pointers.
+  auto doc1 = xml::Parse(kDoc, {.strip_insignificant_whitespace = true});
+  auto doc2 = xml::Parse(kDoc, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(doc1.ok() && doc2.ok());
+  xml::Document* d1 = doc1->get();
+  xml::Document* d2 = doc2->get();
+  ASSERT_NE(d1->doc_id(), d2->doc_id());
+  ASSERT_EQ(d1->structure_version(), d2->structure_version());
+
+  xq::NodeSetCache cache(8);
+  std::string key = "recycled|child::lib/";
+  cache.Put(key, d1->doc_id(), d1->structure_version(),
+            xdm::Sequence(xdm::Item::NodeRef(d1->DocumentElement())));
+
+  xq::NodeSetCache::Outcome outcome;
+  EXPECT_NE(cache.Get(d1, key, &outcome), nullptr);
+  EXPECT_EQ(outcome, xq::NodeSetCache::Outcome::kHit);
+  EXPECT_EQ(cache.Get(d2, key, &outcome), nullptr);
+  EXPECT_EQ(outcome, xq::NodeSetCache::Outcome::kStale);
+  EXPECT_EQ(cache.invalidations(), 1u);
 }
 
 TEST(NodeSetCache, DistinctBaseNodesInternSeparately) {
@@ -138,6 +165,28 @@ TEST(NodeSetCacheIntegration, MutationInvalidatesAndRecomputes) {
   ASSERT_TRUE(r3.ok());
   EXPECT_EQ(r3->SerializedItems(), "4");
   EXPECT_GT(r3->stats.nodeset_cache_hits, 0u);
+}
+
+TEST(NodeSetCacheIntegration, ConstructedDocumentsAreNotInterned) {
+  // Regression: a session-scoped cache outlives each query's construction
+  // arena (QueryResult.arena is per-query). Interning a set rooted at an
+  // arena document would leave raw pointers into a freed arena behind; a
+  // re-run whose identically-built arena lands at the recycled address
+  // (same structure_version) would then be served garbage. Arena-rooted
+  // paths must bypass the cache entirely.
+  xq::NodeSetCache cache;
+  auto query = xq::Compile("let $d := document { <a><b/></a> } return $d/a");
+  ASSERT_TRUE(query.ok());
+  xq::ExecuteOptions opts;
+  opts.eval.nodeset_cache = &cache;
+
+  for (int run = 0; run < 3; ++run) {
+    auto r = xq::Execute(*query, opts);
+    ASSERT_TRUE(r.ok()) << run;
+    EXPECT_EQ(r->SerializedItems(), "<a><b/></a>") << run;
+    EXPECT_EQ(r->stats.nodeset_cache_hits, 0u) << run;
+  }
+  EXPECT_EQ(cache.size(), 0u);
 }
 
 TEST(NodeSetCacheIntegration, LimitedProbesAreNotInterned) {

@@ -182,6 +182,20 @@ TEST(Streaming, EarlyExitSkipsWorkOnFirstMatch) {
   EXPECT_EQ(e->SerializedItems(), "true");
   EXPECT_LT(e->stats.nodes_pulled, 100u);
 
+  // The prefixed spellings take the same limit-1 probe (EvalFunctionCall
+  // strips "fn:" before the name check).
+  for (const char* q : {"fn:exists(//x)", "fn:empty(//x)"}) {
+    auto prefixed = xq::Compile(q);
+    ASSERT_TRUE(prefixed.ok()) << q;
+    auto p = xq::Execute(*prefixed, opts);
+    ASSERT_TRUE(p.ok()) << q;
+    EXPECT_EQ(p->SerializedItems(),
+              std::string(q).find("empty") != std::string::npos ? "false"
+                                                                : "true")
+        << q;
+    EXPECT_LT(p->stats.nodes_pulled, 100u) << q;
+  }
+
   // With streaming off the same queries visit everything and pull nothing
   // through the (absent) pipeline.
   xq::ExecuteOptions materializing = opts;
