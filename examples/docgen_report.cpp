@@ -155,6 +155,10 @@ int main(int argc, char** argv) {
               xquery->stats.nodes_pulled);
   std::printf("%-28s %12s %12zu\n", "nodes skipped (early exit)", "-",
               xquery->stats.nodes_skipped_early_exit);
+  std::printf("%-28s %12s %12zu\n", "reverse runs merged", "-",
+              xquery->stats.reverse_runs_merged);
+  std::printf("%-28s %12s %12zu\n", "limit push-downs", "-",
+              xquery->stats.limit_pushdowns);
   std::printf("%-28s %12s %12zu\n", "nodeset cache hits", "-",
               xquery->stats.nodeset_cache_hits);
   std::printf("%-28s %12s %12zu\n", "nodeset cache misses", "-",

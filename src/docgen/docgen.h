@@ -106,6 +106,10 @@ struct DocGenStats {
   // examined because a consumer stopped pulling early.
   size_t nodes_pulled = 0;
   size_t nodes_skipped_early_exit = 0;
+  // XQuery engine only: reverse-axis runs fed into the k-way document-order
+  // merge, and paths truncated by an optimizer-pushed limit hint.
+  size_t reverse_runs_merged = 0;
+  size_t limit_pushdowns = 0;
   // XQuery engine only: node-set interning cache traffic across all phases
   // (the cache itself is scoped to one generation).
   size_t nodeset_cache_hits = 0;

@@ -140,6 +140,8 @@ Result<DocGenResult> GenerateXQuery(const xml::Node* template_root,
     stats.sorts_skipped += s.sorts_skipped;
     stats.nodes_pulled += s.nodes_pulled;
     stats.nodes_skipped_early_exit += s.nodes_skipped_early_exit;
+    stats.reverse_runs_merged += s.reverse_runs_merged;
+    stats.limit_pushdowns += s.limit_pushdowns;
     stats.nodeset_cache_hits += s.nodeset_cache_hits;
     stats.nodeset_cache_misses += s.nodeset_cache_misses;
     stats.nodeset_cache_invalidations += s.nodeset_cache_invalidations;

@@ -89,6 +89,9 @@ struct PlanPrinter {
       case ExprKind::kPath:
         if (e.rooted) head += " rooted";
         if (e.has_base) head += " from-base";
+        if (e.statically_limit_pushable && e.limit_hint > 0) {
+          head += " [limit " + std::to_string(e.limit_hint) + "]";
+        }
         break;
       default:
         break;
@@ -109,7 +112,10 @@ struct PlanPrinter {
                             : std::string("step ") + xq::AxisName(step.axis) +
                                   "::" + NodeTestText(step);
         if (step.statically_ordered) s += " [ordered]";
-        if (step.statically_streamable) s += " [streamed]";
+        if (step.statically_streamable) {
+          s += xq::IsReverseStreamableAxis(step.axis) ? " [streamed-rev]"
+                                                      : " [streamed]";
+        }
         if (step.statically_internable) s += " [interned]";
         Line(depth + 1, s);
         for (const auto& pred : step.predicates) {
@@ -198,7 +204,8 @@ std::string Explain(const xq::CompiledQuery& query,
          "\n  eliminated_trace_calls: " +
          std::to_string(stats.eliminated_trace_calls) +
          "\n  ordered_steps_annotated: " +
-         std::to_string(stats.ordered_steps_annotated) + "\n";
+         std::to_string(stats.ordered_steps_annotated) +
+         "\n  limits_pushed: " + std::to_string(stats.limits_pushed) + "\n";
   return out;
 }
 

@@ -34,7 +34,7 @@ OrderProp MeetOrder(OrderProp a, OrderProp b) {
   return static_cast<int>(a) < static_cast<int>(b) ? a : b;
 }
 
-bool IsStreamableAxis(Axis axis) {
+bool IsForwardStreamableAxis(Axis axis) {
   switch (axis) {
     case Axis::kChild:
     case Axis::kAttribute:
@@ -50,6 +50,22 @@ bool IsStreamableAxis(Axis axis) {
       return false;
   }
   return false;
+}
+
+bool IsReverseStreamableAxis(Axis axis) {
+  switch (axis) {
+    case Axis::kParent:
+    case Axis::kAncestor:
+    case Axis::kAncestorOrSelf:
+    case Axis::kPrecedingSibling:
+      return true;
+    default:
+      return false;
+  }
+}
+
+bool IsStreamableAxis(Axis axis) {
+  return IsForwardStreamableAxis(axis) || IsReverseStreamableAxis(axis);
 }
 
 bool ContainsLastCall(const Expr& e) {
@@ -74,6 +90,34 @@ bool ContainsLastCall(const Expr& e) {
   for (const DirectAttribute& a : e.attributes) {
     for (const ExprPtr& p : a.value_parts) {
       if (p != nullptr && ContainsLastCall(*p)) return true;
+    }
+  }
+  return false;
+}
+
+bool ContainsTraceCall(const Expr& e) {
+  if (e.kind == ExprKind::kFunctionCall &&
+      (e.name == "trace" || e.name == "fn:trace" || e.name == "error" ||
+       e.name == "fn:error")) {
+    return true;
+  }
+  for (const ExprPtr& c : e.children) {
+    if (c != nullptr && ContainsTraceCall(*c)) return true;
+  }
+  for (const PathStep& s : e.steps) {
+    for (const ExprPtr& p : s.predicates) {
+      if (p != nullptr && ContainsTraceCall(*p)) return true;
+    }
+  }
+  for (const FlworClause& c : e.clauses) {
+    if (c.expr != nullptr && ContainsTraceCall(*c.expr)) return true;
+  }
+  for (const OrderSpec& o : e.order_by) {
+    if (o.key != nullptr && ContainsTraceCall(*o.key)) return true;
+  }
+  for (const DirectAttribute& a : e.attributes) {
+    for (const ExprPtr& p : a.value_parts) {
+      if (p != nullptr && ContainsTraceCall(*p)) return true;
     }
   }
   return false;
@@ -225,6 +269,8 @@ ExprPtr CloneExpr(const Expr& e) {
   out->type = e.type;
   out->line = e.line;
   out->col = e.col;
+  out->limit_hint = e.limit_hint;
+  out->statically_limit_pushable = e.statically_limit_pushable;
   for (const ExprPtr& c : e.children) out->children.push_back(CloneExpr(*c));
   for (const PathStep& s : e.steps) {
     PathStep sc;
@@ -232,6 +278,8 @@ ExprPtr CloneExpr(const Expr& e) {
     sc.test = s.test;
     sc.is_filter = s.is_filter;
     sc.statically_ordered = s.statically_ordered;
+    sc.statically_streamable = s.statically_streamable;
+    sc.statically_internable = s.statically_internable;
     for (const ExprPtr& p : s.predicates) sc.predicates.push_back(CloneExpr(*p));
     out->steps.push_back(std::move(sc));
   }

@@ -76,8 +76,16 @@ OrderProp TransferOrder(OrderProp input, Axis axis);
 OrderProp MeetOrder(OrderProp a, OrderProp b);
 
 // True for the forward axes the streaming pipeline can enumerate lazily in
-// document order. Reverse axes yield per-context results backwards and stay
-// on the materializing normalize-after-step path.
+// document order, one candidate at a time.
+bool IsForwardStreamableAxis(Axis axis);
+
+// True for the reverse axes the pipeline handles with a barrier stage:
+// per-context runs enumerate natively in reverse document order (ancestor
+// chains and preceding siblings need no per-run sort), buffer their passing
+// candidates, and are k-way-merged back into document order.
+bool IsReverseStreamableAxis(Axis axis);
+
+// Either of the above: the step's axis can participate in the pull pipeline.
 bool IsStreamableAxis(Axis axis);
 
 // Conservative scan for calls that observe the focus size: true if any
@@ -86,6 +94,14 @@ bool IsStreamableAxis(Axis axis);
 // disqualifies its step. Nested predicates get their own focus but are
 // included anyway; the over-approximation only costs a fallback.
 bool ContainsLastCall(const Expr& e);
+
+// Conservative scan for calls with externally observable effects: true if
+// any subexpression calls trace / fn:trace / error / fn:error. The streamed
+// merge interleaves per-run predicate evaluation and early exit skips
+// evaluations outright, so a trace-bearing predicate must fall back to the
+// materializing evaluator to keep the trace-event stream byte-identical
+// between modes (the trace-parity rule, DESIGN.md section 10).
+bool ContainsTraceCall(const Expr& e);
 
 struct PathStep {
   Axis axis = Axis::kChild;
@@ -101,8 +117,10 @@ struct PathStep {
   // with inter-step dedup, so the evaluator may skip the normalizing sort.
   bool statically_ordered = false;
   // Set by the optimizer: this step is syntactically eligible for the
-  // pull-based streaming pipeline (a forward axis whose predicates never
-  // call fn:last()). EXPLAIN renders it as [streamed]. Advisory only -- the
+  // pull-based streaming pipeline (a streamable axis whose predicates never
+  // call fn:last(), fn:trace()/fn:error(), or a user-defined/unknown
+  // function). EXPLAIN renders it as [streamed] for forward axes and
+  // [streamed-rev] for reverse ones. Advisory only -- the
   // evaluator recomputes eligibility per call, because the CompiledQuery may
   // be shared across threads and dynamic conditions (single-document input,
   // EvalOptions::streaming) cannot be known at compile time.
@@ -252,6 +270,16 @@ struct Expr {
   bool has_base = false;  // children[0] is the E in E/step/step
   bool rooted = false;    // absolute: starts at the context node's root
   std::vector<PathStep> steps;
+
+  // kPath: conservative upper bound, set by the optimizer's limit push-down
+  // pass, on how many leading items of this path's result any consumer can
+  // observe (fn:head, fn:subsequence starting at 1, a positional `for`
+  // guarded by `$p le N`). 0 means no bound. Applied only when
+  // EvalOptions::streaming is on; the materializing evaluator ignores it so
+  // streaming=false stays byte-identical as the differential baseline.
+  size_t limit_hint = 0;
+  // Advisory mirror of limit_hint for EXPLAIN ([limit N]).
+  bool statically_limit_pushable = false;
 
   // kFlwor
   std::vector<FlworClause> clauses;

@@ -78,6 +78,10 @@ Result<QueryResult> Execute(const CompiledQuery& query,
         .Increment(stats.nodes_pulled);
     options.metrics->counter("xq.eval.nodes_skipped_early_exit")
         .Increment(stats.nodes_skipped_early_exit);
+    options.metrics->counter("xq.eval.reverse_runs_merged")
+        .Increment(stats.reverse_runs_merged);
+    options.metrics->counter("xq.eval.limit_pushdowns")
+        .Increment(stats.limit_pushdowns);
     options.metrics->counter("xq.eval.nodeset_cache_hits")
         .Increment(stats.nodeset_cache_hits);
     options.metrics->counter("xq.eval.nodeset_cache_misses")

@@ -104,17 +104,6 @@ void CollectDescendants(xml::Node* n, std::vector<xml::Node*>* out) {
   }
 }
 
-// Streamability of one step at evaluation time; IsStreamableAxis and
-// ContainsLastCall (ast.cc) are shared with the optimizer's advisory
-// statically_streamable annotation.
-bool StepStreamable(const PathStep& step) {
-  if (step.is_filter || !IsStreamableAxis(step.axis)) return false;
-  for (const ExprPtr& p : step.predicates) {
-    if (ContainsLastCall(*p)) return false;
-  }
-  return true;
-}
-
 // A path whose last step is an axis step: every item of its result is a
 // node, so emptiness / effective boolean value / predicate truth are all
 // decided by the first node pulled (a node sequence is never a numeric
@@ -266,6 +255,15 @@ Result<Sequence> Evaluator::EvalInner(const Expr& e) {
       return Sequence(f.item);
     }
     case ExprKind::kPath:
+      // An optimizer-pushed limit hint (fn:head / fn:subsequence /
+      // positional-for shapes) caps the streamed result; the materializing
+      // fallback inside EvalPathImpl still returns the full result, which
+      // consumers of a limited path tolerate by contract. streaming=false
+      // ignores the hint entirely: the baseline stays byte-identical.
+      if (options_.streaming && e.limit_hint > 0) {
+        ++stats_.limit_pushdowns;
+        return EvalPathImpl(e, e.limit_hint);
+      }
       return EvalPath(e);
     case ExprKind::kBinary:
       return EvalBinary(e);
@@ -356,6 +354,60 @@ void Evaluator::SortDedup(Sequence* seq, bool provably_ordered) {
   ++stats_.sorts_performed;
 }
 
+// Streamability of one step at evaluation time; the axis classification
+// (ast.cc) is shared with the optimizer's advisory statically_streamable
+// annotation, which applies the same predicate scan against the module.
+bool Evaluator::StepStreamable(const PathStep& step) const {
+  if (step.is_filter || !IsStreamableAxis(step.axis)) return false;
+  for (const ExprPtr& p : step.predicates) {
+    if (PredicateBlocksStreaming(*p)) return false;
+  }
+  return true;
+}
+
+bool Evaluator::PredicateBlocksStreaming(const Expr& e) const {
+  if (e.kind == ExprKind::kFunctionCall) {
+    std::string stripped = e.name;
+    if (StartsWith(stripped, "fn:")) stripped = stripped.substr(3);
+    // fn:last() observes the focus size, which streaming never knows.
+    // fn:trace()/fn:error() have externally observable effects whose order
+    // and count must match the materializing evaluator: the merge
+    // interleaves per-run predicate evaluation and early exit skips it
+    // outright, so such predicates take the materializing path (the
+    // trace-parity rule). User-defined and unknown functions may do either
+    // internally, so they block too.
+    if (stripped == "last" || stripped == "trace" || stripped == "error") {
+      return true;
+    }
+    size_t arity = e.children.size();
+    if (functions_.count({e.name, arity}) != 0 ||
+        functions_.count({stripped, arity}) != 0) {
+      return true;
+    }
+    if (!IsBuiltinName(stripped)) return true;
+  }
+  for (const ExprPtr& c : e.children) {
+    if (c != nullptr && PredicateBlocksStreaming(*c)) return true;
+  }
+  for (const PathStep& s : e.steps) {
+    for (const ExprPtr& p : s.predicates) {
+      if (p != nullptr && PredicateBlocksStreaming(*p)) return true;
+    }
+  }
+  for (const FlworClause& c : e.clauses) {
+    if (c.expr != nullptr && PredicateBlocksStreaming(*c.expr)) return true;
+  }
+  for (const OrderSpec& o : e.order_by) {
+    if (o.key != nullptr && PredicateBlocksStreaming(*o.key)) return true;
+  }
+  for (const DirectAttribute& a : e.attributes) {
+    for (const ExprPtr& p : a.value_parts) {
+      if (p != nullptr && PredicateBlocksStreaming(*p)) return true;
+    }
+  }
+  return false;
+}
+
 // --- Streaming pipeline ---------------------------------------------------
 //
 // A streamable step chain is evaluated as a pull pipeline: one StreamStage
@@ -403,7 +455,7 @@ class Evaluator::StreamRun {
         }
         break;
       default:
-        break;  // reverse axes never reach the pipeline (StepStreamable)
+        break;  // reverse axes run as ReverseRuns (StreamReverseAxisStage)
     }
     positions_.assign(step->predicates.size(), 0);
   }
@@ -432,9 +484,18 @@ class Evaluator::StreamRun {
       for (size_t j = 0; j < step_->predicates.size() && keep; ++j) {
         const Expr& pred = *step_->predicates[j];
         size_t pos = ++positions_[j];
-        LLL_ASSIGN_OR_RETURN(
-            keep, ev_->PredicateKeep(pred, Item::NodeRef(candidate), pos,
-                                     /*size=*/pos));
+        // Probe pipelines spawned inside the predicate (an exists() or a
+        // node-path EBV) abandon runs of their own; the skip floor for this
+        // candidate's subtree is already this pipeline's to charge, so
+        // nested charges are suppressed (see ChargeSkipped).
+        bool outer_probe = ev_->suppress_skip_charges_;
+        ev_->suppress_skip_charges_ = true;
+        Result<bool> kept =
+            ev_->PredicateKeep(pred, Item::NodeRef(candidate), pos,
+                               /*size=*/pos);
+        ev_->suppress_skip_charges_ = outer_probe;
+        if (!kept.ok()) return kept.status();
+        keep = *kept;
         if (pred.kind == ExprKind::kLiteral &&
             pred.literal_type == Expr::LiteralType::kInteger &&
             static_cast<int64_t>(pos) >= pred.integer) {
@@ -465,7 +526,7 @@ class Evaluator::StreamRun {
     for (const auto& frame : stack_) {
       n += frame.first->children().size() - frame.second;
     }
-    ev_->stats_.nodes_skipped_early_exit += n;
+    ev_->ChargeSkipped(n);
     self_ = nullptr;
     vec_ = nullptr;
     stack_.clear();
@@ -534,7 +595,7 @@ class Evaluator::StreamBaseStage : public StreamStage {
     return Status::Ok();
   }
   void Abandon() override {
-    ev_->stats_.nodes_skipped_early_exit += base_->size() - index_;
+    ev_->ChargeSkipped(base_->size() - index_);
     index_ = base_->size();
   }
 
@@ -633,6 +694,239 @@ class Evaluator::StreamAxisStage : public StreamStage {
   std::vector<StreamRun*> heap_;  // min-heap by front()->order_key()
   xml::Node* last_emitted_ = nullptr;
   bool upstream_done_ = false;
+};
+
+// One reverse-axis run from a single context node. The axis is enumerated
+// natively in AXIS order -- which for parent/ancestor(-or-self)/
+// preceding-sibling IS reverse document order, by construction: ancestor
+// chains walk parent pointers upward and preceding siblings walk the child
+// vector backwards, so no per-run sort is ever needed. Node test and
+// predicates apply during that walk with per-run positional counting in axis
+// order (so [1] selects the NEAREST ancestor/sibling, matching the
+// materializing evaluator, and a literal [N] exhausts the walk at its N-th
+// passer). Passing candidates are buffered and then served BACK to front,
+// i.e. in document order, which is what lets the merge stage above compose
+// with downstream forward stages and the shared early-exit contract.
+class Evaluator::ReverseRun {
+ public:
+  ReverseRun(Evaluator* ev, const PathStep* step, xml::Node* context)
+      : ev_(ev), step_(step) {
+    switch (step->axis) {
+      case Axis::kParent:
+        chain_ = context->parent();
+        chain_stop_after_first_ = true;
+        break;
+      case Axis::kAncestor:
+        chain_ = context->parent();
+        break;
+      case Axis::kAncestorOrSelf:
+        self_ = context;
+        chain_ = context->parent();
+        break;
+      case Axis::kPrecedingSibling:
+        // Attributes have an owner but no preceding siblings on this axis
+        // (mirrors the materializing EvalStep guard). Their ANCESTOR chain,
+        // by contrast, starts at the owner via parent().
+        if (context->parent() != nullptr && !context->is_attribute()) {
+          vec_ = &context->parent()->children();
+          cursor_ = context->IndexInParent();  // candidates: [cursor_-1 .. 0]
+        }
+        break;
+      default:
+        break;  // forward axes run as StreamRuns
+    }
+    positions_.assign(step->predicates.size(), 0);
+  }
+
+  // Runs the whole axis walk, filling buffer_ with passing candidates in
+  // reverse document order. Called once, at stage open; the stage is a
+  // barrier anyway (see StreamReverseAxisStage), so there is nothing to
+  // gain from enumerating lazily across Fill calls.
+  Status Fill() {
+    for (;;) {
+      xml::Node* candidate = NextCandidate();
+      if (candidate == nullptr) return Status::Ok();
+      ++ev_->stats_.nodes_pulled;
+      if (!MatchesTest(candidate, step_->test, step_->axis)) continue;
+      bool keep = true;
+      bool spent = false;
+      for (size_t j = 0; j < step_->predicates.size() && keep; ++j) {
+        const Expr& pred = *step_->predicates[j];
+        size_t pos = ++positions_[j];
+        bool outer_probe = ev_->suppress_skip_charges_;
+        ev_->suppress_skip_charges_ = true;
+        Result<bool> kept =
+            ev_->PredicateKeep(pred, Item::NodeRef(candidate), pos,
+                               /*size=*/pos);
+        ev_->suppress_skip_charges_ = outer_probe;
+        if (!kept.ok()) return kept.status();
+        keep = *kept;
+        if (pred.kind == ExprKind::kLiteral &&
+            pred.literal_type == Expr::LiteralType::kInteger &&
+            static_cast<int64_t>(pos) >= pred.integer) {
+          spent = true;
+        }
+      }
+      if (keep) buffer_.push_back(candidate);
+      if (spent) {
+        AccountAbandoned();  // the rest of the walk can never pass again
+        return Status::Ok();
+      }
+    }
+  }
+
+  // Document-order serving over the reverse-ordered buffer.
+  xml::Node* front() const {
+    return serve_ == 0 ? nullptr : buffer_[serve_ - 1];
+  }
+  void Pop() {
+    if (serve_ > 0) --serve_;
+  }
+
+  // Lower bound on candidates this run will now never examine. Unserved
+  // BUFFERED nodes are not counted -- they were already visited (and
+  // charged to nodes_pulled); the skip floor only covers the abandoned
+  // remainder of the enumeration: the exact sibling-vector remainder, plus
+  // one for a pending ancestor link (walking the chain just to count it
+  // would defeat the point -- a floor, as documented on the stat).
+  void AccountAbandoned() {
+    size_t n = 0;
+    if (self_ != nullptr) ++n;
+    n += cursor_;
+    if (chain_ != nullptr) ++n;
+    ev_->ChargeSkipped(n);
+    self_ = nullptr;
+    vec_ = nullptr;
+    cursor_ = 0;
+    chain_ = nullptr;
+  }
+
+  void FinishFill() { serve_ = buffer_.size(); }
+
+ private:
+  // The next axis candidate in reverse document order, unfiltered.
+  xml::Node* NextCandidate() {
+    if (self_ != nullptr) {  // ancestor-or-self: self comes first (nearest)
+      xml::Node* s = self_;
+      self_ = nullptr;
+      return s;
+    }
+    if (vec_ != nullptr) {
+      return cursor_ > 0 ? (*vec_)[--cursor_] : nullptr;
+    }
+    if (chain_ != nullptr) {
+      xml::Node* c = chain_;
+      chain_ = chain_stop_after_first_ ? nullptr : c->parent();
+      return c;
+    }
+    return nullptr;
+  }
+
+  Evaluator* ev_;
+  const PathStep* step_;
+  // Enumeration state; at most one of self_/vec_/chain_ feeds at a time
+  // (ancestor-or-self drains self_ first, then the parent chain).
+  xml::Node* self_ = nullptr;
+  const std::vector<xml::Node*>* vec_ = nullptr;
+  size_t cursor_ = 0;  // counts DOWN; candidates remaining in vec_
+  xml::Node* chain_ = nullptr;
+  bool chain_stop_after_first_ = false;  // parent:: is a one-link chain
+  std::vector<size_t> positions_;        // 1-based, in axis order
+  std::vector<xml::Node*> buffer_;       // passers, reverse document order
+  size_t serve_ = 0;                     // buffer_[serve_-1] is the front
+};
+
+// One reverse-axis step: a k-way document-order merge of per-context
+// ReverseRuns. Unlike the forward stage this is a BARRIER: reverse-axis
+// results have keys <= their context's key, so a context arriving later (in
+// document order) can still produce the globally smallest result -- the
+// root is an ancestor of everything. The stage therefore drains its
+// upstream completely before the first emission; its win over the
+// materializing path is not laziness upstream but (a) skipping the
+// O(k log k) normalizing sort -- runs are pre-ordered and merging costs
+// O(k log runs) -- and (b) per-run early exhaustion for literal [N]
+// predicates, where [1] = the nearest ancestor/sibling ends each walk at
+// its first passer. Duplicates (sibling contexts share ancestor chains)
+// surface at adjacent heap minima exactly as in the forward stage, so the
+// same last_emitted_ dedup applies.
+class Evaluator::StreamReverseAxisStage : public StreamStage {
+ public:
+  StreamReverseAxisStage(Evaluator* ev, const PathStep* step,
+                         StreamStage* upstream)
+      : ev_(ev), step_(step), upstream_(upstream) {}
+
+  Result<xml::Node*> Front() override {
+    LLL_RETURN_IF_ERROR(Settle());
+    return heap_.empty() ? nullptr : heap_.front()->front();
+  }
+
+  Status Pop() override {
+    LLL_RETURN_IF_ERROR(Settle());
+    if (heap_.empty()) return Status::Ok();
+    last_emitted_ = heap_.front()->front();
+    AdvanceMin();
+    return Status::Ok();
+  }
+
+  void Abandon() override {
+    // Runs were fully enumerated at open (or charged their own remainder
+    // when a literal [N] exhausted them); unserved buffered nodes were
+    // visited, not skipped, so there is nothing further to charge here.
+    for (ReverseRun* run : heap_) run->AccountAbandoned();
+    heap_.clear();
+    upstream_->Abandon();
+  }
+
+ private:
+  // Same fresh-read discipline as StreamAxisStage::HeapAfter; by merge time
+  // every predicate has already run (fills are complete), but rebuilds
+  // triggered further downstream still preserve relative keys.
+  static bool HeapAfter(const ReverseRun* a, const ReverseRun* b) {
+    return a->front()->order_key() > b->front()->order_key();
+  }
+
+  Status Settle() {
+    if (!opened_) {
+      opened_ = true;
+      for (;;) {
+        LLL_ASSIGN_OR_RETURN(xml::Node* context, upstream_->Front());
+        if (context == nullptr) break;
+        LLL_RETURN_IF_ERROR(upstream_->Pop());
+        runs_.emplace_back(ev_, step_, context);
+        ReverseRun& run = runs_.back();
+        LLL_RETURN_IF_ERROR(run.Fill());
+        run.FinishFill();
+        if (run.front() != nullptr) {
+          ++ev_->stats_.reverse_runs_merged;
+          heap_.push_back(&run);
+        }
+      }
+      std::make_heap(heap_.begin(), heap_.end(), HeapAfter);
+    }
+    while (!heap_.empty() && heap_.front()->front() == last_emitted_) {
+      AdvanceMin();
+    }
+    return Status::Ok();
+  }
+
+  void AdvanceMin() {
+    std::pop_heap(heap_.begin(), heap_.end(), HeapAfter);
+    ReverseRun* run = heap_.back();
+    heap_.pop_back();
+    run->Pop();
+    if (run->front() != nullptr) {
+      heap_.push_back(run);
+      std::push_heap(heap_.begin(), heap_.end(), HeapAfter);
+    }
+  }
+
+  Evaluator* ev_;
+  const PathStep* step_;
+  StreamStage* upstream_;
+  std::deque<ReverseRun> runs_;    // deque: stable addresses for heap_
+  std::vector<ReverseRun*> heap_;  // min-heap by front()->order_key()
+  xml::Node* last_emitted_ = nullptr;
+  bool opened_ = false;
 };
 
 // --- Path dispatch --------------------------------------------------------
@@ -858,11 +1152,17 @@ Result<Sequence> Evaluator::EvalStepsStreamed(const Expr& e, size_t first,
   // keys stable (see HeapAfter).
   current.at(0).node()->document()->EnsureOrderIndex();
   StreamBaseStage base(this, &current);
-  std::deque<StreamAxisStage> stages;
+  std::vector<std::unique_ptr<StreamStage>> stages;
   StreamStage* top = &base;
   for (size_t i = first; i < last; ++i) {
-    stages.emplace_back(this, &e.steps[i], top);
-    top = &stages.back();
+    const PathStep* step = &e.steps[i];
+    if (IsReverseStreamableAxis(step->axis)) {
+      stages.push_back(
+          std::make_unique<StreamReverseAxisStage>(this, step, top));
+    } else {
+      stages.push_back(std::make_unique<StreamAxisStage>(this, step, top));
+    }
+    top = stages.back().get();
   }
   // Predicate evaluation inside runs sets the focus; restore around the
   // whole pull (PredicateKeep leaves it dirty by contract).

@@ -44,13 +44,17 @@ struct EvalOptions {
   // the pre-index behavior; kept as a benchmark baseline (bench_e12).
   bool order_tracking = true;
   // Streaming path pipelines: when on (default), eligible axis-step chains
-  // (forward axes, predicates free of fn:last(), single-document input) are
-  // evaluated through a pull-based merge of per-context runs instead of
-  // materializing every intermediate sequence, and early-exit consumers
-  // (positional predicates like [1], fn:exists/fn:empty, boolean contexts)
-  // stop pulling once the answer is determined. Off = the pre-streaming
-  // materializing evaluator, kept byte-identical as a differential baseline
-  // and benchmark arm (bench_e13), mirroring order_tracking.
+  // (streamable axes, predicates free of fn:last()/fn:trace()/user
+  // functions, single-document input) are evaluated through a pull-based
+  // merge of per-context runs instead of materializing every intermediate
+  // sequence, and early-exit consumers (positional predicates like [1],
+  // fn:exists/fn:empty, boolean contexts, optimizer-pushed limit hints) stop
+  // pulling once the answer is determined. Reverse axes run as barrier
+  // stages: per-context runs enumerate in reverse document order and are
+  // merged back to document order (DESIGN.md section 10). Off = the
+  // pre-streaming materializing evaluator, kept byte-identical as a
+  // differential baseline and benchmark arm (bench_e13/e14), mirroring
+  // order_tracking.
   bool streaming = true;
   // Node-set interning: memoizes the leading predicate-free step chain of
   // document-rooted paths as (document, step-chain fingerprint) -> Sequence,
@@ -86,9 +90,18 @@ struct EvalStats {
   // Streaming pipeline bookkeeping: `nodes_pulled` counts axis candidates
   // actually examined by streamed steps; `nodes_skipped_early_exit` is a
   // lower bound on candidates an early-exiting consumer (positional
-  // predicate, fn:exists, boolean context) never had to visit.
+  // predicate, fn:exists, boolean context) never had to visit. Nested
+  // early-exit probes (an exists() inside a predicate of an outer streamed
+  // step) do not contribute to the skip floor: the outer pipeline already
+  // accounts for the candidate subtrees it abandons.
   size_t nodes_pulled = 0;
   size_t nodes_skipped_early_exit = 0;
+  // Reverse-axis streaming: nonempty per-context reverse runs pushed onto
+  // the document-order merge heap.
+  size_t reverse_runs_merged = 0;
+  // Paths evaluated under an optimizer-pushed limit hint (fn:head,
+  // fn:subsequence, positional-for shapes; see Expr::limit_hint).
+  size_t limit_pushdowns = 0;
   // Node-set interning cache traffic attributable to this evaluation. An
   // invalidation is a lookup that found an entry stamped with a stale
   // document structure version.
@@ -195,9 +208,11 @@ class Evaluator {
 
   // Streaming pipeline internals (defined in eval.cc).
   class StreamRun;
+  class ReverseRun;
   class StreamStage;
   class StreamBaseStage;
   class StreamAxisStage;
+  class StreamReverseAxisStage;
 
   // "No result cap" for EvalPathImpl/EvalPathLimited.
   static constexpr size_t kNoLimit = static_cast<size_t>(-1);
@@ -241,6 +256,20 @@ class Evaluator {
   // save/restore around the batch.
   Result<bool> PredicateKeep(const Expr& pred, const xdm::Item& item,
                              size_t position, size_t size);
+  // True if `step` may run inside the pull pipeline: a streamable axis, not
+  // a filter step, and predicates free of focus-size observers (fn:last),
+  // effectful calls (fn:trace / fn:error), and user-defined or unknown
+  // functions (which may trace internally) -- the trace-parity rule.
+  bool StepStreamable(const PathStep& step) const;
+  // The recursive scan behind StepStreamable, resolving calls against this
+  // evaluator's user-function table.
+  bool PredicateBlocksStreaming(const Expr& e) const;
+  // Routes every nodes_skipped_early_exit charge; suppressed while a nested
+  // early-exit probe runs inside a streamed step's predicate, where the
+  // outer pipeline's own abandonment accounting covers the same candidates.
+  void ChargeSkipped(size_t n) {
+    if (!suppress_skip_charges_) stats_.nodes_skipped_early_exit += n;
+  }
   // Consults / fills the node-set interning cache for the leading
   // predicate-free step chain of a document-rooted path. On success returns
   // the number of steps consumed and replaces *current with the (shared)
@@ -300,12 +329,23 @@ class Evaluator {
   int call_depth_ = 0;
   obs::Profiler* profiler_ = nullptr;
   const Expr* builtin_call_site_ = nullptr;
+  // See ChargeSkipped: true while evaluating a streamed step's predicate, so
+  // probe pipelines spawned inside it do not double-charge the skip floor.
+  bool suppress_skip_charges_ = false;
 
   friend struct BuiltinRegistry;
 };
 
 // Registers the fn:/math: builtin library; see functions.cc for the catalog.
 const std::map<std::pair<std::string, size_t>, BuiltinFn>& BuiltinFunctions();
+// The fn:subsequence selection window, shared by the builtin and the
+// optimizer's limit push-down so pushed and unpushed plans agree: positions
+// p (1-based) with *lo <= p < *hi are selected, computed with XPath fn:round
+// semantics (floor(x + 0.5), round-half-UP -- not std::round). *hi is +inf
+// for the 2-argument form (`has_length` false). Returns false when the
+// window is statically empty (NaN start or length).
+bool SubsequenceWindow(double start, double length, bool has_length,
+                       double* lo, double* hi);
 // True if a builtin with this name exists at any arity (used by the
 // optimizer's purity analysis).
 bool IsBuiltinName(const std::string& name);

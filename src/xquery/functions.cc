@@ -13,6 +13,7 @@
 //     evaluation with that message.
 
 #include <cmath>
+#include <limits>
 
 #include "core/string_util.h"
 #include "xdm/compare.h"
@@ -158,24 +159,36 @@ std::map<std::pair<std::string, size_t>, BuiltinFn> BuildRegistry() {
   });
   def("subsequence", 2, [](Evaluator&, std::vector<Sequence>& args) -> Result<Sequence> {
     LLL_ASSIGN_OR_RETURN(double start, OneNumber(args[1], "subsequence"));
+    double lo, hi;
     Sequence out;
+    if (!SubsequenceWindow(start, 0, /*has_length=*/false, &lo, &hi)) {
+      return out;  // NaN start selects nothing
+    }
     for (size_t i = 0; i < args[0].size(); ++i) {
-      if (static_cast<double>(i + 1) >= std::round(start)) {
-        out.Append(args[0].at(i));
-      }
+      if (static_cast<double>(i + 1) >= lo) out.Append(args[0].at(i));
     }
     return out;
   });
   def("subsequence", 3, [](Evaluator&, std::vector<Sequence>& args) -> Result<Sequence> {
     LLL_ASSIGN_OR_RETURN(double start, OneNumber(args[1], "subsequence"));
     LLL_ASSIGN_OR_RETURN(double len, OneNumber(args[2], "subsequence"));
-    double lo = std::round(start);
-    double hi = lo + std::round(len);
+    double lo, hi;
     Sequence out;
+    if (!SubsequenceWindow(start, len, /*has_length=*/true, &lo, &hi)) {
+      return out;  // NaN start/length selects nothing
+    }
     for (size_t i = 0; i < args[0].size(); ++i) {
       double p = static_cast<double>(i + 1);
       if (p >= lo && p < hi) out.Append(args[0].at(i));
     }
+    return out;
+  });
+  def("head", 1, [](Evaluator&, std::vector<Sequence>& args) -> Result<Sequence> {
+    return args[0].empty() ? Sequence() : Sequence(args[0].at(0));
+  });
+  def("tail", 1, [](Evaluator&, std::vector<Sequence>& args) -> Result<Sequence> {
+    Sequence out;
+    for (size_t i = 1; i < args[0].size(); ++i) out.Append(args[0].at(i));
     return out;
   });
   def("insert-before", 3, [](Evaluator&, std::vector<Sequence>& args) -> Result<Sequence> {
@@ -686,6 +699,25 @@ const std::map<std::pair<std::string, size_t>, BuiltinFn>& BuiltinFunctions() {
   static const auto& registry = *new std::map<std::pair<std::string, size_t>,
                                               BuiltinFn>(BuildRegistry());
   return registry;
+}
+
+bool SubsequenceWindow(double start, double length, bool has_length,
+                       double* lo, double* hi) {
+  // fn:subsequence rounds with fn:round semantics: floor(x + 0.5), i.e.
+  // round half UP. std::round (round half away from zero) disagrees at
+  // negative halves -- fn:round(-2.5) is -2, std::round gives -3 -- which
+  // shifted the window for negative fractional starts/lengths. NaN
+  // propagates through floor and the comparisons below, selecting nothing;
+  // infinite starts/lengths behave per IEEE (start -inf + length inf is
+  // NaN = empty, matching the spec's round(-inf)+round(inf) window).
+  *lo = std::floor(start + 0.5);
+  if (std::isnan(*lo)) return false;
+  if (!has_length) {
+    *hi = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  *hi = *lo + std::floor(length + 0.5);
+  return !std::isnan(*hi);
 }
 
 bool IsBuiltinName(const std::string& raw) {

@@ -40,6 +40,22 @@ void CollectTraceCalls(const Expr& e, std::vector<const Expr*>* out) {
   ForEachChild(e, [out](const Expr& c) { CollectTraceCalls(c, out); });
 }
 
+// A numeric literal usable as a static subsequence bound. Negative literals
+// parse as kUnary and are (conservatively) not recognized.
+bool NumericLiteral(const Expr& e, double* value) {
+  if (e.kind != ExprKind::kLiteral) return false;
+  switch (e.literal_type) {
+    case Expr::LiteralType::kInteger:
+      *value = static_cast<double>(e.integer);
+      return true;
+    case Expr::LiteralType::kDouble:
+      *value = e.number;
+      return true;
+    default:
+      return false;
+  }
+}
+
 std::string DescribeStep(const PathStep& step) {
   std::string out = AxisName(step.axis);
   out += "::";
@@ -78,6 +94,8 @@ const char* RewriteNoteKindName(RewriteNote::Kind kind) {
       return "trace-swallowed";
     case RewriteNote::Kind::kOrderedStep:
       return "ordered-step";
+    case RewriteNote::Kind::kLimitPushed:
+      return "limit-pushed";
   }
   return "unknown";
 }
@@ -191,6 +209,219 @@ struct Rewriter {
       EliminateDeadLets(e);
     }
     if (options.constant_folding) FoldConstants(e);
+    if (options.limit_pushdown) PushLimits(e);
+  }
+
+  // --- Limit push-down ------------------------------------------------------
+  //
+  // Annotates path expressions with the prefix demand of a statically
+  // limited consumer (Expr::limit_hint). Sound because the streaming
+  // evaluator produces exactly the first `hint` items of the full result
+  // (and falls back to the FULL result when the chain cannot stream), and
+  // because each recognized consumer provably never observes anything past
+  // that prefix. Conservative by design: only literal bounds, only direct
+  // consumer positions, no propagation through arbitrary expressions.
+
+  // Resolves `e` as a call to the builtin `want` (bare or fn:-prefixed) that
+  // is not shadowed by a user-declared function of the same name and arity.
+  bool IsUnshadowedBuiltin(const Expr& e, const char* want) const {
+    if (e.kind != ExprKind::kFunctionCall) return false;
+    std::string name = e.name;
+    if (StartsWith(name, "fn:")) name = name.substr(3);
+    if (name != want) return false;
+    for (const FunctionDecl& fn : module.functions) {
+      if ((fn.name == e.name || fn.name == name) &&
+          fn.params.size() == e.children.size()) {
+        return false;  // a user function shadows the builtin
+      }
+    }
+    return true;
+  }
+
+  // The prefix demand a call places on its first (sequence) argument: 1 for
+  // fn:head, the window end for fn:subsequence with literal start/length
+  // (via the same SubsequenceWindow normalization the builtin uses, so
+  // pushed and unpushed plans select identical items), 0 for anything else.
+  size_t ConsumerDemand(const Expr& call) const {
+    if (call.children.size() == 1 && IsUnshadowedBuiltin(call, "head")) {
+      return 1;
+    }
+    if (call.children.size() == 3 &&
+        IsUnshadowedBuiltin(call, "subsequence")) {
+      double start, len;
+      if (!NumericLiteral(*call.children[1], &start) ||
+          !NumericLiteral(*call.children[2], &len)) {
+        return 0;
+      }
+      double lo, hi;
+      if (!SubsequenceWindow(start, len, /*has_length=*/true, &lo, &hi)) {
+        return 0;  // statically empty; nothing worth annotating
+      }
+      // Selected positions satisfy p < hi, so the first hi-1 items suffice
+      // regardless of lo. Unbounded or out-of-range windows are not pushed.
+      double need = hi - 1;
+      if (!(need >= 1) || need > 1e15) return 0;
+      return static_cast<size_t>(need);
+    }
+    return 0;
+  }
+
+  // A where-condition that caps position variable $pos_var at N for every
+  // passing tuple: `$p le N` / `$p lt N` / `$p eq N` (value or general
+  // form) with an integer literal bound. Returns 0 when nothing is proven.
+  size_t PositionBound(const Expr& w, const std::string& pos_var) const {
+    if (w.kind != ExprKind::kBinary || w.children.size() != 2) return 0;
+    const Expr& l = *w.children[0];
+    const Expr& r = *w.children[1];
+    if (l.kind != ExprKind::kVarRef || l.name != pos_var) return 0;
+    if (r.kind != ExprKind::kLiteral ||
+        r.literal_type != Expr::LiteralType::kInteger) {
+      return 0;
+    }
+    int64_t n = r.integer;
+    switch (w.op) {
+      case BinOp::kValLe:
+      case BinOp::kGenLe:
+      case BinOp::kValEq:
+      case BinOp::kGenEq:
+        return n >= 1 ? static_cast<size_t>(n) : 0;
+      case BinOp::kValLt:
+      case BinOp::kGenLt:
+        return n >= 2 ? static_cast<size_t>(n - 1) : 0;
+      default:
+        return 0;
+    }
+  }
+
+  // Finds the demand of the one unshadowed use of $var in `e`, but only if
+  // that use sits directly in a limited consumer's sequence slot. Traversal
+  // mirrors CountVariableUses' shadowing rules, so a same-named binding
+  // deeper in never matches. Callers must have established uses == 1.
+  size_t SoleUseDemand(const Expr& e, const std::string& var) const {
+    if (e.kind == ExprKind::kFunctionCall) {
+      size_t demand = ConsumerDemand(e);
+      if (demand > 0 && !e.children.empty() &&
+          e.children[0]->kind == ExprKind::kVarRef &&
+          e.children[0]->name == var) {
+        return demand;
+      }
+    }
+    if (e.kind == ExprKind::kQuantified) {
+      size_t d = SoleUseDemand(*e.children[0], var);
+      if (d == 0 && e.name != var) d = SoleUseDemand(*e.children[1], var);
+      return d;
+    }
+    if (e.kind == ExprKind::kFlwor) {
+      for (const FlworClause& c : e.clauses) {
+        size_t d = SoleUseDemand(*c.expr, var);
+        if (d > 0) return d;
+        if (c.kind != FlworClause::Kind::kWhere &&
+            (c.var == var || c.pos_var == var)) {
+          return 0;  // rebound: later references are a different variable
+        }
+      }
+      for (const OrderSpec& o : e.order_by) {
+        size_t d = SoleUseDemand(*o.key, var);
+        if (d > 0) return d;
+      }
+      return SoleUseDemand(*e.children[0], var);
+    }
+    size_t found = 0;
+    ForEachChild(e, [&](const Expr& c) {
+      if (found == 0) found = SoleUseDemand(c, var);
+    });
+    return found;
+  }
+
+  void ApplyHint(Expr* path, size_t demand, std::string why, size_t line,
+                 size_t col) {
+    if (path->limit_hint == 0 || demand < path->limit_hint) {
+      path->limit_hint = demand;
+    }
+    path->statically_limit_pushable = true;
+    ++stats.limits_pushed;
+    stats.notes.push_back(
+        {RewriteNote::Kind::kLimitPushed, std::move(why), line, col});
+  }
+
+  void PushLimits(Expr* e) {
+    if (e->kind == ExprKind::kFunctionCall) {
+      size_t demand = ConsumerDemand(*e);
+      if (demand > 0 && !e->children.empty() &&
+          e->children[0]->kind == ExprKind::kPath) {
+        ApplyHint(e->children[0].get(), demand,
+                  e->name + "() observes at most the first " +
+                      std::to_string(demand) +
+                      " item(s) of its path argument; limit pushed",
+                  e->line, e->col);
+      }
+      return;
+    }
+    if (e->kind != ExprKind::kFlwor) return;
+    // Positional for guarded by an IMMEDIATELY following where on the
+    // position variable: tuples past the bound are filtered before any
+    // other clause can observe them (an intervening clause might error or
+    // trace on a tuple the push-down would never produce).
+    for (size_t i = 0; i + 1 < e->clauses.size(); ++i) {
+      FlworClause& c = e->clauses[i];
+      if (c.kind != FlworClause::Kind::kFor || c.pos_var.empty()) continue;
+      if (c.expr->kind != ExprKind::kPath) continue;
+      const FlworClause& next = e->clauses[i + 1];
+      if (next.kind != FlworClause::Kind::kWhere) continue;
+      size_t bound = PositionBound(*next.expr, c.pos_var);
+      if (bound > 0) {
+        ApplyHint(c.expr.get(), bound,
+                  "where $" + c.pos_var + " caps the positional for at " +
+                      std::to_string(bound) + " tuple(s); limit pushed",
+                  c.expr->line, c.expr->col);
+      }
+    }
+    // A let-bound path consumed exactly once, directly by a limited
+    // consumer: binding only the demanded prefix is unobservable.
+    for (size_t i = 0; i < e->clauses.size(); ++i) {
+      FlworClause& c = e->clauses[i];
+      if (c.kind != FlworClause::Kind::kLet) continue;
+      if (c.expr->kind != ExprKind::kPath) continue;
+      size_t uses = 0;
+      bool shadowed = false;
+      for (size_t j = i + 1; j < e->clauses.size() && !shadowed; ++j) {
+        uses += CountVariableUses(*e->clauses[j].expr, c.var);
+        if (e->clauses[j].kind != FlworClause::Kind::kWhere &&
+            (e->clauses[j].var == c.var ||
+             e->clauses[j].pos_var == c.var)) {
+          shadowed = true;
+        }
+      }
+      if (!shadowed) {
+        for (const OrderSpec& o : e->order_by) {
+          uses += CountVariableUses(*o.key, c.var);
+        }
+        uses += CountVariableUses(*e->children[0], c.var);
+      }
+      if (uses != 1) continue;
+      size_t demand = 0;
+      for (size_t j = i + 1; j < e->clauses.size() && demand == 0; ++j) {
+        demand = SoleUseDemand(*e->clauses[j].expr, c.var);
+        if (e->clauses[j].kind != FlworClause::Kind::kWhere &&
+            (e->clauses[j].var == c.var ||
+             e->clauses[j].pos_var == c.var)) {
+          break;  // rebound; stop searching like the use count did
+        }
+      }
+      if (demand == 0 && !shadowed) {
+        for (size_t k = 0; k < e->order_by.size() && demand == 0; ++k) {
+          demand = SoleUseDemand(*e->order_by[k].key, c.var);
+        }
+        if (demand == 0) demand = SoleUseDemand(*e->children[0], c.var);
+      }
+      if (demand > 0) {
+        ApplyHint(c.expr.get(), demand,
+                  "let $" + c.var + " is consumed once, by a consumer that " +
+                      "observes at most " + std::to_string(demand) +
+                      " item(s); limit pushed",
+                  c.expr->line, c.expr->col);
+      }
+    }
   }
 
   // Scans a FLWOR for `let $v := E` clauses where $v is unused downstream
@@ -408,6 +639,28 @@ struct OrderAnalyzer {
     return OrderProp::kNone;
   }
 
+  // Static twin of Evaluator::PredicateBlocksStreaming, resolved against the
+  // module's function declarations instead of the runtime registry.
+  bool BlocksStreaming(const Expr& e) const {
+    if (e.kind == ExprKind::kFunctionCall) {
+      std::string stripped = e.name;
+      if (StartsWith(stripped, "fn:")) stripped = stripped.substr(3);
+      if (stripped == "last" || stripped == "trace" || stripped == "error") {
+        return true;
+      }
+      for (const FunctionDecl& fn : module.functions) {
+        if ((fn.name == e.name || fn.name == stripped) &&
+            fn.params.size() == e.children.size()) {
+          return true;  // user-defined: may trace/error internally
+        }
+      }
+      if (!IsBuiltinName(stripped)) return true;
+    }
+    bool blocked = false;
+    ForEachChild(e, [&](const Expr& c) { blocked = blocked || BlocksStreaming(c); });
+    return blocked;
+  }
+
   OrderProp AnalyzePath(Expr* e) {
     OrderProp prop;
     if (e->has_base) {
@@ -430,11 +683,15 @@ struct OrderAnalyzer {
         continue;  // a subset preserves every property
       }
       // Advisory streaming/interning annotations (rendered by EXPLAIN); the
-      // evaluator re-derives both per call from dynamic conditions.
+      // evaluator re-derives both per call from dynamic conditions. Mirrors
+      // Evaluator::PredicateBlocksStreaming: fn:last needs materialized
+      // cardinality, and trace/error/user-defined calls must see the exact
+      // materializing evaluation order (trace-parity rule, DESIGN.md section
+      // 10), so any of them in a predicate disqualifies the step.
       step.statically_streamable = IsStreamableAxis(step.axis);
       if (step.statically_streamable) {
         for (const ExprPtr& p : step.predicates) {
-          if (ContainsLastCall(*p)) {
+          if (BlocksStreaming(*p)) {
             step.statically_streamable = false;
             break;
           }

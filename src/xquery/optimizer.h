@@ -26,6 +26,15 @@ struct OptimizerOptions {
   // or ordered-disjoint input), so the evaluator can skip the normalizing
   // sort the flat XDM otherwise forces after every step.
   bool order_analysis = true;
+  // Limit push-down: annotate paths consumed by a statically limited
+  // consumer (fn:head, fn:subsequence with literal start/length, a
+  // positional `for $x at $p in PATH` immediately guarded by `where $p le
+  // N`, and let-bound paths used exactly once in such a position) with
+  // Expr::limit_hint, so the streaming evaluator stops pulling after the
+  // first N nodes. Conservative: hints never cross an expression boundary
+  // whose consumer could observe more than the prefix. The materializing
+  // evaluator ignores hints entirely.
+  bool limit_pushdown = true;
 };
 
 // One rewrite decision, recorded for EXPLAIN. Where the rewrite deleted
@@ -38,6 +47,7 @@ struct RewriteNote {
     kDeadLetEliminated,  // unused pure let binding removed
     kTraceSwallowed,     // a trace() call went down with a dead let
     kOrderedStep,        // order analysis proved a step sort-free
+    kLimitPushed,        // a consumer's prefix demand annotated onto a path
   };
   Kind kind;
   std::string detail;  // human-readable: what, and what it became
@@ -55,6 +65,8 @@ struct OptimizerStats {
   size_t eliminated_trace_calls = 0;
   // Path steps proven order-preserving by the order analysis.
   size_t ordered_steps_annotated = 0;
+  // Paths annotated with a consumer's prefix demand (Expr::limit_hint).
+  size_t limits_pushed = 0;
   // Every individual rewrite decision, in application order.
   std::vector<RewriteNote> notes;
 };

@@ -69,6 +69,40 @@ TEST(ExplainTest, OrderAnalysisVerdictShowsInPlanAndNotes) {
   EXPECT_NE(out.find("sort skipped"), std::string::npos) << out;
 }
 
+TEST(ExplainTest, ReverseAxisStepsAreMarkedStreamedRev) {
+  std::string out = ExplainQuery("//d/ancestor::a");
+  EXPECT_NE(out.find("step ancestor::a [streamed-rev]"), std::string::npos)
+      << out;
+  // Forward steps keep the plain marker.
+  EXPECT_NE(out.find("[streamed]"), std::string::npos) << out;
+}
+
+TEST(ExplainTest, TracePredicateDisqualifiesStreamingAnnotation) {
+  // The trace-parity rule: a predicate containing fn:trace (or any user
+  // function) must not be annotated streamable, or EXPLAIN would promise a
+  // plan the evaluator refuses to run.
+  std::string out = ExplainQuery("//a[trace(@k)]");
+  EXPECT_EQ(out.find("child::a [streamed]"), std::string::npos) << out;
+  std::string udf = ExplainQuery(
+      "declare function local:p($n) { true() }; //a[local:p(.)]");
+  EXPECT_EQ(udf.find("child::a [streamed]"), std::string::npos) << udf;
+}
+
+TEST(ExplainTest, LimitPushdownShowsHintNoteAndSummary) {
+  std::string out = ExplainQuery("subsequence(//a, 1, 3)");
+  EXPECT_NE(out.find("[limit 3]"), std::string::npos) << out;
+  EXPECT_NE(out.find("limit-pushed"), std::string::npos) << out;
+  EXPECT_NE(out.find("limits_pushed: 1"), std::string::npos) << out;
+
+  std::string head = ExplainQuery("head(//a/b)");
+  EXPECT_NE(head.find("[limit 1]"), std::string::npos) << head;
+
+  // A non-literal bound cannot be pushed.
+  std::string dynamic = ExplainQuery("subsequence(//a, 1, count(//b))");
+  EXPECT_EQ(dynamic.find("[limit"), std::string::npos) << dynamic;
+  EXPECT_NE(dynamic.find("limits_pushed: 0"), std::string::npos) << dynamic;
+}
+
 TEST(ExplainTest, UnoptimizedCompileHasNoRewrites) {
   xq::CompileOptions copts;
   copts.optimize = false;

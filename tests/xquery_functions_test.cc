@@ -48,6 +48,23 @@ INSTANTIATE_TEST_SUITE_P(
         Case{"subsequence((1,2,3,4,5), 2, 2)", "2 3"},
         Case{"subsequence((1,2,3), 0)", "1 2 3"},
         Case{"subsequence((1,2,3), 2.5)", "3"},  // rounds to 3 per spec
+        // fn:round rounds half UP: floor(-2.5 + 0.5) = -2, so the window is
+        // [-2, 3) and two items pass. std::round's half-away-from-zero would
+        // give -3 and wrongly admit a third.
+        Case{"subsequence((1,2,3,4), -2.5, 5)", "1 2"},
+        Case{"subsequence((1,2,3,4,5), 1.5, 2)", "2 3"},
+        Case{"subsequence((1,2,3), -5)", "1 2 3"},
+        Case{"subsequence((1,2,3), -5, 7)", "1"},  // window [-5, 2)
+        Case{"subsequence((1,2,3), 2, 1000000000)", "2 3"},
+        // NaN start or length selects nothing (every comparison fails).
+        Case{"subsequence((1,2,3), number(\"zz\"), 2)", ""},
+        Case{"subsequence((1,2,3), 2, number(\"zz\"))", ""},
+        Case{"head((1,2,3))", "1"},
+        Case{"head(())", ""},
+        Case{"fn:head((4,5))", "4"},
+        Case{"tail((1,2,3))", "2 3"},
+        Case{"tail((1))", ""},
+        Case{"tail(())", ""},
         Case{"insert-before((1,2,3), 2, (9,8))", "1 9 8 2 3"},
         Case{"insert-before((1,2,3), 99, 0)", "1 2 3 0"},
         Case{"insert-before((1,2,3), 0, 0)", "0 1 2 3"},

@@ -68,7 +68,23 @@ TEST(Streaming, AgreesOnCorePathShapes) {
       "//*[@w]",
       "/r/a//c",
       "//a/b/following-sibling::b",
-      "//d/ancestor::a",          // reverse axis: materializing fallback
+      "//d/ancestor::a",          // reverse axis: streamed reverse merge
+      "//c/ancestor::b",
+      "//c/ancestor-or-self::*",
+      "//c/parent::b",
+      "//d/parent::*",
+      "//b/preceding-sibling::b",
+      "//c/preceding-sibling::*",
+      "(//d/ancestor::a)[1]",
+      "//c/ancestor::a[1]",       // per-context nearest matching ancestor
+      "//c/ancestor::*[2]",
+      "//d/ancestor-or-self::d",
+      "exists(//c/ancestor::d)",
+      "count(//c/ancestor::a)",
+      "//d/ancestor::a/c",        // reverse then forward again
+      "//@p/ancestor::b",         // attribute context: slotted after owner
+      "//@k/parent::a",
+      "//a/@k/ancestor-or-self::*",
       "//c[last()]",              // last(): streaming disqualified
       "(//c)[last()]",
       "count(//c)",
@@ -120,20 +136,33 @@ TEST(Streaming, DifferentialRandomPaths) {
 
   const char* axes[] = {"/", "//", "/", "//"};
   const char* tests[] = {"a", "b", "c", "d", "*", "a", "b"};
+  // Reverse axes appear as explicit prefixes; attribute steps as "@k" (the
+  // only attribute name the generator emits), so ancestor-from-attribute
+  // exercises the "slotted after owner" order keys.
+  const char* axis_prefixes[] = {"",          "",           "",
+                                 "",          "",           "",
+                                 "ancestor::", "ancestor-or-self::",
+                                 "preceding-sibling::", "parent::"};
   const char* preds[] = {"",      "",       "[1]",    "[2]",
                          "[last()]", "[@k]",   "[@k=\"1\"]", "[c]",
                          "[position() < 3]", "[b/c]"};
   int checked = 0;
-  for (int i = 0; i < 320; ++i) {
+  for (int i = 0; i < 440; ++i) {
     std::string path;
     int steps = 1 + pick(4);
     for (int s = 0; s < steps; ++s) {
       path += axes[pick(4)];
+      if (pick(10) == 0) {
+        path += "@k";
+        path += preds[pick(2)];  // attributes: no children, plain or bare
+        continue;
+      }
+      path += axis_prefixes[pick(10)];
       path += tests[pick(7)];
       path += preds[pick(10)];
     }
     std::string query = path;
-    switch (pick(6)) {
+    switch (pick(9)) {
       case 0:
         query = "(" + path + ")[" + std::to_string(1 + pick(3)) + "]";
         break;
@@ -143,6 +172,17 @@ TEST(Streaming, DifferentialRandomPaths) {
       case 2:
         query = "count(" + path + ")";
         break;
+      case 3:
+        query = "subsequence(" + path + ", 1, " + std::to_string(1 + pick(3)) +
+                ")";
+        break;
+      case 4:
+        query = "fn:head(" + path + ")";
+        break;
+      case 5:
+        query = "for $v at $p in " + path + " where $p le " +
+                std::to_string(1 + pick(3)) + " return $v";
+        break;
       default:
         break;  // the bare path
     }
@@ -150,7 +190,7 @@ TEST(Streaming, DifferentialRandomPaths) {
     ++checked;
     if (::testing::Test::HasFailure()) break;  // first divergence is enough
   }
-  EXPECT_GE(checked, 300);
+  EXPECT_GE(checked, 400);
 }
 
 TEST(Streaming, EarlyExitSkipsWorkOnFirstMatch) {
@@ -219,6 +259,184 @@ TEST(Streaming, PerStepPositionalPredicateStopsPerRun) {
   EXPECT_EQ(EvalBothModes("(//item)[1]/text()", xml), "1");
   EXPECT_EQ(EvalBothModes("//item[2]/text()", xml), "25");
   EXPECT_EQ(EvalBothModes("string((//item)[2])", xml), "2");
+}
+
+TEST(Streaming, ReverseAxisMergesRunsWithoutSorting) {
+  // 40 groups, each a 5-deep <y> chain holding two <x/> leaves: 80 ancestor
+  // runs of depth ~6 feed the k-way merge.
+  std::string xml = "<r>";
+  for (int g = 0; g < 40; ++g) {
+    for (int d = 0; d < 5; ++d) xml += "<y>";
+    xml += "<x/><x/>";
+    for (int d = 0; d < 5; ++d) xml += "</y>";
+  }
+  xml += "</r>";
+  auto doc = xml::Parse(xml, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(doc.ok());
+  xq::ExecuteOptions opts;
+  opts.context_node = (*doc)->root();
+
+  // Differential agreement on the merge + dedup itself.
+  EvalBothModes("count(//x/ancestor::y)", xml);      // 200 after dedup
+  EvalBothModes("//x/ancestor::y[1]", xml);          // nearest per context
+  EvalBothModes("(//x/ancestor::y)[1]", xml);        // global first
+  EvalBothModes("//x/ancestor-or-self::*[2]", xml);
+  EvalBothModes("//x/preceding-sibling::x", xml);
+
+  // Every <x> context contributes one non-empty ancestor run to the merge.
+  auto compiled = xq::Compile("count(//x/ancestor::y)");
+  ASSERT_TRUE(compiled.ok());
+  auto r = xq::Execute(*compiled, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->SerializedItems(), "200");
+  EXPECT_EQ(r->stats.reverse_runs_merged, 80u);
+  // The merge emits document order directly; no normalizing sort of the
+  // 80*5-candidate multiset happens downstream.
+  EXPECT_EQ(r->stats.sorts_performed, 0u);
+
+  // The materializing arm never builds runs.
+  xq::ExecuteOptions materializing = opts;
+  materializing.eval.streaming = false;
+  auto m = xq::Execute(*compiled, materializing);
+  ASSERT_TRUE(m.ok());
+  EXPECT_EQ(m->SerializedItems(), "200");
+  EXPECT_EQ(m->stats.reverse_runs_merged, 0u);
+
+  // A per-run [1] predicate keeps only the nearest ancestor and exhausts
+  // each run after its first candidate.
+  auto nearest = xq::Compile("count(//x/ancestor::y[1])");
+  ASSERT_TRUE(nearest.ok());
+  auto n = xq::Execute(*nearest, opts);
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(n->SerializedItems(), "40");  // 80 runs, 40 distinct nearest <y>
+}
+
+TEST(Streaming, TraceInPredicateKeepsEventParity) {
+  // fn:trace inside a step predicate disqualifies streaming for that step
+  // (trace-parity rule): the streamed plan must fall back so that BOTH the
+  // result bytes and the trace event stream are identical to the
+  // materializing evaluator -- even under early-exit probes that would
+  // otherwise skip predicate evaluations entirely.
+  const std::string xml =
+      "<r><x n=\"1\"/><x n=\"2\"/><x n=\"3\"/><x n=\"4\"/></r>";
+  auto doc = xml::Parse(xml, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(doc.ok());
+  const char* queries[] = {
+      "exists(//x[trace(@n, \"probe\")])",
+      "(//x[trace(@n, \"first\")])[1]",
+      "//x[trace(position()) < 3]",  // trace returns its last argument
+      "count(//x[trace(@n, \"all\")])",
+  };
+  for (const char* q : queries) {
+    auto compiled = xq::Compile(q);
+    ASSERT_TRUE(compiled.ok()) << q;
+    xq::ExecuteOptions opts;
+    opts.context_node = (*doc)->root();
+    xq::ExecuteOptions materializing = opts;
+    materializing.eval.streaming = false;
+    auto streamed = xq::Execute(*compiled, opts);
+    auto reference = xq::Execute(*compiled, materializing);
+    ASSERT_TRUE(streamed.ok() && reference.ok()) << q;
+    EXPECT_EQ(streamed->SerializedItems(), reference->SerializedItems()) << q;
+    EXPECT_EQ(streamed->trace_output, reference->trace_output)
+        << "trace event streams diverge on: " << q;
+    EXPECT_FALSE(streamed->trace_output.empty()) << q;
+  }
+}
+
+TEST(Streaming, NestedProbeSkipsAreNotDoubleCounted) {
+  // Each [y] probe early-exits after finding <y/> and abandons the sibling
+  // <z/>. Those probe abandons must NOT be charged to
+  // nodes_skipped_early_exit: the <z/> candidates are pulled (and charged)
+  // by the outer walk afterwards. A full drain therefore skips exactly 0.
+  std::string xml = "<r>";
+  for (int i = 0; i < 10; ++i) xml += "<x><y/><z/></x>";
+  xml += "</r>";
+  auto doc = xml::Parse(xml, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(doc.ok());
+  xq::ExecuteOptions opts;
+  opts.context_node = (*doc)->root();
+
+  auto full = xq::Compile("count(//x[y])");
+  ASSERT_TRUE(full.ok());
+  auto r = xq::Execute(*full, opts);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->SerializedItems(), "10");
+  EXPECT_EQ(r->stats.nodes_skipped_early_exit, 0u);
+
+  // Under an outer early exit the charge must be identical whether the
+  // nested probe itself early-exited ([y] abandons <z/>) or ran dry ([z]
+  // scans past <y/>): only the outer pipeline's unvisited candidates count.
+  auto probe_y = xq::Compile("(//x[y])[1]");
+  auto probe_z = xq::Compile("(//x[z])[1]");
+  ASSERT_TRUE(probe_y.ok() && probe_z.ok());
+  auto ry = xq::Execute(*probe_y, opts);
+  auto rz = xq::Execute(*probe_z, opts);
+  ASSERT_TRUE(ry.ok() && rz.ok());
+  EXPECT_EQ(ry->stats.nodes_skipped_early_exit,
+            rz->stats.nodes_skipped_early_exit);
+  EXPECT_GT(ry->stats.nodes_skipped_early_exit, 10u);  // the other 9 subtrees
+}
+
+TEST(Streaming, LimitHintStopsPullingEarly) {
+  std::string xml = "<r>";
+  for (int i = 0; i < 1000; ++i) {
+    xml += "<x n=\"" + std::to_string(i) + "\"/>";
+  }
+  xml += "</r>";
+  auto doc = xml::Parse(xml, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(doc.ok());
+  xq::ExecuteOptions opts;
+  opts.context_node = (*doc)->root();
+  xq::ExecuteOptions materializing = opts;
+  materializing.eval.streaming = false;
+
+  struct PushedCase {
+    const char* query;
+    const char* expected;
+  };
+  const PushedCase cases[] = {
+      {"subsequence(//x, 1, 2)", "<x n=\"0\"/><x n=\"1\"/>"},
+      {"subsequence(//x, 2, 2)", "<x n=\"1\"/><x n=\"2\"/>"},
+      {"fn:head(//x)", "<x n=\"0\"/>"},
+      {"for $v at $p in //x where $p le 2 return $v",
+       "<x n=\"0\"/><x n=\"1\"/>"},
+      {"let $s := //x return head($s)", "<x n=\"0\"/>"},
+  };
+  for (const PushedCase& c : cases) {
+    auto compiled = xq::Compile(c.query);
+    ASSERT_TRUE(compiled.ok()) << c.query;
+    auto streamed = xq::Execute(*compiled, opts);
+    ASSERT_TRUE(streamed.ok()) << c.query;
+    EXPECT_EQ(streamed->SerializedItems(), c.expected) << c.query;
+    EXPECT_EQ(streamed->stats.limit_pushdowns, 1u) << c.query;
+    // The pipeline stopped pulling after the demanded prefix.
+    EXPECT_LT(streamed->stats.nodes_pulled, 100u) << c.query;
+    EXPECT_GT(streamed->stats.nodes_skipped_early_exit, 900u) << c.query;
+    // streaming=false ignores the hint and stays byte-identical.
+    auto reference = xq::Execute(*compiled, materializing);
+    ASSERT_TRUE(reference.ok()) << c.query;
+    EXPECT_EQ(reference->SerializedItems(), c.expected) << c.query;
+    EXPECT_EQ(reference->stats.limit_pushdowns, 0u) << c.query;
+  }
+
+  // Non-literal bounds, multiple uses, and intervening clauses are not
+  // pushed -- the full scan must still produce correct results.
+  const char* unpushed[] = {
+      "subsequence(//x, 1, count(//x))",
+      "let $s := //x return (head($s), count($s))",
+      "for $v at $p in //x let $n := $v where $p le 2 return $n",
+  };
+  for (const char* q : unpushed) {
+    auto compiled = xq::Compile(q);
+    ASSERT_TRUE(compiled.ok()) << q;
+    auto streamed = xq::Execute(*compiled, opts);
+    ASSERT_TRUE(streamed.ok()) << q;
+    EXPECT_EQ(streamed->stats.limit_pushdowns, 0u) << q;
+    auto reference = xq::Execute(*compiled, materializing);
+    ASSERT_TRUE(reference.ok()) << q;
+    EXPECT_EQ(streamed->SerializedItems(), reference->SerializedItems()) << q;
+  }
 }
 
 TEST(Streaming, DeepTreeDoesNotOverflowTheStack) {
