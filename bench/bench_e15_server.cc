@@ -1,0 +1,187 @@
+// E15: the multi-tenant query server under mixed read/write traffic.
+//
+// Paper connection: the AWB lived inside long-running engagements -- many
+// consultants reading generated documents while the model kept changing
+// under them. The server's answer is snapshot isolation: readers run
+// sort-free on immutable pinned snapshots, writers publish copy-on-write
+// versions without ever blocking a reader. This bench measures what that
+// costs: QPS plus p50/p99 per-query latency for three traffic blends
+// (read-only, 5% writes, 20% writes) across 4 concurrent session threads.
+//
+// The read mix deliberately reuses the E13 early-exit shape ((//item)[1]),
+// a full-scan aggregate, and the E14 reverse-axis shape, so a latency
+// regression in either streaming pipeline shows up here as a served-path
+// regression, not just a library one.
+//
+// Results go to BENCH_e15.json; engine counters land in
+// BENCH_e15.metrics.json.
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "benchmark/benchmark.h"
+#include "core/metrics.h"
+#include "server/server.h"
+
+namespace {
+
+using lll::MetricsRegistry;
+using lll::server::QueryServer;
+using lll::server::ServerOptions;
+using lll::server::Session;
+
+constexpr int kGroups = 40;
+constexpr int kPerGroup = 25;  // 1000 <item> leaves
+
+std::string MakeCatalogXml() {
+  std::string xml = "<catalog>";
+  for (int g = 0; g < kGroups; ++g) {
+    xml += "<g id=\"" + std::to_string(g) + "\">";
+    for (int i = 0; i < kPerGroup; ++i) {
+      xml += "<item n=\"" + std::to_string(g * kPerGroup + i) + "\"/>";
+    }
+    xml += "</g>";
+  }
+  xml += "</catalog>";
+  return xml;
+}
+
+// The read blend: E13's early-exit shape, a whole-document aggregate, the
+// E14 reverse-axis shape, and a predicate scan -- all through the server's
+// compile cache and the snapshot's node-set interning cache.
+const char* const kReadQueries[] = {
+    "(//item)[1]",
+    "count(//item)",
+    "(//item)[last()]/ancestor::g/@id",
+    "count(//g[item/@n = \"999\"])",
+};
+
+// Shared across the benchmark's threads; (re)built by thread 0, which
+// google-benchmark runs before the others reach the timing barrier.
+QueryServer* g_server = nullptr;
+lll::Histogram* g_latency = nullptr;
+std::atomic<uint64_t> g_rejected{0};
+
+// arg 0: writes per 1000 operations (0 = read-only, 50 = 5%, 200 = 20%).
+void BM_ServerMixedTraffic(benchmark::State& state) {
+  static MetricsRegistry* metrics = nullptr;
+  if (state.thread_index() == 0) {
+    metrics = new MetricsRegistry();
+    ServerOptions options;
+    options.worker_threads = 0;  // this bench drives the server synchronously
+    options.metrics = metrics;
+    g_server = new QueryServer(options);
+    if (!g_server->AddDocumentXml("catalog", MakeCatalogXml()).ok()) {
+      state.SkipWithError("catalog failed to load");
+    }
+    g_latency = &metrics->histogram("bench.query_us");
+    g_rejected.store(0);
+  }
+
+  const int writes_per_1000 = static_cast<int>(state.range(0));
+  const std::string tenant = "t" + std::to_string(state.thread_index());
+  uint64_t op = 0;
+  size_t read_ix = static_cast<size_t>(state.thread_index());
+
+  // Opened inside the loop, not before it: code ahead of the first loop
+  // iteration runs before the cross-thread start barrier, when thread 0 may
+  // not have (re)built g_server yet.
+  std::unique_ptr<Session> session;
+
+  for (auto _ : state) {
+    if (session == nullptr) {
+      session = std::make_unique<Session>(g_server->OpenSession(tenant));
+    }
+    // Deterministic Bresenham interleave spreads the write share evenly
+    // through each thread's op stream. All four threads write in the 20%
+    // blend; the per-document writer mutex serializes the publishes,
+    // readers never block.
+    bool is_write =
+        writes_per_1000 != 0 &&
+        (op * static_cast<uint64_t>(writes_per_1000)) % 1000 <
+            static_cast<uint64_t>(writes_per_1000);
+    auto start = std::chrono::steady_clock::now();
+    if (is_write) {
+      auto version = g_server->PublishEdit(
+          "catalog", [](lll::xml::Document* doc, lll::xml::Node* root) {
+            lll::xml::Node* catalog = root->children().front();
+            lll::xml::Node* group = catalog->children().front();
+            lll::xml::Node* item = doc->CreateElement("item");
+            item->SetAttribute("n", "-1");
+            return group->AppendChild(item);
+          });
+      if (!version.ok()) state.SkipWithError("publish failed");
+      // Writers re-pin so their next reads see their own write.
+      session->Refresh();
+    } else {
+      lll::server::QueryResponse resp = session->Query(
+          "catalog", kReadQueries[read_ix % (sizeof(kReadQueries) /
+                                             sizeof(kReadQueries[0]))]);
+      ++read_ix;
+      if (resp.rejected) g_rejected.fetch_add(1);
+      if (!resp.status.ok() && !resp.rejected) {
+        state.SkipWithError("query failed");
+      }
+    }
+    uint64_t us = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::microseconds>(
+            std::chrono::steady_clock::now() - start)
+            .count());
+    g_latency->Observe(us);
+    ++op;
+  }
+
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+  if (state.thread_index() == 0) {
+    // Aggregated across all threads (the histogram is shared); only thread 0
+    // reports, the rest contribute 0 to the summed counter.
+    state.counters["p50_us"] =
+        static_cast<double>(g_latency->ApproxPercentile(50));
+    state.counters["p99_us"] =
+        static_cast<double>(g_latency->ApproxPercentile(99));
+    state.counters["rejected"] = static_cast<double>(g_rejected.load());
+    state.counters["published"] =
+        static_cast<double>(g_server->snapshots_published());
+    delete g_server;
+    g_server = nullptr;
+    delete metrics;
+    metrics = nullptr;
+  }
+}
+
+BENCHMARK(BM_ServerMixedTraffic)
+    ->ArgName("writes_per_1000")
+    ->Arg(0)    // read-only
+    ->Arg(50)   // 5% writes
+    ->Arg(200)  // 20% writes
+    ->Threads(4)
+    ->UseRealTime()
+    ->Unit(benchmark::kMicrosecond);
+
+// The admission-control fast path: a disabled tenant's rejection is the
+// cheapest thing the server does; it must stay that way.
+void BM_ServerAdmissionReject(benchmark::State& state) {
+  MetricsRegistry metrics;
+  ServerOptions options;
+  options.worker_threads = 0;
+  options.metrics = &metrics;
+  options.default_quota.max_inflight = 0;  // every query rejected
+  QueryServer server(options);
+  if (!server.AddDocumentXml("catalog", "<catalog/>").ok()) {
+    state.SkipWithError("catalog failed to load");
+  }
+  for (auto _ : state) {
+    lll::server::QueryResponse resp =
+        server.Execute("blocked", "catalog", "(//item)[1]");
+    benchmark::DoNotOptimize(resp.rejected);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()));
+}
+BENCHMARK(BM_ServerAdmissionReject)->Unit(benchmark::kMicrosecond);
+
+}  // namespace
+
+LLL_BENCH_MAIN("e15")

@@ -17,13 +17,15 @@ JOBS="${1:--j2}"
 echo "== tier-1: build + full test suite (build/) =="
 cmake -B build -S . >/dev/null
 cmake --build build "${JOBS}"
-ctest --test-dir build --output-on-failure "${JOBS}"
+# --no-tests=error: a misconfigured build that discovers zero tests must
+# fail the gate loudly, not "pass" it vacuously.
+ctest --test-dir build --output-on-failure --no-tests=error "${JOBS}"
 
 echo
 echo "== concurrency: ThreadSanitizer build + -L concurrency (build-tsan/) =="
 cmake -B build-tsan -S . -DLLL_SANITIZE=thread >/dev/null
 cmake --build build-tsan "${JOBS}"
-ctest --test-dir build-tsan -L concurrency --output-on-failure
+ctest --test-dir build-tsan -L concurrency --output-on-failure --no-tests=error
 
 echo
 echo "All checks passed."

@@ -23,6 +23,9 @@ enum class StatusCode {
   kConstructionError, // XML construction error (e.g. err:XQTY0024)
   kUnsupported,       // feature outside the implemented subset
   kInternal,          // invariant violation inside the library
+  kResourceExhausted, // budget/quota/deadline exceeded (server admission,
+                      // evaluation step budgets, cancellation) -- a graceful
+                      // "come back later", not a bug
 };
 
 // Human-readable name of a status code ("OK", "ParseError", ...).
@@ -76,6 +79,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

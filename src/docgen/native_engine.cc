@@ -863,4 +863,33 @@ Result<DocGenResult> GenerateNativeFromText(const std::string& template_xml,
   return GenerateNative(doc->DocumentElement(), model, options);
 }
 
+Result<std::vector<DocGenResult>> GenerateNativeBatch(
+    const std::vector<const xml::Node*>& template_roots,
+    const awb::Model& model, const GenerateOptions& options,
+    ThreadPool* pool) {
+  std::vector<Result<DocGenResult>> slots;
+  slots.reserve(template_roots.size());
+  for (size_t i = 0; i < template_roots.size(); ++i) {
+    slots.emplace_back(Status::Internal("template never generated"));
+  }
+  auto generate_one = [&](size_t i) {
+    slots[i] = GenerateNative(template_roots[i], model, options);
+  };
+  if (pool != nullptr && pool->thread_count() > 0) {
+    pool->ParallelFor(template_roots.size(), generate_one);
+  } else {
+    for (size_t i = 0; i < template_roots.size(); ++i) generate_one(i);
+  }
+  std::vector<DocGenResult> results;
+  results.reserve(slots.size());
+  for (size_t i = 0; i < slots.size(); ++i) {
+    if (!slots[i].ok()) {
+      return slots[i].status().AddContext("while generating batch template #" +
+                                          std::to_string(i));
+    }
+    results.push_back(std::move(*slots[i]));
+  }
+  return results;
+}
+
 }  // namespace lll::docgen

@@ -54,6 +54,19 @@ Result<DocGenResult> GenerateNativeParallel(const xml::Node* template_root,
                                             const GenerateOptions& options,
                                             ThreadPool* pool);
 
+// Batch mode over one immutable model state: renders every template in
+// `template_roots` against the SAME `model`, concurrently on `pool` (nullptr
+// or 0 threads = sequential on the caller). Because the model is only read,
+// all outputs are generated from one consistent state by construction --
+// this is the primitive the query server's snapshot-pinned report endpoint
+// is built on: pin a model snapshot, batch-generate, release. On error the
+// first failing template (by index, not by scheduling) wins, matching the
+// document-order rule of GenerateNativeParallel. Must not be called from
+// inside a task of the same pool.
+Result<std::vector<DocGenResult>> GenerateNativeBatch(
+    const std::vector<const xml::Node*>& template_roots,
+    const awb::Model& model, const GenerateOptions& options, ThreadPool* pool);
+
 }  // namespace lll::docgen
 
 #endif  // LLL_DOCGEN_NATIVE_ENGINE_H_

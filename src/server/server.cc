@@ -1,0 +1,305 @@
+#include "server/server.h"
+
+#include <chrono>
+#include <utility>
+
+#include "awb/xml_io.h"
+#include "docgen/native_engine.h"
+#include "obs/explain.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+#include "xquery/engine.h"
+
+namespace lll::server {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+uint64_t ElapsedUs(Clock::time_point start) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+// Decrements the tenant's in-flight gauge on every exit path.
+class InflightGuard {
+ public:
+  explicit InflightGuard(std::atomic<int64_t>* inflight)
+      : inflight_(inflight) {}
+  ~InflightGuard() { inflight_->fetch_sub(1, std::memory_order_acq_rel); }
+  InflightGuard(const InflightGuard&) = delete;
+  InflightGuard& operator=(const InflightGuard&) = delete;
+
+ private:
+  std::atomic<int64_t>* inflight_;
+};
+
+}  // namespace
+
+QueryServer::QueryServer(const ServerOptions& options)
+    : options_(options),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : &GlobalMetrics()),
+      store_(options.nodeset_cache_capacity),
+      query_cache_(options.query_cache_capacity),
+      pool_(options.worker_threads) {}
+
+QueryServer::~QueryServer() {
+  Shutdown();
+  // ~ThreadPool drains the Submit queue; callbacks still see a live server.
+}
+
+Status QueryServer::AddDocument(const std::string& name,
+                                std::unique_ptr<xml::Document> doc) {
+  Status st = store_.Install(name, std::move(doc));
+  if (st.ok()) {
+    metrics_->gauge("server.documents")
+        .Set(static_cast<int64_t>(store_.Names().size()));
+  }
+  return st;
+}
+
+Status QueryServer::AddDocumentXml(const std::string& name,
+                                   const std::string& xml_text) {
+  auto doc = xml::Parse(xml_text, {.strip_insignificant_whitespace = true});
+  if (!doc.ok()) {
+    return doc.status().AddContext("while parsing document '" + name + "'");
+  }
+  return AddDocument(name, std::move(*doc));
+}
+
+Result<uint64_t> QueryServer::PublishEdit(const std::string& name,
+                                          const EditFn& edit) {
+  Result<uint64_t> version = store_.PublishEdit(name, edit);
+  if (version.ok()) metrics_->counter("server.snapshots_published").Increment();
+  return version;
+}
+
+Result<uint64_t> QueryServer::PublishXml(const std::string& name,
+                                         const std::string& xml_text) {
+  auto doc = xml::Parse(xml_text, {.strip_insignificant_whitespace = true});
+  if (!doc.ok()) {
+    return doc.status().AddContext("while parsing publish of '" + name + "'");
+  }
+  Result<uint64_t> version = store_.PublishDocument(name, std::move(*doc));
+  if (version.ok()) metrics_->counter("server.snapshots_published").Increment();
+  return version;
+}
+
+QueryServer::Tenant* QueryServer::TenantFor(const std::string& name) {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto& slot = tenants_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Tenant>();
+    slot->quota = options_.default_quota;
+  }
+  return slot.get();
+}
+
+void QueryServer::SetQuota(const std::string& tenant,
+                           const TenantQuota& quota) {
+  Tenant* t = TenantFor(tenant);
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  t->quota = quota;
+}
+
+TenantQuota QueryServer::QuotaFor(const std::string& tenant) const {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto it = tenants_.find(tenant);
+  return it == tenants_.end() ? options_.default_quota : it->second->quota;
+}
+
+void QueryServer::CountRejection(const std::string& tenant) {
+  metrics_->counter("server.queries_rejected").Increment();
+  metrics_->counter("server.tenant." + tenant + ".rejected").Increment();
+}
+
+QueryResponse QueryServer::Execute(const std::string& tenant,
+                                   const std::string& doc_name,
+                                   const std::string& query_text) {
+  return ExecuteOnSnapshot(tenant, store_.Current(doc_name), query_text);
+}
+
+QueryResponse QueryServer::ExecuteOnSnapshot(const std::string& tenant,
+                                             const SnapshotPtr& snapshot,
+                                             const std::string& query_text) {
+  const Clock::time_point start = Clock::now();
+  QueryResponse resp;
+  metrics_->counter("server.queries").Increment();
+  metrics_->counter("server.tenant." + tenant + ".queries").Increment();
+
+  if (snapshot == nullptr) {
+    resp.status = Status::NotFound("no such document");
+    metrics_->counter("server.query_errors").Increment();
+    return resp;
+  }
+
+  // Admission: one atomic increment against the tenant's in-flight cap.
+  Tenant* t = TenantFor(tenant);
+  TenantQuota quota = QuotaFor(tenant);
+  int64_t inflight = t->inflight.fetch_add(1, std::memory_order_acq_rel) + 1;
+  InflightGuard guard(&t->inflight);
+  if (static_cast<uint64_t>(inflight) > quota.max_inflight) {
+    resp.status = Status::ResourceExhausted(
+        "tenant '" + tenant + "' is over its in-flight quota (" +
+        std::to_string(quota.max_inflight) + ")");
+    resp.rejected = true;
+    resp.latency_us = ElapsedUs(start);
+    CountRejection(tenant);
+    return resp;
+  }
+
+  bool cache_hit = false;
+  auto compiled = query_cache_.GetOrCompile(query_text, {}, &cache_hit);
+  if (!compiled.ok()) {
+    resp.status = compiled.status();
+    resp.latency_us = ElapsedUs(start);
+    metrics_->counter("server.compile_errors").Increment();
+    return resp;
+  }
+  metrics_
+      ->counter(cache_hit ? "server.query_cache_hits"
+                          : "server.query_cache_misses")
+      .Increment();
+
+  xq::ExecuteOptions opts;
+  opts.context_node = snapshot->root();
+  opts.eval.nodeset_cache = snapshot->nodeset_cache();
+  opts.eval.max_steps = quota.max_eval_steps;
+  if (quota.timeout_ms != 0) {
+    opts.eval.deadline = start + std::chrono::milliseconds(quota.timeout_ms);
+  }
+  opts.eval.cancel = &shutdown_;
+  opts.metrics = metrics_;
+
+  auto result = xq::Execute(**compiled, opts);
+  resp.snapshot_version = snapshot->version();
+  resp.latency_us = ElapsedUs(start);
+  metrics_->histogram("server.query_us").Observe(resp.latency_us);
+  metrics_->histogram("server.tenant." + tenant + ".query_us")
+      .Observe(resp.latency_us);
+
+  if (!result.ok()) {
+    resp.status = result.status();
+    if (resp.status.code() == StatusCode::kResourceExhausted) {
+      // Budget / deadline / shutdown: the query was abandoned, not wrong.
+      resp.rejected = true;
+      CountRejection(tenant);
+    } else {
+      metrics_->counter("server.query_errors").Increment();
+    }
+    return resp;
+  }
+  resp.result = result->SerializedItems();
+  resp.stats = result->stats;
+  metrics_->counter("server.queries_ok").Increment();
+  return resp;
+}
+
+void QueryServer::Submit(const std::string& tenant,
+                         const std::string& doc_name, std::string query_text,
+                         std::function<void(QueryResponse)> done) {
+  pool_.Submit([this, tenant, doc_name, query = std::move(query_text),
+                done = std::move(done)]() {
+    QueryResponse resp = Execute(tenant, doc_name, query);
+    if (done) done(std::move(resp));
+  });
+}
+
+Result<std::string> QueryServer::Explain(const std::string& doc_name,
+                                         const std::string& query_text) {
+  SnapshotPtr snapshot = store_.Current(doc_name);
+  if (snapshot == nullptr) {
+    return Status::NotFound("no document named '" + doc_name + "'");
+  }
+  bool cache_hit = false;
+  auto compiled = query_cache_.GetOrCompile(query_text, {}, &cache_hit);
+  if (!compiled.ok()) return compiled.status();
+  obs::ExplainOptions eo;
+  eo.provenance =
+      cache_hit ? "server cache hit" : "server cache miss (compiled)";
+  std::string out = "-- document '" + doc_name + "' @ snapshot version " +
+                    std::to_string(snapshot->version()) + "\n";
+  out += obs::Explain(**compiled, eo);
+  return out;
+}
+
+Result<std::vector<std::string>> QueryServer::GenerateReports(
+    const std::string& tenant, const std::string& model_doc,
+    const awb::Metamodel* metamodel,
+    const std::vector<std::string>& template_xmls) {
+  SnapshotPtr snapshot = store_.Current(model_doc);
+  if (snapshot == nullptr) {
+    return Status::NotFound("no document named '" + model_doc + "'");
+  }
+
+  Tenant* t = TenantFor(tenant);
+  TenantQuota quota = QuotaFor(tenant);
+  int64_t inflight = t->inflight.fetch_add(1, std::memory_order_acq_rel) + 1;
+  InflightGuard guard(&t->inflight);
+  if (static_cast<uint64_t>(inflight) > quota.max_inflight) {
+    CountRejection(tenant);
+    return Status::ResourceExhausted("tenant '" + tenant +
+                                     "' is over its in-flight quota");
+  }
+
+  const xml::Node* model_root = snapshot->document().DocumentElement();
+  if (model_root == nullptr) {
+    return Status::Invalid("document '" + model_doc + "' has no element root");
+  }
+  auto model = awb::ModelFromXml(metamodel, model_root);
+  if (!model.ok()) {
+    return model.status().AddContext("while building the model from '" +
+                                     model_doc + "' @ version " +
+                                     std::to_string(snapshot->version()));
+  }
+
+  std::vector<std::unique_ptr<xml::Document>> template_docs;
+  std::vector<const xml::Node*> template_roots;
+  for (const std::string& xml_text : template_xmls) {
+    auto doc = docgen::ParseTemplate(xml_text);
+    if (!doc.ok()) {
+      return doc.status().AddContext("while parsing batch template #" +
+                                     std::to_string(template_roots.size()));
+    }
+    template_roots.push_back((*doc)->DocumentElement());
+    template_docs.push_back(std::move(*doc));
+  }
+
+  docgen::GenerateOptions gen_options;
+  gen_options.metrics = metrics_;
+  auto results = docgen::GenerateNativeBatch(template_roots, *model,
+                                             gen_options, &pool_);
+  if (!results.ok()) return results.status();
+  std::vector<std::string> rendered;
+  rendered.reserve(results->size());
+  for (const docgen::DocGenResult& r : *results) {
+    rendered.push_back(r.Serialized());
+  }
+  metrics_->counter("server.reports_generated")
+      .Increment(rendered.size());
+  return rendered;
+}
+
+std::string QueryServer::MetricsJson() const {
+  query_cache_.ExportTo(metrics_, "server.query_cache");
+  return metrics_->ToJson();
+}
+
+QueryResponse Session::Query(const std::string& doc_name,
+                             const std::string& query_text) {
+  auto it = pins_.find(doc_name);
+  if (it == pins_.end()) {
+    it = pins_.emplace(doc_name, server_->CurrentSnapshot(doc_name)).first;
+  }
+  return server_->ExecuteOnSnapshot(tenant_, it->second, query_text);
+}
+
+uint64_t Session::pinned_version(const std::string& doc_name) const {
+  auto it = pins_.find(doc_name);
+  return it == pins_.end() || it->second == nullptr ? 0
+                                                    : it->second->version();
+}
+
+}  // namespace lll::server

@@ -1,0 +1,222 @@
+#ifndef LLL_SERVER_SERVER_H_
+#define LLL_SERVER_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/metrics.h"
+#include "core/result.h"
+#include "core/thread_pool.h"
+#include "server/snapshot.h"
+#include "xquery/query_cache.h"
+
+namespace lll::awb {
+class Metamodel;
+}  // namespace lll::awb
+
+namespace lll::server {
+
+// Per-tenant admission limits. A quota violation is a graceful
+// kResourceExhausted rejection -- the query never runs (or is abandoned
+// mid-run for budget/deadline), the tenant's other traffic and every other
+// tenant are unaffected, and server.queries_rejected counts it.
+struct TenantQuota {
+  // Cap on concurrently executing queries for the tenant. 0 = the tenant is
+  // disabled (every query rejected) -- a kill switch, not "unlimited".
+  size_t max_inflight = 64;
+  // Per-query evaluator step budget (EvalOptions::max_steps); 0 = unlimited.
+  size_t max_eval_steps = 0;
+  // Per-query wall deadline in milliseconds (EvalOptions::deadline);
+  // 0 = none.
+  uint64_t timeout_ms = 0;
+};
+
+struct ServerOptions {
+  // Workers behind Submit(); 0 degrades Submit to the caller's thread.
+  size_t worker_threads = 4;
+  // Shared compiled-query cache (one per server, all tenants).
+  size_t query_cache_capacity = 256;
+  // Node-set interning cache capacity of EACH snapshot.
+  size_t nodeset_cache_capacity = 128;
+  TenantQuota default_quota;
+  // Where server.* metrics go; nullptr = GlobalMetrics(). Borrowed.
+  MetricsRegistry* metrics = nullptr;
+};
+
+// The answer to one query. `rejected` distinguishes resource rejections
+// (admission, step budget, deadline, shutdown) from genuine query errors:
+// a rejected query is well-formed work the server declined or abandoned.
+struct QueryResponse {
+  Status status;
+  std::string result;  // serialized items, on success
+  uint64_t snapshot_version = 0;
+  uint64_t latency_us = 0;
+  bool rejected = false;
+  xq::EvalStats stats;
+};
+
+class QueryServer;
+
+// One client session: a tenant identity plus snapshot pins. The first query
+// against each document pins the then-current snapshot; every later query in
+// the session reads the SAME version regardless of concurrent publishes
+// (repeatable reads), until Refresh() drops the pins. A Session is owned by
+// one thread; the server behind it may be shared freely.
+class Session {
+ public:
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  QueryResponse Query(const std::string& doc_name,
+                      const std::string& query_text);
+
+  // Drops every pin; the next query per document re-pins the then-current
+  // snapshot.
+  void Refresh() { pins_.clear(); }
+
+  // The pinned version for a document, or 0 if not (yet) pinned.
+  uint64_t pinned_version(const std::string& doc_name) const;
+
+  const std::string& tenant() const { return tenant_; }
+
+ private:
+  friend class QueryServer;
+  Session(QueryServer* server, std::string tenant)
+      : server_(server), tenant_(std::move(tenant)) {}
+
+  QueryServer* server_;
+  std::string tenant_;
+  std::map<std::string, SnapshotPtr> pins_;
+};
+
+// The multi-tenant query server: a long-running façade over the XQuery
+// engine that serves concurrent sessions over shared documents with snapshot
+// isolation.
+//
+//   * Readers run lock-free on immutable snapshots (shared_ptr-pinned);
+//     the per-snapshot node-set cache and the streaming pipelines work
+//     unmodified because a snapshot's structure_version never moves.
+//   * Writers serialize through SnapshotStore's copy-on-write publish path
+//     and never block readers.
+//   * Admission control enforces per-tenant quotas: in-flight caps checked
+//     before execution, step budgets and wall deadlines enforced inside the
+//     evaluator, all rejections graceful Status responses.
+//   * Everything is observable: server.* counters and pow-2 latency
+//     histograms (global and per tenant) in the configured MetricsRegistry,
+//     EXPLAIN with snapshot + compile-cache provenance.
+//
+// Thread safety: every public method may be called from any thread. The
+// destructor flips the shutdown flag (in-flight evaluations abort with
+// kResourceExhausted at their next budget poll) and drains the worker pool.
+class QueryServer {
+ public:
+  explicit QueryServer(const ServerOptions& options = {});
+  ~QueryServer();
+
+  QueryServer(const QueryServer&) = delete;
+  QueryServer& operator=(const QueryServer&) = delete;
+
+  // --- Documents -----------------------------------------------------------
+
+  // Registers a new named document (version 1). Fails on duplicate names.
+  Status AddDocument(const std::string& name,
+                     std::unique_ptr<xml::Document> doc);
+  Status AddDocumentXml(const std::string& name, const std::string& xml_text);
+
+  // Copy-on-write publish; returns the new snapshot version.
+  Result<uint64_t> PublishEdit(const std::string& name, const EditFn& edit);
+  // Wholesale replacement from XML text; returns the new snapshot version.
+  Result<uint64_t> PublishXml(const std::string& name,
+                              const std::string& xml_text);
+
+  SnapshotPtr CurrentSnapshot(const std::string& name) const {
+    return store_.Current(name);
+  }
+  std::vector<std::string> DocumentNames() const { return store_.Names(); }
+
+  // --- Tenants & sessions --------------------------------------------------
+
+  void SetQuota(const std::string& tenant, const TenantQuota& quota);
+  TenantQuota QuotaFor(const std::string& tenant) const;
+  Session OpenSession(const std::string& tenant) {
+    return Session(this, tenant);
+  }
+
+  // --- Queries -------------------------------------------------------------
+
+  // Executes on the caller's thread against the document's current snapshot.
+  QueryResponse Execute(const std::string& tenant, const std::string& doc_name,
+                        const std::string& query_text);
+
+  // Executes against an explicitly pinned snapshot (the Session path).
+  QueryResponse ExecuteOnSnapshot(const std::string& tenant,
+                                  const SnapshotPtr& snapshot,
+                                  const std::string& query_text);
+
+  // Asynchronous execution on the worker pool; `done` runs on the worker.
+  // The server must outlive the callback (the destructor drains the pool).
+  void Submit(const std::string& tenant, const std::string& doc_name,
+              std::string query_text, std::function<void(QueryResponse)> done);
+
+  // EXPLAIN over the wire: the optimized plan with rewrite notes, prefixed
+  // with snapshot and compile-cache provenance.
+  Result<std::string> Explain(const std::string& doc_name,
+                              const std::string& query_text);
+
+  // --- Docgen over a pinned snapshot ---------------------------------------
+
+  // Batch report generation with snapshot semantics: pins the current
+  // snapshot of `model_doc` (an <awb-model> document), builds the model from
+  // it once, renders every template against that one consistent state on the
+  // worker pool, and returns the serialized outputs. Publishes that land
+  // mid-generation are invisible -- the pin holds the snapshot alive.
+  // Admission control applies (one in-flight unit for the whole batch).
+  Result<std::vector<std::string>> GenerateReports(
+      const std::string& tenant, const std::string& model_doc,
+      const awb::Metamodel* metamodel,
+      const std::vector<std::string>& template_xmls);
+
+  // --- Admin ---------------------------------------------------------------
+
+  // JSON snapshot of the server's MetricsRegistry, with the query-cache
+  // gauges refreshed first.
+  std::string MetricsJson() const;
+  MetricsRegistry* metrics() const { return metrics_; }
+  uint64_t snapshots_published() const {
+    return store_.snapshots_published();
+  }
+
+  // Flips the cancel flag: queued work still runs but every evaluation
+  // aborts gracefully at its next budget poll. Idempotent; the destructor
+  // calls it.
+  void Shutdown() { shutdown_.store(true, std::memory_order_relaxed); }
+
+ private:
+  struct Tenant {
+    TenantQuota quota;
+    std::atomic<int64_t> inflight{0};
+  };
+
+  Tenant* TenantFor(const std::string& name);
+  void CountRejection(const std::string& tenant);
+
+  ServerOptions options_;
+  MetricsRegistry* metrics_;
+  SnapshotStore store_;
+  xq::QueryCache query_cache_;
+  ThreadPool pool_;
+  std::atomic<bool> shutdown_{false};
+
+  mutable std::mutex tenants_mu_;  // guards the map and quota fields
+  std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+};
+
+}  // namespace lll::server
+
+#endif  // LLL_SERVER_SERVER_H_

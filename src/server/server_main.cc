@@ -1,0 +1,275 @@
+// lll_serverd: the query-server daemon. A line protocol over stdio by
+// default, or TCP with --port N (one thread and one Session per connection,
+// so every connection gets snapshot-pinned repeatable reads until it sends
+// "refresh").
+//
+//   lll_serverd [--port N] [--workers N] [--demo]
+//
+// Protocol (one command per line; responses end with a line "." on their
+// own):
+//
+//   load <name> <path>          register a document from an XML file
+//   doc <name> <xml>            register a document from inline XML
+//   publish <name> <xml>        publish a new version (inline XML)
+//   query <tenant> <doc> <xq>   run an XQuery on the session's pinned
+//                               snapshot of <doc>
+//   explain <doc> <xq>          optimized plan + snapshot/cache provenance
+//   snapshot <doc>              current published version
+//   refresh                     drop this session's snapshot pins
+//   quota <tenant> <inflight> <steps> <timeout_ms>
+//   metrics                     JSON metrics snapshot
+//   quit
+//
+// --demo preloads a small catalog document under the name "demo".
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <ext/stdio_filebuf.h>
+#include <fstream>
+#include <iostream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "server/server.h"
+
+namespace {
+
+using lll::server::QueryServer;
+using lll::server::Session;
+
+// Splits off the first `n` whitespace-separated words; the remainder of the
+// line (queries, inline XML) stays intact in `rest`.
+std::vector<std::string> SplitWords(const std::string& line, size_t n,
+                                    std::string* rest) {
+  std::vector<std::string> words;
+  size_t pos = 0;
+  while (words.size() < n && pos < line.size()) {
+    while (pos < line.size() && std::isspace(line[pos])) ++pos;
+    size_t start = pos;
+    while (pos < line.size() && !std::isspace(line[pos])) ++pos;
+    if (pos > start) words.push_back(line.substr(start, pos - start));
+  }
+  while (pos < line.size() && std::isspace(line[pos])) ++pos;
+  *rest = line.substr(pos);
+  return words;
+}
+
+// One client conversation: reads commands from `in`, answers on `out`.
+// Sessions are per-tenant within the conversation, so repeated queries from
+// one connection see pinned snapshots.
+void Serve(QueryServer* server, std::istream& in, std::ostream& out) {
+  std::map<std::string, Session> sessions;
+  auto session_for = [&](const std::string& tenant) -> Session& {
+    auto it = sessions.find(tenant);
+    if (it == sessions.end()) {
+      it = sessions.emplace(tenant, server->OpenSession(tenant)).first;
+    }
+    return it->second;
+  };
+
+  std::string line;
+  while (std::getline(in, line)) {
+    std::string rest;
+    std::vector<std::string> head = SplitWords(line, 1, &rest);
+    if (head.empty()) continue;
+    const std::string& cmd = head[0];
+
+    if (cmd == "quit" || cmd == "exit") break;
+    if (cmd == "metrics") {
+      out << server->MetricsJson() << "\n.\n" << std::flush;
+      continue;
+    }
+    if (cmd == "refresh") {
+      for (auto& [tenant, session] : sessions) session.Refresh();
+      out << "ok\n.\n" << std::flush;
+      continue;
+    }
+    if (cmd == "load" || cmd == "doc" || cmd == "publish") {
+      std::string args;
+      std::vector<std::string> words = SplitWords(line, 2, &args);
+      if (words.size() < 2 || args.empty()) {
+        out << "error: usage: " << cmd << " <name> <"
+            << (cmd == "load" ? "path" : "xml") << ">\n.\n"
+            << std::flush;
+        continue;
+      }
+      const std::string& name = words[1];
+      std::string xml = args;
+      if (cmd == "load") {
+        std::ifstream file(args);
+        if (!file) {
+          out << "error: cannot open " << args << "\n.\n" << std::flush;
+          continue;
+        }
+        std::ostringstream buf;
+        buf << file.rdbuf();
+        xml = buf.str();
+      }
+      if (cmd == "publish") {
+        auto version = server->PublishXml(name, xml);
+        if (version.ok()) {
+          out << "published version " << *version << "\n.\n" << std::flush;
+        } else {
+          out << "error: " << version.status().ToString() << "\n.\n"
+              << std::flush;
+        }
+      } else {
+        lll::Status st = server->AddDocumentXml(name, xml);
+        out << (st.ok() ? std::string("ok") : "error: " + st.ToString())
+            << "\n.\n"
+            << std::flush;
+      }
+      continue;
+    }
+    if (cmd == "query") {
+      std::string query;
+      std::vector<std::string> words = SplitWords(line, 3, &query);
+      if (words.size() < 3 || query.empty()) {
+        out << "error: usage: query <tenant> <doc> <xquery>\n.\n"
+            << std::flush;
+        continue;
+      }
+      auto resp = session_for(words[1]).Query(words[2], query);
+      if (resp.status.ok()) {
+        out << "snapshot " << resp.snapshot_version << " (" << resp.latency_us
+            << "us)\n"
+            << resp.result << "\n.\n"
+            << std::flush;
+      } else {
+        out << (resp.rejected ? "rejected: " : "error: ")
+            << resp.status.ToString() << "\n.\n"
+            << std::flush;
+      }
+      continue;
+    }
+    if (cmd == "explain") {
+      std::string query;
+      std::vector<std::string> words = SplitWords(line, 2, &query);
+      if (words.size() < 2 || query.empty()) {
+        out << "error: usage: explain <doc> <xquery>\n.\n" << std::flush;
+        continue;
+      }
+      auto plan = server->Explain(words[1], query);
+      if (plan.ok()) {
+        out << *plan << ".\n" << std::flush;
+      } else {
+        out << "error: " << plan.status().ToString() << "\n.\n" << std::flush;
+      }
+      continue;
+    }
+    if (cmd == "snapshot") {
+      std::string unused;
+      std::vector<std::string> words = SplitWords(line, 2, &unused);
+      auto snap =
+          words.size() >= 2 ? server->CurrentSnapshot(words[1]) : nullptr;
+      if (snap == nullptr) {
+        out << "error: no such document\n.\n" << std::flush;
+      } else {
+        out << "version " << snap->version() << "\n.\n" << std::flush;
+      }
+      continue;
+    }
+    if (cmd == "quota") {
+      std::string unused;
+      std::vector<std::string> words = SplitWords(line, 5, &unused);
+      if (words.size() < 5) {
+        out << "error: usage: quota <tenant> <inflight> <steps> "
+               "<timeout_ms>\n.\n"
+            << std::flush;
+        continue;
+      }
+      lll::server::TenantQuota quota;
+      quota.max_inflight = std::stoul(words[2]);
+      quota.max_eval_steps = std::stoul(words[3]);
+      quota.timeout_ms = std::stoul(words[4]);
+      server->SetQuota(words[1], quota);
+      out << "ok\n.\n" << std::flush;
+      continue;
+    }
+    out << "error: unknown command '" << cmd << "'\n.\n" << std::flush;
+  }
+}
+
+// Minimal blocking TCP front end: accept, one thread + one conversation per
+// connection. Enough to demonstrate "EXPLAIN over the wire" with netcat; the
+// heavy lifting (isolation, quotas, metrics) all lives in lll_server.
+int ServeTcp(QueryServer* server, int port) {
+  int listener = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (listener < 0) {
+    std::perror("socket");
+    return 1;
+  }
+  int one = 1;
+  ::setsockopt(listener, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (::bind(listener, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0 ||
+      ::listen(listener, 16) < 0) {
+    std::perror("bind/listen");
+    ::close(listener);
+    return 1;
+  }
+  std::fprintf(stderr, "lll_serverd: listening on 127.0.0.1:%d\n", port);
+  for (;;) {
+    int fd = ::accept(listener, nullptr, nullptr);
+    if (fd < 0) continue;
+    std::thread([server, fd]() {
+      // Buffer the whole conversation through iostreams over the fd.
+      __gnu_cxx::stdio_filebuf<char> inbuf(fd, std::ios::in);
+      __gnu_cxx::stdio_filebuf<char> outbuf(::dup(fd), std::ios::out);
+      std::istream in(&inbuf);
+      std::ostream out(&outbuf);
+      Serve(server, in, out);
+    }).detach();
+  }
+}
+
+constexpr char kDemoDocument[] =
+    "<catalog n=\"3\">"
+    "<item id=\"1\"><name>lens</name></item>"
+    "<item id=\"2\"><name>prism</name></item>"
+    "<item id=\"3\"><name>mirror</name></item>"
+    "</catalog>";
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int port = 0;
+  lll::server::ServerOptions options;
+  bool demo = false;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--port" && i + 1 < argc) {
+      port = std::atoi(argv[++i]);
+    } else if (arg == "--workers" && i + 1 < argc) {
+      options.worker_threads = std::atoi(argv[++i]);
+    } else if (arg == "--demo") {
+      demo = true;
+    } else {
+      std::fprintf(stderr,
+                   "usage: lll_serverd [--port N] [--workers N] [--demo]\n");
+      return 2;
+    }
+  }
+  QueryServer server(options);
+  if (demo) {
+    lll::Status st = server.AddDocumentXml("demo", kDemoDocument);
+    if (!st.ok()) {
+      std::fprintf(stderr, "demo document: %s\n", st.ToString().c_str());
+      return 1;
+    }
+  }
+  if (port != 0) return ServeTcp(&server, port);
+  Serve(&server, std::cin, std::cout);
+  return 0;
+}

@@ -1,0 +1,97 @@
+#include "server/snapshot.h"
+
+#include <utility>
+
+namespace lll::server {
+
+Status SnapshotStore::Install(const std::string& name,
+                              std::unique_ptr<xml::Document> doc) {
+  if (doc == nullptr) {
+    return Status::Invalid("Install: null document for '" + name + "'");
+  }
+  doc->EnsureOrderIndex();
+  auto snapshot =
+      std::make_shared<const Snapshot>(std::move(doc), /*version=*/1,
+                                       nodeset_cache_capacity_);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto [it, inserted] = entries_.emplace(name, nullptr);
+  if (!inserted) {
+    return Status::Invalid("document '" + name +
+                           "' already exists; publish to replace it");
+  }
+  it->second = std::make_unique<Entry>();
+  it->second->current = std::move(snapshot);
+  return Status::Ok();
+}
+
+SnapshotStore::Entry* SnapshotStore::FindEntry(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.get();
+}
+
+SnapshotPtr SnapshotStore::Current(const std::string& name) const {
+  Entry* entry = FindEntry(name);
+  if (entry == nullptr) return nullptr;
+  std::lock_guard<std::mutex> lock(entry->current_mu);
+  return entry->current;
+}
+
+Result<uint64_t> SnapshotStore::InstallNext(Entry* entry,
+                                            std::unique_ptr<xml::Document> doc) {
+  // Caller holds entry->writer_mu: the version read below cannot move.
+  doc->EnsureOrderIndex();
+  uint64_t version;
+  {
+    std::lock_guard<std::mutex> lock(entry->current_mu);
+    version = entry->current->version() + 1;
+    entry->current = std::make_shared<const Snapshot>(
+        std::move(doc), version, nodeset_cache_capacity_);
+  }
+  published_.fetch_add(1, std::memory_order_relaxed);
+  return version;
+}
+
+Result<uint64_t> SnapshotStore::PublishEdit(const std::string& name,
+                                            const EditFn& edit) {
+  Entry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    return Status::NotFound("no document named '" + name + "'");
+  }
+  std::lock_guard<std::mutex> writer(entry->writer_mu);
+  SnapshotPtr base;
+  {
+    std::lock_guard<std::mutex> lock(entry->current_mu);
+    base = entry->current;
+  }
+  std::unique_ptr<xml::Document> copy = xml::CloneDocument(base->document());
+  Status st = edit(copy.get(), copy->root());
+  if (!st.ok()) {
+    return st.AddContext("while editing the publish copy of '" + name + "'");
+  }
+  return InstallNext(entry, std::move(copy));
+}
+
+Result<uint64_t> SnapshotStore::PublishDocument(
+    const std::string& name, std::unique_ptr<xml::Document> doc) {
+  if (doc == nullptr) {
+    return Status::Invalid("PublishDocument: null document for '" + name +
+                           "'");
+  }
+  Entry* entry = FindEntry(name);
+  if (entry == nullptr) {
+    return Status::NotFound("no document named '" + name + "'");
+  }
+  std::lock_guard<std::mutex> writer(entry->writer_mu);
+  return InstallNext(entry, std::move(doc));
+}
+
+std::vector<std::string> SnapshotStore::Names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> names;
+  names.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) names.push_back(name);
+  return names;
+}
+
+}  // namespace lll::server

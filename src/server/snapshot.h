@@ -1,0 +1,137 @@
+#ifndef LLL_SERVER_SNAPSHOT_H_
+#define LLL_SERVER_SNAPSHOT_H_
+
+#include <atomic>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/result.h"
+#include "xml/node.h"
+#include "xquery/nodeset_cache.h"
+
+namespace lll::server {
+
+// One immutable published version of a named document. Readers evaluate
+// queries against the snapshot's tree (order index pre-built, so the very
+// first query pays no stamping hiccup) and share its node-set interning
+// cache; writers never touch a published snapshot -- they clone it, edit the
+// private copy, and install a NEW snapshot (see SnapshotStore::PublishEdit).
+//
+// Lifetime is plain shared_ptr refcounting: the store holds one reference to
+// the current version of each document, every in-flight query holds another,
+// and a superseded snapshot dies -- document, arena, and interning cache
+// together -- the moment its last reader finishes. That "cache dies with its
+// document" coupling is exactly the ownership contract NodeSetCache demands
+// (its Sequences hold raw Node pointers into the snapshot's arena).
+class Snapshot {
+ public:
+  Snapshot(std::unique_ptr<xml::Document> doc, uint64_t version,
+           size_t nodeset_cache_capacity)
+      : doc_(std::move(doc)),
+        version_(version),
+        nodeset_cache_(nodeset_cache_capacity) {}
+
+  Snapshot(const Snapshot&) = delete;
+  Snapshot& operator=(const Snapshot&) = delete;
+
+  // Monotonically increasing per document name, starting at 1.
+  uint64_t version() const { return version_; }
+
+  const xml::Document& document() const { return *doc_; }
+
+  // The document node, for ExecuteOptions::context_node (non-const by the
+  // engine's signature). The server-wide contract is that readers never
+  // mutate a published snapshot; concurrent read-only evaluation over one
+  // tree is audited safe (engine.h).
+  xml::Node* root() const { return doc_->root(); }
+
+  // The per-snapshot interning cache, shared by every reader of this
+  // version. Mutable because the cache is internally thread-safe and does
+  // not change the snapshot's observable document state.
+  xq::NodeSetCache* nodeset_cache() const { return &nodeset_cache_; }
+
+ private:
+  std::unique_ptr<xml::Document> doc_;
+  uint64_t version_;
+  mutable xq::NodeSetCache nodeset_cache_;
+};
+
+using SnapshotPtr = std::shared_ptr<const Snapshot>;
+
+// An edit applied to the writer's private copy during a publish. `root` is
+// doc->root(), passed for convenience. Returning an error abandons the
+// publish (the current snapshot stays installed, nothing is lost).
+using EditFn = std::function<Status(xml::Document* doc, xml::Node* root)>;
+
+// The named-document snapshot registry: name -> current SnapshotPtr.
+//
+// Publish protocol (the invariants the server soak test enforces):
+//   1. the per-document writer mutex serializes publishers -- versions are
+//      assigned under it, so they are strictly increasing with no gaps;
+//   2. the writer CLONES the current snapshot (CloneDocument) and edits only
+//      the clone -- readers of the current snapshot never observe a write;
+//   3. the clone's order index is built BEFORE install, so readers start
+//      sort-free on a fresh snapshot;
+//   4. install is an atomic pointer swap under a short mutex: a reader gets
+//      either the old snapshot or the new one, never a torn state, and the
+//      old version survives until its last reader drops it.
+class SnapshotStore {
+ public:
+  explicit SnapshotStore(size_t nodeset_cache_capacity = 128)
+      : nodeset_cache_capacity_(nodeset_cache_capacity) {}
+
+  SnapshotStore(const SnapshotStore&) = delete;
+  SnapshotStore& operator=(const SnapshotStore&) = delete;
+
+  // Registers a new document name at version 1. Fails on duplicate names
+  // (publish to replace an existing document's content).
+  Status Install(const std::string& name, std::unique_ptr<xml::Document> doc);
+
+  // The current snapshot, or nullptr for an unknown name.
+  SnapshotPtr Current(const std::string& name) const;
+
+  // Copy-on-write publish: clone current, apply `edit` to the clone, install
+  // as the next version. Returns the new version number.
+  Result<uint64_t> PublishEdit(const std::string& name, const EditFn& edit);
+
+  // Wholesale publish: installs `doc` as the next version of `name`.
+  Result<uint64_t> PublishDocument(const std::string& name,
+                                   std::unique_ptr<xml::Document> doc);
+
+  std::vector<std::string> Names() const;
+
+  // Total successful publishes (Install excluded) across all documents.
+  uint64_t snapshots_published() const {
+    return published_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    // Serializes publishers of this document; held across clone+edit, which
+    // is the slow part, so readers are never blocked by it.
+    std::mutex writer_mu;
+    // Guards `current` only; held for the duration of a pointer copy/swap.
+    mutable std::mutex current_mu;
+    SnapshotPtr current;
+  };
+
+  // Looks up (never creates) the entry; nullptr if unknown. The returned
+  // pointer is stable: entries are never erased.
+  Entry* FindEntry(const std::string& name) const;
+
+  Result<uint64_t> InstallNext(Entry* entry,
+                               std::unique_ptr<xml::Document> doc);
+
+  mutable std::mutex mu_;  // guards entries_ (the map, not the entries)
+  std::map<std::string, std::unique_ptr<Entry>> entries_;
+  size_t nodeset_cache_capacity_;
+  std::atomic<uint64_t> published_{0};
+};
+
+}  // namespace lll::server
+
+#endif  // LLL_SERVER_SNAPSHOT_H_

@@ -321,6 +321,17 @@ Node* Document::ImportNode(const Node* source) {
   return copy;
 }
 
+std::unique_ptr<Document> CloneDocument(const Document& source) {
+  auto clone = std::make_unique<Document>();
+  for (const Node* child : source.root()->children()) {
+    // ImportNode returns a detached same-document copy; AppendChild cannot
+    // fail on it (fresh node, fresh root), so the Status is an invariant.
+    Status st = clone->root()->AppendChild(clone->ImportNode(child));
+    (void)st;
+  }
+  return clone;
+}
+
 // --- Document order ---------------------------------------------------------
 
 void Document::EnsureOrderIndex() const {

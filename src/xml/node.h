@@ -225,6 +225,13 @@ class Document {
   mutable std::mutex order_index_mutex_;
 };
 
+// Deep-copies the rooted tree of `source` into a fresh Document (detached
+// subtrees of the source arena are NOT carried over -- a clone is a clean
+// publishable tree, not an arena dump). This is the copy half of the server's
+// copy-on-write publish path: the writer clones the current snapshot, edits
+// the private copy, and installs it while readers keep the original alive.
+std::unique_ptr<Document> CloneDocument(const Document& source);
+
 // Document order: -1 if `a` precedes `b`, 0 if same node, +1 if follows.
 // Attribute nodes order after their owner element and before its children;
 // nodes from different trees compare by tree identity (stable, arbitrary).

@@ -177,7 +177,21 @@ Result<Evaluator::Focus> Evaluator::RequireFocus(const Expr& e) const {
 Status Evaluator::StepBudget() {
   ++stats_.steps;
   if (options_.max_steps != 0 && stats_.steps > options_.max_steps) {
-    return Status::Internal("evaluation step budget exceeded");
+    return Status::ResourceExhausted(
+        "evaluation step budget exceeded (" +
+        std::to_string(options_.max_steps) + " steps)");
+  }
+  // Cancellation and deadline are polled, not checked per step: one relaxed
+  // atomic load every 128 steps, one clock read only when a deadline is set.
+  if ((stats_.steps & 0x7F) == 0) {
+    if (options_.cancel != nullptr &&
+        options_.cancel->load(std::memory_order_relaxed)) {
+      return Status::ResourceExhausted("evaluation cancelled");
+    }
+    if (options_.deadline != std::chrono::steady_clock::time_point{} &&
+        std::chrono::steady_clock::now() > options_.deadline) {
+      return Status::ResourceExhausted("evaluation deadline exceeded");
+    }
   }
   return Status::Ok();
 }
@@ -322,11 +336,13 @@ Result<Sequence> Evaluator::EvalInner(const Expr& e) {
       // The Moral #4 extension: "A little language should provide exception
       // handling. A very rudimentary form ... will do." Dynamic errors from
       // the try body are caught; the handler sees $err:description. Internal
-      // resource-limit errors (step budget, recursion depth) are NOT
-      // catchable -- a handler must not mask a runaway query.
+      // and resource-limit errors (step budget, deadline, cancellation,
+      // recursion depth) are NOT catchable -- a handler must not mask a
+      // runaway query or swallow a server's kill switch.
       Result<Sequence> attempt = Eval(*e.children[0]);
       if (attempt.ok()) return attempt;
-      if (attempt.status().code() == StatusCode::kInternal) {
+      if (attempt.status().code() == StatusCode::kInternal ||
+          attempt.status().code() == StatusCode::kResourceExhausted) {
         return attempt.status();
       }
       size_t mark = EnvMark();

@@ -1,6 +1,8 @@
 #ifndef LLL_XQUERY_EVAL_H_
 #define LLL_XQUERY_EVAL_H_
 
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
@@ -35,8 +37,19 @@ struct EvalOptions {
   // diagnostic.
   bool galax_style_messages = false;
   // Evaluation step budget (0 = unlimited); guards runaway recursion in
-  // property tests.
+  // property tests and backs the server's per-tenant eval quotas. Exceeding
+  // it is a kResourceExhausted error -- graceful and uncatchable by try/catch
+  // (a handler must not mask a runaway query).
   size_t max_steps = 0;
+  // Wall-clock evaluation deadline; default (epoch) = none. Polled every 128
+  // steps so the clock read stays off the per-expression hot path. Exceeding
+  // it is a kResourceExhausted error, like the step budget.
+  std::chrono::steady_clock::time_point deadline{};
+  // Cooperative cancellation: when set, the evaluator polls this flag at its
+  // step-budget check and aborts with kResourceExhausted once it reads true.
+  // Borrowed; lets a server abandon in-flight queries at shutdown without
+  // tearing down threads mid-evaluation.
+  const std::atomic<bool>* cancel = nullptr;
   // Document-order tracking: when on (default), the evaluator skips the
   // normalizing sort after a path step or set operator whenever the static
   // order analysis or dynamic evidence (singleton input, ordered_deduped

@@ -2,7 +2,9 @@
 #define LLL_TESTS_TEST_UTIL_H_
 
 #include <memory>
+#include <random>
 #include <string>
+#include <vector>
 
 #include "gtest/gtest.h"
 #include "xml/parser.h"
@@ -43,6 +45,111 @@ inline std::string EvalError(const std::string& query) {
                             << " -> " << result->SerializedItems();
   if (result.ok()) return "";
   return result.status().ToString();
+}
+
+// --- The shared random path workload ---------------------------------------
+//
+// The generator behind the differential suites: a randomly grown document
+// plus randomly composed path queries (forward/reverse axes, attributes,
+// predicates, early-exit wrappers). xquery_streaming_test runs it streamed
+// vs. materializing; the server differential test runs it four-sessions
+// concurrent vs. single-threaded. Call the document generator FIRST, then
+// the query generator, on the same engine -- that ordering is part of the
+// seeded contract.
+
+// Grows a random document as text: ~200 elements, names drawn from a small
+// alphabet so paths collide with real structure often.
+inline std::string RandomPathWorkloadDocument(std::mt19937* rng) {
+  auto pick = [rng](int n) { return static_cast<int>((*rng)() % n); };
+  const char* names[] = {"a", "b", "c", "d"};
+  std::string xml = "<r>";
+  std::vector<std::string> open;
+  for (int i = 0; i < 200; ++i) {
+    int action = pick(open.size() > 6 ? 3 : 2);
+    if (action == 2 && !open.empty()) {
+      xml += "</" + open.back() + ">";
+      open.pop_back();
+      continue;
+    }
+    std::string name = names[pick(4)];
+    xml += "<" + name;
+    if (pick(3) == 0) xml += " k=\"" + std::to_string(pick(4)) + "\"";
+    if (action == 0) {
+      xml += "/>";
+    } else {
+      xml += ">";
+      open.push_back(name);
+      if (pick(4) == 0) xml += "t" + std::to_string(pick(9));
+    }
+  }
+  while (!open.empty()) {
+    xml += "</" + open.back() + ">";
+    open.pop_back();
+  }
+  xml += "</r>";
+  return xml;
+}
+
+// Composes `count` random path queries: 1-4 steps over /, //, explicit
+// reverse-axis prefixes and attribute steps, a predicate per step, and an
+// early-exit wrapper ((..)[N], exists, count, subsequence, fn:head,
+// positional for) one time in three.
+inline std::vector<std::string> RandomPathWorkloadQueries(std::mt19937* rng,
+                                                          int count) {
+  auto pick = [rng](int n) { return static_cast<int>((*rng)() % n); };
+  const char* axes[] = {"/", "//", "/", "//"};
+  const char* tests[] = {"a", "b", "c", "d", "*", "a", "b"};
+  const char* axis_prefixes[] = {"",          "",           "",
+                                 "",          "",           "",
+                                 "ancestor::", "ancestor-or-self::",
+                                 "preceding-sibling::", "parent::"};
+  const char* preds[] = {"",      "",       "[1]",    "[2]",
+                         "[last()]", "[@k]",   "[@k=\"1\"]", "[c]",
+                         "[position() < 3]", "[b/c]"};
+  std::vector<std::string> queries;
+  queries.reserve(count);
+  for (int i = 0; i < count; ++i) {
+    std::string path;
+    int steps = 1 + pick(4);
+    for (int s = 0; s < steps; ++s) {
+      path += axes[pick(4)];
+      if (pick(10) == 0) {
+        path += "@k";
+        path += preds[pick(2)];  // attributes: no children, plain or bare
+        continue;
+      }
+      path += axis_prefixes[pick(10)];
+      path += tests[pick(7)];
+      path += preds[pick(10)];
+    }
+    std::string query = path;
+    switch (pick(9)) {
+      case 0:
+        query = "(" + path + ")[" + std::to_string(1 + pick(3)) + "]";
+        break;
+      case 1:
+        query = "exists(" + path + ")";
+        break;
+      case 2:
+        query = "count(" + path + ")";
+        break;
+      case 3:
+        query = "subsequence(" + path + ", 1, " + std::to_string(1 + pick(3)) +
+                ")";
+        break;
+      case 4:
+        query = "fn:head(" + path + ")";
+        break;
+      case 5:
+        query = "for $v at $p in " + path + " where $p le " +
+                std::to_string(1 + pick(3)) + " return $v";
+        break;
+      default:
+        break;  // the bare path
+    }
+    queries.push_back(std::move(query));
+  }
+  return queries;
 }
 
 }  // namespace lll::testing

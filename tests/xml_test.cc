@@ -291,5 +291,29 @@ TEST(XmlParser, ParseFileMissing) {
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
+TEST(XmlClone, DeepCopiesRootedTreeOnly) {
+  const std::string source_xml =
+      "<r a=\"1\"><x>text<!--c--><y k=\"v\"/></x><z/></r>";
+  auto doc = Parse(source_xml);
+  ASSERT_TRUE(doc.ok());
+  // Detached construction debris must not be carried into the clone.
+  (*doc)->CreateElement("orphan");
+
+  std::unique_ptr<Document> clone = CloneDocument(**doc);
+  ASSERT_EQ(clone->root()->children().size(), 1u);
+  EXPECT_TRUE(DeepEqual((*doc)->root()->children().front(),
+                        clone->root()->children().front()));
+  EXPECT_EQ(Serialize(clone->root()->children().front()), source_xml);
+
+  // The copy is independent: mutating it leaves the source untouched, and
+  // both documents build their own order indexes over their own nodes.
+  clone->root()->children().front()->SetAttribute("a", "2");
+  EXPECT_EQ(Serialize((*doc)->root()->children().front()), source_xml);
+  clone->EnsureOrderIndex();
+  const Node* x = clone->root()->children().front()->children().front();
+  const Node* z = clone->root()->children().front()->children().back();
+  EXPECT_LT(CompareDocumentOrder(x, z), 0);
+}
+
 }  // namespace
 }  // namespace lll::xml

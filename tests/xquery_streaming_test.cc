@@ -102,90 +102,18 @@ TEST(Streaming, AgreesOnCorePathShapes) {
 // between the streamed pipeline and the reference evaluator fails with the
 // offending query text.
 TEST(Streaming, DifferentialRandomPaths) {
+  // The generators live in test_util.h so the server differential test can
+  // run the exact same 440-query workload through sessions. Reverse axes
+  // appear as explicit prefixes; attribute steps as "@k" (the only attribute
+  // name the generator emits), so ancestor-from-attribute exercises the
+  // "slotted after owner" order keys.
   std::mt19937 rng(20260806);  // fixed seed: failures must reproduce
-  auto pick = [&rng](int n) { return static_cast<int>(rng() % n); };
+  std::string xml = testing::RandomPathWorkloadDocument(&rng);
+  std::vector<std::string> queries =
+      testing::RandomPathWorkloadQueries(&rng, 440);
 
-  // Grow a random document as text: ~200 elements, names drawn from a small
-  // alphabet so paths collide with real structure often.
-  const char* names[] = {"a", "b", "c", "d"};
-  std::string xml = "<r>";
-  std::vector<std::string> open;
-  for (int i = 0; i < 200; ++i) {
-    int action = pick(open.size() > 6 ? 3 : 2);
-    if (action == 2 && !open.empty()) {
-      xml += "</" + open.back() + ">";
-      open.pop_back();
-      continue;
-    }
-    std::string name = names[pick(4)];
-    xml += "<" + name;
-    if (pick(3) == 0) xml += " k=\"" + std::to_string(pick(4)) + "\"";
-    if (action == 0) {
-      xml += "/>";
-    } else {
-      xml += ">";
-      open.push_back(name);
-      if (pick(4) == 0) xml += "t" + std::to_string(pick(9));
-    }
-  }
-  while (!open.empty()) {
-    xml += "</" + open.back() + ">";
-    open.pop_back();
-  }
-  xml += "</r>";
-
-  const char* axes[] = {"/", "//", "/", "//"};
-  const char* tests[] = {"a", "b", "c", "d", "*", "a", "b"};
-  // Reverse axes appear as explicit prefixes; attribute steps as "@k" (the
-  // only attribute name the generator emits), so ancestor-from-attribute
-  // exercises the "slotted after owner" order keys.
-  const char* axis_prefixes[] = {"",          "",           "",
-                                 "",          "",           "",
-                                 "ancestor::", "ancestor-or-self::",
-                                 "preceding-sibling::", "parent::"};
-  const char* preds[] = {"",      "",       "[1]",    "[2]",
-                         "[last()]", "[@k]",   "[@k=\"1\"]", "[c]",
-                         "[position() < 3]", "[b/c]"};
   int checked = 0;
-  for (int i = 0; i < 440; ++i) {
-    std::string path;
-    int steps = 1 + pick(4);
-    for (int s = 0; s < steps; ++s) {
-      path += axes[pick(4)];
-      if (pick(10) == 0) {
-        path += "@k";
-        path += preds[pick(2)];  // attributes: no children, plain or bare
-        continue;
-      }
-      path += axis_prefixes[pick(10)];
-      path += tests[pick(7)];
-      path += preds[pick(10)];
-    }
-    std::string query = path;
-    switch (pick(9)) {
-      case 0:
-        query = "(" + path + ")[" + std::to_string(1 + pick(3)) + "]";
-        break;
-      case 1:
-        query = "exists(" + path + ")";
-        break;
-      case 2:
-        query = "count(" + path + ")";
-        break;
-      case 3:
-        query = "subsequence(" + path + ", 1, " + std::to_string(1 + pick(3)) +
-                ")";
-        break;
-      case 4:
-        query = "fn:head(" + path + ")";
-        break;
-      case 5:
-        query = "for $v at $p in " + path + " where $p le " +
-                std::to_string(1 + pick(3)) + " return $v";
-        break;
-      default:
-        break;  // the bare path
-    }
+  for (const std::string& query : queries) {
     EvalBothModes(query, xml);
     ++checked;
     if (::testing::Test::HasFailure()) break;  // first divergence is enough
