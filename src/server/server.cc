@@ -47,7 +47,8 @@ QueryServer::QueryServer(const ServerOptions& options)
 
 QueryServer::~QueryServer() {
   Shutdown();
-  // ~ThreadPool drains the Submit queue; callbacks still see a live server.
+  // pool_ is the last data member, so ~ThreadPool runs first and drains the
+  // Submit queue while shutdown_, tenants_mu_, and tenants_ are still alive.
 }
 
 Status QueryServer::AddDocument(const std::string& name,
@@ -97,6 +98,18 @@ QueryServer::Tenant* QueryServer::TenantFor(const std::string& name) {
   return slot.get();
 }
 
+QueryServer::Tenant* QueryServer::TenantAndQuota(const std::string& name,
+                                                 TenantQuota* quota) {
+  std::lock_guard<std::mutex> lock(tenants_mu_);
+  auto& slot = tenants_[name];
+  if (slot == nullptr) {
+    slot = std::make_unique<Tenant>();
+    slot->quota = options_.default_quota;
+  }
+  *quota = slot->quota;
+  return slot.get();
+}
+
 void QueryServer::SetQuota(const std::string& tenant,
                            const TenantQuota& quota) {
   Tenant* t = TenantFor(tenant);
@@ -136,8 +149,8 @@ QueryResponse QueryServer::ExecuteOnSnapshot(const std::string& tenant,
   }
 
   // Admission: one atomic increment against the tenant's in-flight cap.
-  Tenant* t = TenantFor(tenant);
-  TenantQuota quota = QuotaFor(tenant);
+  TenantQuota quota;
+  Tenant* t = TenantAndQuota(tenant, &quota);
   int64_t inflight = t->inflight.fetch_add(1, std::memory_order_acq_rel) + 1;
   InflightGuard guard(&t->inflight);
   if (static_cast<uint64_t>(inflight) > quota.max_inflight) {
@@ -234,8 +247,8 @@ Result<std::vector<std::string>> QueryServer::GenerateReports(
     return Status::NotFound("no document named '" + model_doc + "'");
   }
 
-  Tenant* t = TenantFor(tenant);
-  TenantQuota quota = QuotaFor(tenant);
+  TenantQuota quota;
+  Tenant* t = TenantAndQuota(tenant, &quota);
   int64_t inflight = t->inflight.fetch_add(1, std::memory_order_acq_rel) + 1;
   InflightGuard guard(&t->inflight);
   if (static_cast<uint64_t>(inflight) > quota.max_inflight) {
@@ -291,7 +304,13 @@ QueryResponse Session::Query(const std::string& doc_name,
                              const std::string& query_text) {
   auto it = pins_.find(doc_name);
   if (it == pins_.end()) {
-    it = pins_.emplace(doc_name, server_->CurrentSnapshot(doc_name)).first;
+    SnapshotPtr current = server_->CurrentSnapshot(doc_name);
+    // Don't pin unknown documents: a later AddDocument should be visible to
+    // this session, and bogus names must not grow pins_ unboundedly.
+    if (current == nullptr) {
+      return server_->ExecuteOnSnapshot(tenant_, nullptr, query_text);
+    }
+    it = pins_.emplace(doc_name, std::move(current)).first;
   }
   return server_->ExecuteOnSnapshot(tenant_, it->second, query_text);
 }

@@ -204,17 +204,23 @@ class QueryServer {
   };
 
   Tenant* TenantFor(const std::string& name);
+  // TenantFor + quota read under a single tenants_mu_ acquisition.
+  Tenant* TenantAndQuota(const std::string& name, TenantQuota* quota);
   void CountRejection(const std::string& tenant);
 
   ServerOptions options_;
   MetricsRegistry* metrics_;
   SnapshotStore store_;
   xq::QueryCache query_cache_;
-  ThreadPool pool_;
   std::atomic<bool> shutdown_{false};
 
   mutable std::mutex tenants_mu_;  // guards the map and quota fields
   std::map<std::string, std::unique_ptr<Tenant>> tenants_;
+
+  // Last member on purpose: ~ThreadPool drains queued Submit work, and those
+  // tasks touch shutdown_, tenants_mu_, and tenants_ -- everything above must
+  // still be alive while the pool winds down.
+  ThreadPool pool_;
 };
 
 }  // namespace lll::server

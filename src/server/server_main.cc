@@ -27,6 +27,7 @@
 #include <unistd.h>
 
 #include <cctype>
+#include <charconv>
 #include <cstdio>
 #include <cstring>
 #include <ext/stdio_filebuf.h>
@@ -35,6 +36,7 @@
 #include <map>
 #include <sstream>
 #include <string>
+#include <system_error>
 #include <thread>
 #include <vector>
 
@@ -47,19 +49,33 @@ using lll::server::Session;
 
 // Splits off the first `n` whitespace-separated words; the remainder of the
 // line (queries, inline XML) stays intact in `rest`.
+bool IsSpace(char c) {
+  return std::isspace(static_cast<unsigned char>(c)) != 0;
+}
+
 std::vector<std::string> SplitWords(const std::string& line, size_t n,
                                     std::string* rest) {
   std::vector<std::string> words;
   size_t pos = 0;
   while (words.size() < n && pos < line.size()) {
-    while (pos < line.size() && std::isspace(line[pos])) ++pos;
+    while (pos < line.size() && IsSpace(line[pos])) ++pos;
     size_t start = pos;
-    while (pos < line.size() && !std::isspace(line[pos])) ++pos;
+    while (pos < line.size() && !IsSpace(line[pos])) ++pos;
     if (pos > start) words.push_back(line.substr(start, pos - start));
   }
-  while (pos < line.size() && std::isspace(line[pos])) ++pos;
+  while (pos < line.size() && IsSpace(line[pos])) ++pos;
   *rest = line.substr(pos);
   return words;
+}
+
+// Parses a full decimal unsigned integer; false on anything malformed.
+// Client input must never throw out of Serve() -- that would kill the whole
+// daemon, not just the offending connection.
+bool ParseUint(const std::string& word, uint64_t* out) {
+  const char* first = word.data();
+  const char* last = first + word.size();
+  auto [ptr, ec] = std::from_chars(first, last, *out);
+  return ec == std::errc() && ptr == last && !word.empty();
 }
 
 // One client conversation: reads commands from `in`, answers on `out`.
@@ -186,10 +202,17 @@ void Serve(QueryServer* server, std::istream& in, std::ostream& out) {
             << std::flush;
         continue;
       }
+      uint64_t inflight = 0, steps = 0, timeout_ms = 0;
+      if (!ParseUint(words[2], &inflight) || !ParseUint(words[3], &steps) ||
+          !ParseUint(words[4], &timeout_ms)) {
+        out << "error: quota arguments must be non-negative integers\n.\n"
+            << std::flush;
+        continue;
+      }
       lll::server::TenantQuota quota;
-      quota.max_inflight = std::stoul(words[2]);
-      quota.max_eval_steps = std::stoul(words[3]);
-      quota.timeout_ms = std::stoul(words[4]);
+      quota.max_inflight = static_cast<size_t>(inflight);
+      quota.max_eval_steps = static_cast<size_t>(steps);
+      quota.timeout_ms = timeout_ms;
       server->SetQuota(words[1], quota);
       out << "ok\n.\n" << std::flush;
       continue;
