@@ -52,8 +52,8 @@ int64_t TaskCountYear(const lll::xml::Node* root) {
   if (library == nullptr) return 0;
   for (const lll::xml::Node* book : library->children()) {
     if (!book->is_element() || book->name() != "book") continue;
-    const std::string* year = book->AttributeValue("year");
-    if (year != nullptr && *year == "1983") ++count;
+    auto year = book->AttributeValue("year");
+    if (year.has_value() && *year == "1983") ++count;
   }
   return count;
 }

@@ -25,8 +25,8 @@ Result<std::vector<std::pair<std::string, std::string>>> ReadProperties(
     const xml::Node* element) {
   std::vector<std::pair<std::string, std::string>> out;
   for (const xml::Node* prop : element->ChildElements("property")) {
-    const std::string* name = prop->AttributeValue("name");
-    if (name == nullptr) {
+    auto name = prop->AttributeValue("name");
+    if (!name.has_value()) {
       return Status::ParseError("<property> without a name attribute");
     }
     out.emplace_back(*name, prop->StringValue());
@@ -75,9 +75,9 @@ Result<Model> ModelFromXml(const Metamodel* metamodel,
   }
   Model model(metamodel);
   for (const xml::Node* el : root_element->ChildElements("node")) {
-    const std::string* id = el->AttributeValue("id");
-    const std::string* type = el->AttributeValue("type");
-    if (id == nullptr || type == nullptr) {
+    auto id = el->AttributeValue("id");
+    auto type = el->AttributeValue("type");
+    if (!id.has_value() || !type.has_value()) {
       return Status::ParseError("<node> needs id and type attributes");
     }
     LLL_ASSIGN_OR_RETURN(ModelNode * node, model.CreateNodeWithId(*id, *type));
@@ -87,14 +87,14 @@ Result<Model> ModelFromXml(const Metamodel* metamodel,
     }
   }
   for (const xml::Node* el : root_element->ChildElements("relation")) {
-    const std::string* type = el->AttributeValue("type");
-    const std::string* source = el->AttributeValue("source");
-    const std::string* target = el->AttributeValue("target");
-    if (type == nullptr || source == nullptr || target == nullptr) {
+    auto type = el->AttributeValue("type");
+    auto source = el->AttributeValue("source");
+    auto target = el->AttributeValue("target");
+    if (!type.has_value() || !source.has_value() || !target.has_value()) {
       return Status::ParseError(
           "<relation> needs type, source, and target attributes");
     }
-    const std::string* id = el->AttributeValue("id");
+    auto id = el->AttributeValue("id");
     LLL_ASSIGN_OR_RETURN(
         RelationObject * rel,
         model.ConnectIds(*type, *source, *target, id ? *id : ""));
@@ -171,34 +171,34 @@ Result<Metamodel> ImportMetamodelXml(const std::string& xml_text) {
   if (root->name() != "awb-metamodel") {
     return Status::ParseError("expected an <awb-metamodel> root element");
   }
-  const std::string* name = root->AttributeValue("name");
-  Metamodel metamodel(name != nullptr ? *name : "unnamed");
+  auto name = root->AttributeValue("name");
+  Metamodel metamodel(name.has_value() ? std::string(*name) : std::string("unnamed"));
   for (const xml::Node* el : root->ChildElements("node-type")) {
     NodeTypeDecl decl;
-    const std::string* type_name = el->AttributeValue("name");
-    if (type_name == nullptr) {
+    auto type_name = el->AttributeValue("name");
+    if (!type_name.has_value()) {
       return Status::ParseError("<node-type> without a name");
     }
     decl.name = *type_name;
-    if (const std::string* parent = el->AttributeValue("extends")) {
+    if (auto parent = el->AttributeValue("extends")) {
       decl.parent = *parent;
     }
-    if (const std::string* lp = el->AttributeValue("label-property")) {
+    if (auto lp = el->AttributeValue("label-property")) {
       decl.label_property = *lp;
     }
     for (const xml::Node* pe : el->ChildElements("property")) {
       PropertyDecl prop;
-      const std::string* prop_name = pe->AttributeValue("name");
-      if (prop_name == nullptr) {
+      auto prop_name = pe->AttributeValue("name");
+      if (!prop_name.has_value()) {
         return Status::ParseError("<property> without a name");
       }
       prop.name = *prop_name;
-      if (const std::string* pt = pe->AttributeValue("type")) {
+      if (auto pt = pe->AttributeValue("type")) {
         LLL_ASSIGN_OR_RETURN(prop.type, ParsePropertyType(*pt));
       }
-      const std::string* rec = pe->AttributeValue("recommended");
-      prop.recommended = rec != nullptr && *rec == "true";
-      if (const std::string* dv = pe->AttributeValue("default")) {
+      auto rec = pe->AttributeValue("recommended");
+      prop.recommended = rec.has_value() && *rec == "true";
+      if (auto dv = pe->AttributeValue("default")) {
         prop.default_value = *dv;
       }
       decl.properties.push_back(std::move(prop));
@@ -207,40 +207,40 @@ Result<Metamodel> ImportMetamodelXml(const std::string& xml_text) {
   }
   for (const xml::Node* el : root->ChildElements("relation-type")) {
     RelationTypeDecl decl;
-    const std::string* rel_name = el->AttributeValue("name");
-    if (rel_name == nullptr) {
+    auto rel_name = el->AttributeValue("name");
+    if (!rel_name.has_value()) {
       return Status::ParseError("<relation-type> without a name");
     }
     decl.name = *rel_name;
-    if (const std::string* parent = el->AttributeValue("extends")) {
+    if (auto parent = el->AttributeValue("extends")) {
       decl.parent = *parent;
     }
     for (const xml::Node* re : el->ChildElements("allowed")) {
-      const std::string* source = re->AttributeValue("source");
-      const std::string* target = re->AttributeValue("target");
-      if (source == nullptr || target == nullptr) {
+      auto source = re->AttributeValue("source");
+      auto target = re->AttributeValue("target");
+      if (!source.has_value() || !target.has_value()) {
         return Status::ParseError("<allowed> needs source and target");
       }
-      decl.allowed.push_back({*source, *target});
+      decl.allowed.push_back({std::string(*source), std::string(*target)});
     }
     LLL_RETURN_IF_ERROR(metamodel.AddRelationType(std::move(decl)));
   }
   for (const xml::Node* el : root->ChildElements("cardinality")) {
     CardinalityRule rule;
-    const std::string* type = el->AttributeValue("type");
-    if (type == nullptr) return Status::ParseError("<cardinality> needs type");
+    auto type = el->AttributeValue("type");
+    if (!type.has_value()) return Status::ParseError("<cardinality> needs type");
     rule.node_type = *type;
-    if (const std::string* min = el->AttributeValue("min")) {
+    if (auto min = el->AttributeValue("min")) {
       auto v = ParseInt(*min);
       if (!v || *v < 0) return Status::ParseError("bad cardinality min");
       rule.min = static_cast<size_t>(*v);
     }
-    if (const std::string* max = el->AttributeValue("max")) {
+    if (auto max = el->AttributeValue("max")) {
       auto v = ParseInt(*max);
       if (!v || *v < 0) return Status::ParseError("bad cardinality max");
       rule.max = static_cast<size_t>(*v);
     }
-    if (const std::string* message = el->AttributeValue("message")) {
+    if (auto message = el->AttributeValue("message")) {
       rule.message = *message;
     }
     metamodel.AddRule(std::move(rule));

@@ -187,8 +187,8 @@ Result<Query> ParseQueryXml(const xml::Node* query_element) {
     if (!child->is_element()) continue;
     const std::string& tag = child->name();
     auto attr = [child](const char* name) -> std::string {
-      const std::string* v = child->AttributeValue(name);
-      return v != nullptr ? *v : std::string();
+      auto v = child->AttributeValue(name);
+      return v.has_value() ? std::string(*v) : std::string();
     };
     if (tag == "from") {
       if (!attr("type").empty()) {

@@ -116,14 +116,14 @@ Status NormalizeElement(xml::Document* doc, xml::Node* element) {
       LLL_RETURN_IF_ERROR(NormalizeElement(doc, child));
     }
   }
-  const std::string* nodes_attr = element->AttributeValue("nodes");
-  if (nodes_attr == nullptr) return Status::Ok();
+  auto nodes_attr = element->AttributeValue("nodes");
+  if (!nodes_attr.has_value()) return Status::Ok();
   if (element->name() != "for" && element->name() != "nonempty" &&
       element->name() != "table") {
     return Status::Ok();
   }
   LLL_ASSIGN_OR_RETURN(awbql::Query query,
-                       awbql::ParseQuery(NodesAttributeToQueryText(*nodes_attr)));
+                       awbql::ParseQuery(NodesAttributeToQueryText(std::string(*nodes_attr))));
   LLL_RETURN_IF_ERROR(
       element->InsertChildAt(0, QueryToXmlElement(doc, query)));
   element->RemoveAttribute("nodes");
@@ -140,11 +140,11 @@ Status NormalizeTableElement(xml::Document* doc, xml::Node* element) {
   }
   if (element->name() != "table") return Status::Ok();
   for (const char* attr : {"rows", "cols"}) {
-    const std::string* value = element->AttributeValue(attr);
-    if (value == nullptr) continue;
+    auto value = element->AttributeValue(attr);
+    if (!value.has_value()) continue;
     LLL_ASSIGN_OR_RETURN(
         awbql::Query query,
-        awbql::ParseQuery(NodesAttributeToQueryText(*value)));
+        awbql::ParseQuery(NodesAttributeToQueryText(std::string(*value))));
     xml::Node* wrapper =
         doc->CreateElement(std::string(attr) + "-query");
     (void)wrapper->AppendChild(QueryToXmlElement(doc, query));
@@ -158,7 +158,8 @@ Status NormalizeTableElement(xml::Document* doc, xml::Node* element) {
 
 void NormalizeTextNodes(xml::Node* element) {
   // Children snapshot: we mutate the list while walking.
-  std::vector<xml::Node*> snapshot = element->children();
+  std::vector<xml::Node*> snapshot(element->children().begin(),
+                                   element->children().end());
   xml::Node* previous_text = nullptr;
   for (xml::Node* child : snapshot) {
     if (child->is_text()) {
@@ -167,7 +168,8 @@ void NormalizeTextNodes(xml::Node* element) {
         continue;
       }
       if (previous_text != nullptr) {
-        previous_text->set_value(previous_text->value() + child->value());
+        previous_text->set_value(std::string(previous_text->value()) +
+                                 std::string(child->value()));
         child->Detach();
         continue;
       }

@@ -8,6 +8,7 @@
 #include "awbql/native.h"
 #include "awbql/query.h"
 #include "core/string_util.h"
+#include "xml/name_table.h"
 #include "xml/parser.h"
 
 namespace lll::docgen {
@@ -110,14 +111,14 @@ class Generator {
                            ParsedXmlQuery(query_element));
       return awbql::EvalNativeCached(*query, model_, &native_memo_, focus);
     }
-    const std::string* nodes_attr = t->AttributeValue("nodes");
-    if (nodes_attr == nullptr) {
+    auto nodes_attr = t->AttributeValue("nodes");
+    if (!nodes_attr.has_value()) {
       return Status::Invalid("<" + t->name() +
                              "> needs a nodes attribute or <query> child");
     }
     LLL_ASSIGN_OR_RETURN(std::shared_ptr<const awbql::Query> query,
                          awbql::SharedQueryParseCache().GetOrParse(
-                             NodesAttributeToQueryText(*nodes_attr)));
+                             NodesAttributeToQueryText(std::string(*nodes_attr))));
     return awbql::EvalNativeCached(*query, model_, &native_memo_, focus);
   }
 
@@ -199,25 +200,25 @@ class Generator {
       return focus;
     };
     if (tag == "focus-is-type") {
-      const std::string* type = c->AttributeValue("type");
-      if (type == nullptr) {
+      auto type = c->AttributeValue("type");
+      if (!type.has_value()) {
         return Status::Invalid("<focus-is-type> needs a type attribute");
       }
       LLL_ASSIGN_OR_RETURN(const ModelNode* f, need_focus());
       return model_.metamodel().IsNodeSubtype(f->type(), *type);
     }
     if (tag == "focus-has-property") {
-      const std::string* name = c->AttributeValue("name");
-      if (name == nullptr) {
+      auto name = c->AttributeValue("name");
+      if (!name.has_value()) {
         return Status::Invalid("<focus-has-property> needs a name attribute");
       }
       LLL_ASSIGN_OR_RETURN(const ModelNode* f, need_focus());
       return f->Property(*name) != nullptr;
     }
     if (tag == "focus-property-equals") {
-      const std::string* name = c->AttributeValue("name");
-      const std::string* value = c->AttributeValue("value");
-      if (name == nullptr || value == nullptr) {
+      auto name = c->AttributeValue("name");
+      auto value = c->AttributeValue("value");
+      if (!name.has_value() || !value.has_value()) {
         return Status::Invalid(
             "<focus-property-equals> needs name and value attributes");
       }
@@ -269,8 +270,8 @@ class Generator {
   Status GenerateValueOf(const xml::Node* t, xml::Node* parent,
                          const ModelNode* focus) {
     ++stats_.directives_processed;
-    const std::string* property = t->AttributeValue("property");
-    if (property == nullptr) {
+    auto property = t->AttributeValue("property");
+    if (!property.has_value()) {
       return Trouble(parent,
                      Status::Invalid("<value-of> needs a property attribute"),
                      t, focus, "while expanding <value-of>");
@@ -282,17 +283,18 @@ class Generator {
     }
     const std::string* value = focus->Property(*property);
     if (value == nullptr) {
-      const std::string* fallback = t->AttributeValue("default");
-      if (fallback == nullptr) {
+      auto fallback = t->AttributeValue("default");
+      if (!fallback.has_value()) {
         // The E3 workload: missing data without a default is an error, with
         // the offending node attached GenTrouble-style.
         return Trouble(
             parent,
             Status::NotFound("node " + focus->id() + " (" +
                              model_.Label(focus) + ") has no property '" +
-                             *property + "'"),
-            t, focus, "while expanding <value-of property=\"" + *property +
-                          "\">");
+                             std::string(*property) + "'"),
+            t, focus,
+            "while expanding <value-of property=\"" + std::string(*property) +
+                "\">");
       }
       return parent->AppendChild(out_->CreateText(*fallback));
     }
@@ -302,14 +304,14 @@ class Generator {
   Status GenerateSection(const xml::Node* t, xml::Node* parent,
                          const ModelNode* focus, int depth) {
     ++stats_.directives_processed;
-    const std::string* heading = t->AttributeValue("heading");
-    if (heading == nullptr) {
+    auto heading = t->AttributeValue("heading");
+    if (!heading.has_value()) {
       return Trouble(parent,
                      Status::Invalid("<section> needs a heading attribute"), t,
                      focus, "while expanding <section>");
     }
     // Heading text may reference the focus label via the token "{label}".
-    std::string text = *heading;
+    std::string text(*heading);
     if (Contains(text, "{label}")) {
       if (focus == nullptr) {
         return Trouble(parent,
@@ -343,8 +345,8 @@ class Generator {
   Status GenerateOmissionsMarker(const xml::Node* t, xml::Node* parent) {
     ++stats_.directives_processed;
     xml::Node* marker = out_->CreateElement("lll-omissions-marker");
-    const std::string* types = t->AttributeValue("types");
-    if (types != nullptr) marker->SetAttribute("types", *types);
+    auto types = t->AttributeValue("types");
+    if (types.has_value()) marker->SetAttribute("types", *types);
     return parent->AppendChild(marker);
   }
 
@@ -365,13 +367,13 @@ class Generator {
       return Trouble(parent, cols.status(), t, focus,
                      "while expanding <table> cols");
     }
-    const std::string* relation = t->AttributeValue("relation");
-    if (relation == nullptr) {
+    auto relation = t->AttributeValue("relation");
+    if (!relation.has_value()) {
       return Trouble(parent,
                      Status::Invalid("<table> needs a relation attribute"), t,
                      focus, "while expanding <table>");
     }
-    const std::string* corner = t->AttributeValue("corner");
+    auto corner = t->AttributeValue("corner");
 
     // Skeleton: (rows+1) x (cols+1) of empty <td>s.
     size_t height = rows->size() + 1;
@@ -393,7 +395,8 @@ class Generator {
     };
     // Corner.
     LLL_RETURN_IF_ERROR(
-        fill(cells[0][0], corner != nullptr ? *corner : "row\\col"));
+        fill(cells[0][0], corner.has_value() ? std::string(*corner)
+                                             : std::string("row\\col")));
     // Column titles.
     for (size_t c = 0; c < cols->size(); ++c) {
       Visit((*cols)[c]);
@@ -427,8 +430,8 @@ class Generator {
   Status GenerateRichText(const xml::Node* t, xml::Node* parent,
                           const ModelNode* focus) {
     ++stats_.directives_processed;
-    const std::string* property = t->AttributeValue("property");
-    if (property == nullptr) {
+    auto property = t->AttributeValue("property");
+    if (!property.has_value()) {
       return Trouble(parent,
                      Status::Invalid("<rich-text> needs a property attribute"),
                      t, focus, "while expanding <rich-text>");
@@ -439,7 +442,7 @@ class Generator {
                      focus, "while expanding <rich-text>");
     }
     const std::string* value = focus->Property(*property);
-    std::string text = value != nullptr ? *value : "";
+    std::string text = value != nullptr ? *value : std::string();
     xml::Node* div = out_->CreateElement("div");
     div->SetAttribute("class", "rich-text");
     LLL_RETURN_IF_ERROR(parent->AppendChild(div));
@@ -458,8 +461,8 @@ class Generator {
   Status GeneratePlaceholder(const xml::Node* t, const ModelNode* focus,
                              int depth) {
     ++stats_.directives_processed;
-    const std::string* name = t->AttributeValue("name");
-    if (name == nullptr || name->empty()) {
+    auto name = t->AttributeValue("name");
+    if (!name.has_value() || name->empty()) {
       // Placeholders produce no output node to attach an embedded error to,
       // so this one always propagates.
       return Status::Invalid("<placeholder> needs a name attribute");
@@ -469,7 +472,7 @@ class Generator {
     for (const xml::Node* child : t->children()) {
       LLL_RETURN_IF_ERROR(Gen(child, holder, focus, depth));
     }
-    placeholders_[*name] = holder;
+    placeholders_[std::string(*name)] = holder;
     ++stats_.placeholders_defined;
     return Status::Ok();
   }
@@ -508,7 +511,7 @@ class Generator {
   Status PatchOmissions(xml::Node* root) {
     for (xml::Node* marker : CollectMarkers(root, "lll-omissions-marker")) {
       std::vector<std::string> wanted_types;
-      if (const std::string* types = marker->AttributeValue("types")) {
+      if (auto types = marker->AttributeValue("types")) {
         for (const std::string& type : Split(*types, ',')) {
           std::string_view trimmed = TrimWhitespace(type);
           if (!trimmed.empty()) wanted_types.emplace_back(trimmed);
@@ -559,7 +562,8 @@ class Generator {
   Status ReplaceTokenOnce(xml::Node* element, const std::string& token,
                           const xml::Node* holder, bool* changed) {
     // Children vector mutates during replacement; take a snapshot.
-    std::vector<xml::Node*> snapshot = element->children();
+    std::vector<xml::Node*> snapshot(element->children().begin(),
+                                     element->children().end());
     for (xml::Node* child : snapshot) {
       if (child->is_element()) {
         if (child == holder) continue;
@@ -569,8 +573,8 @@ class Generator {
       if (!child->is_text()) continue;
       size_t hit = child->value().find(token);
       if (hit == std::string::npos) continue;
-      std::string before = child->value().substr(0, hit);
-      std::string after = child->value().substr(hit + token.size());
+      std::string before(child->value().substr(0, hit));
+      std::string after(child->value().substr(hit + token.size()));
       std::vector<xml::Node*> replacement;
       if (!before.empty()) replacement.push_back(out_->CreateText(before));
       for (const xml::Node* content : holder->children()) {
@@ -629,13 +633,13 @@ class Generator {
                            ParsedXmlQuery(query_element));
       return awbql::EvalNativeCached(*query, model_, &native_memo_, focus);
     }
-    const std::string* attr = t->AttributeValue(which);
-    if (attr == nullptr) {
+    auto attr = t->AttributeValue(which);
+    if (!attr.has_value()) {
       return Status::Invalid("<table> needs a '" + which + "' query");
     }
     LLL_ASSIGN_OR_RETURN(std::shared_ptr<const awbql::Query> query,
                          awbql::SharedQueryParseCache().GetOrParse(
-                             NodesAttributeToQueryText(*attr)));
+                             NodesAttributeToQueryText(std::string(*attr))));
     return awbql::EvalNativeCached(*query, model_, &native_memo_, focus);
   }
 
@@ -733,6 +737,14 @@ Result<DocGenResult> GenerateNative(const xml::Node* template_root,
         .Set(static_cast<int64_t>(generator.native_memo().hits()));
     options.metrics->gauge("docgen.native.query_memo.misses")
         .Set(static_cast<int64_t>(generator.native_memo().misses()));
+    const xml::DocumentStorageStats storage =
+        result.document->storage_stats();
+    options.metrics->gauge("xml.doc.nodes")
+        .Set(static_cast<int64_t>(storage.node_count));
+    options.metrics->gauge("xml.doc.bytes")
+        .Set(static_cast<int64_t>(storage.total_bytes));
+    options.metrics->gauge("xml.names.interned")
+        .Set(static_cast<int64_t>(xml::NameTable::interned_count()));
   }
   return result;
 }

@@ -6,6 +6,7 @@
 #include "awb/xml_io.h"
 #include "docgen/xq_programs.h"
 #include "obs/explain.h"
+#include "xml/name_table.h"
 #include "xml/parser.h"
 #include "xquery/engine.h"
 #include "xquery/nodeset_cache.h"
@@ -45,8 +46,8 @@ size_t CountDescendants(const xml::Node* root, const std::string& name) {
 size_t CountDistinctVisited(const xml::Node* root) {
   std::vector<std::string> ids;
   for (const xml::Node* v : root->DescendantElements("VISITED")) {
-    const std::string* id = v->AttributeValue("node-id");
-    if (id != nullptr) ids.push_back(*id);
+    auto id = v->AttributeValue("node-id");
+    if (id.has_value()) ids.push_back(std::string(*id));
   }
   std::sort(ids.begin(), ids.end());
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
@@ -184,8 +185,8 @@ Result<DocGenResult> GenerateXQuery(const xml::Node* template_root,
 
   // Count omissions from the final document.
   for (const xml::Node* list : current->DescendantElements("ul")) {
-    const std::string* cls = list->AttributeValue("class");
-    if (cls != nullptr && *cls == "omissions") {
+    auto cls = list->AttributeValue("class");
+    if (cls.has_value() && *cls == "omissions") {
       stats.omissions_listed += list->ChildElements("li").size();
     }
   }
@@ -194,6 +195,14 @@ Result<DocGenResult> GenerateXQuery(const xml::Node* template_root,
     options.metrics->counter("docgen.xq.generations").Increment();
     PhaseProgramCache().ExportTo(options.metrics, "docgen.xq.cache");
     nodeset_cache.ExportTo(options.metrics, "docgen.xq.nodeset");
+    // Storage gauges: the model document is the generation's dominant arena.
+    const xml::DocumentStorageStats storage = model_doc->storage_stats();
+    options.metrics->gauge("xml.doc.nodes")
+        .Set(static_cast<int64_t>(storage.node_count));
+    options.metrics->gauge("xml.doc.bytes")
+        .Set(static_cast<int64_t>(storage.total_bytes));
+    options.metrics->gauge("xml.names.interned")
+        .Set(static_cast<int64_t>(xml::NameTable::interned_count()));
   }
 
   DocGenResult result;

@@ -6,6 +6,7 @@
 #include "awb/xml_io.h"
 #include "docgen/native_engine.h"
 #include "obs/explain.h"
+#include "xml/name_table.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
 #include "xquery/engine.h"
@@ -297,6 +298,20 @@ Result<std::vector<std::string>> QueryServer::GenerateReports(
 
 std::string QueryServer::MetricsJson() const {
   query_cache_.ExportTo(metrics_, "server.query_cache");
+  // Refresh the storage gauges from the store's current snapshots so a
+  // metrics poll always reflects live resident state, not the last publish.
+  size_t nodes = 0, bytes = 0;
+  for (const std::string& name : store_.Names()) {
+    SnapshotPtr snap = store_.Current(name);
+    if (snap == nullptr) continue;
+    const xml::DocumentStorageStats storage = snap->document().storage_stats();
+    nodes += storage.node_count;
+    bytes += storage.total_bytes;
+  }
+  metrics_->gauge("xml.doc.nodes").Set(static_cast<int64_t>(nodes));
+  metrics_->gauge("xml.doc.bytes").Set(static_cast<int64_t>(bytes));
+  metrics_->gauge("xml.names.interned")
+      .Set(static_cast<int64_t>(xml::NameTable::interned_count()));
   return metrics_->ToJson();
 }
 

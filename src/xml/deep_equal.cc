@@ -32,7 +32,8 @@ std::vector<const Node*> ComparableChildren(const Node* n,
 }
 
 std::string TextOf(const Node* n, const DeepEqualOptions& options) {
-  return options.normalize_text ? NormalizeSpace(n->value()) : n->value();
+  return options.normalize_text ? NormalizeSpace(n->value())
+                                : std::string(n->value());
 }
 
 // Returns an empty string when equal, otherwise a description of the first
@@ -47,8 +48,8 @@ std::string Compare(const Node* a, const Node* b, const std::string& path,
     case NodeKind::kText:
     case NodeKind::kComment:
       if (TextOf(a, options) != TextOf(b, options)) {
-        return path + ": text differs: \"" + a->value() + "\" vs \"" +
-               b->value() + "\"";
+        return path + ": text differs: \"" + std::string(a->value()) +
+               "\" vs \"" + std::string(b->value()) + "\"";
       }
       return {};
     case NodeKind::kProcessingInstruction:
@@ -57,8 +58,9 @@ std::string Compare(const Node* a, const Node* b, const std::string& path,
         return path + ": names differ: " + a->name() + " vs " + b->name();
       }
       if (a->value() != b->value()) {
-        return path + "/@" + a->name() + ": values differ: \"" + a->value() +
-               "\" vs \"" + b->value() + "\"";
+        return path + "/@" + a->name() + ": values differ: \"" +
+               std::string(a->value()) + "\" vs \"" + std::string(b->value()) +
+               "\"";
       }
       return {};
     case NodeKind::kElement:
@@ -76,13 +78,14 @@ std::string Compare(const Node* a, const Node* b, const std::string& path,
            std::to_string(b->attributes().size());
   }
   for (const Node* attr : a->attributes()) {
-    const std::string* other = b->AttributeValue(attr->name());
-    if (other == nullptr) {
+    std::optional<std::string_view> other = b->AttributeValue(attr->name());
+    if (!other.has_value()) {
       return here + ": attribute '" + attr->name() + "' missing on right";
     }
     if (*other != attr->value()) {
       return here + ": attribute '" + attr->name() + "' differs: \"" +
-             attr->value() + "\" vs \"" + *other + "\"";
+             std::string(attr->value()) + "\" vs \"" + std::string(*other) +
+             "\"";
     }
   }
   auto ca = ComparableChildren(a, options);

@@ -1,8 +1,19 @@
 #include "xml/node.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace lll::xml {
+
+namespace {
+
+// Spines longer than this are not worth merging in the in-order build
+// tracker: a post-order attachment cascade over a deep chain would cost
+// O(depth) per merge. Past the bound we conservatively drop to the lazy
+// order index instead of tracking further.
+constexpr size_t kMaxSpineMerge = 256;
+
+}  // namespace
 
 const char* NodeKindName(NodeKind kind) {
   switch (kind) {
@@ -25,39 +36,52 @@ const char* NodeKindName(NodeKind kind) {
 // --- Node -------------------------------------------------------------------
 
 std::string Node::StringValue() const {
-  switch (kind_) {
+  switch (kind()) {
     case NodeKind::kText:
     case NodeKind::kComment:
     case NodeKind::kAttribute:
     case NodeKind::kProcessingInstruction:
-      return value_;
+      return std::string(value());
     case NodeKind::kElement:
-    case NodeKind::kDocument: {
-      std::string out;
-      for (const Node* c : children_) {
-        if (c->kind_ == NodeKind::kText) {
-          out += c->value_;
-        } else if (c->kind_ == NodeKind::kElement) {
-          out += c->StringValue();
-        }
+    case NodeKind::kDocument:
+      break;
+  }
+  // Concatenate descendant text in document order; explicit stack so a
+  // 100k-deep chain cannot exhaust the call stack.
+  std::string out;
+  std::vector<uint32_t> stack;
+  const Document* doc = document_;
+  {
+    NodeList kids = children();
+    for (size_t i = kids.size(); i-- > 0;) stack.push_back(kids[i]->idx_);
+  }
+  while (!stack.empty()) {
+    uint32_t n = stack.back();
+    stack.pop_back();
+    NodeKind k = static_cast<NodeKind>(doc->kind_[n]);
+    if (k == NodeKind::kText) {
+      out += doc->ValueView(doc->value_[n]);
+    } else if (k == NodeKind::kElement) {
+      const Document::Span& s = doc->child_span_[n];
+      for (uint32_t i = s.count; i-- > 0;) {
+        stack.push_back(s.ptr[i]);
       }
-      return out;
     }
   }
-  return {};
+  return out;
 }
 
 Node* Node::FirstChildElement(std::string_view name) const {
-  for (Node* c : children_) {
-    if (c->is_element() && c->name_ == name) return c;
+  for (Node* c : children()) {
+    if (c->is_element() && c->name() == name) return c;
   }
   return nullptr;
 }
 
 std::vector<Node*> Node::ChildElements(std::string_view name) const {
   std::vector<Node*> out;
-  for (Node* c : children_) {
-    if (c->is_element() && (name.empty() || c->name_ == name)) {
+  for (Node* c : children()) {
+    if (c->is_element() && (name.empty() || c->name() == name)) {
       out.push_back(c);
     }
   }
@@ -65,65 +89,80 @@ std::vector<Node*> Node::ChildElements(std::string_view name) const {
 }
 
 std::vector<Node*> Node::DescendantElements(std::string_view name) const {
+  // Preorder over descendant elements; explicit stack (100k-depth safe).
   std::vector<Node*> out;
-  for (Node* c : children_) {
-    if (c->is_element()) {
-      if (name.empty() || c->name_ == name) out.push_back(c);
-      auto sub = c->DescendantElements(name);
-      out.insert(out.end(), sub.begin(), sub.end());
+  const Document* doc = document_;
+  std::vector<uint32_t> stack;
+  {
+    NodeList kids = children();
+    for (size_t i = kids.size(); i-- > 0;) stack.push_back(kids[i]->idx_);
+  }
+  while (!stack.empty()) {
+    uint32_t n = stack.back();
+    stack.pop_back();
+    if (static_cast<NodeKind>(doc->kind_[n]) != NodeKind::kElement) continue;
+    Node* e = doc->NodeAt(n);
+    if (name.empty() || e->name() == name) out.push_back(e);
+    const Document::Span& s = doc->child_span_[n];
+    for (uint32_t i = s.count; i-- > 0;) {
+      stack.push_back(s.ptr[i]);
     }
   }
   return out;
 }
 
-const std::string* Node::AttributeValue(std::string_view name) const {
-  for (const Node* a : attributes_) {
-    if (a->name_ == name) return &a->value_;
+std::optional<std::string_view> Node::AttributeValue(
+    std::string_view name) const {
+  for (const Node* a : attributes()) {
+    if (a->name() == name) return a->value();
   }
-  return nullptr;
+  return std::nullopt;
 }
 
 Node* Node::AttributeNode(std::string_view name) const {
-  for (Node* a : attributes_) {
-    if (a->name_ == name) return a;
+  for (Node* a : attributes()) {
+    if (a->name() == name) return a;
   }
   return nullptr;
 }
 
 size_t Node::IndexInParent() const {
-  if (parent_ == nullptr) return static_cast<size_t>(-1);
-  const auto& sibs =
-      is_attribute() ? parent_->attributes_ : parent_->children_;
-  for (size_t i = 0; i < sibs.size(); ++i) {
-    if (sibs[i] == this) return i;
-  }
-  return static_cast<size_t>(-1);
+  if (document_->parent_[idx_] == kNilNode) return static_cast<size_t>(-1);
+  return document_->pos_[idx_];
 }
 
 Node* Node::Root() {
-  Node* n = this;
-  while (n->parent_ != nullptr) n = n->parent_;
-  return n;
+  uint32_t n = idx_;
+  while (document_->parent_[n] != kNilNode) n = document_->parent_[n];
+  return document_->NodeAt(n);
+}
+
+void Node::set_value(std::string_view v) {
+  Document* doc = document_;
+  doc->value_bytes_ += v.size();
+  doc->value_bytes_ -= doc->value_[idx_].len;
+  doc->value_[idx_] = doc->AddChars(v);
 }
 
 Status Node::CheckAdoptable(const Node* child) const {
   if (child == nullptr) return Status::Invalid("null child");
   if (child->document_ != document_) {
-    return Status::Invalid("child belongs to a different document; ImportNode it first");
+    return Status::Invalid(
+        "child belongs to a different document; ImportNode it first");
   }
-  if (child->parent_ != nullptr) {
+  if (child->parent() != nullptr) {
     return Status::Invalid("child already has a parent; Detach it first");
   }
-  if (kind_ != NodeKind::kElement && kind_ != NodeKind::kDocument) {
+  if (kind() != NodeKind::kElement && kind() != NodeKind::kDocument) {
     return Status::Invalid(std::string("cannot add children to a ") +
-                           NodeKindName(kind_) + " node");
+                           NodeKindName(kind()) + " node");
   }
   // Reject cycles: `child` must not be an ancestor of `this`. A childless
   // node cannot be on anyone's ancestor chain, so the common build pattern
   // (append a freshly created node) skips the O(depth) walk.
   if (child == this) return Status::Invalid("cannot adopt an ancestor");
-  if (!child->children_.empty()) {
-    for (const Node* n = this; n != nullptr; n = n->parent_) {
+  if (!child->children().empty()) {
+    for (const Node* n = this; n != nullptr; n = n->parent()) {
       if (n == child) return Status::Invalid("cannot adopt an ancestor");
     }
   }
@@ -131,7 +170,7 @@ Status Node::CheckAdoptable(const Node* child) const {
 }
 
 Status Node::AppendChild(Node* child) {
-  return InsertChildAt(children_.size(), child);
+  return InsertChildAt(children().size(), child);
 }
 
 Status Node::InsertChildAt(size_t index, Node* child) {
@@ -139,57 +178,66 @@ Status Node::InsertChildAt(size_t index, Node* child) {
   if (child->is_attribute()) {
     return Status::Invalid("attribute nodes go through SetAttributeNode");
   }
-  if (index > children_.size()) {
+  if (index > children().size()) {
     return Status::OutOfRange("child index past end");
   }
-  children_.insert(children_.begin() + static_cast<ptrdiff_t>(index), child);
-  child->parent_ = this;
-  document_->InvalidateOrderIndex();
+  document_->AttachChildAt(idx_, child->idx_, static_cast<uint32_t>(index));
   return Status::Ok();
 }
 
 Status Node::RemoveChild(Node* child) {
-  auto it = std::find(children_.begin(), children_.end(), child);
-  if (it == children_.end()) return Status::NotFound("not a child of this node");
-  children_.erase(it);
-  child->parent_ = nullptr;
-  document_->InvalidateOrderIndex();
+  if (child == nullptr || child->document_ != document_ ||
+      child->is_attribute() || document_->parent_[child->idx_] != idx_) {
+    return Status::NotFound("not a child of this node");
+  }
+  Document* doc = document_;
+  doc->MarkOrderDirty();
+  doc->SpanErase(doc->child_span_[idx_], doc->pos_[child->idx_]);
+  doc->parent_[child->idx_] = kNilNode;
+  ++doc->unattached_;
+  doc->InvalidateOrderIndex();
   return Status::Ok();
 }
 
 Status Node::ReplaceChild(Node* old_child,
                           const std::vector<Node*>& replacement) {
-  auto it = std::find(children_.begin(), children_.end(), old_child);
-  if (it == children_.end()) return Status::NotFound("not a child of this node");
-  size_t index = static_cast<size_t>(it - children_.begin());
+  if (old_child == nullptr || old_child->document_ != document_ ||
+      old_child->is_attribute() ||
+      document_->parent_[old_child->idx_] != idx_) {
+    return Status::NotFound("not a child of this node");
+  }
   for (Node* r : replacement) {
     LLL_RETURN_IF_ERROR(CheckAdoptable(r));
     if (r->is_attribute()) {
       return Status::Invalid("attribute nodes cannot replace children");
     }
   }
-  children_.erase(it);
-  old_child->parent_ = nullptr;
+  Document* doc = document_;
+  doc->MarkOrderDirty();
+  uint32_t at = doc->pos_[old_child->idx_];
+  doc->SpanErase(doc->child_span_[idx_], at);
+  doc->parent_[old_child->idx_] = kNilNode;
+  ++doc->unattached_;
   for (size_t i = 0; i < replacement.size(); ++i) {
-    children_.insert(children_.begin() + static_cast<ptrdiff_t>(index + i),
-                     replacement[i]);
-    replacement[i]->parent_ = this;
+    uint32_t c = replacement[i]->idx_;
+    doc->SpanInsert(doc->child_span_[idx_], doc->child_pool_,
+                    at + static_cast<uint32_t>(i), c);
+    doc->parent_[c] = idx_;
+    --doc->unattached_;
   }
-  document_->InvalidateOrderIndex();
+  doc->InvalidateOrderIndex();
   return Status::Ok();
 }
 
 void Node::SetAttribute(std::string_view name, std::string_view value) {
-  for (Node* a : attributes_) {
-    if (a->name_ == name) {
-      a->value_ = std::string(value);
+  for (Node* a : attributes()) {
+    if (a->name() == name) {
+      a->set_value(value);
       return;
     }
   }
   Node* attr = document_->CreateAttribute(name, value);
-  attr->parent_ = this;
-  attributes_.push_back(attr);
-  document_->InvalidateOrderIndex();
+  document_->AttachAttr(idx_, attr->idx_);
 }
 
 Status Node::SetAttributeNode(Node* attr, bool keep_first) {
@@ -199,22 +247,20 @@ Status Node::SetAttributeNode(Node* attr, bool keep_first) {
   if (attr->document_ != document_) {
     return Status::Invalid("attribute belongs to a different document");
   }
-  if (attr->parent_ != nullptr) {
+  if (attr->parent() != nullptr) {
     return Status::Invalid("attribute already owned by an element");
   }
   if (!is_element()) {
     return Status::Invalid("attributes can only be set on elements");
   }
-  for (Node* existing : attributes_) {
-    if (existing->name_ == attr->name_) {
+  for (Node* existing : attributes()) {
+    if (existing->name_id() == attr->name_id()) {
       if (keep_first) return Status::Ok();  // first writer wins, new one dropped
-      existing->value_ = attr->value_;
+      existing->set_value(attr->value());
       return Status::Ok();
     }
   }
-  attr->parent_ = this;
-  attributes_.push_back(attr);
-  document_->InvalidateOrderIndex();
+  document_->AttachAttr(idx_, attr->idx_);
   return Status::Ok();
 }
 
@@ -222,22 +268,23 @@ Status Node::ForceAppendDuplicateAttribute(Node* attr) {
   if (attr == nullptr || !attr->is_attribute()) {
     return Status::Invalid("requires an attribute node");
   }
-  if (attr->document_ != document_ || attr->parent_ != nullptr) {
+  if (attr->document_ != document_ || attr->parent() != nullptr) {
     return Status::Invalid("attribute must be detached and same-document");
   }
   if (!is_element()) return Status::Invalid("attributes only go on elements");
-  attr->parent_ = this;
-  attributes_.push_back(attr);
-  document_->InvalidateOrderIndex();
+  document_->AttachAttr(idx_, attr->idx_);
   return Status::Ok();
 }
 
 bool Node::RemoveAttribute(std::string_view name) {
-  for (auto it = attributes_.begin(); it != attributes_.end(); ++it) {
-    if ((*it)->name_ == name) {
-      (*it)->parent_ = nullptr;
-      attributes_.erase(it);
-      document_->InvalidateOrderIndex();
+  for (Node* a : attributes()) {
+    if (a->name() == name) {
+      Document* doc = document_;
+      doc->MarkOrderDirty();
+      doc->SpanErase(doc->attr_span_[idx_], doc->pos_[a->idx_]);
+      doc->parent_[a->idx_] = kNilNode;
+      ++doc->unattached_;
+      doc->InvalidateOrderIndex();
       return true;
     }
   }
@@ -245,90 +292,575 @@ bool Node::RemoveAttribute(std::string_view name) {
 }
 
 void Node::Detach() {
-  if (parent_ == nullptr) return;
-  if (is_attribute()) {
-    auto& attrs = parent_->attributes_;
-    attrs.erase(std::remove(attrs.begin(), attrs.end(), this), attrs.end());
-  } else {
-    auto& kids = parent_->children_;
-    kids.erase(std::remove(kids.begin(), kids.end(), this), kids.end());
-  }
-  parent_ = nullptr;
-  document_->InvalidateOrderIndex();
+  Document* doc = document_;
+  uint32_t p = doc->parent_[idx_];
+  if (p == kNilNode) return;
+  doc->DetachSlot(idx_);
 }
 
 // --- Document ---------------------------------------------------------------
 
-Document::Document() : root_(nullptr) {
+Document::Document() {
   static std::atomic<uint64_t> next_doc_id{1};
   doc_id_ = next_doc_id.fetch_add(1, std::memory_order_relaxed);
-  root_ = NewNode(NodeKind::kDocument, "", "");
+  NewSlot(NodeKind::kDocument, 0, {});
 }
 
 Node* Document::DocumentElement() const {
-  for (Node* c : root_->children()) {
+  for (Node* c : root()->children()) {
     if (c->is_element()) return c;
   }
   return nullptr;
 }
 
-Node* Document::NewNode(NodeKind kind, std::string name, std::string value) {
-  nodes_.push_back(std::unique_ptr<Node>(
-      new Node(this, kind, std::move(name), std::move(value))));
+Document::ValueRef Document::AddChars(std::string_view s) {
+  if (s.empty()) return {};
+  const uint32_t len = static_cast<uint32_t>(s.size());
+  if (len >= kCharBlockSpan) {
+    // Jumbo value: a dedicated block spanning several 64 KiB virtual slots.
+    // Zero-cap pad entries keep later block ordinals aligned with their
+    // virtual address; the next small value opens a fresh block.
+    const uint32_t ordinal = static_cast<uint32_t>(chars_.size());
+    CharBlock block;
+    block.cap = len;
+    block.used = len;
+    block.data = std::make_unique<char[]>(len);
+    std::memcpy(block.data.get(), s.data(), len);
+    chars_.push_back(std::move(block));
+    for (uint32_t p = (len - 1) / kCharBlockSpan; p > 0; --p) {
+      chars_.emplace_back();
+    }
+    return ValueRef{ordinal << 16, len};
+  }
+  if (chars_.empty() || chars_.back().cap - chars_.back().used < len) {
+    CharBlock block;
+    block.cap = std::max(
+        len, chars_.empty() ? 4096u
+                            : std::min(chars_.back().cap * 2, kCharBlockSpan));
+    block.data = std::make_unique<char[]>(block.cap);
+    chars_.push_back(std::move(block));
+  }
+  const uint32_t ordinal = static_cast<uint32_t>(chars_.size()) - 1;
+  CharBlock& b = chars_.back();
+  const uint32_t off = b.used;
+  std::memcpy(b.data.get() + off, s.data(), len);
+  b.used += len;
+  return ValueRef{(ordinal << 16) | off, len};
+}
+
+uint32_t Document::NewSlot(NodeKind kind, uint32_t name_id,
+                           std::string_view value) {
+  uint32_t idx = static_cast<uint32_t>(kind_.size());
+  kind_.push_back(static_cast<uint8_t>(kind));
+  name_.push_back(name_id);
+  value_.push_back(AddChars(value));
+  value_bytes_ += value.size();
+  parent_.push_back(kNilNode);
+  pos_.push_back(0);
+  depth_.push_back(0);
+  child_span_.push_back(Span{});
+  attr_span_.push_back(Span{});
+  handles_.emplace_back(Node::Key(), this, idx);
+  if (idx != 0) ++unattached_;  // every non-root node starts detached
+  TrackCreate(idx);
   // A fresh node is a new (detached) tree root; it needs an order key too.
   InvalidateOrderIndex();
-  return nodes_.back().get();
+  return idx;
 }
 
 Node* Document::CreateElement(std::string_view name) {
-  return NewNode(NodeKind::kElement, std::string(name), "");
+  return NodeAt(NewSlot(NodeKind::kElement, NameTable::Intern(name), {}));
 }
 
 Node* Document::CreateDocumentNode() {
-  return NewNode(NodeKind::kDocument, "", "");
+  return NodeAt(NewSlot(NodeKind::kDocument, 0, {}));
 }
 
 Node* Document::CreateText(std::string_view text) {
-  return NewNode(NodeKind::kText, "", std::string(text));
+  return NodeAt(NewSlot(NodeKind::kText, 0, text));
 }
 
 Node* Document::CreateComment(std::string_view text) {
-  return NewNode(NodeKind::kComment, "", std::string(text));
+  return NodeAt(NewSlot(NodeKind::kComment, 0, text));
 }
 
 Node* Document::CreateProcessingInstruction(std::string_view target,
                                             std::string_view data) {
-  return NewNode(NodeKind::kProcessingInstruction, std::string(target),
-                 std::string(data));
+  return NodeAt(NewSlot(NodeKind::kProcessingInstruction,
+                        NameTable::Intern(target), data));
 }
 
-Node* Document::CreateAttribute(std::string_view name, std::string_view value) {
-  return NewNode(NodeKind::kAttribute, std::string(name), std::string(value));
+Node* Document::CreateAttribute(std::string_view name,
+                                std::string_view value) {
+  return NodeAt(NewSlot(NodeKind::kAttribute, NameTable::Intern(name), value));
 }
 
 Node* Document::ImportNode(const Node* source) {
-  Node* copy = NewNode(source->kind(), source->name(), source->value());
-  for (const Node* a : source->attributes()) {
-    Node* ac = NewNode(NodeKind::kAttribute, a->name(), a->value());
-    ac->parent_ = copy;
-    copy->attributes_.push_back(ac);
+  // Top-down iterative copy: each node is created and attached before its
+  // children are visited, which both survives 100k-deep sources and keeps
+  // the clone on the in-order fast path (attach-as-created discipline).
+  auto copy_one = [this](const Node* src) {
+    uint32_t name_id = src->document() == this
+                           ? src->name_id()
+                           : NameTable::Intern(src->name());
+    return NewSlot(src->kind(), name_id, src->value());
+  };
+  auto copy_attrs = [&](const Node* src, uint32_t dst) {
+    for (const Node* a : src->attributes()) {
+      uint32_t ac = copy_one(a);
+      AttachAttr(dst, ac);
+    }
+  };
+  uint32_t root_copy = copy_one(source);
+  copy_attrs(source, root_copy);
+  struct Frame {
+    const Node* src;
+    uint32_t dst;
+    size_t next_child;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{source, root_copy, 0});
+  while (!stack.empty()) {
+    Frame& f = stack.back();
+    NodeList kids = f.src->children();
+    if (f.next_child >= kids.size()) {
+      stack.pop_back();
+      continue;
+    }
+    const Node* child = kids[f.next_child++];
+    uint32_t cc = copy_one(child);
+    AttachChildAt(f.dst, cc, child_span_[f.dst].count);
+    copy_attrs(child, cc);
+    stack.push_back(Frame{child, cc, 0});
   }
-  for (const Node* c : source->children()) {
-    Node* cc = ImportNode(c);
-    cc->parent_ = copy;
-    copy->children_.push_back(cc);
-  }
-  return copy;
+  return NodeAt(root_copy);
 }
+
+// --- Span / pool plumbing ---------------------------------------------------
+
+uint32_t* Document::PoolAlloc(std::vector<PoolChunk>& pool, uint32_t n) {
+  if (n == 0) return nullptr;
+  if (pool.empty() || pool.back().cap - pool.back().used < n) {
+    PoolChunk chunk;
+    chunk.cap = std::max(n, pool.empty()
+                                ? 64u
+                                : std::min(pool.back().cap * 2, 1u << 16));
+    chunk.data = std::make_unique<uint32_t[]>(chunk.cap);
+    pool.push_back(std::move(chunk));
+  }
+  PoolChunk& c = pool.back();
+  uint32_t* out = c.data.get() + c.used;
+  c.used += n;
+  return out;
+}
+
+void Document::SpanInsert(Span& s, std::vector<PoolChunk>& pool, uint32_t at,
+                          uint32_t value) {
+  if (s.count == s.cap) {
+    // Relocate to a fresh range with doubled capacity. The abandoned range
+    // keeps its bytes (stale views of this node read the old list), and its
+    // slots are reclaimed by CompactStorage/CloneDocument.
+    uint32_t new_cap = s.cap == 0 ? 2 : s.cap * 2;
+    uint32_t* fresh = PoolAlloc(pool, new_cap);
+    std::copy(s.ptr, s.ptr + s.count, fresh);
+    pool_slack_ += s.cap;
+    s.ptr = fresh;
+    s.cap = new_cap;
+  }
+  for (uint32_t i = s.count; i > at; --i) {
+    uint32_t moved = s.ptr[i - 1];
+    s.ptr[i] = moved;
+    pos_[moved] = i;
+  }
+  s.ptr[at] = value;
+  pos_[value] = at;
+  ++s.count;
+}
+
+void Document::SpanErase(Span& s, uint32_t at) {
+  for (uint32_t i = at; i + 1 < s.count; ++i) {
+    uint32_t moved = s.ptr[i + 1];
+    s.ptr[i] = moved;
+    pos_[moved] = i;
+  }
+  --s.count;
+}
+
+void Document::AttachChildAt(uint32_t parent, uint32_t child, uint32_t at) {
+  TrackAttachChild(parent, child, at);
+  SpanInsert(child_span_[parent], child_pool_, at, child);
+  parent_[child] = parent;
+  --unattached_;
+  InvalidateOrderIndex();
+}
+
+void Document::AttachAttr(uint32_t owner, uint32_t attr) {
+  TrackAttachAttr(owner, attr);
+  SpanInsert(attr_span_[owner], attr_pool_, attr_span_[owner].count, attr);
+  parent_[attr] = owner;
+  --unattached_;
+  InvalidateOrderIndex();
+}
+
+void Document::DetachSlot(uint32_t idx) {
+  MarkOrderDirty();
+  uint32_t p = parent_[idx];
+  if (static_cast<NodeKind>(kind_[idx]) == NodeKind::kAttribute) {
+    SpanErase(attr_span_[p], pos_[idx]);
+  } else {
+    SpanErase(child_span_[p], pos_[idx]);
+  }
+  parent_[idx] = kNilNode;
+  ++unattached_;
+  InvalidateOrderIndex();
+}
+
+// --- In-order build tracker -------------------------------------------------
+
+void Document::TrackCreate(uint32_t idx) {
+  if (!index_is_order_) return;
+  // Empty spine == implicit [idx]: creating a node never heap-allocates.
+  open_trees_.push_back(OpenTree{idx, {}});
+}
+
+void Document::TrackAttachChild(uint32_t parent, uint32_t child, uint32_t at) {
+  if (!index_is_order_) return;
+  if (open_trees_.size() < 2) {
+    MarkOrderDirty();
+    return;
+  }
+  OpenTree& top = open_trees_.back();
+  OpenTree& under = open_trees_[open_trees_.size() - 2];
+  const size_t top_size = top.spine.empty() ? 1 : top.spine.size();
+  if (child != top.root || !OnSpine(under, parent) ||
+      at != child_span_[parent].count || top_size > kMaxSpineMerge) {
+    MarkOrderDirty();
+    return;
+  }
+  // Merge: the attached tree's last-in-preorder node becomes the last node
+  // of the tree below; splice its spine on below the attach point.
+  const uint32_t shift = depth_[parent] + 1;
+  if (under.spine.empty()) under.spine.push_back(under.root);
+  under.spine.resize(shift);
+  if (top.spine.empty()) {
+    depth_[top.root] = shift;
+    under.spine.push_back(top.root);
+  } else {
+    for (uint32_t s : top.spine) {
+      depth_[s] += shift;
+      under.spine.push_back(s);
+    }
+  }
+  open_trees_.pop_back();
+}
+
+void Document::TrackAttachAttr(uint32_t owner, uint32_t attr) {
+  if (!index_is_order_) return;
+  if (open_trees_.size() < 2) {
+    MarkOrderDirty();
+    return;
+  }
+  OpenTree& top = open_trees_.back();
+  OpenTree& under = open_trees_[open_trees_.size() - 2];
+  // Attributes stamp right after their owner, before its children: clean only
+  // when the owner is the last stamped node of the tree below (deepest spine
+  // node, no children yet) and the attribute is the freshly created floater.
+  if (attr != top.root || top.spine.size() > 1 ||
+      SpineBack(under) != owner || child_span_[owner].count != 0) {
+    MarkOrderDirty();
+    return;
+  }
+  open_trees_.pop_back();
+}
+
+// --- Storage maintenance ----------------------------------------------------
+
+void Document::CompactStorage() {
+  auto compact_pool = [](std::vector<Span>& spans, std::vector<PoolChunk>& pool) {
+    size_t live = 0;
+    for (const Span& s : spans) live += s.count;
+    std::vector<PoolChunk> fresh;
+    if (live > 0) {
+      PoolChunk chunk;
+      chunk.cap = static_cast<uint32_t>(live);
+      chunk.data = std::make_unique<uint32_t[]>(chunk.cap);
+      uint32_t* out = chunk.data.get();
+      for (Span& s : spans) {
+        std::copy(s.ptr, s.ptr + s.count, out);
+        s.ptr = out;
+        s.cap = s.count;
+        out += s.count;
+      }
+      chunk.used = chunk.cap;
+      fresh.push_back(std::move(chunk));
+    } else {
+      for (Span& s : spans) {
+        s.ptr = nullptr;
+        s.cap = 0;
+      }
+    }
+    pool = std::move(fresh);
+  };
+  compact_pool(child_span_, child_pool_);
+  compact_pool(attr_span_, attr_pool_);
+  // Rewrite the value arena into exact-size blocks in index order, dropping
+  // bytes abandoned by set_value() and growth-tail waste. Like the pool
+  // compaction above, this invalidates any outstanding value() views.
+  {
+    std::vector<CharBlock> old = std::move(chars_);
+    chars_.clear();
+    // Pass 1: pack lengths into 64 KiB virtual slots (a value never crosses
+    // a block boundary) to learn each physical block's exact size.
+    std::vector<uint32_t> caps;
+    uint32_t cur = 0;
+    for (const ValueRef& r : value_) {
+      if (r.len == 0) continue;
+      if (r.len >= kCharBlockSpan) {
+        if (cur > 0) {
+          caps.push_back(cur);
+          cur = 0;
+        }
+        caps.push_back(r.len);
+        for (uint32_t p = (r.len - 1) / kCharBlockSpan; p > 0; --p) {
+          caps.push_back(0);
+        }
+      } else if (cur + r.len > kCharBlockSpan) {
+        caps.push_back(cur);
+        cur = r.len;
+      } else {
+        cur += r.len;
+      }
+    }
+    if (cur > 0) caps.push_back(cur);
+    chars_.reserve(caps.size());
+    for (uint32_t cap : caps) {
+      CharBlock b;
+      b.cap = cap;
+      if (cap > 0) b.data = std::make_unique<char[]>(cap);
+      chars_.push_back(std::move(b));
+    }
+    // Pass 2: replay the same packing walk, copying bytes and rewriting refs.
+    size_t bi = 0;
+    size_t packed = 0;
+    for (ValueRef& r : value_) {
+      if (r.len == 0) continue;
+      const char* src = old[r.start >> 16].data.get() + (r.start & 0xFFFFu);
+      if (r.len >= kCharBlockSpan) {
+        if (chars_[bi].used > 0) ++bi;
+        CharBlock& b = chars_[bi];
+        std::memcpy(b.data.get(), src, r.len);
+        b.used = r.len;
+        r.start = static_cast<uint32_t>(bi) << 16;
+        bi += 1 + (r.len - 1) / kCharBlockSpan;
+      } else {
+        if (chars_[bi].cap - chars_[bi].used < r.len) ++bi;
+        CharBlock& b = chars_[bi];
+        std::memcpy(b.data.get() + b.used, src, r.len);
+        r.start = (static_cast<uint32_t>(bi) << 16) | b.used;
+        b.used += r.len;
+      }
+    }
+    for (const CharBlock& b : chars_) packed += b.used;
+    value_bytes_ = packed;
+  }
+  kind_.shrink_to_fit();
+  name_.shrink_to_fit();
+  value_.shrink_to_fit();
+  parent_.shrink_to_fit();
+  pos_.shrink_to_fit();
+  depth_.shrink_to_fit();
+  child_span_.shrink_to_fit();
+  attr_span_.shrink_to_fit();
+  pool_slack_ = 0;
+}
+
+DocumentStorageStats Document::storage_stats() const {
+  DocumentStorageStats stats;
+  stats.node_count = kind_.size();
+  stats.value_bytes = value_bytes_;
+  stats.pool_slack_slots = pool_slack_;
+  size_t bytes = 0;
+  bytes += kind_.capacity() * sizeof(uint8_t);
+  bytes += name_.capacity() * sizeof(uint32_t);
+  bytes += value_.capacity() * sizeof(ValueRef);
+  bytes += parent_.capacity() * sizeof(uint32_t);
+  bytes += pos_.capacity() * sizeof(uint32_t);
+  bytes += depth_.capacity() * sizeof(uint32_t);
+  bytes += child_span_.capacity() * sizeof(Span);
+  bytes += attr_span_.capacity() * sizeof(Span);
+  for (const PoolChunk& c : child_pool_) bytes += c.cap * sizeof(uint32_t);
+  for (const PoolChunk& c : attr_pool_) bytes += c.cap * sizeof(uint32_t);
+  for (const CharBlock& b : chars_) bytes += b.cap;
+  bytes += handles_.size() * sizeof(Node);
+  bytes += order_key_.capacity() * sizeof(uint64_t);
+  stats.total_bytes = bytes;
+  return stats;
+}
+
+// --- Clone ------------------------------------------------------------------
 
 std::unique_ptr<Document> CloneDocument(const Document& source) {
   auto clone = std::make_unique<Document>();
-  for (const Node* child : source.root()->children()) {
-    // ImportNode returns a detached same-document copy; AppendChild cannot
-    // fail on it (fresh node, fresh root), so the Status is an invariant.
-    Status st = clone->root()->AppendChild(clone->ImportNode(child));
-    (void)st;
+
+  if (source.index_is_order_ && source.unattached_ == 0) {
+    // Fast path: every node is attached and index order IS document order,
+    // so the node mapping is the identity and the clone is a straight
+    // array-to-array copy -- no per-node traversal.
+    const uint32_t n = static_cast<uint32_t>(source.node_count());
+    clone->kind_ = source.kind_;
+    clone->name_ = source.name_;
+    clone->parent_ = source.parent_;
+    clone->pos_ = source.pos_;
+    clone->depth_ = source.depth_;
+    // Spans copy wholesale (counts are already right), then a single walk
+    // rebases each ptr into a fresh exact-size pool chunk and trims cap to
+    // count, shedding the source's span over-allocation.
+    clone->child_span_ = source.child_span_;
+    clone->attr_span_ = source.attr_span_;
+    auto copy_pool = [](std::vector<Document::Span>& spans,
+                        std::vector<Document::PoolChunk>& pool) {
+      size_t live = 0;
+      for (const Document::Span& s : spans) live += s.count;
+      uint32_t* out =
+          Document::PoolAlloc(pool, static_cast<uint32_t>(live));
+      for (Document::Span& d : spans) {
+        const uint32_t* src = d.ptr;
+        const uint32_t c = d.count;
+        d.ptr = c > 0 ? out : nullptr;
+        d.cap = c;
+        for (uint32_t j = 0; j < c; ++j) out[j] = src[j];
+        out += c;
+      }
+    };
+    copy_pool(clone->child_span_, clone->child_pool_);
+    copy_pool(clone->attr_span_, clone->attr_pool_);
+    // Values: block ordinals are position-independent, so when the source
+    // arena carries little set_value() slack the refs copy verbatim and the
+    // bytes copy block-by-block. A slack-heavy source re-packs instead so
+    // repeated clone-edit-clone generations cannot accrete dead bytes.
+    size_t used_total = 0;
+    for (const Document::CharBlock& b : source.chars_) used_total += b.used;
+    if (used_total <= source.value_bytes_ + source.value_bytes_ / 4 + 4096) {
+      clone->value_ = source.value_;
+      clone->chars_.clear();
+      clone->chars_.reserve(source.chars_.size());
+      for (const Document::CharBlock& b : source.chars_) {
+        Document::CharBlock nb;
+        nb.cap = b.used;  // trim growth tails; offsets < used stay valid
+        nb.used = b.used;
+        if (b.used > 0) {
+          nb.data = std::make_unique<char[]>(b.used);
+          std::memcpy(nb.data.get(), b.data.get(), b.used);
+        }
+        clone->chars_.push_back(std::move(nb));
+      }
+      clone->value_bytes_ = source.value_bytes_;
+    } else {
+      clone->value_.resize(n);
+      for (uint32_t d = 0; d < n; ++d) {
+        clone->value_[d] = clone->AddChars(source.ValueView(source.value_[d]));
+      }
+      clone->value_bytes_ = source.value_bytes_;
+    }
+    for (uint32_t d = 1; d < n; ++d) {
+      clone->handles_.emplace_back(Node::Key(), clone.get(), d);
+    }
+    // unattached_ == 0 means the source tracker holds exactly one open tree
+    // (the rooted one); its spine and the copied depths stay consistent.
+    clone->index_is_order_ = true;
+    clone->open_trees_ = source.open_trees_;
+    clone->InvalidateOrderIndex();
+    return clone;
   }
+
+  // Pass 1: preorder over the ROOTED tree only (node, then attributes, then
+  // children), assigning dense clone indices. Detached debris is dropped.
+  const size_t n_src = source.node_count();
+  std::vector<uint32_t> map(n_src, kNilNode);
+  std::vector<uint32_t> order;  // source indices, in clone-index order
+  order.reserve(n_src);
+  std::vector<uint32_t> stack;
+  stack.push_back(0);  // slot 0 is always the document root
+  while (!stack.empty()) {
+    uint32_t s = stack.back();
+    stack.pop_back();
+    map[s] = static_cast<uint32_t>(order.size());
+    order.push_back(s);
+    const Document::Span& as = source.attr_span_[s];
+    for (uint32_t i = 0; i < as.count; ++i) {
+      uint32_t a = as.ptr[i];
+      map[a] = static_cast<uint32_t>(order.size());
+      order.push_back(a);
+    }
+    const Document::Span& cs = source.child_span_[s];
+    for (uint32_t i = cs.count; i-- > 0;) {
+      stack.push_back(cs.ptr[i]);
+    }
+  }
+
+  // Pass 2: array-to-array fill. Interned name ids copy verbatim (the
+  // NameTable is process-wide); values stream into the clone's arena.
+  const uint32_t n = static_cast<uint32_t>(order.size());
+  clone->kind_.resize(n);
+  clone->name_.resize(n);
+  clone->value_.resize(n);
+  clone->parent_.resize(n);
+  clone->pos_.resize(n);
+  clone->depth_.resize(n);
+  clone->child_span_.resize(n);
+  clone->attr_span_.resize(n);
+  size_t live_children = 0, live_attrs = 0;
+  for (uint32_t d = 0; d < n; ++d) {
+    live_children += source.child_span_[order[d]].count;
+    live_attrs += source.attr_span_[order[d]].count;
+  }
+  uint32_t* child_out = Document::PoolAlloc(
+      clone->child_pool_, static_cast<uint32_t>(live_children));
+  uint32_t* attr_out = Document::PoolAlloc(
+      clone->attr_pool_, static_cast<uint32_t>(live_attrs));
+  for (uint32_t d = 1; d < n; ++d) {
+    clone->handles_.emplace_back(Node::Key(), clone.get(), d);
+  }
+  for (uint32_t d = 0; d < n; ++d) {
+    uint32_t s = order[d];
+    clone->kind_[d] = source.kind_[s];
+    clone->name_[d] = source.name_[s];
+    clone->value_[d] = clone->AddChars(source.ValueView(source.value_[s]));
+    clone->value_bytes_ += source.value_[s].len;
+    uint32_t sp = source.parent_[s];
+    clone->parent_[d] = sp == kNilNode ? kNilNode : map[sp];
+    clone->pos_[d] = source.pos_[s];
+    clone->depth_[d] =
+        clone->parent_[d] == kNilNode ? 0 : clone->depth_[clone->parent_[d]] + 1;
+    const Document::Span& cs = source.child_span_[s];
+    Document::Span& dc = clone->child_span_[d];
+    dc.ptr = cs.count > 0 ? child_out : nullptr;
+    dc.count = dc.cap = cs.count;
+    for (uint32_t i = 0; i < cs.count; ++i) *child_out++ = map[cs.ptr[i]];
+    const Document::Span& as = source.attr_span_[s];
+    Document::Span& da = clone->attr_span_[d];
+    da.ptr = as.count > 0 ? attr_out : nullptr;
+    da.count = da.cap = as.count;
+    for (uint32_t i = 0; i < as.count; ++i) *attr_out++ = map[as.ptr[i]];
+  }
+
+  // The clone is compact and in document order by construction, whatever the
+  // source's mutation history: node index IS the order key. Reset the build
+  // tracker to "one open tree, rightmost spine" so further clean appends
+  // (the server's edit-after-clone path) can keep the fast path.
+  clone->index_is_order_ = true;
+  clone->open_trees_.clear();
+  Document::OpenTree main;
+  main.root = 0;
+  uint32_t cur = 0;
+  main.spine.push_back(cur);
+  while (clone->child_span_[cur].count > 0) {
+    const Document::Span& cs = clone->child_span_[cur];
+    cur = cs.ptr[cs.count - 1];
+    main.spine.push_back(cur);
+  }
+  clone->open_trees_.push_back(std::move(main));
+  clone->InvalidateOrderIndex();
   return clone;
 }
 
@@ -344,31 +876,36 @@ void Document::EnsureOrderIndex() const {
   version = structure_version_.load(std::memory_order_acquire);
   if (order_index_version_.load(std::memory_order_relaxed) == version) return;
 
-  // Stamp every tree of the forest -- the document tree plus any detached
-  // subtrees -- in root-pointer order, so intra-document cross-tree compares
-  // keep the historical "stable arbitrary order by root identity" contract.
-  std::vector<const Node*> roots;
-  for (const auto& n : nodes_) {
-    if (n->parent_ == nullptr) roots.push_back(n.get());
-  }
-  std::sort(roots.begin(), roots.end());
-
-  // Iterative preorder walk (deep trees must not exhaust the call stack):
-  // the node itself, then its attributes, then its children.
-  uint64_t next = 1;
-  std::vector<const Node*> stack;
-  for (const Node* root : roots) {
-    stack.push_back(root);
-    while (!stack.empty()) {
-      const Node* n = stack.back();
-      stack.pop_back();
-      n->order_key_ = next++;
-      for (const Node* a : n->attributes_) a->order_key_ = next++;
-      for (auto it = n->children_.rbegin(); it != n->children_.rend(); ++it) {
-        stack.push_back(*it);
+  if (!index_is_order_) {
+    // Slow path: stamp every tree of the forest -- the document tree plus
+    // any detached subtrees -- in root-index order, so intra-document
+    // cross-tree compares keep the "stable arbitrary order by tree identity"
+    // contract. Iterative preorder: the node, then its attributes, then its
+    // children.
+    const uint32_t n = static_cast<uint32_t>(kind_.size());
+    order_key_.assign(n, 0);
+    uint64_t next = 1;
+    std::vector<uint32_t> stack;
+    for (uint32_t root = 0; root < n; ++root) {
+      if (parent_[root] != kNilNode) continue;
+      stack.push_back(root);
+      while (!stack.empty()) {
+        uint32_t node = stack.back();
+        stack.pop_back();
+        order_key_[node] = next++;
+        const Span& as = attr_span_[node];
+        for (uint32_t i = 0; i < as.count; ++i) {
+          order_key_[as.ptr[i]] = next++;
+        }
+        const Span& cs = child_span_[node];
+        for (uint32_t i = cs.count; i-- > 0;) {
+          stack.push_back(cs.ptr[i]);
+        }
       }
     }
   }
+  // Fast path: creation order is document order, the index is the key, and
+  // freshness is just a version stamp.
   order_index_version_.store(version, std::memory_order_release);
 }
 
@@ -377,10 +914,12 @@ int CompareDocumentOrder(const Node* a, const Node* b) {
   const Document* doc = a->document();
   if (doc == b->document()) {
     doc->EnsureOrderIndex();
-    return a->order_key_ < b->order_key_ ? -1 : 1;  // keys are unique
+    uint64_t ka = doc->order_key_of(a->index());
+    uint64_t kb = doc->order_key_of(b->index());
+    return ka < kb ? -1 : 1;  // keys are unique
   }
-  // Different documents: stable arbitrary order by root pointer, matching
-  // the structural comparator.
+  // Different documents: stable arbitrary order by root handle pointer,
+  // matching the structural comparator.
   const Node* ra = a;
   while (ra->parent() != nullptr) ra = ra->parent();
   const Node* rb = b;
@@ -420,7 +959,12 @@ int CompareDocumentOrderStructural(const Node* a, const Node* b) {
   AncestorPath(a, &pa);
   AncestorPath(b, &pb);
   if (pa[0] != pb[0]) {
-    // Different trees: stable arbitrary order by root pointer.
+    // Different trees. Within one document trees order by root arena index
+    // (matching the order-index stamping); across documents by root handle
+    // pointer (stable, arbitrary).
+    if (pa[0]->document() == pb[0]->document()) {
+      return pa[0]->index() < pb[0]->index() ? -1 : 1;
+    }
     return pa[0] < pb[0] ? -1 : 1;
   }
   size_t i = 0;

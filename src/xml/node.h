@@ -3,17 +3,21 @@
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "core/status.h"
+#include "xml/name_table.h"
 
 namespace lll::xml {
 
 class Document;
+class Node;
 
 enum class NodeKind {
   kDocument,
@@ -26,42 +30,134 @@ enum class NodeKind {
 
 const char* NodeKindName(NodeKind kind);
 
-// One node of the XML infoset. Nodes are created by and owned by a Document
-// (arena ownership); the tree structure itself uses raw non-owning pointers,
-// so structural mutation -- the thing the paper's Java rewrite leaned on --
-// is cheap and never moves memory.
+// Sentinel node index ("no node"): parents of roots, positions of detached
+// nodes.
+inline constexpr uint32_t kNilNode = 0xFFFFFFFFu;
+
+// A lightweight view of one node's child (or attribute) list: a span of node
+// indices inside the owning Document's index pool, yielding Node* handles.
+// Views are cheap to copy. Mutating OTHER nodes leaves a view valid and
+// current; mutating the VIEWED node's own list may leave it reading that
+// list's pre-mutation contents (never garbage). CompactStorage() is the one
+// operation that invalidates all outstanding views. This matches -- and on
+// the stale-read case tightens -- the lifetime contract of the old
+// `const std::vector<Node*>&` accessors.
+class NodeList {
+ public:
+  class iterator {
+   public:
+    using value_type = Node*;
+    using difference_type = ptrdiff_t;
+    using pointer = const Node* const*;
+    using reference = Node*;
+    using iterator_category = std::random_access_iterator_tag;
+
+    iterator() = default;
+    iterator(const Document* doc, const uint32_t* p) : doc_(doc), p_(p) {}
+    inline Node* operator*() const;
+    iterator& operator++() { ++p_; return *this; }
+    iterator operator++(int) { iterator t = *this; ++p_; return t; }
+    iterator& operator--() { --p_; return *this; }
+    iterator operator--(int) { iterator t = *this; --p_; return t; }
+    iterator& operator+=(ptrdiff_t n) { p_ += n; return *this; }
+    iterator& operator-=(ptrdiff_t n) { p_ -= n; return *this; }
+    iterator operator+(ptrdiff_t n) const { return iterator(doc_, p_ + n); }
+    iterator operator-(ptrdiff_t n) const { return iterator(doc_, p_ - n); }
+    ptrdiff_t operator-(const iterator& o) const { return p_ - o.p_; }
+    inline Node* operator[](ptrdiff_t n) const;
+    bool operator==(const iterator& o) const { return p_ == o.p_; }
+    bool operator!=(const iterator& o) const { return p_ != o.p_; }
+    bool operator<(const iterator& o) const { return p_ < o.p_; }
+    bool operator>(const iterator& o) const { return p_ > o.p_; }
+    bool operator<=(const iterator& o) const { return p_ <= o.p_; }
+    bool operator>=(const iterator& o) const { return p_ >= o.p_; }
+
+   private:
+    const Document* doc_ = nullptr;
+    const uint32_t* p_ = nullptr;
+  };
+
+  NodeList() = default;
+  NodeList(const Document* doc, const uint32_t* ids, uint32_t size)
+      : doc_(doc), ids_(ids), size_(size) {}
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  inline Node* operator[](size_t i) const;
+  inline Node* front() const;
+  inline Node* back() const;
+  iterator begin() const { return iterator(doc_, ids_); }
+  iterator end() const { return iterator(doc_, ids_ + size_); }
+
+  // Reverse iteration helper for the reverse-axis walks (index from the
+  // back): at(size()-1-k) without iterator adapters.
+  inline Node* at(size_t i) const { return (*this)[i]; }
+
+ private:
+  const Document* doc_ = nullptr;
+  const uint32_t* ids_ = nullptr;
+  uint32_t size_ = 0;
+};
+
+// One node of the XML infoset, as a thin handle into the owning Document's
+// structure-of-arrays storage: the handle carries only {document, index} and
+// every accessor reads the document's parallel arrays. Handle objects are
+// owned by the Document (stable addresses for the document's lifetime), so
+// Node* keeps working as the identity type across the whole engine -- pointer
+// equality is node identity, exactly as before -- while the actual node data
+// lives in cache-friendly arrays.
 //
 // Attribute nodes are real nodes (as in XDM): they can exist detached from
 // any element, which is exactly what makes the paper's attribute-folding
 // behavior (E2) expressible.
 class Node {
  public:
+  // Passkey: only Document can construct handles.
+  class Key {
+   private:
+    friend class Document;
+    friend std::unique_ptr<Document> CloneDocument(const Document& source);
+    Key() = default;
+  };
+  Node(Key, Document* doc, uint32_t idx) : document_(doc), idx_(idx) {}
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
-  NodeKind kind() const { return kind_; }
-  bool is_element() const { return kind_ == NodeKind::kElement; }
-  bool is_attribute() const { return kind_ == NodeKind::kAttribute; }
-  bool is_text() const { return kind_ == NodeKind::kText; }
-  bool is_document() const { return kind_ == NodeKind::kDocument; }
+  inline NodeKind kind() const;
+  bool is_element() const { return kind() == NodeKind::kElement; }
+  bool is_attribute() const { return kind() == NodeKind::kAttribute; }
+  bool is_text() const { return kind() == NodeKind::kText; }
+  bool is_document() const { return kind() == NodeKind::kDocument; }
 
-  // Element/attribute/PI name; empty for document/text/comment.
-  const std::string& name() const { return name_; }
-  // Attribute value, text content, comment content, or PI data.
-  const std::string& value() const { return value_; }
-  void set_value(std::string v) { value_ = std::move(v); }
+  // Element/attribute/PI name; empty for document/text/comment. The
+  // reference aliases the process-wide interned name (stable forever).
+  inline const std::string& name() const;
+  // The interned-name id (NameTable); equal ids <=> equal names.
+  inline uint32_t name_id() const;
+  // Attribute value, text content, comment content, or PI data. The view
+  // aliases the document's value arena: stable until the document dies
+  // (set_value() writes a fresh arena slot, it never overwrites bytes).
+  inline std::string_view value() const;
+  void set_value(std::string_view v);
 
-  Node* parent() const { return parent_; }
+  inline Node* parent() const;
   Document* document() const { return document_; }
+
+  // This node's index in the owning document's arena: dense, 0-based, and --
+  // for documents built in document order (the parser, CloneDocument) -- the
+  // preorder rank, which is what makes document-order comparison an integer
+  // compare (see Document::EnsureOrderIndex).
+  uint32_t index() const { return idx_; }
 
   // Child nodes (elements, text, comments, PIs) in document order.
   // Attribute nodes are never in children(); they live in attributes().
-  const std::vector<Node*>& children() const { return children_; }
-  const std::vector<Node*>& attributes() const { return attributes_; }
+  inline NodeList children() const;
+  inline NodeList attributes() const;
 
   // --- Navigation -----------------------------------------------------------
 
   // Concatenation of all descendant text, XPath string-value semantics.
+  // Iterative: safe on degenerate 100k-deep chains.
   std::string StringValue() const;
 
   // First child element with the given name, or nullptr.
@@ -69,14 +165,16 @@ class Node {
   // All child elements (any name if `name` is empty).
   std::vector<Node*> ChildElements(std::string_view name = {}) const;
   // All descendant elements with the given name, in document order.
+  // Iterative: safe on degenerate 100k-deep chains.
   std::vector<Node*> DescendantElements(std::string_view name) const;
 
-  // Attribute value by name; nullptr if absent.
-  const std::string* AttributeValue(std::string_view name) const;
+  // Attribute value by name; nullopt if absent.
+  std::optional<std::string_view> AttributeValue(std::string_view name) const;
   // Attribute node by name; nullptr if absent.
   Node* AttributeNode(std::string_view name) const;
 
-  // Index of this node within parent()->children(), or npos if detached.
+  // Index of this node within parent()->children() (or ->attributes() for
+  // attribute nodes), or npos if detached. O(1): positions are stored.
   size_t IndexInParent() const;
 
   // Root of the tree this node belongs to (may be a detached subtree root).
@@ -113,36 +211,48 @@ class Node {
   // (see Document::EnsureOrderIndex). Callers must have called
   // EnsureOrderIndex() on the owning document at least once; afterwards the
   // keys of pre-existing nodes keep their RELATIVE order across rebuilds
-  // (trees are stamped in root-pointer order), so comparisons between fresh
+  // (trees are stamped in root-index order), so comparisons between fresh
   // reads stay valid even if a mutation has invalidated the index since.
-  uint64_t order_key() const { return order_key_; }
+  inline uint64_t order_key() const;
 
  private:
   friend class Document;
-  friend int CompareDocumentOrder(const Node* a, const Node* b);
-  Node(Document* doc, NodeKind kind, std::string name, std::string value)
-      : document_(doc),
-        kind_(kind),
-        name_(std::move(name)),
-        value_(std::move(value)) {}
 
   Status CheckAdoptable(const Node* child) const;
 
   Document* document_;
-  NodeKind kind_;
-  std::string name_;
-  std::string value_;
-  Node* parent_ = nullptr;
-  std::vector<Node*> children_;
-  std::vector<Node*> attributes_;
-  // Document-order stamp, valid only while the owning Document's order index
-  // is fresh (see Document::EnsureOrderIndex). Written during index rebuilds;
-  // readers synchronize through the index version atomics.
-  mutable uint64_t order_key_ = 0;
+  uint32_t idx_;
 };
 
-// Arena that owns every Node of one tree (or forest -- detached nodes are
-// fine). Destroying the Document destroys all its nodes.
+// Heap footprint summary of one document's storage (see Document::
+// storage_stats). `total_bytes` is the resident arena footprint: node
+// arrays, index pools, value arena, handle slots, and the order-key index
+// if materialized. Interned names are process-wide and excluded.
+struct DocumentStorageStats {
+  size_t node_count = 0;       // slots in the arena (detached included)
+  size_t total_bytes = 0;      // resident heap bytes of this document
+  size_t value_bytes = 0;      // bytes of node values in the char arena
+  size_t pool_slack_slots = 0; // child/attr pool entries dead after moves
+};
+
+// Arena that owns every node of one tree (or forest -- detached nodes are
+// fine), stored as index-based structure-of-arrays: per-node parallel arrays
+// (kind, interned-name id, value view, parent index, position-in-parent,
+// child span, attribute span) plus two uint32 index pools holding the child
+// and attribute lists and a chunked char arena holding value bytes. Node
+// handles (the stable Node* identity objects) live in a deque alongside.
+//
+// Destroying the Document destroys all its nodes.
+//
+// Child/attribute lists are contiguous ranges inside chunked index pools.
+// Chunks never move or shrink while the document lives, so a NodeList view
+// of node Y stays valid (and current) across mutations of OTHER nodes --
+// the same guarantee the old per-node vectors gave. Appending to a list
+// whose range cannot grow in place relocates it to a fresh range with
+// doubled capacity (amortized O(1) append); the abandoned range keeps its
+// old bytes, so a stale view of the MUTATED node reads its pre-mutation
+// list rather than garbage. Dead ranges are reclaimed by CompactStorage and
+// CloneDocument.
 class Document {
  public:
   Document();
@@ -150,8 +260,8 @@ class Document {
   Document& operator=(const Document&) = delete;
 
   // The document node (root of the tree).
-  Node* root() { return root_; }
-  const Node* root() const { return root_; }
+  Node* root() { return NodeAt(0); }
+  const Node* root() const { return NodeAt(0); }
 
   // The single top-level element under the document node, or nullptr.
   Node* DocumentElement() const;
@@ -167,22 +277,45 @@ class Document {
   Node* CreateAttribute(std::string_view name, std::string_view value);
 
   // Deep-copies `source` (which may belong to another Document) into this
-  // document; the returned node is detached.
+  // document; the returned node is detached. Iterative (deep sources must
+  // not exhaust the call stack).
   Node* ImportNode(const Node* source);
 
   // Total number of nodes ever created in this arena (detached included).
-  size_t node_count() const { return nodes_.size(); }
+  size_t node_count() const { return kind_.size(); }
+
+  // The handle for node index `idx` (0 <= idx < node_count()). Stable
+  // address for the document's lifetime.
+  Node* NodeAt(uint32_t idx) const {
+    return const_cast<Node*>(&handles_[idx]);
+  }
+
+  // Rewrites the child/attribute index pools into tight per-node spans
+  // (dropping relocation slack) and trims array overallocation. Structure,
+  // node indices, and document order are unchanged; no version bump.
+  // Invalidates outstanding NodeList views -- call it only while no reader
+  // holds one (the parser runs it once, after the build).
+  void CompactStorage();
+
+  // Resident storage footprint (exact, computed from array capacities).
+  DocumentStorageStats storage_stats() const;
 
   // --- Document-order index -------------------------------------------------
   //
   // Every node of the arena (detached subtrees included) carries a uint64
   // order key: a preorder stamp with attributes slotted right after their
-  // owner element, before its children. Trees are stamped in root-pointer
+  // owner element, before its children. Trees are stamped in root-index
   // order, so cross-tree compares within one document keep the historical
-  // "stable arbitrary order by root identity" contract. The index is built
-  // lazily and invalidated wholesale by any structural mutation (child or
-  // attribute insertion/removal, node creation); CompareDocumentOrder is then
-  // one staleness check plus an integer compare.
+  // "stable arbitrary order by tree identity" contract.
+  //
+  // Fast path: a document whose mutation history is an in-document-order
+  // build -- the parser, CloneDocument, ImportNode-and-append constructors --
+  // keeps `index order == document order`, the node index IS the order key,
+  // and EnsureOrderIndex is a single atomic store. Any out-of-order mutation
+  // (insert at a position, detach, reattach) drops the document to the slow
+  // path: a lazily materialized per-node key array, rebuilt on demand
+  // exactly like the PR-2 index. CompareDocumentOrder is then one staleness
+  // check plus an integer compare either way.
   //
   // Thread safety: concurrent read-only users (e.g. parallel query
   // evaluations sharing one model document) may race to build the index; the
@@ -201,6 +334,10 @@ class Document {
            structure_version();
   }
 
+  // True while the arena's creation order is provably document order (the
+  // fast path above). Exposed for tests and diagnostics.
+  bool index_is_order() const { return index_is_order_; }
+
   // Process-unique, monotonically increasing id assigned at construction.
   // Unlike an address, an id is never reused after the Document dies, so
   // caches that key on a Document (or its nodes) by address must also
@@ -208,35 +345,199 @@ class Document {
   // dead document, structure_version and all.
   uint64_t doc_id() const { return doc_id_; }
 
+  // The order key of node `idx` (see Node::order_key()).
+  uint64_t order_key_of(uint32_t idx) const {
+    if (index_is_order_) return idx + 1;
+    return idx < order_key_.size() ? order_key_[idx] : 0;
+  }
+
  private:
   friend class Node;
-  Node* NewNode(NodeKind kind, std::string name, std::string value);
+  friend class NodeList;
+  friend std::unique_ptr<Document> CloneDocument(const Document& source);
+
+  // One contiguous range in child_pool_/attr_pool_. `cap` is the allocated
+  // range size; count <= cap. The pointer targets pool chunk storage, which
+  // is address-stable for the document's lifetime.
+  struct Span {
+    uint32_t* ptr = nullptr;
+    uint32_t count = 0;
+    uint32_t cap = 0;
+  };
+
+  // Chunked uint32 pool: ranges are handed out bump-allocator style and
+  // never move; a range that outgrows its capacity is abandoned in place
+  // (counted in pool_slack_) and re-allocated elsewhere.
+  struct PoolChunk {
+    std::unique_ptr<uint32_t[]> data;
+    uint32_t used = 0;
+    uint32_t cap = 0;
+  };
+
+  // Chunked value arena: bytes are written once and never move, so the
+  // string_views value() hands out stay valid until the document dies or
+  // CompactStorage() rewrites the arena. Blocks occupy 64 KiB-aligned
+  // virtual slots (block ordinal = start >> 16) but may be physically
+  // smaller; a value never crosses a block boundary.
+  static constexpr uint32_t kCharBlockSpan = 1u << 16;
+  struct CharBlock {
+    std::unique_ptr<char[]> data;
+    uint32_t used = 0;
+    uint32_t cap = 0;
+  };
+
+  // 8-byte reference into the char arena: `start` packs (block << 16 | off).
+  // Bounds the per-document value arena at 64 K blocks (~4 GiB).
+  struct ValueRef {
+    uint32_t start = 0;
+    uint32_t len = 0;
+  };
+
+  std::string_view ValueView(ValueRef r) const {
+    if (r.len == 0) return {};
+    return std::string_view(
+        chars_[r.start >> 16].data.get() + (r.start & 0xFFFFu), r.len);
+  }
+
+  uint32_t NewSlot(NodeKind kind, uint32_t name_id, std::string_view value);
+  ValueRef AddChars(std::string_view s);
+
+  // Span/pool plumbing. `at` is the insertion position within the list.
+  static uint32_t* PoolAlloc(std::vector<PoolChunk>& pool, uint32_t n);
+  void SpanInsert(Span& s, std::vector<PoolChunk>& pool, uint32_t at,
+                  uint32_t value);
+  void SpanErase(Span& s, uint32_t at);
+
+  // Attach/detach primitives; callers have validated. These maintain the
+  // structure version, position indexes, and the in-order build tracker.
+  void AttachChildAt(uint32_t parent, uint32_t child, uint32_t at);
+  void AttachAttr(uint32_t owner, uint32_t attr);
+  void DetachSlot(uint32_t idx);
+
+  // --- In-order build tracker ----------------------------------------------
+  //
+  // A small automaton that proves, op by op, that the arena's index order is
+  // still document order, so order keys never need materializing. It tracks
+  // a stack of "open" trees -- index-contiguous detached trees covering the
+  // arena as ordered ranges, the bottom entry being the tree rooted at node
+  // 0 -- each with its rightmost spine (the ancestors of its last-in-preorder
+  // node). Creating a node pushes a fresh one-node tree; attaching the top
+  // tree's root at the END of a child list on the spine of the tree directly
+  // below merges the two. This recognizes every build discipline the
+  // codebase uses: the parser's attach-as-created, ImportNode's top-down
+  // subtree copy, and post-order attachment of preorder-created nodes. Any
+  // unrecognized mutation calls MarkOrderDirty(). Correctness never depends
+  // on the automaton: the dirty path rebuilds keys from the true structure.
+  struct OpenTree {
+    uint32_t root;
+    // root .. last-in-preorder node, by depth. An EMPTY spine means the
+    // implicit single-entry spine [root] -- fresh one-node trees are pushed
+    // this way so creating a node never heap-allocates.
+    std::vector<uint32_t> spine;
+  };
+  bool OnSpine(const OpenTree& t, uint32_t n) const {
+    if (t.spine.empty()) return n == t.root;
+    return depth_[n] < t.spine.size() && t.spine[depth_[n]] == n;
+  }
+  uint32_t SpineBack(const OpenTree& t) const {
+    return t.spine.empty() ? t.root : t.spine.back();
+  }
+  void MarkOrderDirty() {
+    index_is_order_ = false;
+    open_trees_.clear();
+  }
+  void TrackCreate(uint32_t idx);
+  void TrackAttachChild(uint32_t parent, uint32_t child, uint32_t at);
+  void TrackAttachAttr(uint32_t owner, uint32_t attr);
 
   void InvalidateOrderIndex() {
     structure_version_.fetch_add(1, std::memory_order_acq_rel);
   }
 
-  std::vector<std::unique_ptr<Node>> nodes_;
-  Node* root_;
+  // --- Parallel per-node arrays (index = node id) ---------------------------
+  std::vector<uint8_t> kind_;
+  std::vector<uint32_t> name_;          // interned NameTable id
+  std::vector<ValueRef> value_;         // 8-byte ref into the char arena
+  std::vector<uint32_t> parent_;        // kNilNode = detached root
+  std::vector<uint32_t> pos_;           // index within parent's list
+  std::vector<Span> child_span_;
+  std::vector<Span> attr_span_;
+  std::vector<uint32_t> depth_;         // maintained on the fast path only
+  std::vector<PoolChunk> child_pool_;
+  std::vector<PoolChunk> attr_pool_;
+  std::vector<CharBlock> chars_;
+  size_t value_bytes_ = 0;
+  size_t pool_slack_ = 0;
+  uint32_t unattached_ = 0;  // created-or-detached nodes with no parent
+  std::deque<Node> handles_;            // stable Node* identity objects
+
   uint64_t doc_id_ = 0;
+
+  // In-order build tracker state (see above).
+  bool index_is_order_ = true;
+  std::vector<OpenTree> open_trees_;
 
   std::atomic<uint64_t> structure_version_{1};
   mutable std::atomic<uint64_t> order_index_version_{0};
   mutable std::mutex order_index_mutex_;
+  mutable std::vector<uint64_t> order_key_;  // slow path only
 };
+
+inline Node* NodeList::operator[](size_t i) const {
+  return doc_->NodeAt(ids_[i]);
+}
+inline Node* NodeList::front() const { return doc_->NodeAt(ids_[0]); }
+inline Node* NodeList::back() const { return doc_->NodeAt(ids_[size_ - 1]); }
+inline Node* NodeList::iterator::operator*() const {
+  return doc_->NodeAt(*p_);
+}
+inline Node* NodeList::iterator::operator[](ptrdiff_t n) const {
+  return doc_->NodeAt(p_[n]);
+}
+
+inline NodeKind Node::kind() const {
+  return static_cast<NodeKind>(document_->kind_[idx_]);
+}
+inline const std::string& Node::name() const {
+  return NameTable::Get(document_->name_[idx_]);
+}
+inline uint32_t Node::name_id() const { return document_->name_[idx_]; }
+inline std::string_view Node::value() const {
+  return document_->ValueView(document_->value_[idx_]);
+}
+inline Node* Node::parent() const {
+  uint32_t p = document_->parent_[idx_];
+  return p == kNilNode ? nullptr : document_->NodeAt(p);
+}
+inline NodeList Node::children() const {
+  const Document::Span& s = document_->child_span_[idx_];
+  return NodeList(document_, s.ptr, s.count);
+}
+inline NodeList Node::attributes() const {
+  const Document::Span& s = document_->attr_span_[idx_];
+  return NodeList(document_, s.ptr, s.count);
+}
+inline uint64_t Node::order_key() const {
+  return document_->order_key_of(idx_);
+}
 
 // Deep-copies the rooted tree of `source` into a fresh Document (detached
 // subtrees of the source arena are NOT carried over -- a clone is a clean
-// publishable tree, not an arena dump). This is the copy half of the server's
-// copy-on-write publish path: the writer clones the current snapshot, edits
-// the private copy, and installs it while readers keep the original alive.
+// publishable tree, not an arena dump). The copy is a preorder array-to-array
+// pass: no per-node allocation, names stay interned, values stream into the
+// clone's arena, and the resulting document is compact and on the
+// index-is-order fast path regardless of the source's mutation history. This
+// is the copy half of the server's copy-on-write publish path: the writer
+// clones the current snapshot, edits the private copy, and installs it while
+// readers keep the original alive.
 std::unique_ptr<Document> CloneDocument(const Document& source);
 
 // Document order: -1 if `a` precedes `b`, 0 if same node, +1 if follows.
 // Attribute nodes order after their owner element and before its children;
 // nodes from different trees compare by tree identity (stable, arbitrary).
-// Same-document compares go through the document's lazy order-key index
-// (amortized O(1)); cross-document compares fall back to root identity.
+// Same-document compares go through the document's order-key index (O(1),
+// and free to build for in-order-built documents); cross-document compares
+// fall back to root identity.
 int CompareDocumentOrder(const Node* a, const Node* b);
 
 // The pre-index structural comparator: an ancestor-path walk plus a linear

@@ -35,6 +35,9 @@ class Parser {
     if (element_count > 1) {
       return Err("unexpected content after document element");
     }
+    // Squeeze pool slack: a freshly parsed document is read-mostly, and no
+    // NodeList views escape the parser.
+    doc_->CompactStorage();
     return doc;
   }
 
@@ -196,9 +199,17 @@ class Parser {
     return value;
   }
 
-  // Parses the children of `parent` up to (not consuming) a closing tag or
-  // end of input.
-  Status ParseContent(Node* parent) {
+  // Parses the content tree under `root` with an explicit open-element
+  // stack, so nesting depth is bounded by the heap, not the call stack
+  // (100k-deep documents parse). Stops (without consuming) at an end tag
+  // that has no matching open element, or at end of input.
+  Status ParseContent(Node* root) {
+    struct Open {
+      Node* element;
+      std::string name;
+    };
+    std::vector<Open> open;
+    Node* parent = root;
     std::string text;
     auto flush_text = [&]() -> Status {
       if (text.empty()) return Status::Ok();
@@ -214,94 +225,109 @@ class Parser {
       return Status::Ok();
     };
 
-    while (!AtEnd()) {
-      if (Peek() == '<') {
-        if (PeekAt(1) == '/') {
-          LLL_RETURN_IF_ERROR(flush_text());
-          return Status::Ok();  // caller consumes the end tag
-        }
-        if (Consume("<!--")) {
-          LLL_RETURN_IF_ERROR(flush_text());
-          std::string body;
-          while (!AtEnd() && !Consume("-->")) body.push_back(Advance());
-          if (options_.keep_comments) {
-            LLL_RETURN_IF_ERROR(
-                parent->AppendChild(doc_->CreateComment(body)));
-          }
-          continue;
-        }
-        if (Consume("<![CDATA[")) {
-          while (!AtEnd() && !Consume("]]>")) text.push_back(Advance());
-          continue;
-        }
-        if (PeekAt(1) == '?') {
-          LLL_RETURN_IF_ERROR(flush_text());
-          Advance();
-          Advance();  // "<?"
-          LLL_ASSIGN_OR_RETURN(std::string target, ParseName());
-          SkipWhitespace();
-          std::string data;
-          while (!AtEnd() && !Consume("?>")) data.push_back(Advance());
-          if (options_.keep_processing_instructions) {
-            LLL_RETURN_IF_ERROR(parent->AppendChild(
-                doc_->CreateProcessingInstruction(target, data)));
-          }
-          continue;
-        }
+    while (true) {
+      if (AtEnd()) {
         LLL_RETURN_IF_ERROR(flush_text());
-        LLL_RETURN_IF_ERROR(ParseElement(parent));
+        if (!open.empty()) {
+          return Err("missing end tag for <" + open.back().name + ">");
+        }
+        return Status::Ok();
+      }
+      if (Peek() != '<') {
+        char c = Advance();
+        if (c == '&') {
+          LLL_ASSIGN_OR_RETURN(std::string decoded, ParseReference());
+          text += decoded;
+        } else {
+          text.push_back(c);
+        }
         continue;
       }
-      char c = Advance();
-      if (c == '&') {
-        LLL_ASSIGN_OR_RETURN(std::string decoded, ParseReference());
-        text += decoded;
-      } else {
-        text.push_back(c);
-      }
-    }
-    LLL_RETURN_IF_ERROR(flush_text());
-    return Status::Ok();
-  }
-
-  Status ParseElement(Node* parent) {
-    Advance();  // '<'
-    LLL_ASSIGN_OR_RETURN(std::string name, ParseName());
-    Node* element = doc_->CreateElement(name);
-
-    while (true) {
-      SkipWhitespace();
-      if (AtEnd()) return Err("unterminated start tag <" + name);
-      if (Consume("/>")) {
-        return parent->AppendChild(element);
-      }
-      if (Peek() == '>') {
+      if (PeekAt(1) == '/') {
+        LLL_RETURN_IF_ERROR(flush_text());
+        if (open.empty()) {
+          return Status::Ok();  // stray end tag; the caller reports it
+        }
         Advance();
-        break;
+        Advance();  // "</"
+        LLL_ASSIGN_OR_RETURN(std::string end_name, ParseName());
+        if (end_name != open.back().name) {
+          return Err("mismatched end tag: expected </" + open.back().name +
+                     ">, found </" + end_name + ">");
+        }
+        SkipWhitespace();
+        if (Peek() != '>') return Err("malformed end tag </" + end_name + ">");
+        Advance();
+        open.pop_back();
+        parent = open.empty() ? root : open.back().element;
+        continue;
       }
-      LLL_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
-      SkipWhitespace();
-      if (Peek() != '=') return Err("expected '=' after attribute name");
-      Advance();
-      SkipWhitespace();
-      LLL_ASSIGN_OR_RETURN(std::string attr_value, ParseAttributeValue());
-      if (element->AttributeValue(attr_name) != nullptr) {
-        return Err("duplicate attribute '" + attr_name + "' on <" + name + ">");
+      if (Consume("<!--")) {
+        LLL_RETURN_IF_ERROR(flush_text());
+        std::string body;
+        while (!AtEnd() && !Consume("-->")) body.push_back(Advance());
+        if (options_.keep_comments) {
+          LLL_RETURN_IF_ERROR(parent->AppendChild(doc_->CreateComment(body)));
+        }
+        continue;
       }
-      element->SetAttribute(attr_name, attr_value);
-    }
+      if (Consume("<![CDATA[")) {
+        while (!AtEnd() && !Consume("]]>")) text.push_back(Advance());
+        continue;
+      }
+      if (PeekAt(1) == '?') {
+        LLL_RETURN_IF_ERROR(flush_text());
+        Advance();
+        Advance();  // "<?"
+        LLL_ASSIGN_OR_RETURN(std::string target, ParseName());
+        SkipWhitespace();
+        std::string data;
+        while (!AtEnd() && !Consume("?>")) data.push_back(Advance());
+        if (options_.keep_processing_instructions) {
+          LLL_RETURN_IF_ERROR(parent->AppendChild(
+              doc_->CreateProcessingInstruction(target, data)));
+        }
+        continue;
+      }
 
-    LLL_RETURN_IF_ERROR(ParseContent(element));
-    if (!Consume("</")) return Err("missing end tag for <" + name + ">");
-    LLL_ASSIGN_OR_RETURN(std::string end_name, ParseName());
-    if (end_name != name) {
-      return Err("mismatched end tag: expected </" + name + ">, found </" +
-                 end_name + ">");
+      // Start tag.
+      LLL_RETURN_IF_ERROR(flush_text());
+      Advance();  // '<'
+      LLL_ASSIGN_OR_RETURN(std::string name, ParseName());
+      Node* element = doc_->CreateElement(name);
+      // Attach before parsing attributes/children: the attach-as-created
+      // discipline is what keeps a parsed document on the storage layer's
+      // index-is-order fast path (document-order keys for free).
+      LLL_RETURN_IF_ERROR(parent->AppendChild(element));
+      bool self_closed = false;
+      while (true) {
+        SkipWhitespace();
+        if (AtEnd()) return Err("unterminated start tag <" + name);
+        if (Consume("/>")) {
+          self_closed = true;
+          break;
+        }
+        if (Peek() == '>') {
+          Advance();
+          break;
+        }
+        LLL_ASSIGN_OR_RETURN(std::string attr_name, ParseName());
+        SkipWhitespace();
+        if (Peek() != '=') return Err("expected '=' after attribute name");
+        Advance();
+        SkipWhitespace();
+        LLL_ASSIGN_OR_RETURN(std::string attr_value, ParseAttributeValue());
+        if (element->AttributeValue(attr_name).has_value()) {
+          return Err("duplicate attribute '" + attr_name + "' on <" + name +
+                     ">");
+        }
+        element->SetAttribute(attr_name, attr_value);
+      }
+      if (!self_closed) {
+        open.push_back(Open{element, std::move(name)});
+        parent = element;
+      }
     }
-    SkipWhitespace();
-    if (Peek() != '>') return Err("malformed end tag </" + end_name + ">");
-    Advance();
-    return parent->AppendChild(element);
   }
 
   std::string_view input_;

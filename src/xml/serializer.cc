@@ -59,102 +59,125 @@ bool IsHtmlVoidElement(std::string_view name) {
 
 namespace {
 
-void SerializeTo(const Node* node, const SerializeOptions& options, int depth,
-                 std::string* out) {
-  auto newline_indent = [&](int d) {
-    if (options.indent > 0) {
-      out->push_back('\n');
-      out->append(static_cast<size_t>(d * options.indent), ' ');
-    }
+// Explicit-stack serializer: one work item is either a node to render (open
+// tag emitted immediately, children and the close tag pushed as further
+// items) or a literal to append (separators, indentation, close tags). This
+// keeps 100k-deep documents from exhausting the call stack.
+void SerializeTo(const Node* root, const SerializeOptions& options,
+                 int root_depth, std::string* out) {
+  struct Item {
+    const Node* node = nullptr;  // nullptr: append `lit` instead
+    int depth = 0;
+    std::string lit;
+  };
+  auto indent_of = [&](int d) {
+    std::string s(1, '\n');
+    s.append(static_cast<size_t>(d * options.indent), ' ');
+    return s;
   };
 
-  switch (node->kind()) {
-    case NodeKind::kDocument: {
-      if (options.declaration) {
-        out->append("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
-        if (options.indent > 0) out->push_back('\n');
-      }
-      bool first = true;
-      for (const Node* c : node->children()) {
-        if (!first && options.indent > 0) out->push_back('\n');
-        SerializeTo(c, options, depth, out);
-        first = false;
-      }
-      return;
+  std::vector<Item> stack;
+  stack.push_back(Item{root, root_depth, {}});
+  std::vector<Item> seq;  // children of the current node, in document order
+  while (!stack.empty()) {
+    Item item = std::move(stack.back());
+    stack.pop_back();
+    if (item.node == nullptr) {
+      out->append(item.lit);
+      continue;
     }
-    case NodeKind::kElement: {
-      out->push_back('<');
-      out->append(node->name());
-      for (const Node* a : node->attributes()) {
-        out->push_back(' ');
-        out->append(a->name());
-        out->append("=\"");
-        out->append(EscapeAttribute(a->value()));
-        out->push_back('"');
-      }
-      if (node->children().empty()) {
-        if (options.html) {
-          out->push_back('>');
-          if (IsHtmlVoidElement(node->name())) return;  // <br> has no close
-          out->append("</");
-          out->append(node->name());
-          out->push_back('>');
-          return;
+    const Node* node = item.node;
+    int depth = item.depth;
+    seq.clear();
+
+    switch (node->kind()) {
+      case NodeKind::kDocument: {
+        if (options.declaration) {
+          out->append("<?xml version=\"1.0\" encoding=\"UTF-8\"?>");
+          if (options.indent > 0) out->push_back('\n');
         }
-        if (options.self_close_empty) {
-          out->append("/>");
-          return;
-        }
-      }
-      out->push_back('>');
-      // Mixed content (any text child) is serialized inline; element-only
-      // content gets the pretty indentation.
-      bool element_only = true;
-      for (const Node* c : node->children()) {
-        if (c->is_text()) {
-          element_only = false;
-          break;
-        }
-      }
-      if (options.indent > 0 && element_only && !node->children().empty()) {
+        bool first = true;
         for (const Node* c : node->children()) {
-          newline_indent(depth + 1);
-          SerializeTo(c, options, depth + 1, out);
+          if (!first && options.indent > 0) seq.push_back(Item{nullptr, 0, "\n"});
+          seq.push_back(Item{c, depth, {}});
+          first = false;
         }
-        newline_indent(depth);
-      } else {
-        for (const Node* c : node->children()) {
-          SerializeTo(c, options, depth + 1, out);
-        }
+        break;
       }
-      out->append("</");
-      out->append(node->name());
-      out->push_back('>');
-      return;
-    }
-    case NodeKind::kText:
-      out->append(EscapeText(node->value()));
-      return;
-    case NodeKind::kComment:
-      out->append("<!--");
-      out->append(node->value());
-      out->append("-->");
-      return;
-    case NodeKind::kProcessingInstruction:
-      out->append("<?");
-      out->append(node->name());
-      if (!node->value().empty()) {
-        out->push_back(' ');
+      case NodeKind::kElement: {
+        out->push_back('<');
+        out->append(node->name());
+        for (const Node* a : node->attributes()) {
+          out->push_back(' ');
+          out->append(a->name());
+          out->append("=\"");
+          out->append(EscapeAttribute(a->value()));
+          out->push_back('"');
+        }
+        if (node->children().empty()) {
+          if (options.html) {
+            out->push_back('>');
+            if (IsHtmlVoidElement(node->name())) break;  // <br> has no close
+            out->append("</");
+            out->append(node->name());
+            out->push_back('>');
+            break;
+          }
+          if (options.self_close_empty) {
+            out->append("/>");
+            break;
+          }
+        }
+        out->push_back('>');
+        // Mixed content (any text child) is serialized inline; element-only
+        // content gets the pretty indentation.
+        bool element_only = true;
+        for (const Node* c : node->children()) {
+          if (c->is_text()) {
+            element_only = false;
+            break;
+          }
+        }
+        std::string close = "</" + node->name() + ">";
+        if (options.indent > 0 && element_only && !node->children().empty()) {
+          for (const Node* c : node->children()) {
+            seq.push_back(Item{nullptr, 0, indent_of(depth + 1)});
+            seq.push_back(Item{c, depth + 1, {}});
+          }
+          seq.push_back(Item{nullptr, 0, indent_of(depth) + close});
+        } else {
+          for (const Node* c : node->children()) {
+            seq.push_back(Item{c, depth + 1, {}});
+          }
+          seq.push_back(Item{nullptr, 0, close});
+        }
+        break;
+      }
+      case NodeKind::kText:
+        out->append(EscapeText(node->value()));
+        break;
+      case NodeKind::kComment:
+        out->append("<!--");
         out->append(node->value());
-      }
-      out->append("?>");
-      return;
-    case NodeKind::kAttribute:
-      out->append(node->name());
-      out->append("=\"");
-      out->append(EscapeAttribute(node->value()));
-      out->push_back('"');
-      return;
+        out->append("-->");
+        break;
+      case NodeKind::kProcessingInstruction:
+        out->append("<?");
+        out->append(node->name());
+        if (!node->value().empty()) {
+          out->push_back(' ');
+          out->append(node->value());
+        }
+        out->append("?>");
+        break;
+      case NodeKind::kAttribute:
+        out->append(node->name());
+        out->append("=\"");
+        out->append(EscapeAttribute(node->value()));
+        out->push_back('"');
+        break;
+    }
+    for (size_t i = seq.size(); i-- > 0;) stack.push_back(std::move(seq[i]));
   }
 }
 

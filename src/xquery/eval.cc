@@ -449,10 +449,10 @@ class Evaluator::StreamRun {
       : ev_(ev), step_(step) {
     switch (step->axis) {
       case Axis::kChild:
-        vec_ = &context->children();
+        list_ = context->children();
         break;
       case Axis::kAttribute:
-        vec_ = &context->attributes();
+        list_ = context->attributes();
         break;
       case Axis::kSelf:
         self_ = context;
@@ -466,7 +466,7 @@ class Evaluator::StreamRun {
         break;
       case Axis::kFollowingSibling:
         if (context->parent() != nullptr && !context->is_attribute()) {
-          vec_ = &context->parent()->children();
+          list_ = context->parent()->children();
           cursor_ = context->IndexInParent() + 1;
         }
         break;
@@ -538,13 +538,13 @@ class Evaluator::StreamRun {
   void AccountAbandoned() {
     size_t n = 0;
     if (self_ != nullptr) ++n;
-    if (vec_ != nullptr) n += vec_->size() - cursor_;
+    n += list_.size() - cursor_;
     for (const auto& frame : stack_) {
       n += frame.first->children().size() - frame.second;
     }
     ev_->ChargeSkipped(n);
     self_ = nullptr;
-    vec_ = nullptr;
+    list_ = xml::NodeList();
     stack_.clear();
   }
 
@@ -556,9 +556,7 @@ class Evaluator::StreamRun {
       self_ = nullptr;
       return s;
     }
-    if (vec_ != nullptr) {
-      return cursor_ < vec_->size() ? (*vec_)[cursor_++] : nullptr;
-    }
+    if (cursor_ < list_.size()) return list_[cursor_++];
     while (!stack_.empty()) {
       auto& frame = stack_.back();
       if (frame.second >= frame.first->children().size()) {
@@ -577,10 +575,10 @@ class Evaluator::StreamRun {
   xml::Node* front_ = nullptr;
   bool done_ = false;
   bool exhaust_after_front_ = false;
-  // Enumeration state; at most one of self_/vec_/stack_ is live at a time
+  // Enumeration state; at most one of self_/list_/stack_ is live at a time
   // (descendant-or-self drains self_ first, then the stack).
   xml::Node* self_ = nullptr;
-  const std::vector<xml::Node*>* vec_ = nullptr;
+  xml::NodeList list_;  // empty when this enumeration source is not in use
   size_t cursor_ = 0;
   std::vector<std::pair<xml::Node*, size_t>> stack_;
   std::vector<size_t> positions_;  // 1-based per-predicate counters
@@ -744,7 +742,7 @@ class Evaluator::ReverseRun {
         // (mirrors the materializing EvalStep guard). Their ANCESTOR chain,
         // by contrast, starts at the owner via parent().
         if (context->parent() != nullptr && !context->is_attribute()) {
-          vec_ = &context->parent()->children();
+          list_ = context->parent()->children();
           cursor_ = context->IndexInParent();  // candidates: [cursor_-1 .. 0]
         }
         break;
@@ -812,7 +810,7 @@ class Evaluator::ReverseRun {
     if (chain_ != nullptr) ++n;
     ev_->ChargeSkipped(n);
     self_ = nullptr;
-    vec_ = nullptr;
+    list_ = xml::NodeList();
     cursor_ = 0;
     chain_ = nullptr;
   }
@@ -827,9 +825,7 @@ class Evaluator::ReverseRun {
       self_ = nullptr;
       return s;
     }
-    if (vec_ != nullptr) {
-      return cursor_ > 0 ? (*vec_)[--cursor_] : nullptr;
-    }
+    if (cursor_ > 0) return list_[--cursor_];
     if (chain_ != nullptr) {
       xml::Node* c = chain_;
       chain_ = chain_stop_after_first_ ? nullptr : c->parent();
@@ -840,11 +836,11 @@ class Evaluator::ReverseRun {
 
   Evaluator* ev_;
   const PathStep* step_;
-  // Enumeration state; at most one of self_/vec_/chain_ feeds at a time
+  // Enumeration state; at most one of self_/list_/chain_ feeds at a time
   // (ancestor-or-self drains self_ first, then the parent chain).
   xml::Node* self_ = nullptr;
-  const std::vector<xml::Node*>* vec_ = nullptr;
-  size_t cursor_ = 0;  // counts DOWN; candidates remaining in vec_
+  xml::NodeList list_;  // empty when this enumeration source is not in use
+  size_t cursor_ = 0;  // counts DOWN; candidates remaining in list_
   xml::Node* chain_ = nullptr;
   bool chain_stop_after_first_ = false;  // parent:: is a one-link chain
   std::vector<size_t> positions_;        // 1-based, in axis order
@@ -1810,7 +1806,7 @@ Status Evaluator::FillElementContent(xml::Node* element,
   auto append_text = [&](const std::string& text) {
     if (!element->children().empty() && element->children().back()->is_text()) {
       xml::Node* prev = element->children().back();
-      prev->set_value(prev->value() + text);
+      prev->set_value(std::string(prev->value()) + text);
       return;
     }
     xml::Node* tn = ctx_->arena_->CreateText(text);
@@ -1857,7 +1853,7 @@ Status Evaluator::FillElementContent(xml::Node* element,
             // Bypass the duplicate check by uniquifying transparently is NOT
             // what Galax did; it emitted both. Our arena allows it via a
             // direct append path: use SetAttributeNode only when unique.
-            if (element->AttributeValue(attr->name()) == nullptr) {
+            if (!element->AttributeValue(attr->name()).has_value()) {
               return element->SetAttributeNode(attr);
             }
             // Force-append a duplicate attribute (invalid XML, as in Galax).
@@ -1905,7 +1901,7 @@ Result<Sequence> Evaluator::EvalDirectElement(const Expr& e) {
   xml::Node* element = ctx_->arena_->CreateElement(e.name);
   ++stats_.constructed_nodes;
   for (const DirectAttribute& attr : e.attributes) {
-    if (element->AttributeValue(attr.name) != nullptr) {
+    if (element->AttributeValue(attr.name).has_value()) {
       return Status::ConstructionError("duplicate attribute '" + attr.name +
                                        "' (err:XQST0040)");
     }

@@ -115,16 +115,18 @@ Result<Stylesheet> Stylesheet::Compile(const xml::Node* stylesheet_root) {
       return Status::ParseError("unsupported top-level element <" +
                                 child->name() + ">");
     }
-    const std::string* match = child->AttributeValue("match");
-    if (match == nullptr) {
+    auto match = child->AttributeValue("match");
+    if (!match.has_value()) {
       return Status::ParseError("<xsl:template> needs a match attribute");
     }
     TemplateRule rule;
-    LLL_ASSIGN_OR_RETURN(rule.pattern, ParsePattern(*match));
+    LLL_ASSIGN_OR_RETURN(rule.pattern, ParsePattern(std::string(*match)));
     rule.priority = rule.pattern.default_priority;
-    if (const std::string* p = child->AttributeValue("priority")) {
+    if (auto p = child->AttributeValue("priority")) {
       auto parsed = ParseDouble(*p);
-      if (!parsed) return Status::ParseError("bad priority '" + *p + "'");
+      if (!parsed) {
+        return Status::ParseError("bad priority '" + std::string(*p) + "'");
+      }
       rule.priority = *parsed;
     }
     rule.body = child;
@@ -204,7 +206,7 @@ class Transformer {
       LLL_RETURN_IF_ERROR(out_parent->AppendChild(element));
       for (const xml::Node* attr : item->attributes()) {
         LLL_ASSIGN_OR_RETURN(std::string value,
-                             ExpandValueTemplate(attr->value(), context));
+                             ExpandValueTemplate(std::string(attr->value()), context));
         element->SetAttribute(attr->name(), value);
       }
       return ExecuteBody(item, context, element);
@@ -212,14 +214,15 @@ class Transformer {
 
     std::string local = name.substr(4);
     if (local == "apply-templates") {
-      const std::string* select = item->AttributeValue("select");
-      if (select == nullptr) {
+      auto select = item->AttributeValue("select");
+      if (!select.has_value()) {
         for (const xml::Node* child : context->children()) {
           LLL_RETURN_IF_ERROR(ProcessNode(child, out_parent));
         }
         return Status::Ok();
       }
-      LLL_ASSIGN_OR_RETURN(xq::QueryResult selected, Eval(*select, context));
+      LLL_ASSIGN_OR_RETURN(xq::QueryResult selected,
+                           Eval(std::string(*select), context));
       for (const xdm::Item& it : selected.sequence.items()) {
         if (!it.is_node()) {
           return Status::TypeError(
@@ -321,12 +324,12 @@ class Transformer {
   }
 
   Result<std::string> RequiredAttr(const xml::Node* item, const char* name) {
-    const std::string* value = item->AttributeValue(name);
-    if (value == nullptr) {
+    auto value = item->AttributeValue(name);
+    if (!value.has_value()) {
       return Status::Invalid("<" + item->name() + "> needs a '" +
                              std::string(name) + "' attribute");
     }
-    return *value;
+    return std::string(*value);
   }
 
   Result<std::string> ExpandValueTemplate(const std::string& raw,
@@ -392,19 +395,20 @@ Result<std::map<std::string, std::unique_ptr<xml::Document>>> SplitStreams(
 
   std::map<std::string, std::unique_ptr<xml::Document>> streams;
   for (const xml::Node* stream : copy->ChildElements("stream")) {
-    const std::string* name = stream->AttributeValue("name");
-    if (name == nullptr) {
+    auto name = stream->AttributeValue("name");
+    if (!name.has_value()) {
       return Status::Invalid("<stream> without a name attribute");
     }
-    if (streams.count(*name) != 0) {
-      return Status::Invalid("duplicate stream name '" + *name + "'");
+    if (streams.count(std::string(*name)) != 0) {
+      return Status::Invalid("duplicate stream name '" + std::string(*name) +
+                             "'");
     }
     // One XSLT pass per stream: the paper's workaround, cost included.
     std::string stylesheet_text =
         "<xsl:stylesheet>"
         "<xsl:template match=\"/\">"
         "<xsl:copy-of select=\"" +
-        copy->name() + "/stream[@name='" + *name + "']/node()\"/>"
+        copy->name() + "/stream[@name='" + std::string(*name) + "']/node()\"/>"
         "</xsl:template>"
         "</xsl:stylesheet>";
     LLL_ASSIGN_OR_RETURN(Stylesheet sheet,

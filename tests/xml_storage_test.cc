@@ -1,0 +1,450 @@
+// Property tests for the arena-backed structure-of-arrays node storage.
+//
+// The oracle is a shadow tree of plain heap structs linked by pointers --
+// exactly the representation the old Node implementation used. Every random
+// mutation is applied to both; after each batch the SoA document must agree
+// with the shadow on kind, name, value, parentage, child/attribute order,
+// IndexInParent, and string value. CompactStorage and CloneDocument are
+// folded into the mutation mix, since both rewrite the index pools.
+//
+// Also here: the 100k-depth regression tests for the iterative StringValue /
+// SerializeTo paths, and the concurrency claims (shared read-only documents,
+// NameTable interning) the TSan build audits via the `concurrency` label.
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/rng.h"
+#include "gtest/gtest.h"
+#include "xml/name_table.h"
+#include "xml/node.h"
+#include "xml/parser.h"
+#include "xml/serializer.h"
+
+namespace lll::xml {
+namespace {
+
+// The pointer-built oracle: one heap struct per node, child/attribute lists
+// as plain pointer vectors. Owned flat by the harness so detach/remove never
+// destroys a node (matching arena semantics).
+struct Shadow {
+  NodeKind kind;
+  std::string name;
+  std::string value;
+  Shadow* parent = nullptr;
+  std::vector<Shadow*> children;
+  std::vector<Shadow*> attrs;
+};
+
+std::string ShadowStringValue(const Shadow* s) {
+  if (s->kind == NodeKind::kText || s->kind == NodeKind::kComment ||
+      s->kind == NodeKind::kAttribute ||
+      s->kind == NodeKind::kProcessingInstruction) {
+    return s->value;
+  }
+  std::string out;
+  std::vector<const Shadow*> stack(s->children.rbegin(), s->children.rend());
+  while (!stack.empty()) {
+    const Shadow* n = stack.back();
+    stack.pop_back();
+    if (n->kind == NodeKind::kText) {
+      out += n->value;
+    } else if (n->kind == NodeKind::kElement) {
+      stack.insert(stack.end(), n->children.rbegin(), n->children.rend());
+    }
+  }
+  return out;
+}
+
+class Harness {
+ public:
+  Harness() {
+    pairs_.push_back({doc_->root(), NewShadow(NodeKind::kDocument, "", "")});
+    map_[doc_->root()] = pairs_.back().second;
+  }
+
+  Document* doc() { return doc_.get(); }
+
+  void Mutate(Rng& rng) {
+    switch (rng.Below(10)) {
+      case 0:
+      case 1:
+      case 2:
+        AppendFresh(rng);
+        break;
+      case 3:
+        InsertFresh(rng);
+        break;
+      case 4:
+        RemoveRandomChild(rng);
+        break;
+      case 5:
+        ReplaceRandomChild(rng);
+        break;
+      case 6:
+        SetRandomAttribute(rng);
+        break;
+      case 7:
+        RemoveRandomAttribute(rng);
+        break;
+      case 8:
+        SetRandomValue(rng);
+        break;
+      case 9:
+        DetachRandom(rng);
+        break;
+    }
+  }
+
+  void Verify() {
+    for (const auto& [node, shadow] : pairs_) {
+      ASSERT_EQ(node->kind(), shadow->kind);
+      EXPECT_EQ(node->name(), shadow->name);
+      EXPECT_EQ(std::string(node->value()), shadow->value);
+      if (shadow->parent == nullptr) {
+        EXPECT_EQ(node->parent(), nullptr);
+      } else {
+        ASSERT_NE(node->parent(), nullptr);
+        EXPECT_EQ(map_.at(node->parent()), shadow->parent);
+        // O(1) IndexInParent must match the shadow list position.
+        size_t expect = SIZE_MAX;
+        const auto& list = node->is_attribute() ? shadow->parent->attrs
+                                                : shadow->parent->children;
+        for (size_t i = 0; i < list.size(); ++i) {
+          if (list[i] == shadow) expect = i;
+        }
+        EXPECT_EQ(node->IndexInParent(), expect);
+      }
+      NodeList kids = node->children();
+      ASSERT_EQ(kids.size(), shadow->children.size());
+      for (size_t i = 0; i < kids.size(); ++i) {
+        EXPECT_EQ(map_.at(kids[i]), shadow->children[i]);
+      }
+      NodeList attrs = node->attributes();
+      ASSERT_EQ(attrs.size(), shadow->attrs.size());
+      for (size_t i = 0; i < attrs.size(); ++i) {
+        EXPECT_EQ(map_.at(attrs[i]), shadow->attrs[i]);
+      }
+      EXPECT_EQ(node->StringValue(), ShadowStringValue(shadow));
+    }
+  }
+
+  // Round-trips the rooted tree through CloneDocument and compares serialized
+  // forms (debris -- detached subtrees -- is intentionally dropped by clone).
+  void VerifyClone() {
+    std::unique_ptr<Document> clone = CloneDocument(*doc_);
+    EXPECT_EQ(Serialize(clone->root()), Serialize(doc_->root()));
+    EXPECT_EQ(clone->storage_stats().pool_slack_slots, 0u);
+    EXPECT_TRUE(clone->index_is_order());
+  }
+
+ private:
+  Shadow* NewShadow(NodeKind kind, std::string name, std::string value) {
+    shadows_.push_back(std::make_unique<Shadow>());
+    Shadow* s = shadows_.back().get();
+    s->kind = kind;
+    s->name = std::move(name);
+    s->value = std::move(value);
+    return s;
+  }
+
+  std::pair<Node*, Shadow*> Pick(Rng& rng) {
+    return pairs_[rng.Below(pairs_.size())];
+  }
+
+  // A random attach point: document root or an attached, non-attribute node.
+  std::pair<Node*, Shadow*> PickParent(Rng& rng) {
+    for (int tries = 0; tries < 8; ++tries) {
+      auto [n, s] = Pick(rng);
+      if (n->is_element() || n->is_document()) return {n, s};
+    }
+    return pairs_[0];
+  }
+
+  std::pair<Node*, Shadow*> CreateFresh(Rng& rng) {
+    static const char* kNames[] = {"alpha", "beta", "gamma", "delta"};
+    std::string payload = "v" + std::to_string(pairs_.size());
+    Node* n;
+    Shadow* s;
+    switch (rng.Below(4)) {
+      case 0:
+        n = doc_->CreateText(payload);
+        s = NewShadow(NodeKind::kText, "", payload);
+        break;
+      case 1:
+        n = doc_->CreateComment(payload);
+        s = NewShadow(NodeKind::kComment, "", payload);
+        break;
+      default:
+        n = doc_->CreateElement(kNames[rng.Below(4)]);
+        s = NewShadow(NodeKind::kElement, n->name(), "");
+        break;
+    }
+    pairs_.push_back({n, s});
+    map_[n] = s;
+    return {n, s};
+  }
+
+  void AppendFresh(Rng& rng) {
+    auto [p, sp] = PickParent(rng);
+    auto [c, sc] = CreateFresh(rng);
+    ASSERT_TRUE(p->AppendChild(c).ok());
+    sc->parent = sp;
+    sp->children.push_back(sc);
+  }
+
+  void InsertFresh(Rng& rng) {
+    auto [p, sp] = PickParent(rng);
+    auto [c, sc] = CreateFresh(rng);
+    size_t at = rng.Below(sp->children.size() + 1);
+    ASSERT_TRUE(p->InsertChildAt(at, c).ok());
+    sc->parent = sp;
+    sp->children.insert(sp->children.begin() + static_cast<ptrdiff_t>(at), sc);
+  }
+
+  void RemoveRandomChild(Rng& rng) {
+    auto [p, sp] = PickParent(rng);
+    if (sp->children.empty()) return;
+    size_t at = rng.Below(sp->children.size());
+    ASSERT_TRUE(p->RemoveChild(p->children()[at]).ok());
+    sp->children[at]->parent = nullptr;
+    sp->children.erase(sp->children.begin() + static_cast<ptrdiff_t>(at));
+  }
+
+  void ReplaceRandomChild(Rng& rng) {
+    auto [p, sp] = PickParent(rng);
+    if (sp->children.empty()) return;
+    size_t at = rng.Below(sp->children.size());
+    std::vector<Node*> repl;
+    std::vector<Shadow*> srepl;
+    for (uint64_t i = 0, n = rng.Below(3); i < n; ++i) {
+      auto [c, sc] = CreateFresh(rng);
+      repl.push_back(c);
+      srepl.push_back(sc);
+    }
+    ASSERT_TRUE(p->ReplaceChild(p->children()[at], repl).ok());
+    sp->children[at]->parent = nullptr;
+    sp->children.erase(sp->children.begin() + static_cast<ptrdiff_t>(at));
+    for (size_t i = 0; i < srepl.size(); ++i) {
+      srepl[i]->parent = sp;
+      sp->children.insert(
+          sp->children.begin() + static_cast<ptrdiff_t>(at + i), srepl[i]);
+    }
+  }
+
+  void SetRandomAttribute(Rng& rng) {
+    auto [p, sp] = Pick(rng);
+    if (!p->is_element()) return;
+    std::string name = "a" + std::to_string(rng.Below(3));
+    std::string value = "w" + std::to_string(pairs_.size());
+    p->SetAttribute(name, value);
+    for (Shadow* a : sp->attrs) {
+      if (a->name == name) {
+        a->value = value;
+        return;
+      }
+    }
+    // New attribute node: pair it with the real node SetAttribute created.
+    Node* an = p->AttributeNode(name);
+    ASSERT_NE(an, nullptr);
+    Shadow* sa = NewShadow(NodeKind::kAttribute, name, value);
+    sa->parent = sp;
+    sp->attrs.push_back(sa);
+    pairs_.push_back({an, sa});
+    map_[an] = sa;
+  }
+
+  void RemoveRandomAttribute(Rng& rng) {
+    auto [p, sp] = Pick(rng);
+    if (!p->is_element() || sp->attrs.empty()) return;
+    size_t at = rng.Below(sp->attrs.size());
+    ASSERT_TRUE(p->RemoveAttribute(sp->attrs[at]->name));
+    sp->attrs[at]->parent = nullptr;
+    sp->attrs.erase(sp->attrs.begin() + static_cast<ptrdiff_t>(at));
+  }
+
+  void SetRandomValue(Rng& rng) {
+    auto [n, s] = Pick(rng);
+    if (!n->is_text() && n->kind() != NodeKind::kComment &&
+        !n->is_attribute()) {
+      return;
+    }
+    std::string value = "u" + std::to_string(rng.Below(1000));
+    n->set_value(value);
+    s->value = value;
+  }
+
+  void DetachRandom(Rng& rng) {
+    auto [n, s] = Pick(rng);
+    if (s->parent == nullptr || n->is_document()) return;
+    n->Detach();
+    auto& list = n->is_attribute() ? s->parent->attrs : s->parent->children;
+    for (size_t i = 0; i < list.size(); ++i) {
+      if (list[i] == s) {
+        list.erase(list.begin() + static_cast<ptrdiff_t>(i));
+        break;
+      }
+    }
+    s->parent = nullptr;
+  }
+
+  std::unique_ptr<Document> doc_ = std::make_unique<Document>();
+  std::vector<std::unique_ptr<Shadow>> shadows_;
+  std::vector<std::pair<Node*, Shadow*>> pairs_;
+  std::unordered_map<const Node*, Shadow*> map_;
+};
+
+TEST(XmlStorageProperty, AgreesWithPointerBuiltOracle) {
+  for (uint64_t seed = 1; seed <= 8; ++seed) {
+    Rng rng(seed * 0x5DEECE66Dull);
+    Harness h;
+    for (int batch = 0; batch < 12; ++batch) {
+      for (int i = 0; i < 40; ++i) h.Mutate(rng);
+      if (batch % 4 == 3) h.doc()->CompactStorage();
+      h.Verify();
+      if (testing::Test::HasFailure()) return;
+    }
+    h.VerifyClone();
+  }
+}
+
+TEST(XmlStorageProperty, CompactStorageDropsSlackAndPreservesTree) {
+  Rng rng(42);
+  Harness h;
+  for (int i = 0; i < 300; ++i) h.Mutate(rng);
+  std::string before = Serialize(h.doc()->root());
+  h.doc()->CompactStorage();
+  EXPECT_EQ(h.doc()->storage_stats().pool_slack_slots, 0u);
+  EXPECT_EQ(Serialize(h.doc()->root()), before);
+  h.Verify();
+}
+
+// --- Deep-recursion regressions --------------------------------------------
+
+constexpr int kDeep = 100'000;
+
+std::unique_ptr<Document> BuildDeepChain() {
+  auto doc = std::make_unique<Document>();
+  Node* cur = doc->root();
+  for (int i = 0; i < kDeep; ++i) {
+    Node* e = doc->CreateElement("d");
+    EXPECT_TRUE(cur->AppendChild(e).ok());
+    cur = e;
+  }
+  EXPECT_TRUE(cur->AppendChild(doc->CreateText("bottom")).ok());
+  return doc;
+}
+
+TEST(XmlStorageDeep, StringValueIsIterative) {
+  auto doc = BuildDeepChain();
+  EXPECT_EQ(doc->root()->StringValue(), "bottom");
+  EXPECT_EQ(doc->DocumentElement()->StringValue(), "bottom");
+}
+
+TEST(XmlStorageDeep, SerializeIsIterative) {
+  auto doc = BuildDeepChain();
+  std::string out = Serialize(doc->root());
+  EXPECT_EQ(out.size(), static_cast<size_t>(kDeep) * 7 + 6);
+  EXPECT_EQ(out.substr(0, 6), "<d><d>");
+  EXPECT_EQ(out.substr(out.size() - 8), "</d></d>");
+}
+
+TEST(XmlStorageDeep, ParseIsIterative) {
+  // The parser keeps its own open-element stack; 100k levels of nesting
+  // must parse without touching the call-stack limit.
+  std::string xml;
+  xml.reserve(static_cast<size_t>(kDeep) * 7 + 1);
+  for (int i = 0; i < kDeep; ++i) xml += "<d>";
+  xml += "x";
+  for (int i = 0; i < kDeep; ++i) xml += "</d>";
+  auto doc = Parse(xml);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ((*doc)->DocumentElement()->StringValue(), "x");
+}
+
+TEST(XmlStorageDeep, CloneAndDescendantsAreIterative) {
+  auto doc = BuildDeepChain();
+  std::unique_ptr<Document> clone = CloneDocument(*doc);
+  EXPECT_EQ(clone->storage_stats().node_count, doc->storage_stats().node_count);
+  EXPECT_EQ(clone->root()->StringValue(), "bottom");
+  EXPECT_EQ(doc->root()->DescendantElements("d").size(),
+            static_cast<size_t>(kDeep));
+}
+
+// --- Concurrency claims (TSan audits these via -L concurrency) -------------
+
+TEST(XmlStorageConcurrency, NameTableInternAndGetRace) {
+  constexpr int kThreads = 8;
+  constexpr int kNames = 200;
+  std::atomic<uint32_t> ids[kNames] = {};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&ids, t] {
+      for (int i = 0; i < kNames; ++i) {
+        // Overlapping vocabularies: every thread interns every name, half
+        // in reverse, so first-sight insertion races with repeat lookups.
+        int k = (t % 2 == 0) ? i : kNames - 1 - i;
+        std::string name = "race-name-" + std::to_string(k);
+        uint32_t id = NameTable::Intern(name);
+        uint32_t seen = ids[k].exchange(id, std::memory_order_relaxed);
+        if (seen != 0) EXPECT_EQ(seen, id);
+        EXPECT_EQ(NameTable::Get(id), name);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_GE(NameTable::interned_count(), static_cast<uint64_t>(kNames));
+  EXPECT_GT(NameTable::interned_bytes(), 0u);
+}
+
+TEST(XmlStorageConcurrency, SharedReadOnlyDocumentTraversal) {
+  // One published (frozen) document, many readers -- the server's snapshot
+  // pattern. EnsureOrderIndex is called once by the publisher; after that,
+  // traversal, string values, and order compares must be data-race free.
+  auto doc = std::make_unique<Document>();
+  Node* root = doc->CreateElement("lib");
+  ASSERT_TRUE(doc->root()->AppendChild(root).ok());
+  Rng rng(7);
+  for (int i = 0; i < 200; ++i) {
+    Node* shelf = doc->CreateElement("shelf");
+    shelf->SetAttribute("id", std::to_string(i));
+    ASSERT_TRUE(root->AppendChild(shelf).ok());
+    for (uint64_t j = 0, n = rng.Below(5); j < n; ++j) {
+      Node* book = doc->CreateElement("book");
+      ASSERT_TRUE(book->AppendChild(doc->CreateText("x")).ok());
+      ASSERT_TRUE(shelf->AppendChild(book).ok());
+    }
+  }
+  doc->CompactStorage();
+  doc->EnsureOrderIndex();
+
+  const Document* shared = doc.get();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 8; ++t) {
+    threads.emplace_back([shared] {
+      const Node* root = shared->DocumentElement();
+      std::vector<Node*> shelves = root->DescendantElements("shelf");
+      EXPECT_EQ(shelves.size(), 200u);
+      size_t books = 0;
+      for (const Node* shelf : shelves) {
+        EXPECT_TRUE(shelf->AttributeValue("id").has_value());
+        for (const Node* book : shelf->children()) {
+          EXPECT_EQ(book->StringValue(), "x");
+          ++books;
+        }
+      }
+      for (size_t i = 1; i < shelves.size(); ++i) {
+        EXPECT_LT(CompareDocumentOrder(shelves[i - 1], shelves[i]), 0);
+      }
+      EXPECT_EQ(books, root->StringValue().size());
+    });
+  }
+  for (auto& th : threads) th.join();
+}
+
+}  // namespace
+}  // namespace lll::xml
