@@ -14,6 +14,12 @@ cd "$(dirname "$0")/.."
 
 JOBS="${1:--j2}"
 
+# Stray persistence artifacts (aborted test runs, manual daemon sessions)
+# must not leak into the tree or get picked up by a later warm boot.
+find . -path ./build -prune -o -path ./build-tsan -prune -o \
+  -path ./build-asan -prune -o \
+  \( -name '*.lllp' -o -name '*.llld' \) -print0 | xargs -0r rm -f
+
 echo "== tier-1: build + full test suite (build/) =="
 cmake -B build -S . >/dev/null
 cmake --build build "${JOBS}"

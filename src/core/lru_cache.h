@@ -7,6 +7,8 @@
 #include <mutex>
 #include <string>
 #include <unordered_map>
+#include <utility>
+#include <vector>
 
 namespace lll {
 
@@ -94,6 +96,21 @@ class LruCache {
   std::list<std::string> KeysByRecency() const {
     std::lock_guard<std::mutex> lock(mu_);
     return recency_;
+  }
+
+  // A consistent point-in-time copy of every entry, most- to least-recently
+  // used. Handles are the usual shared immutable values, so the snapshot
+  // stays valid however the cache moves on. This is the enumeration the
+  // persistence layer serializes (reinserting in reverse preserves recency).
+  std::vector<std::pair<std::string, std::shared_ptr<const V>>> Snapshot()
+      const {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::vector<std::pair<std::string, std::shared_ptr<const V>>> out;
+    out.reserve(map_.size());
+    for (const std::string& key : recency_) {
+      out.emplace_back(key, map_.at(key).value);
+    }
+    return out;
   }
 
  private:

@@ -6,6 +6,7 @@
 #include "awb/xml_io.h"
 #include "docgen/xq_programs.h"
 #include "obs/explain.h"
+#include "persist/plan_serde.h"
 #include "xml/name_table.h"
 #include "xml/parser.h"
 #include "xquery/engine.h"
@@ -229,17 +230,31 @@ Result<DocGenResult> GenerateXQueryFromText(const std::string& template_xml,
 Result<std::string> ExplainXQueryPhases() {
   std::string out;
   for (const PhaseSpec& phase : AllPhases()) {
-    bool cache_hit = false;
-    LLL_ASSIGN_OR_RETURN(
-        std::shared_ptr<const xq::CompiledQuery> compiled,
-        PhaseProgramCache().GetOrCompile(*phase.program, {}, &cache_hit));
+    xq::CacheProvenance provenance = xq::CacheProvenance::kCompiled;
+    LLL_ASSIGN_OR_RETURN(std::shared_ptr<const xq::CompiledQuery> compiled,
+                         PhaseProgramCache().GetOrCompile(
+                             *phase.program, {}, nullptr, &provenance));
     obs::ExplainOptions eo;
-    eo.provenance = std::string(phase.name) + ", " +
-                    (cache_hit ? "compile cache hit" : "compiled fresh");
+    eo.provenance = std::string(phase.name) + ", plan: " +
+                    xq::CacheProvenanceName(provenance);
     out += obs::Explain(*compiled, eo);
     out += "\n";
   }
   return out;
+}
+
+xq::QueryCache& XQueryPhaseCache() { return PhaseProgramCache(); }
+
+Status AotCompileXQueryPhases(const std::string& path) {
+  for (const PhaseSpec& phase : AllPhases()) {
+    LLL_RETURN_IF_ERROR(
+        PhaseProgramCache().GetOrCompile(*phase.program).status());
+  }
+  return persist::SavePlanCache(PhaseProgramCache(), path);
+}
+
+Result<size_t> LoadXQueryPhaseCache(const std::string& path) {
+  return persist::LoadPlanCache(path, &PhaseProgramCache());
 }
 
 }  // namespace lll::docgen

@@ -19,8 +19,11 @@ namespace lll::obs {
 //                         with its source line:col
 //   == summary ==         aggregate optimizer stats
 struct ExplainOptions {
-  // Where the compiled query came from, shown in the header when nonempty:
-  // e.g. "cache hit" / "cache miss (compiled)".
+  // Where the compiled query came from, shown in the header when nonempty.
+  // Callers on a QueryCache use the canonical tri-state spellings from
+  // xq::CacheProvenanceName: "compiled" (fresh), "memory-cache" (hit on a
+  // plan compiled earlier in-process), "disk-cache" (hit on a plan
+  // deserialized from a persisted *.lllp artifact).
   std::string provenance;
   // Cap on rendered plan depth; deeper subtrees elide to "...".
   size_t max_depth = 32;

@@ -1,0 +1,175 @@
+#include "persist/doc_snapshot.h"
+
+#include <cstring>
+
+#include "persist/format.h"
+
+namespace lll::persist {
+
+namespace {
+
+// Section ids within a document-snapshot artifact.
+constexpr uint32_t kMetaSection = 1;       // doc name + node count
+constexpr uint32_t kKindSection = 2;       // raw u8 per node
+constexpr uint32_t kNamesSection = 3;      // local name table (u32 count + Str*)
+constexpr uint32_t kNameIdsSection = 4;    // raw u32 per node (local ids)
+constexpr uint32_t kValueLensSection = 5;  // raw u32 per node
+constexpr uint32_t kValuesSection = 6;     // concatenated value bytes
+constexpr uint32_t kChildCountsSection = 7;
+constexpr uint32_t kChildrenSection = 8;
+constexpr uint32_t kAttrCountsSection = 9;
+constexpr uint32_t kAttrsSection = 10;
+
+Result<std::string_view> RequireSection(const Artifact& a, uint32_t id,
+                                        const char* what) {
+  std::optional<std::string_view> s = a.Section(id);
+  if (!s.has_value()) {
+    return Status::Invalid(std::string("snapshot artifact missing the ") +
+                           what + " section");
+  }
+  return *s;
+}
+
+Result<LoadedSnapshot> LoadSnapshotArtifact(const Artifact& artifact) {
+  LLL_ASSIGN_OR_RETURN(std::string_view meta,
+                       RequireSection(artifact, kMetaSection, "meta"));
+  ByteReader mr(meta);
+  LoadedSnapshot out;
+  LLL_ASSIGN_OR_RETURN(out.doc_name, mr.Str());
+  LLL_ASSIGN_OR_RETURN(uint32_t node_count, mr.U32());
+
+  xml::DocumentStorageImage img;
+  LLL_ASSIGN_OR_RETURN(std::string_view kinds,
+                       RequireSection(artifact, kKindSection, "kind"));
+  if (kinds.size() != node_count) {
+    return Status::Invalid("snapshot kind section size disagrees with meta");
+  }
+  img.kind.assign(kinds.begin(), kinds.end());
+
+  LLL_ASSIGN_OR_RETURN(std::string_view names,
+                       RequireSection(artifact, kNamesSection, "name table"));
+  ByteReader nr(names);
+  LLL_ASSIGN_OR_RETURN(uint32_t name_count, nr.U32());
+  if (name_count > nr.remaining()) {
+    return Status::Invalid("snapshot name table count exceeds the section");
+  }
+  img.names.reserve(name_count);
+  for (uint32_t i = 0; i < name_count; ++i) {
+    LLL_ASSIGN_OR_RETURN(std::string name, nr.Str());
+    img.names.push_back(std::move(name));
+  }
+
+  LLL_ASSIGN_OR_RETURN(std::string_view ids,
+                       RequireSection(artifact, kNameIdsSection, "name ids"));
+  LLL_ASSIGN_OR_RETURN(img.name, DecodeU32Array(ids));
+  LLL_ASSIGN_OR_RETURN(
+      std::string_view lens,
+      RequireSection(artifact, kValueLensSection, "value lengths"));
+  LLL_ASSIGN_OR_RETURN(img.value_len, DecodeU32Array(lens));
+  LLL_ASSIGN_OR_RETURN(std::string_view values,
+                       RequireSection(artifact, kValuesSection, "values"));
+  img.values.assign(values);
+  LLL_ASSIGN_OR_RETURN(
+      std::string_view ccounts,
+      RequireSection(artifact, kChildCountsSection, "child counts"));
+  LLL_ASSIGN_OR_RETURN(img.child_count, DecodeU32Array(ccounts));
+  LLL_ASSIGN_OR_RETURN(std::string_view children,
+                       RequireSection(artifact, kChildrenSection, "children"));
+  LLL_ASSIGN_OR_RETURN(img.children, DecodeU32Array(children));
+  LLL_ASSIGN_OR_RETURN(
+      std::string_view acounts,
+      RequireSection(artifact, kAttrCountsSection, "attr counts"));
+  LLL_ASSIGN_OR_RETURN(img.attr_count, DecodeU32Array(acounts));
+  LLL_ASSIGN_OR_RETURN(std::string_view attrs,
+                       RequireSection(artifact, kAttrsSection, "attrs"));
+  LLL_ASSIGN_OR_RETURN(img.attrs, DecodeU32Array(attrs));
+
+  if (img.node_count() != node_count) {
+    return Status::Invalid("snapshot node arrays disagree with meta count");
+  }
+  // Out-of-range node/name indices, non-preorder layouts, kind violations:
+  // everything structural is DocumentFromStorage's gate.
+  LLL_ASSIGN_OR_RETURN(out.document, xml::DocumentFromStorage(img));
+  return out;
+}
+
+Result<LoadedSnapshot> CountLoadResult(Result<LoadedSnapshot> loaded,
+                                       const ArtifactLoadInfo& info,
+                                       MetricsRegistry* metrics) {
+  if (metrics != nullptr) {
+    if (loaded.ok()) {
+      metrics->counter("persist.snapshot.loads").Increment();
+    } else if (info.version_mismatch) {
+      metrics->counter("persist.snapshot.version_mismatch").Increment();
+    } else {
+      metrics->counter("persist.snapshot.load_failures").Increment();
+    }
+  }
+  return loaded;
+}
+
+ArtifactWriter BuildSnapshotArtifact(const xml::Document& doc,
+                                     std::string_view doc_name) {
+  xml::DocumentStorageImage img = xml::ExportDocumentStorage(doc);
+  ByteWriter meta;
+  meta.Str(doc_name);
+  meta.U32(static_cast<uint32_t>(img.node_count()));
+  ByteWriter names;
+  names.U32(static_cast<uint32_t>(img.names.size()));
+  for (const std::string& n : img.names) names.Str(n);
+
+  ArtifactWriter artifact(kDocSnapshotArtifact);
+  artifact.AddSection(kMetaSection, meta.TakeBytes());
+  artifact.AddSection(kKindSection,
+                      std::string(img.kind.begin(), img.kind.end()));
+  artifact.AddSection(kNamesSection, names.TakeBytes());
+  artifact.AddSection(kNameIdsSection, EncodeU32Array(img.name));
+  artifact.AddSection(kValueLensSection, EncodeU32Array(img.value_len));
+  artifact.AddSection(kValuesSection, std::move(img.values));
+  artifact.AddSection(kChildCountsSection, EncodeU32Array(img.child_count));
+  artifact.AddSection(kChildrenSection, EncodeU32Array(img.children));
+  artifact.AddSection(kAttrCountsSection, EncodeU32Array(img.attr_count));
+  artifact.AddSection(kAttrsSection, EncodeU32Array(img.attrs));
+  return artifact;
+}
+
+}  // namespace
+
+std::string SerializeDocumentSnapshot(const xml::Document& doc,
+                                      std::string_view doc_name) {
+  return BuildSnapshotArtifact(doc, doc_name).Finish();
+}
+
+Status SaveDocumentSnapshot(const xml::Document& doc,
+                            std::string_view doc_name,
+                            const std::string& path,
+                            MetricsRegistry* metrics) {
+  LLL_RETURN_IF_ERROR(BuildSnapshotArtifact(doc, doc_name).WriteFile(path));
+  if (metrics != nullptr) {
+    metrics->counter("persist.snapshot.stores").Increment();
+  }
+  return Status::Ok();
+}
+
+Result<LoadedSnapshot> LoadDocumentSnapshot(const std::string& path,
+                                            MetricsRegistry* metrics) {
+  ArtifactLoadInfo info;
+  auto artifact = Artifact::FromFile(path, kDocSnapshotArtifact, &info);
+  if (!artifact.ok()) {
+    return CountLoadResult(artifact.status(), info, metrics);
+  }
+  return CountLoadResult(LoadSnapshotArtifact(*artifact), info, metrics);
+}
+
+Result<LoadedSnapshot> LoadDocumentSnapshotFromBytes(std::string bytes,
+                                                     MetricsRegistry* metrics) {
+  ArtifactLoadInfo info;
+  auto artifact =
+      Artifact::FromBytes(std::move(bytes), kDocSnapshotArtifact, &info);
+  if (!artifact.ok()) {
+    return CountLoadResult(artifact.status(), info, metrics);
+  }
+  return CountLoadResult(LoadSnapshotArtifact(*artifact), info, metrics);
+}
+
+}  // namespace lll::persist

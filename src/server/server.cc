@@ -1,11 +1,15 @@
 #include "server/server.h"
 
+#include <algorithm>
 #include <chrono>
+#include <filesystem>
 #include <utility>
 
 #include "awb/xml_io.h"
 #include "docgen/native_engine.h"
 #include "obs/explain.h"
+#include "persist/doc_snapshot.h"
+#include "persist/plan_serde.h"
 #include "xml/name_table.h"
 #include "xml/parser.h"
 #include "xml/serializer.h"
@@ -129,6 +133,19 @@ void QueryServer::CountRejection(const std::string& tenant) {
   metrics_->counter("server.tenant." + tenant + ".rejected").Increment();
 }
 
+void QueryServer::CountPlanProvenance(xq::CacheProvenance provenance) {
+  // hits = queries answered by a disk-loaded plan; misses = fresh compiles
+  // on a cache that HAS been warmed from disk. A never-warmed server counts
+  // neither, so the ratio measures the artifact's coverage rather than
+  // whether anyone loaded one.
+  if (provenance == xq::CacheProvenance::kDiskCache) {
+    metrics_->counter("persist.plan.hits").Increment();
+  } else if (provenance == xq::CacheProvenance::kCompiled &&
+             query_cache_.warmed()) {
+    metrics_->counter("persist.plan.misses").Increment();
+  }
+}
+
 QueryResponse QueryServer::Execute(const std::string& tenant,
                                    const std::string& doc_name,
                                    const std::string& query_text) {
@@ -165,7 +182,9 @@ QueryResponse QueryServer::ExecuteOnSnapshot(const std::string& tenant,
   }
 
   bool cache_hit = false;
-  auto compiled = query_cache_.GetOrCompile(query_text, {}, &cache_hit);
+  xq::CacheProvenance provenance = xq::CacheProvenance::kCompiled;
+  auto compiled =
+      query_cache_.GetOrCompile(query_text, {}, &cache_hit, &provenance);
   if (!compiled.ok()) {
     resp.status = compiled.status();
     resp.latency_us = ElapsedUs(start);
@@ -176,6 +195,7 @@ QueryResponse QueryServer::ExecuteOnSnapshot(const std::string& tenant,
       ->counter(cache_hit ? "server.query_cache_hits"
                           : "server.query_cache_misses")
       .Increment();
+  CountPlanProvenance(provenance);
 
   xq::ExecuteOptions opts;
   opts.context_node = snapshot->root();
@@ -227,12 +247,14 @@ Result<std::string> QueryServer::Explain(const std::string& doc_name,
   if (snapshot == nullptr) {
     return Status::NotFound("no document named '" + doc_name + "'");
   }
-  bool cache_hit = false;
-  auto compiled = query_cache_.GetOrCompile(query_text, {}, &cache_hit);
+  xq::CacheProvenance provenance = xq::CacheProvenance::kCompiled;
+  auto compiled =
+      query_cache_.GetOrCompile(query_text, {}, nullptr, &provenance);
   if (!compiled.ok()) return compiled.status();
+  CountPlanProvenance(provenance);
   obs::ExplainOptions eo;
   eo.provenance =
-      cache_hit ? "server cache hit" : "server cache miss (compiled)";
+      std::string("server plan: ") + xq::CacheProvenanceName(provenance);
   std::string out = "-- document '" + doc_name + "' @ snapshot version " +
                     std::to_string(snapshot->version()) + "\n";
   out += obs::Explain(**compiled, eo);
@@ -294,6 +316,62 @@ Result<std::vector<std::string>> QueryServer::GenerateReports(
   metrics_->counter("server.reports_generated")
       .Increment(rendered.size());
   return rendered;
+}
+
+Status QueryServer::SaveState(const std::string& dir) const {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  fs::create_directories(dir, ec);
+  if (ec) {
+    return Status::Internal("cannot create state directory '" + dir +
+                            "': " + ec.message());
+  }
+  LLL_RETURN_IF_ERROR(
+      persist::SavePlanCache(query_cache_, dir + "/plans.lllp", metrics_));
+  size_t n = 0;
+  for (const std::string& name : store_.Names()) {
+    SnapshotPtr snap = store_.Current(name);
+    if (snap == nullptr) continue;
+    const std::string path = dir + "/doc-" + std::to_string(n++) + ".llld";
+    LLL_RETURN_IF_ERROR(
+        persist::SaveDocumentSnapshot(snap->document(), name, path, metrics_));
+  }
+  return Status::Ok();
+}
+
+Status QueryServer::LoadState(const std::string& dir) {
+  namespace fs = std::filesystem;
+  std::error_code ec;
+  std::vector<fs::path> paths;
+  for (fs::directory_iterator it(dir, ec);
+       !ec && it != fs::directory_iterator(); it.increment(ec)) {
+    paths.push_back(it->path());
+  }
+  if (ec) {
+    return Status::Invalid("cannot read state directory '" + dir +
+                           "': " + ec.message());
+  }
+  std::sort(paths.begin(), paths.end());
+  for (const fs::path& path : paths) {
+    if (path.extension() == ".lllp") {
+      // A stale or corrupt plan artifact is a cold start, not an error;
+      // the persist.plan.* counters record what happened.
+      (void)persist::LoadPlanCache(path.string(), &query_cache_, metrics_);
+    } else if (path.extension() == ".llld") {
+      auto loaded = persist::LoadDocumentSnapshot(path.string(), metrics_);
+      if (!loaded.ok()) continue;  // counted in persist.snapshot.*
+      if (store_.Current(loaded->doc_name) == nullptr) {
+        LLL_RETURN_IF_ERROR(
+            AddDocument(loaded->doc_name, std::move(loaded->document)));
+      } else {
+        LLL_RETURN_IF_ERROR(store_
+                                .PublishDocument(loaded->doc_name,
+                                                 std::move(loaded->document))
+                                .status());
+      }
+    }
+  }
+  return Status::Ok();
 }
 
 std::string QueryServer::MetricsJson() const {

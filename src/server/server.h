@@ -182,6 +182,24 @@ class QueryServer {
       const awb::Metamodel* metamodel,
       const std::vector<std::string>& template_xmls);
 
+  // --- Persistence (warm boot) ---------------------------------------------
+
+  // Writes the server's warm state into `dir` (created if missing): the
+  // compiled-plan cache as plans.lllp and the CURRENT snapshot of every
+  // document as doc-<n>.llld (names are embedded in the artifacts, so no
+  // side index). Artifacts are written atomically; a crashed save leaves the
+  // previous generation intact.
+  Status SaveState(const std::string& dir) const;
+
+  // Loads a state directory written by SaveState: plans warm the query
+  // cache (later hits EXPLAIN as disk-cache), snapshots become documents --
+  // installed fresh, or published as a new version when the name already
+  // exists. Unreadable artifacts are skipped and counted
+  // (persist.{plan,snapshot}.{version_mismatch,load_failures}); a version
+  // mismatch is therefore a clean cold start, never an error. Returns the
+  // first genuinely unexpected failure (e.g. an unreadable directory).
+  Status LoadState(const std::string& dir);
+
   // --- Admin ---------------------------------------------------------------
 
   // JSON snapshot of the server's MetricsRegistry, with the query-cache
@@ -207,6 +225,7 @@ class QueryServer {
   // TenantFor + quota read under a single tenants_mu_ acquisition.
   Tenant* TenantAndQuota(const std::string& name, TenantQuota* quota);
   void CountRejection(const std::string& tenant);
+  void CountPlanProvenance(xq::CacheProvenance provenance);
 
   ServerOptions options_;
   MetricsRegistry* metrics_;

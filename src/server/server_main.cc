@@ -3,12 +3,16 @@
 // so every connection gets snapshot-pinned repeatable reads until it sends
 // "refresh").
 //
-//   lll_serverd [--port N] [--workers N] [--demo]
+//   lll_serverd [--port N] [--workers N] [--demo] [--state-dir DIR]
 //
 // Protocol (one command per line; responses end with a line "." on their
 // own):
 //
 //   load <name> <path>          register a document from an XML file
+//   load <dir>                  warm-boot: restore a state directory
+//                               written by `save` (plans.lllp + *.llld)
+//   save <dir>                  persist the plan cache and every current
+//                               document snapshot into <dir>
 //   doc <name> <xml>            register a document from inline XML
 //   publish <name> <xml>        publish a new version (inline XML)
 //   query <tenant> <doc> <xq>   run an XQuery on the session's pinned
@@ -21,6 +25,9 @@
 //   quit
 //
 // --demo preloads a small catalog document under the name "demo".
+// --state-dir DIR restores DIR at startup (missing/stale artifacts are a
+// clean cold start) so the fleet boots warm without re-parsing XML or
+// recompiling queries.
 
 #include <netinet/in.h>
 #include <sys/socket.h>
@@ -31,6 +38,7 @@
 #include <cstdio>
 #include <cstring>
 #include <ext/stdio_filebuf.h>
+#include <filesystem>
 #include <fstream>
 #include <iostream>
 #include <map>
@@ -108,9 +116,30 @@ void Serve(QueryServer* server, std::istream& in, std::ostream& out) {
       out << "ok\n.\n" << std::flush;
       continue;
     }
+    if (cmd == "save") {
+      std::string unused;
+      std::vector<std::string> words = SplitWords(line, 2, &unused);
+      if (words.size() < 2) {
+        out << "error: usage: save <dir>\n.\n" << std::flush;
+        continue;
+      }
+      lll::Status st = server->SaveState(words[1]);
+      out << (st.ok() ? std::string("ok") : "error: " + st.ToString())
+          << "\n.\n"
+          << std::flush;
+      continue;
+    }
     if (cmd == "load" || cmd == "doc" || cmd == "publish") {
       std::string args;
       std::vector<std::string> words = SplitWords(line, 2, &args);
+      if (cmd == "load" && words.size() == 2 && args.empty()) {
+        // One argument: restore a state directory written by `save`.
+        lll::Status st = server->LoadState(words[1]);
+        out << (st.ok() ? std::string("ok") : "error: " + st.ToString())
+            << "\n.\n"
+            << std::flush;
+        continue;
+      }
       if (words.size() < 2 || args.empty()) {
         out << "error: usage: " << cmd << " <name> <"
             << (cmd == "load" ? "path" : "xml") << ">\n.\n"
@@ -270,6 +299,7 @@ int main(int argc, char** argv) {
   int port = 0;
   lll::server::ServerOptions options;
   bool demo = false;
+  std::string state_dir;
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
@@ -278,9 +308,12 @@ int main(int argc, char** argv) {
       options.worker_threads = std::atoi(argv[++i]);
     } else if (arg == "--demo") {
       demo = true;
+    } else if (arg == "--state-dir" && i + 1 < argc) {
+      state_dir = argv[++i];
     } else {
       std::fprintf(stderr,
-                   "usage: lll_serverd [--port N] [--workers N] [--demo]\n");
+                   "usage: lll_serverd [--port N] [--workers N] [--demo] "
+                   "[--state-dir DIR]\n");
       return 2;
     }
   }
@@ -291,6 +324,18 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "demo document: %s\n", st.ToString().c_str());
       return 1;
     }
+  }
+  if (!state_dir.empty() && std::filesystem::exists(state_dir)) {
+    // Warm boot. A missing directory is simply a cold start; artifacts the
+    // load skipped show up in persist.* metrics, not on stderr.
+    lll::Status st = server.LoadState(state_dir);
+    if (!st.ok()) {
+      std::fprintf(stderr, "state dir %s: %s\n", state_dir.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "lll_serverd: warm boot, %zu documents resident\n",
+                 server.DocumentNames().size());
   }
   if (port != 0) return ServeTcp(&server, port);
   Serve(&server, std::cin, std::cout);

@@ -11,6 +11,7 @@
 #include <string_view>
 #include <vector>
 
+#include "core/result.h"
 #include "core/status.h"
 #include "xml/name_table.h"
 
@@ -18,6 +19,7 @@ namespace lll::xml {
 
 class Document;
 class Node;
+struct DocumentStorageImage;
 
 enum class NodeKind {
   kDocument,
@@ -117,6 +119,8 @@ class Node {
    private:
     friend class Document;
     friend std::unique_ptr<Document> CloneDocument(const Document& source);
+    friend Result<std::unique_ptr<Document>> DocumentFromStorage(
+        const DocumentStorageImage& image);
     Key() = default;
   };
   Node(Key, Document* doc, uint32_t idx) : document_(doc), idx_(idx) {}
@@ -355,6 +359,9 @@ class Document {
   friend class Node;
   friend class NodeList;
   friend std::unique_ptr<Document> CloneDocument(const Document& source);
+  friend DocumentStorageImage ExportDocumentStorage(const Document& source);
+  friend Result<std::unique_ptr<Document>> DocumentFromStorage(
+      const DocumentStorageImage& image);
 
   // One contiguous range in child_pool_/attr_pool_. `cap` is the allocated
   // range size; count <= cap. The pointer targets pool chunk storage, which
@@ -520,6 +527,45 @@ inline NodeList Node::attributes() const {
 inline uint64_t Node::order_key() const {
   return document_->order_key_of(idx_);
 }
+
+// A flattened, position-independent image of one document's rooted tree:
+// plain vectors in node-index order with a LOCAL name table, suitable for
+// byte-for-byte persistence (src/persist). Produced by ExportDocumentStorage,
+// consumed by DocumentFromStorage. Name ids in `name` index `names` -- NOT
+// the process-wide NameTable, whose ids are only stable within one process --
+// and `names[0]` is always the empty string. Child/attribute lists are
+// concatenated in node-index order with per-node counts; `parent`, `pos`, and
+// `depth` are NOT carried (they are derived structure and are recomputed,
+// and validated, on import).
+struct DocumentStorageImage {
+  std::vector<uint8_t> kind;          // NodeKind per node
+  std::vector<uint32_t> name;         // local name id per node
+  std::vector<std::string> names;     // local name table; names[0] == ""
+  std::vector<uint32_t> value_len;    // value byte length per node
+  std::string values;                 // concatenated values, node-index order
+  std::vector<uint32_t> child_count;  // children per node
+  std::vector<uint32_t> children;     // concatenated child ids
+  std::vector<uint32_t> attr_count;   // attributes per node
+  std::vector<uint32_t> attrs;        // concatenated attribute ids
+
+  size_t node_count() const { return kind.size(); }
+};
+
+// Flattens `source`'s rooted tree into an image whose node-index order is
+// document order. A source with detached debris or an out-of-order mutation
+// history is cloned first (CloneDocument drops debris and renumbers into
+// preorder), so the image is always compact and in-order.
+DocumentStorageImage ExportDocumentStorage(const Document& source);
+
+// Rebuilds a Document from an image: arrays are populated directly (no XML
+// parse), local name ids are re-interned through the process NameTable, and
+// the result is on the index-is-order fast path. The image is validated
+// structurally before anything is built -- out-of-range node/name ids,
+// inconsistent counts, non-preorder list layouts, or kind violations (an
+// attribute in a child list, a second document node) all return
+// kInvalidArgument. Untrusted bytes go through this one gate.
+Result<std::unique_ptr<Document>> DocumentFromStorage(
+    const DocumentStorageImage& image);
 
 // Deep-copies the rooted tree of `source` into a fresh Document (detached
 // subtrees of the source arena are NOT carried over -- a clone is a clean

@@ -48,20 +48,29 @@ struct CompileOptions {
   OptimizerOptions optimizer;
 };
 
+// How a CompiledQuery came to exist in this process. kDiskCache marks a plan
+// deserialized from a persisted plan-cache artifact (src/persist): it never
+// went through Parse/Optimize here, and EXPLAIN reports it as `disk-cache`
+// so a fleet operator can tell warm boots from recompiles.
+enum class PlanOrigin { kCompiled, kDiskCache };
+
 class CompiledQuery {
  public:
-  CompiledQuery(Module module, OptimizerStats stats)
-      : module_(std::move(module)), optimizer_stats_(stats) {}
+  CompiledQuery(Module module, OptimizerStats stats,
+                PlanOrigin origin = PlanOrigin::kCompiled)
+      : module_(std::move(module)), optimizer_stats_(stats), origin_(origin) {}
 
   CompiledQuery(CompiledQuery&&) = default;
   CompiledQuery& operator=(CompiledQuery&&) = default;
 
   const Module& module() const { return module_; }
   const OptimizerStats& optimizer_stats() const { return optimizer_stats_; }
+  PlanOrigin origin() const { return origin_; }
 
  private:
   Module module_;
   OptimizerStats optimizer_stats_;
+  PlanOrigin origin_ = PlanOrigin::kCompiled;
 };
 
 struct ExecuteOptions {

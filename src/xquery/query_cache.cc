@@ -2,6 +2,15 @@
 
 namespace lll::xq {
 
+const char* CacheProvenanceName(CacheProvenance provenance) {
+  switch (provenance) {
+    case CacheProvenance::kCompiled: return "compiled";
+    case CacheProvenance::kMemoryCache: return "memory-cache";
+    case CacheProvenance::kDiskCache: return "disk-cache";
+  }
+  return "compiled";
+}
+
 std::string QueryCache::MakeKey(std::string_view source,
                                 const CompileOptions& options) {
   // Every switch that changes the compiled form is part of the key; two
@@ -20,13 +29,20 @@ std::string QueryCache::MakeKey(std::string_view source,
 }
 
 Result<std::shared_ptr<const CompiledQuery>> QueryCache::GetOrCompile(
-    std::string_view source, const CompileOptions& options, bool* cache_hit) {
+    std::string_view source, const CompileOptions& options, bool* cache_hit,
+    CacheProvenance* provenance) {
   std::string key = MakeKey(source, options);
   if (std::shared_ptr<const CompiledQuery> hit = cache_.Get(key)) {
     if (cache_hit != nullptr) *cache_hit = true;
+    if (provenance != nullptr) {
+      *provenance = hit->origin() == PlanOrigin::kDiskCache
+                        ? CacheProvenance::kDiskCache
+                        : CacheProvenance::kMemoryCache;
+    }
     return hit;
   }
   if (cache_hit != nullptr) *cache_hit = false;
+  if (provenance != nullptr) *provenance = CacheProvenance::kCompiled;
   // Compile outside the cache lock: concurrent misses of distinct queries
   // compile in parallel instead of serializing behind one another.
   LLL_ASSIGN_OR_RETURN(CompiledQuery compiled, Compile(source, options));

@@ -1,15 +1,27 @@
 #ifndef LLL_XQUERY_QUERY_CACHE_H_
 #define LLL_XQUERY_QUERY_CACHE_H_
 
+#include <atomic>
 #include <memory>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "core/lru_cache.h"
 #include "core/result.h"
 #include "xquery/engine.h"
 
 namespace lll::xq {
+
+// Where a GetOrCompile answer came from, for EXPLAIN and persist.* metrics:
+// freshly compiled, hit on a plan compiled earlier in this process, or hit
+// on a plan deserialized from a persisted artifact (which never paid parse +
+// optimize in this process at all).
+enum class CacheProvenance { kCompiled, kMemoryCache, kDiskCache };
+
+// Canonical EXPLAIN spelling: "compiled" / "memory-cache" / "disk-cache".
+const char* CacheProvenanceName(CacheProvenance provenance);
 
 // A thread-safe LRU cache of compiled queries, keyed on (query text,
 // CompileOptions). This is the "compile once, execute many" piece of the
@@ -35,10 +47,34 @@ class QueryCache {
   // inserting on miss. On a racing miss of the same key, both threads
   // compile and the later Put wins; both handles are equivalent and valid.
   // `cache_hit` (optional) reports the provenance of the returned handle,
-  // for EXPLAIN output.
+  // for EXPLAIN output; `provenance` (optional) refines it to the tri-state
+  // compiled / memory-cache / disk-cache distinction.
   Result<std::shared_ptr<const CompiledQuery>> GetOrCompile(
       std::string_view source, const CompileOptions& options = {},
-      bool* cache_hit = nullptr);
+      bool* cache_hit = nullptr, CacheProvenance* provenance = nullptr);
+
+  // Every entry, most- to least-recently used, as shared immutable handles
+  // -- the enumeration the persistence layer serializes to a plan-cache
+  // artifact (persist::SavePlanCache).
+  std::vector<std::pair<std::string, std::shared_ptr<const CompiledQuery>>>
+  Entries() const {
+    return cache_.Snapshot();
+  }
+
+  // Inserts a plan deserialized from a persisted artifact under its stored
+  // key (which MakeKey produced when it was saved) and marks the cache
+  // warmed. The plan should carry PlanOrigin::kDiskCache so later hits
+  // report disk-cache provenance.
+  void PutDeserialized(const std::string& key, CompiledQuery compiled) {
+    cache_.Put(key,
+               std::make_shared<const CompiledQuery>(std::move(compiled)));
+    warmed_.store(true, std::memory_order_relaxed);
+  }
+
+  // True once any persisted plan has been loaded into this cache. Callers
+  // use it to give persist.plan.misses its meaning: a compile in a warmed
+  // cache is a query the artifact did not cover.
+  bool warmed() const { return warmed_.load(std::memory_order_relaxed); }
 
   CacheStats stats() const { return cache_.stats(); }
 
@@ -57,6 +93,7 @@ class QueryCache {
 
  private:
   LruCache<CompiledQuery> cache_;
+  std::atomic<bool> warmed_{false};
 };
 
 }  // namespace lll::xq

@@ -327,12 +327,12 @@ TEST(Explain, CarriesSnapshotAndCacheProvenance) {
   auto cold = server.Explain("cat", "(//item)[1]");
   ASSERT_TRUE(cold.ok()) << cold.status().ToString();
   EXPECT_NE(cold->find("snapshot version 2"), std::string::npos);
-  EXPECT_NE(cold->find("server cache miss"), std::string::npos);
+  EXPECT_NE(cold->find("server plan: compiled"), std::string::npos);
   EXPECT_NE(cold->find("== plan =="), std::string::npos);
 
   auto warm = server.Explain("cat", "(//item)[1]");
   ASSERT_TRUE(warm.ok());
-  EXPECT_NE(warm->find("server cache hit"), std::string::npos);
+  EXPECT_NE(warm->find("server plan: memory-cache"), std::string::npos);
 }
 
 TEST(Submit, AsyncQueriesCompleteOnTheWorkerPool) {
