@@ -108,6 +108,9 @@ int main(int argc, char** argv) {
         lll::obs::ExplainOptions eo;
         eo.provenance =
             compile_options.optimize ? "repl, optimized" : "repl, unoptimized";
+        // With a context document loaded, [interned] steps render as
+        // [interned@vN] -- N being the document's current edit epoch.
+        eo.context_document = context_doc.get();
         std::printf("%s", lll::obs::Explain(*compiled, eo).c_str());
       }
       continue;

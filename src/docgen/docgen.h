@@ -115,6 +115,10 @@ struct DocGenStats {
   size_t nodeset_cache_hits = 0;
   size_t nodeset_cache_misses = 0;
   size_t nodeset_cache_invalidations = 0;
+  // Of the invalidations, how many were subtree-scoped (a guard on an
+  // interior anchor failed, not the whole tree): the fine-grained
+  // invalidation win an interactive edit-regenerate loop banks on.
+  size_t nodeset_cache_partial_invalidations = 0;
   // XQuery engine only: wall time per phase (microseconds), phases in run
   // order. Empty for the native engine (it has no phases).
   std::vector<uint64_t> phase_us;

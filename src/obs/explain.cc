@@ -42,6 +42,9 @@ std::string NodeTestText(const PathStep& step) {
 struct PlanPrinter {
   std::string out;
   size_t max_depth;
+  // Optional context document: [interned] renders as [interned@vN] with the
+  // document's current edit epoch (see ExplainOptions::context_document).
+  const xml::Document* context_doc = nullptr;
 
   void Line(size_t depth, const std::string& text) {
     out.append(2 * depth, ' ');
@@ -116,7 +119,12 @@ struct PlanPrinter {
           s += xq::IsReverseStreamableAxis(step.axis) ? " [streamed-rev]"
                                                       : " [streamed]";
         }
-        if (step.statically_internable) s += " [interned]";
+        if (step.statically_internable) {
+          s += context_doc == nullptr
+                   ? " [interned]"
+                   : " [interned@v" +
+                         std::to_string(context_doc->edit_epoch()) + "]";
+        }
         Line(depth + 1, s);
         for (const auto& pred : step.predicates) {
           Line(depth + 2, "predicate:");
@@ -156,12 +164,17 @@ struct PlanPrinter {
   }
 };
 
+std::string ExplainExprForDoc(const xq::Expr& expr, size_t max_depth,
+                              const xml::Document* context_doc) {
+  PlanPrinter printer{std::string(), max_depth, context_doc};
+  printer.Print(expr, 0);
+  return printer.out;
+}
+
 }  // namespace
 
 std::string ExplainExpr(const xq::Expr& expr, size_t max_depth) {
-  PlanPrinter printer{std::string(), max_depth};
-  printer.Print(expr, 0);
-  return printer.out;
+  return ExplainExprForDoc(expr, max_depth, nullptr);
 }
 
 std::string Explain(const xq::CompiledQuery& query,
@@ -175,14 +188,17 @@ std::string Explain(const xq::CompiledQuery& query,
   for (const auto& fn : module.functions) {
     out += "== function " + fn.name + "#" + std::to_string(fn.params.size()) +
            " ==\n";
-    out += ExplainExpr(*fn.body, options.max_depth);
+    out += ExplainExprForDoc(*fn.body, options.max_depth,
+                             options.context_document);
   }
   for (const auto& var : module.variables) {
     out += "== variable $" + var.name + " ==\n";
-    out += ExplainExpr(*var.expr, options.max_depth);
+    out += ExplainExprForDoc(*var.expr, options.max_depth,
+                             options.context_document);
   }
   out += "== plan ==\n";
-  out += ExplainExpr(*module.body, options.max_depth);
+  out += ExplainExprForDoc(*module.body, options.max_depth,
+                           options.context_document);
 
   out += "== rewrites ==\n";
   if (stats.notes.empty()) {

@@ -27,6 +27,12 @@ struct ExplainOptions {
   std::string provenance;
   // Cap on rendered plan depth; deeper subtrees elide to "...".
   size_t max_depth = 32;
+  // When set, [interned] annotations render as [interned@vN] with N = the
+  // document's current edit epoch (xml::Document::edit_epoch), tying the
+  // plan's interning provenance to the subtree-version state a cached entry
+  // would be validated against. Borrowed; callers with a context document in
+  // hand (the server's per-snapshot EXPLAIN, the REPL) pass it here.
+  const xml::Document* context_document = nullptr;
 };
 
 std::string Explain(const xq::CompiledQuery& query,

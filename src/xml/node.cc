@@ -142,6 +142,17 @@ void Node::set_value(std::string_view v) {
   doc->value_bytes_ += v.size();
   doc->value_bytes_ -= doc->value_[idx_].len;
   doc->value_[idx_] = doc->AddChars(v);
+  // Value edits never disturb document order (no structure-version bump),
+  // but they must dirty the subtree overlay: folded predicates and
+  // value-sensitive consumers key on it. An attribute's value counts as a
+  // local change of its OWNER element (a detached attribute has no owner
+  // yet; attaching it later bumps).
+  if (is_attribute()) {
+    uint32_t owner = doc->parent_[idx_];
+    if (owner != kNilNode) doc->BumpEditVersion(owner);
+  } else {
+    doc->BumpEditVersion(idx_);
+  }
 }
 
 Status Node::CheckAdoptable(const Node* child) const {
@@ -196,6 +207,7 @@ Status Node::RemoveChild(Node* child) {
   doc->parent_[child->idx_] = kNilNode;
   ++doc->unattached_;
   doc->InvalidateOrderIndex();
+  doc->BumpEditVersion(idx_);
   return Status::Ok();
 }
 
@@ -226,6 +238,7 @@ Status Node::ReplaceChild(Node* old_child,
     --doc->unattached_;
   }
   doc->InvalidateOrderIndex();
+  doc->BumpEditVersion(idx_);
   return Status::Ok();
 }
 
@@ -285,6 +298,7 @@ bool Node::RemoveAttribute(std::string_view name) {
       doc->parent_[a->idx_] = kNilNode;
       ++doc->unattached_;
       doc->InvalidateOrderIndex();
+      doc->BumpEditVersion(idx_);
       return true;
     }
   }
@@ -492,6 +506,7 @@ void Document::AttachChildAt(uint32_t parent, uint32_t child, uint32_t at) {
   parent_[child] = parent;
   --unattached_;
   InvalidateOrderIndex();
+  BumpEditVersion(parent);
 }
 
 void Document::AttachAttr(uint32_t owner, uint32_t attr) {
@@ -500,6 +515,7 @@ void Document::AttachAttr(uint32_t owner, uint32_t attr) {
   parent_[attr] = owner;
   --unattached_;
   InvalidateOrderIndex();
+  BumpEditVersion(owner);
 }
 
 void Document::DetachSlot(uint32_t idx) {
@@ -513,6 +529,29 @@ void Document::DetachSlot(uint32_t idx) {
   parent_[idx] = kNilNode;
   ++unattached_;
   InvalidateOrderIndex();
+  BumpEditVersion(p);
+}
+
+void Document::BumpEditVersion(uint32_t at) {
+  const uint64_t epoch = ++edit_epoch_;
+  if (subtree_ver_.empty() &&
+      !edit_versions_wanted_.load(std::memory_order_relaxed)) {
+    // Nobody has read a version yet: the whole overlay is logically the
+    // uniform epoch 0 and needs no arrays. Document builds (parser,
+    // ImportNode, clone) take this O(1) path for every attach.
+    return;
+  }
+  if (subtree_ver_.size() < kind_.size()) {
+    subtree_ver_.resize(kind_.size(), 0);
+    local_ver_.resize(kind_.size(), 0);
+    child_local_ver_.resize(kind_.size(), 0);
+  }
+  local_ver_[at] = epoch;
+  uint32_t parent = parent_[at];
+  if (parent != kNilNode) child_local_ver_[parent] = epoch;
+  for (uint32_t n = at; n != kNilNode; n = parent_[n]) {
+    subtree_ver_[n] = epoch;
+  }
 }
 
 // --- In-order build tracker -------------------------------------------------
@@ -769,6 +808,17 @@ std::unique_ptr<Document> CloneDocument(const Document& source) {
     // (the rooted one); its spine and the copied depths stay consistent.
     clone->index_is_order_ = true;
     clone->open_trees_ = source.open_trees_;
+    // The identity mapping carries the subtree edit-version overlay
+    // verbatim: the clone's per-subtree history IS the source's, which is
+    // what lets the server's publish path edit the private copy and have
+    // only the touched subtrees advance past the snapshot it cloned.
+    clone->edit_epoch_ = source.edit_epoch_;
+    clone->subtree_ver_ = source.subtree_ver_;
+    clone->local_ver_ = source.local_ver_;
+    clone->child_local_ver_ = source.child_local_ver_;
+    clone->edit_versions_wanted_.store(
+        source.edit_versions_wanted_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
     clone->InvalidateOrderIndex();
     return clone;
   }
@@ -860,6 +910,28 @@ std::unique_ptr<Document> CloneDocument(const Document& source) {
     main.spine.push_back(cur);
   }
   clone->open_trees_.push_back(std::move(main));
+  // Rebuild the subtree edit-version overlay under the renumbering: node d
+  // of the clone is node order[d] of the source, so its versions transfer
+  // slot-by-slot (indices past the source overlay's length read as 0, the
+  // uniform epoch, exactly as the accessors report them).
+  clone->edit_epoch_ = source.edit_epoch_;
+  clone->edit_versions_wanted_.store(
+      source.edit_versions_wanted_.load(std::memory_order_relaxed),
+      std::memory_order_relaxed);
+  if (!source.subtree_ver_.empty()) {
+    auto at_or_zero = [](const std::vector<uint64_t>& v, uint32_t i) {
+      return i < v.size() ? v[i] : uint64_t{0};
+    };
+    clone->subtree_ver_.resize(n);
+    clone->local_ver_.resize(n);
+    clone->child_local_ver_.resize(n);
+    for (uint32_t d = 0; d < n; ++d) {
+      clone->subtree_ver_[d] = at_or_zero(source.subtree_ver_, order[d]);
+      clone->local_ver_[d] = at_or_zero(source.local_ver_, order[d]);
+      clone->child_local_ver_[d] =
+          at_or_zero(source.child_local_ver_, order[d]);
+    }
+  }
   clone->InvalidateOrderIndex();
   return clone;
 }

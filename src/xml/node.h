@@ -355,6 +355,55 @@ class Document {
     return idx < order_key_.size() ? order_key_[idx] : 0;
   }
 
+  // --- Subtree edit-version overlay -----------------------------------------
+  //
+  // Three lazily-allocated per-node uint64 arrays that let caches scope
+  // invalidation to the part of the tree an edit actually touched (the
+  // node-set interning cache keys on these; see xq::NodeSetCache and
+  // DESIGN.md section 14). Every mutation primitive calls BumpEditVersion(at)
+  // with the node whose list/value changed, which advances `edit_epoch_` and
+  // stamps:
+  //
+  //   local_version_of(n)        n's own child list, attribute list, value,
+  //                              or one of n's attributes' values changed
+  //   child_local_version_of(n)  some DIRECT child of n had a local change
+  //                              (covers "a sibling's @id flipped" without
+  //                              touching the parent's own list)
+  //   subtree_version_of(n)      anything changed anywhere under n -- bumped
+  //                              along the whole ancestor chain, O(depth)
+  //
+  // Empty arrays mean "uniform epoch 0": a freshly parsed, cloned, or
+  // snapshot-loaded document reports version 0 everywhere and is immediately
+  // internable. The arrays are only materialized by the first mutation AFTER
+  // some reader has asked for a version (the `edit_versions_wanted_` flag),
+  // so document builds -- thousands of attaches, nobody caching yet -- pay
+  // one counter increment per mutation instead of an O(depth) stamp walk.
+  // That is sound: versions recorded before materialization are all 0, the
+  // materializing edit stamps its ancestor chain with a strictly positive
+  // epoch, and untouched nodes keep reporting 0.
+  //
+  // Thread safety: the read accessors never allocate (missing overlay reads
+  // as 0) and the wanted-flag is an atomic, so any number of readers may
+  // validate versions concurrently. Mutating concurrently with readers is
+  // NOT safe -- the same contract as the tree itself.
+  uint64_t edit_epoch() const { return edit_epoch_; }
+  // Declares the document's CURRENT state to be the edit-history origin:
+  // epoch 0, no edits yet. Builders call this at finalization so a parsed
+  // document and a snapshot-loaded one report identical histories (the
+  // cross-process EXPLAIN oracle diffs `[interned@v<epoch>]` renderings).
+  // Only legal while the overlay is unmaterialized -- i.e. before any
+  // version was observed AND edited -- so recorded guard versions can
+  // never outrun a rebased epoch; a no-op once arrays exist.
+  void ResetEditEpoch() {
+    if (subtree_ver_.empty() && local_ver_.empty() &&
+        child_local_ver_.empty()) {
+      edit_epoch_ = 0;
+    }
+  }
+  inline uint64_t subtree_version_of(uint32_t idx) const;
+  inline uint64_t local_version_of(uint32_t idx) const;
+  inline uint64_t child_local_version_of(uint32_t idx) const;
+
  private:
   friend class Node;
   friend class NodeList;
@@ -420,6 +469,12 @@ class Document {
   void AttachChildAt(uint32_t parent, uint32_t child, uint32_t at);
   void AttachAttr(uint32_t owner, uint32_t attr);
   void DetachSlot(uint32_t idx);
+
+  // Advances the edit epoch and stamps the version overlay for a mutation
+  // whose list/value change is anchored at node `at` (see the overlay
+  // comment above). Callers pass the node whose OWN state changed: the
+  // parent for child-list edits, the owner for attribute edits.
+  void BumpEditVersion(uint32_t at);
 
   // --- In-order build tracker ----------------------------------------------
   //
@@ -488,6 +543,15 @@ class Document {
   mutable std::atomic<uint64_t> order_index_version_{0};
   mutable std::mutex order_index_mutex_;
   mutable std::vector<uint64_t> order_key_;  // slow path only
+
+  // Subtree edit-version overlay (see the public accessors above). Arrays
+  // stay empty -- "uniform epoch 0" -- until a mutation happens after some
+  // reader has set `edit_versions_wanted_`.
+  uint64_t edit_epoch_ = 0;
+  mutable std::atomic<bool> edit_versions_wanted_{false};
+  std::vector<uint64_t> subtree_ver_;
+  std::vector<uint64_t> local_ver_;
+  std::vector<uint64_t> child_local_ver_;
 };
 
 inline Node* NodeList::operator[](size_t i) const {
@@ -526,6 +590,19 @@ inline NodeList Node::attributes() const {
 }
 inline uint64_t Node::order_key() const {
   return document_->order_key_of(idx_);
+}
+
+inline uint64_t Document::subtree_version_of(uint32_t idx) const {
+  edit_versions_wanted_.store(true, std::memory_order_relaxed);
+  return idx < subtree_ver_.size() ? subtree_ver_[idx] : 0;
+}
+inline uint64_t Document::local_version_of(uint32_t idx) const {
+  edit_versions_wanted_.store(true, std::memory_order_relaxed);
+  return idx < local_ver_.size() ? local_ver_[idx] : 0;
+}
+inline uint64_t Document::child_local_version_of(uint32_t idx) const {
+  edit_versions_wanted_.store(true, std::memory_order_relaxed);
+  return idx < child_local_ver_.size() ? child_local_ver_[idx] : 0;
 }
 
 // A flattened, position-independent image of one document's rooted tree:

@@ -38,6 +38,9 @@ class Parser {
     // Squeeze pool slack: a freshly parsed document is read-mostly, and no
     // NodeList views escape the parser.
     doc_->CompactStorage();
+    // A finished parse is edit-history origin: epoch 0, same as a snapshot
+    // load, so warm- and cold-booted documents report identical histories.
+    doc_->ResetEditEpoch();
     return doc;
   }
 

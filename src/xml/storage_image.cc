@@ -268,6 +268,10 @@ Result<std::unique_ptr<Document>> DocumentFromStorage(
     main.spine.push_back(cur);
   }
   doc->open_trees_.push_back(std::move(main));
+  // Subtree edit-version overlay: deliberately left empty, which IS the
+  // uniform epoch 0 -- a snapshot-loaded document reports version 0 for
+  // every node, so the node-set interning cache can start stamping entries
+  // immediately and the first post-boot edit dirties only its own subtree.
   doc->InvalidateOrderIndex();
   return doc;
 }

@@ -88,6 +88,12 @@ Result<QueryResult> Execute(const CompiledQuery& query,
         .Increment(stats.nodeset_cache_misses);
     options.metrics->counter("xq.eval.nodeset_cache_invalidations")
         .Increment(stats.nodeset_cache_invalidations);
+    options.metrics->counter("xq.eval.nodeset_cache_partial_invalidations")
+        .Increment(stats.nodeset_cache_partial_invalidations);
+    // Workload-facing alias: the incremental-regeneration dashboards watch
+    // the partial/full invalidation split under the xq.nodeset prefix.
+    options.metrics->counter("xq.nodeset.partial_invalidations")
+        .Increment(stats.nodeset_cache_partial_invalidations);
     if (!value.ok()) options.metrics->counter("xq.errors").Increment();
   }
   if (!value.ok()) {

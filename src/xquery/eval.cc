@@ -8,6 +8,7 @@
 
 #include "core/string_util.h"
 #include "xquery/nodeset_cache.h"
+#include "xquery/optimizer.h"
 #include "obs/profiler.h"
 #include "obs/trace_sink.h"
 #include "xdm/compare.h"
@@ -1011,14 +1012,17 @@ Result<size_t> Evaluator::InternPrefix(const Expr& e, Sequence* current) {
   // cannot make raw pointers into a freed arena safe to hand out.
   if (base->document() == ctx_->construction_arena()) return 0;
 
-  // The internable prefix: leading predicate-free axis steps. Predicates are
-  // excluded because their evaluation can depend on the dynamic context
-  // (variables, trace side effects), while axis steps + node tests are pure
-  // functions of the tree.
+  // The internable prefix: leading axis steps that are pure functions of
+  // the tree. Predicate-free steps qualify outright; steps whose predicates
+  // are all intern-foldable (no position()/last()/variables/effects, only
+  // downward reads -- see optimizer.h) qualify too, with the predicates'
+  // canonical text folded into the fingerprint so `model[@id="a"]` and
+  // `model[@id="b"]` intern separately.
   size_t prefix = 0;
   std::string fingerprint;
   for (const PathStep& step : e.steps) {
-    if (step.is_filter || !step.predicates.empty()) break;
+    if (step.is_filter) break;
+    if (!step.predicates.empty() && !StepPredicatesFoldable(step)) break;
     fingerprint += AxisName(step.axis);
     fingerprint += "::";
     switch (step.test.kind) {
@@ -1041,6 +1045,11 @@ Result<size_t> Evaluator::InternPrefix(const Expr& e, Sequence* current) {
         fingerprint += "node()";
         break;
     }
+    for (const ExprPtr& p : step.predicates) {
+      fingerprint += '[';
+      fingerprint += ExprToString(*p);
+      fingerprint += ']';
+    }
     fingerprint += "/";
     ++prefix;
   }
@@ -1055,23 +1064,174 @@ Result<size_t> Evaluator::InternPrefix(const Expr& e, Sequence* current) {
     *current = hit->nodes;  // copy of a normalized sequence; bit carries over
     return prefix;
   }
-  if (outcome == NodeSetCache::Outcome::kStale) {
+  if (outcome == NodeSetCache::Outcome::kStale ||
+      outcome == NodeSetCache::Outcome::kStalePartial) {
+    // A failed version guard, not a cold key: count it as an invalidation
+    // (and, when the entry was scoped below the document, as a partial one
+    // -- the subtree guards confined the damage to this chain).
     ++stats_.nodeset_cache_invalidations;
+    if (outcome == NodeSetCache::Outcome::kStalePartial) {
+      ++stats_.nodeset_cache_partial_invalidations;
+    }
   } else {
     ++stats_.nodeset_cache_misses;
   }
 
-  // Read the version BEFORE computing, so an entry can only ever be stamped
-  // too old (a harmless re-miss), never too new.
-  uint64_t version = doc->structure_version();
+  // Read the guard versions BEFORE computing, so an entry can only ever be
+  // stamped too old (a harmless re-miss), never too new.
+  std::vector<CachedNodeSet::Guard> guards;
+  bool subtree_scoped = false;
+  ComputeInternGuards(e, prefix, base, &guards, &subtree_scoped);
   LLL_ASSIGN_OR_RETURN(
       Sequence computed,
       EvalStepsRange(e, 0, prefix, std::move(*current), kNoLimit));
   if (computed.empty() || SingleDocumentOf(computed) == doc) {
-    cache->Put(key, doc->doc_id(), version, computed);
+    cache->Put(key, doc->doc_id(), std::move(guards), subtree_scoped,
+               computed);
   }
   *current = std::move(computed);
   return prefix;
+}
+
+bool Evaluator::StepPredicatesFoldable(const PathStep& step) const {
+  auto is_user = [this](const std::string& name, size_t arity) {
+    return functions_.count({name, arity}) != 0;
+  };
+  for (const ExprPtr& p : step.predicates) {
+    if (p == nullptr || !InternFoldablePredicate(*p, is_user)) return false;
+  }
+  return true;
+}
+
+bool Evaluator::StepPredicatesAttributeOnly(const PathStep& step) const {
+  auto is_user = [this](const std::string& name, size_t arity) {
+    return functions_.count({name, arity}) != 0;
+  };
+  for (const ExprPtr& p : step.predicates) {
+    if (p == nullptr || !InternAttributeOnlyPredicate(*p, is_user)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void Evaluator::ComputeInternGuards(const Expr& e, size_t prefix,
+                                    xml::Node* base,
+                                    std::vector<CachedNodeSet::Guard>* guards,
+                                    bool* subtree_scoped) {
+  using Guard = CachedNodeSet::Guard;
+  using GuardKind = CachedNodeSet::GuardKind;
+  constexpr size_t kMaxGuards = 16;
+  auto push = [guards](const xml::Node* n, GuardKind kind) {
+    guards->push_back(NodeSetCache::GuardFor(n, kind));
+  };
+
+  // A non-downward axis anywhere in the prefix (parent/ancestor/siblings)
+  // can read outside any subtree scope the descent below would establish;
+  // one whole-tree guard on the base covers everything such a chain sees.
+  // (This is also today's whole-document behavior, now expressed as the
+  // coarsest point of the guard lattice.)
+  for (size_t i = 0; i < prefix; ++i) {
+    switch (e.steps[i].axis) {
+      case Axis::kChild:
+      case Axis::kAttribute:
+      case Axis::kDescendant:
+      case Axis::kDescendantOrSelf:
+      case Axis::kSelf:
+        continue;
+      default:
+        push(base, GuardKind::kSubtree);
+        *subtree_scoped = false;
+        return;
+    }
+  }
+
+  // Descend from the base through steps that provably resolve to a single
+  // element, pinning each level with the narrowest guard that dominates it:
+  //
+  //   child::name (no predicates)  the selection depends only on ctx's own
+  //                                child list              -> {ctx, kLocal}
+  //   child::name[attr-only preds] ...plus the candidates' attribute state
+  //                       -> {ctx, kLocal} + {ctx, kLocalChildren}
+  //
+  // and stop with a whole-subtree guard at the first step that fans out,
+  // matches nothing, or reads deeper than attributes. Every intermediate
+  // singleton also stays pinned, so moving or renaming any node on the
+  // resolved path invalidates the chain through its parent's kLocal guard.
+  xml::Node* ctx = base;
+  for (size_t i = 0; i < prefix; ++i) {
+    const PathStep& step = e.steps[i];
+    const bool last = i + 1 == prefix;
+    if (guards->size() + 2 > kMaxGuards) {
+      push(ctx, GuardKind::kSubtree);
+      break;
+    }
+    if (step.axis == Axis::kChild && step.test.kind == NodeTestKind::kName &&
+        step.predicates.empty()) {
+      push(ctx, GuardKind::kLocal);
+      if (last) break;
+      xml::Node* match = nullptr;
+      bool unique = true;
+      for (xml::Node* c : ctx->children()) {
+        if (c->is_element() && c->name() == step.test.name) {
+          if (match != nullptr) {
+            unique = false;
+            break;
+          }
+          match = c;
+        }
+      }
+      if (unique && match != nullptr) {
+        ctx = match;
+        continue;
+      }
+      push(ctx, GuardKind::kSubtree);
+      break;
+    }
+    if (step.axis == Axis::kChild && step.test.kind == NodeTestKind::kName &&
+        !step.predicates.empty() && StepPredicatesAttributeOnly(step)) {
+      push(ctx, GuardKind::kLocal);
+      push(ctx, GuardKind::kLocalChildren);
+      if (last) break;
+      // Resolve through the predicate with the real evaluator so the
+      // singleton decision matches evaluation semantics exactly; shield the
+      // main evaluation's stats, focus, and profile from the probe (it must
+      // be invisible -- a guard-quality refinement, not an evaluation).
+      EvalStats saved_stats = stats_;
+      Focus saved_focus = focus_;
+      obs::Profiler* saved_profiler = profiler_;
+      profiler_ = nullptr;
+      Result<Sequence> selected =
+          EvalStep(step, Sequence(Item::NodeRef(ctx)));
+      profiler_ = saved_profiler;
+      stats_ = saved_stats;
+      focus_ = saved_focus;
+      if (selected.ok() && selected->size() == 1 &&
+          selected->at(0).is_node() && selected->at(0).node()->is_element()) {
+        ctx = selected->at(0).node();
+        continue;
+      }
+      push(ctx, GuardKind::kSubtree);
+      break;
+    }
+    if (step.axis == Axis::kAttribute && step.predicates.empty() && last) {
+      // An attribute set depends only on the owner's own attribute state.
+      push(ctx, GuardKind::kLocal);
+      break;
+    }
+    // descendant/self steps, wildcards, folded general predicates: the
+    // result can depend on anything beneath ctx.
+    push(ctx, GuardKind::kSubtree);
+    break;
+  }
+
+  *subtree_scoped = false;
+  for (const Guard& g : *guards) {
+    if (g.node != base->index()) {
+      *subtree_scoped = true;
+      break;
+    }
+  }
 }
 
 Result<Sequence> Evaluator::EvalStepsRange(const Expr& e, size_t first,

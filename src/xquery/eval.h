@@ -13,6 +13,7 @@
 #include "xdm/sequence.h"
 #include "xml/node.h"
 #include "xquery/ast.h"
+#include "xquery/nodeset_cache.h"
 
 namespace lll::obs {
 class Profiler;
@@ -22,7 +23,6 @@ class TraceSink;
 namespace lll::xq {
 
 class Evaluator;
-class NodeSetCache;
 
 // Options for one evaluation. The two "galax_" switches reproduce the
 // behaviors of the Galax prototype the paper debugged against (see DESIGN.md
@@ -69,11 +69,14 @@ struct EvalOptions {
   // differential baseline and benchmark arm (bench_e13/e14), mirroring
   // order_tracking.
   bool streaming = true;
-  // Node-set interning: memoizes the leading predicate-free step chain of
-  // document-rooted paths as (document, step-chain fingerprint) -> Sequence,
-  // invalidated by the document's structure-version counter. Borrowed; must
-  // outlive the evaluation AND be scoped to the documents' owner (cached
-  // sequences hold raw Node pointers). nullptr = no interning.
+  // Node-set interning: memoizes the leading step chain of document-rooted
+  // paths (predicate-free steps plus steps whose predicates are provably
+  // pure functions of the tree, folded into the fingerprint) as (document
+  // identity, step-chain fingerprint) -> Sequence, invalidated by the
+  // document's per-node subtree edit-version overlay -- an edit evicts only
+  // entries whose dependency chain it dirtied. Borrowed; must outlive the
+  // evaluation AND be scoped to the documents' owner (cached sequences hold
+  // raw Node pointers). nullptr = no interning.
   NodeSetCache* nodeset_cache = nullptr;
   // Per-expression profiling (obs/profiler.h): attribute wall time, eval
   // counts, and result sizes to AST nodes. Off = one null-pointer test per
@@ -116,11 +119,14 @@ struct EvalStats {
   // fn:subsequence, positional-for shapes; see Expr::limit_hint).
   size_t limit_pushdowns = 0;
   // Node-set interning cache traffic attributable to this evaluation. An
-  // invalidation is a lookup that found an entry stamped with a stale
-  // document structure version.
+  // invalidation is a lookup that found an entry with a failed subtree
+  // version guard (stale edit history, not a cold key); the partial counter
+  // is the subset whose entry was subtree-scoped -- i.e. the finer-than-
+  // whole-document guards earned their keep by surviving unrelated edits.
   size_t nodeset_cache_hits = 0;
   size_t nodeset_cache_misses = 0;
   size_t nodeset_cache_invalidations = 0;
+  size_t nodeset_cache_partial_invalidations = 0;
 };
 
 // A builtin function: receives evaluated arguments.
@@ -283,11 +289,26 @@ class Evaluator {
   void ChargeSkipped(size_t n) {
     if (!suppress_skip_charges_) stats_.nodes_skipped_early_exit += n;
   }
-  // Consults / fills the node-set interning cache for the leading
-  // predicate-free step chain of a document-rooted path. On success returns
-  // the number of steps consumed and replaces *current with the (shared)
-  // prefix result; returns 0 when interning does not apply.
+  // Consults / fills the node-set interning cache for the leading internable
+  // step chain (predicate-free steps, plus steps whose predicates fold into
+  // the fingerprint) of a document-rooted path. On success returns the
+  // number of steps consumed and replaces *current with the (shared) prefix
+  // result; returns 0 when interning does not apply.
   Result<size_t> InternPrefix(const Expr& e, xdm::Sequence* current);
+  // True if every predicate of `step` is intern-foldable (optimizer.h's
+  // InternFoldablePredicate, resolved against this evaluator's user-function
+  // table); the AttributeOnly variant additionally requires the attribute-
+  // only class the guard descent may resolve through.
+  bool StepPredicatesFoldable(const PathStep& step) const;
+  bool StepPredicatesAttributeOnly(const PathStep& step) const;
+  // Builds the subtree version guard set for an intern entry: descends from
+  // `base` through prefix steps that resolve to singleton elements,
+  // recording the narrowest overlay guards that dominate the chain, and
+  // falls back to a whole-subtree guard at the first step it cannot scope
+  // (DESIGN.md section 14). Best-effort: never fails, only widens.
+  void ComputeInternGuards(const Expr& e, size_t prefix, xml::Node* base,
+                           std::vector<CachedNodeSet::Guard>* guards,
+                           bool* subtree_scoped);
   Result<xdm::Sequence> EvalStep(const PathStep& step,
                                  const xdm::Sequence& input);
   // Normalizes `seq` to document order without duplicates, skipping the sort

@@ -5,11 +5,38 @@
 
 namespace lll::xq {
 
+namespace {
+
+uint64_t CurrentVersion(const xml::Document* doc,
+                        const CachedNodeSet::Guard& g) {
+  switch (g.kind) {
+    case CachedNodeSet::GuardKind::kLocal:
+      return doc->local_version_of(g.node);
+    case CachedNodeSet::GuardKind::kLocalChildren:
+      return doc->child_local_version_of(g.node);
+    case CachedNodeSet::GuardKind::kSubtree:
+      return doc->subtree_version_of(g.node);
+  }
+  return 0;
+}
+
+}  // namespace
+
 std::string NodeSetCache::MakeKey(const xml::Node* base,
                                   const std::string& fingerprint) {
-  char buf[32];
-  std::snprintf(buf, sizeof(buf), "%p|", static_cast<const void*>(base));
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64 "@%" PRIu32 "|",
+                base->document()->doc_id(), base->index());
   return std::string(buf) + fingerprint;
+}
+
+CachedNodeSet::Guard NodeSetCache::GuardFor(const xml::Node* n,
+                                            CachedNodeSet::GuardKind kind) {
+  CachedNodeSet::Guard g;
+  g.node = n->index();
+  g.kind = kind;
+  g.version = CurrentVersion(n->document(), {n->index(), kind, 0});
+  return g;
 }
 
 std::shared_ptr<const CachedNodeSet> NodeSetCache::Get(
@@ -20,10 +47,24 @@ std::shared_ptr<const CachedNodeSet> NodeSetCache::Get(
     if (outcome != nullptr) *outcome = Outcome::kMiss;
     return nullptr;
   }
-  if (entry->doc_id != doc->doc_id() ||
-      entry->structure_version != doc->structure_version()) {
+  bool stale = entry->doc_id != doc->doc_id();
+  if (!stale) {
+    for (const CachedNodeSet::Guard& g : entry->guards) {
+      if (CurrentVersion(doc, g) != g.version) {
+        stale = true;
+        break;
+      }
+    }
+  }
+  if (stale) {
+    // A failed guard is an invalidation, not a plain miss: the caller DID
+    // intern this chain before, and the edit history is what evicted it.
     invalidations_.fetch_add(1, std::memory_order_relaxed);
-    if (outcome != nullptr) *outcome = Outcome::kStale;
+    const bool partial = entry->subtree_scoped;
+    if (partial) partial_invalidations_.fetch_add(1, std::memory_order_relaxed);
+    if (outcome != nullptr) {
+      *outcome = partial ? Outcome::kStalePartial : Outcome::kStale;
+    }
     return nullptr;
   }
   hits_.fetch_add(1, std::memory_order_relaxed);
@@ -32,12 +73,24 @@ std::shared_ptr<const CachedNodeSet> NodeSetCache::Get(
 }
 
 void NodeSetCache::Put(const std::string& key, uint64_t doc_id,
-                       uint64_t version, xdm::Sequence nodes) {
+                       std::vector<CachedNodeSet::Guard> guards,
+                       bool subtree_scoped, xdm::Sequence nodes) {
   auto entry = std::make_shared<CachedNodeSet>();
   entry->doc_id = doc_id;
-  entry->structure_version = version;
+  entry->guards = std::move(guards);
+  entry->subtree_scoped = subtree_scoped;
   entry->nodes = std::move(nodes);
   cache_.Put(key, std::move(entry));
+}
+
+size_t NodeSetCache::RetainDocuments(const std::vector<uint64_t>& doc_ids) {
+  return cache_.EraseIf([&doc_ids](const std::string&,
+                                   const CachedNodeSet& entry) {
+    for (uint64_t id : doc_ids) {
+      if (entry.doc_id == id) return false;
+    }
+    return true;
+  });
 }
 
 void NodeSetCache::ExportTo(MetricsRegistry* metrics,
@@ -46,6 +99,8 @@ void NodeSetCache::ExportTo(MetricsRegistry* metrics,
   metrics->gauge(prefix + ".misses").Set(static_cast<int64_t>(misses()));
   metrics->gauge(prefix + ".invalidations")
       .Set(static_cast<int64_t>(invalidations()));
+  metrics->gauge(prefix + ".partial_invalidations")
+      .Set(static_cast<int64_t>(partial_invalidations()));
   metrics->gauge(prefix + ".size").Set(static_cast<int64_t>(size()));
 }
 

@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "core/lru_cache.h"
 #include "core/metrics.h"
@@ -14,43 +15,79 @@
 namespace lll::xq {
 
 // One interned node set: the materialized, normalized (document order, no
-// duplicates) result of a predicate-free step chain from one document node,
-// stamped with the identity (doc_id) and structure version of the owning
-// document at computation time. The stamps -- not the key -- carry both, so
-// a lookup that finds an entry from a since-mutated document is observable
-// as an invalidation instead of a plain miss, and stale entries cannot pile
-// up under distinct keys. The doc_id stamp guards against address reuse:
-// the key embeds the base node's address, and a later Document allocated at
-// a recycled address (same pointer, possibly same structure_version) must
-// not validate an entry whose Sequence points into the freed arena.
+// duplicates) result of a step chain from one document node, stamped with
+// the identity (doc_id) of the owning document and a set of subtree version
+// GUARDS read from the document's edit-version overlay at computation time
+// (xml::Document::subtree_version_of and friends; DESIGN.md section 14).
+//
+// A guard pins one node of the dependency chain the entry was computed
+// through: the entry is valid iff EVERY guard's recorded version still
+// matches the document. The three guard kinds mirror the overlay --
+//
+//   kLocal          the node's own child/attribute list and value (and its
+//                   attributes' values) are unchanged: guards "the children
+//                   of N named x are still these"
+//   kLocalChildren  no DIRECT child of the node had a local change: guards
+//                   attribute-only predicates over the node's children
+//                   ("no sibling's @id flipped")
+//   kSubtree        nothing changed anywhere under the node: the coarse
+//                   guard for everything deeper analysis cannot scope
+//
+// so an entry anchored under /library/models/model[@id="m7"] survives edits
+// to every other model subtree -- that is the whole point: one edit no
+// longer evicts the cache wholesale.
+//
+// The doc_id stamp guards against identity reuse: the key embeds the base
+// node's doc_id + index, and an entry from a dead document must never
+// validate against a new one -- doc_ids are process-unique and never reused,
+// unlike addresses.
 struct CachedNodeSet {
+  enum class GuardKind : uint8_t { kLocal, kLocalChildren, kSubtree };
+  struct Guard {
+    uint32_t node = 0;  // node index within the owning document's arena
+    GuardKind kind = GuardKind::kSubtree;
+    uint64_t version = 0;  // overlay version recorded at computation time
+  };
+
   uint64_t doc_id = 0;
-  uint64_t structure_version = 0;
+  std::vector<Guard> guards;
+  // True if some guard is anchored strictly below the base node, i.e. the
+  // entry's validity is scoped to a subtree rather than the whole tree.
+  // Distinguishes partial from full invalidations in the stats.
+  bool subtree_scoped = false;
   xdm::Sequence nodes;
 };
 
 // A thread-safe interning cache for document-rooted node sets, keyed on
-// (base document node, step-chain fingerprint) and invalidated by the
-// document's atomic structure-version counter (the same counter that
-// invalidates the order-key index -- any structural mutation bumps it).
+// (document identity, base node, step-chain fingerprint) and invalidated by
+// the document's per-node subtree edit-version overlay: a lookup revalidates
+// every guard of the entry against the document's current versions, so an
+// edit invalidates exactly the entries whose dependency chain it dirtied.
 //
 // Ownership contract: cached Sequences hold raw xml::Node pointers into the
 // documents they were computed from. A NodeSetCache must therefore be scoped
 // to the owner of those documents and destroyed (or Clear()ed) no later than
 // them -- e.g. a member of awbql::XQueryBackend next to its model/metamodel
-// snapshots, or a local spanning one docgen generation. It must never be a
-// process-wide singleton.
+// snapshots, or a docgen session spanning generations of one model. It must
+// never be a process-wide singleton. (Entries for dead documents are inert
+// -- the doc_id in key and stamp can never match a live document -- but
+// their Sequences still point into freed arenas, so the cache itself must
+// not outlive its documents. RetainDocuments purges such entries.)
 //
 // Concurrency: Get/Put are safe from any number of threads (the underlying
 // LruCache serializes bookkeeping; values are shared immutable handles), and
-// the version check reads an atomic. Mutating a document concurrently with
-// evaluations over it is NOT safe -- the same contract as the tree itself.
+// guard validation reads the overlay through accessors that never allocate.
+// Mutating a document concurrently with evaluations over it is NOT safe --
+// the same contract as the tree itself.
 //
 // Stats: the LruCache's own CacheStats would count a stale hit as a hit, so
 // this class keeps its own hit/miss/invalidation counters (relaxed atomics).
+// An invalidation is a lookup that found an entry with a failed guard;
+// `partial` counts the subset whose entry was subtree-scoped (a finer-than-
+// whole-document guard did its job), `invalidations` counts all of them.
 class NodeSetCache {
  public:
-  enum class Outcome { kHit, kMiss, kStale };
+  enum class Outcome { kHit, kMiss, kStale, kStalePartial };
 
   // capacity 0 = passthrough (every lookup misses, nothing stored).
   explicit NodeSetCache(size_t capacity = 128) : cache_(capacity) {}
@@ -59,30 +96,45 @@ class NodeSetCache {
   NodeSetCache& operator=(const NodeSetCache&) = delete;
 
   // Returns the entry for `key` iff it was computed from this very `doc`
-  // (doc_id match -- an entry from a dead document whose address was
-  // recycled reports as stale) at `doc`'s current structure version;
-  // nullptr on miss or staleness. `outcome` (optional) distinguishes the
-  // two.
+  // (doc_id match) and every guard still matches the document's current
+  // overlay versions; nullptr on miss or staleness. `outcome` (optional)
+  // distinguishes miss / full stale / subtree-scoped stale.
   std::shared_ptr<const CachedNodeSet> Get(const xml::Document* doc,
                                            const std::string& key,
                                            Outcome* outcome = nullptr);
 
-  // Stores the node set computed from the document identified by `doc_id`
-  // at `version` (read the document's structure_version() BEFORE
-  // computing). Overwrites stale entries.
-  void Put(const std::string& key, uint64_t doc_id, uint64_t version,
+  // Stores the node set computed from the document identified by `doc_id`,
+  // with its guard versions read from the overlay BEFORE computing (so an
+  // entry can only ever be stamped too old -- a harmless re-miss -- never
+  // too new). Overwrites stale entries.
+  void Put(const std::string& key, uint64_t doc_id,
+           std::vector<CachedNodeSet::Guard> guards, bool subtree_scoped,
            xdm::Sequence nodes);
 
-  // The key for a step chain hanging off `base`: the base node's identity
-  // (distinct document nodes in one arena intern separately) plus the
-  // caller-built chain fingerprint.
+  // The key for a step chain hanging off `base`: the owning document's
+  // process-unique id plus the base node's index (distinct document nodes in
+  // one arena intern separately, and entries from dead documents can never
+  // collide with live ones) plus the caller-built chain fingerprint.
   static std::string MakeKey(const xml::Node* base,
                              const std::string& fingerprint);
+
+  // A guard of the given kind over `n`, stamped with the CURRENT overlay
+  // version -- the building block callers assemble dependency chains from.
+  static CachedNodeSet::Guard GuardFor(const xml::Node* n,
+                                       CachedNodeSet::GuardKind kind);
+
+  // Drops every entry whose document is not in `doc_ids`. Cross-generation
+  // sessions call this to shed entries for per-generation scratch documents
+  // whose arenas are about to die.
+  size_t RetainDocuments(const std::vector<uint64_t>& doc_ids);
 
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   uint64_t invalidations() const {
     return invalidations_.load(std::memory_order_relaxed);
+  }
+  uint64_t partial_invalidations() const {
+    return partial_invalidations_.load(std::memory_order_relaxed);
   }
 
   size_t capacity() const { return cache_.capacity(); }
@@ -99,6 +151,7 @@ class NodeSetCache {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> invalidations_{0};
+  std::atomic<uint64_t> partial_invalidations_{0};
 };
 
 }  // namespace lll::xq

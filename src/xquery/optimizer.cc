@@ -697,7 +697,23 @@ struct OrderAnalyzer {
           }
         }
       }
-      internable = internable && step.predicates.empty();
+      // Predicate-free steps intern outright; steps whose predicates are
+      // all intern-foldable (pure functions of the tree, folded into the
+      // fingerprint) keep the chain going too.
+      if (!step.predicates.empty()) {
+        auto is_user = [this](const std::string& name, size_t arity) {
+          for (const FunctionDecl& fn : module.functions) {
+            if (fn.name == name && fn.params.size() == arity) return true;
+          }
+          return false;
+        };
+        for (const ExprPtr& p : step.predicates) {
+          if (!InternFoldablePredicate(*p, is_user)) {
+            internable = false;
+            break;
+          }
+        }
+      }
       step.statically_internable = internable;
       prop = TransferOrder(prop, step.axis);
       step.statically_ordered = prop != OrderProp::kNone;
@@ -761,6 +777,219 @@ OptimizerStats Optimize(Module* module, const OptimizerOptions& options) {
     AnalyzeOrderNoted(module->body.get(), *module, &rewriter.stats);
   }
   return rewriter.stats;
+}
+
+// --- Node-set intern predicate folding --------------------------------------
+
+namespace {
+
+// Pure value builtins a foldable predicate may call: functions of their
+// arguments and the context ITEM only -- nothing that observes position(),
+// last(), variables, the dynamic context, or has effects. Note the absence
+// of position/last (focus-dependent), trace/error (trace-parity rule),
+// doc/collection (reach outside the candidate subtree), and generate-id
+// (identity-dependent across documents).
+bool IsInternFoldableBuiltin(const std::string& stripped) {
+  static const char* const kAllowed[] = {
+      "abs",        "avg",           "boolean",          "ceiling",
+      "concat",     "contains",      "count",            "data",
+      "empty",      "ends-with",     "exists",           "false",
+      "floor",      "local-name",    "lower-case",       "max",
+      "min",        "name",          "normalize-space",  "not",
+      "number",     "round",         "starts-with",      "string",
+      "string-join", "string-length", "substring",
+      "substring-after", "substring-before", "sum", "translate",
+      "true",       "upper-case",
+  };
+  for (const char* name : kAllowed) {
+    if (stripped == name) return true;
+  }
+  return false;
+}
+
+// The boolean-valued builtins among the above, acceptable as a predicate's
+// TOP-LEVEL expression. The distinction matters because XPath predicate
+// semantics treat a numeric predicate value as a position test: folding
+// `[count(c)]` would freeze a position-dependent selection, while
+// `[exists(c)]` is a pure tree function.
+bool IsInternBooleanBuiltin(const std::string& stripped) {
+  return stripped == "not" || stripped == "exists" || stripped == "empty" ||
+         stripped == "boolean" || stripped == "contains" ||
+         stripped == "starts-with" || stripped == "ends-with" ||
+         stripped == "true" || stripped == "false";
+}
+
+struct FoldScanner {
+  const UserFunctionLookup& is_user_function;
+  // Attribute-only mode: every path must be a single attribute-axis step.
+  bool attr_only = false;
+
+  bool UserOrUnknown(const Expr& e) const {
+    std::string stripped = e.name;
+    if (StartsWith(stripped, "fn:")) stripped = stripped.substr(3);
+    size_t arity = e.children.size();
+    if (is_user_function != nullptr &&
+        (is_user_function(e.name, arity) ||
+         is_user_function(stripped, arity))) {
+      return true;
+    }
+    return !IsBuiltinName(stripped);
+  }
+
+  static std::string Stripped(const Expr& e) {
+    std::string stripped = e.name;
+    if (StartsWith(stripped, "fn:")) stripped = stripped.substr(3);
+    return stripped;
+  }
+
+  bool FoldablePath(const Expr& e) const {
+    if (e.rooted || e.has_base) return false;  // must start at the candidate
+    if (e.steps.empty()) return false;
+    if (attr_only) {
+      if (e.steps.size() != 1) return false;
+      const PathStep& s = e.steps[0];
+      return !s.is_filter && s.axis == Axis::kAttribute &&
+             s.predicates.empty() &&
+             (s.test.kind == NodeTestKind::kName ||
+              s.test.kind == NodeTestKind::kAnyName);
+    }
+    for (const PathStep& s : e.steps) {
+      if (s.is_filter) return false;
+      switch (s.axis) {
+        case Axis::kChild:
+        case Axis::kAttribute:
+        case Axis::kDescendant:
+        case Axis::kDescendantOrSelf:
+        case Axis::kSelf:
+          break;  // downward: stays inside the candidate's subtree
+        default:
+          return false;  // parent/ancestor/sibling escape the subtree
+      }
+      for (const ExprPtr& p : s.predicates) {
+        // Nested predicates get their own focus; integer-literal position
+        // picks and foldable boolean shapes are both pure tree functions.
+        if (p->kind == ExprKind::kLiteral &&
+            p->literal_type == Expr::LiteralType::kInteger) {
+          continue;
+        }
+        if (!FoldableBool(*p)) return false;
+      }
+    }
+    return true;
+  }
+
+  bool FoldableBool(const Expr& e) const {
+    switch (e.kind) {
+      case ExprKind::kBinary:
+        switch (e.op) {
+          case BinOp::kAnd:
+          case BinOp::kOr:
+            return FoldableBool(*e.children[0]) && FoldableBool(*e.children[1]);
+          case BinOp::kGenEq:
+          case BinOp::kGenNe:
+          case BinOp::kGenLt:
+          case BinOp::kGenLe:
+          case BinOp::kGenGt:
+          case BinOp::kGenGe:
+          case BinOp::kValEq:
+          case BinOp::kValNe:
+          case BinOp::kValLt:
+          case BinOp::kValLe:
+          case BinOp::kValGt:
+          case BinOp::kValGe:
+          case BinOp::kIs:
+            return FoldableValue(*e.children[0]) &&
+                   FoldableValue(*e.children[1]);
+          default:
+            return false;  // arithmetic/union/range: value, maybe numeric
+        }
+      case ExprKind::kFunctionCall: {
+        if (UserOrUnknown(e)) return false;
+        if (!IsInternBooleanBuiltin(Stripped(e))) return false;
+        for (const ExprPtr& c : e.children) {
+          if (!FoldableValue(*c)) return false;
+        }
+        return true;
+      }
+      case ExprKind::kPath:
+        // A node path's effective boolean value is "any nodes?" -- node
+        // sequences are never mistaken for position tests.
+        return FoldablePath(e);
+      default:
+        return false;
+    }
+  }
+
+  bool FoldableValue(const Expr& e) const {
+    switch (e.kind) {
+      case ExprKind::kLiteral:
+      case ExprKind::kTextLiteral:
+      case ExprKind::kEmptySequence:
+      case ExprKind::kContextItem:
+        return true;
+      case ExprKind::kSequence: {
+        for (const ExprPtr& c : e.children) {
+          if (!FoldableValue(*c)) return false;
+        }
+        return true;
+      }
+      case ExprKind::kPath:
+        return FoldablePath(e);
+      case ExprKind::kBinary:
+        switch (e.op) {
+          case BinOp::kAnd:
+          case BinOp::kOr:
+            return FoldableBool(e);
+          case BinOp::kAdd:
+          case BinOp::kSub:
+          case BinOp::kMul:
+          case BinOp::kDiv:
+          case BinOp::kIdiv:
+          case BinOp::kMod:
+          case BinOp::kUnion:
+          case BinOp::kIntersect:
+          case BinOp::kExcept:
+          case BinOp::kTo:
+            return FoldableValue(*e.children[0]) &&
+                   FoldableValue(*e.children[1]);
+          default:
+            // Comparisons are boolean-valued, fine as subexpressions too.
+            return FoldableBool(e);
+        }
+      case ExprKind::kUnary:
+        return FoldableValue(*e.children[0]);
+      case ExprKind::kIf:
+        return FoldableValue(*e.children[0]) &&
+               FoldableValue(*e.children[1]) && FoldableValue(*e.children[2]);
+      case ExprKind::kFunctionCall: {
+        if (UserOrUnknown(e)) return false;
+        if (!IsInternFoldableBuiltin(Stripped(e))) return false;
+        for (const ExprPtr& c : e.children) {
+          if (!FoldableValue(*c)) return false;
+        }
+        return true;
+      }
+      default:
+        // Variables (dynamic environment), FLWOR/quantified (bindings),
+        // constructors (fresh node identities per evaluation), casts kept
+        // out until needed: all unfoldable.
+        return false;
+    }
+  }
+};
+
+}  // namespace
+
+bool InternFoldablePredicate(const Expr& pred,
+                             const UserFunctionLookup& is_user_function) {
+  FoldScanner scanner{is_user_function, /*attr_only=*/false};
+  return scanner.FoldableBool(pred);
+}
+
+bool InternAttributeOnlyPredicate(const Expr& pred,
+                                  const UserFunctionLookup& is_user_function) {
+  FoldScanner scanner{is_user_function, /*attr_only=*/true};
+  return scanner.FoldableBool(pred);
 }
 
 }  // namespace lll::xq

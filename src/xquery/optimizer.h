@@ -1,6 +1,7 @@
 #ifndef LLL_XQUERY_OPTIMIZER_H_
 #define LLL_XQUERY_OPTIMIZER_H_
 
+#include <functional>
 #include <string>
 #include <vector>
 
@@ -93,6 +94,42 @@ size_t CountTraceCalls(const Expr& e);
 // everything else starts at kNone and the evaluator's dynamic tracking picks
 // up the slack at run time.
 OrderProp AnalyzeOrder(Expr* e, const Module& module, size_t* annotated);
+
+// --- Node-set intern predicate folding --------------------------------------
+//
+// Resolver for "is (name, arity) a user-defined function in scope?". The
+// optimizer answers it from Module::functions, the evaluator from its
+// runtime registry; sharing the analysis through this hook keeps the static
+// [interned] annotation and the dynamic interning decision from drifting.
+using UserFunctionLookup =
+    std::function<bool(const std::string& name, size_t arity)>;
+
+// True if `pred` may be folded into a node-set intern fingerprint: its value
+// for a given candidate node is a pure function of the tree alone. That
+// requires all of (DESIGN.md section 14):
+//
+//   - provably boolean-valued at the top level (comparisons, and/or,
+//     not/exists/empty/boolean calls) or a node-path shape whose effective
+//     boolean value is "any nodes?" -- NEVER a possibly-numeric expression,
+//     which XPath predicate semantics would turn into a position test;
+//   - no position()/last()/variables/dynamic context: the whitelisted
+//     builtins are pure functions of their arguments and the context ITEM;
+//   - no observable effects (fn:trace/fn:error -- the trace-parity rule) and
+//     no user-defined or unknown functions, which may hide either;
+//   - only downward-reading subexpressions: relative non-rooted paths over
+//     child/attribute/descendant(-or-self)/self axes, so everything the
+//     predicate can see lies beneath the candidate and is covered by the
+//     entry's subtree guards.
+bool InternFoldablePredicate(const Expr& pred,
+                             const UserFunctionLookup& is_user_function);
+
+// True if `pred` is additionally an ATTRIBUTE-ONLY foldable predicate: every
+// path subexpression is a single attribute-axis step (e.g. `[@id = "x"]`
+// and and/or combinations). This is the class the cache may resolve through
+// when anchoring guards below a step -- the candidates' attribute state is
+// exactly what a kLocalChildren guard on their parent watches.
+bool InternAttributeOnlyPredicate(const Expr& pred,
+                                  const UserFunctionLookup& is_user_function);
 
 }  // namespace lll::xq
 

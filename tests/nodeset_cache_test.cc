@@ -1,13 +1,17 @@
 // Tests for the versioned node-set interning cache: unit behavior of
-// NodeSetCache itself, end-to-end interning through the evaluator,
-// invalidation under document mutation, and a shared-cache concurrency test
-// (run under ThreadSanitizer via the "concurrency" ctest label).
+// NodeSetCache itself (guard validation against the document's subtree
+// edit-version overlay), end-to-end interning through the evaluator,
+// subtree-scoped invalidation under document mutation, foldable-predicate
+// interning, and shared-cache concurrency tests (run under ThreadSanitizer
+// via the "concurrency" ctest label).
 
+#include <random>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "gtest/gtest.h"
+#include "test_util.h"
 #include "xml/parser.h"
 #include "xquery/engine.h"
 #include "xquery/nodeset_cache.h"
@@ -15,9 +19,20 @@
 namespace lll {
 namespace {
 
+using Guard = xq::CachedNodeSet::Guard;
+using GuardKind = xq::CachedNodeSet::GuardKind;
+
 constexpr char kDoc[] =
     "<lib><shelf><book id=\"1\"/><book id=\"2\"/></shelf>"
     "<shelf><book id=\"3\"/></shelf></lib>";
+
+// The anchored-subtree workload shape: singleton chains down to per-model
+// subtrees, distinguishable by @id.
+constexpr char kLibrary[] =
+    "<library><models>"
+    "<model id=\"m1\"><parts><part n=\"1\"/><part n=\"2\"/></parts></model>"
+    "<model id=\"m2\"><parts><part n=\"3\"/></parts></model>"
+    "</models></library>";
 
 TEST(NodeSetCache, HitMissAndStaleOutcomes) {
   auto doc = xml::Parse(kDoc, {.strip_insignificant_whitespace = true});
@@ -31,25 +46,113 @@ TEST(NodeSetCache, HitMissAndStaleOutcomes) {
   EXPECT_EQ(outcome, xq::NodeSetCache::Outcome::kMiss);
   EXPECT_EQ(cache.misses(), 1u);
 
-  uint64_t version = d->structure_version();
+  // A whole-tree entry: one subtree guard on the base (root) node.
+  std::vector<Guard> guards = {
+      xq::NodeSetCache::GuardFor(d->root(), GuardKind::kSubtree)};
   xdm::Sequence nodes(xdm::Item::NodeRef(d->DocumentElement()));
-  cache.Put(key, d->doc_id(), version, std::move(nodes));
+  cache.Put(key, d->doc_id(), guards, /*subtree_scoped=*/false,
+            std::move(nodes));
 
   auto entry = cache.Get(d, key, &outcome);
   ASSERT_NE(entry, nullptr);
   EXPECT_EQ(outcome, xq::NodeSetCache::Outcome::kHit);
-  EXPECT_EQ(entry->structure_version, version);
   EXPECT_EQ(entry->nodes.size(), 1u);
+  EXPECT_FALSE(entry->subtree_scoped);
   EXPECT_EQ(cache.hits(), 1u);
 
-  // Mutate the document: the entry is still stored, but the version stamp
-  // no longer matches, so the lookup reports a (countable) invalidation.
+  // Mutate the document: the entry is still stored, but the root's subtree
+  // version moved past the guard stamp, so the lookup reports a (countable)
+  // full invalidation.
   ASSERT_TRUE(
       d->DocumentElement()->AppendChild(d->CreateElement("shelf")).ok());
-  EXPECT_GT(d->structure_version(), version);
   EXPECT_EQ(cache.Get(d, key, &outcome), nullptr);
   EXPECT_EQ(outcome, xq::NodeSetCache::Outcome::kStale);
   EXPECT_EQ(cache.invalidations(), 1u);
+  EXPECT_EQ(cache.partial_invalidations(), 0u);
+}
+
+TEST(NodeSetCache, SubtreeGuardScopesInvalidation) {
+  auto doc = xml::Parse(kDoc, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(doc.ok());
+  xml::Document* d = doc->get();
+  xml::Node* lib = d->DocumentElement();
+  xml::Node* shelf1 = lib->children()[0];
+  xml::Node* shelf2 = lib->children()[1];
+
+  // An entry anchored under shelf1: guards say "lib's child list is
+  // unchanged, and nothing under shelf1 changed" -- the shape the evaluator
+  // records for /lib/shelf[1]-style anchored chains.
+  xq::NodeSetCache cache(8);
+  std::string key = xq::NodeSetCache::MakeKey(d->root(), "anchored-shelf1");
+  std::vector<Guard> guards = {
+      xq::NodeSetCache::GuardFor(lib, GuardKind::kLocal),
+      xq::NodeSetCache::GuardFor(shelf1, GuardKind::kSubtree)};
+  cache.Put(key, d->doc_id(), guards, /*subtree_scoped=*/true,
+            xdm::Sequence(xdm::Item::NodeRef(shelf1->children()[0])));
+
+  // An edit in the OTHER shelf's subtree leaves every guard intact.
+  xq::NodeSetCache::Outcome outcome;
+  ASSERT_TRUE(shelf2->AppendChild(d->CreateElement("book")).ok());
+  EXPECT_NE(cache.Get(d, key, &outcome), nullptr);
+  EXPECT_EQ(outcome, xq::NodeSetCache::Outcome::kHit);
+  EXPECT_EQ(cache.invalidations(), 0u);
+
+  // An edit under shelf1 fails the subtree guard -- and because the entry
+  // was subtree-scoped, it counts as a PARTIAL invalidation.
+  ASSERT_TRUE(shelf1->AppendChild(d->CreateElement("book")).ok());
+  EXPECT_EQ(cache.Get(d, key, &outcome), nullptr);
+  EXPECT_EQ(outcome, xq::NodeSetCache::Outcome::kStalePartial);
+  EXPECT_EQ(cache.invalidations(), 1u);
+  EXPECT_EQ(cache.partial_invalidations(), 1u);
+}
+
+TEST(NodeSetCache, LocalChildrenGuardCatchesSiblingAttributeFlip) {
+  auto doc = xml::Parse(kLibrary, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(doc.ok());
+  xml::Document* d = doc->get();
+  xml::Node* models = d->DocumentElement()->children()[0];
+  xml::Node* m2 = models->children()[1];
+
+  // The guard pair the evaluator records when it descends through an
+  // attribute-only predicate (model[@id="m1"]): the parent's own child list
+  // AND no direct child's local state (its @id) may change.
+  xq::NodeSetCache cache(8);
+  std::string key = xq::NodeSetCache::MakeKey(d->root(), "model-by-id");
+  std::vector<Guard> guards = {
+      xq::NodeSetCache::GuardFor(models, GuardKind::kLocal),
+      xq::NodeSetCache::GuardFor(models, GuardKind::kLocalChildren)};
+  cache.Put(key, d->doc_id(), guards, /*subtree_scoped=*/true,
+            xdm::Sequence(xdm::Item::NodeRef(models->children()[0])));
+
+  // Deep edits inside a model do NOT touch models' child-local version.
+  xml::Node* m2_parts = m2->children()[0];
+  ASSERT_TRUE(m2_parts->AppendChild(d->CreateElement("part")).ok());
+  xq::NodeSetCache::Outcome outcome;
+  EXPECT_NE(cache.Get(d, key, &outcome), nullptr);
+  EXPECT_EQ(outcome, xq::NodeSetCache::Outcome::kHit);
+
+  // Flipping a SIBLING model's @id fails the kLocalChildren guard: the
+  // predicate's selection could now be different.
+  m2->SetAttribute("id", "m1");
+  EXPECT_EQ(cache.Get(d, key, &outcome), nullptr);
+  EXPECT_EQ(outcome, xq::NodeSetCache::Outcome::kStalePartial);
+  EXPECT_EQ(cache.partial_invalidations(), 1u);
+}
+
+TEST(NodeSetCache, GuardForStampsCurrentVersion) {
+  auto doc = xml::Parse(kDoc, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(doc.ok());
+  xml::Document* d = doc->get();
+  xml::Node* lib = d->DocumentElement();
+
+  Guard before = xq::NodeSetCache::GuardFor(lib, GuardKind::kSubtree);
+  EXPECT_EQ(before.node, lib->index());
+  EXPECT_EQ(before.kind, GuardKind::kSubtree);
+  EXPECT_EQ(before.version, d->subtree_version_of(lib->index()));
+
+  ASSERT_TRUE(lib->AppendChild(d->CreateElement("shelf")).ok());
+  Guard after = xq::NodeSetCache::GuardFor(lib, GuardKind::kSubtree);
+  EXPECT_NE(after.version, before.version);
 }
 
 TEST(NodeSetCache, ZeroCapacityIsPassthrough) {
@@ -58,29 +161,31 @@ TEST(NodeSetCache, ZeroCapacityIsPassthrough) {
   xml::Document* d = doc->get();
   xq::NodeSetCache cache(0);
   std::string key = xq::NodeSetCache::MakeKey(d->root(), "x");
-  cache.Put(key, d->doc_id(), d->structure_version(), xdm::Sequence());
+  cache.Put(key, d->doc_id(),
+            {xq::NodeSetCache::GuardFor(d->root(), GuardKind::kSubtree)},
+            false, xdm::Sequence());
   EXPECT_EQ(cache.Get(d, key), nullptr);
   EXPECT_EQ(cache.hits(), 0u);
 }
 
 TEST(NodeSetCache, ForeignDocIdReportsStaleNotHit) {
   // An entry stamped with another document's id must never validate, even
-  // when the structure versions happen to agree. This is the guard against
-  // allocator address reuse: the key embeds the base node's address, so a
-  // new Document at a recycled address could otherwise serve a dead
-  // document's pointers.
+  // when the overlay versions happen to agree. This is the guard against
+  // allocator address reuse: the key embeds the base node's doc_id + index,
+  // so a new Document reusing an id-free key scheme could otherwise serve a
+  // dead document's pointers.
   auto doc1 = xml::Parse(kDoc, {.strip_insignificant_whitespace = true});
   auto doc2 = xml::Parse(kDoc, {.strip_insignificant_whitespace = true});
   ASSERT_TRUE(doc1.ok() && doc2.ok());
   xml::Document* d1 = doc1->get();
   xml::Document* d2 = doc2->get();
   ASSERT_NE(d1->doc_id(), d2->doc_id());
-  ASSERT_EQ(d1->structure_version(), d2->structure_version());
 
   xq::NodeSetCache cache(8);
   std::string key = "recycled|child::lib/";
-  cache.Put(key, d1->doc_id(), d1->structure_version(),
-            xdm::Sequence(xdm::Item::NodeRef(d1->DocumentElement())));
+  cache.Put(key, d1->doc_id(),
+            {xq::NodeSetCache::GuardFor(d1->root(), GuardKind::kSubtree)},
+            false, xdm::Sequence(xdm::Item::NodeRef(d1->DocumentElement())));
 
   xq::NodeSetCache::Outcome outcome;
   EXPECT_NE(cache.Get(d1, key, &outcome), nullptr);
@@ -96,6 +201,37 @@ TEST(NodeSetCache, DistinctBaseNodesInternSeparately) {
   ASSERT_TRUE(doc1.ok() && doc2.ok());
   EXPECT_NE(xq::NodeSetCache::MakeKey((*doc1)->root(), "child::lib/"),
             xq::NodeSetCache::MakeKey((*doc2)->root(), "child::lib/"));
+}
+
+TEST(NodeSetCache, RetainDocumentsDropsForeignEntries) {
+  auto doc1 = xml::Parse(kDoc, {.strip_insignificant_whitespace = true});
+  auto doc2 = xml::Parse(kDoc, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(doc1.ok() && doc2.ok());
+  xml::Document* d1 = doc1->get();
+  xml::Document* d2 = doc2->get();
+
+  xq::NodeSetCache cache(8);
+  auto put = [&cache](xml::Document* d, const std::string& fp) {
+    cache.Put(xq::NodeSetCache::MakeKey(d->root(), fp), d->doc_id(),
+              {xq::NodeSetCache::GuardFor(d->root(), GuardKind::kSubtree)},
+              false, xdm::Sequence(xdm::Item::NodeRef(d->DocumentElement())));
+  };
+  put(d1, "a");
+  put(d1, "b");
+  put(d2, "a");
+  ASSERT_EQ(cache.size(), 3u);
+
+  // Keep only d1: the d2 entry (about to lose its arena in the session
+  // pattern) is purged; d1's survive and still hit.
+  EXPECT_EQ(cache.RetainDocuments({d1->doc_id()}), 1u);
+  EXPECT_EQ(cache.size(), 2u);
+  xq::NodeSetCache::Outcome outcome;
+  EXPECT_NE(
+      cache.Get(d1, xq::NodeSetCache::MakeKey(d1->root(), "a"), &outcome),
+      nullptr);
+  EXPECT_EQ(outcome, xq::NodeSetCache::Outcome::kHit);
+  EXPECT_EQ(cache.Get(d2, xq::NodeSetCache::MakeKey(d2->root(), "a")),
+            nullptr);
 }
 
 // End-to-end: repeated evaluations of the same rooted, predicate-free step
@@ -167,13 +303,87 @@ TEST(NodeSetCacheIntegration, MutationInvalidatesAndRecomputes) {
   EXPECT_GT(r3->stats.nodeset_cache_hits, 0u);
 }
 
+TEST(NodeSetCacheIntegration, FoldedPredicateChainsIntern) {
+  // Step chains with pure, focus-independent predicates now intern: the
+  // predicate text folds into the fingerprint. Before predicate folding,
+  // model[@id=...] chains bypassed the cache entirely.
+  auto doc = xml::Parse(kLibrary, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(doc.ok());
+  xq::NodeSetCache cache;
+  auto query = xq::Compile("/library/models/model[@id = \"m1\"]/parts/part");
+  ASSERT_TRUE(query.ok());
+  xq::ExecuteOptions opts;
+  opts.context_node = (*doc)->root();
+  opts.eval.nodeset_cache = &cache;
+
+  auto r1 = xq::Execute(*query, opts);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(r1->sequence.size(), 2u);
+  EXPECT_GT(r1->stats.nodeset_cache_misses, 0u);
+
+  auto r2 = xq::Execute(*query, opts);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_GT(r2->stats.nodeset_cache_hits, 0u);
+  EXPECT_EQ(r2->SerializedItems(), r1->SerializedItems());
+
+  // A different predicate value is a different fingerprint, not a hit on
+  // (or collision with) the m1 entry.
+  auto other = xq::Compile("/library/models/model[@id = \"m2\"]/parts/part");
+  ASSERT_TRUE(other.ok());
+  auto r3 = xq::Execute(*other, opts);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(r3->sequence.size(), 1u);
+  EXPECT_GT(r3->stats.nodeset_cache_misses, 0u);
+}
+
+TEST(NodeSetCacheIntegration, EditOutsideAnchoredSubtreeKeepsEntries) {
+  // The tentpole behavior: an anchored chain's cached result survives edits
+  // to unrelated subtrees, and an edit inside its own anchor invalidates it
+  // as a PARTIAL (subtree-scoped) invalidation.
+  auto doc = xml::Parse(kLibrary, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(doc.ok());
+  xml::Document* d = doc->get();
+  xq::NodeSetCache cache;
+  auto query = xq::Compile("/library/models/model[@id = \"m1\"]/parts/part");
+  ASSERT_TRUE(query.ok());
+  xq::ExecuteOptions opts;
+  opts.context_node = d->root();
+  opts.eval.nodeset_cache = &cache;
+
+  auto cold = xq::Execute(*query, opts);
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(cold->sequence.size(), 2u);
+
+  // Edit model m2's subtree: m1's cached chain must still be served.
+  xml::Node* models = d->DocumentElement()->children()[0];
+  xml::Node* m2_parts = models->children()[1]->children()[0];
+  ASSERT_TRUE(m2_parts->AppendChild(d->CreateElement("part")).ok());
+
+  auto warm = xq::Execute(*query, opts);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_EQ(warm->SerializedItems(), cold->SerializedItems());
+  EXPECT_GT(warm->stats.nodeset_cache_hits, 0u);
+  EXPECT_EQ(warm->stats.nodeset_cache_invalidations, 0u);
+
+  // Edit m1's own subtree: the entry goes stale, and the stats call it a
+  // partial (subtree-scoped) invalidation, not a whole-document one.
+  xml::Node* m1_parts = models->children()[0]->children()[0];
+  ASSERT_TRUE(m1_parts->AppendChild(d->CreateElement("part")).ok());
+
+  auto after = xq::Execute(*query, opts);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->sequence.size(), 3u);
+  EXPECT_GT(after->stats.nodeset_cache_invalidations, 0u);
+  EXPECT_GT(after->stats.nodeset_cache_partial_invalidations, 0u);
+}
+
 TEST(NodeSetCacheIntegration, ConstructedDocumentsAreNotInterned) {
   // Regression: a session-scoped cache outlives each query's construction
   // arena (QueryResult.arena is per-query). Interning a set rooted at an
   // arena document would leave raw pointers into a freed arena behind; a
   // re-run whose identically-built arena lands at the recycled address
-  // (same structure_version) would then be served garbage. Arena-rooted
-  // paths must bypass the cache entirely.
+  // would then be served garbage. Arena-rooted paths must bypass the cache
+  // entirely.
   xq::NodeSetCache cache;
   auto query = xq::Compile("let $d := document { <a><b/></a> } return $d/a");
   ASSERT_TRUE(query.ok());
@@ -211,6 +421,53 @@ TEST(NodeSetCacheIntegration, LimitedProbesAreNotInterned) {
   auto f = xq::Execute(*full, opts);
   ASSERT_TRUE(f.ok());
   EXPECT_EQ(f->SerializedItems(), "3");
+}
+
+// The mutate-between-runs differential: grow a random document, run the
+// shared 440-query path workload with a persistent cache, apply a random
+// edit, and re-run -- every cached evaluation must agree byte-for-byte with
+// a fresh, cache-free one after every edit. 8 seeds.
+TEST(NodeSetCacheIntegration, DifferentialMutateBetweenRuns) {
+  for (uint32_t seed = 1; seed <= 8; ++seed) {
+    std::mt19937 rng(20260807 + seed);
+    std::string xml = testing::RandomPathWorkloadDocument(&rng);
+    auto doc = xml::Parse(xml, {.strip_insignificant_whitespace = true});
+    ASSERT_TRUE(doc.ok()) << "seed " << seed;
+    std::vector<std::string> query_texts =
+        testing::RandomPathWorkloadQueries(&rng, 40);
+
+    std::vector<xq::CompiledQuery> queries;
+    for (const std::string& q : query_texts) {
+      auto compiled = xq::Compile(q);
+      ASSERT_TRUE(compiled.ok()) << q;
+      queries.push_back(std::move(*compiled));
+    }
+
+    xq::NodeSetCache cache(64);
+    for (int round = 0; round < 4; ++round) {
+      std::string edit;
+      if (round > 0) edit = testing::ApplyRandomEdit(doc->get(), &rng);
+      for (size_t i = 0; i < queries.size(); ++i) {
+        xq::ExecuteOptions cached_opts;
+        cached_opts.context_node = (*doc)->root();
+        cached_opts.eval.nodeset_cache = &cache;
+        auto cached = xq::Execute(queries[i], cached_opts);
+
+        xq::ExecuteOptions fresh_opts;
+        fresh_opts.context_node = (*doc)->root();
+        auto fresh = xq::Execute(queries[i], fresh_opts);
+
+        ASSERT_EQ(cached.ok(), fresh.ok())
+            << "seed " << seed << " round " << round << " query "
+            << query_texts[i] << " edit: " << edit;
+        if (!cached.ok()) continue;
+        EXPECT_EQ(cached->SerializedItems(), fresh->SerializedItems())
+            << "seed " << seed << " round " << round << " query "
+            << query_texts[i] << " edit: " << edit;
+        if (::testing::Test::HasFailure()) return;
+      }
+    }
+  }
 }
 
 // Many threads evaluating through ONE shared cache over ONE read-only
@@ -253,6 +510,67 @@ TEST(NodeSetCacheConcurrency, SharedCacheParallelEvaluations) {
   for (int t = 0; t < kThreads; ++t) EXPECT_EQ(failures[t], 0) << t;
   // Everyone after the first computation should have hit.
   EXPECT_GT(cache.hits(), 0u);
+}
+
+// Mutate-between-PHASES under threads: parallel readers share one cache
+// over one document; between phases (all readers joined), the main thread
+// applies a random edit. TSan audits that guard validation against the
+// overlay is race-free with concurrent Get/Put, and every phase's results
+// stay byte-identical to a fresh evaluation after the edit.
+TEST(NodeSetCacheConcurrency, MutateBetweenParallelPhases) {
+  std::mt19937 rng(20260807);
+  std::string xml = testing::RandomPathWorkloadDocument(&rng);
+  auto doc = xml::Parse(xml, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(doc.ok());
+
+  const char* query_texts[] = {"count(//a)", "count(//b/c)", "//d[@k]",
+                               "count(//*[@k = \"1\"])"};
+  std::vector<xq::CompiledQuery> queries;
+  for (const char* q : query_texts) {
+    auto compiled = xq::Compile(q);
+    ASSERT_TRUE(compiled.ok()) << q;
+    queries.push_back(std::move(*compiled));
+  }
+
+  xq::NodeSetCache cache(32);
+  constexpr int kThreads = 4;
+  constexpr int kPhases = 6;
+  for (int phase = 0; phase < kPhases; ++phase) {
+    if (phase > 0) {
+      testing::ApplyRandomEdit(doc->get(), &rng);
+      // Rebuild the order index before readers come back: lazy index
+      // (re)builds are not part of the read-only contract.
+      (*doc)->EnsureOrderIndex();
+    }
+    // Fresh reference results for this phase, computed without the cache.
+    std::vector<std::string> want;
+    for (auto& q : queries) {
+      xq::ExecuteOptions opts;
+      opts.context_node = (*doc)->root();
+      auto r = xq::Execute(q, opts);
+      ASSERT_TRUE(r.ok());
+      want.push_back(r->SerializedItems());
+    }
+
+    std::vector<std::thread> threads;
+    std::vector<int> failures(kThreads, 0);
+    for (int t = 0; t < kThreads; ++t) {
+      threads.emplace_back([&, t] {
+        for (int i = 0; i < 10; ++i) {
+          size_t qi = static_cast<size_t>(t + i) % queries.size();
+          xq::ExecuteOptions opts;
+          opts.context_node = (*doc)->root();
+          opts.eval.nodeset_cache = &cache;
+          auto r = xq::Execute(queries[qi], opts);
+          if (!r.ok() || r->SerializedItems() != want[qi]) ++failures[t];
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    for (int t = 0; t < kThreads; ++t) {
+      EXPECT_EQ(failures[t], 0) << "phase " << phase << " thread " << t;
+    }
+  }
 }
 
 }  // namespace

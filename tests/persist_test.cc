@@ -347,6 +347,61 @@ TEST(PersistSnapshots, RoundtripIsByteIdentical) {
   }
 }
 
+TEST(PersistSnapshots, WarmBootEditInvalidatesOnlyTheEditedSubtree) {
+  // Warm boot: a *.llld-loaded document starts with a uniform epoch-0
+  // edit-version overlay, so its step chains intern immediately; a
+  // subsequent edit invalidates exactly the entries anchored in the edited
+  // subtree, everything else keeps hitting.
+  constexpr char kModels[] =
+      "<library><models>"
+      "<model id=\"m1\"><parts><part/><part/></parts></model>"
+      "<model id=\"m2\"><parts><part/></parts></model>"
+      "</models></library>";
+  auto fresh = xml::Parse(kModels, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(fresh.ok());
+  const std::string image =
+      persist::SerializeDocumentSnapshot(**fresh, "models");
+  auto loaded = persist::LoadDocumentSnapshotFromBytes(image);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  xml::Document* doc = loaded->document.get();
+
+  xq::NodeSetCache cache;
+  xq::ExecuteOptions opts;
+  opts.context_node = doc->root();
+  opts.eval.nodeset_cache = &cache;
+  auto m1 = xq::Compile("/library/models/model[@id = \"m1\"]/parts/part");
+  auto m2 = xq::Compile("/library/models/model[@id = \"m2\"]/parts/part");
+  ASSERT_TRUE(m1.ok() && m2.ok());
+
+  // Cold then warm on the freshly loaded arena: interning works from the
+  // first post-boot query, no edit required to "prime" versions.
+  auto cold1 = xq::Execute(*m1, opts);
+  auto cold2 = xq::Execute(*m2, opts);
+  ASSERT_TRUE(cold1.ok() && cold2.ok());
+  auto warm1 = xq::Execute(*m1, opts);
+  ASSERT_TRUE(warm1.ok());
+  EXPECT_GT(warm1->stats.nodeset_cache_hits, 0u);
+
+  // Edit m2's subtree, then re-run both chains: m1 still hits with zero
+  // invalidations; m2 re-misses as a subtree-scoped (partial) invalidation
+  // and returns the post-edit answer.
+  xml::Node* models = doc->DocumentElement()->children()[0];
+  xml::Node* m2_parts = models->children()[1]->children()[0];
+  ASSERT_TRUE(m2_parts->AppendChild(doc->CreateElement("part")).ok());
+
+  auto after1 = xq::Execute(*m1, opts);
+  ASSERT_TRUE(after1.ok());
+  EXPECT_GT(after1->stats.nodeset_cache_hits, 0u);
+  EXPECT_EQ(after1->stats.nodeset_cache_invalidations, 0u);
+  EXPECT_EQ(after1->SerializedItems(), cold1->SerializedItems());
+
+  auto after2 = xq::Execute(*m2, opts);
+  ASSERT_TRUE(after2.ok());
+  EXPECT_GT(after2->stats.nodeset_cache_invalidations, 0u);
+  EXPECT_GT(after2->stats.nodeset_cache_partial_invalidations, 0u);
+  EXPECT_EQ(after2->sequence.size(), 2u);
+}
+
 TEST(PersistSnapshots, MutatedDocumentExportsThroughTheClonePath) {
   auto doc = xml::Parse(kSnapshotXml);
   ASSERT_TRUE(doc.ok());

@@ -128,6 +128,64 @@ TEST(Sessions, PerSnapshotNodeSetCacheIsSharedAcrossQueries) {
   EXPECT_EQ(after.result, first.result);
 }
 
+TEST(Sessions, PinnedCacheSurvivesUnrelatedSubtreePublish) {
+  // The clone-carried edit-version overlay at work across the publish path:
+  // a pinned reader's warm, subtree-anchored cache entries keep validating
+  // after a publish edits an UNRELATED subtree, because (a) the publish
+  // edits a clone, never the pinned snapshot's document, and (b) the
+  // clone carries the overlay, so the new snapshot's versions show exactly
+  // which subtree the edit touched.
+  MetricsRegistry metrics;
+  QueryServer server(TestOptions(&metrics));
+  constexpr char kModels[] =
+      "<library><models>"
+      "<model id=\"m1\"><parts><part/><part/></parts></model>"
+      "<model id=\"m2\"><parts><part/></parts></model>"
+      "</models></library>";
+  ASSERT_TRUE(server.AddDocumentXml("lib", kModels).ok());
+
+  const char* query = "/library/models/model[@id = \"m1\"]/parts/part";
+  Session session = server.OpenSession("acme");
+  QueryResponse cold = session.Query("lib", query);
+  ASSERT_TRUE(cold.status.ok()) << cold.status.ToString();
+  EXPECT_GE(cold.stats.nodeset_cache_misses, 1u);
+
+  QueryResponse warm = session.Query("lib", query);
+  ASSERT_TRUE(warm.status.ok());
+  EXPECT_GE(warm.stats.nodeset_cache_hits, 1u);
+  EXPECT_EQ(warm.result, cold.result);
+
+  // Publish an edit to model m2 -- a subtree the cached m1 chain does not
+  // depend on.
+  auto v2 = server.PublishEdit("lib", [](xml::Document* doc, xml::Node* root) {
+    xml::Node* models = root->children().front()->children().front();
+    xml::Node* m2_parts = models->children()[1]->children().front();
+    return m2_parts->AppendChild(doc->CreateElement("part"));
+  });
+  ASSERT_TRUE(v2.ok()) << v2.status().ToString();
+
+  // The pinned session still reads version 1 and still HITS its warm entry:
+  // no invalidation reached the pinned snapshot.
+  QueryResponse pinned = session.Query("lib", query);
+  ASSERT_TRUE(pinned.status.ok());
+  EXPECT_EQ(pinned.snapshot_version, 1u);
+  EXPECT_GE(pinned.stats.nodeset_cache_hits, 1u);
+  EXPECT_EQ(pinned.stats.nodeset_cache_invalidations, 0u);
+  EXPECT_EQ(pinned.result, cold.result);
+
+  // The published clone carried the overlay: its edit history extends the
+  // pinned document's, and the m1 chain's answer is unchanged on the new
+  // version too.
+  SnapshotPtr current = server.CurrentSnapshot("lib");
+  ASSERT_NE(current, nullptr);
+  EXPECT_EQ(current->version(), 2u);
+  session.Refresh();
+  QueryResponse refreshed = session.Query("lib", query);
+  ASSERT_TRUE(refreshed.status.ok());
+  EXPECT_EQ(refreshed.snapshot_version, 2u);
+  EXPECT_EQ(refreshed.result, cold.result);
+}
+
 TEST(Admission, ZeroInflightQuotaDisablesATenant) {
   MetricsRegistry metrics;
   ServerOptions options = TestOptions(&metrics);

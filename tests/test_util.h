@@ -152,6 +152,75 @@ inline std::vector<std::string> RandomPathWorkloadQueries(std::mt19937* rng,
   return queries;
 }
 
+// --- Random in-place edits (mutate-between-runs differentials) --------------
+
+// Every element of the document, in document order (excluding the synthetic
+// document root node itself).
+inline std::vector<xml::Node*> AllElements(xml::Document* doc) {
+  std::vector<xml::Node*> out;
+  std::vector<xml::Node*> stack;
+  if (doc->DocumentElement() != nullptr) stack.push_back(doc->DocumentElement());
+  while (!stack.empty()) {
+    xml::Node* n = stack.back();
+    stack.pop_back();
+    out.push_back(n);
+    std::vector<xml::Node*> kids;
+    for (xml::Node* c : n->children()) {
+      if (c->is_element()) kids.push_back(c);
+    }
+    for (auto it = kids.rbegin(); it != kids.rend(); ++it) {
+      stack.push_back(*it);
+    }
+  }
+  return out;
+}
+
+// Applies ONE random edit to the document, drawn from the same structural
+// vocabulary the path workload exercises: append an element child (with a
+// k attribute half the time), remove a childless element, or rewrite an
+// element's k attribute. Bumps the document's structure/subtree versions
+// through the ordinary mutators -- this is the "mutate" half of the
+// mutate-between-runs differential: after each edit, a cached evaluation
+// must still agree byte-for-byte with a fresh one. Returns a description of
+// the edit for failure messages.
+inline std::string ApplyRandomEdit(xml::Document* doc, std::mt19937* rng) {
+  auto pick = [rng](size_t n) { return static_cast<size_t>((*rng)() % n); };
+  std::vector<xml::Node*> elements = AllElements(doc);
+  if (elements.empty()) return "no-op (empty document)";
+  const char* names[] = {"a", "b", "c", "d"};
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    xml::Node* target = elements[pick(elements.size())];
+    switch (pick(3)) {
+      case 0: {  // append a fresh element child
+        xml::Node* child = doc->CreateElement(names[pick(4)]);
+        if (pick(2) == 0) {
+          child->SetAttribute("k", std::to_string(pick(4)));
+        }
+        if (!target->AppendChild(child).ok()) continue;
+        return "append <" + child->name() + "> under <" + target->name() + ">";
+      }
+      case 1: {  // remove a childless element (never the document element)
+        if (target == doc->DocumentElement() || !target->children().empty()) {
+          continue;
+        }
+        xml::Node* parent = target->parent();
+        if (parent == nullptr) continue;
+        std::string desc =
+            "remove <" + target->name() + "> from <" + parent->name() + ">";
+        if (!parent->RemoveChild(target).ok()) continue;
+        return desc;
+      }
+      default: {  // rewrite (or introduce) the k attribute
+        target->SetAttribute("k", std::to_string(pick(9)));
+        return "set @k on <" + target->name() + ">";
+      }
+    }
+  }
+  // All attempts hit ineligible targets; fall back to the always-legal edit.
+  elements[0]->SetAttribute("k", "fallback");
+  return "set @k on the document element (fallback)";
+}
+
 }  // namespace lll::testing
 
 #endif  // LLL_TESTS_TEST_UTIL_H_

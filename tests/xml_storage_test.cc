@@ -446,5 +446,136 @@ TEST(XmlStorageConcurrency, SharedReadOnlyDocumentTraversal) {
   for (auto& th : threads) th.join();
 }
 
+// --- Subtree edit-version overlay -------------------------------------------
+
+constexpr char kVersionedDoc[] =
+    "<r><a id=\"a\"><b/></a><c id=\"c\"><d/></c></r>";
+
+TEST(XmlEditVersions, BumpStampsExactlyTheAncestorChain) {
+  auto parsed = Parse(kVersionedDoc, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(parsed.ok());
+  Document* doc = parsed->get();
+  Node* r = doc->DocumentElement();
+  Node* a = r->children()[0];
+  Node* b = a->children()[0];
+  Node* c = r->children()[1];
+
+  // Before anybody observed a version, the whole overlay is the uniform
+  // epoch 0 -- parse-time attaches never materialize per-node stamps.
+  EXPECT_EQ(doc->subtree_version_of(r->index()), 0u);
+  EXPECT_EQ(doc->local_version_of(b->index()), 0u);
+
+  // First post-observation edit: append under <b>. Exactly b, a, r (the
+  // ancestor chain) advance their subtree versions; <c>'s corner of the
+  // tree stays at epoch 0.
+  const uint64_t before = doc->edit_epoch();
+  ASSERT_TRUE(b->AppendChild(doc->CreateElement("leaf")).ok());
+  const uint64_t epoch = doc->edit_epoch();
+  EXPECT_GT(epoch, before);
+  EXPECT_EQ(doc->subtree_version_of(b->index()), epoch);
+  EXPECT_EQ(doc->subtree_version_of(a->index()), epoch);
+  EXPECT_GE(doc->subtree_version_of(r->index()), epoch);
+  EXPECT_EQ(doc->subtree_version_of(c->index()), 0u);
+
+  // Local version: only the edited node itself; its parent records the
+  // child-local change instead.
+  EXPECT_EQ(doc->local_version_of(b->index()), epoch);
+  EXPECT_EQ(doc->local_version_of(a->index()), 0u);
+  EXPECT_EQ(doc->child_local_version_of(a->index()), epoch);
+  EXPECT_EQ(doc->child_local_version_of(r->index()), 0u);
+}
+
+TEST(XmlEditVersions, AttributeValueEditBumpsTheOwner) {
+  auto parsed = Parse(kVersionedDoc, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(parsed.ok());
+  Document* doc = parsed->get();
+  Node* r = doc->DocumentElement();
+  Node* a = r->children()[0];
+  Node* c = r->children()[1];
+  (void)doc->subtree_version_of(r->index());  // observe: materialize on edit
+
+  // Rewriting <a>'s existing id attribute is a LOCAL change to <a> (the
+  // node an [@id=...] predicate depends on), invisible to <c>.
+  a->SetAttribute("id", "a2");
+  const uint64_t epoch = doc->edit_epoch();
+  EXPECT_EQ(doc->local_version_of(a->index()), epoch);
+  EXPECT_EQ(doc->child_local_version_of(r->index()), epoch);
+  EXPECT_EQ(doc->subtree_version_of(c->index()), 0u);
+  EXPECT_EQ(doc->local_version_of(c->index()), 0u);
+}
+
+TEST(XmlEditVersions, RemovalBumpsTheFormerParent) {
+  auto parsed = Parse(kVersionedDoc, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(parsed.ok());
+  Document* doc = parsed->get();
+  Node* r = doc->DocumentElement();
+  Node* c = r->children()[1];
+  Node* d = c->children()[0];
+  (void)doc->subtree_version_of(r->index());
+
+  ASSERT_TRUE(c->RemoveChild(d).ok());
+  const uint64_t epoch = doc->edit_epoch();
+  EXPECT_GT(epoch, 0u);
+  EXPECT_EQ(doc->subtree_version_of(c->index()), epoch);
+  EXPECT_EQ(doc->local_version_of(c->index()), epoch);
+  EXPECT_EQ(doc->subtree_version_of(r->children()[0]->index()), 0u);
+}
+
+TEST(XmlEditVersions, CloneCarriesOverlayFastPath) {
+  auto parsed = Parse(kVersionedDoc, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(parsed.ok());
+  Document* doc = parsed->get();
+  Node* r = doc->DocumentElement();
+  Node* a = r->children()[0];
+  (void)doc->subtree_version_of(r->index());
+  // A value edit creates no nodes, so parse order stays document order and
+  // CloneDocument keeps its identity (array-copy) path. The overlay must
+  // travel verbatim.
+  a->SetAttribute("id", "a2");
+  const uint64_t epoch = doc->edit_epoch();
+  doc->EnsureOrderIndex();
+  std::unique_ptr<Document> clone = CloneDocument(*doc);
+  Node* cr = clone->DocumentElement();
+  Node* ca = cr->children()[0];
+  Node* cc = cr->children()[1];
+  EXPECT_EQ(clone->edit_epoch(), epoch);
+  EXPECT_EQ(clone->subtree_version_of(ca->index()), epoch);
+  EXPECT_EQ(clone->subtree_version_of(cc->index()), 0u);
+  EXPECT_EQ(clone->local_version_of(ca->index()), epoch);
+
+  // The histories diverge after the clone: edits to one side are invisible
+  // to the other.
+  ASSERT_TRUE(ca->AppendChild(clone->CreateElement("leaf2")).ok());
+  EXPECT_GT(clone->subtree_version_of(ca->index()), epoch);
+  EXPECT_EQ(doc->subtree_version_of(a->index()), epoch);
+}
+
+TEST(XmlEditVersions, CloneCarriesOverlaySlowPath) {
+  auto parsed = Parse(kVersionedDoc, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(parsed.ok());
+  Document* doc = parsed->get();
+  Node* r = doc->DocumentElement();
+  Node* a = r->children()[0];
+  Node* c = r->children()[1];
+  (void)doc->subtree_version_of(r->index());
+
+  // Detach <d> from <c>: the document now has an unattached slot, which
+  // forces CloneDocument onto the traversal (remapping) path.
+  ASSERT_TRUE(c->RemoveChild(c->children()[0]).ok());
+  const uint64_t removal_epoch = doc->edit_epoch();
+  a->SetAttribute("id", "a3");
+  const uint64_t attr_epoch = doc->edit_epoch();
+
+  std::unique_ptr<Document> clone = CloneDocument(*doc);
+  Node* cr = clone->DocumentElement();
+  Node* ca = cr->children()[0];
+  Node* cc = cr->children()[1];
+  EXPECT_EQ(clone->edit_epoch(), doc->edit_epoch());
+  // Versions follow the nodes through the index remap.
+  EXPECT_EQ(clone->local_version_of(ca->index()), attr_epoch);
+  EXPECT_EQ(clone->subtree_version_of(cc->index()), removal_epoch);
+  EXPECT_EQ(clone->subtree_version_of(ca->index()), attr_epoch);
+}
+
 }  // namespace
 }  // namespace lll::xml
