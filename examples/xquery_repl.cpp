@@ -12,6 +12,12 @@
 //   :trace          toggle recognize_trace in the optimizer
 //   :ast QUERY      print the parsed (and optimized) expression
 //   :explain QUERY  EXPLAIN: optimized plan + every rewrite decision
+//                   (update scripts get an update plan with the subtree
+//                   guards each statement would dirty)
+//   :update SCRIPT  apply an update script ("insert <x/> into /a; delete
+//                   /a/b[1]", update_parser.h) to the context document;
+//                   cached chains guarding the edited subtrees invalidate,
+//                   the rest keep hitting (:metrics shows the split)
 //   :profile        toggle the per-expression profiler (hot-spot report
 //                   after each query)
 //   :metrics        print the global metrics registry as JSON
@@ -27,6 +33,8 @@
 #include "xquery/engine.h"
 #include "xquery/nodeset_cache.h"
 #include "xquery/parser.h"
+#include "xquery/update_eval.h"
+#include "xquery/update_parser.h"
 
 int main(int argc, char** argv) {
   std::unique_ptr<lll::xml::Document> context_doc;
@@ -100,7 +108,42 @@ int main(int argc, char** argv) {
       }
       continue;
     }
+    if (line.rfind(":update ", 0) == 0) {
+      if (context_doc == nullptr) {
+        std::printf(":update needs a context document (pass context.xml)\n");
+        continue;
+      }
+      auto update = lll::xq::CompileUpdateText(line.substr(8));
+      if (!update.ok()) {
+        std::printf("%s\n", update.status().ToString().c_str());
+        continue;
+      }
+      lll::xq::UpdateOptions uo;
+      uo.metrics = &lll::GlobalMetrics();
+      auto stats = lll::xq::ApplyUpdate(*update, context_doc.get(), uo);
+      if (!stats.ok()) {
+        std::printf("%s\n", stats.status().ToString().c_str());
+        continue;
+      }
+      // In-place edit, not a copy-on-write publish: the interned chains stay
+      // in the session cache and re-validate their overlay guards on the
+      // next lookup -- only chains through the edited subtrees miss.
+      std::printf("applied %zu statement(s), %zu target node(s)\n",
+                  stats->statements, stats->target_nodes);
+      continue;
+    }
     if (line.rfind(":explain ", 0) == 0) {
+      std::string text = line.substr(9);
+      if (lll::xq::IsUpdateScript(text)) {
+        auto update = lll::xq::CompileUpdateText(text, compile_options);
+        if (!update.ok()) {
+          std::printf("%s\n", update.status().ToString().c_str());
+        } else {
+          std::printf("%s", lll::xq::ExplainUpdate(*update, context_doc.get())
+                                .c_str());
+        }
+        continue;
+      }
       auto compiled = lll::xq::Compile(line.substr(9), compile_options);
       if (!compiled.ok()) {
         std::printf("%s\n", compiled.status().ToString().c_str());

@@ -37,6 +37,24 @@ done
 [ "$drift" -eq 0 ] || exit 1
 echo "all EvalStats counters exported"
 
+# Update-grammar <-> DESIGN.md drift guard: the statement productions in the
+# update parser's grammar comment (src/xquery/update_parser.h) are the
+# language's contract, and DESIGN.md section 15 documents them verbatim. A
+# production changed in one place but not the other is how docs rot -- fail
+# fast here instead.
+echo "== grammar: update_parser.h productions vs DESIGN.md =="
+drift=0
+while IFS= read -r production; do
+  [ -n "$production" ] || continue
+  if ! grep -qF "$production" DESIGN.md; then
+    echo "error: update grammar production '$production' (src/xquery/update_parser.h) is not in DESIGN.md" >&2
+    drift=1
+  fi
+done < <(sed -n 's@^//   \(.*::=.*\)@\1@p; s@^//   \( *| .*\)@\1@p' \
+           src/xquery/update_parser.h)
+[ "$drift" -eq 0 ] || exit 1
+echo "update grammar productions match DESIGN.md"
+
 echo
 echo "== tier-1: build + full test suite (build/) =="
 cmake -B build -S . >/dev/null

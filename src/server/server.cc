@@ -14,6 +14,7 @@
 #include "xml/parser.h"
 #include "xml/serializer.h"
 #include "xquery/engine.h"
+#include "xquery/update_parser.h"
 
 namespace lll::server {
 namespace {
@@ -79,6 +80,31 @@ Result<uint64_t> QueryServer::PublishEdit(const std::string& name,
                                           const EditFn& edit) {
   Result<uint64_t> version = store_.PublishEdit(name, edit);
   if (version.ok()) metrics_->counter("server.snapshots_published").Increment();
+  return version;
+}
+
+Result<uint64_t> QueryServer::PublishUpdate(const std::string& name,
+                                            const std::string& update_text,
+                                            xq::UpdateStats* stats) {
+  Result<xq::CompiledUpdate> compiled = xq::CompileUpdateText(update_text);
+  if (!compiled.ok()) {
+    return compiled.status().AddContext("while compiling an update for '" +
+                                        name + "'");
+  }
+  xq::UpdateStats applied;
+  Result<uint64_t> version = store_.PublishEdit(
+      name, [this, &compiled, &applied](xml::Document* doc, xml::Node*) {
+        xq::UpdateOptions uo;
+        uo.metrics = metrics_;
+        Result<xq::UpdateStats> r = xq::ApplyUpdate(*compiled, doc, uo);
+        if (!r.ok()) return r.status();
+        applied = *r;
+        return Status::Ok();
+      });
+  if (!version.ok()) return version;
+  metrics_->counter("server.snapshots_published").Increment();
+  metrics_->counter("server.updates").Increment();
+  if (stats != nullptr) *stats = applied;
   return version;
 }
 
@@ -200,6 +226,7 @@ QueryResponse QueryServer::ExecuteOnSnapshot(const std::string& tenant,
   xq::ExecuteOptions opts;
   opts.context_node = snapshot->root();
   opts.eval.nodeset_cache = snapshot->nodeset_cache();
+  opts.eval.subtree_guards = options_.subtree_invalidation;
   opts.eval.max_steps = quota.max_eval_steps;
   if (quota.timeout_ms != 0) {
     opts.eval.deadline = start + std::chrono::milliseconds(quota.timeout_ms);
@@ -246,6 +273,16 @@ Result<std::string> QueryServer::Explain(const std::string& doc_name,
   SnapshotPtr snapshot = store_.Current(doc_name);
   if (snapshot == nullptr) {
     return Status::NotFound("no document named '" + doc_name + "'");
+  }
+  if (xq::IsUpdateScript(query_text)) {
+    // Update plans explain differently: per-statement targets plus the
+    // overlay guard anchors applying each statement will dirty.
+    Result<xq::CompiledUpdate> update = xq::CompileUpdateText(query_text);
+    if (!update.ok()) return update.status();
+    std::string out = "-- document '" + doc_name + "' @ snapshot version " +
+                      std::to_string(snapshot->version()) + "\n";
+    out += xq::ExplainUpdate(*update, &snapshot->document());
+    return out;
   }
   xq::CacheProvenance provenance = xq::CacheProvenance::kCompiled;
   auto compiled =
@@ -394,6 +431,8 @@ std::string QueryServer::MetricsJson() const {
   metrics_->gauge("xml.doc.bytes").Set(static_cast<int64_t>(bytes));
   metrics_->gauge("xml.names.interned")
       .Set(static_cast<int64_t>(xml::NameTable::interned_count()));
+  metrics_->gauge("server.nodeset_entries_migrated")
+      .Set(static_cast<int64_t>(store_.cache_entries_migrated()));
   return metrics_->ToJson();
 }
 

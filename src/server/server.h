@@ -15,6 +15,7 @@
 #include "core/thread_pool.h"
 #include "server/snapshot.h"
 #include "xquery/query_cache.h"
+#include "xquery/update_eval.h"
 
 namespace lll::awb {
 class Metamodel;
@@ -44,6 +45,12 @@ struct ServerOptions {
   size_t query_cache_capacity = 256;
   // Node-set interning cache capacity of EACH snapshot.
   size_t nodeset_cache_capacity = 128;
+  // Subtree-scoped cache invalidation (EvalOptions::subtree_guards): when
+  // on (default), interned chains carry the PR-9 descent guards and survive
+  // publishes that edit unrelated subtrees. Off = every entry is guarded by
+  // one whole-document version -- any edit evicts everything -- kept as the
+  // A/B baseline bench_e19 measures the update language against.
+  bool subtree_invalidation = true;
   TenantQuota default_quota;
   // Where server.* metrics go; nullptr = GlobalMetrics(). Borrowed.
   MetricsRegistry* metrics = nullptr;
@@ -134,6 +141,17 @@ class QueryServer {
   // Wholesale replacement from XML text; returns the new snapshot version.
   Result<uint64_t> PublishXml(const std::string& name,
                               const std::string& xml_text);
+  // Compiles `update_text` as an update script (update_parser.h) and
+  // applies it through the copy-on-write publish path: targets bind against
+  // the publish clone of the current snapshot (FLUX snapshot semantics --
+  // update_eval.h), conflicts reject the publish with the current snapshot
+  // intact, and the mutation primitives charge the clone's edit-version
+  // overlay, so the new snapshot's migrated node-set cache invalidates only
+  // the chains the statements dirtied. Returns the new snapshot version;
+  // `stats` (optional) receives the per-script counts on success.
+  Result<uint64_t> PublishUpdate(const std::string& name,
+                                 const std::string& update_text,
+                                 xq::UpdateStats* stats = nullptr);
 
   SnapshotPtr CurrentSnapshot(const std::string& name) const {
     return store_.Current(name);
@@ -208,6 +226,10 @@ class QueryServer {
   MetricsRegistry* metrics() const { return metrics_; }
   uint64_t snapshots_published() const {
     return store_.snapshots_published();
+  }
+  // Warm node-set cache entries carried across copy-on-write publishes.
+  uint64_t cache_entries_migrated() const {
+    return store_.cache_entries_migrated();
   }
 
   // Flips the cancel flag: queued work still runs but every evaluation

@@ -17,7 +17,12 @@
 //   publish <name> <xml>        publish a new version (inline XML)
 //   query <tenant> <doc> <xq>   run an XQuery on the session's pinned
 //                               snapshot of <doc>
+//   update <doc> <statement>    apply an update script ("insert .. into ..",
+//                               "delete ..", "replace .. with ..",
+//                               "rename .. as ..", ';'-separated) through
+//                               the copy-on-write publish path
 //   explain <doc> <xq>          optimized plan + snapshot/cache provenance
+//                               (update scripts get an update plan)
 //   snapshot <doc>              current published version
 //   refresh                     drop this session's snapshot pins
 //   quota <tenant> <inflight> <steps> <timeout_ms>
@@ -195,6 +200,28 @@ void Serve(QueryServer* server, std::istream& in, std::ostream& out) {
       }
       continue;
     }
+    if (cmd == "update") {
+      std::string statement;
+      std::vector<std::string> words = SplitWords(line, 2, &statement);
+      if (words.size() < 2 || statement.empty()) {
+        out << "error: usage: update <doc> <statement>\n.\n" << std::flush;
+        continue;
+      }
+      // PublishUpdate reports malformed statements, bad targets, and
+      // conflicting claims as Status values -- nothing a client sends here
+      // can throw out of Serve().
+      lll::xq::UpdateStats stats;
+      auto version = server->PublishUpdate(words[1], statement, &stats);
+      if (version.ok()) {
+        out << "published version " << *version << " (" << stats.statements
+            << " statements, " << stats.target_nodes << " target nodes)\n.\n"
+            << std::flush;
+      } else {
+        out << "error: " << version.status().ToString() << "\n.\n"
+            << std::flush;
+      }
+      continue;
+    }
     if (cmd == "explain") {
       std::string query;
       std::vector<std::string> words = SplitWords(line, 2, &query);
@@ -300,12 +327,27 @@ int main(int argc, char** argv) {
   lll::server::ServerOptions options;
   bool demo = false;
   std::string state_dir;
+  auto usage = [](const char* complaint, const char* value) {
+    std::fprintf(stderr, "lll_serverd: %s: '%s'\n", complaint, value);
+    std::fprintf(stderr,
+                 "usage: lll_serverd [--port N] [--workers N] [--demo] "
+                 "[--state-dir DIR]\n");
+    return 2;
+  };
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
     if (arg == "--port" && i + 1 < argc) {
-      port = std::atoi(argv[++i]);
+      uint64_t value = 0;
+      if (!ParseUint(argv[++i], &value) || value == 0 || value > 65535) {
+        return usage("--port wants an integer in [1, 65535]", argv[i]);
+      }
+      port = static_cast<int>(value);
     } else if (arg == "--workers" && i + 1 < argc) {
-      options.worker_threads = std::atoi(argv[++i]);
+      uint64_t value = 0;
+      if (!ParseUint(argv[++i], &value) || value == 0 || value > 1024) {
+        return usage("--workers wants an integer in [1, 1024]", argv[i]);
+      }
+      options.worker_threads = static_cast<size_t>(value);
     } else if (arg == "--demo") {
       demo = true;
     } else if (arg == "--state-dir" && i + 1 < argc) {

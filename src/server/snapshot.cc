@@ -37,16 +37,30 @@ SnapshotPtr SnapshotStore::Current(const std::string& name) const {
   return entry->current;
 }
 
-Result<uint64_t> SnapshotStore::InstallNext(Entry* entry,
-                                            std::unique_ptr<xml::Document> doc) {
+Result<uint64_t> SnapshotStore::InstallNext(
+    Entry* entry, std::unique_ptr<xml::Document> doc,
+    const Snapshot* carry_cache_from, const std::vector<uint32_t>* node_map) {
   // Caller holds entry->writer_mu: the version read below cannot move.
   doc->EnsureOrderIndex();
   uint64_t version;
   {
     std::lock_guard<std::mutex> lock(entry->current_mu);
     version = entry->current->version() + 1;
-    entry->current = std::make_shared<const Snapshot>(
-        std::move(doc), version, nodeset_cache_capacity_);
+  }
+  auto next = std::make_shared<const Snapshot>(std::move(doc), version,
+                                               nodeset_cache_capacity_);
+  if (carry_cache_from != nullptr && node_map != nullptr) {
+    // Warm the new snapshot before anyone can see it: migrated entries can
+    // never clobber fresher ones computed against the new document.
+    migrated_.fetch_add(next->nodeset_cache()->MigrateClone(
+                            *carry_cache_from->nodeset_cache(),
+                            carry_cache_from->document(), next->document(),
+                            *node_map),
+                        std::memory_order_relaxed);
+  }
+  {
+    std::lock_guard<std::mutex> lock(entry->current_mu);
+    entry->current = std::move(next);
   }
   published_.fetch_add(1, std::memory_order_relaxed);
   return version;
@@ -64,12 +78,23 @@ Result<uint64_t> SnapshotStore::PublishEdit(const std::string& name,
     std::lock_guard<std::mutex> lock(entry->current_mu);
     base = entry->current;
   }
-  std::unique_ptr<xml::Document> copy = xml::CloneDocument(base->document());
+  // Capture the clone's source -> clone index table so the base snapshot's
+  // warm cache can be remapped onto the new one whichever clone path ran
+  // (identity fast path or compacting slow path).
+  std::vector<uint32_t> node_map;
+  std::unique_ptr<xml::Document> copy =
+      xml::CloneDocument(base->document(), &node_map);
+  // The clone receives the base's migrated, guard-stamped cache entries, so
+  // its overlay must record this edit even if no reader has observed a
+  // version yet (the lazy wanted-flag travels by clone, and a writer
+  // outpacing its readers would otherwise never stamp -- letting migrated
+  // entries whose chains the edit dirtied keep validating at version 0).
+  copy->WantEditVersions();
   Status st = edit(copy.get(), copy->root());
   if (!st.ok()) {
     return st.AddContext("while editing the publish copy of '" + name + "'");
   }
-  return InstallNext(entry, std::move(copy));
+  return InstallNext(entry, std::move(copy), base.get(), &node_map);
 }
 
 Result<uint64_t> SnapshotStore::PublishDocument(

@@ -109,6 +109,12 @@ class SnapshotStore {
     return published_.load(std::memory_order_relaxed);
   }
 
+  // Total warm node-set cache entries carried across copy-on-write
+  // publishes (NodeSetCache::MigrateClone), across all documents.
+  uint64_t cache_entries_migrated() const {
+    return migrated_.load(std::memory_order_relaxed);
+  }
+
  private:
   struct Entry {
     // Serializes publishers of this document; held across clone+edit, which
@@ -123,13 +129,23 @@ class SnapshotStore {
   // pointer is stable: entries are never erased.
   Entry* FindEntry(const std::string& name) const;
 
-  Result<uint64_t> InstallNext(Entry* entry,
-                               std::unique_ptr<xml::Document> doc);
+  // Installs `doc` as the entry's next version. When `carry_cache_from` is
+  // non-null (the copy-on-write publish path, with `doc` a clone of that
+  // snapshot's document and `node_map` CloneDocument's source -> clone index
+  // table), the predecessor's warm node-set cache entries are migrated onto
+  // the new snapshot BEFORE it becomes visible -- remapped through the map,
+  // so both the identity fast path and the compacting slow path carry the
+  // cache -- and the edit-version overlay, carried through the clone, scopes
+  // what the edit evicted.
+  Result<uint64_t> InstallNext(Entry* entry, std::unique_ptr<xml::Document> doc,
+                               const Snapshot* carry_cache_from = nullptr,
+                               const std::vector<uint32_t>* node_map = nullptr);
 
   mutable std::mutex mu_;  // guards entries_ (the map, not the entries)
   std::map<std::string, std::unique_ptr<Entry>> entries_;
   size_t nodeset_cache_capacity_;
   std::atomic<uint64_t> published_{0};
+  std::atomic<uint64_t> migrated_{0};
 };
 
 }  // namespace lll::server

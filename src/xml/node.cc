@@ -1,6 +1,7 @@
 #include "xml/node.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstring>
 
 namespace lll::xml {
@@ -310,6 +311,61 @@ void Node::Detach() {
   uint32_t p = doc->parent_[idx_];
   if (p == kNilNode) return;
   doc->DetachSlot(idx_);
+}
+
+namespace {
+
+// QName shape check for Rename: one or two non-empty NCName parts joined by
+// a colon, NCName = (letter | '_') (letter | digit | '.' | '-' | '_')*.
+bool IsWellFormedQName(std::string_view qname) {
+  bool at_part_start = true;
+  bool seen_colon = false;
+  for (char c : qname) {
+    const unsigned char u = static_cast<unsigned char>(c);
+    if (c == ':') {
+      if (seen_colon || at_part_start) return false;
+      seen_colon = true;
+      at_part_start = true;
+      continue;
+    }
+    if (at_part_start) {
+      if (!std::isalpha(u) && c != '_') return false;
+      at_part_start = false;
+    } else if (!std::isalnum(u) && c != '.' && c != '-' && c != '_') {
+      return false;
+    }
+  }
+  return !qname.empty() && !at_part_start;
+}
+
+}  // namespace
+
+Status Node::Rename(std::string_view qname) {
+  const NodeKind k = kind();
+  if (k != NodeKind::kElement && k != NodeKind::kAttribute &&
+      k != NodeKind::kProcessingInstruction) {
+    return Status::Invalid(std::string("Rename: cannot rename a ") +
+                           NodeKindName(k) + " node");
+  }
+  if (!IsWellFormedQName(qname)) {
+    return Status::Invalid("Rename: '" + std::string(qname) +
+                           "' is not a well-formed QName");
+  }
+  Document* doc = document_;
+  doc->name_[idx_] = NameTable::Intern(qname);
+  // No structural change and no order change -- but the overlay must move:
+  // the node's own identity changed (kLocal guards over it) and its parent
+  // now answers `child::name` differently (kLocalChildren guards over the
+  // parent). BumpEditVersion(idx_) stamps exactly those two plus the
+  // ancestor subtree chain. An attribute rename charges its owner, exactly
+  // like an attribute value write.
+  if (k == NodeKind::kAttribute) {
+    uint32_t owner = doc->parent_[idx_];
+    doc->BumpEditVersion(owner != kNilNode ? owner : idx_);
+  } else {
+    doc->BumpEditVersion(idx_);
+  }
+  return Status::Ok();
 }
 
 // --- Document ---------------------------------------------------------------
@@ -738,10 +794,16 @@ DocumentStorageStats Document::storage_stats() const {
 
 // --- Clone ------------------------------------------------------------------
 
-std::unique_ptr<Document> CloneDocument(const Document& source) {
+std::unique_ptr<Document> CloneDocument(const Document& source,
+                                        std::vector<uint32_t>* node_map) {
   auto clone = std::make_unique<Document>();
 
   if (source.index_is_order_ && source.unattached_ == 0) {
+    if (node_map != nullptr) {
+      // The identity path: clone index i IS source index i.
+      node_map->resize(source.node_count());
+      for (uint32_t i = 0; i < source.node_count(); ++i) (*node_map)[i] = i;
+    }
     // Fast path: every node is attached and index order IS document order,
     // so the node mapping is the identity and the clone is a straight
     // array-to-array copy -- no per-node traversal.
@@ -933,6 +995,7 @@ std::unique_ptr<Document> CloneDocument(const Document& source) {
     }
   }
   clone->InvalidateOrderIndex();
+  if (node_map != nullptr) *node_map = std::move(map);
   return clone;
 }
 

@@ -118,7 +118,8 @@ class Node {
   class Key {
    private:
     friend class Document;
-    friend std::unique_ptr<Document> CloneDocument(const Document& source);
+    friend std::unique_ptr<Document> CloneDocument(
+        const Document& source, std::vector<uint32_t>* node_map);
     friend Result<std::unique_ptr<Document>> DocumentFromStorage(
         const DocumentStorageImage& image);
     Key() = default;
@@ -210,6 +211,15 @@ class Node {
 
   // Detaches this node from its parent (no-op if already detached).
   void Detach();
+
+  // Renames this element, attribute, or processing-instruction node to
+  // `qname` (interned; must be a well-formed QName). Structure and document
+  // order are untouched, so no order-index invalidation -- but the edit
+  // overlay charges the renamed node's local version and its parent's
+  // child-list version (a rename changes what `child::old-name` selects
+  // from the parent). An attribute rename charges its owner, same as
+  // attribute-value writes.
+  Status Rename(std::string_view qname);
 
   // The document-order stamp assigned by the owning Document's order index
   // (see Document::EnsureOrderIndex). Callers must have called
@@ -403,11 +413,24 @@ class Document {
   inline uint64_t subtree_version_of(uint32_t idx) const;
   inline uint64_t local_version_of(uint32_t idx) const;
   inline uint64_t child_local_version_of(uint32_t idx) const;
+  // Opts this document into overlay stamping NOW, exactly as if a version
+  // accessor had been called: the next edit materializes the arrays and
+  // stamps its chain. The server's publish path calls this on the clone
+  // BEFORE applying the edit -- it migrates guard-stamped cache entries
+  // onto the clone, and those guards must see the edit even if no reader
+  // observes a version until after the new snapshot is installed. Without
+  // it, a writer outpacing its readers clones before any reader sets the
+  // wanted-flag, the edit never stamps, and migrated entries whose chains
+  // the edit dirtied keep validating at the uniform version 0.
+  void WantEditVersions() const {
+    edit_versions_wanted_.store(true, std::memory_order_relaxed);
+  }
 
  private:
   friend class Node;
   friend class NodeList;
-  friend std::unique_ptr<Document> CloneDocument(const Document& source);
+  friend std::unique_ptr<Document> CloneDocument(const Document& source,
+                                                 std::vector<uint32_t>* node_map);
   friend DocumentStorageImage ExportDocumentStorage(const Document& source);
   friend Result<std::unique_ptr<Document>> DocumentFromStorage(
       const DocumentStorageImage& image);
@@ -653,7 +676,16 @@ Result<std::unique_ptr<Document>> DocumentFromStorage(
 // is the copy half of the server's copy-on-write publish path: the writer
 // clones the current snapshot, edits the private copy, and installs it while
 // readers keep the original alive.
-std::unique_ptr<Document> CloneDocument(const Document& source);
+//
+// `node_map` (optional) receives the source-index -> clone-index mapping,
+// sized to source.node_count(), with kNilNode for detached debris the clone
+// dropped. On the identity fast path it is the identity mapping. This is
+// what lets NodeSetCache::MigrateClone re-target cached entries at the
+// clone even when the clone renumbered (the subtree edit-version overlay is
+// remapped through the same table, so guard versions stay aligned).
+std::unique_ptr<Document> CloneDocument(const Document& source,
+                                        std::vector<uint32_t>* node_map =
+                                            nullptr);
 
 // Document order: -1 if `a` precedes `b`, 0 if same node, +1 if follows.
 // Attribute nodes order after their owner element and before its children;

@@ -1081,7 +1081,15 @@ Result<size_t> Evaluator::InternPrefix(const Expr& e, Sequence* current) {
   // stamped too old (a harmless re-miss), never too new.
   std::vector<CachedNodeSet::Guard> guards;
   bool subtree_scoped = false;
-  ComputeInternGuards(e, prefix, base, &guards, &subtree_scoped);
+  if (options_.subtree_guards) {
+    ComputeInternGuards(e, prefix, base, &guards, &subtree_scoped);
+  } else {
+    // Subtree scoping forced off: one kSubtree guard at the document node,
+    // so any edit anywhere evicts the entry, and subtree_scoped stays false
+    // so the eviction counts as a FULL invalidation in the stats.
+    guards.push_back(
+        NodeSetCache::GuardFor(base, CachedNodeSet::GuardKind::kSubtree));
+  }
   LLL_ASSIGN_OR_RETURN(
       Sequence computed,
       EvalStepsRange(e, 0, prefix, std::move(*current), kNoLimit));

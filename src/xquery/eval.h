@@ -78,6 +78,15 @@ struct EvalOptions {
   // evaluation AND be scoped to the documents' owner (cached sequences hold
   // raw Node pointers). nullptr = no interning.
   NodeSetCache* nodeset_cache = nullptr;
+  // Subtree-scoped guard computation for interned entries: when on
+  // (default), entries are guarded by the PR-9 descent analysis
+  // (ComputeInternGuards) and survive edits outside their dependency chain.
+  // Off = every entry carries a single whole-document kSubtree guard at its
+  // base, i.e. ANY edit anywhere invalidates it -- the pre-overlay
+  // behavior, kept as the "whole-document invalidation forced off" baseline
+  // arm for bench_e19 and the server A/B knob
+  // (ServerOptions::subtree_invalidation).
+  bool subtree_guards = true;
   // Per-expression profiling (obs/profiler.h): attribute wall time, eval
   // counts, and result sizes to AST nodes. Off = one null-pointer test per
   // expression, nothing more.

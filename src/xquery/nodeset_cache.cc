@@ -1,5 +1,6 @@
 #include "xquery/nodeset_cache.h"
 
+#include <charconv>
 #include <cinttypes>
 #include <cstdio>
 
@@ -81,6 +82,78 @@ void NodeSetCache::Put(const std::string& key, uint64_t doc_id,
   entry->subtree_scoped = subtree_scoped;
   entry->nodes = std::move(nodes);
   cache_.Put(key, std::move(entry));
+}
+
+size_t NodeSetCache::MigrateClone(const NodeSetCache& source,
+                                  const xml::Document& from,
+                                  const xml::Document& to,
+                                  const std::vector<uint32_t>& node_map) {
+  const uint32_t clone_nodes = static_cast<uint32_t>(to.node_count());
+  // Maps a source node index into the clone; kNilNode if out of range or
+  // dropped as debris.
+  auto remap = [&node_map, clone_nodes](uint32_t idx) -> uint32_t {
+    if (idx >= node_map.size()) return xml::kNilNode;
+    const uint32_t mapped = node_map[idx];
+    return mapped < clone_nodes ? mapped : xml::kNilNode;
+  };
+  auto entries = source.cache_.Snapshot();
+  size_t migrated = 0;
+  // Snapshot() is most- to least-recent; reinsert in reverse so the most
+  // recently used entry of the source is also the freshest here.
+  for (auto it = entries.rbegin(); it != entries.rend(); ++it) {
+    const std::string& key = it->first;
+    const std::shared_ptr<const CachedNodeSet>& entry = it->second;
+    if (entry->doc_id != from.doc_id()) continue;
+    // Remap the node set through the clone's renumbering. Entries are node
+    // sets by construction; anything else -- or an entry touching a node
+    // the clone dropped (detached debris) -- is skipped: a skip is just a
+    // cold miss on the new snapshot.
+    bool mappable = true;
+    xdm::Sequence nodes;
+    for (const xdm::Item& item : entry->nodes.items()) {
+      const uint32_t mapped =
+          item.is_node() && item.node()->document() == &from
+              ? remap(item.node()->index())
+              : xml::kNilNode;
+      if (mapped == xml::kNilNode) {
+        mappable = false;
+        break;
+      }
+      nodes.Append(xdm::Item::NodeRef(to.NodeAt(mapped)));
+    }
+    if (!mappable) continue;
+    std::vector<CachedNodeSet::Guard> guards = entry->guards;
+    for (CachedNodeSet::Guard& g : guards) {
+      g.node = remap(g.node);
+      if (g.node == xml::kNilNode) {
+        mappable = false;
+        break;
+      }
+    }
+    if (!mappable) continue;
+    if (entry->nodes.ordered_deduped()) nodes.MarkOrderedDeduped();
+    // Key layout is "<doc_id>@<base_index>|<fingerprint>" (MakeKey): swap
+    // the doc_id prefix and re-base the node index through the map, keep
+    // the fingerprint.
+    const size_t at = key.find('@');
+    const size_t bar = key.find('|', at == std::string::npos ? 0 : at);
+    if (at == std::string::npos || bar == std::string::npos) continue;
+    uint32_t base = 0;
+    {
+      const char* first = key.data() + at + 1;
+      const char* last = key.data() + bar;
+      auto [ptr, ec] = std::from_chars(first, last, base);
+      if (ec != std::errc() || ptr != last) continue;
+    }
+    const uint32_t mapped_base = remap(base);
+    if (mapped_base == xml::kNilNode) continue;
+    Put(std::to_string(to.doc_id()) + "@" + std::to_string(mapped_base) +
+            key.substr(bar),
+        to.doc_id(), std::move(guards), entry->subtree_scoped,
+        std::move(nodes));
+    ++migrated;
+  }
+  return migrated;
 }
 
 size_t NodeSetCache::RetainDocuments(const std::vector<uint64_t>& doc_ids) {

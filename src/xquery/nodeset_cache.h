@@ -128,6 +128,22 @@ class NodeSetCache {
   // whose arenas are about to die.
   size_t RetainDocuments(const std::vector<uint64_t>& doc_ids);
 
+  // Copies `source`'s entries for `from` into this cache, re-targeted at
+  // `to`, a clone of `from`, with `node_map` the source-index -> clone-index
+  // table CloneDocument produced (identity on the fast path, a renumbering
+  // on the slow path, kNilNode for dropped debris). Keys are re-stamped
+  // with the clone's doc_id and re-based through the map, node handles and
+  // guard anchors remap through it, and guard versions transfer verbatim:
+  // the clone carries the edit-version overlay (remapped through the same
+  // table), so entries whose chains a post-clone edit dirtied fail their
+  // guards on first lookup (counted partial/full as usual) while untouched
+  // chains keep hitting. Entries touching dropped nodes are skipped. This
+  // is what lets a warm cache survive the server's copy-on-write publish.
+  // Recency order is preserved. Returns the number of entries migrated.
+  size_t MigrateClone(const NodeSetCache& source, const xml::Document& from,
+                      const xml::Document& to,
+                      const std::vector<uint32_t>& node_map);
+
   uint64_t hits() const { return hits_.load(std::memory_order_relaxed); }
   uint64_t misses() const { return misses_.load(std::memory_order_relaxed); }
   uint64_t invalidations() const {

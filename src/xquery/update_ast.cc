@@ -1,0 +1,64 @@
+#include "xquery/update_ast.h"
+
+namespace lll::xq {
+
+const char* UpdateOpName(UpdateOp op) {
+  switch (op) {
+    case UpdateOp::kInsert:
+      return "insert";
+    case UpdateOp::kDelete:
+      return "delete";
+    case UpdateOp::kReplace:
+      return "replace";
+    case UpdateOp::kRename:
+      return "rename";
+  }
+  return "?";
+}
+
+const char* InsertPositionName(InsertPosition position) {
+  switch (position) {
+    case InsertPosition::kInto:
+      return "into";
+    case InsertPosition::kBefore:
+      return "before";
+    case InsertPosition::kAfter:
+      return "after";
+  }
+  return "?";
+}
+
+namespace {
+
+std::string PayloadText(const UpdateStatement& s) {
+  if (s.node_is_text) return "\"" + s.node_xml + "\"";
+  return s.node_xml;
+}
+
+}  // namespace
+
+std::string ToString(const UpdateStatement& s) {
+  switch (s.op) {
+    case UpdateOp::kInsert:
+      return std::string("insert ") + PayloadText(s) + " " +
+             InsertPositionName(s.position) + " " + s.target_path;
+    case UpdateOp::kDelete:
+      return "delete " + s.target_path;
+    case UpdateOp::kReplace:
+      return "replace " + s.target_path + " with " + PayloadText(s);
+    case UpdateOp::kRename:
+      return "rename " + s.target_path + " as " + s.qname;
+  }
+  return "?";
+}
+
+std::string ToString(const UpdateScript& script) {
+  std::string out;
+  for (const UpdateStatement& s : script.statements) {
+    if (!out.empty()) out += "; ";
+    out += ToString(s);
+  }
+  return out;
+}
+
+}  // namespace lll::xq

@@ -1,0 +1,53 @@
+#ifndef LLL_XQUERY_UPDATE_AST_H_
+#define LLL_XQUERY_UPDATE_AST_H_
+
+#include <string>
+#include <vector>
+
+namespace lll::xq {
+
+// The FLUX-style functional update sublanguage (PAPERS.md, *Flux:
+// Functional Updates for XML*): four statement forms over XQuery target
+// paths, with snapshot semantics -- every target path of a script is
+// evaluated against the PRE-update document, and no statement observes
+// another's effect within one script (see update_eval.h, DESIGN.md
+// section 15). This is the language surface the paper's thesis predicts a
+// "read-only" little language grows: the AWB workload edits models and
+// regenerates, so the query engine sprouts an update arm.
+
+enum class UpdateOp : uint8_t { kInsert, kDelete, kReplace, kRename };
+
+// Where an inserted node lands relative to the target: kInto appends as the
+// target's last child; kBefore/kAfter are siblings of the target.
+enum class InsertPosition : uint8_t { kInto, kBefore, kAfter };
+
+const char* UpdateOpName(UpdateOp op);
+const char* InsertPositionName(InsertPosition position);
+
+// One parsed statement. `target_path` is XQuery path text (compiled by
+// update_eval); the payload of insert/replace is either an XML fragment
+// (one element, node_is_text == false) or the content of a quoted string
+// literal (a text node, node_is_text == true).
+struct UpdateStatement {
+  UpdateOp op = UpdateOp::kDelete;
+  InsertPosition position = InsertPosition::kInto;  // kInsert only
+  std::string target_path;
+  std::string node_xml;        // kInsert / kReplace payload
+  bool node_is_text = false;   // payload was a quoted text node
+  std::string qname;           // kRename only
+};
+
+// A script: one or more statements separated by top-level ';'. All target
+// paths bind to the same pre-update snapshot when applied.
+struct UpdateScript {
+  std::vector<UpdateStatement> statements;
+  std::string source;  // original text, for EXPLAIN and diagnostics
+};
+
+// Canonical renderings (re-parseable; EXPLAIN and error messages use them).
+std::string ToString(const UpdateStatement& statement);
+std::string ToString(const UpdateScript& script);
+
+}  // namespace lll::xq
+
+#endif  // LLL_XQUERY_UPDATE_AST_H_

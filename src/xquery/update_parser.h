@@ -1,0 +1,36 @@
+#ifndef LLL_XQUERY_UPDATE_PARSER_H_
+#define LLL_XQUERY_UPDATE_PARSER_H_
+
+#include <string_view>
+
+#include "core/result.h"
+#include "xquery/update_ast.h"
+
+namespace lll::xq {
+
+// Parser for the FLUX-style update sublanguage. Grammar (keep these
+// productions in lockstep with DESIGN.md section 15 -- scripts/check.sh
+// greps each statement alternative against the doc):
+//
+//   script    ::= statement (";" statement)*
+//   statement ::= "insert" node ("into" | "before" | "after") path
+//               | "delete" path
+//               | "replace" path "with" node
+//               | "rename" path "as" qname
+//   node      ::= an XML fragment (one element) | a quoted string (text node)
+//   path      ::= an XQuery path expression selecting target nodes
+//
+// Keywords bind only at TOP LEVEL: outside quotes, outside XML fragments,
+// and outside predicate brackets/parens -- so `insert "into the log" into
+// /log` and `replace //a[b = "x with y"] with <b/>` parse as intended.
+
+// True iff `source` looks like an update script (first word is one of the
+// four verbs). The server and REPL use this to dispatch between query and
+// update handling; a true return does NOT promise the script parses.
+bool IsUpdateScript(std::string_view source);
+
+Result<UpdateScript> ParseUpdateScript(std::string_view source);
+
+}  // namespace lll::xq
+
+#endif  // LLL_XQUERY_UPDATE_PARSER_H_

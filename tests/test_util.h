@@ -9,6 +9,7 @@
 #include "gtest/gtest.h"
 #include "xml/parser.h"
 #include "xquery/engine.h"
+#include "xquery/update_eval.h"
 
 namespace lll::testing {
 
@@ -176,10 +177,15 @@ inline std::vector<xml::Node*> AllElements(xml::Document* doc) {
 }
 
 // Applies ONE random edit to the document, drawn from the same structural
-// vocabulary the path workload exercises: append an element child (with a
-// k attribute half the time), remove a childless element, or rewrite an
-// element's k attribute. Bumps the document's structure/subtree versions
-// through the ordinary mutators -- this is the "mutate" half of the
+// vocabulary the path workload exercises. Three ops go through the raw
+// mutators (append an element child with a k attribute half the time,
+// remove a childless element, rewrite an element's k attribute); three go
+// through the update LANGUAGE (rename, replace, insert-before), composed as
+// statements against the node's canonical path and applied via
+// CompileUpdateText + ApplyUpdate -- so the differential batteries exercise
+// the update pipeline's target selection and mutation routing too, not just
+// hand-called primitives. Every op bumps the document's structure/subtree
+// versions through the ordinary mutators; this is the "mutate" half of the
 // mutate-between-runs differential: after each edit, a cached evaluation
 // must still agree byte-for-byte with a fresh one. Returns a description of
 // the edit for failure messages.
@@ -188,9 +194,21 @@ inline std::string ApplyRandomEdit(xml::Document* doc, std::mt19937* rng) {
   std::vector<xml::Node*> elements = AllElements(doc);
   if (elements.empty()) return "no-op (empty document)";
   const char* names[] = {"a", "b", "c", "d"};
+  // Runs one update-language statement; true iff it compiled, applied, and
+  // actually touched exactly the intended node.
+  auto apply_statement = [doc](const std::string& stmt) {
+    auto compiled = xq::CompileUpdateText(stmt);
+    if (!compiled.ok()) {
+      ADD_FAILURE() << "generated statement failed to compile: " << stmt
+                    << "\n" << compiled.status().ToString();
+      return false;
+    }
+    auto stats = xq::ApplyUpdate(*compiled, doc);
+    return stats.ok() && stats->target_nodes == 1;
+  };
   for (int attempt = 0; attempt < 8; ++attempt) {
     xml::Node* target = elements[pick(elements.size())];
-    switch (pick(3)) {
+    switch (pick(6)) {
       case 0: {  // append a fresh element child
         xml::Node* child = doc->CreateElement(names[pick(4)]);
         if (pick(2) == 0) {
@@ -209,6 +227,31 @@ inline std::string ApplyRandomEdit(xml::Document* doc, std::mt19937* rng) {
             "remove <" + target->name() + "> from <" + parent->name() + ">";
         if (!parent->RemoveChild(target).ok()) continue;
         return desc;
+      }
+      case 2: {  // "rename PATH as NAME" -- structure intact, names move
+        std::string stmt = "rename " + xq::NodePathOf(target) + " as " +
+                           names[pick(4)];
+        if (!apply_statement(stmt)) continue;
+        return stmt;
+      }
+      case 3: {  // "replace PATH with <fresh/>" (childless, not the root elem)
+        if (target == doc->DocumentElement() || !target->children().empty()) {
+          continue;
+        }
+        std::string payload = std::string("<") + names[pick(4)];
+        if (pick(2) == 0) payload += " k=\"" + std::to_string(pick(4)) + "\"";
+        payload += "/>";
+        std::string stmt =
+            "replace " + xq::NodePathOf(target) + " with " + payload;
+        if (!apply_statement(stmt)) continue;
+        return stmt;
+      }
+      case 4: {  // "insert <fresh/> before PATH" (not before the root elem)
+        if (target == doc->DocumentElement()) continue;
+        std::string stmt = std::string("insert <") + names[pick(4)] +
+                           "/> before " + xq::NodePathOf(target);
+        if (!apply_statement(stmt)) continue;
+        return stmt;
       }
       default: {  // rewrite (or introduce) the k attribute
         target->SetAttribute("k", std::to_string(pick(9)));

@@ -521,6 +521,140 @@ TEST(XmlEditVersions, RemovalBumpsTheFormerParent) {
   EXPECT_EQ(doc->subtree_version_of(r->children()[0]->index()), 0u);
 }
 
+TEST(XmlEditVersions, RenameChargesLocalAndParentChildList) {
+  auto parsed = Parse(kVersionedDoc, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(parsed.ok());
+  Document* doc = parsed->get();
+  Node* r = doc->DocumentElement();
+  Node* a = r->children()[0];
+  Node* b = a->children()[0];
+  Node* c = r->children()[1];
+  (void)doc->subtree_version_of(r->index());  // observe: materialize on edit
+
+  // Renaming <b> is a local change to <b> (name tests on b itself) AND a
+  // child-list change to <a> (a cached a/bb chain must now see <b> gone),
+  // with the subtree chain above advancing as usual. <c> stays untouched.
+  ASSERT_TRUE(b->Rename("bb").ok());
+  const uint64_t epoch = doc->edit_epoch();
+  EXPECT_GT(epoch, 0u);
+  EXPECT_EQ(b->name(), "bb");
+  EXPECT_EQ(doc->local_version_of(b->index()), epoch);
+  EXPECT_EQ(doc->child_local_version_of(a->index()), epoch);
+  EXPECT_EQ(doc->subtree_version_of(b->index()), epoch);
+  EXPECT_EQ(doc->subtree_version_of(a->index()), epoch);
+  EXPECT_GE(doc->subtree_version_of(r->index()), epoch);
+  EXPECT_EQ(doc->subtree_version_of(c->index()), 0u);
+  EXPECT_EQ(doc->local_version_of(c->index()), 0u);
+}
+
+TEST(XmlEditVersions, AttributeRenameChargesTheOwner) {
+  auto parsed = Parse(kVersionedDoc, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(parsed.ok());
+  Document* doc = parsed->get();
+  Node* r = doc->DocumentElement();
+  Node* a = r->children()[0];
+  Node* c = r->children()[1];
+  (void)doc->subtree_version_of(r->index());
+
+  // Renaming @id is a LOCAL change to its owner <a> -- the node an [@id]
+  // predicate guard hangs off -- exactly like a value rewrite.
+  Node* id_attr = a->attributes()[0];
+  ASSERT_TRUE(id_attr->Rename("key").ok());
+  const uint64_t epoch = doc->edit_epoch();
+  EXPECT_EQ(doc->local_version_of(a->index()), epoch);
+  EXPECT_EQ(doc->child_local_version_of(r->index()), epoch);
+  EXPECT_EQ(doc->subtree_version_of(c->index()), 0u);
+}
+
+TEST(XmlEditVersions, RenameRejectsBadTargetsAndNames) {
+  auto parsed = Parse("<r>text<!--note--></r>",
+                      {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(parsed.ok());
+  Document* doc = parsed->get();
+  Node* r = doc->DocumentElement();
+  (void)doc->subtree_version_of(r->index());
+
+  // Text and comment nodes have no name; malformed QNames never land. None
+  // of these may charge the overlay.
+  EXPECT_FALSE(r->children()[0]->Rename("x").ok());
+  EXPECT_FALSE(r->children()[1]->Rename("x").ok());
+  EXPECT_FALSE(r->Rename("").ok());
+  EXPECT_FALSE(r->Rename("1bad").ok());
+  EXPECT_FALSE(r->Rename("a:b:c").ok());
+  EXPECT_FALSE(r->Rename("sp ace").ok());
+  EXPECT_EQ(doc->edit_epoch(), 0u);
+  EXPECT_EQ(doc->local_version_of(r->index()), 0u);
+
+  EXPECT_TRUE(r->Rename("ns:root").ok());  // one colon is a fine QName
+  EXPECT_GT(doc->edit_epoch(), 0u);
+}
+
+TEST(XmlEditVersions, EveryUpdatePrimitiveBumpsTheOverlay) {
+  // The update sublanguage routes onto AppendChild / InsertChildAt /
+  // RemoveChild (Detach) / ReplaceChild / Rename. Each one must move the
+  // edit epoch -- a primitive that forgets BumpEditVersion would let stale
+  // cached chains keep validating.
+  auto parsed = Parse(kVersionedDoc, {.strip_insignificant_whitespace = true});
+  ASSERT_TRUE(parsed.ok());
+  Document* doc = parsed->get();
+  Node* r = doc->DocumentElement();
+  Node* a = r->children()[0];
+  (void)doc->subtree_version_of(r->index());
+
+  uint64_t last = doc->edit_epoch();
+  ASSERT_TRUE(a->AppendChild(doc->CreateElement("x")).ok());
+  EXPECT_GT(doc->edit_epoch(), last);
+  last = doc->edit_epoch();
+  ASSERT_TRUE(a->InsertChildAt(0, doc->CreateElement("y")).ok());
+  EXPECT_GT(doc->edit_epoch(), last);
+  last = doc->edit_epoch();
+  ASSERT_TRUE(a->RemoveChild(a->children()[0]).ok());
+  EXPECT_GT(doc->edit_epoch(), last);
+  last = doc->edit_epoch();
+  ASSERT_TRUE(
+      a->ReplaceChild(a->children()[0], {doc->CreateElement("z")}).ok());
+  EXPECT_GT(doc->edit_epoch(), last);
+  last = doc->edit_epoch();
+  ASSERT_TRUE(a->Rename("aa").ok());
+  EXPECT_GT(doc->edit_epoch(), last);
+}
+
+TEST(XmlEditVersions, WantEditVersionsStampsWithoutAPriorRead) {
+  // The lazy overlay only materializes when an edit lands AFTER some reader
+  // asked for a version. The server's publish path migrates guard-stamped
+  // cache entries onto a fresh clone and edits it before any reader sees
+  // it, so it opts the clone in explicitly via WantEditVersions() -- the
+  // edit must stamp even though the first version read comes later.
+  // Without the opt-in, versions stay at the uniform 0 and migrated
+  // entries whose chains the edit dirtied would keep validating.
+  {
+    // Control: no opt-in, no prior read -- the edit moves only the epoch
+    // and the overlay stays at the uniform 0. (The version read at the end
+    // sets the wanted-flag, so this arm uses its own document.)
+    auto parsed =
+        Parse(kVersionedDoc, {.strip_insignificant_whitespace = true});
+    ASSERT_TRUE(parsed.ok());
+    Document* doc = parsed->get();
+    Node* r = doc->DocumentElement();
+    ASSERT_TRUE(r->AppendChild(doc->CreateElement("x")).ok());
+    EXPECT_EQ(doc->subtree_version_of(r->index()), 0u);
+  }
+  {
+    // The publish path's exact sequence: clone a never-observed document,
+    // opt the clone in, edit -- the overlay must stamp.
+    auto parsed =
+        Parse(kVersionedDoc, {.strip_insignificant_whitespace = true});
+    ASSERT_TRUE(parsed.ok());
+    std::vector<uint32_t> node_map;
+    std::unique_ptr<Document> clone = CloneDocument(**parsed, &node_map);
+    clone->WantEditVersions();
+    Node* cr = clone->DocumentElement();
+    ASSERT_TRUE(cr->AppendChild(clone->CreateElement("y")).ok());
+    EXPECT_GT(clone->subtree_version_of(cr->index()), 0u);
+    EXPECT_GT(clone->local_version_of(cr->index()), 0u);
+  }
+}
+
 TEST(XmlEditVersions, CloneCarriesOverlayFastPath) {
   auto parsed = Parse(kVersionedDoc, {.strip_insignificant_whitespace = true});
   ASSERT_TRUE(parsed.ok());
